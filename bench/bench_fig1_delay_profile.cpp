@@ -1,0 +1,114 @@
+// Reproduces Fig. 1: post-synthesis STA delay vs the HLS-estimated
+// critical-path delay over a sweep of design points (randomized schedules
+// of one design, mirroring the paper's 6912 configurations of one HLS
+// design). The estimate sums pre-characterized per-op delays along the
+// worst intra-stage path; the reference is the synthesized stage timing.
+// The paper's shape: large systematic overestimation, growing with the
+// estimate.
+//
+// Flags: --design=NAME (default hsv2rgb), --points=N (default 96; the
+//        paper used 6912), --seed=S, --csv
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "sched/metrics.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "synth/characterizer.h"
+#include "workloads/registry.h"
+
+int main(int argc, char** argv) {
+  const isdc::bench::flags flags(argc, argv);
+  const std::string design = flags.get("design", "hsv2rgb");
+  const int points = flags.get_int("points", 96);
+
+  const auto* spec = isdc::workloads::find_workload(design);
+  if (spec == nullptr) {
+    std::cerr << "unknown design " << design << "\n";
+    return 1;
+  }
+  const isdc::ir::graph g = spec->build();
+  isdc::synth::delay_model model;
+  const isdc::sched::delay_matrix naive =
+      isdc::sched::delay_matrix::initial(g, [&](isdc::ir::node_id v) {
+        return model.node_delay_ps(g, v);
+      });
+
+  isdc::rng r(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  std::vector<double> estimated;
+  std::vector<double> sta;
+  for (int i = 0; i < points; ++i) {
+    // Schedules across the aggressiveness spectrum.
+    const double push = 0.05 + 0.6 * r.next_double();
+    const isdc::sched::schedule s = isdc::bench::random_schedule(g, r, push);
+    estimated.push_back(
+        isdc::sched::estimated_critical_delay(g, s, naive));
+    sta.push_back(isdc::sched::synthesized_critical_delay(g, s));
+  }
+
+  std::cout << "=== Fig. 1: post-synthesis STA vs HLS-estimated critical "
+               "path ("
+            << design << ", " << points << " design points) ===\n\n";
+
+  int overestimates = 0;
+  std::vector<double> ratio;
+  for (int i = 0; i < points; ++i) {
+    if (sta[static_cast<std::size_t>(i)] > 0) {
+      ratio.push_back(estimated[static_cast<std::size_t>(i)] /
+                      sta[static_cast<std::size_t>(i)]);
+      overestimates +=
+          estimated[static_cast<std::size_t>(i)] >
+                  sta[static_cast<std::size_t>(i)]
+              ? 1
+              : 0;
+    }
+  }
+  const auto fit = isdc::linear_fit(sta, estimated);
+  std::cout << "pearson(est, sta)      = "
+            << isdc::format_double(isdc::pearson(estimated, sta), 3) << "\n"
+            << "mean est/sta ratio     = "
+            << isdc::format_double(isdc::mean(ratio), 3) << "x\n"
+            << "points overestimated   = " << overestimates << "/"
+            << ratio.size() << "\n"
+            << "mean relative error    = "
+            << isdc::format_double(
+                   100.0 * isdc::mean_relative_error(estimated, sta), 1)
+            << "%\n"
+            << "fit: est = " << isdc::format_double(fit.slope, 3)
+            << " * sta + " << isdc::format_double(fit.intercept, 1) << "\n\n";
+
+  // Bucketized scatter (text rendering of the figure).
+  isdc::text_table table;
+  table.set_header({"est bucket (ps)", "points", "mean STA (ps)",
+                    "mean est/sta"});
+  const double max_est = *std::max_element(estimated.begin(), estimated.end());
+  const int buckets = 8;
+  for (int bkt = 0; bkt < buckets; ++bkt) {
+    const double lo = max_est * bkt / buckets;
+    const double hi = max_est * (bkt + 1) / buckets;
+    std::vector<double> bucket_sta;
+    std::vector<double> bucket_ratio;
+    for (int i = 0; i < points; ++i) {
+      const double e = estimated[static_cast<std::size_t>(i)];
+      if (e >= lo && e < hi + 1e-9 && sta[static_cast<std::size_t>(i)] > 0) {
+        bucket_sta.push_back(sta[static_cast<std::size_t>(i)]);
+        bucket_ratio.push_back(e / sta[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (bucket_sta.empty()) {
+      continue;
+    }
+    table.add_row({isdc::format_double(lo, 0) + "-" +
+                       isdc::format_double(hi, 0),
+                   std::to_string(bucket_sta.size()),
+                   isdc::format_double(isdc::mean(bucket_sta), 0),
+                   isdc::format_double(isdc::mean(bucket_ratio), 2)});
+  }
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Fig. 7: delay-estimation accuracy across iterations. For
+// every benchmark and every ISDC iteration we compare, against the
+// post-synthesis STA of the current schedule,
+//   (a) ISDC's estimate from the feedback-updated delay matrix, and
+//   (b) the original SDC estimate from the naive per-op matrix.
+// The paper's shape: both start equal; ISDC's error shrinks (to ~3.4%)
+// while the naive estimate's error *grows* as the schedules get refined
+// (more cross-op optimization is overlooked).
+//
+// Flags: --benchmarks=a,b --max-iterations=N (default 10) --subgraphs=M
+//        (default 16) --csv
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "core/isdc_scheduler.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+int main(int argc, char** argv) {
+  const isdc::bench::flags flags(argc, argv);
+  const auto subset = flags.get_list("benchmarks");
+  const int max_iterations = flags.get_int("max-iterations", 10);
+
+  isdc::synth::delay_model model;
+
+  // error_isdc[k] collects |est - sta| / sta over all benchmarks at
+  // iteration k (benchmarks that converged earlier contribute their final
+  // state, as a plot would).
+  std::vector<std::vector<double>> error_isdc(
+      static_cast<std::size_t>(max_iterations) + 1);
+  std::vector<std::vector<double>> error_naive(
+      static_cast<std::size_t>(max_iterations) + 1);
+
+  for (const auto& spec : isdc::workloads::all_workloads()) {
+    if (!subset.empty() &&
+        std::find(subset.begin(), subset.end(), spec.name) == subset.end()) {
+      continue;
+    }
+    const isdc::ir::graph g = spec.build();
+    isdc::core::isdc_options opts;
+    opts.base.clock_period_ps = spec.clock_period_ps;
+    opts.max_iterations = max_iterations;
+    opts.subgraphs_per_iteration = flags.get_int("subgraphs", 16);
+    opts.convergence_patience = max_iterations + 1;  // full trajectory
+    opts.num_threads = 4;
+    opts.record_synthesized_delay = true;
+    isdc::core::synthesis_downstream tool(opts.synth);
+    const isdc::core::isdc_result result =
+        isdc::core::run_isdc(g, tool, opts, &model);
+
+    double last_isdc = 0.0;
+    double last_naive = 0.0;
+    for (int k = 0; k <= max_iterations; ++k) {
+      const std::size_t idx =
+          std::min(static_cast<std::size_t>(k), result.history.size() - 1);
+      const auto& rec = result.history[idx];
+      if (rec.synthesized_delay_ps > 0) {
+        last_isdc = std::abs(rec.estimated_delay_ps -
+                             rec.synthesized_delay_ps) /
+                    rec.synthesized_delay_ps;
+        last_naive = std::abs(rec.naive_estimated_delay_ps -
+                              rec.synthesized_delay_ps) /
+                     rec.synthesized_delay_ps;
+      }
+      error_isdc[static_cast<std::size_t>(k)].push_back(last_isdc);
+      error_naive[static_cast<std::size_t>(k)].push_back(last_naive);
+    }
+    std::cerr << "done: " << spec.name << "\n";
+  }
+
+  std::cout << "=== Fig. 7: delay estimation error vs iteration ===\n"
+            << "(paper reference: ISDC converges to ~3.4%; the original "
+               "SDC estimate degrades)\n\n";
+  isdc::text_table table;
+  table.set_header({"iter", "ISDC est err %", "original SDC est err %"});
+  for (int k = 0; k <= max_iterations; ++k) {
+    table.add_row(
+        {std::to_string(k),
+         isdc::format_double(
+             100.0 * isdc::mean(error_isdc[static_cast<std::size_t>(k)]), 2),
+         isdc::format_double(
+             100.0 * isdc::mean(error_naive[static_cast<std::size_t>(k)]),
+             2)});
+  }
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

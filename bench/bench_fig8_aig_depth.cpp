@@ -1,0 +1,117 @@
+// Reproduces Fig. 8: post-synthesis STA delay vs optimized AIG depth over
+// the same schedule-space sweep as Fig. 1. The paper observes a compelling
+// linear correlation, motivating AIG depth as a cheap feedback signal
+// (Section V-3); the fitted ps/level slope printed here is the calibration
+// constant for core::aig_depth_downstream.
+//
+// Flags: --design=NAME (default hsv2rgb), --points=N (default 64),
+//        --seed=S, --csv
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "ir/extract.h"
+#include "lower/lowering.h"
+#include "sched/metrics.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "synth/characterizer.h"
+#include "workloads/registry.h"
+
+namespace {
+
+/// Optimized AIG depth of the worst stage of a schedule.
+int schedule_aig_depth(const isdc::ir::graph& g,
+                       const isdc::sched::schedule& s) {
+  int depth = 0;
+  for (int stage = 0; stage < s.num_stages(); ++stage) {
+    std::vector<isdc::ir::node_id> members;
+    std::vector<isdc::ir::node_id> roots;
+    for (isdc::ir::node_id v = 0; v < g.num_nodes(); ++v) {
+      const auto op = g.at(v).op;
+      if (s.cycle[v] != stage || op == isdc::ir::opcode::constant ||
+          op == isdc::ir::opcode::input) {
+        continue;
+      }
+      members.push_back(v);
+      if (g.is_output(v) || isdc::sched::last_use_stage(g, s, v) > stage) {
+        roots.push_back(v);
+      }
+    }
+    if (members.empty() || roots.empty()) {
+      continue;
+    }
+    const isdc::ir::extraction stage_cloud =
+        isdc::ir::extract_subgraph(g, members, roots);
+    const auto lowered = isdc::lower::lower_graph(stage_cloud.g);
+    const isdc::aig::aig optimized =
+        isdc::synth::optimize(lowered.net.cleanup());
+    depth = std::max(depth, optimized.depth());
+  }
+  return depth;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const isdc::bench::flags flags(argc, argv);
+  const std::string design = flags.get("design", "hsv2rgb");
+  const int points = flags.get_int("points", 64);
+
+  const auto* spec = isdc::workloads::find_workload(design);
+  if (spec == nullptr) {
+    std::cerr << "unknown design " << design << "\n";
+    return 1;
+  }
+  const isdc::ir::graph g = spec->build();
+
+  isdc::rng r(static_cast<std::uint64_t>(flags.get_int("seed", 2)));
+  std::vector<double> depth;
+  std::vector<double> sta;
+  for (int i = 0; i < points; ++i) {
+    const double push = 0.05 + 0.6 * r.next_double();
+    const isdc::sched::schedule s = isdc::bench::random_schedule(g, r, push);
+    depth.push_back(static_cast<double>(schedule_aig_depth(g, s)));
+    sta.push_back(isdc::sched::synthesized_critical_delay(g, s));
+  }
+
+  const auto fit = isdc::linear_fit(depth, sta);
+  std::cout << "=== Fig. 8: post-synthesis STA vs optimized AIG depth ("
+            << design << ", " << points << " design points) ===\n\n"
+            << "pearson(depth, sta) = "
+            << isdc::format_double(isdc::pearson(depth, sta), 3)
+            << "   (paper: compelling linear correlation)\n"
+            << "fit: sta = " << isdc::format_double(fit.slope, 1)
+            << " ps/level * depth + " << isdc::format_double(fit.intercept, 1)
+            << " ps\n"
+            << "(use the slope to calibrate core::aig_depth_downstream)\n\n";
+
+  isdc::text_table table;
+  table.set_header({"depth bucket", "points", "mean STA (ps)"});
+  const double max_depth = *std::max_element(depth.begin(), depth.end());
+  const int buckets = 8;
+  for (int bkt = 0; bkt < buckets; ++bkt) {
+    const double lo = max_depth * bkt / buckets;
+    const double hi = max_depth * (bkt + 1) / buckets;
+    std::vector<double> bucket_sta;
+    for (int i = 0; i < points; ++i) {
+      if (depth[static_cast<std::size_t>(i)] >= lo &&
+          depth[static_cast<std::size_t>(i)] < hi + 1e-9) {
+        bucket_sta.push_back(sta[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (bucket_sta.empty()) {
+      continue;
+    }
+    table.add_row({isdc::format_double(lo, 0) + "-" +
+                       isdc::format_double(hi, 0),
+                   std::to_string(bucket_sta.size()),
+                   isdc::format_double(isdc::mean(bucket_sta), 0)});
+  }
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+// google-benchmark microbenchmarks for the library's hot kernels: the SDC
+// LP solve, AIG construction/optimization, cut enumeration, technology
+// mapping, the delay-matrix algorithms (Alg. 1 / Alg. 2 / Floyd-Warshall)
+// and one full subgraph-synthesis feedback evaluation. These back the
+// scheduling-runtime columns of Table I with per-kernel numbers.
+#include <benchmark/benchmark.h>
+
+#include "aig/balance.h"
+#include "aig/cuts.h"
+#include "core/delay_update.h"
+#include "core/floyd_warshall.h"
+#include "core/reformulate.h"
+#include "ir/builder.h"
+#include "lower/lowering.h"
+#include "sched/sdc_scheduler.h"
+#include "support/rng.h"
+#include "synth/synthesis.h"
+#include "synth/techmap.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace isdc;
+
+ir::graph chain_graph(int length) {
+  ir::graph g("chain");
+  ir::builder b(g);
+  ir::node_id v = b.input(32, "x");
+  const ir::node_id y = b.input(32, "y");
+  for (int i = 0; i < length; ++i) {
+    v = i % 2 == 0 ? b.add(v, y) : b.bxor(v, y);
+  }
+  g.mark_output(v);
+  return g;
+}
+
+sched::delay_matrix uniform_matrix(const ir::graph& g, double unit) {
+  return sched::delay_matrix::initial(g, [&g, unit](ir::node_id v) {
+    const ir::opcode op = g.at(v).op;
+    return op == ir::opcode::input || op == ir::opcode::constant ? 0.0
+                                                                 : unit;
+  });
+}
+
+void BM_sdc_schedule(benchmark::State& state) {
+  const ir::graph g = chain_graph(static_cast<int>(state.range(0)));
+  const sched::delay_matrix d = uniform_matrix(g, 600.0);
+  sched::scheduler_options opts;
+  opts.clock_period_ps = 2500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::sdc_schedule(g, d, opts));
+  }
+}
+BENCHMARK(BM_sdc_schedule)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_delay_matrix_initial(benchmark::State& state) {
+  const ir::graph g = chain_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(uniform_matrix(g, 500.0));
+  }
+}
+BENCHMARK(BM_delay_matrix_initial)->Arg(64)->Arg(256);
+
+void BM_lower_graph(benchmark::State& state) {
+  const ir::graph g = workloads::build_crc32(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lower::lower_graph(g));
+  }
+}
+BENCHMARK(BM_lower_graph);
+
+void BM_aig_strash(benchmark::State& state) {
+  const ir::graph g = workloads::build_crc32(16);
+  const auto lowered = lower::lower_graph(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lowered.net.cleanup());
+  }
+}
+BENCHMARK(BM_aig_strash);
+
+void BM_aig_balance(benchmark::State& state) {
+  const ir::graph g = workloads::build_crc32(16);
+  const aig::aig net = lower::lower_graph(g).net.cleanup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aig::balance(net));
+  }
+}
+BENCHMARK(BM_aig_balance);
+
+void BM_cut_enumeration(benchmark::State& state) {
+  const ir::graph g = workloads::build_crc32(16);
+  const aig::aig net = lower::lower_graph(g).net.cleanup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aig::enumerate_cuts(net));
+  }
+}
+BENCHMARK(BM_cut_enumeration);
+
+void BM_technology_map(benchmark::State& state) {
+  const ir::graph g = workloads::build_crc32(16);
+  const aig::aig net =
+      synth::optimize(lower::lower_graph(g).net.cleanup());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth::technology_map(net, synth::default_library()));
+  }
+}
+BENCHMARK(BM_technology_map);
+
+void BM_subgraph_feedback_evaluation(benchmark::State& state) {
+  // One full downstream evaluation: the unit of work ISDC parallelizes.
+  ir::graph g("cloud");
+  ir::builder b(g);
+  const ir::node_id a = b.input(32, "a");
+  const ir::node_id c = b.input(32, "b");
+  b.output(b.add(b.add(a, c), b.bxor(a, c)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::synthesize_graph(g));
+  }
+}
+BENCHMARK(BM_subgraph_feedback_evaluation);
+
+void BM_alg1_delay_update(benchmark::State& state) {
+  const ir::graph g = chain_graph(static_cast<int>(state.range(0)));
+  sched::delay_matrix d = uniform_matrix(g, 500.0);
+  core::evaluated_subgraph eval;
+  for (ir::node_id v = 0; v < g.num_nodes(); v += 2) {
+    eval.members.push_back(v);
+  }
+  eval.delay_ps = 450.0;
+  for (auto _ : state) {
+    sched::delay_matrix copy = d;
+    benchmark::DoNotOptimize(
+        core::update_delay_matrix(copy, {&eval, 1}));
+  }
+}
+BENCHMARK(BM_alg1_delay_update)->Arg(64)->Arg(256);
+
+void BM_alg2_reformulate(benchmark::State& state) {
+  const ir::graph g = chain_graph(static_cast<int>(state.range(0)));
+  const sched::delay_matrix d = uniform_matrix(g, 500.0);
+  for (auto _ : state) {
+    sched::delay_matrix copy = d;
+    core::reformulate_alg2(g, copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_alg2_reformulate)->Arg(64)->Arg(256);
+
+void BM_floyd_warshall(benchmark::State& state) {
+  const ir::graph g = chain_graph(static_cast<int>(state.range(0)));
+  const sched::delay_matrix d = uniform_matrix(g, 500.0);
+  for (auto _ : state) {
+    sched::delay_matrix copy = d;
+    core::reformulate_floyd_warshall(g, copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_floyd_warshall)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

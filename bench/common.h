@@ -1,0 +1,95 @@
+// Shared helpers for the paper-reproduction bench binaries: a tiny
+// --key=value flag parser and the random-schedule generator used by the
+// Fig. 1 / Fig. 8 design-space sweeps.
+#ifndef ISDC_BENCH_COMMON_H_
+#define ISDC_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "support/rng.h"
+
+namespace isdc::bench {
+
+/// Parses --key=value arguments (anything else is ignored).
+class flags {
+public:
+  flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        continue;
+      }
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  std::vector<std::string> get_list(const std::string& key) const {
+    std::vector<std::string> out;
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return out;
+    }
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) {
+        out.push_back(item);
+      }
+    }
+    return out;
+  }
+
+private:
+  std::map<std::string, std::string> values_;
+};
+
+/// A random legal-by-construction schedule: inputs/constants at stage 0,
+/// every node at or after its operands, with `push_probability` chance of
+/// starting a new stage at each node. Models the paper's "design points"
+/// (schedules of different aggressiveness) for the Fig. 1/Fig. 8 sweeps.
+inline sched::schedule random_schedule(const ir::graph& g, rng& r,
+                                       double push_probability) {
+  sched::schedule s;
+  s.cycle.resize(g.num_nodes(), 0);
+  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+    const ir::node& n = g.at(v);
+    if (n.op == ir::opcode::input || n.op == ir::opcode::constant) {
+      s.cycle[v] = 0;
+      continue;
+    }
+    int stage = 0;
+    for (ir::node_id p : n.operands) {
+      stage = std::max(stage, s.cycle[p]);
+    }
+    if (r.next_bool(push_probability)) {
+      ++stage;
+    }
+    s.cycle[v] = stage;
+  }
+  return s;
+}
+
+}  // namespace isdc::bench
+
+#endif  // ISDC_BENCH_COMMON_H_

@@ -1,0 +1,68 @@
+// Design-space exploration: sweep the target clock period of an ML-core
+// datapath and chart the register/stage Pareto front of SDC vs ISDC —
+// the workflow an HLS user runs when choosing a pipeline frequency.
+//
+//   $ ./datapath_explorer [workload] [periods...]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/isdc_scheduler.h"
+#include "sched/metrics.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace isdc;
+
+  const std::string name = argc > 1 ? argv[1] : "ml_datapath0_opcode0";
+  const auto* spec = workloads::find_workload(name);
+  if (spec == nullptr) {
+    std::cerr << "unknown workload " << name << "; available:\n";
+    for (const auto& w : workloads::all_workloads()) {
+      std::cerr << "  " << w.name << "\n";
+    }
+    return 1;
+  }
+  std::vector<double> periods;
+  for (int i = 2; i < argc; ++i) {
+    periods.push_back(std::stod(argv[i]));
+  }
+  if (periods.empty()) {
+    periods = {spec->clock_period_ps, spec->clock_period_ps * 1.25,
+               spec->clock_period_ps * 1.5, spec->clock_period_ps * 2.0};
+  }
+
+  const ir::graph g = spec->build();
+  synth::delay_model model;  // shared characterization across the sweep
+
+  text_table table;
+  table.set_header({"period (ps)", "SDC stages", "SDC regs", "ISDC stages",
+                    "ISDC regs", "regs saved", "iters"});
+  for (double period : periods) {
+    core::isdc_options opts;
+    opts.base.clock_period_ps = period;
+    opts.max_iterations = 10;
+    opts.subgraphs_per_iteration = 16;
+    core::synthesis_downstream tool(opts.synth);
+    const core::isdc_result result = core::run_isdc(g, tool, opts, &model);
+    const auto sdc_regs = sched::register_bits(g, result.initial);
+    const auto isdc_regs =
+        sched::register_bits(g, result.final_schedule);
+    table.add_row(
+        {format_double(period, 0), std::to_string(result.initial.num_stages()),
+         std::to_string(sdc_regs),
+         std::to_string(result.final_schedule.num_stages()),
+         std::to_string(isdc_regs),
+         format_double(
+             100.0 * (1.0 - static_cast<double>(isdc_regs) /
+                                static_cast<double>(sdc_regs)),
+             1) +
+             "%",
+         std::to_string(result.iterations)});
+  }
+  std::cout << "=== clock-period sweep of " << name << " ("
+            << g.num_nodes() << " nodes) ===\n\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "aig/aig.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace isdc::aig {
+
+aig::aig() {
+  // Node 0: constant false.
+  fanins_.push_back({0, 0});
+  levels_.push_back(0);
+}
+
+node_index aig::add_pi() {
+  const node_index n = static_cast<node_index>(fanins_.size());
+  fanins_.push_back({pi_sentinel, pi_sentinel});
+  levels_.push_back(0);
+  pis_.push_back(n);
+  return n;
+}
+
+literal aig::create_and(literal a, literal b) {
+  ISDC_CHECK(lit_node(a) < fanins_.size() && lit_node(b) < fanins_.size(),
+             "AND fanin literal out of range");
+  // Constant folding and trivial cases.
+  if (a == lit_false || b == lit_false || a == lit_not(b)) {
+    return lit_false;
+  }
+  if (a == lit_true) {
+    return b;
+  }
+  if (b == lit_true || a == b) {
+    return a;
+  }
+  // Canonical operand order for hashing.
+  if (a > b) {
+    std::swap(a, b);
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (auto it = strash_.find(key); it != strash_.end()) {
+    return make_literal(it->second);
+  }
+  const node_index n = static_cast<node_index>(fanins_.size());
+  fanins_.push_back({a, b});
+  levels_.push_back(1 + std::max(levels_[lit_node(a)], levels_[lit_node(b)]));
+  strash_.emplace(key, n);
+  ++num_ands_;
+  return make_literal(n);
+}
+
+literal aig::create_or(literal a, literal b) {
+  return lit_not(create_and(lit_not(a), lit_not(b)));
+}
+
+literal aig::create_xor(literal a, literal b) {
+  // a ^ b = !( !(a & !b) & !(!a & b) )
+  const literal t0 = create_and(a, lit_not(b));
+  const literal t1 = create_and(lit_not(a), b);
+  return create_or(t0, t1);
+}
+
+literal aig::create_xnor(literal a, literal b) {
+  return lit_not(create_xor(a, b));
+}
+
+literal aig::create_mux(literal sel, literal on_true, literal on_false) {
+  if (on_true == on_false) {
+    return on_true;
+  }
+  const literal t = create_and(sel, on_true);
+  const literal e = create_and(lit_not(sel), on_false);
+  return create_or(t, e);
+}
+
+int aig::add_po(literal l) {
+  ISDC_CHECK(lit_node(l) < fanins_.size(), "PO literal out of range");
+  pos_.push_back(l);
+  return static_cast<int>(pos_.size()) - 1;
+}
+
+int aig::depth() const {
+  int d = 0;
+  for (literal po : pos_) {
+    d = std::max(d, levels_[lit_node(po)]);
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> aig::fanout_counts() const {
+  std::vector<std::uint32_t> refs(fanins_.size(), 0);
+  for (node_index n = 0; n < fanins_.size(); ++n) {
+    if (is_and(n)) {
+      ++refs[lit_node(fanins_[n][0])];
+      ++refs[lit_node(fanins_[n][1])];
+    }
+  }
+  for (literal po : pos_) {
+    ++refs[lit_node(po)];
+  }
+  return refs;
+}
+
+aig aig::cleanup(std::vector<literal>* old_to_new) const {
+  aig out;
+  std::vector<literal> map(fanins_.size(), invalid_literal);
+  map[0] = lit_false;
+  // PIs are preserved (and keep their order) even when dangling, so that
+  // simulation patterns remain aligned across cleanup.
+  for (node_index pi : pis_) {
+    map[pi] = make_literal(out.add_pi());
+  }
+  // Iterative DFS from the POs.
+  std::vector<node_index> stack;
+  for (literal po : pos_) {
+    stack.push_back(lit_node(po));
+  }
+  std::vector<node_index> order;
+  std::vector<bool> visiting(fanins_.size(), false);
+  while (!stack.empty()) {
+    const node_index n = stack.back();
+    if (map[n] != invalid_literal) {
+      stack.pop_back();
+      continue;
+    }
+    if (!visiting[n]) {
+      visiting[n] = true;
+      stack.push_back(lit_node(fanins_[n][0]));
+      stack.push_back(lit_node(fanins_[n][1]));
+    } else {
+      stack.pop_back();
+      const literal f0 = fanins_[n][0];
+      const literal f1 = fanins_[n][1];
+      const literal a =
+          map[lit_node(f0)] ^ static_cast<literal>(lit_complemented(f0));
+      const literal b =
+          map[lit_node(f1)] ^ static_cast<literal>(lit_complemented(f1));
+      map[n] = out.create_and(a, b);
+    }
+  }
+  for (literal po : pos_) {
+    out.add_po(map[lit_node(po)] ^
+               static_cast<literal>(lit_complemented(po)));
+  }
+  if (old_to_new != nullptr) {
+    *old_to_new = std::move(map);
+  }
+  return out;
+}
+
+}  // namespace isdc::aig

@@ -1,0 +1,97 @@
+// And-Inverter Graph (AIG) package.
+//
+// The AIG is the internal representation of the "downstream logic
+// synthesizer" substrate (the role Yosys/ABC play in the paper). Nodes are
+// 2-input ANDs; edges carry an optional complement bit encoded in the
+// literal's LSB. Construction performs constant folding and structural
+// hashing, and maintains levels incrementally (the graph is append-only).
+#ifndef ISDC_AIG_AIG_H_
+#define ISDC_AIG_AIG_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace isdc::aig {
+
+using node_index = std::uint32_t;
+
+/// 2 * node + complement. Node 0 is constant false, so literal 0 is the
+/// constant false and literal 1 constant true.
+using literal = std::uint32_t;
+
+inline constexpr literal lit_false = 0;
+inline constexpr literal lit_true = 1;
+
+inline literal make_literal(node_index n, bool complemented = false) {
+  return (n << 1) | static_cast<literal>(complemented);
+}
+inline node_index lit_node(literal l) { return l >> 1; }
+inline bool lit_complemented(literal l) { return (l & 1) != 0; }
+inline literal lit_not(literal l) { return l ^ 1u; }
+
+class aig {
+public:
+  aig();
+
+  /// Appends a primary input and returns its node index.
+  node_index add_pi();
+
+  /// AND with constant folding and structural hashing.
+  literal create_and(literal a, literal b);
+
+  // Derived connectives (built from ANDs, as in any AIG package).
+  literal create_or(literal a, literal b);
+  literal create_xor(literal a, literal b);
+  literal create_xnor(literal a, literal b);
+  /// sel ? on_true : on_false.
+  literal create_mux(literal sel, literal on_true, literal on_false);
+
+  /// Registers a primary output; returns its index in pos().
+  int add_po(literal l);
+
+  std::size_t num_nodes() const { return fanins_.size(); }
+  std::size_t num_ands() const { return num_ands_; }
+  std::size_t num_pis() const { return pis_.size(); }
+
+  bool is_const0(node_index n) const { return n == 0; }
+  bool is_pi(node_index n) const { return fanins_[n][0] == pi_sentinel; }
+  bool is_and(node_index n) const { return n != 0 && !is_pi(n); }
+
+  literal fanin0(node_index n) const { return fanins_[n][0]; }
+  literal fanin1(node_index n) const { return fanins_[n][1]; }
+
+  const std::vector<node_index>& pis() const { return pis_; }
+  const std::vector<literal>& pos() const { return pos_; }
+
+  /// AND-depth of a node (PIs and the constant are level 0). Maintained
+  /// incrementally; O(1).
+  int level(node_index n) const { return levels_[n]; }
+  /// Maximum level over the primary outputs.
+  int depth() const;
+
+  /// Number of references (AND fanins + PO uses) per node.
+  std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Copy containing only the transitive fanin of the POs, re-hashed.
+  /// When `old_to_new` is non-null it receives the literal translation for
+  /// every old node's positive literal (invalid_literal when dropped).
+  aig cleanup(std::vector<literal>* old_to_new = nullptr) const;
+
+  static constexpr literal invalid_literal = static_cast<literal>(-1);
+
+private:
+  static constexpr literal pi_sentinel = static_cast<literal>(-2);
+
+  std::vector<std::array<literal, 2>> fanins_;
+  std::vector<int> levels_;
+  std::vector<node_index> pis_;
+  std::vector<literal> pos_;
+  std::unordered_map<std::uint64_t, node_index> strash_;
+  std::size_t num_ands_ = 0;
+};
+
+}  // namespace isdc::aig
+
+#endif  // ISDC_AIG_AIG_H_

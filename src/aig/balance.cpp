@@ -1,0 +1,88 @@
+#include "aig/balance.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "support/check.h"
+
+namespace isdc::aig {
+
+namespace {
+
+class balancer {
+public:
+  explicit balancer(const aig& in) : in_(in), refs_(in.fanout_counts()) {
+    map_.assign(in.num_nodes(), aig::invalid_literal);
+    map_[0] = lit_false;
+    for (node_index pi : in.pis()) {
+      map_[pi] = make_literal(out_.add_pi());
+    }
+  }
+
+  aig run() {
+    for (literal po : in_.pos()) {
+      out_.add_po(translate(po));
+    }
+    return std::move(out_);
+  }
+
+private:
+  literal translate(literal old) {
+    const literal mapped = build(lit_node(old));
+    return mapped ^ static_cast<literal>(lit_complemented(old));
+  }
+
+  /// New literal for the positive phase of old node `n`.
+  literal build(node_index n) {
+    if (map_[n] != aig::invalid_literal) {
+      return map_[n];
+    }
+    ISDC_CHECK(in_.is_and(n));
+    // Collect the maximal conjunction rooted at n: expand non-complemented
+    // single-fanout AND fanins (expanding shared nodes would duplicate
+    // logic in different tree shapes).
+    std::vector<literal> terms;
+    std::vector<literal> stack{make_literal(n)};
+    while (!stack.empty()) {
+      const literal l = stack.back();
+      stack.pop_back();
+      const node_index m = lit_node(l);
+      const bool expandable = !lit_complemented(l) && in_.is_and(m) &&
+                              (m == n || refs_[m] == 1);
+      if (expandable) {
+        stack.push_back(in_.fanin0(m));
+        stack.push_back(in_.fanin1(m));
+      } else {
+        terms.push_back(translate(l));
+      }
+    }
+    // Huffman tree over levels: repeatedly AND the two shallowest terms.
+    using item = std::pair<int, literal>;
+    std::priority_queue<item, std::vector<item>, std::greater<>> pq;
+    for (literal t : terms) {
+      pq.emplace(out_.level(lit_node(t)), t);
+    }
+    while (pq.size() > 1) {
+      const literal a = pq.top().second;
+      pq.pop();
+      const literal b = pq.top().second;
+      pq.pop();
+      const literal c = out_.create_and(a, b);
+      pq.emplace(out_.level(lit_node(c)), c);
+    }
+    map_[n] = pq.top().second;
+    return map_[n];
+  }
+
+  const aig& in_;
+  std::vector<std::uint32_t> refs_;
+  aig out_;
+  std::vector<literal> map_;
+};
+
+}  // namespace
+
+aig balance(const aig& g) { return balancer(g).run(); }
+
+}  // namespace isdc::aig

@@ -1,0 +1,19 @@
+// AND-tree balancing (the delay-oriented restructuring pass every logic
+// synthesizer runs; ABC's `balance`). Conjunction chains are collected into
+// multi-input super-gates and rebuilt as Huffman trees over arrival levels,
+// minimizing depth across the operation boundaries of the lowered HLS ops —
+// one of the effects per-operation delay characterization cannot see.
+#ifndef ISDC_AIG_BALANCE_H_
+#define ISDC_AIG_BALANCE_H_
+
+#include "aig/aig.h"
+
+namespace isdc::aig {
+
+/// Returns a functionally equivalent AIG with balanced conjunctions.
+/// Never increases depth.
+aig balance(const aig& g);
+
+}  // namespace isdc::aig
+
+#endif  // ISDC_AIG_BALANCE_H_

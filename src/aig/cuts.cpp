@@ -1,0 +1,154 @@
+#include "aig/cuts.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace isdc::aig {
+
+bool cut::contains(node_index n) const {
+  for (std::uint8_t i = 0; i < size; ++i) {
+    if (leaves[i] == n) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool cut::dominates(const cut& other) const {
+  if (size > other.size) {
+    return false;
+  }
+  for (std::uint8_t i = 0; i < size; ++i) {
+    if (!other.contains(leaves[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool cut::operator==(const cut& other) const {
+  if (size != other.size) {
+    return false;
+  }
+  return std::equal(leaves.begin(), leaves.begin() + size,
+                    other.leaves.begin());
+}
+
+bool merge_cuts(const cut& a, const cut& b, int k, cut& out) {
+  out.size = 0;
+  std::uint8_t i = 0;
+  std::uint8_t j = 0;
+  while (i < a.size || j < b.size) {
+    node_index next;
+    if (j >= b.size || (i < a.size && a.leaves[i] <= b.leaves[j])) {
+      next = a.leaves[i++];
+      if (j < b.size && b.leaves[j] == next) {
+        ++j;
+      }
+    } else {
+      next = b.leaves[j++];
+    }
+    if (out.size >= k) {
+      return false;
+    }
+    out.leaves[out.size++] = next;
+  }
+  return true;
+}
+
+std::vector<std::vector<cut>> enumerate_cuts(
+    const aig& g, const cut_enumeration_options& options) {
+  ISDC_CHECK(options.k >= 2 && options.k <= 6, "cut size must be in [2, 6]");
+  std::vector<std::vector<cut>> cuts(g.num_nodes());
+
+  const auto trivial = [](node_index n) {
+    cut c;
+    c.leaves[0] = n;
+    c.size = 1;
+    return c;
+  };
+
+  for (node_index n = 0; n < g.num_nodes(); ++n) {
+    if (!g.is_and(n)) {
+      cuts[n].push_back(trivial(n));
+      continue;
+    }
+    const node_index a = lit_node(g.fanin0(n));
+    const node_index b = lit_node(g.fanin1(n));
+    std::vector<cut> merged;
+    for (const cut& ca : cuts[a]) {
+      for (const cut& cb : cuts[b]) {
+        cut c;
+        if (!merge_cuts(ca, cb, options.k, c)) {
+          continue;
+        }
+        // Drop dominated candidates.
+        bool dominated = false;
+        for (const cut& existing : merged) {
+          if (existing.dominates(c)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) {
+          continue;
+        }
+        std::erase_if(merged, [&c](const cut& e) { return c.dominates(e); });
+        merged.push_back(c);
+      }
+    }
+    // Keep the smallest cuts when over budget (cheap, effective priority).
+    std::sort(merged.begin(), merged.end(),
+              [](const cut& x, const cut& y) { return x.size < y.size; });
+    if (static_cast<int>(merged.size()) > options.max_cuts) {
+      merged.resize(static_cast<std::size_t>(options.max_cuts));
+    }
+    merged.push_back(trivial(n));
+    cuts[n] = std::move(merged);
+  }
+  return cuts;
+}
+
+tt6 cut_function(const aig& g, node_index root, const cut& c) {
+  ISDC_CHECK(c.size >= 1 && c.size <= 6, "cut function needs 1..6 leaves");
+  std::unordered_map<node_index, tt6> memo;
+  for (std::uint8_t i = 0; i < c.size; ++i) {
+    memo.emplace(c.leaves[i], tt_project(i));
+  }
+  memo.emplace(0, 0);  // constant false (unless it is itself a leaf)
+
+  // Iterative post-order evaluation.
+  std::vector<node_index> stack{root};
+  while (!stack.empty()) {
+    const node_index n = stack.back();
+    if (memo.contains(n)) {
+      stack.pop_back();
+      continue;
+    }
+    ISDC_CHECK(g.is_and(n), "cut is not complete: reached node " << n);
+    const node_index f0 = lit_node(g.fanin0(n));
+    const node_index f1 = lit_node(g.fanin1(n));
+    const bool ready0 = memo.contains(f0);
+    const bool ready1 = memo.contains(f1);
+    if (ready0 && ready1) {
+      stack.pop_back();
+      const tt6 t0 =
+          lit_complemented(g.fanin0(n)) ? ~memo[f0] : memo[f0];
+      const tt6 t1 =
+          lit_complemented(g.fanin1(n)) ? ~memo[f1] : memo[f1];
+      memo.emplace(n, t0 & t1);
+    } else {
+      if (!ready0) {
+        stack.push_back(f0);
+      }
+      if (!ready1) {
+        stack.push_back(f1);
+      }
+    }
+  }
+  return memo[root] & tt_mask(c.size);
+}
+
+}  // namespace isdc::aig

@@ -1,0 +1,47 @@
+// k-feasible cut enumeration and cut-function computation. Used by the
+// technology mapper (k = 4 against the cell library) and by the
+// refactoring passes (greedy deep cuts up to k = 6).
+#ifndef ISDC_AIG_CUTS_H_
+#define ISDC_AIG_CUTS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.h"
+#include "aig/truth_table.h"
+
+namespace isdc::aig {
+
+/// A cut: a set of <= 6 leaf nodes, sorted ascending.
+struct cut {
+  std::array<node_index, 6> leaves{};
+  std::uint8_t size = 0;
+
+  bool contains(node_index n) const;
+  /// True if this cut's leaves are a subset of `other`'s.
+  bool dominates(const cut& other) const;
+  bool operator==(const cut& other) const;
+};
+
+/// Merges two sorted cuts; returns false if the union exceeds `k` leaves.
+bool merge_cuts(const cut& a, const cut& b, int k, cut& out);
+
+struct cut_enumeration_options {
+  int k = 4;              ///< max leaves per cut
+  int max_cuts = 10;      ///< cuts kept per node (plus the trivial cut)
+};
+
+/// Non-dominated cuts per node. The trivial cut {n} is always the last
+/// entry of node n's list. PIs and the constant get only the trivial cut.
+std::vector<std::vector<cut>> enumerate_cuts(
+    const aig& g, const cut_enumeration_options& options = {});
+
+/// Truth table of `root` as a function of the cut leaves (in leaf order).
+/// The cut must be complete: every path from below must enter through a
+/// leaf.
+tt6 cut_function(const aig& g, node_index root, const cut& c);
+
+}  // namespace isdc::aig
+
+#endif  // ISDC_AIG_CUTS_H_

@@ -1,0 +1,163 @@
+#include "aig/refactor.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "aig/cuts.h"
+#include "support/check.h"
+
+namespace isdc::aig {
+
+namespace {
+
+/// Huffman-combines literals with a binary op to minimize output level.
+template <typename Combine>
+literal combine_balanced(aig& g, std::vector<literal> terms, Combine&& op) {
+  ISDC_CHECK(!terms.empty());
+  using item = std::pair<int, literal>;
+  std::priority_queue<item, std::vector<item>, std::greater<>> pq;
+  for (literal t : terms) {
+    pq.emplace(g.level(lit_node(t)), t);
+  }
+  while (pq.size() > 1) {
+    const literal a = pq.top().second;
+    pq.pop();
+    const literal b = pq.top().second;
+    pq.pop();
+    const literal c = op(a, b);
+    pq.emplace(g.level(lit_node(c)), c);
+  }
+  return pq.top().second;
+}
+
+}  // namespace
+
+literal sop_to_aig(aig& g, std::span<const cube> cubes,
+                   std::span<const literal> leaf_literals) {
+  if (cubes.empty()) {
+    return lit_false;
+  }
+  std::vector<literal> terms;
+  terms.reserve(cubes.size());
+  for (const cube& c : cubes) {
+    std::vector<literal> lits;
+    for (std::size_t v = 0; v < leaf_literals.size(); ++v) {
+      if ((c.pos_mask >> v) & 1) {
+        lits.push_back(leaf_literals[v]);
+      }
+      if ((c.neg_mask >> v) & 1) {
+        lits.push_back(lit_not(leaf_literals[v]));
+      }
+    }
+    if (lits.empty()) {
+      return lit_true;  // tautology cube
+    }
+    terms.push_back(combine_balanced(
+        g, std::move(lits),
+        [&g](literal a, literal b) { return g.create_and(a, b); }));
+  }
+  return combine_balanced(g, std::move(terms), [&g](literal a, literal b) {
+    return g.create_or(a, b);
+  });
+}
+
+namespace {
+
+/// Greedy deep cut: start from the node's fanins and keep expanding the
+/// deepest leaf while the leaf count stays within `k`.
+cut greedy_cut(const aig& g, node_index n, int k) {
+  std::vector<node_index> leaves{lit_node(g.fanin0(n)),
+                                 lit_node(g.fanin1(n))};
+  std::sort(leaves.begin(), leaves.end());
+  leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+  for (;;) {
+    // Deepest expandable leaf.
+    int best = -1;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      if (!g.is_and(leaves[i])) {
+        continue;
+      }
+      if (best < 0 ||
+          g.level(leaves[i]) > g.level(leaves[static_cast<std::size_t>(best)])) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    const node_index expand = leaves[static_cast<std::size_t>(best)];
+    std::vector<node_index> next = leaves;
+    next.erase(next.begin() + best);
+    next.push_back(lit_node(g.fanin0(expand)));
+    next.push_back(lit_node(g.fanin1(expand)));
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    if (static_cast<int>(next.size()) > k) {
+      break;
+    }
+    leaves = std::move(next);
+  }
+  cut c;
+  c.size = static_cast<std::uint8_t>(leaves.size());
+  std::copy(leaves.begin(), leaves.end(), c.leaves.begin());
+  return c;
+}
+
+}  // namespace
+
+aig refactor(const aig& g, const refactor_options& options) {
+  ISDC_CHECK(options.cut_size >= 2 && options.cut_size <= 6);
+  aig out;
+  std::vector<literal> map(g.num_nodes(), aig::invalid_literal);
+  map[0] = lit_false;
+  for (node_index pi : g.pis()) {
+    map[pi] = make_literal(out.add_pi());
+  }
+
+  const auto translate = [&map](literal l) {
+    return map[lit_node(l)] ^ static_cast<literal>(lit_complemented(l));
+  };
+
+  for (node_index n = 0; n < g.num_nodes(); ++n) {
+    if (!g.is_and(n)) {
+      continue;
+    }
+    // Candidate A: structural copy (strashed into `out`).
+    const literal copy =
+        out.create_and(translate(g.fanin0(n)), translate(g.fanin1(n)));
+    const int copy_level = out.level(lit_node(copy));
+
+    // Candidate B: ISOP of a deep cut, rebuilt balanced.
+    const cut c = greedy_cut(g, n, options.cut_size);
+    if (c.size < 3) {
+      map[n] = copy;
+      continue;
+    }
+    const tt6 f = cut_function(g, n, c);
+    const std::vector<cube> cubes = isop(f, c.size);
+    if (static_cast<int>(cubes.size()) > options.max_cube_count) {
+      map[n] = copy;
+      continue;
+    }
+    std::vector<literal> leaf_lits(c.size);
+    for (std::uint8_t i = 0; i < c.size; ++i) {
+      leaf_lits[i] = map[c.leaves[i]];
+      ISDC_CHECK(leaf_lits[i] != aig::invalid_literal,
+                 "cut leaf not yet mapped");
+    }
+    const literal sop = sop_to_aig(out, cubes, leaf_lits);
+    const int sop_level = out.level(lit_node(sop));
+
+    const bool accept = options.zero_cost ? sop_level <= copy_level
+                                          : sop_level < copy_level;
+    map[n] = accept ? sop : copy;
+  }
+
+  for (literal po : g.pos()) {
+    out.add_po(translate(po));
+  }
+  return out.cleanup();
+}
+
+}  // namespace isdc::aig

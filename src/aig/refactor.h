@@ -1,0 +1,36 @@
+// Cut-based resynthesis (refactoring): for each node, a deep cut is
+// computed, its function is re-expressed as a Minato-Morreale ISOP, and the
+// SOP is rebuilt as balanced logic; the new structure replaces the old one
+// when it improves depth. This models the Boolean restructuring
+// (resubstitution/refactoring) of production synthesizers, and — together
+// with balance — is a source of the cross-operation delay reductions the
+// paper's feedback loop discovers.
+#ifndef ISDC_AIG_REFACTOR_H_
+#define ISDC_AIG_REFACTOR_H_
+
+#include <span>
+
+#include "aig/aig.h"
+#include "aig/truth_table.h"
+
+namespace isdc::aig {
+
+struct refactor_options {
+  int cut_size = 6;        ///< leaves of the resynthesis cut (<= 6)
+  int max_cube_count = 16; ///< skip SOPs larger than this
+  bool zero_cost = false;  ///< also accept equal-depth replacements
+};
+
+/// Builds an SOP over the given leaf literals into `g`, balancing both the
+/// AND level of each cube and the OR level across cubes by arrival levels.
+/// Returns the root literal.
+literal sop_to_aig(aig& g, std::span<const cube> cubes,
+                   std::span<const literal> leaf_literals);
+
+/// Depth-oriented ISOP refactoring. Functionally equivalent output;
+/// dangling rejected candidates are removed by a final cleanup.
+aig refactor(const aig& g, const refactor_options& options = {});
+
+}  // namespace isdc::aig
+
+#endif  // ISDC_AIG_REFACTOR_H_

@@ -1,0 +1,101 @@
+#include "aig/rewrite.h"
+
+#include <vector>
+
+#include "aig/cuts.h"
+#include "aig/refactor.h"
+#include "support/check.h"
+
+namespace isdc::aig {
+
+aig rewrite(const aig& g, const rewrite_options& options) {
+  cut_enumeration_options cut_opts;
+  cut_opts.k = 4;
+  cut_opts.max_cuts = options.max_cuts_per_node;
+  const std::vector<std::vector<cut>> cuts = enumerate_cuts(g, cut_opts);
+
+  aig out;
+  std::vector<literal> map(g.num_nodes(), aig::invalid_literal);
+  map[0] = lit_false;
+  for (node_index pi : g.pis()) {
+    map[pi] = make_literal(out.add_pi());
+  }
+  const auto translate = [&map](literal l) {
+    return map[lit_node(l)] ^ static_cast<literal>(lit_complemented(l));
+  };
+
+  for (node_index n = 0; n < g.num_nodes(); ++n) {
+    if (!g.is_and(n)) {
+      continue;
+    }
+    const literal copy =
+        out.create_and(translate(g.fanin0(n)), translate(g.fanin1(n)));
+    literal best = copy;
+    int best_level = out.level(lit_node(copy));
+
+    for (const cut& c : cuts[n]) {
+      if (c.size < 2 || (c.size == 1 && c.leaves[0] == n)) {
+        continue;
+      }
+      const tt6 f = cut_function(g, n, c);
+      const tt6 mask = tt_mask(c.size);
+      // Constant or single-variable functions collapse outright.
+      if ((f & mask) == 0) {
+        best = lit_false;
+        best_level = 0;
+        break;
+      }
+      if ((f & mask) == mask) {
+        best = lit_true;
+        best_level = 0;
+        break;
+      }
+      bool collapsed = false;
+      for (std::uint8_t v = 0; v < c.size; ++v) {
+        const tt6 proj = tt_project(v) & mask;
+        if ((f & mask) == proj || (f & mask) == (~proj & mask)) {
+          const literal leaf = map[c.leaves[v]];
+          best = (f & mask) == proj ? leaf : lit_not(leaf);
+          best_level = out.level(lit_node(best));
+          collapsed = true;
+          break;
+        }
+      }
+      if (collapsed) {
+        break;
+      }
+      const std::vector<cube> cubes = isop(f, c.size);
+      if (cubes.size() > 6) {
+        continue;
+      }
+      std::vector<literal> leaf_lits(c.size);
+      bool mapped = true;
+      for (std::uint8_t i = 0; i < c.size; ++i) {
+        leaf_lits[i] = map[c.leaves[i]];
+        mapped = mapped && leaf_lits[i] != aig::invalid_literal;
+      }
+      if (!mapped) {
+        continue;
+      }
+      const literal sop = sop_to_aig(out, cubes, leaf_lits);
+      const int sop_level = out.level(lit_node(sop));
+      int literal_count = 0;
+      for (const cube& cb : cubes) {
+        literal_count += cb.num_literals();
+      }
+      if (sop_level < best_level ||
+          (sop_level == best_level && literal_count <= 3 && sop != best)) {
+        best = sop;
+        best_level = sop_level;
+      }
+    }
+    map[n] = best;
+  }
+
+  for (literal po : g.pos()) {
+    out.add_po(translate(po));
+  }
+  return out.cleanup();
+}
+
+}  // namespace isdc::aig

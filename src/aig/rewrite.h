@@ -1,0 +1,22 @@
+// Cut rewriting on 4-feasible cuts: local functions are re-derived from
+// their truth tables (constant/single-variable collapse, ISOP rebuild) and
+// replacements are accepted when they reduce depth, or at equal depth when
+// they are very small. The 4-input granularity complements refactor's
+// deeper 6-input cuts, mirroring the rewrite/refactor pairing of ABC.
+#ifndef ISDC_AIG_REWRITE_H_
+#define ISDC_AIG_REWRITE_H_
+
+#include "aig/aig.h"
+
+namespace isdc::aig {
+
+struct rewrite_options {
+  int max_cuts_per_node = 8;
+};
+
+/// Functionally equivalent, depth-oriented rewrite over 4-cuts.
+aig rewrite(const aig& g, const rewrite_options& options = {});
+
+}  // namespace isdc::aig
+
+#endif  // ISDC_AIG_REWRITE_H_

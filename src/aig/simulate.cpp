@@ -1,0 +1,39 @@
+#include "aig/simulate.h"
+
+#include "support/check.h"
+
+namespace isdc::aig {
+
+std::vector<std::uint64_t> simulate(const aig& g,
+                                    std::span<const std::uint64_t>
+                                        pi_patterns) {
+  ISDC_CHECK(pi_patterns.size() == g.num_pis(),
+             "expected " << g.num_pis() << " PI patterns, got "
+                         << pi_patterns.size());
+  std::vector<std::uint64_t> words(g.num_nodes(), 0);
+  std::size_t next_pi = 0;
+  for (node_index n = 0; n < g.num_nodes(); ++n) {
+    if (g.is_const0(n)) {
+      words[n] = 0;
+    } else if (g.is_pi(n)) {
+      words[n] = pi_patterns[next_pi++];
+    } else {
+      words[n] = literal_value(g.fanin0(n), words) &
+                 literal_value(g.fanin1(n), words);
+    }
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> simulate_outputs(
+    const aig& g, std::span<const std::uint64_t> pi_patterns) {
+  const std::vector<std::uint64_t> words = simulate(g, pi_patterns);
+  std::vector<std::uint64_t> out;
+  out.reserve(g.pos().size());
+  for (literal po : g.pos()) {
+    out.push_back(literal_value(po, words));
+  }
+  return out;
+}
+
+}  // namespace isdc::aig

@@ -1,0 +1,34 @@
+// 64-way parallel bit simulation of AIGs. The equivalence oracle for every
+// optimization pass and for the gate-level functional tests.
+#ifndef ISDC_AIG_SIMULATE_H_
+#define ISDC_AIG_SIMULATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace isdc::aig {
+
+/// Simulates 64 input patterns at once. `pi_patterns` holds one 64-bit
+/// pattern word per PI (in pis() order). Returns one word per node.
+std::vector<std::uint64_t> simulate(const aig& g,
+                                    std::span<const std::uint64_t>
+                                        pi_patterns);
+
+/// Pattern word of a literal given the node words.
+inline std::uint64_t literal_value(literal l,
+                                   std::span<const std::uint64_t> words) {
+  const std::uint64_t w = words[lit_node(l)];
+  return lit_complemented(l) ? ~w : w;
+}
+
+/// Pattern words of the primary outputs.
+std::vector<std::uint64_t> simulate_outputs(const aig& g,
+                                            std::span<const std::uint64_t>
+                                                pi_patterns);
+
+}  // namespace isdc::aig
+
+#endif  // ISDC_AIG_SIMULATE_H_

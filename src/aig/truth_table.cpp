@@ -1,0 +1,150 @@
+#include "aig/truth_table.h"
+
+#include <bit>
+
+#include "support/check.h"
+
+namespace isdc::aig {
+
+namespace {
+
+constexpr tt6 projections[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
+};
+
+}  // namespace
+
+tt6 tt_mask(int num_vars) {
+  ISDC_CHECK(num_vars >= 0 && num_vars <= 6);
+  return num_vars == 6 ? ~0ull : ((1ull << (1u << num_vars)) - 1);
+}
+
+tt6 tt_project(int var) {
+  ISDC_CHECK(var >= 0 && var < 6);
+  return projections[var];
+}
+
+tt6 tt_cofactor1(tt6 f, int var) {
+  const int shift = 1 << var;
+  const tt6 hi = f & projections[var];
+  return hi | (hi >> shift);
+}
+
+tt6 tt_cofactor0(tt6 f, int var) {
+  const int shift = 1 << var;
+  const tt6 lo = f & ~projections[var];
+  return lo | (lo << shift);
+}
+
+bool tt_depends_on(tt6 f, int var, int num_vars) {
+  const tt6 mask = tt_mask(num_vars);
+  return ((tt_cofactor0(f, var) ^ tt_cofactor1(f, var)) & mask) != 0;
+}
+
+tt6 tt_permute(tt6 f, int num_vars, std::span<const int> perm) {
+  ISDC_CHECK(static_cast<int>(perm.size()) >= num_vars);
+  tt6 out = 0;
+  const int size = 1 << num_vars;
+  for (int m = 0; m < size; ++m) {
+    // Minterm m of the result reads f at the permuted minterm.
+    int src = 0;
+    for (int i = 0; i < num_vars; ++i) {
+      if ((m >> i) & 1) {
+        src |= 1 << perm[i];
+      }
+    }
+    if ((f >> src) & 1) {
+      out |= 1ull << m;
+    }
+  }
+  return out;
+}
+
+int cube::num_literals() const {
+  return std::popcount(pos_mask) + std::popcount(neg_mask);
+}
+
+tt6 cube_function(const cube& c, int num_vars) {
+  tt6 f = tt_mask(num_vars);
+  for (int v = 0; v < num_vars; ++v) {
+    if ((c.pos_mask >> v) & 1) {
+      f &= tt_project(v);
+    }
+    if ((c.neg_mask >> v) & 1) {
+      f &= ~tt_project(v);
+    }
+  }
+  return f & tt_mask(num_vars);
+}
+
+namespace {
+
+/// Returns the ISOP of any function g with lower <= g <= upper, along with
+/// the cover's function. Classic Minato-Morreale recursion.
+tt6 isop_rec(tt6 lower, tt6 upper, int num_vars, std::vector<cube>& cubes) {
+  ISDC_CHECK((lower & ~upper) == 0, "ISOP bounds crossed");
+  if (lower == 0) {
+    return 0;
+  }
+  const tt6 mask = tt_mask(num_vars);
+  if (upper == mask) {
+    cubes.push_back(cube{});
+    return mask;
+  }
+  // Split on the top variable in the support of either bound.
+  int var = -1;
+  for (int v = num_vars - 1; v >= 0; --v) {
+    if (tt_depends_on(lower, v, num_vars) ||
+        tt_depends_on(upper, v, num_vars)) {
+      var = v;
+      break;
+    }
+  }
+  ISDC_CHECK(var >= 0, "constant bounds must hit the base cases");
+
+  const tt6 l0 = tt_cofactor0(lower, var) & mask;
+  const tt6 l1 = tt_cofactor1(lower, var) & mask;
+  const tt6 u0 = tt_cofactor0(upper, var) & mask;
+  const tt6 u1 = tt_cofactor1(upper, var) & mask;
+
+  // Cubes that must contain the negative literal of `var`.
+  const std::size_t begin0 = cubes.size();
+  const tt6 g0 = isop_rec(l0 & ~u1, u0, num_vars, cubes);
+  for (std::size_t i = begin0; i < cubes.size(); ++i) {
+    cubes[i].neg_mask |= 1u << var;
+  }
+  // Cubes that must contain the positive literal.
+  const std::size_t begin1 = cubes.size();
+  const tt6 g1 = isop_rec(l1 & ~u0, u1, num_vars, cubes);
+  for (std::size_t i = begin1; i < cubes.size(); ++i) {
+    cubes[i].pos_mask |= 1u << var;
+  }
+  // Remainder, independent of `var`.
+  const tt6 r0 = l0 & ~g0;
+  const tt6 r1 = l1 & ~g1;
+  const tt6 g2 = isop_rec(r0 | r1, u0 & u1, num_vars, cubes);
+
+  const tt6 proj = tt_project(var) & mask;
+  return ((g0 & ~proj) | (g1 & proj) | g2) & mask;
+}
+
+}  // namespace
+
+std::vector<cube> isop(tt6 f, int num_vars) {
+  f &= tt_mask(num_vars);
+  std::vector<cube> cubes;
+  const tt6 cover = isop_rec(f, f, num_vars, cubes);
+  ISDC_CHECK(cover == f, "ISOP cover does not equal the function");
+  return cubes;
+}
+
+tt6 sop_function(std::span<const cube> cubes, int num_vars) {
+  tt6 f = 0;
+  for (const cube& c : cubes) {
+    f |= cube_function(c, num_vars);
+  }
+  return f & tt_mask(num_vars);
+}
+
+}  // namespace isdc::aig

@@ -1,0 +1,56 @@
+// Truth tables over up to 6 variables (one 64-bit word) plus the
+// Minato-Morreale irredundant sum-of-products (ISOP) used by the
+// refactoring/rewriting passes and the technology mapper's cell matching.
+#ifndef ISDC_AIG_TRUTH_TABLE_H_
+#define ISDC_AIG_TRUTH_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace isdc::aig {
+
+/// Truth table over `num_vars` <= 6 variables, stored in the low 2^num_vars
+/// bits of a 64-bit word.
+using tt6 = std::uint64_t;
+
+/// All-ones mask for `num_vars` variables.
+tt6 tt_mask(int num_vars);
+
+/// Projection of variable `var` (minterms where the variable is 1).
+tt6 tt_project(int var);
+
+/// Positive/negative cofactors with respect to `var`.
+tt6 tt_cofactor0(tt6 f, int var);
+tt6 tt_cofactor1(tt6 f, int var);
+
+/// True if `f` depends on `var` (within `num_vars`).
+bool tt_depends_on(tt6 f, int var, int num_vars);
+
+/// Applies an input permutation: variable i of the result reads variable
+/// perm[i] of `f`.
+tt6 tt_permute(tt6 f, int num_vars, std::span<const int> perm);
+
+/// One product term: conjunction of positive literals (bit i of pos_mask)
+/// and negative literals (bit i of neg_mask).
+struct cube {
+  std::uint32_t pos_mask = 0;
+  std::uint32_t neg_mask = 0;
+
+  int num_literals() const;
+  bool operator==(const cube&) const = default;
+};
+
+/// Evaluates a cube as a truth table.
+tt6 cube_function(const cube& c, int num_vars);
+
+/// Minato-Morreale ISOP of `f` over `num_vars` variables: an irredundant
+/// SOP cover whose function equals f exactly.
+std::vector<cube> isop(tt6 f, int num_vars);
+
+/// OR of all cube functions (for checking covers).
+tt6 sop_function(std::span<const cube> cubes, int num_vars);
+
+}  // namespace isdc::aig
+
+#endif  // ISDC_AIG_TRUTH_TABLE_H_

@@ -1,0 +1,25 @@
+#include "core/delay_update.h"
+
+namespace isdc::core {
+
+std::size_t update_delay_matrix(sched::delay_matrix& d,
+                                std::span<const evaluated_subgraph>
+                                    evaluations) {
+  std::size_t lowered = 0;
+  for (const evaluated_subgraph& eval : evaluations) {
+    const float delay = static_cast<float>(eval.delay_ps);
+    for (ir::node_id u : eval.members) {
+      for (ir::node_id v : eval.members) {
+        const float current = d.get(u, v);
+        if (current != sched::delay_matrix::not_connected &&
+            current > delay) {
+          d.set(u, v, delay);
+          ++lowered;
+        }
+      }
+    }
+  }
+  return lowered;
+}
+
+}  // namespace isdc::core

@@ -1,0 +1,29 @@
+// Delay updating (paper Alg. 1, lines 10-14): each evaluated subgraph's
+// measured delay caps D[u][v] for every node pair it covers — but only
+// downwards, so every feedback datum is exploited maximally without ever
+// discarding tighter information.
+#ifndef ISDC_CORE_DELAY_UPDATE_H_
+#define ISDC_CORE_DELAY_UPDATE_H_
+
+#include <span>
+#include <vector>
+
+#include "sched/delay_matrix.h"
+
+namespace isdc::core {
+
+/// One downstream evaluation result.
+struct evaluated_subgraph {
+  std::vector<ir::node_id> members;  ///< original node ids
+  double delay_ps = 0.0;             ///< measured critical delay
+};
+
+/// Applies Alg. 1 lines 10-14 for every subgraph in `evaluations`.
+/// Returns the number of matrix entries lowered.
+std::size_t update_delay_matrix(sched::delay_matrix& d,
+                                std::span<const evaluated_subgraph>
+                                    evaluations);
+
+}  // namespace isdc::core
+
+#endif  // ISDC_CORE_DELAY_UPDATE_H_

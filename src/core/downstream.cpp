@@ -1,0 +1,13 @@
+#include "core/downstream.h"
+
+#include "lower/lowering.h"
+
+namespace isdc::core {
+
+double aig_depth_downstream::subgraph_delay_ps(const ir::graph& sub) const {
+  const lower::lowering_result lowered = lower::lower_graph(sub);
+  const aig::aig optimized = synth::optimize(lowered.net.cleanup(), options_);
+  return offset_ps_ + ps_per_level_ * optimized.depth();
+}
+
+}  // namespace isdc::core

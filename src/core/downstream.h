@@ -1,0 +1,70 @@
+// The no-human-in-loop downstream interface (paper Section III-A and IV):
+// ISDC only ever asks a downstream tool one question — "what is the true
+// critical delay of this combinational subgraph?" — which is why the flow
+// is compatible with any synthesizer/STA/PDK combination. Two built-in
+// implementations:
+//   synthesis_downstream — the full substrate flow (lower -> optimize ->
+//       map onto the sky130ish library -> STA), the Yosys+OpenSTA stand-in;
+//   aig_depth_downstream — the paper's Section V-3 proposal: skip mapping
+//       and STA, return optimized AIG depth scaled by a per-level delay
+//       (motivated by the strong linear STA/depth correlation of Fig. 8).
+#ifndef ISDC_CORE_DOWNSTREAM_H_
+#define ISDC_CORE_DOWNSTREAM_H_
+
+#include <string>
+
+#include "ir/graph.h"
+#include "synth/synthesis.h"
+
+namespace isdc::core {
+
+/// Abstract feedback provider; implementations must be thread-safe (ISDC
+/// evaluates subgraphs in parallel).
+class downstream_tool {
+public:
+  virtual ~downstream_tool() = default;
+
+  /// Critical combinational delay of a standalone subgraph, in ps.
+  virtual double subgraph_delay_ps(const ir::graph& sub) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Full synthesis + STA feedback.
+class synthesis_downstream final : public downstream_tool {
+public:
+  explicit synthesis_downstream(synth::synthesis_options options = {})
+      : options_(options) {}
+
+  double subgraph_delay_ps(const ir::graph& sub) const override {
+    return synth::synthesize_graph(sub, options_).critical_delay_ps;
+  }
+  std::string name() const override { return "synthesis+sta"; }
+
+private:
+  synth::synthesis_options options_;
+};
+
+/// AIG-depth feedback (paper Section V-3). `ps_per_level` should be fitted
+/// from an STA/depth regression (bench_fig8 prints one for the default
+/// library).
+class aig_depth_downstream final : public downstream_tool {
+public:
+  explicit aig_depth_downstream(double ps_per_level = 80.0,
+                                double offset_ps = 0.0,
+                                synth::synthesis_options options = {})
+      : ps_per_level_(ps_per_level), offset_ps_(offset_ps),
+        options_(options) {}
+
+  double subgraph_delay_ps(const ir::graph& sub) const override;
+  std::string name() const override { return "aig-depth"; }
+
+private:
+  double ps_per_level_;
+  double offset_ps_;
+  synth::synthesis_options options_;
+};
+
+}  // namespace isdc::core
+
+#endif  // ISDC_CORE_DOWNSTREAM_H_

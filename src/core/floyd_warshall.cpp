@@ -1,0 +1,38 @@
+#include "core/floyd_warshall.h"
+
+#include "support/check.h"
+
+namespace isdc::core {
+
+void reformulate_floyd_warshall(const ir::graph& g, sched::delay_matrix& d) {
+  const std::size_t n = g.num_nodes();
+  ISDC_CHECK(d.size() == n, "matrix size mismatch");
+  using sched::delay_matrix;
+  // Standard FW ordering; the graph is a DAG with topological ids, so only
+  // u <= w <= v triples can compose.
+  for (ir::node_id w = 0; w < n; ++w) {
+    const float self = d.self(w);
+    for (ir::node_id u = 0; u <= w; ++u) {
+      const float first = d.get(u, w);
+      if (first == delay_matrix::not_connected) {
+        continue;
+      }
+      for (ir::node_id v = w; v < n; ++v) {
+        if (u == v) {
+          continue;
+        }
+        const float second = d.get(w, v);
+        if (second == delay_matrix::not_connected) {
+          continue;
+        }
+        const float composed = first + second - self;
+        const float current = d.get(u, v);
+        if (current == delay_matrix::not_connected || composed < current) {
+          d.set(u, v, composed);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace isdc::core

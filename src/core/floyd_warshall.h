@@ -1,0 +1,17 @@
+// The exact reformulation reference (paper Section III-D): composing
+// sub-path delays through every intermediate node w as
+//   D[u][v] = min(D[u][v], D[u][w] + D[w][v] - D[w][w])
+// (w's own delay is counted by both halves). O(n^3); used to measure
+// Alg. 2's estimation accuracy and in tests.
+#ifndef ISDC_CORE_FLOYD_WARSHALL_H_
+#define ISDC_CORE_FLOYD_WARSHALL_H_
+
+#include "sched/delay_matrix.h"
+
+namespace isdc::core {
+
+void reformulate_floyd_warshall(const ir::graph& g, sched::delay_matrix& d);
+
+}  // namespace isdc::core
+
+#endif  // ISDC_CORE_FLOYD_WARSHALL_H_

@@ -1,0 +1,80 @@
+// ISDC: feedback-guided iterative SDC scheduling (the paper's main
+// contribution, Fig. 2). Each iteration:
+//   1. enumerate candidate paths from the previous schedule;
+//   2. rank them (fanout-driven Eq. 3 or delay-driven);
+//   3. expand to path/cone/window subgraphs, skipping ones already
+//      evaluated in earlier iterations (the iterative search-space
+//      reduction of Section III-A2);
+//   4. evaluate the top-m new subgraphs with the downstream tool, in
+//      parallel;
+//   5. update the delay matrix (Alg. 1) and reformulate (Alg. 2);
+//   6. re-solve the SDC LP;
+// until the register usage is stable or the iteration budget is spent.
+#ifndef ISDC_CORE_ISDC_SCHEDULER_H_
+#define ISDC_CORE_ISDC_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/downstream.h"
+#include "core/reformulate.h"
+#include "extract/cone.h"
+#include "extract/scoring.h"
+#include "sched/delay_matrix.h"
+#include "sched/sdc_scheduler.h"
+#include "synth/characterizer.h"
+
+namespace isdc::core {
+
+struct isdc_options {
+  sched::scheduler_options base;      ///< clock period, timing mode
+  synth::synthesis_options synth;     ///< downstream/characterization flow
+  extract::extraction_strategy strategy =
+      extract::extraction_strategy::fanout_driven;
+  extract::expansion_mode expansion = extract::expansion_mode::window;
+  reformulation_mode reformulation = reformulation_mode::alg2;
+  int max_iterations = 15;            ///< feedback iterations
+  int subgraphs_per_iteration = 16;
+  int convergence_patience = 2;       ///< stable iterations before stopping
+  int num_threads = 4;                ///< parallel subgraph evaluations
+  bool record_synthesized_delay = false;  ///< per-iteration STA (Fig. 7)
+};
+
+/// Metrics of one schedule in the iteration history. Entry 0 is the
+/// initial (classic SDC) schedule.
+struct iteration_record {
+  int iteration = 0;
+  std::int64_t register_bits = 0;
+  int num_stages = 0;
+  double estimated_delay_ps = 0.0;        ///< from the updated matrix
+  double naive_estimated_delay_ps = 0.0;  ///< from the initial matrix
+  double synthesized_delay_ps = -1.0;     ///< only when recorded
+  int subgraphs_evaluated = 0;
+  std::size_t matrix_entries_lowered = 0;
+};
+
+struct isdc_result {
+  sched::schedule initial;         ///< classic SDC baseline
+  sched::schedule final_schedule;  ///< best schedule found
+  std::vector<iteration_record> history;
+  int iterations = 0;              ///< feedback iterations executed
+  sched::delay_matrix delays{0};   ///< final updated matrix
+  sched::delay_matrix naive_delays{0};  ///< the initial matrix (Alg. 1, 1-9)
+};
+
+/// Runs the full ISDC flow. `model` provides the pre-characterized per-op
+/// delays; pass a shared instance to amortize characterization across runs,
+/// or nullptr to characterize locally.
+isdc_result run_isdc(const ir::graph& g, const downstream_tool& tool,
+                     const isdc_options& options = {},
+                     const synth::delay_model* model = nullptr);
+
+/// Convenience: the classic (non-iterative) SDC schedule plus its matrix.
+sched::schedule run_sdc_baseline(const ir::graph& g,
+                                 const isdc_options& options = {},
+                                 const synth::delay_model* model = nullptr,
+                                 sched::delay_matrix* matrix_out = nullptr);
+
+}  // namespace isdc::core
+
+#endif  // ISDC_CORE_ISDC_SCHEDULER_H_

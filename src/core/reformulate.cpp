@@ -1,0 +1,73 @@
+#include "core/reformulate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.h"
+
+namespace isdc::core {
+
+namespace {
+using sched::delay_matrix;
+}  // namespace
+
+void reformulate_alg2(const ir::graph& g, sched::delay_matrix& d) {
+  const std::size_t n = g.num_nodes();
+  ISDC_CHECK(d.size() == n, "matrix size mismatch");
+
+  // Forward pass (Alg. 2 lines 2-12): node ids are topological.
+  std::vector<float> dv(n);
+  for (ir::node_id v = 0; v < n; ++v) {
+    if (g.at(v).operands.empty()) {
+      continue;
+    }
+    std::fill(dv.begin(), dv.end(), delay_matrix::not_connected);
+    const float self = d.self(v);
+    for (ir::node_id p : g.at(v).operands) {
+      for (ir::node_id u = 0; u <= p; ++u) {
+        const float via = d.get(u, p);
+        if (via != delay_matrix::not_connected && dv[u] < via + self) {
+          dv[u] = via + self;
+        }
+      }
+    }
+    for (ir::node_id u = 0; u < v; ++u) {
+      if (dv[u] == delay_matrix::not_connected) {
+        continue;
+      }
+      const float current = d.get(u, v);
+      if (current > dv[u] || current == delay_matrix::not_connected) {
+        d.set(u, v, dv[u]);
+      }
+    }
+  }
+
+  // Reverse pass (Alg. 2 lines 13-16): the user-side mirror image.
+  std::vector<float> du(n);
+  for (ir::node_id u = n; u-- > 0;) {
+    if (g.users(u).empty()) {
+      continue;
+    }
+    std::fill(du.begin(), du.end(), delay_matrix::not_connected);
+    const float self = d.self(u);
+    for (ir::node_id c : g.users(u)) {
+      for (ir::node_id w = c; w < n; ++w) {
+        const float via = d.get(c, w);
+        if (via != delay_matrix::not_connected && du[w] < via + self) {
+          du[w] = via + self;
+        }
+      }
+    }
+    for (ir::node_id w = u + 1; w < n; ++w) {
+      if (du[w] == delay_matrix::not_connected) {
+        continue;
+      }
+      const float current = d.get(u, w);
+      if (current > du[w] || current == delay_matrix::not_connected) {
+        d.set(u, w, du[w]);
+      }
+    }
+  }
+}
+
+}  // namespace isdc::core

@@ -1,0 +1,26 @@
+// SDC reformulation (paper Alg. 2): after feedback lowers some matrix
+// entries, a forward topological pass recomposes every pair's delay from
+// operand-side sub-paths (taking the max over operands, then the min
+// against the existing entry), and a reverse topological pass does the
+// symmetric user-side propagation to catch the complementary paths the
+// forward pass cannot. O(n^2)-flavoured, versus the O(n^3) Floyd-Warshall
+// reference in floyd_warshall.h.
+#ifndef ISDC_CORE_REFORMULATE_H_
+#define ISDC_CORE_REFORMULATE_H_
+
+#include "sched/delay_matrix.h"
+
+namespace isdc::core {
+
+enum class reformulation_mode {
+  alg2,            ///< the paper's O(n^2) approximation (default)
+  floyd_warshall,  ///< the exact O(n^3) reference
+  none,            ///< use the feedback-updated matrix as-is
+};
+
+/// Applies Alg. 2 in place.
+void reformulate_alg2(const ir::graph& g, sched::delay_matrix& d);
+
+}  // namespace isdc::core
+
+#endif  // ISDC_CORE_REFORMULATE_H_

@@ -1,0 +1,74 @@
+#include "extract/cone.h"
+
+#include "support/check.h"
+
+namespace isdc::extract {
+
+subgraph expand_to_path(const ir::graph& g, const sched::schedule& s,
+                        const sched::delay_matrix& d,
+                        const path_candidate& path) {
+  subgraph sub;
+  sub.stage = s.cycle[path.to];
+  sub.score = 0.0;
+  // Backtrack the critical chain from vj to vi: at each step follow the
+  // same-stage operand with the largest delay from vi. Inputs and
+  // constants stay on the boundary (they carry no logic).
+  ir::node_id w = path.to;
+  if (g.at(w).op != ir::opcode::input) {
+    sub.members.push_back(w);
+  }
+  while (w != path.from) {
+    ir::node_id best = ir::invalid_node;
+    float best_delay = sched::delay_matrix::not_connected;
+    for (ir::node_id p : g.at(w).operands) {
+      if (s.cycle[p] != sub.stage || g.at(p).op == ir::opcode::constant) {
+        continue;
+      }
+      const float delay =
+          p == path.from ? d.self(path.from) : d.get(path.from, p);
+      if (delay != sched::delay_matrix::not_connected &&
+          (best == ir::invalid_node || delay > best_delay)) {
+        best = p;
+        best_delay = delay;
+      }
+    }
+    ISDC_CHECK(best != ir::invalid_node,
+               "critical path backtrack lost the trail at node " << w);
+    w = best;
+    if (g.at(w).op != ir::opcode::input) {
+      sub.members.push_back(w);
+    }
+  }
+  finalize_subgraph(g, s, sub);
+  return sub;
+}
+
+subgraph expand_to_cone(const ir::graph& g, const sched::schedule& s,
+                        const path_candidate& path) {
+  subgraph sub;
+  sub.stage = s.cycle[path.to];
+  // DFS from the root towards the stage boundary / primary inputs.
+  std::vector<ir::node_id> stack{path.to};
+  std::vector<bool> seen(g.num_nodes(), false);
+  seen[path.to] = true;
+  while (!stack.empty()) {
+    const ir::node_id w = stack.back();
+    stack.pop_back();
+    sub.members.push_back(w);
+    for (ir::node_id p : g.at(w).operands) {
+      if (seen[p] || s.cycle[p] != sub.stage) {
+        continue;
+      }
+      const ir::opcode op = g.at(p).op;
+      if (op == ir::opcode::constant || op == ir::opcode::input) {
+        continue;  // boundary: constants fold, inputs are the PI frontier
+      }
+      seen[p] = true;
+      stack.push_back(p);
+    }
+  }
+  finalize_subgraph(g, s, sub);
+  return sub;
+}
+
+}  // namespace isdc::extract

@@ -1,0 +1,31 @@
+// Expansion of candidate paths into subgraphs (paper Section III-B2):
+//   path   — only the nodes on the critical path vi -> vj;
+//   cone   — the full same-stage fan-in cone of vj (DFS until the clock-
+//            cycle boundary or the primary inputs), single root;
+// Windows (multi-root merges of overlapping cones) live in window.h.
+#ifndef ISDC_EXTRACT_CONE_H_
+#define ISDC_EXTRACT_CONE_H_
+
+#include "extract/path_enum.h"
+#include "extract/subgraph.h"
+
+namespace isdc::extract {
+
+enum class expansion_mode {
+  path,    ///< ablation baseline
+  cone,    ///< single-root expansion
+  window,  ///< cone + overlapping-leaf merging (default)
+};
+
+/// Nodes on the critical path from `path.from` to `path.to` under `d`.
+subgraph expand_to_path(const ir::graph& g, const sched::schedule& s,
+                        const sched::delay_matrix& d,
+                        const path_candidate& path);
+
+/// Same-stage fan-in cone of `path.to`.
+subgraph expand_to_cone(const ir::graph& g, const sched::schedule& s,
+                        const path_candidate& path);
+
+}  // namespace isdc::extract
+
+#endif  // ISDC_EXTRACT_CONE_H_

@@ -1,0 +1,43 @@
+#include "extract/path_enum.h"
+
+#include "sched/metrics.h"
+
+namespace isdc::extract {
+
+std::vector<path_candidate> enumerate_candidate_paths(
+    const ir::graph& g, const sched::schedule& s,
+    const sched::delay_matrix& d) {
+  std::vector<path_candidate> candidates;
+  for (ir::node_id vj = 0; vj < g.num_nodes(); ++vj) {
+    const ir::opcode op = g.at(vj).op;
+    if (op == ir::opcode::constant || op == ir::opcode::input) {
+      continue;
+    }
+    // A value owns pipeline registers when it crosses a stage boundary or
+    // is a primary output (registered at the pipeline end).
+    if (sched::last_use_stage(g, s, vj) == s.cycle[vj] && !g.is_output(vj)) {
+      continue;
+    }
+    // Critical same-stage ancestor.
+    path_candidate best;
+    best.from = vj;
+    best.to = vj;
+    best.delay_ps = d.self(vj);
+    for (ir::node_id u = 0; u <= vj; ++u) {
+      if (s.cycle[u] != s.cycle[vj] ||
+          g.at(u).op == ir::opcode::constant) {
+        continue;
+      }
+      const float delay = d.get(u, vj);
+      if (delay != sched::delay_matrix::not_connected &&
+          delay > best.delay_ps) {
+        best.from = u;
+        best.delay_ps = delay;
+      }
+    }
+    candidates.push_back(best);
+  }
+  return candidates;
+}
+
+}  // namespace isdc::extract

@@ -1,0 +1,30 @@
+// Candidate-path enumeration (paper Section III-B): for every value that
+// crosses a stage boundary (i.e. owns a pipeline register), the critical
+// intra-stage path ending at it.
+#ifndef ISDC_EXTRACT_PATH_ENUM_H_
+#define ISDC_EXTRACT_PATH_ENUM_H_
+
+#include <vector>
+
+#include "sched/delay_matrix.h"
+#include "sched/schedule.h"
+
+namespace isdc::extract {
+
+/// One candidate: the worst same-stage path (from, to); `to` is registered.
+struct path_candidate {
+  ir::node_id from = 0;  ///< vi
+  ir::node_id to = 0;    ///< vj (register producer)
+  double delay_ps = 0.0; ///< D[vi][vj] under the current matrix
+};
+
+/// All candidates for the current schedule. Constants never appear;
+/// `to` is never an input. Single-node paths (from == to) are produced for
+/// registered nodes with no same-stage ancestors.
+std::vector<path_candidate> enumerate_candidate_paths(
+    const ir::graph& g, const sched::schedule& s,
+    const sched::delay_matrix& d);
+
+}  // namespace isdc::extract
+
+#endif  // ISDC_EXTRACT_PATH_ENUM_H_

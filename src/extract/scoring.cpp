@@ -1,0 +1,62 @@
+#include "extract/scoring.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace isdc::extract {
+
+int num_register_consumers(const ir::graph& g, const sched::schedule& s,
+                           ir::node_id vj) {
+  int consumers = 0;
+  for (ir::node_id u : g.users(vj)) {
+    if (s.cycle[u] > s.cycle[vj]) {
+      ++consumers;
+    }
+  }
+  if (g.is_output(vj)) {
+    ++consumers;  // the pipeline-end output register
+  }
+  return consumers;
+}
+
+double score_path(const ir::graph& g, const sched::schedule& s,
+                  const path_candidate& path, double clock_period_ps,
+                  extraction_strategy strategy) {
+  ISDC_CHECK(clock_period_ps > 0.0);
+  const double normalized_delay = path.delay_ps / clock_period_ps;
+  if (strategy == extraction_strategy::delay_driven) {
+    return normalized_delay;
+  }
+  // Eq. 3 with k = 1 result per node in this IR.
+  const double bits = g.at(path.to).width;
+  const double users = num_register_consumers(g, s, path.to);
+  return (bits + normalized_delay) / (users + 1.0);
+}
+
+void rank_candidates(const ir::graph& g, const sched::schedule& s,
+                     double clock_period_ps, extraction_strategy strategy,
+                     std::vector<path_candidate>& candidates,
+                     std::vector<double>* scores_out) {
+  std::vector<std::pair<double, path_candidate>> scored;
+  scored.reserve(candidates.size());
+  for (const path_candidate& c : candidates) {
+    scored.emplace_back(score_path(g, s, c, clock_period_ps, strategy), c);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  candidates.clear();
+  if (scores_out != nullptr) {
+    scores_out->clear();
+  }
+  for (auto& [score, c] : scored) {
+    candidates.push_back(c);
+    if (scores_out != nullptr) {
+      scores_out->push_back(score);
+    }
+  }
+}
+
+}  // namespace isdc::extract

@@ -1,0 +1,35 @@
+// Path scoring (paper Eq. 3). The fanout-driven score prioritizes
+// registers that are wide (many bits to save) and lightly used (cheap to
+// reposition); D(ccp)/Tclk — always < 1 in a valid schedule — breaks ties
+// toward longer paths. The delay-driven baseline ranks purely by delay.
+#ifndef ISDC_EXTRACT_SCORING_H_
+#define ISDC_EXTRACT_SCORING_H_
+
+#include "extract/path_enum.h"
+
+namespace isdc::extract {
+
+enum class extraction_strategy {
+  delay_driven,   ///< ablation baseline: S = D(ccp) / Tclk
+  fanout_driven,  ///< Eq. 3 (default)
+};
+
+/// Register consumers of vj's pipeline register: users in later stages,
+/// plus one for the output register when vj is a primary output.
+int num_register_consumers(const ir::graph& g, const sched::schedule& s,
+                           ir::node_id vj);
+
+/// Eq. 3 / delay-driven score of a candidate path.
+double score_path(const ir::graph& g, const sched::schedule& s,
+                  const path_candidate& path, double clock_period_ps,
+                  extraction_strategy strategy);
+
+/// Scores all candidates and sorts them in descending score order.
+void rank_candidates(const ir::graph& g, const sched::schedule& s,
+                     double clock_period_ps, extraction_strategy strategy,
+                     std::vector<path_candidate>& candidates,
+                     std::vector<double>* scores_out = nullptr);
+
+}  // namespace isdc::extract
+
+#endif  // ISDC_EXTRACT_SCORING_H_

@@ -1,0 +1,61 @@
+#include "extract/subgraph.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace isdc::extract {
+
+std::uint64_t subgraph::key() const {
+  // FNV-1a over the sorted member ids.
+  std::uint64_t h = 1469598103934665603ull;
+  for (ir::node_id m : members) {
+    h ^= m;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void finalize_subgraph(const ir::graph& g, const sched::schedule& s,
+                       subgraph& sub) {
+  std::sort(sub.members.begin(), sub.members.end());
+  sub.members.erase(std::unique(sub.members.begin(), sub.members.end()),
+                    sub.members.end());
+  ISDC_CHECK(!sub.members.empty(), "empty subgraph");
+
+  std::vector<bool> is_member(g.num_nodes(), false);
+  for (ir::node_id m : sub.members) {
+    is_member[m] = true;
+  }
+
+  sub.leaves.clear();
+  sub.roots.clear();
+  for (ir::node_id m : sub.members) {
+    for (ir::node_id p : g.at(m).operands) {
+      if (!is_member[p] && g.at(p).op != ir::opcode::constant) {
+        sub.leaves.push_back(p);
+      }
+    }
+    bool is_root = g.is_output(m);
+    for (ir::node_id u : g.users(m)) {
+      is_root = is_root || !is_member[u] || s.cycle[u] != s.cycle[m];
+    }
+    if (is_root) {
+      sub.roots.push_back(m);
+    }
+  }
+  std::sort(sub.leaves.begin(), sub.leaves.end());
+  sub.leaves.erase(std::unique(sub.leaves.begin(), sub.leaves.end()),
+                   sub.leaves.end());
+  if (sub.roots.empty()) {
+    // Degenerate but possible for a hand-built member set: expose the
+    // topologically last member.
+    sub.roots.push_back(sub.members.back());
+  }
+}
+
+ir::extraction subgraph_to_ir(const ir::graph& g, const subgraph& sub) {
+  return ir::extract_subgraph(g, sub.members, sub.roots);
+}
+
+}  // namespace isdc::extract

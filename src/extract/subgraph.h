@@ -1,0 +1,43 @@
+// Combinational subgraphs extracted from a schedule: the unit of feedback
+// between ISDC and the downstream flow. A subgraph lives entirely inside
+// one pipeline stage; its leaves are the stage-boundary values feeding it
+// (register outputs / primary inputs) and its roots are the values it
+// exposes (registered at the next boundary or consumed elsewhere).
+#ifndef ISDC_EXTRACT_SUBGRAPH_H_
+#define ISDC_EXTRACT_SUBGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/extract.h"
+#include "ir/graph.h"
+#include "sched/schedule.h"
+
+namespace isdc::extract {
+
+struct subgraph {
+  std::vector<ir::node_id> members;  ///< sorted, unique
+  std::vector<ir::node_id> roots;    ///< subset of members
+  std::vector<ir::node_id> leaves;   ///< external non-constant sources
+  int stage = 0;
+  double score = 0.0;
+
+  /// Order-independent fingerprint of the member set (for result caching
+  /// across iterations).
+  std::uint64_t key() const;
+};
+
+/// Sorts/dedups members, recomputes leaves and roots from the graph and
+/// schedule: leaves = external non-constant operands; roots = members
+/// whose value leaves the member set (external user, later-stage user or
+/// primary output).
+void finalize_subgraph(const ir::graph& g, const sched::schedule& s,
+                       subgraph& sub);
+
+/// Standalone IR for downstream synthesis.
+ir::extraction subgraph_to_ir(const ir::graph& g, const subgraph& sub);
+
+}  // namespace isdc::extract
+
+#endif  // ISDC_EXTRACT_SUBGRAPH_H_

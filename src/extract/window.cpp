@@ -1,0 +1,51 @@
+#include "extract/window.h"
+
+#include <algorithm>
+
+namespace isdc::extract {
+
+namespace {
+
+bool leaves_overlap(const subgraph& a, const subgraph& b) {
+  // Both leaf vectors are sorted.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.leaves.size() && j < b.leaves.size()) {
+    if (a.leaves[i] == b.leaves[j]) {
+      return true;
+    }
+    if (a.leaves[i] < b.leaves[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<subgraph> merge_into_windows(const ir::graph& g,
+                                         const sched::schedule& s,
+                                         std::vector<subgraph> cones) {
+  std::vector<subgraph> windows;
+  for (subgraph& cone : cones) {
+    bool merged = false;
+    for (subgraph& window : windows) {
+      if (window.stage == cone.stage && leaves_overlap(window, cone)) {
+        window.members.insert(window.members.end(), cone.members.begin(),
+                              cone.members.end());
+        window.score = std::max(window.score, cone.score);
+        finalize_subgraph(g, s, window);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      windows.push_back(std::move(cone));
+    }
+  }
+  return windows;
+}
+
+}  // namespace isdc::extract

@@ -1,0 +1,24 @@
+// Window construction (paper Section III-B2): cones with identical or
+// overlapping leaf sets are merged into multi-root windows, capturing the
+// cross-cone optimizations (sharing, joint balancing) a logic synthesizer
+// performs, while staying self-contained.
+#ifndef ISDC_EXTRACT_WINDOW_H_
+#define ISDC_EXTRACT_WINDOW_H_
+
+#include <vector>
+
+#include "extract/subgraph.h"
+
+namespace isdc::extract {
+
+/// Greedily merges same-stage cones whose leaf sets share at least one
+/// value. Input order is preserved as priority (callers pass cones in
+/// descending score order); each output window carries the max score of
+/// its constituents.
+std::vector<subgraph> merge_into_windows(const ir::graph& g,
+                                         const sched::schedule& s,
+                                         std::vector<subgraph> cones);
+
+}  // namespace isdc::extract
+
+#endif  // ISDC_EXTRACT_WINDOW_H_

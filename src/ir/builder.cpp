@@ -1,0 +1,166 @@
+#include "ir/builder.h"
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace isdc::ir {
+
+node_id builder::input(std::uint32_t width, std::string name) {
+  return graph_->add_node(opcode::input, width, {}, 0, std::move(name));
+}
+
+node_id builder::constant(std::uint32_t width, std::uint64_t value) {
+  const std::uint64_t mask =
+      width == 64 ? ~0ull : ((1ull << width) - 1);
+  return graph_->add_node(opcode::constant, width, {}, value & mask);
+}
+
+node_id builder::binary(opcode op, node_id a, node_id b) {
+  ISDC_CHECK(graph_->width(a) == graph_->width(b),
+             opcode_name(op) << " operand widths differ: " << graph_->width(a)
+                             << " vs " << graph_->width(b));
+  const std::uint32_t width =
+      (op == opcode::eq || op == opcode::ne || op == opcode::ult ||
+       op == opcode::ule)
+          ? 1
+          : graph_->width(a);
+  return graph_->add_node(op, width, {a, b});
+}
+
+node_id builder::add(node_id a, node_id b) { return binary(opcode::add, a, b); }
+node_id builder::sub(node_id a, node_id b) { return binary(opcode::sub, a, b); }
+node_id builder::mul(node_id a, node_id b) { return binary(opcode::mul, a, b); }
+node_id builder::band(node_id a, node_id b) { return binary(opcode::band, a, b); }
+node_id builder::bor(node_id a, node_id b) { return binary(opcode::bor, a, b); }
+node_id builder::bxor(node_id a, node_id b) { return binary(opcode::bxor, a, b); }
+
+node_id builder::neg(node_id a) {
+  return graph_->add_node(opcode::neg, graph_->width(a), {a});
+}
+
+node_id builder::bnot(node_id a) {
+  return graph_->add_node(opcode::bnot, graph_->width(a), {a});
+}
+
+node_id builder::shift_like(opcode op, node_id a, node_id amount) {
+  return graph_->add_node(op, graph_->width(a), {a, amount});
+}
+
+node_id builder::shl(node_id a, node_id amount) {
+  return shift_like(opcode::shl, a, amount);
+}
+node_id builder::shr(node_id a, node_id amount) {
+  return shift_like(opcode::shr, a, amount);
+}
+node_id builder::rotl(node_id a, node_id amount) {
+  return shift_like(opcode::rotl, a, amount);
+}
+node_id builder::rotr(node_id a, node_id amount) {
+  return shift_like(opcode::rotr, a, amount);
+}
+
+namespace {
+std::uint32_t amount_width(std::uint32_t operand_width) {
+  std::uint32_t bits = 1;
+  while ((1u << bits) < operand_width) {
+    ++bits;
+  }
+  return bits + 1;  // room to express `operand_width` itself
+}
+}  // namespace
+
+node_id builder::shli(node_id a, std::uint32_t amount) {
+  return shl(a, constant(amount_width(graph_->width(a)), amount));
+}
+node_id builder::shri(node_id a, std::uint32_t amount) {
+  return shr(a, constant(amount_width(graph_->width(a)), amount));
+}
+node_id builder::rotli(node_id a, std::uint32_t amount) {
+  return rotl(a, constant(amount_width(graph_->width(a)), amount));
+}
+node_id builder::rotri(node_id a, std::uint32_t amount) {
+  return rotr(a, constant(amount_width(graph_->width(a)), amount));
+}
+
+node_id builder::eq(node_id a, node_id b) { return binary(opcode::eq, a, b); }
+node_id builder::ne(node_id a, node_id b) { return binary(opcode::ne, a, b); }
+node_id builder::ult(node_id a, node_id b) { return binary(opcode::ult, a, b); }
+node_id builder::ule(node_id a, node_id b) { return binary(opcode::ule, a, b); }
+
+node_id builder::mux(node_id sel, node_id on_true, node_id on_false) {
+  ISDC_CHECK(graph_->width(sel) == 1, "mux selector must be 1 bit wide");
+  ISDC_CHECK(graph_->width(on_true) == graph_->width(on_false),
+             "mux arm widths differ");
+  return graph_->add_node(opcode::mux, graph_->width(on_true),
+                          {sel, on_true, on_false});
+}
+
+node_id builder::concat(node_id hi, node_id lo) {
+  const std::uint32_t width = graph_->width(hi) + graph_->width(lo);
+  ISDC_CHECK(width <= 64, "concat width " << width << " exceeds 64");
+  return graph_->add_node(opcode::concat, width, {hi, lo});
+}
+
+node_id builder::slice(node_id x, std::uint32_t lo, std::uint32_t width) {
+  ISDC_CHECK(lo + width <= graph_->width(x),
+             "slice [" << lo + width - 1 << ':' << lo
+                       << "] exceeds operand width " << graph_->width(x));
+  return graph_->add_node(opcode::slice, width, {x}, lo);
+}
+
+node_id builder::zext(node_id x, std::uint32_t width) {
+  ISDC_CHECK(width >= graph_->width(x), "zext must not narrow");
+  if (width == graph_->width(x)) {
+    return x;
+  }
+  return graph_->add_node(opcode::zext, width, {x});
+}
+
+node_id builder::sext(node_id x, std::uint32_t width) {
+  ISDC_CHECK(width >= graph_->width(x), "sext must not narrow");
+  if (width == graph_->width(x)) {
+    return x;
+  }
+  return graph_->add_node(opcode::sext, width, {x});
+}
+
+node_id builder::reduce(opcode op, std::span<const node_id> values,
+                        bool tree) {
+  ISDC_CHECK(!values.empty(), "reduction over empty span");
+  if (!tree) {
+    node_id acc = values[0];
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      acc = binary(op, acc, values[i]);
+    }
+    return acc;
+  }
+  std::vector<node_id> level(values.begin(), values.end());
+  while (level.size() > 1) {
+    std::vector<node_id> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(binary(op, level[i], level[i + 1]));
+    }
+    if (level.size() % 2 != 0) {
+      next.push_back(level.back());
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+node_id builder::add_many(std::span<const node_id> values) {
+  return reduce(opcode::add, values, /*tree=*/false);
+}
+node_id builder::xor_many(std::span<const node_id> values) {
+  return reduce(opcode::bxor, values, /*tree=*/false);
+}
+node_id builder::add_tree(std::span<const node_id> values) {
+  return reduce(opcode::add, values, /*tree=*/true);
+}
+node_id builder::xor_tree(std::span<const node_id> values) {
+  return reduce(opcode::bxor, values, /*tree=*/true);
+}
+
+}  // namespace isdc::ir

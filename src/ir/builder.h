@@ -1,0 +1,75 @@
+// Fluent construction helpers over ir::graph. All workload generators and
+// tests build graphs through this interface.
+#ifndef ISDC_IR_BUILDER_H_
+#define ISDC_IR_BUILDER_H_
+
+#include <span>
+#include <string>
+
+#include "ir/graph.h"
+
+namespace isdc::ir {
+
+/// Thin wrapper that owns nothing; it appends to a caller-owned graph.
+class builder {
+public:
+  explicit builder(graph& g) : graph_(&g) {}
+
+  graph& target() { return *graph_; }
+
+  node_id input(std::uint32_t width, std::string name);
+  node_id constant(std::uint32_t width, std::uint64_t value);
+
+  node_id add(node_id a, node_id b);
+  node_id sub(node_id a, node_id b);
+  node_id neg(node_id a);
+  node_id mul(node_id a, node_id b);
+  node_id band(node_id a, node_id b);
+  node_id bor(node_id a, node_id b);
+  node_id bxor(node_id a, node_id b);
+  node_id bnot(node_id a);
+
+  /// Shifts/rotates by a node-valued amount.
+  node_id shl(node_id a, node_id amount);
+  node_id shr(node_id a, node_id amount);
+  node_id rotl(node_id a, node_id amount);
+  node_id rotr(node_id a, node_id amount);
+
+  /// Shifts/rotates by a compile-time constant amount (lowered to wiring).
+  node_id shli(node_id a, std::uint32_t amount);
+  node_id shri(node_id a, std::uint32_t amount);
+  node_id rotli(node_id a, std::uint32_t amount);
+  node_id rotri(node_id a, std::uint32_t amount);
+
+  node_id eq(node_id a, node_id b);
+  node_id ne(node_id a, node_id b);
+  node_id ult(node_id a, node_id b);
+  node_id ule(node_id a, node_id b);
+
+  node_id mux(node_id sel, node_id on_true, node_id on_false);
+  node_id concat(node_id hi, node_id lo);
+  node_id slice(node_id x, std::uint32_t lo, std::uint32_t width);
+  node_id zext(node_id x, std::uint32_t width);
+  node_id sext(node_id x, std::uint32_t width);
+
+  /// Left-fold reductions; `values` must be non-empty.
+  node_id add_many(std::span<const node_id> values);
+  node_id xor_many(std::span<const node_id> values);
+
+  /// Balanced-tree reductions (shallower datapaths than the left folds).
+  node_id add_tree(std::span<const node_id> values);
+  node_id xor_tree(std::span<const node_id> values);
+
+  void output(node_id id) { graph_->mark_output(id); }
+
+private:
+  node_id binary(opcode op, node_id a, node_id b);
+  node_id shift_like(opcode op, node_id a, node_id amount);
+  node_id reduce(opcode op, std::span<const node_id> values, bool tree);
+
+  graph* graph_;
+};
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_BUILDER_H_

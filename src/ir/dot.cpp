@@ -1,0 +1,61 @@
+#include "ir/dot.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/check.h"
+
+namespace isdc::ir {
+
+void write_dot(std::ostream& os, const graph& g, std::span<const int> stages) {
+  ISDC_CHECK(stages.empty() || stages.size() == g.num_nodes(),
+             "stage vector size mismatch");
+  os << "digraph \"" << g.name() << "\" {\n"
+     << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+
+  const auto emit_node = [&](node_id id) {
+    const node& n = g.at(id);
+    os << "  n" << id << " [label=\"%" << id << ' ' << opcode_name(n.op)
+       << " i" << n.width;
+    if (!n.name.empty()) {
+      os << "\\n" << n.name;
+    }
+    os << '"';
+    if (n.op == opcode::input) {
+      os << ", style=filled, fillcolor=lightblue";
+    } else if (g.is_output(id)) {
+      os << ", style=filled, fillcolor=lightsalmon";
+    }
+    os << "];\n";
+  };
+
+  if (stages.empty()) {
+    for (node_id id = 0; id < g.num_nodes(); ++id) {
+      emit_node(id);
+    }
+  } else {
+    std::map<int, std::vector<node_id>> by_stage;
+    for (node_id id = 0; id < g.num_nodes(); ++id) {
+      by_stage[stages[id]].push_back(id);
+    }
+    for (const auto& [stage, members] : by_stage) {
+      os << "  subgraph cluster_stage" << stage << " {\n"
+         << "    label=\"stage " << stage << "\";\n";
+      for (node_id id : members) {
+        os << "  ";
+        emit_node(id);
+      }
+      os << "  }\n";
+    }
+  }
+
+  for (node_id id = 0; id < g.num_nodes(); ++id) {
+    for (node_id operand : g.at(id).operands) {
+      os << "  n" << operand << " -> n" << id << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace isdc::ir

@@ -1,0 +1,20 @@
+// Graphviz export of IR graphs, optionally colored by pipeline stage.
+#ifndef ISDC_IR_DOT_H_
+#define ISDC_IR_DOT_H_
+
+#include <ostream>
+#include <span>
+
+#include "ir/graph.h"
+
+namespace isdc::ir {
+
+/// Writes the graph in dot format. If `stages` is non-empty it must hold
+/// one stage index per node; nodes are then clustered by pipeline stage
+/// (the view used throughout the paper's Fig. 2).
+void write_dot(std::ostream& os, const graph& g,
+               std::span<const int> stages = {});
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_DOT_H_

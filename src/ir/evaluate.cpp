@@ -1,0 +1,117 @@
+#include "ir/evaluate.h"
+
+#include "support/check.h"
+
+namespace isdc::ir {
+
+namespace {
+
+std::uint64_t eval_node(const graph& g, const node& n,
+                        std::span<const std::uint64_t> values) {
+  const auto operand = [&](int i) { return values[n.operands[i]]; };
+  const std::uint64_t mask = width_mask(n.width);
+  switch (n.op) {
+    case opcode::input:
+      ISDC_UNREACHABLE("inputs are bound before evaluation");
+    case opcode::constant:
+      return n.value & mask;
+    case opcode::add:
+      return (operand(0) + operand(1)) & mask;
+    case opcode::sub:
+      return (operand(0) - operand(1)) & mask;
+    case opcode::neg:
+      return (~operand(0) + 1) & mask;
+    case opcode::mul:
+      return (operand(0) * operand(1)) & mask;
+    case opcode::band:
+      return operand(0) & operand(1);
+    case opcode::bor:
+      return operand(0) | operand(1);
+    case opcode::bxor:
+      return operand(0) ^ operand(1);
+    case opcode::bnot:
+      return ~operand(0) & mask;
+    case opcode::shl: {
+      const std::uint64_t amount = operand(1);
+      return amount >= n.width ? 0 : (operand(0) << amount) & mask;
+    }
+    case opcode::shr: {
+      const std::uint64_t amount = operand(1);
+      return amount >= n.width ? 0 : operand(0) >> amount;
+    }
+    case opcode::rotl: {
+      const std::uint64_t amount = operand(1) % n.width;
+      if (amount == 0) {
+        return operand(0);
+      }
+      return ((operand(0) << amount) | (operand(0) >> (n.width - amount))) &
+             mask;
+    }
+    case opcode::rotr: {
+      const std::uint64_t amount = operand(1) % n.width;
+      if (amount == 0) {
+        return operand(0);
+      }
+      return ((operand(0) >> amount) | (operand(0) << (n.width - amount))) &
+             mask;
+    }
+    case opcode::eq:
+      return operand(0) == operand(1) ? 1 : 0;
+    case opcode::ne:
+      return operand(0) != operand(1) ? 1 : 0;
+    case opcode::ult:
+      return operand(0) < operand(1) ? 1 : 0;
+    case opcode::ule:
+      return operand(0) <= operand(1) ? 1 : 0;
+    case opcode::mux:
+      return operand(0) != 0 ? operand(1) : operand(2);
+    case opcode::concat: {
+      const std::uint32_t lo_width = g.width(n.operands[1]);
+      return ((operand(0) << lo_width) | operand(1)) & mask;
+    }
+    case opcode::slice:
+      return (operand(0) >> n.value) & mask;
+    case opcode::zext:
+      return operand(0);
+    case opcode::sext: {
+      const std::uint32_t from = g.width(n.operands[0]);
+      const std::uint64_t sign = 1ull << (from - 1);
+      const std::uint64_t x = operand(0);
+      return ((x ^ sign) - sign) & mask;
+    }
+  }
+  ISDC_UNREACHABLE("unknown opcode");
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> evaluate_all(
+    const graph& g, std::span<const std::uint64_t> input_values) {
+  ISDC_CHECK(input_values.size() == g.inputs().size(),
+             "expected " << g.inputs().size() << " input values, got "
+                         << input_values.size());
+  std::vector<std::uint64_t> values(g.num_nodes(), 0);
+  std::size_t next_input = 0;
+  for (node_id id = 0; id < g.num_nodes(); ++id) {
+    const node& n = g.at(id);
+    if (n.op == opcode::input) {
+      values[id] = input_values[next_input++] & width_mask(n.width);
+    } else {
+      values[id] = eval_node(g, n, values);
+    }
+  }
+  return values;
+}
+
+std::vector<std::uint64_t> evaluate(
+    const graph& g, std::span<const std::uint64_t> input_values) {
+  const std::vector<std::uint64_t> values = evaluate_all(g, input_values);
+  std::vector<std::uint64_t> outputs;
+  outputs.reserve(g.outputs().size());
+  for (node_id out : g.outputs()) {
+    outputs.push_back(values[out]);
+  }
+  return outputs;
+}
+
+}  // namespace isdc::ir

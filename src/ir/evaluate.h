@@ -1,0 +1,33 @@
+// Reference interpreter for the IR. Used as the functional-correctness
+// oracle for gate-level lowering and for benchmark validation (e.g. the
+// sha256 workload is checked against FIPS test vectors through this).
+#ifndef ISDC_IR_EVALUATE_H_
+#define ISDC_IR_EVALUATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace isdc::ir {
+
+/// Value of every node, masked to its width. `input_values` are bound to
+/// graph.inputs() in order.
+std::vector<std::uint64_t> evaluate_all(const graph& g,
+                                        std::span<const std::uint64_t>
+                                            input_values);
+
+/// Values of the primary outputs only, in graph.outputs() order.
+std::vector<std::uint64_t> evaluate(const graph& g,
+                                    std::span<const std::uint64_t>
+                                        input_values);
+
+/// Width-`w` bit mask.
+inline std::uint64_t width_mask(std::uint32_t w) {
+  return w >= 64 ? ~0ull : ((1ull << w) - 1);
+}
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_EVALUATE_H_

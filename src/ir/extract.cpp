@@ -1,0 +1,71 @@
+#include "ir/extract.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace isdc::ir {
+
+extraction extract_subgraph(const graph& g, std::span<const node_id> members,
+                            std::span<const node_id> roots) {
+  extraction out;
+  std::vector<node_id> sorted(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  ISDC_CHECK(!sorted.empty(), "subgraph extraction needs members");
+
+  std::vector<bool> is_member(g.num_nodes(), false);
+  for (node_id m : sorted) {
+    ISDC_CHECK(m < g.num_nodes(), "member out of range");
+    is_member[m] = true;
+  }
+
+  const auto map_external = [&](node_id original) -> node_id {
+    if (const auto it = out.to_sub.find(original); it != out.to_sub.end()) {
+      return it->second;
+    }
+    const node& n = g.at(original);
+    node_id sub;
+    if (n.op == opcode::constant) {
+      sub = out.g.add_node(opcode::constant, n.width, {}, n.value, n.name);
+    } else {
+      sub = out.g.add_node(opcode::input, n.width, {}, 0,
+                           "b" + std::to_string(original));
+      out.boundary.push_back(original);
+    }
+    out.to_sub.emplace(original, sub);
+    return sub;
+  };
+
+  // Members are processed in ascending id order, which is topological.
+  for (node_id m : sorted) {
+    const node& n = g.at(m);
+    if (n.op == opcode::input || n.op == opcode::constant) {
+      map_external(m);
+      continue;
+    }
+    std::vector<node_id> operands;
+    operands.reserve(n.operands.size());
+    for (node_id p : n.operands) {
+      if (is_member[p]) {
+        const auto it = out.to_sub.find(p);
+        ISDC_CHECK(it != out.to_sub.end(), "member operand not yet cloned");
+        operands.push_back(it->second);
+      } else {
+        operands.push_back(map_external(p));
+      }
+    }
+    const node_id sub =
+        out.g.add_node(n.op, n.width, std::move(operands), n.value, n.name);
+    out.to_sub.emplace(m, sub);
+  }
+
+  for (node_id r : roots) {
+    const auto it = out.to_sub.find(r);
+    ISDC_CHECK(it != out.to_sub.end(), "root " << r << " is not a member");
+    out.g.mark_output(it->second);
+  }
+  return out;
+}
+
+}  // namespace isdc::ir

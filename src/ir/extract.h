@@ -1,0 +1,34 @@
+// Extraction of an induced subgraph into a standalone graph: member nodes
+// are cloned, external operands become fresh primary inputs (deduplicated),
+// constants are cloned in place, and the requested roots become primary
+// outputs. Used for stage-level timing analysis and for handing extracted
+// cones/windows to the downstream synthesis flow.
+#ifndef ISDC_IR_EXTRACT_H_
+#define ISDC_IR_EXTRACT_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace isdc::ir {
+
+struct extraction {
+  graph g{"subgraph"};
+  /// original node id -> id inside `g` (members, cloned constants and
+  /// boundary inputs).
+  std::unordered_map<node_id, node_id> to_sub;
+  /// boundary inputs of `g`, as original node ids (in sub-input order).
+  std::vector<node_id> boundary;
+};
+
+/// `members` are original node ids (any order; duplicates ignored);
+/// `roots` must be members and become the subgraph's outputs. Members that
+/// are inputs or constants are cloned as such.
+extraction extract_subgraph(const graph& g, std::span<const node_id> members,
+                            std::span<const node_id> roots);
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_EXTRACT_H_

@@ -1,0 +1,89 @@
+#include "ir/graph.h"
+
+#include "support/check.h"
+
+namespace isdc::ir {
+
+node_id graph::add_node(opcode op, std::uint32_t width,
+                        std::vector<node_id> operands, std::uint64_t value,
+                        std::string name) {
+  ISDC_CHECK(width >= 1 && width <= 64,
+             "node width must be in [1, 64], got " << width);
+  ISDC_CHECK(static_cast<int>(operands.size()) == opcode_arity(op),
+             opcode_name(op) << " expects " << opcode_arity(op)
+                             << " operands, got " << operands.size());
+  const node_id id = static_cast<node_id>(nodes_.size());
+  for (node_id operand : operands) {
+    ISDC_CHECK(operand < id, "operand " << operand
+                                        << " does not precede node " << id);
+    users_[operand].push_back(id);
+  }
+  nodes_.push_back(node{op, width, value, std::move(operands), std::move(name)});
+  users_.emplace_back();
+  output_mask_.push_back(false);
+  if (op == opcode::input) {
+    inputs_.push_back(id);
+  }
+  return id;
+}
+
+void graph::mark_output(node_id id) {
+  ISDC_CHECK(id < nodes_.size(), "output id out of range");
+  if (!output_mask_[id]) {
+    output_mask_[id] = true;
+    outputs_.push_back(id);
+  }
+}
+
+const node& graph::at(node_id id) const {
+  ISDC_CHECK(id < nodes_.size(), "node id " << id << " out of range");
+  return nodes_[id];
+}
+
+bool graph::is_output(node_id id) const {
+  ISDC_CHECK(id < nodes_.size());
+  return output_mask_[id];
+}
+
+const std::vector<node_id>& graph::users(node_id id) const {
+  ISDC_CHECK(id < nodes_.size());
+  return users_[id];
+}
+
+bool graph::is_connected(node_id from, node_id to) const {
+  ISDC_CHECK(from < nodes_.size() && to < nodes_.size());
+  if (from == to) {
+    return true;
+  }
+  if (from > to) {
+    return false;  // ids are topological
+  }
+  // Backward DFS from `to`, pruned by id ordering.
+  std::vector<node_id> stack{to};
+  std::vector<bool> seen(to + 1, false);
+  seen[to] = true;
+  while (!stack.empty()) {
+    const node_id cur = stack.back();
+    stack.pop_back();
+    for (node_id operand : nodes_[cur].operands) {
+      if (operand == from) {
+        return true;
+      }
+      if (operand > from && !seen[operand]) {
+        seen[operand] = true;
+        stack.push_back(operand);
+      }
+    }
+  }
+  return false;
+}
+
+std::uint64_t graph::total_output_bits() const {
+  std::uint64_t bits = 0;
+  for (node_id out : outputs_) {
+    bits += nodes_[out].width;
+  }
+  return bits;
+}
+
+}  // namespace isdc::ir

@@ -1,0 +1,77 @@
+// The HLS IR graph: a feed-forward dataflow graph of bit-accurate
+// operations. Node indices are assigned in creation order and operands must
+// already exist, so index order is always a valid topological order — every
+// traversal in the library relies on this invariant.
+#ifndef ISDC_IR_GRAPH_H_
+#define ISDC_IR_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.h"
+
+namespace isdc::ir {
+
+/// Index of a node within its graph.
+using node_id = std::uint32_t;
+inline constexpr node_id invalid_node = static_cast<node_id>(-1);
+
+/// One IR operation. `value` holds the literal for `constant` and the low
+/// bit offset for `slice`; it is unused otherwise.
+struct node {
+  opcode op = opcode::input;
+  std::uint32_t width = 0;  // result width in bits, 1..64
+  std::uint64_t value = 0;
+  std::vector<node_id> operands;
+  std::string name;
+};
+
+class graph {
+public:
+  explicit graph(std::string name = "g") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a node. Operand ids must be smaller than the new node's id
+  /// (construction order is topological by design).
+  node_id add_node(opcode op, std::uint32_t width,
+                   std::vector<node_id> operands, std::uint64_t value = 0,
+                   std::string name = {});
+
+  /// Marks a node as a primary output (duplicates are ignored).
+  void mark_output(node_id id);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const node& at(node_id id) const;
+  const std::vector<node>& nodes() const { return nodes_; }
+
+  const std::vector<node_id>& inputs() const { return inputs_; }
+  const std::vector<node_id>& outputs() const { return outputs_; }
+  bool is_output(node_id id) const;
+
+  /// Users (consumer nodes) of each node; maintained incrementally.
+  const std::vector<node_id>& users(node_id id) const;
+
+  /// Total result bits of a node (== width; helper for readability).
+  std::uint32_t width(node_id id) const { return at(id).width; }
+
+  /// True if `to` is reachable from `from` through operand edges
+  /// (i.e. `from` is a transitive operand of `to`). O(edges).
+  bool is_connected(node_id from, node_id to) const;
+
+  /// Sum of widths of all primary outputs.
+  std::uint64_t total_output_bits() const;
+
+private:
+  std::string name_;
+  std::vector<node> nodes_;
+  std::vector<std::vector<node_id>> users_;
+  std::vector<node_id> inputs_;
+  std::vector<node_id> outputs_;
+  std::vector<bool> output_mask_;
+};
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_GRAPH_H_

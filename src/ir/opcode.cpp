@@ -1,0 +1,80 @@
+#include "ir/opcode.h"
+
+#include "support/check.h"
+
+namespace isdc::ir {
+
+std::string_view opcode_name(opcode op) {
+  switch (op) {
+    case opcode::input: return "input";
+    case opcode::constant: return "constant";
+    case opcode::add: return "add";
+    case opcode::sub: return "sub";
+    case opcode::neg: return "neg";
+    case opcode::mul: return "mul";
+    case opcode::band: return "and";
+    case opcode::bor: return "or";
+    case opcode::bxor: return "xor";
+    case opcode::bnot: return "not";
+    case opcode::shl: return "shl";
+    case opcode::shr: return "shr";
+    case opcode::rotl: return "rotl";
+    case opcode::rotr: return "rotr";
+    case opcode::eq: return "eq";
+    case opcode::ne: return "ne";
+    case opcode::ult: return "ult";
+    case opcode::ule: return "ule";
+    case opcode::mux: return "mux";
+    case opcode::concat: return "concat";
+    case opcode::slice: return "slice";
+    case opcode::zext: return "zext";
+    case opcode::sext: return "sext";
+  }
+  ISDC_UNREACHABLE("unknown opcode");
+}
+
+int opcode_arity(opcode op) {
+  switch (op) {
+    case opcode::input:
+    case opcode::constant:
+      return 0;
+    case opcode::neg:
+    case opcode::bnot:
+    case opcode::slice:
+    case opcode::zext:
+    case opcode::sext:
+      return 1;
+    case opcode::add:
+    case opcode::sub:
+    case opcode::mul:
+    case opcode::band:
+    case opcode::bor:
+    case opcode::bxor:
+    case opcode::shl:
+    case opcode::shr:
+    case opcode::rotl:
+    case opcode::rotr:
+    case opcode::eq:
+    case opcode::ne:
+    case opcode::ult:
+    case opcode::ule:
+    case opcode::concat:
+      return 2;
+    case opcode::mux:
+      return 3;
+  }
+  ISDC_UNREACHABLE("unknown opcode");
+}
+
+bool is_wiring_only(opcode op) {
+  switch (op) {
+    case opcode::slice:
+    case opcode::concat:
+    case opcode::zext:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace isdc::ir

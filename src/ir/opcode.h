@@ -1,0 +1,53 @@
+// Operation set of the HLS IR.
+//
+// The IR is a bit-accurate, feed-forward dataflow graph: the abstraction an
+// HLS pipeline scheduler (e.g. XLS) operates on. Operation delays are *not*
+// part of the IR; they come from the pre-characterized delay model or, in
+// ISDC, from downstream-tool feedback.
+#ifndef ISDC_IR_OPCODE_H_
+#define ISDC_IR_OPCODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace isdc::ir {
+
+enum class opcode : std::uint8_t {
+  input,     ///< primary input (no operands)
+  constant,  ///< literal value (no operands)
+  add,       ///< a + b mod 2^w
+  sub,       ///< a - b mod 2^w
+  neg,       ///< -a mod 2^w
+  mul,       ///< a * b mod 2^w (low half)
+  band,      ///< a & b
+  bor,       ///< a | b
+  bxor,      ///< a ^ b
+  bnot,      ///< ~a
+  shl,       ///< a << b (zero fill; >= w shifts to 0)
+  shr,       ///< a >> b logical
+  rotl,      ///< rotate left by b mod w
+  rotr,      ///< rotate right by b mod w
+  eq,        ///< a == b, 1-bit result
+  ne,        ///< a != b, 1-bit result
+  ult,       ///< unsigned a < b, 1-bit result
+  ule,       ///< unsigned a <= b, 1-bit result
+  mux,       ///< sel ? on_true : on_false (operands: sel, on_true, on_false)
+  concat,    ///< {hi, lo}; width = w(hi) + w(lo)
+  slice,     ///< x[lo + width - 1 : lo]; `lo` stored in node::value
+  zext,      ///< zero-extend to a wider width
+  sext,      ///< sign-extend to a wider width
+};
+
+/// Human-readable mnemonic, e.g. "add".
+std::string_view opcode_name(opcode op);
+
+/// Number of operands the opcode requires.
+int opcode_arity(opcode op);
+
+/// True for operations that lower to wiring only (no gates): slices,
+/// concatenations, extensions. Their characterized delay is ~0.
+bool is_wiring_only(opcode op);
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_OPCODE_H_

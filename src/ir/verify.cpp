@@ -1,0 +1,128 @@
+#include "ir/verify.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace isdc::ir {
+
+namespace {
+
+std::string node_label(const graph& g, node_id id) {
+  std::ostringstream os;
+  os << '%' << id << " (" << opcode_name(g.at(id).op) << ')';
+  return os.str();
+}
+
+}  // namespace
+
+std::string verify(const graph& g) {
+  std::ostringstream os;
+  if (g.outputs().empty()) {
+    return "graph has no primary outputs";
+  }
+  for (node_id id = 0; id < g.num_nodes(); ++id) {
+    const node& n = g.at(id);
+    if (n.width < 1 || n.width > 64) {
+      os << node_label(g, id) << ": width " << n.width << " out of [1, 64]";
+      return os.str();
+    }
+    if (static_cast<int>(n.operands.size()) != opcode_arity(n.op)) {
+      os << node_label(g, id) << ": arity mismatch";
+      return os.str();
+    }
+    for (node_id operand : n.operands) {
+      if (operand >= id) {
+        os << node_label(g, id) << ": operand " << operand
+           << " does not precede it";
+        return os.str();
+      }
+    }
+    const auto operand_width = [&](int i) {
+      return g.width(n.operands[i]);
+    };
+    switch (n.op) {
+      case opcode::add:
+      case opcode::sub:
+      case opcode::mul:
+      case opcode::band:
+      case opcode::bor:
+      case opcode::bxor:
+        if (operand_width(0) != n.width || operand_width(1) != n.width) {
+          os << node_label(g, id) << ": operand widths must equal " << n.width;
+          return os.str();
+        }
+        break;
+      case opcode::neg:
+      case opcode::bnot:
+        if (operand_width(0) != n.width) {
+          os << node_label(g, id) << ": operand width must equal " << n.width;
+          return os.str();
+        }
+        break;
+      case opcode::shl:
+      case opcode::shr:
+      case opcode::rotl:
+      case opcode::rotr:
+        if (operand_width(0) != n.width) {
+          os << node_label(g, id) << ": shifted operand width must equal "
+             << n.width;
+          return os.str();
+        }
+        break;
+      case opcode::eq:
+      case opcode::ne:
+      case opcode::ult:
+      case opcode::ule:
+        if (n.width != 1) {
+          os << node_label(g, id) << ": comparison result must be 1 bit";
+          return os.str();
+        }
+        if (operand_width(0) != operand_width(1)) {
+          os << node_label(g, id) << ": comparison operand widths differ";
+          return os.str();
+        }
+        break;
+      case opcode::mux:
+        if (operand_width(0) != 1) {
+          os << node_label(g, id) << ": mux selector must be 1 bit";
+          return os.str();
+        }
+        if (operand_width(1) != n.width || operand_width(2) != n.width) {
+          os << node_label(g, id) << ": mux arm widths must equal " << n.width;
+          return os.str();
+        }
+        break;
+      case opcode::concat:
+        if (operand_width(0) + operand_width(1) != n.width) {
+          os << node_label(g, id) << ": concat width mismatch";
+          return os.str();
+        }
+        break;
+      case opcode::slice:
+        if (n.value + n.width > operand_width(0)) {
+          os << node_label(g, id) << ": slice out of operand bounds";
+          return os.str();
+        }
+        break;
+      case opcode::zext:
+      case opcode::sext:
+        if (operand_width(0) >= n.width) {
+          os << node_label(g, id) << ": extension must widen";
+          return os.str();
+        }
+        break;
+      case opcode::input:
+      case opcode::constant:
+        break;
+    }
+  }
+  return {};
+}
+
+void verify_or_throw(const graph& g) {
+  const std::string message = verify(g);
+  ISDC_CHECK(message.empty(), "graph " << g.name() << ": " << message);
+}
+
+}  // namespace isdc::ir

@@ -1,0 +1,22 @@
+// Structural validation of IR graphs. Every workload generator output and
+// every extracted subgraph passes through verify() in tests.
+#ifndef ISDC_IR_VERIFY_H_
+#define ISDC_IR_VERIFY_H_
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace isdc::ir {
+
+/// Returns an empty string if `g` is well-formed, otherwise a description
+/// of the first violation found (operand counts, width rules, slice bounds,
+/// output validity, at least one output, ...).
+std::string verify(const graph& g);
+
+/// Throws check_error when verify() reports a violation.
+void verify_or_throw(const graph& g);
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_VERIFY_H_

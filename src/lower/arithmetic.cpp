@@ -1,0 +1,182 @@
+#include <bit>
+#include <utility>
+
+#include "lower/lowering.h"
+#include "support/check.h"
+
+namespace isdc::lower {
+
+namespace {
+
+/// Generate/propagate pair of the parallel-prefix carry network.
+struct gp {
+  aig::literal g = aig::lit_false;
+  aig::literal p = aig::lit_false;
+};
+
+gp combine(aig::aig& net, const gp& hi, const gp& lo) {
+  return gp{net.create_or(hi.g, net.create_and(hi.p, lo.g)),
+            net.create_and(hi.p, lo.p)};
+}
+
+/// Sklansky prefix tree: pre[i] becomes the combine of pre[0..i].
+void sklansky(aig::aig& net, std::vector<gp>& pre) {
+  const std::size_t n = pre.size();
+  for (std::size_t step = 1; step < n; step <<= 1) {
+    // Walk from high to low so each level reads pre-level values of its
+    // anchors (anchors are never rewritten within a level).
+    for (std::size_t i = n; i-- > 0;) {
+      if ((i & step) != 0) {
+        const std::size_t anchor = ((i >> std::countr_zero(step))
+                                    << std::countr_zero(step)) - 1;
+        pre[i] = combine(net, pre[i], pre[anchor]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bit_vector add_bits(aig::aig& g, const bit_vector& a, const bit_vector& b,
+                    aig::literal carry_in) {
+  ISDC_CHECK(a.size() == b.size(), "adder operand widths differ");
+  const std::size_t n = a.size();
+  bit_vector sum(n);
+  std::vector<gp> pre(n);
+  bit_vector p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = g.create_xor(a[i], b[i]);
+    pre[i] = gp{g.create_and(a[i], b[i]), p[i]};
+  }
+  sklansky(g, pre);
+  // carry into bit i: G[i-1] | (P[i-1] & cin); c0 = cin.
+  aig::literal carry = carry_in;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i] = g.create_xor(p[i], carry);
+    if (i + 1 < n) {
+      carry = g.create_or(pre[i].g, g.create_and(pre[i].p, carry_in));
+    }
+  }
+  return sum;
+}
+
+bit_vector sub_bits(aig::aig& g, const bit_vector& a, const bit_vector& b) {
+  bit_vector not_b(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    not_b[i] = aig::lit_not(b[i]);
+  }
+  return add_bits(g, a, not_b, aig::lit_true);
+}
+
+bit_vector neg_bits(aig::aig& g, const bit_vector& a) {
+  bit_vector zero(a.size(), aig::lit_false);
+  return sub_bits(g, zero, a);
+}
+
+namespace {
+
+/// Wallace 3:2 / 2:2 carry-save reduction of arbitrary columns down to two
+/// rows, followed by one carry-propagate (prefix) adder.
+bit_vector reduce_columns_and_add(
+    aig::aig& g, std::vector<std::vector<aig::literal>> columns) {
+  const std::size_t n = columns.size();
+  for (;;) {
+    bool reduced = false;
+    std::vector<std::vector<aig::literal>> next(n);
+    for (std::size_t col = 0; col < n; ++col) {
+      auto& bits = columns[col];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        const aig::literal x = bits[i];
+        const aig::literal y = bits[i + 1];
+        const aig::literal z = bits[i + 2];
+        i += 3;
+        const aig::literal s = g.create_xor(g.create_xor(x, y), z);
+        const aig::literal maj =
+            g.create_or(g.create_and(x, y),
+                        g.create_and(z, g.create_or(x, y)));
+        next[col].push_back(s);
+        if (col + 1 < n) {
+          next[col + 1].push_back(maj);
+        }
+        reduced = true;
+      }
+      if (bits.size() - i == 2 && !next[col].empty()) {
+        // Half-adder only where it helps balance the columns.
+        const aig::literal x = bits[i];
+        const aig::literal y = bits[i + 1];
+        i += 2;
+        next[col].push_back(g.create_xor(x, y));
+        if (col + 1 < n) {
+          next[col + 1].push_back(g.create_and(x, y));
+        }
+        reduced = true;
+      }
+      for (; i < bits.size(); ++i) {
+        next[col].push_back(bits[i]);
+      }
+    }
+    columns = std::move(next);
+    bool done = true;
+    for (const auto& col : columns) {
+      done = done && col.size() <= 2;
+    }
+    if (done || !reduced) {
+      break;
+    }
+  }
+  // Final carry-propagate add of the two remaining rows.
+  bit_vector row0(n, aig::lit_false);
+  bit_vector row1(n, aig::lit_false);
+  for (std::size_t col = 0; col < n; ++col) {
+    if (!columns[col].empty()) {
+      row0[col] = columns[col][0];
+    }
+    if (columns[col].size() >= 2) {
+      row1[col] = columns[col][1];
+    }
+    ISDC_CHECK(columns[col].size() <= 2, "Wallace reduction incomplete");
+  }
+  return add_bits(g, row0, row1);
+}
+
+}  // namespace
+
+bit_vector mul_bits(aig::aig& g, const bit_vector& a, const bit_vector& b) {
+  ISDC_CHECK(a.size() == b.size(), "multiplier operand widths differ");
+  const std::size_t n = a.size();
+  // Column-wise partial products (truncated to n output bits).
+  std::vector<std::vector<aig::literal>> columns(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i + j < n; ++i) {
+      const aig::literal pp = g.create_and(a[i], b[j]);
+      if (pp != aig::lit_false) {
+        columns[i + j].push_back(pp);
+      }
+    }
+  }
+  return reduce_columns_and_add(g, std::move(columns));
+}
+
+bit_vector add_rows(aig::aig& g, const std::vector<bit_vector>& rows) {
+  ISDC_CHECK(!rows.empty());
+  const std::size_t n = rows.front().size();
+  if (rows.size() == 1) {
+    return rows.front();
+  }
+  if (rows.size() == 2) {
+    return add_bits(g, rows[0], rows[1]);
+  }
+  std::vector<std::vector<aig::literal>> columns(n);
+  for (const bit_vector& row : rows) {
+    ISDC_CHECK(row.size() == n, "addend widths differ");
+    for (std::size_t col = 0; col < n; ++col) {
+      if (row[col] != aig::lit_false) {
+        columns[col].push_back(row[col]);
+      }
+    }
+  }
+  return reduce_columns_and_add(g, std::move(columns));
+}
+
+}  // namespace isdc::lower

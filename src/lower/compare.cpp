@@ -1,0 +1,54 @@
+#include "lower/lowering.h"
+#include "support/check.h"
+
+namespace isdc::lower {
+
+namespace {
+
+/// Balanced AND reduction over a range of literals.
+aig::literal and_reduce(aig::aig& g, const bit_vector& xs, std::size_t lo,
+                        std::size_t hi) {
+  if (hi - lo == 1) {
+    return xs[lo];
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return g.create_and(and_reduce(g, xs, lo, mid), and_reduce(g, xs, mid, hi));
+}
+
+/// (a < b, a == b) over bit range [lo, hi), divide and conquer:
+/// lt = lt_hi | (eq_hi & lt_lo), eq = eq_hi & eq_lo. Depth O(log n).
+std::pair<aig::literal, aig::literal> lt_eq(aig::aig& g, const bit_vector& a,
+                                            const bit_vector& b,
+                                            std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) {
+    return {g.create_and(aig::lit_not(a[lo]), b[lo]),
+            g.create_xnor(a[lo], b[lo])};
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const auto [lt_lo, eq_lo] = lt_eq(g, a, b, lo, mid);
+  const auto [lt_hi, eq_hi] = lt_eq(g, a, b, mid, hi);
+  return {g.create_or(lt_hi, g.create_and(eq_hi, lt_lo)),
+          g.create_and(eq_hi, eq_lo)};
+}
+
+}  // namespace
+
+aig::literal eq_bit(aig::aig& g, const bit_vector& a, const bit_vector& b) {
+  ISDC_CHECK(a.size() == b.size(), "eq operand widths differ");
+  bit_vector xnors(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    xnors[i] = g.create_xnor(a[i], b[i]);
+  }
+  return and_reduce(g, xnors, 0, xnors.size());
+}
+
+aig::literal ult_bit(aig::aig& g, const bit_vector& a, const bit_vector& b) {
+  ISDC_CHECK(a.size() == b.size(), "ult operand widths differ");
+  return lt_eq(g, a, b, 0, a.size()).first;
+}
+
+aig::literal ule_bit(aig::aig& g, const bit_vector& a, const bit_vector& b) {
+  return aig::lit_not(ult_bit(g, b, a));
+}
+
+}  // namespace isdc::lower

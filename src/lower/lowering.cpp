@@ -1,0 +1,228 @@
+#include "lower/lowering.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace isdc::lower {
+
+namespace {
+
+bit_vector constant_bits(std::uint64_t value, std::uint32_t width) {
+  bit_vector bits(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    bits[i] = ((value >> i) & 1) != 0 ? aig::lit_true : aig::lit_false;
+  }
+  return bits;
+}
+
+/// Constant-amount shifts and rotates are pure wiring.
+bit_vector wired_shift(const bit_vector& a, ir::opcode op,
+                       std::uint64_t amount) {
+  const std::size_t n = a.size();
+  bit_vector out(n, aig::lit_false);
+  switch (op) {
+    case ir::opcode::shl:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = i >= amount ? a[i - amount] : aig::lit_false;
+      }
+      break;
+    case ir::opcode::shr:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = i + amount < n ? a[i + amount] : aig::lit_false;
+      }
+      break;
+    case ir::opcode::rotl: {
+      const std::size_t d = static_cast<std::size_t>(amount % n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = a[(i + n - d) % n];
+      }
+      break;
+    }
+    case ir::opcode::rotr: {
+      const std::size_t d = static_cast<std::size_t>(amount % n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = a[(i + d) % n];
+      }
+      break;
+    }
+    default:
+      ISDC_UNREACHABLE("not a shift opcode");
+  }
+  return out;
+}
+
+/// Datapath extraction: collects the addend leaves of a maximal tree of
+/// single-use, non-output `add` nodes rooted at `v`.
+void collect_addends(const ir::graph& g, ir::node_id v, bool is_root,
+                     std::vector<ir::node_id>& out) {
+  const ir::node& n = g.at(v);
+  const bool expandable = n.op == ir::opcode::add &&
+                          (is_root || (g.users(v).size() == 1 &&
+                                       !g.is_output(v)));
+  if (!expandable) {
+    out.push_back(v);
+    return;
+  }
+  for (ir::node_id p : n.operands) {
+    collect_addends(g, p, /*is_root=*/false, out);
+  }
+}
+
+}  // namespace
+
+lowering_result lower_graph(const ir::graph& g,
+                            const lowering_options& options) {
+  lowering_result result;
+  aig::aig& net = result.net;
+  auto& bits = result.bits;
+  bits.resize(g.num_nodes());
+
+  for (ir::node_id id = 0; id < g.num_nodes(); ++id) {
+    const ir::node& n = g.at(id);
+    const auto operand = [&](int i) -> const bit_vector& {
+      return bits[n.operands[static_cast<std::size_t>(i)]];
+    };
+    switch (n.op) {
+      case ir::opcode::input: {
+        bit_vector v(n.width);
+        for (auto& bit : v) {
+          bit = aig::make_literal(net.add_pi());
+        }
+        bits[id] = std::move(v);
+        break;
+      }
+      case ir::opcode::constant:
+        bits[id] = constant_bits(n.value, n.width);
+        break;
+      case ir::opcode::add: {
+        std::vector<ir::node_id> addends;
+        if (options.fuse_add_trees) {
+          collect_addends(g, id, /*is_root=*/true, addends);
+        }
+        if (addends.size() > 2) {
+          // Carry-save fusion of the whole chain/tree: one reduction array
+          // plus a single carry-propagate adder, as datapath synthesis
+          // emits. The bypassed intermediate adders' own bit vectors stay
+          // available for other users; unused ones are dangling logic that
+          // AIG cleanup removes.
+          std::vector<bit_vector> rows;
+          rows.reserve(addends.size());
+          for (ir::node_id a : addends) {
+            rows.push_back(bits[a]);
+          }
+          bits[id] = add_rows(net, rows);
+        } else {
+          bits[id] = add_bits(net, operand(0), operand(1));
+        }
+        break;
+      }
+      case ir::opcode::sub:
+        bits[id] = sub_bits(net, operand(0), operand(1));
+        break;
+      case ir::opcode::neg:
+        bits[id] = neg_bits(net, operand(0));
+        break;
+      case ir::opcode::mul:
+        bits[id] = mul_bits(net, operand(0), operand(1));
+        break;
+      case ir::opcode::band:
+      case ir::opcode::bor:
+      case ir::opcode::bxor: {
+        const bit_vector& a = operand(0);
+        const bit_vector& b = operand(1);
+        bit_vector v(n.width);
+        for (std::uint32_t i = 0; i < n.width; ++i) {
+          if (n.op == ir::opcode::band) {
+            v[i] = net.create_and(a[i], b[i]);
+          } else if (n.op == ir::opcode::bor) {
+            v[i] = net.create_or(a[i], b[i]);
+          } else {
+            v[i] = net.create_xor(a[i], b[i]);
+          }
+        }
+        bits[id] = std::move(v);
+        break;
+      }
+      case ir::opcode::bnot: {
+        bit_vector v = operand(0);
+        for (auto& bit : v) {
+          bit = aig::lit_not(bit);
+        }
+        bits[id] = std::move(v);
+        break;
+      }
+      case ir::opcode::shl:
+      case ir::opcode::shr:
+      case ir::opcode::rotl:
+      case ir::opcode::rotr: {
+        const ir::node& amount_node = g.at(n.operands[1]);
+        if (amount_node.op == ir::opcode::constant) {
+          bits[id] = wired_shift(operand(0), n.op, amount_node.value);
+        } else if (n.op == ir::opcode::shl) {
+          bits[id] = shl_bits(net, operand(0), operand(1));
+        } else if (n.op == ir::opcode::shr) {
+          bits[id] = shr_bits(net, operand(0), operand(1));
+        } else if (n.op == ir::opcode::rotl) {
+          bits[id] = rotl_bits(net, operand(0), operand(1));
+        } else {
+          bits[id] = rotr_bits(net, operand(0), operand(1));
+        }
+        break;
+      }
+      case ir::opcode::eq:
+        bits[id] = {eq_bit(net, operand(0), operand(1))};
+        break;
+      case ir::opcode::ne:
+        bits[id] = {aig::lit_not(eq_bit(net, operand(0), operand(1)))};
+        break;
+      case ir::opcode::ult:
+        bits[id] = {ult_bit(net, operand(0), operand(1))};
+        break;
+      case ir::opcode::ule:
+        bits[id] = {ule_bit(net, operand(0), operand(1))};
+        break;
+      case ir::opcode::mux:
+        bits[id] = mux_bits(net, operand(0)[0], operand(1), operand(2));
+        break;
+      case ir::opcode::concat: {
+        bit_vector v = operand(1);  // low part
+        const bit_vector& hi = operand(0);
+        v.insert(v.end(), hi.begin(), hi.end());
+        bits[id] = std::move(v);
+        break;
+      }
+      case ir::opcode::slice: {
+        const bit_vector& x = operand(0);
+        bits[id] = bit_vector(x.begin() + static_cast<std::ptrdiff_t>(n.value),
+                              x.begin() + static_cast<std::ptrdiff_t>(
+                                              n.value + n.width));
+        break;
+      }
+      case ir::opcode::zext: {
+        bit_vector v = operand(0);
+        v.resize(n.width, aig::lit_false);
+        bits[id] = std::move(v);
+        break;
+      }
+      case ir::opcode::sext: {
+        bit_vector v = operand(0);
+        const aig::literal msb = v.back();
+        v.resize(n.width, msb);
+        bits[id] = std::move(v);
+        break;
+      }
+    }
+    ISDC_CHECK(bits[id].size() == n.width, "lowered width mismatch at node "
+                                               << id);
+  }
+
+  for (ir::node_id out : g.outputs()) {
+    for (aig::literal bit : bits[out]) {
+      net.add_po(bit);
+    }
+  }
+  return result;
+}
+
+}  // namespace isdc::lower

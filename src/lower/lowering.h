@@ -1,0 +1,75 @@
+// Bit-blasting of the HLS IR into an AIG — the "RTL elaboration" step of
+// the downstream-flow substrate. Arithmetic uses the structures real
+// synthesizers emit (Sklansky prefix adders, Wallace-tree multipliers,
+// barrel shifters), so that the combined-subgraph timing the STA reports
+// exhibits the real-world path-alignment effects ISDC exploits: the worst
+// pin-to-pin paths of chained operations do not compose.
+#ifndef ISDC_LOWER_LOWERING_H_
+#define ISDC_LOWER_LOWERING_H_
+
+#include <vector>
+
+#include "aig/aig.h"
+#include "ir/graph.h"
+
+namespace isdc::lower {
+
+/// Word value as a vector of AIG literals, LSB first.
+using bit_vector = std::vector<aig::literal>;
+
+/// Lowered design: the AIG plus the bit vector of every IR node.
+/// PIs appear in IR-input order (LSB first within each input); POs in
+/// IR-output order (LSB first within each output).
+struct lowering_result {
+  aig::aig net;
+  std::vector<bit_vector> bits;
+};
+
+struct lowering_options {
+  /// Datapath extraction: single-use chains/trees of `add` nodes are
+  /// lowered as one carry-save reduction feeding a single prefix adder
+  /// (what Yosys' alumacc / commercial datapath synthesis do), instead of
+  /// cascaded complete adders. This is the dominant cross-operation
+  /// optimization the paper's per-op delay model cannot see.
+  bool fuse_add_trees = true;
+};
+
+/// Lowers the whole graph.
+lowering_result lower_graph(const ir::graph& g,
+                            const lowering_options& options = {});
+
+/// Carry-save reduction of `rows` (equal-width addend vectors) followed by
+/// one carry-propagate adder. Exposed for tests.
+bit_vector add_rows(aig::aig& g, const std::vector<bit_vector>& rows);
+
+// --- word-level primitives (exposed for unit tests and reuse) ---
+
+/// a + b + cin using a Sklansky parallel-prefix carry network.
+bit_vector add_bits(aig::aig& g, const bit_vector& a, const bit_vector& b,
+                    aig::literal carry_in = aig::lit_false);
+/// a - b (two's complement: a + ~b + 1).
+bit_vector sub_bits(aig::aig& g, const bit_vector& a, const bit_vector& b);
+/// -a.
+bit_vector neg_bits(aig::aig& g, const bit_vector& a);
+/// Low |a| bits of a * b via Wallace-tree reduction + prefix adder.
+bit_vector mul_bits(aig::aig& g, const bit_vector& a, const bit_vector& b);
+
+/// Variable-amount shifts/rotates (barrel networks, one mux layer per
+/// amount bit). Out-of-range shifts produce 0; rotates are modulo width.
+bit_vector shl_bits(aig::aig& g, const bit_vector& a, const bit_vector& amt);
+bit_vector shr_bits(aig::aig& g, const bit_vector& a, const bit_vector& amt);
+bit_vector rotl_bits(aig::aig& g, const bit_vector& a, const bit_vector& amt);
+bit_vector rotr_bits(aig::aig& g, const bit_vector& a, const bit_vector& amt);
+
+/// Comparisons (balanced divide-and-conquer networks).
+aig::literal eq_bit(aig::aig& g, const bit_vector& a, const bit_vector& b);
+aig::literal ult_bit(aig::aig& g, const bit_vector& a, const bit_vector& b);
+aig::literal ule_bit(aig::aig& g, const bit_vector& a, const bit_vector& b);
+
+/// Per-bit select.
+bit_vector mux_bits(aig::aig& g, aig::literal sel, const bit_vector& on_true,
+                    const bit_vector& on_false);
+
+}  // namespace isdc::lower
+
+#endif  // ISDC_LOWER_LOWERING_H_

@@ -1,0 +1,96 @@
+#include "lower/lowering.h"
+#include "support/check.h"
+
+namespace isdc::lower {
+
+namespace {
+
+enum class shift_kind { left, right };
+
+/// Logical barrel shifter: one mux layer per amount bit; amount bits whose
+/// weight reaches the width force the result to zero.
+bit_vector barrel_shift(aig::aig& g, const bit_vector& a,
+                        const bit_vector& amt, shift_kind kind) {
+  const std::size_t n = a.size();
+  bit_vector cur = a;
+  aig::literal overflow = aig::lit_false;
+  for (std::size_t k = 0; k < amt.size(); ++k) {
+    const std::uint64_t dist = 1ull << k;
+    if (dist >= n) {
+      overflow = g.create_or(overflow, amt[k]);
+      continue;
+    }
+    bit_vector next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      aig::literal shifted;
+      if (kind == shift_kind::left) {
+        shifted = i >= dist ? cur[i - dist] : aig::lit_false;
+      } else {
+        shifted = i + dist < n ? cur[i + dist] : aig::lit_false;
+      }
+      next[i] = g.create_mux(amt[k], shifted, cur[i]);
+    }
+    cur = std::move(next);
+  }
+  if (overflow != aig::lit_false) {
+    for (auto& bit : cur) {
+      bit = g.create_and(bit, aig::lit_not(overflow));
+    }
+  }
+  return cur;
+}
+
+/// Barrel rotator. Layer k rotates by (2^k mod n); composing the selected
+/// layers rotates by (amount mod n) for any width, power of two or not.
+bit_vector barrel_rotate(aig::aig& g, const bit_vector& a,
+                         const bit_vector& amt, bool left) {
+  const std::size_t n = a.size();
+  bit_vector cur = a;
+  for (std::size_t k = 0; k < amt.size(); ++k) {
+    // 2^k mod n, computed iteratively to avoid overflow for large k.
+    std::size_t d = 1 % n;
+    for (std::size_t step = 0; step < k; ++step) {
+      d = (d * 2) % n;
+    }
+    if (d == 0) {
+      continue;  // this amount bit is a whole number of full rotations
+    }
+    bit_vector next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t src = left ? (i + n - d) % n : (i + d) % n;
+      next[i] = g.create_mux(amt[k], cur[src], cur[i]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace
+
+bit_vector shl_bits(aig::aig& g, const bit_vector& a, const bit_vector& amt) {
+  return barrel_shift(g, a, amt, shift_kind::left);
+}
+
+bit_vector shr_bits(aig::aig& g, const bit_vector& a, const bit_vector& amt) {
+  return barrel_shift(g, a, amt, shift_kind::right);
+}
+
+bit_vector rotl_bits(aig::aig& g, const bit_vector& a, const bit_vector& amt) {
+  return barrel_rotate(g, a, amt, /*left=*/true);
+}
+
+bit_vector rotr_bits(aig::aig& g, const bit_vector& a, const bit_vector& amt) {
+  return barrel_rotate(g, a, amt, /*left=*/false);
+}
+
+bit_vector mux_bits(aig::aig& g, aig::literal sel, const bit_vector& on_true,
+                    const bit_vector& on_false) {
+  ISDC_CHECK(on_true.size() == on_false.size(), "mux arm widths differ");
+  bit_vector out(on_true.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = g.create_mux(sel, on_true[i], on_false[i]);
+  }
+  return out;
+}
+
+}  // namespace isdc::lower

@@ -1,0 +1,38 @@
+#include "sched/delay_matrix.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace isdc::sched {
+
+delay_matrix delay_matrix::initial(
+    const ir::graph& g,
+    const std::function<double(ir::node_id)>& node_delay) {
+  const std::size_t n = g.num_nodes();
+  delay_matrix d(n);
+  std::vector<float> delays(n);
+  for (ir::node_id v = 0; v < n; ++v) {
+    delays[v] = static_cast<float>(node_delay(v));
+    d.set(v, v, delays[v]);
+  }
+  // Longest-path DP from every source; ids are topological.
+  std::vector<float> arrival(n);
+  for (ir::node_id u = 0; u < n; ++u) {
+    std::fill(arrival.begin(), arrival.end(), not_connected);
+    arrival[u] = delays[u];
+    for (ir::node_id w = u + 1; w < n; ++w) {
+      float best = not_connected;
+      for (ir::node_id p : g.at(w).operands) {
+        best = std::max(best, arrival[p]);
+      }
+      if (best != not_connected) {
+        arrival[w] = best + delays[w];
+        d.set(u, w, arrival[w]);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace isdc::sched

@@ -1,0 +1,59 @@
+// The pairwise critical-path delay matrix D[n][n] at the heart of ISDC
+// (paper Section III-C). D[u][v] estimates the delay of the critical
+// combinational path from u to v, *including both endpoints*; D[v][v] is
+// the individual delay of v; -1 marks unconnected pairs. The initial fill
+// (Alg. 1 lines 1-9) uses the pre-characterized per-op delays; feedback
+// updates (Alg. 1 lines 10-14) and the reformulation (Alg. 2) live in
+// src/core.
+#ifndef ISDC_SCHED_DELAY_MATRIX_H_
+#define ISDC_SCHED_DELAY_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace isdc::sched {
+
+class delay_matrix {
+public:
+  static constexpr float not_connected = -1.0f;
+
+  explicit delay_matrix(std::size_t n)
+      : n_(n), d_(n * n, not_connected) {}
+
+  std::size_t size() const { return n_; }
+
+  float get(ir::node_id u, ir::node_id v) const { return d_[index(u, v)]; }
+  void set(ir::node_id u, ir::node_id v, float delay) {
+    d_[index(u, v)] = delay;
+  }
+  bool connected(ir::node_id u, ir::node_id v) const {
+    return get(u, v) != not_connected;
+  }
+
+  /// Individual node delay D[v][v].
+  float self(ir::node_id v) const { return get(v, v); }
+
+  /// Alg. 1 lines 1-9: D[v][v] = d(v); D[u][v] = critical path delay (sum
+  /// of node delays along the worst path, both endpoints included) for
+  /// connected pairs; -1 otherwise.
+  static delay_matrix initial(
+      const ir::graph& g,
+      const std::function<double(ir::node_id)>& node_delay);
+
+  bool operator==(const delay_matrix&) const = default;
+
+private:
+  std::size_t index(ir::node_id u, ir::node_id v) const {
+    return static_cast<std::size_t>(u) * n_ + v;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<float> d_;
+};
+
+}  // namespace isdc::sched
+
+#endif  // ISDC_SCHED_DELAY_MATRIX_H_

@@ -1,0 +1,114 @@
+#include "sched/metrics.h"
+
+#include <algorithm>
+
+#include "ir/extract.h"
+#include "support/check.h"
+
+namespace isdc::sched {
+
+int last_use_stage(const ir::graph& g, const schedule& s, ir::node_id v) {
+  int last = s.cycle[v];
+  for (ir::node_id u : g.users(v)) {
+    last = std::max(last, s.cycle[u]);
+  }
+  if (g.is_output(v)) {
+    last = std::max(last, s.num_stages() - 1);
+  }
+  return last;
+}
+
+std::int64_t register_bits(const ir::graph& g, const schedule& s) {
+  ISDC_CHECK(s.cycle.size() == g.num_nodes(), "schedule size mismatch");
+  std::int64_t bits = 0;
+  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+    if (g.at(v).op == ir::opcode::constant) {
+      continue;
+    }
+    const std::int64_t crossings = last_use_stage(g, s, v) - s.cycle[v];
+    bits += crossings * g.at(v).width;
+    if (g.is_output(v)) {
+      bits += g.at(v).width;  // output register at the pipeline end
+    }
+  }
+  return bits;
+}
+
+double estimated_stage_delay(const ir::graph& g, const schedule& s,
+                             const delay_matrix& d, int stage) {
+  double worst = 0.0;
+  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+    if (s.cycle[v] != stage) {
+      continue;
+    }
+    for (ir::node_id u = 0; u <= v; ++u) {
+      if (s.cycle[u] != stage || g.at(u).op == ir::opcode::constant) {
+        continue;
+      }
+      const float delay = d.get(u, v);
+      if (delay != delay_matrix::not_connected) {
+        worst = std::max(worst, static_cast<double>(delay));
+      }
+    }
+  }
+  return worst;
+}
+
+std::vector<double> estimated_stage_delays(const ir::graph& g,
+                                           const schedule& s,
+                                           const delay_matrix& d) {
+  std::vector<double> delays(static_cast<std::size_t>(s.num_stages()), 0.0);
+  for (int stage = 0; stage < s.num_stages(); ++stage) {
+    delays[static_cast<std::size_t>(stage)] =
+        estimated_stage_delay(g, s, d, stage);
+  }
+  return delays;
+}
+
+double estimated_critical_delay(const ir::graph& g, const schedule& s,
+                                const delay_matrix& d) {
+  double worst = 0.0;
+  for (double delay : estimated_stage_delays(g, s, d)) {
+    worst = std::max(worst, delay);
+  }
+  return worst;
+}
+
+double synthesized_stage_delay(const ir::graph& g, const schedule& s,
+                               int stage,
+                               const synth::synthesis_options& options) {
+  std::vector<ir::node_id> members;
+  std::vector<ir::node_id> roots;
+  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+    if (s.cycle[v] != stage || g.at(v).op == ir::opcode::constant ||
+        g.at(v).op == ir::opcode::input) {
+      continue;
+    }
+    members.push_back(v);
+    if (g.is_output(v) || last_use_stage(g, s, v) > stage) {
+      roots.push_back(v);
+    }
+  }
+  if (members.empty() || roots.empty()) {
+    return 0.0;  // pass-through stage, no logic between registers
+  }
+  const ir::extraction stage_cloud = ir::extract_subgraph(g, members, roots);
+  return synth::synthesize_graph(stage_cloud.g, options).critical_delay_ps;
+}
+
+double synthesized_critical_delay(const ir::graph& g, const schedule& s,
+                                  const synth::synthesis_options& options) {
+  double worst = 0.0;
+  for (int stage = 0; stage < s.num_stages(); ++stage) {
+    worst = std::max(worst, synthesized_stage_delay(g, s, stage, options));
+  }
+  return worst;
+}
+
+double post_synthesis_slack(const ir::graph& g, const schedule& s,
+                            double clock_period_ps,
+                            const synth::synthesis_options& options) {
+  return clock_period_ps - synthesized_critical_delay(g, s, options);
+}
+
+}  // namespace isdc::sched

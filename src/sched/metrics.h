@@ -1,0 +1,54 @@
+// Schedule quality metrics: pipeline register bits (the paper's "Register
+// Num."), estimated per-stage critical delays (from a delay matrix) and
+// post-synthesis per-stage delays/slack (through the downstream flow).
+#ifndef ISDC_SCHED_METRICS_H_
+#define ISDC_SCHED_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/delay_matrix.h"
+#include "sched/schedule.h"
+#include "synth/synthesis.h"
+
+namespace isdc::sched {
+
+/// Total flip-flop bits of the pipeline: every value crossing k stage
+/// boundaries needs k copies of its width, outputs are additionally
+/// registered at the pipeline end, constants are hardwired (free).
+std::int64_t register_bits(const ir::graph& g, const schedule& s);
+
+/// Last stage in which the value of `v` is consumed (its own stage if it
+/// has no users; the final stage if it is a primary output).
+int last_use_stage(const ir::graph& g, const schedule& s, ir::node_id v);
+
+/// Estimated critical delay of one stage / all stages: the maximum D[u][v]
+/// over connected same-stage pairs (constants excluded as path sources).
+double estimated_stage_delay(const ir::graph& g, const schedule& s,
+                             const delay_matrix& d, int stage);
+std::vector<double> estimated_stage_delays(const ir::graph& g,
+                                           const schedule& s,
+                                           const delay_matrix& d);
+/// max over stages.
+double estimated_critical_delay(const ir::graph& g, const schedule& s,
+                                const delay_matrix& d);
+
+/// Post-"synthesis" delay of one stage: the stage's combinational cloud is
+/// extracted (boundary values become register outputs, i.e. fresh inputs),
+/// run through the downstream flow and timed.
+double synthesized_stage_delay(const ir::graph& g, const schedule& s,
+                               int stage,
+                               const synth::synthesis_options& options = {});
+/// max over stages (the design's post-synthesis critical delay).
+double synthesized_critical_delay(
+    const ir::graph& g, const schedule& s,
+    const synth::synthesis_options& options = {});
+
+/// clock period - synthesized critical delay (Table I's "Slack").
+double post_synthesis_slack(const ir::graph& g, const schedule& s,
+                            double clock_period_ps,
+                            const synth::synthesis_options& options = {});
+
+}  // namespace isdc::sched
+
+#endif  // ISDC_SCHED_METRICS_H_

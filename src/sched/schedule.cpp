@@ -1,0 +1,25 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+namespace isdc::sched {
+
+int schedule::num_stages() const {
+  int max_cycle = -1;
+  for (int c : cycle) {
+    max_cycle = std::max(max_cycle, c);
+  }
+  return max_cycle + 1;
+}
+
+std::vector<ir::node_id> schedule::nodes_in_stage(int stage) const {
+  std::vector<ir::node_id> nodes;
+  for (ir::node_id id = 0; id < cycle.size(); ++id) {
+    if (cycle[id] == stage) {
+      nodes.push_back(id);
+    }
+  }
+  return nodes;
+}
+
+}  // namespace isdc::sched

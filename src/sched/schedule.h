@@ -1,0 +1,26 @@
+// Pipeline schedule: the clock cycle (stage) assigned to every IR node.
+#ifndef ISDC_SCHED_SCHEDULE_H_
+#define ISDC_SCHED_SCHEDULE_H_
+
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace isdc::sched {
+
+struct schedule {
+  std::vector<int> cycle;  ///< per node id
+
+  int num_stages() const;
+  bool same_stage(ir::node_id u, ir::node_id v) const {
+    return cycle[u] == cycle[v];
+  }
+  bool operator==(const schedule&) const = default;
+
+  /// Node ids scheduled in `stage`.
+  std::vector<ir::node_id> nodes_in_stage(int stage) const;
+};
+
+}  // namespace isdc::sched
+
+#endif  // ISDC_SCHED_SCHEDULE_H_

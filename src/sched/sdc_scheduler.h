@@ -1,0 +1,54 @@
+// Classic SDC scheduling (Cong & Zhang, DAC'06) over a delay matrix.
+//
+// Variables: a stage s_v per node, a last-use m_v per node, an origin
+// (time reference) and a sink (pipeline end). Constraints: dependences
+// (s_operand <= s_user), input pinning (inputs at stage 0), timing (Eq. 2
+// of the paper, from the delay matrix) and last-use coupling. Objective:
+// pipeline register bits (sum of bits * stages-crossed), with a small
+// earliest/shortest tie-break. The LP is solved exactly by the
+// min-cost-flow dual solver in src/sdc.
+//
+// ISDC calls this same scheduler every iteration with an updated,
+// reformulated delay matrix.
+#ifndef ISDC_SCHED_SDC_SCHEDULER_H_
+#define ISDC_SCHED_SDC_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "sched/delay_matrix.h"
+#include "sched/schedule.h"
+
+namespace isdc::sched {
+
+/// How Eq. 2 timing constraints are emitted.
+enum class timing_mode {
+  /// One constraint per connected pair with D[u][v] > Tclk, exactly as
+  /// written in the paper. O(n^2) constraints.
+  all_pairs,
+  /// Only "deepest-ancestor" pairs: for each sink v, ancestors u with
+  /// D[u][v] > Tclk none of whose users also exceed Tclk to v. Enforces
+  /// exactly the hardware legality condition (no intra-stage window longer
+  /// than Tclk) with near-linear constraint counts. Default.
+  frontier,
+};
+
+struct scheduler_options {
+  double clock_period_ps = 2500.0;
+  timing_mode timing = timing_mode::frontier;
+};
+
+struct scheduler_stats {
+  std::size_t num_constraints = 0;
+  std::size_t num_timing_constraints = 0;
+  std::int64_t objective = 0;
+};
+
+/// Schedules `g` against delay matrix `d`. Throws check_error when the
+/// constraints are infeasible (e.g. a single operation slower than Tclk).
+schedule sdc_schedule(const ir::graph& g, const delay_matrix& d,
+                      const scheduler_options& options = {},
+                      scheduler_stats* stats = nullptr);
+
+}  // namespace isdc::sched
+
+#endif  // ISDC_SCHED_SDC_SCHEDULER_H_

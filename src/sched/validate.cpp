@@ -1,0 +1,57 @@
+#include "sched/validate.h"
+
+#include <sstream>
+
+namespace isdc::sched {
+
+std::vector<std::string> validate_schedule(const ir::graph& g,
+                                           const schedule& s,
+                                           const delay_matrix& d,
+                                           double clock_period_ps,
+                                           double epsilon_ps) {
+  std::vector<std::string> violations;
+  const auto report = [&violations](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    violations.push_back(os.str());
+  };
+
+  if (s.cycle.size() != g.num_nodes()) {
+    report("schedule covers ", s.cycle.size(), " of ", g.num_nodes(),
+           " nodes");
+    return violations;
+  }
+  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+    if (s.cycle[v] < 0) {
+      report("node ", v, " has negative stage ", s.cycle[v]);
+    }
+    if (g.at(v).op == ir::opcode::input && s.cycle[v] != 0) {
+      report("input ", v, " scheduled at stage ", s.cycle[v],
+             " instead of 0");
+    }
+    for (ir::node_id p : g.at(v).operands) {
+      if (s.cycle[p] > s.cycle[v]) {
+        report("node ", v, " at stage ", s.cycle[v],
+               " precedes its operand ", p, " at stage ", s.cycle[p]);
+      }
+    }
+  }
+  // Intra-stage timing windows.
+  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+    for (ir::node_id u = 0; u <= v; ++u) {
+      if (s.cycle[u] != s.cycle[v] ||
+          g.at(u).op == ir::opcode::constant) {
+        continue;
+      }
+      const float delay = d.get(u, v);
+      if (delay != delay_matrix::not_connected &&
+          delay > clock_period_ps + epsilon_ps) {
+        report("stage ", s.cycle[v], " path ", u, " -> ", v, " takes ",
+               delay, " ps > ", clock_period_ps, " ps");
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace isdc::sched

@@ -1,0 +1,25 @@
+// Schedule legality checking: dependences, input pinning and intra-stage
+// timing against a delay matrix. Every ISDC iterate is validated in tests.
+#ifndef ISDC_SCHED_VALIDATE_H_
+#define ISDC_SCHED_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/delay_matrix.h"
+#include "sched/schedule.h"
+
+namespace isdc::sched {
+
+/// Returns human-readable descriptions of every violation found (empty =>
+/// legal). Timing legality: no connected same-stage pair (u, v), with u not
+/// a constant, may have D[u][v] > clock_period_ps (+ epsilon).
+std::vector<std::string> validate_schedule(const ir::graph& g,
+                                           const schedule& s,
+                                           const delay_matrix& d,
+                                           double clock_period_ps,
+                                           double epsilon_ps = 1e-6);
+
+}  // namespace isdc::sched
+
+#endif  // ISDC_SCHED_VALIDATE_H_

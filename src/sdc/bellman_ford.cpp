@@ -1,0 +1,75 @@
+#include "sdc/bellman_ford.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace isdc::sdc {
+
+std::optional<std::vector<std::int64_t>> potential_distances(
+    const system& sys) {
+  if (sys.trivially_infeasible()) {
+    return std::nullopt;
+  }
+  const int n = sys.num_vars();
+  // SPFA (queue-based Bellman-Ford) with relaxation counting for negative
+  // cycle detection. All nodes start at distance 0: equivalent to a virtual
+  // source with 0-weight arcs to every variable.
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n), 0);
+  std::vector<int> relaxations(static_cast<std::size_t>(n), 0);
+  std::vector<bool> queued(static_cast<std::size_t>(n), true);
+  std::deque<var_id> queue;
+  for (var_id v = 0; v < n; ++v) {
+    queue.push_back(v);
+  }
+
+  // Adjacency: arc u -> v with weight b for each constraint.
+  std::vector<std::vector<std::pair<var_id, std::int64_t>>> adj(
+      static_cast<std::size_t>(n));
+  for (const constraint& c : sys.constraints()) {
+    adj[static_cast<std::size_t>(c.u)].emplace_back(c.v, c.bound);
+  }
+
+  while (!queue.empty()) {
+    const var_id u = queue.front();
+    queue.pop_front();
+    queued[static_cast<std::size_t>(u)] = false;
+    for (const auto& [v, w] : adj[static_cast<std::size_t>(u)]) {
+      const std::int64_t cand = dist[static_cast<std::size_t>(u)] + w;
+      if (cand < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = cand;
+        if (++relaxations[static_cast<std::size_t>(v)] > n) {
+          return std::nullopt;  // negative cycle
+        }
+        if (!queued[static_cast<std::size_t>(v)]) {
+          queued[static_cast<std::size_t>(v)] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+solution find_feasible(const system& sys) {
+  solution result;
+  const auto dist = potential_distances(sys);
+  if (!dist.has_value()) {
+    result.st = solution::status::infeasible;
+    return result;
+  }
+  result.st = solution::status::feasible;
+  result.values.resize(dist->size());
+  // s_w = -dist_w satisfies every constraint; shift so the minimum is 0.
+  std::int64_t min_value = 0;
+  for (std::size_t i = 0; i < dist->size(); ++i) {
+    result.values[i] = -(*dist)[i];
+    min_value = std::min(min_value, result.values[i]);
+  }
+  for (auto& v : result.values) {
+    v -= min_value;
+  }
+  result.objective = sys.objective_at(result.values);
+  return result;
+}
+
+}  // namespace isdc::sdc

@@ -1,0 +1,29 @@
+// Bellman-Ford feasibility for difference-constraint systems.
+//
+// A constraint `s_u - s_v <= b` becomes an arc u -> v with weight b in the
+// "potential graph" convention used here: distances from a virtual source
+// satisfy dist_v <= dist_u + b, so s_w := -dist_w is a feasible assignment.
+// A negative cycle certifies infeasibility. The distances also serve as the
+// initial node potentials of the min-cost-flow solver.
+#ifndef ISDC_SDC_BELLMAN_FORD_H_
+#define ISDC_SDC_BELLMAN_FORD_H_
+
+#include <optional>
+#include <vector>
+
+#include "sdc/system.h"
+
+namespace isdc::sdc {
+
+/// Shortest distances from a virtual source connected to every variable
+/// with weight 0, or nullopt when a negative cycle exists (infeasible SDC).
+std::optional<std::vector<std::int64_t>> potential_distances(
+    const system& sys);
+
+/// Any feasible assignment (s_w = -dist_w, shifted so min value is 0),
+/// or an infeasible solution.
+solution find_feasible(const system& sys);
+
+}  // namespace isdc::sdc
+
+#endif  // ISDC_SDC_BELLMAN_FORD_H_

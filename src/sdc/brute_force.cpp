@@ -1,0 +1,48 @@
+#include "sdc/brute_force.h"
+
+#include "support/check.h"
+
+namespace isdc::sdc {
+
+namespace {
+
+void enumerate(const system& sys, std::int64_t lo, std::int64_t hi,
+               var_id origin, std::vector<std::int64_t>& values, int index,
+               solution& best) {
+  const int n = sys.num_vars();
+  if (index == n) {
+    if (!sys.satisfied_by(values)) {
+      return;
+    }
+    const std::int64_t obj = sys.objective_at(values);
+    if (best.st != solution::status::optimal || obj < best.objective) {
+      best.st = solution::status::optimal;
+      best.objective = obj;
+      best.values = values;
+    }
+    return;
+  }
+  if (index == origin) {
+    values[static_cast<std::size_t>(index)] = 0;
+    enumerate(sys, lo, hi, origin, values, index + 1, best);
+    return;
+  }
+  for (std::int64_t x = lo; x <= hi; ++x) {
+    values[static_cast<std::size_t>(index)] = x;
+    enumerate(sys, lo, hi, origin, values, index + 1, best);
+  }
+}
+
+}  // namespace
+
+solution solve_brute_force(const system& sys, std::int64_t lo, std::int64_t hi,
+                           var_id origin) {
+  ISDC_CHECK(sys.num_vars() <= 8, "brute force limited to 8 variables");
+  solution best;
+  best.st = solution::status::infeasible;
+  std::vector<std::int64_t> values(static_cast<std::size_t>(sys.num_vars()), 0);
+  enumerate(sys, lo, hi, origin, values, 0, best);
+  return best;
+}
+
+}  // namespace isdc::sdc

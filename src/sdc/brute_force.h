@@ -1,0 +1,18 @@
+// Exhaustive reference solver used by tests to certify the optimality of
+// the min-cost-flow solver on small systems.
+#ifndef ISDC_SDC_BRUTE_FORCE_H_
+#define ISDC_SDC_BRUTE_FORCE_H_
+
+#include "sdc/system.h"
+
+namespace isdc::sdc {
+
+/// Enumerates every assignment with each variable in [lo, hi] and
+/// s_origin = 0, returning the best feasible one. Exponential; for tests
+/// with <= ~6 variables only.
+solution solve_brute_force(const system& sys, std::int64_t lo,
+                           std::int64_t hi, var_id origin = 0);
+
+}  // namespace isdc::sdc
+
+#endif  // ISDC_SDC_BRUTE_FORCE_H_

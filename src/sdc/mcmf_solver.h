@@ -1,0 +1,28 @@
+// Optimal LP solver for difference-constraint systems.
+//
+// The LP  `min c's  s.t.  s_u - s_v <= b_uv`  is the dual of an
+// uncapacitated min-cost flow: each constraint becomes an arc u -> v with
+// cost b_uv, and each variable w becomes a node that must absorb a net
+// inflow of c_w. We solve the flow with successive shortest paths over
+// reduced costs (Bellman-Ford warm start, then Dijkstra) and read the
+// optimal primal assignment back from the node potentials; total
+// unimodularity guarantees it is integral.
+//
+// The origin variable is treated as the schedule's time reference: its
+// objective coefficient is internally adjusted so supplies balance, which
+// is exactly equivalent to fixing s_origin = 0 (the problem is then
+// invariant under translation and we normalize afterwards).
+#ifndef ISDC_SDC_MCMF_SOLVER_H_
+#define ISDC_SDC_MCMF_SOLVER_H_
+
+#include "sdc/system.h"
+
+namespace isdc::sdc {
+
+/// Solves `min c's` over `sys` with s_origin fixed to 0.
+/// Returns optimal / infeasible / unbounded.
+solution solve(const system& sys, var_id origin = 0);
+
+}  // namespace isdc::sdc
+
+#endif  // ISDC_SDC_MCMF_SOLVER_H_

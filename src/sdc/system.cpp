@@ -1,0 +1,69 @@
+#include "sdc/system.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace isdc::sdc {
+
+system::system(int num_vars) : num_vars_(num_vars) {
+  ISDC_CHECK(num_vars >= 0);
+  objective_.resize(static_cast<std::size_t>(num_vars), 0);
+}
+
+var_id system::add_var() {
+  objective_.push_back(0);
+  return num_vars_++;
+}
+
+void system::add_constraint(var_id u, var_id v, std::int64_t bound) {
+  ISDC_CHECK(u >= 0 && u < num_vars_ && v >= 0 && v < num_vars_,
+             "constraint variables out of range: " << u << ", " << v);
+  if (u == v) {
+    if (bound < 0) {
+      trivially_infeasible_ = true;  // s_u - s_u <= negative
+    }
+    return;  // otherwise vacuous
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+      static_cast<std::uint32_t>(v);
+  auto [it, inserted] = constraint_index_.try_emplace(key, constraints_.size());
+  if (inserted) {
+    constraints_.push_back(constraint{u, v, bound});
+  } else {
+    constraint& existing = constraints_[it->second];
+    existing.bound = std::min(existing.bound, bound);
+  }
+}
+
+void system::add_objective(var_id v, std::int64_t coeff) {
+  ISDC_CHECK(v >= 0 && v < num_vars_, "objective variable out of range");
+  objective_[static_cast<std::size_t>(v)] += coeff;
+}
+
+bool system::satisfied_by(const std::vector<std::int64_t>& values) const {
+  ISDC_CHECK(values.size() == static_cast<std::size_t>(num_vars_));
+  if (trivially_infeasible_) {
+    return false;
+  }
+  return std::all_of(constraints_.begin(), constraints_.end(),
+                     [&values](const constraint& c) {
+                       return values[static_cast<std::size_t>(c.u)] -
+                                  values[static_cast<std::size_t>(c.v)] <=
+                              c.bound;
+                     });
+}
+
+std::int64_t system::objective_at(
+    const std::vector<std::int64_t>& values) const {
+  ISDC_CHECK(values.size() == static_cast<std::size_t>(num_vars_));
+  std::int64_t total = 0;
+  for (int v = 0; v < num_vars_; ++v) {
+    total += objective_[static_cast<std::size_t>(v)] *
+             values[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+}  // namespace isdc::sdc

@@ -1,0 +1,76 @@
+// System of difference constraints (SDC).
+//
+// An SDC is a set of integer-difference constraints `s_u - s_v <= b` over
+// integer variables, plus a linear objective `min sum c_v * s_v`. The
+// constraint matrix is totally unimodular (Cong & Zhang, DAC'06), so the LP
+// relaxation always has an integral optimum — the property SDC scheduling
+// is built on. Solvers live in bellman_ford.h (feasibility) and
+// mcmf_solver.h (optimal objective via the min-cost-flow dual).
+#ifndef ISDC_SDC_SYSTEM_H_
+#define ISDC_SDC_SYSTEM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace isdc::sdc {
+
+using var_id = int;
+
+/// s_u - s_v <= bound.
+struct constraint {
+  var_id u = 0;
+  var_id v = 0;
+  std::int64_t bound = 0;
+};
+
+class system {
+public:
+  explicit system(int num_vars = 0);
+
+  /// Appends a fresh variable and returns its id.
+  var_id add_var();
+
+  int num_vars() const { return num_vars_; }
+
+  /// Adds `s_u - s_v <= bound`. Duplicate (u, v) pairs keep the tightest
+  /// bound. A self-pair with a negative bound makes the system trivially
+  /// infeasible; that is recorded and reported by the solvers.
+  void add_constraint(var_id u, var_id v, std::int64_t bound);
+
+  /// Adds `coeff * s_v` to the objective (accumulates over calls).
+  void add_objective(var_id v, std::int64_t coeff);
+
+  const std::vector<constraint>& constraints() const { return constraints_; }
+  const std::vector<std::int64_t>& objective() const { return objective_; }
+  bool trivially_infeasible() const { return trivially_infeasible_; }
+
+  /// True if `values` satisfies every constraint.
+  bool satisfied_by(const std::vector<std::int64_t>& values) const;
+
+  /// Objective value at `values`.
+  std::int64_t objective_at(const std::vector<std::int64_t>& values) const;
+
+private:
+  int num_vars_ = 0;
+  std::vector<constraint> constraints_;
+  std::unordered_map<std::uint64_t, std::size_t> constraint_index_;
+  std::vector<std::int64_t> objective_;
+  bool trivially_infeasible_ = false;
+};
+
+/// Result of an SDC solve.
+struct solution {
+  enum class status { optimal, feasible, infeasible, unbounded };
+  status st = status::infeasible;
+  std::vector<std::int64_t> values;
+  std::int64_t objective = 0;
+
+  bool ok() const {
+    return st == status::optimal || st == status::feasible;
+  }
+};
+
+}  // namespace isdc::sdc
+
+#endif  // ISDC_SDC_SYSTEM_H_

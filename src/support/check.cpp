@@ -1,0 +1,15 @@
+#include "support/check.h"
+
+namespace isdc::detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check `" << expr << "` failed";
+  if (!message.empty()) {
+    os << ": " << message;
+  }
+  throw check_error(os.str());
+}
+
+}  // namespace isdc::detail

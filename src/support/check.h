@@ -1,0 +1,45 @@
+// Runtime checking macros.
+//
+// ISDC_CHECK verifies a precondition/invariant and throws isdc::check_error
+// with source location on failure. Checks stay enabled in release builds:
+// the library is the reference implementation of a paper and silent
+// corruption is worse than the (measured, negligible) branch cost.
+#ifndef ISDC_SUPPORT_CHECK_H_
+#define ISDC_SUPPORT_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace isdc {
+
+/// Error thrown when an ISDC_CHECK fails. Carries "file:line: message".
+class check_error : public std::logic_error {
+public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace isdc
+
+// Fails with check_error when `cond` is false. The optional stream-style
+// message is only evaluated on failure.
+#define ISDC_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream isdc_check_os_;                                   \
+      __VA_OPT__(isdc_check_os_ << __VA_ARGS__;)                           \
+      ::isdc::detail::check_failed(__FILE__, __LINE__, #cond,              \
+                                   isdc_check_os_.str());                  \
+    }                                                                      \
+  } while (false)
+
+// Marks unreachable code paths.
+#define ISDC_UNREACHABLE(msg)                                              \
+  ::isdc::detail::check_failed(__FILE__, __LINE__, "unreachable", msg)
+
+#endif  // ISDC_SUPPORT_CHECK_H_

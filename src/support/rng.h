@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All randomized components of the library (workload generators, simulation
+// pattern generation, schedule-space sweeps) take an explicit rng so that
+// every experiment is reproducible from a seed.
+#ifndef ISDC_SUPPORT_RNG_H_
+#define ISDC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace isdc {
+
+/// xoshiro256** by Blackman & Vigna; small, fast and high quality.
+class rng {
+public:
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire-style rejection-free reduction is overkill here; modulo bias
+    // is negligible for the bounds used in this library.
+    return next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_RNG_H_

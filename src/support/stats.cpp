@@ -1,0 +1,94 @@
+#include "support/stats.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace isdc {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : xs) {
+    ISDC_CHECK(x > 0.0, "geomean requires positive values, got " << x);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  ISDC_CHECK(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+linear_fit_result linear_fit(std::span<const double> xs,
+                             std::span<const double> ys) {
+  ISDC_CHECK(xs.size() == ys.size());
+  linear_fit_result fit;
+  const std::size_t n = xs.size();
+  if (n < 2) {
+    return fit;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  if (sxx == 0.0) {
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+double mean_relative_error(std::span<const double> estimated,
+                           std::span<const double> reference) {
+  ISDC_CHECK(estimated.size() == reference.size());
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < estimated.size(); ++i) {
+    if (reference[i] != 0.0) {
+      sum += std::abs(estimated[i] - reference[i]) / std::abs(reference[i]);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace isdc

@@ -1,0 +1,32 @@
+// Small statistics helpers used by the benches (geomean ratios in Table I,
+// Pearson correlation / linear fit in Fig. 1 and Fig. 8, error summaries in
+// Fig. 7).
+#ifndef ISDC_SUPPORT_STATS_H_
+#define ISDC_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace isdc {
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);
+
+/// Pearson correlation coefficient; returns 0 for degenerate inputs.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Least-squares fit y = slope * x + intercept.
+struct linear_fit_result {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+linear_fit_result linear_fit(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Mean of |x - y| / y over pairs with y != 0 (relative estimation error).
+double mean_relative_error(std::span<const double> estimated,
+                           std::span<const double> reference);
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_STATS_H_

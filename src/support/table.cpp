@@ -1,0 +1,78 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace isdc {
+
+void text_table::set_header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void text_table::print(std::ostream& os) const {
+  // Column widths over header and all rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) {
+      widths.resize(cells.size(), 0);
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) {
+    absorb(row);
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) {
+      total += w + 2;
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void text_table::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        os << ',';
+      }
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace isdc

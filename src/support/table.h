@@ -1,0 +1,40 @@
+// Plain-text table rendering for the bench harnesses. Every bench prints
+// the same rows the paper's tables/figures report; this keeps the output
+// aligned and diff-friendly, and can also emit CSV for plotting.
+#ifndef ISDC_SUPPORT_TABLE_H_
+#define ISDC_SUPPORT_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace isdc {
+
+/// Column-aligned text table with an optional header rule.
+class text_table {
+public:
+  void set_header(std::vector<std::string> names);
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with to_string-like semantics.
+  void add_row(std::initializer_list<std::string> cells) {
+    add_row(std::vector<std::string>(cells));
+  }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string format_double(double value, int precision = 2);
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_TABLE_H_

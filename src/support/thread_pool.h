@@ -1,0 +1,62 @@
+// Fixed-size worker pool used to evaluate extracted subgraphs in parallel
+// (the paper evaluates 16 subgraphs per iteration in parallel) and to run
+// design-space sweeps in the benches.
+#ifndef ISDC_SUPPORT_THREAD_POOL_H_
+#define ISDC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace isdc {
+
+/// A minimal task-queue thread pool. Tasks are type-erased closures; submit
+/// returns a future. The destructor drains outstanding tasks then joins.
+class thread_pool {
+public:
+  /// Spawns `num_threads` workers; 0 means hardware concurrency (min 1).
+  explicit thread_pool(std::size_t num_threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using result_t = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<result_t()>>(
+        std::forward<F>(fn));
+    std::future<result_t> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_THREAD_POOL_H_

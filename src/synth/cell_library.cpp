@@ -1,0 +1,157 @@
+#include "synth/cell_library.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/check.h"
+
+namespace isdc::synth {
+
+namespace {
+
+/// Builds a truth table from a predicate over the input bit vector.
+aig::tt6 table_of(int num_inputs, const std::function<bool(unsigned)>& fn) {
+  aig::tt6 f = 0;
+  for (unsigned m = 0; m < (1u << num_inputs); ++m) {
+    if (fn(m)) {
+      f |= 1ull << m;
+    }
+  }
+  return f;
+}
+
+bool bit(unsigned m, int i) { return ((m >> i) & 1) != 0; }
+
+}  // namespace
+
+cell_library cell_library::sky130ish() {
+  std::vector<cell> cells;
+  const auto add = [&cells](std::string name, int k, double delay_ps,
+                            double area,
+                            const std::function<bool(unsigned)>& fn) {
+    cells.push_back(cell{std::move(name), k, table_of(k, fn), delay_ps, area});
+  };
+
+  // Delays: ballpark SKY130 HD typical with FO2-ish load, in picoseconds.
+  add("inv", 1, 40.0, 1.0, [](unsigned m) { return !bit(m, 0); });
+  add("buf", 1, 65.0, 1.25, [](unsigned m) { return bit(m, 0); });
+
+  add("nand2", 2, 55.0, 1.25,
+      [](unsigned m) { return !(bit(m, 0) && bit(m, 1)); });
+  add("nor2", 2, 70.0, 1.25,
+      [](unsigned m) { return !(bit(m, 0) || bit(m, 1)); });
+  add("and2", 2, 85.0, 1.5,
+      [](unsigned m) { return bit(m, 0) && bit(m, 1); });
+  add("or2", 2, 95.0, 1.5,
+      [](unsigned m) { return bit(m, 0) || bit(m, 1); });
+  add("xor2", 2, 155.0, 2.5,
+      [](unsigned m) { return bit(m, 0) != bit(m, 1); });
+  add("xnor2", 2, 150.0, 2.5,
+      [](unsigned m) { return bit(m, 0) == bit(m, 1); });
+  // Inverted-second-input variants (SKY130's *_2b cells); these make the
+  // library complete for every 2-variable function, so the fanin-pair cut
+  // of any AIG node always has a direct match.
+  add("and2b", 2, 90.0, 1.75,
+      [](unsigned m) { return bit(m, 0) && !bit(m, 1); });
+  add("nand2b", 2, 60.0, 1.5,
+      [](unsigned m) { return !(bit(m, 0) && !bit(m, 1)); });
+  add("or2b", 2, 100.0, 1.75,
+      [](unsigned m) { return bit(m, 0) || !bit(m, 1); });
+  add("nor2b", 2, 75.0, 1.5,
+      [](unsigned m) { return !(bit(m, 0) || !bit(m, 1)); });
+
+  add("nand3", 3, 75.0, 1.75,
+      [](unsigned m) { return !(bit(m, 0) && bit(m, 1) && bit(m, 2)); });
+  add("nor3", 3, 100.0, 1.75,
+      [](unsigned m) { return !(bit(m, 0) || bit(m, 1) || bit(m, 2)); });
+  add("and3", 3, 105.0, 2.0,
+      [](unsigned m) { return bit(m, 0) && bit(m, 1) && bit(m, 2); });
+  add("or3", 3, 115.0, 2.0,
+      [](unsigned m) { return bit(m, 0) || bit(m, 1) || bit(m, 2); });
+  add("nand4", 4, 95.0, 2.25, [](unsigned m) {
+    return !(bit(m, 0) && bit(m, 1) && bit(m, 2) && bit(m, 3));
+  });
+  add("nor4", 4, 125.0, 2.25, [](unsigned m) {
+    return !(bit(m, 0) || bit(m, 1) || bit(m, 2) || bit(m, 3));
+  });
+
+  add("aoi21", 3, 95.0, 1.75, [](unsigned m) {
+    return !((bit(m, 0) && bit(m, 1)) || bit(m, 2));
+  });
+  add("oai21", 3, 95.0, 1.75, [](unsigned m) {
+    return !((bit(m, 0) || bit(m, 1)) && bit(m, 2));
+  });
+  add("aoi22", 4, 120.0, 2.25, [](unsigned m) {
+    return !((bit(m, 0) && bit(m, 1)) || (bit(m, 2) && bit(m, 3)));
+  });
+  add("oai22", 4, 120.0, 2.25, [](unsigned m) {
+    return !((bit(m, 0) || bit(m, 1)) && (bit(m, 2) || bit(m, 3)));
+  });
+
+  add("mux2", 3, 140.0, 2.75, [](unsigned m) {
+    return bit(m, 2) ? bit(m, 0) : bit(m, 1);
+  });
+  add("maj3", 3, 135.0, 2.5, [](unsigned m) {
+    const int sum = static_cast<int>(bit(m, 0)) + static_cast<int>(bit(m, 1)) +
+                    static_cast<int>(bit(m, 2));
+    return sum >= 2;
+  });
+  add("xor3", 3, 280.0, 4.0, [](unsigned m) {
+    return (bit(m, 0) != bit(m, 1)) != bit(m, 2);
+  });
+  add("xnor3", 3, 275.0, 4.0, [](unsigned m) {
+    return !((bit(m, 0) != bit(m, 1)) != bit(m, 2));
+  });
+
+  return cell_library(std::move(cells));
+}
+
+cell_library::cell_library(std::vector<cell> cells)
+    : cells_(std::move(cells)), index_(5) {
+  for (int ci = 0; ci < static_cast<int>(cells_.size()); ++ci) {
+    const cell& c = cells_[static_cast<std::size_t>(ci)];
+    ISDC_CHECK(c.num_inputs >= 1 && c.num_inputs <= 4,
+               "cell " << c.name << " has unsupported input count");
+    if (c.name == "inv") {
+      inverter_index_ = ci;
+    }
+    // Register the cell under every pin permutation.
+    std::array<int, 4> perm{};
+    for (int i = 0; i < c.num_inputs; ++i) {
+      perm[static_cast<std::size_t>(i)] = i;
+    }
+    do {
+      const aig::tt6 permuted = aig::tt_permute(
+          c.function, c.num_inputs,
+          std::span<const int>(perm.data(),
+                               static_cast<std::size_t>(c.num_inputs)));
+      // tt_permute(h, perm) evaluates pin j at variable perm^-1(j), so the
+      // pin-to-variable map stored with the match is the inverse
+      // permutation.
+      cell_match match;
+      match.cell_index = ci;
+      for (int i = 0; i < c.num_inputs; ++i) {
+        match.pin_to_var[static_cast<std::size_t>(
+            perm[static_cast<std::size_t>(i)])] = i;
+      }
+      index_[static_cast<std::size_t>(c.num_inputs)][permuted].push_back(
+          match);
+    } while (std::next_permutation(
+        perm.begin(), perm.begin() + c.num_inputs));
+  }
+  ISDC_CHECK(inverter_index_ >= 0, "library must contain an inverter");
+}
+
+const std::vector<cell_match>* cell_library::find(int num_vars,
+                                                  aig::tt6 f) const {
+  ISDC_CHECK(num_vars >= 1 && num_vars <= 4);
+  const auto& bucket = index_[static_cast<std::size_t>(num_vars)];
+  const auto it = bucket.find(f & aig::tt_mask(num_vars));
+  return it == bucket.end() ? nullptr : &it->second;
+}
+
+double cell_library::inverter_delay_ps() const {
+  return cells_[static_cast<std::size_t>(inverter_index_)].delay_ps;
+}
+
+}  // namespace isdc::synth

@@ -1,0 +1,64 @@
+// Synthetic standard-cell library ("sky130ish").
+//
+// The paper evaluates on the open-source SKY130 PDK through Yosys+OpenSTA.
+// We cannot ship the PDK, so this library models a comparable cell set
+// (inverters, NAND/NOR/AND/OR 2-4, XOR/XNOR, AOI/OAI, MUX, MAJ, XOR3) with
+// picosecond delays calibrated to the same order of magnitude as SKY130 HD
+// typical-corner cells under modest load. Absolute numbers differ from the
+// paper's; DESIGN.md explains why only the *shape* of results transfers.
+#ifndef ISDC_SYNTH_CELL_LIBRARY_H_
+#define ISDC_SYNTH_CELL_LIBRARY_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/truth_table.h"
+
+namespace isdc::synth {
+
+struct cell {
+  std::string name;
+  int num_inputs = 0;       ///< 1..4
+  aig::tt6 function = 0;    ///< truth table over num_inputs variables
+  double delay_ps = 0.0;    ///< worst pin-to-pin delay
+  double area = 0.0;        ///< relative cell area
+};
+
+/// A library match: implement a k-input function with `cell_index`,
+/// connecting cell pin j to function variable pin_to_var[j].
+struct cell_match {
+  int cell_index = 0;
+  std::array<int, 4> pin_to_var{};
+};
+
+class cell_library {
+public:
+  /// The default synthetic library described above.
+  static cell_library sky130ish();
+
+  explicit cell_library(std::vector<cell> cells);
+
+  const std::vector<cell>& cells() const { return cells_; }
+  const cell& at(int index) const { return cells_[static_cast<std::size_t>(index)]; }
+
+  /// Matches of the exact function `f` over `num_vars` variables (every
+  /// variable must be in f's support for matching to be meaningful).
+  /// Returns nullptr when no cell implements f under any pin permutation.
+  const std::vector<cell_match>* find(int num_vars, aig::tt6 f) const;
+
+  /// Index and delay of the inverter cell.
+  int inverter_index() const { return inverter_index_; }
+  double inverter_delay_ps() const;
+
+private:
+  std::vector<cell> cells_;
+  // (num_vars, tt) -> matches.
+  std::vector<std::unordered_map<aig::tt6, std::vector<cell_match>>> index_;
+  int inverter_index_ = -1;
+};
+
+}  // namespace isdc::synth
+
+#endif  // ISDC_SYNTH_CELL_LIBRARY_H_

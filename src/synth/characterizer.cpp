@@ -1,0 +1,154 @@
+#include "synth/characterizer.h"
+
+#include "ir/builder.h"
+#include "support/check.h"
+
+namespace isdc::synth {
+
+namespace {
+
+/// Builds the single-operation graph used for isolated characterization.
+ir::graph single_op_graph(ir::opcode op, std::uint32_t width) {
+  ir::graph g("char");
+  ir::builder b(g);
+  ir::node_id result = ir::invalid_node;
+  switch (op) {
+    case ir::opcode::add:
+      result = b.add(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::sub:
+      result = b.sub(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::neg:
+      result = b.neg(b.input(width, "a"));
+      break;
+    case ir::opcode::mul:
+      result = b.mul(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::band:
+      result = b.band(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::bor:
+      result = b.bor(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::bxor:
+      result = b.bxor(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::bnot:
+      result = b.bnot(b.input(width, "a"));
+      break;
+    case ir::opcode::shl:
+    case ir::opcode::shr:
+    case ir::opcode::rotl:
+    case ir::opcode::rotr: {
+      std::uint32_t amount_bits = 1;
+      while ((1u << amount_bits) < width) {
+        ++amount_bits;
+      }
+      const ir::node_id a = b.input(width, "a");
+      const ir::node_id amt = b.input(amount_bits + 1, "amt");
+      if (op == ir::opcode::shl) {
+        result = b.shl(a, amt);
+      } else if (op == ir::opcode::shr) {
+        result = b.shr(a, amt);
+      } else if (op == ir::opcode::rotl) {
+        result = b.rotl(a, amt);
+      } else {
+        result = b.rotr(a, amt);
+      }
+      break;
+    }
+    case ir::opcode::eq:
+      result = b.eq(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::ne:
+      result = b.ne(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::ult:
+      result = b.ult(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::ule:
+      result = b.ule(b.input(width, "a"), b.input(width, "b"));
+      break;
+    case ir::opcode::mux:
+      result = b.mux(b.input(1, "sel"), b.input(width, "t"),
+                     b.input(width, "f"));
+      break;
+    default:
+      ISDC_UNREACHABLE("opcode needs no characterization");
+  }
+  g.mark_output(result);
+  return g;
+}
+
+}  // namespace
+
+delay_model::delay_model(synthesis_options options)
+    : options_(std::move(options)) {}
+
+double delay_model::op_delay_ps(ir::opcode op, std::uint32_t width,
+                                bool variable_amount) const {
+  switch (op) {
+    case ir::opcode::input:
+    case ir::opcode::constant:
+    case ir::opcode::slice:
+    case ir::opcode::concat:
+    case ir::opcode::zext:
+    case ir::opcode::sext:
+      return 0.0;
+    case ir::opcode::shl:
+    case ir::opcode::shr:
+    case ir::opcode::rotl:
+    case ir::opcode::rotr:
+      if (!variable_amount) {
+        return 0.0;  // constant-amount shifts are wiring
+      }
+      break;
+    default:
+      break;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(op) << 32) | width;
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
+  }
+  const ir::graph g = single_op_graph(op, width);
+  const double delay = synthesize_graph(g, options_).critical_delay_ps;
+  std::lock_guard lock(mutex_);
+  cache_.emplace(key, delay);
+  return delay;
+}
+
+double delay_model::node_delay_ps(const ir::graph& g, ir::node_id id) const {
+  const ir::node& n = g.at(id);
+  bool variable_amount = false;
+  switch (n.op) {
+    case ir::opcode::shl:
+    case ir::opcode::shr:
+    case ir::opcode::rotl:
+    case ir::opcode::rotr:
+      variable_amount =
+          g.at(n.operands[1]).op != ir::opcode::constant;
+      break;
+    default:
+      break;
+  }
+  // Comparisons are characterized at their operand width, not their 1-bit
+  // result width.
+  std::uint32_t width = n.width;
+  switch (n.op) {
+    case ir::opcode::eq:
+    case ir::opcode::ne:
+    case ir::opcode::ult:
+    case ir::opcode::ule:
+      width = g.width(n.operands[0]);
+      break;
+    default:
+      break;
+  }
+  return op_delay_ps(n.op, width, variable_amount);
+}
+
+}  // namespace isdc::synth

@@ -1,0 +1,41 @@
+// Pre-characterized per-operation delay model — the HLS-side timing
+// oracle (the role XLS's delay model plays). Each (opcode, width) is
+// synthesized *in isolation* through the full downstream flow and its
+// critical delay cached. Summing these per-op delays along a path is
+// exactly the estimate classic SDC scheduling uses, and exactly what
+// deviates from the combined-subgraph timing (paper Fig. 1).
+#ifndef ISDC_SYNTH_CHARACTERIZER_H_
+#define ISDC_SYNTH_CHARACTERIZER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "ir/graph.h"
+#include "synth/synthesis.h"
+
+namespace isdc::synth {
+
+class delay_model {
+public:
+  explicit delay_model(synthesis_options options = {});
+
+  /// Characterized delay of one operation kind at a width. `variable_amount`
+  /// distinguishes variable shifts/rotates (barrel networks) from
+  /// constant-amount ones (pure wiring, 0 ps).
+  double op_delay_ps(ir::opcode op, std::uint32_t width,
+                     bool variable_amount = false) const;
+
+  /// Delay of a node in context: wiring-only ops and constant-amount
+  /// shifts are free; everything else defers to op_delay_ps.
+  double node_delay_ps(const ir::graph& g, ir::node_id id) const;
+
+private:
+  synthesis_options options_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::uint64_t, double> cache_;
+};
+
+}  // namespace isdc::synth
+
+#endif  // ISDC_SYNTH_CHARACTERIZER_H_

@@ -1,0 +1,95 @@
+#include "synth/netlist.h"
+
+#include "support/check.h"
+
+namespace isdc::synth {
+
+netlist::netlist(const cell_library& lib) : lib_(&lib) {
+  driver_.assign(2, -1);  // const0 and const1
+}
+
+net_id netlist::add_pi() {
+  const net_id n = static_cast<net_id>(driver_.size());
+  driver_.push_back(-1);
+  pis_.push_back(n);
+  return n;
+}
+
+net_id netlist::add_gate(int cell_index, std::vector<net_id> fanins) {
+  const cell& c = lib_->at(cell_index);
+  ISDC_CHECK(fanins.size() == static_cast<std::size_t>(c.num_inputs),
+             "gate " << c.name << " expects " << c.num_inputs << " fanins");
+  for (net_id f : fanins) {
+    ISDC_CHECK(f < driver_.size(), "gate fanin net out of range");
+  }
+  const net_id out = static_cast<net_id>(driver_.size());
+  driver_.push_back(static_cast<int>(gates_.size()));
+  gates_.push_back(gate{cell_index, std::move(fanins)});
+  return out;
+}
+
+void netlist::add_po(net_id n) {
+  ISDC_CHECK(n < driver_.size(), "PO net out of range");
+  pos_.push_back(n);
+}
+
+double netlist::total_area() const {
+  double area = 0.0;
+  for (const gate& g : gates_) {
+    area += lib_->at(g.cell_index).area;
+  }
+  return area;
+}
+
+std::vector<std::uint64_t> netlist::simulate(
+    std::span<const std::uint64_t> pi_patterns) const {
+  ISDC_CHECK(pi_patterns.size() == pis_.size(),
+             "expected " << pis_.size() << " PI patterns");
+  std::vector<std::uint64_t> words(driver_.size(), 0);
+  words[net_const1] = ~0ull;
+  for (std::size_t i = 0; i < pis_.size(); ++i) {
+    words[pis_[i]] = pi_patterns[i];
+  }
+  // Gates were created topologically; net ids of gate outputs are
+  // 2 + num_pis + gate_index in creation order... but PIs may interleave
+  // with gates in principle, so recompute output net per gate by scanning.
+  std::vector<net_id> gate_out(gates_.size());
+  for (net_id n = 0; n < driver_.size(); ++n) {
+    if (driver_[n] >= 0) {
+      gate_out[static_cast<std::size_t>(driver_[n])] = n;
+    }
+  }
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    const gate& g = gates_[gi];
+    const cell& c = lib_->at(g.cell_index);
+    // Evaluate the cell's truth table minterm by minterm over the packed
+    // pattern words.
+    std::uint64_t out = 0;
+    for (unsigned m = 0; m < (1u << c.num_inputs); ++m) {
+      if (((c.function >> m) & 1) == 0) {
+        continue;
+      }
+      std::uint64_t term = ~0ull;
+      for (int pin = 0; pin < c.num_inputs; ++pin) {
+        const std::uint64_t w = words[g.fanins[static_cast<std::size_t>(pin)]];
+        term &= ((m >> pin) & 1) != 0 ? w : ~w;
+      }
+      out |= term;
+    }
+    words[gate_out[gi]] = out;
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> netlist::simulate_outputs(
+    std::span<const std::uint64_t> pi_patterns) const {
+  const std::vector<std::uint64_t> words = simulate(pi_patterns);
+  std::vector<std::uint64_t> out;
+  out.reserve(pos_.size());
+  for (net_id po : pos_) {
+    out.push_back(words[po]);
+  }
+  return out;
+}
+
+}  // namespace isdc::synth

@@ -1,0 +1,64 @@
+// Mapped gate-level netlist: the output of technology mapping and the
+// input of static timing analysis. Nets are single-driver; net 0/1 are the
+// constant nets.
+#ifndef ISDC_SYNTH_NETLIST_H_
+#define ISDC_SYNTH_NETLIST_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "synth/cell_library.h"
+
+namespace isdc::synth {
+
+using net_id = std::uint32_t;
+
+inline constexpr net_id net_const0 = 0;
+inline constexpr net_id net_const1 = 1;
+
+/// One instantiated cell; fanins are net ids in cell-pin order.
+struct gate {
+  int cell_index = 0;
+  std::vector<net_id> fanins;
+};
+
+class netlist {
+public:
+  explicit netlist(const cell_library& lib);
+
+  net_id add_pi();
+  /// Instantiates `cell_index`; returns the gate's output net. Fanin nets
+  /// must already exist (gates are created in topological order).
+  net_id add_gate(int cell_index, std::vector<net_id> fanins);
+  void add_po(net_id n);
+
+  const cell_library& library() const { return *lib_; }
+  std::size_t num_nets() const { return driver_.size(); }
+  std::size_t num_gates() const { return gates_.size(); }
+  const std::vector<gate>& gates() const { return gates_; }
+  const std::vector<net_id>& pis() const { return pis_; }
+  const std::vector<net_id>& pos() const { return pos_; }
+
+  /// -1 for PIs/constants, otherwise the index of the driving gate.
+  int driver_gate(net_id n) const { return driver_[n]; }
+
+  double total_area() const;
+
+  /// 64-way parallel simulation; one pattern word per PI.
+  std::vector<std::uint64_t> simulate(std::span<const std::uint64_t>
+                                          pi_patterns) const;
+  std::vector<std::uint64_t> simulate_outputs(std::span<const std::uint64_t>
+                                                  pi_patterns) const;
+
+private:
+  const cell_library* lib_;
+  std::vector<gate> gates_;
+  std::vector<int> driver_;  // per net: gate index or -1
+  std::vector<net_id> pis_;
+  std::vector<net_id> pos_;
+};
+
+}  // namespace isdc::synth
+
+#endif  // ISDC_SYNTH_NETLIST_H_

@@ -1,0 +1,61 @@
+#include "synth/sta.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace isdc::synth {
+
+sta_result analyze(const netlist& nl) {
+  sta_result result;
+  result.arrival_ps.assign(nl.num_nets(), 0.0);
+  // Gates are stored in topological order; find each gate's output net.
+  std::vector<net_id> gate_out(nl.num_gates());
+  for (net_id n = 0; n < nl.num_nets(); ++n) {
+    if (nl.driver_gate(n) >= 0) {
+      gate_out[static_cast<std::size_t>(nl.driver_gate(n))] = n;
+    }
+  }
+  for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+    const gate& g = nl.gates()[gi];
+    double arrival = 0.0;
+    for (net_id f : g.fanins) {
+      arrival = std::max(arrival, result.arrival_ps[f]);
+    }
+    arrival += nl.library().at(g.cell_index).delay_ps;
+    result.arrival_ps[gate_out[gi]] = arrival;
+  }
+  for (net_id po : nl.pos()) {
+    if (result.arrival_ps[po] >= result.critical_delay_ps) {
+      result.critical_delay_ps = result.arrival_ps[po];
+      result.critical_endpoint = po;
+    }
+  }
+  return result;
+}
+
+double worst_slack_ps(const netlist& nl, double clock_period_ps) {
+  return clock_period_ps - analyze(nl).critical_delay_ps;
+}
+
+std::vector<net_id> critical_path(const netlist& nl) {
+  const sta_result sta = analyze(nl);
+  std::vector<net_id> path;
+  net_id cur = sta.critical_endpoint;
+  path.push_back(cur);
+  while (nl.driver_gate(cur) >= 0) {
+    const gate& g = nl.gates()[static_cast<std::size_t>(nl.driver_gate(cur))];
+    // Follow the latest-arriving fanin.
+    net_id worst = g.fanins.front();
+    for (net_id f : g.fanins) {
+      if (sta.arrival_ps[f] > sta.arrival_ps[worst]) {
+        worst = f;
+      }
+    }
+    cur = worst;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace isdc::synth

@@ -1,0 +1,30 @@
+// Static timing analysis over mapped netlists (the OpenSTA stand-in):
+// topological arrival-time propagation with per-cell delays, critical path
+// extraction and slack reporting.
+#ifndef ISDC_SYNTH_STA_H_
+#define ISDC_SYNTH_STA_H_
+
+#include <vector>
+
+#include "synth/netlist.h"
+
+namespace isdc::synth {
+
+struct sta_result {
+  std::vector<double> arrival_ps;  ///< per net
+  double critical_delay_ps = 0.0;  ///< max arrival over POs
+  net_id critical_endpoint = 0;    ///< PO net achieving the max
+};
+
+/// Arrival times assuming all PIs (and constants) are valid at t = 0.
+sta_result analyze(const netlist& nl);
+
+/// Clock period minus the critical delay.
+double worst_slack_ps(const netlist& nl, double clock_period_ps);
+
+/// Nets of the critical path, endpoint first.
+std::vector<net_id> critical_path(const netlist& nl);
+
+}  // namespace isdc::synth
+
+#endif  // ISDC_SYNTH_STA_H_

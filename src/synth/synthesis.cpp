@@ -1,0 +1,66 @@
+#include "synth/synthesis.h"
+
+#include <utility>
+
+#include "aig/balance.h"
+#include "aig/refactor.h"
+#include "aig/rewrite.h"
+#include "lower/lowering.h"
+
+namespace isdc::synth {
+
+const cell_library& default_library() {
+  static const cell_library lib = cell_library::sky130ish();
+  return lib;
+}
+
+aig::aig optimize(aig::aig g, const synthesis_options& options) {
+  // A resyn-style script: alternate depth-oriented balancing with local
+  // Boolean restructuring until the graph stops improving (or the round
+  // budget runs out).
+  for (int round = 0; round < options.opt_rounds; ++round) {
+    const int depth_before = g.depth();
+    const std::size_t size_before = g.num_ands();
+    g = aig::balance(g);
+    if (options.use_rewrite) {
+      g = aig::rewrite(g);
+    }
+    if (options.use_refactor) {
+      g = aig::refactor(g);
+    }
+    g = aig::balance(g);
+    if (g.depth() >= depth_before && g.num_ands() >= size_before) {
+      break;  // converged
+    }
+  }
+  return g.cleanup();
+}
+
+synthesis_result synthesize_aig(const aig::aig& g,
+                                const synthesis_options& options,
+                                netlist* mapped_out) {
+  synthesis_result result;
+  result.aig_depth_before = g.depth();
+  const aig::aig optimized = optimize(g.cleanup(), options);
+  result.aig_depth_after = optimized.depth();
+  result.aig_nodes_after = optimized.num_ands();
+  netlist mapped =
+      technology_map(optimized, default_library(), options.mapping);
+  const sta_result sta = analyze(mapped);
+  result.critical_delay_ps = sta.critical_delay_ps;
+  result.area = mapped.total_area();
+  result.gate_count = mapped.num_gates();
+  if (mapped_out != nullptr) {
+    *mapped_out = std::move(mapped);
+  }
+  return result;
+}
+
+synthesis_result synthesize_graph(const ir::graph& g,
+                                  const synthesis_options& options,
+                                  netlist* mapped_out) {
+  const lower::lowering_result lowered = lower::lower_graph(g);
+  return synthesize_aig(lowered.net, options, mapped_out);
+}
+
+}  // namespace isdc::synth

@@ -1,0 +1,49 @@
+// The "downstream tool" pipeline: lower -> optimize (balance / rewrite /
+// refactor rounds, the resyn analogue) -> technology map -> STA. This is
+// the flow ISDC's feedback loop invokes on every extracted subgraph, and
+// the flow used to pre-characterize individual operations.
+#ifndef ISDC_SYNTH_SYNTHESIS_H_
+#define ISDC_SYNTH_SYNTHESIS_H_
+
+#include "aig/aig.h"
+#include "ir/graph.h"
+#include "synth/sta.h"
+#include "synth/techmap.h"
+
+namespace isdc::synth {
+
+struct synthesis_options {
+  int opt_rounds = 2;        ///< balance/rewrite/refactor iterations
+  bool use_rewrite = true;
+  bool use_refactor = true;
+  techmap_options mapping;
+};
+
+struct synthesis_result {
+  double critical_delay_ps = 0.0;
+  double area = 0.0;
+  std::size_t gate_count = 0;
+  int aig_depth_before = 0;   ///< after lowering, before optimization
+  int aig_depth_after = 0;    ///< after the optimization script
+  std::size_t aig_nodes_after = 0;
+};
+
+/// The process-design-kit singleton used across the library.
+const cell_library& default_library();
+
+/// Runs the optimization script on an AIG (strash is implicit).
+aig::aig optimize(aig::aig g, const synthesis_options& options = {});
+
+/// optimize + map + STA.
+synthesis_result synthesize_aig(const aig::aig& g,
+                                const synthesis_options& options = {},
+                                netlist* mapped_out = nullptr);
+
+/// Full flow from the word-level IR.
+synthesis_result synthesize_graph(const ir::graph& g,
+                                  const synthesis_options& options = {},
+                                  netlist* mapped_out = nullptr);
+
+}  // namespace isdc::synth
+
+#endif  // ISDC_SYNTH_SYNTHESIS_H_

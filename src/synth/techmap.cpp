@@ -1,0 +1,207 @@
+#include "synth/techmap.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "aig/cuts.h"
+#include "support/check.h"
+
+namespace isdc::synth {
+
+namespace {
+
+constexpr double infinite_arrival = std::numeric_limits<double>::max() / 4;
+
+/// Removes a vacuous variable from a truth table, shrinking it by one var.
+aig::tt6 tt_drop_var(aig::tt6 f, int var, int num_vars) {
+  aig::tt6 out = 0;
+  const int out_size = 1 << (num_vars - 1);
+  for (int m = 0; m < out_size; ++m) {
+    // Insert a 0 bit at position `var`.
+    const int low = m & ((1 << var) - 1);
+    const int high = (m >> var) << (var + 1);
+    const int src = high | low;
+    if ((f >> src) & 1) {
+      out |= 1ull << m;
+    }
+  }
+  return out;
+}
+
+/// Best implementation of one (node, phase).
+struct impl_choice {
+  enum class kind { unset, constant, pi, cell, inverter };
+  kind k = kind::unset;
+  double arrival = infinite_arrival;
+  double area = 0.0;                      // tiebreak
+  std::vector<aig::node_index> leaves;    // for cell: leaf per variable
+  cell_match match;                       // for cell
+};
+
+class mapper {
+public:
+  mapper(const aig::aig& g, const cell_library& lib,
+         const techmap_options& options)
+      : g_(g), lib_(lib), options_(options), out_(lib) {}
+
+  netlist run() {
+    compute_choices();
+    extract_cover();
+    return std::move(out_);
+  }
+
+private:
+  void compute_choices() {
+    choices_.assign(g_.num_nodes(), {});
+    const double inv = lib_.inverter_delay_ps();
+
+    aig::cut_enumeration_options cut_opts;
+    cut_opts.k = options_.cut_size;
+    cut_opts.max_cuts = options_.max_cuts_per_node;
+    const auto cuts = aig::enumerate_cuts(g_, cut_opts);
+
+    for (aig::node_index n = 0; n < g_.num_nodes(); ++n) {
+      auto& [pos, neg] = choices_[n];
+      if (g_.is_const0(n)) {
+        pos.k = impl_choice::kind::constant;
+        pos.arrival = 0.0;
+        neg.k = impl_choice::kind::constant;
+        neg.arrival = 0.0;
+        continue;
+      }
+      if (g_.is_pi(n)) {
+        pos.k = impl_choice::kind::pi;
+        pos.arrival = 0.0;
+        neg.k = impl_choice::kind::inverter;
+        neg.arrival = inv;
+        continue;
+      }
+      for (const aig::cut& c : cuts[n]) {
+        if (c.size == 1 && c.leaves[0] == n) {
+          continue;  // trivial self-cut cannot implement the node
+        }
+        aig::tt6 f = aig::cut_function(g_, n, c);
+        // Support compaction.
+        std::vector<aig::node_index> leaves(c.leaves.begin(),
+                                            c.leaves.begin() + c.size);
+        int vars = c.size;
+        for (int v = vars - 1; v >= 0; --v) {
+          if (!aig::tt_depends_on(f, v, vars)) {
+            f = tt_drop_var(f, v, vars);
+            leaves.erase(leaves.begin() + v);
+            --vars;
+          }
+        }
+        if (vars == 0 || vars > 4) {
+          continue;  // constants fold during AIG construction; >4 unmatched
+        }
+        for (int phase = 0; phase < 2; ++phase) {
+          const aig::tt6 target =
+              phase == 0 ? f : (~f & aig::tt_mask(vars));
+          const auto* matches = lib_.find(vars, target);
+          if (matches == nullptr) {
+            continue;
+          }
+          impl_choice& slot = phase == 0 ? pos : neg;
+          for (const cell_match& m : *matches) {
+            const cell& cl = lib_.at(m.cell_index);
+            double arrival = 0.0;
+            for (int v = 0; v < vars; ++v) {
+              arrival = std::max(
+                  arrival,
+                  choices_[leaves[static_cast<std::size_t>(v)]].first.arrival);
+            }
+            arrival += cl.delay_ps;
+            if (arrival < slot.arrival ||
+                (arrival == slot.arrival && cl.area < slot.area)) {
+              slot.k = impl_choice::kind::cell;
+              slot.arrival = arrival;
+              slot.area = cl.area;
+              slot.leaves = leaves;
+              slot.match = m;
+            }
+          }
+        }
+      }
+      ISDC_CHECK(pos.k != impl_choice::kind::unset ||
+                     neg.k != impl_choice::kind::unset,
+                 "node " << n << " has no library match");
+      // Inverter relaxation between phases.
+      if (neg.arrival + inv < pos.arrival) {
+        pos.k = impl_choice::kind::inverter;
+        pos.arrival = neg.arrival + inv;
+      }
+      if (pos.arrival + inv < neg.arrival) {
+        neg.k = impl_choice::kind::inverter;
+        neg.arrival = pos.arrival + inv;
+      }
+    }
+  }
+
+  net_id realize(aig::node_index n, int phase) {
+    auto& slot = phase == 0 ? nets_[n].first : nets_[n].second;
+    if (slot != absent) {
+      return slot;
+    }
+    const impl_choice& choice =
+        phase == 0 ? choices_[n].first : choices_[n].second;
+    switch (choice.k) {
+      case impl_choice::kind::constant:
+        slot = phase == 0 ? net_const0 : net_const1;
+        break;
+      case impl_choice::kind::pi:
+        slot = pi_nets_[n];
+        break;
+      case impl_choice::kind::inverter: {
+        const net_id in = realize(n, 1 - phase);
+        slot = out_.add_gate(lib_.inverter_index(), {in});
+        break;
+      }
+      case impl_choice::kind::cell: {
+        const cell& cl = lib_.at(choice.match.cell_index);
+        std::vector<net_id> fanins(static_cast<std::size_t>(cl.num_inputs));
+        for (int pin = 0; pin < cl.num_inputs; ++pin) {
+          const int var = choice.match.pin_to_var[static_cast<std::size_t>(pin)];
+          fanins[static_cast<std::size_t>(pin)] =
+              realize(choice.leaves[static_cast<std::size_t>(var)], 0);
+        }
+        slot = out_.add_gate(choice.match.cell_index, std::move(fanins));
+        break;
+      }
+      case impl_choice::kind::unset:
+        ISDC_UNREACHABLE("realizing a node without an implementation");
+    }
+    return slot;
+  }
+
+  void extract_cover() {
+    nets_.assign(g_.num_nodes(), {absent, absent});
+    pi_nets_.assign(g_.num_nodes(), absent);
+    for (aig::node_index pi : g_.pis()) {
+      pi_nets_[pi] = out_.add_pi();
+    }
+    for (aig::literal po : g_.pos()) {
+      out_.add_po(realize(aig::lit_node(po),
+                          aig::lit_complemented(po) ? 1 : 0));
+    }
+  }
+
+  static constexpr net_id absent = static_cast<net_id>(-1);
+
+  const aig::aig& g_;
+  const cell_library& lib_;
+  techmap_options options_;
+  netlist out_;
+  std::vector<std::pair<impl_choice, impl_choice>> choices_;
+  std::vector<std::pair<net_id, net_id>> nets_;
+  std::vector<net_id> pi_nets_;
+};
+
+}  // namespace
+
+netlist technology_map(const aig::aig& g, const cell_library& lib,
+                       const techmap_options& options) {
+  return mapper(g, lib, options).run();
+}
+
+}  // namespace isdc::synth

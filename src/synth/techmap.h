@@ -1,0 +1,25 @@
+// Structural technology mapping: covers the optimized AIG with library
+// cells using 4-feasible cuts, minimizing arrival time (area as tiebreak).
+// Both polarities of every node are tracked so complemented AIG edges cost
+// at most one inverter — the standard two-phase mapping formulation.
+#ifndef ISDC_SYNTH_TECHMAP_H_
+#define ISDC_SYNTH_TECHMAP_H_
+
+#include "aig/aig.h"
+#include "synth/netlist.h"
+
+namespace isdc::synth {
+
+struct techmap_options {
+  int cut_size = 4;
+  int max_cuts_per_node = 10;
+};
+
+/// Maps `g` onto `lib`. The returned netlist has one PI per AIG PI (same
+/// order) and one PO per AIG PO (same order).
+netlist technology_map(const aig::aig& g, const cell_library& lib,
+                       const techmap_options& options = {});
+
+}  // namespace isdc::synth
+
+#endif  // ISDC_SYNTH_TECHMAP_H_

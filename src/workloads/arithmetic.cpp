@@ -1,0 +1,92 @@
+// binary-divide, float32-fast-rsqrt and fpexp — the arithmetic-kernel
+// benchmarks of Table I. rsqrt/fpexp are fixed-point datapath equivalents
+// of the float kernels (this IR is integer-valued); they reproduce the
+// multiplier-chain structure that makes these the deepest pipelines.
+#include <array>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/check.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+ir::graph build_binary_divide(int width) {
+  ISDC_CHECK(width >= 2 && width <= 16);
+  const auto w = static_cast<std::uint32_t>(width);
+  ir::graph g("binary_divide");
+  ir::builder b(g);
+  const ir::node_id dividend = b.input(w, "dividend");
+  const ir::node_id divisor = b.input(w, "divisor");
+  const ir::node_id divisor_w1 = b.zext(divisor, w + 1);
+
+  // Unrolled restoring division, MSB first.
+  ir::node_id remainder = b.constant(w, 0);
+  std::vector<ir::node_id> quotient_bits;  // MSB first
+  for (int i = width - 1; i >= 0; --i) {
+    const ir::node_id bit =
+        b.slice(dividend, static_cast<std::uint32_t>(i), 1);
+    const ir::node_id trial = b.concat(remainder, bit);  // w+1 bits
+    const ir::node_id fits = b.ule(divisor_w1, trial);
+    const ir::node_id diff = b.sub(trial, divisor_w1);
+    remainder = b.slice(b.mux(fits, diff, trial), 0, w);
+    quotient_bits.push_back(fits);
+  }
+  ir::node_id quotient = quotient_bits.front();
+  for (std::size_t i = 1; i < quotient_bits.size(); ++i) {
+    quotient = b.concat(quotient, quotient_bits[i]);
+  }
+  b.output(quotient);
+  b.output(remainder);
+  return g;
+}
+
+ir::graph build_float32_fast_rsqrt(int newton_iterations) {
+  ISDC_CHECK(newton_iterations >= 1 && newton_iterations <= 4);
+  ir::graph g("float32_fast_rsqrt");
+  ir::builder b(g);
+  const ir::node_id x = b.input(32, "x");
+
+  // The famous magic-constant seed: i = 0x5f3759df - (x >> 1).
+  const ir::node_id magic = b.constant(32, 0x5f3759dfu);
+  ir::node_id y = b.sub(magic, b.shri(x, 1));
+
+  // Fixed-point Newton refinement: y <- y * (three_halves - ((x*y*y) >> s)).
+  const ir::node_id three_halves = b.constant(32, 0x30000000u);
+  for (int i = 0; i < newton_iterations; ++i) {
+    const ir::node_id y2 = b.mul(y, y);
+    const ir::node_id xy2 = b.mul(x, b.shri(y2, 13));
+    const ir::node_id correction = b.sub(three_halves, b.shri(xy2, 1));
+    y = b.mul(y, b.shri(correction, 16));
+  }
+  b.output(y);
+  return g;
+}
+
+ir::graph build_fpexp32(int terms) {
+  ISDC_CHECK(terms >= 2 && terms <= 16);
+  ir::graph g("fpexp_32");
+  ir::builder b(g);
+  const ir::node_id x = b.input(32, "x");
+
+  // Horner evaluation of a Q8.24-ish polynomial: the 1/k! coefficient
+  // cascade of exp. Each step is a full-width multiply feeding the next —
+  // the deep multiplier chain that makes fpexp the longest pipeline.
+  static constexpr std::array<std::uint32_t, 16> coefficients = {
+      0x01000000, 0x00800000, 0x002aaaaa, 0x000aaaaa, 0x00022222,
+      0x00005b05, 0x00000d00, 0x000001a0, 0x00000029, 0x00000004,
+      0x00000001, 0x00000001, 0x00000001, 0x00000001, 0x00000001,
+      0x00000001};
+
+  ir::node_id acc =
+      b.constant(32, coefficients[static_cast<std::size_t>(terms - 1)]);
+  for (int i = terms - 2; i >= 0; --i) {
+    const ir::node_id prod = b.mul(acc, x);
+    acc = b.add(b.shri(prod, 8),
+                b.constant(32, coefficients[static_cast<std::size_t>(i)]));
+  }
+  b.output(acc);
+  return g;
+}
+
+}  // namespace isdc::workloads

@@ -1,0 +1,113 @@
+// crc32 and (scaled) sha256 — the public crypto benchmarks of Table I.
+#include <array>
+
+#include "ir/builder.h"
+#include "support/check.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+ir::graph build_crc32(int num_steps) {
+  ISDC_CHECK(num_steps >= 1 && num_steps <= 32);
+  ir::graph g("crc32");
+  ir::builder b(g);
+  const ir::node_id crc_in = b.input(32, "crc_in");
+  const ir::node_id data = b.input(32, "data");
+  const ir::node_id poly = b.constant(32, 0xedb88320u);
+
+  // Bitwise (reflected) CRC-32, one unrolled step per data bit.
+  ir::node_id crc = crc_in;
+  for (int i = 0; i < num_steps; ++i) {
+    const ir::node_id data_bit =
+        b.slice(data, static_cast<std::uint32_t>(i), 1);
+    const ir::node_id lsb = b.slice(crc, 0, 1);
+    const ir::node_id feedback = b.bxor(lsb, data_bit);
+    const ir::node_id shifted = b.shri(crc, 1);
+    crc = b.mux(feedback, b.bxor(shifted, poly), shifted);
+  }
+  b.output(crc);
+  return g;
+}
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> sha256_k = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+}  // namespace
+
+ir::graph build_sha256(int rounds) {
+  ISDC_CHECK(rounds >= 1 && rounds <= 64);
+  ir::graph g("sha256");
+  ir::builder b(g);
+
+  // Working state enters as inputs (the midstate of a streaming core).
+  std::array<ir::node_id, 8> state{};
+  const char* names[8] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  for (int i = 0; i < 8; ++i) {
+    state[static_cast<std::size_t>(i)] = b.input(32, names[i]);
+  }
+  // Message schedule: the first min(rounds, 16) words are inputs, later
+  // words are expanded with the sigma functions.
+  std::vector<ir::node_id> w;
+  for (int t = 0; t < std::min(rounds, 16); ++t) {
+    w.push_back(b.input(32, "w" + std::to_string(t)));
+  }
+  for (int t = 16; t < rounds; ++t) {
+    const ir::node_id w15 = w[static_cast<std::size_t>(t - 15)];
+    const ir::node_id w2 = w[static_cast<std::size_t>(t - 2)];
+    const ir::node_id s0 = b.bxor(b.bxor(b.rotri(w15, 7), b.rotri(w15, 18)),
+                                  b.shri(w15, 3));
+    const ir::node_id s1 = b.bxor(b.bxor(b.rotri(w2, 17), b.rotri(w2, 19)),
+                                  b.shri(w2, 10));
+    std::array<ir::node_id, 4> terms = {w[static_cast<std::size_t>(t - 16)],
+                                        s0,
+                                        w[static_cast<std::size_t>(t - 7)],
+                                        s1};
+    w.push_back(b.add_tree(terms));
+  }
+
+  auto [a, bb, c, d, e, f, gg, h] = state;
+  for (int t = 0; t < rounds; ++t) {
+    const ir::node_id big_s1 =
+        b.bxor(b.bxor(b.rotri(e, 6), b.rotri(e, 11)), b.rotri(e, 25));
+    const ir::node_id ch = b.bxor(b.band(e, f), b.band(b.bnot(e), gg));
+    const ir::node_id k = b.constant(32, sha256_k[static_cast<std::size_t>(t)]);
+    std::array<ir::node_id, 5> t1_terms = {h, big_s1, ch, k,
+                                           w[static_cast<std::size_t>(t)]};
+    const ir::node_id t1 = b.add_tree(t1_terms);
+    const ir::node_id big_s0 =
+        b.bxor(b.bxor(b.rotri(a, 2), b.rotri(a, 13)), b.rotri(a, 22));
+    const ir::node_id maj =
+        b.bxor(b.bxor(b.band(a, bb), b.band(a, c)), b.band(bb, c));
+    const ir::node_id t2 = b.add(big_s0, maj);
+    h = gg;
+    gg = f;
+    f = e;
+    e = b.add(d, t1);
+    d = c;
+    c = bb;
+    bb = a;
+    a = b.add(t1, t2);
+  }
+  // Final feed-forward addition of the incoming state.
+  const std::array<ir::node_id, 8> out = {a, bb, c, d, e, f, gg, h};
+  for (int i = 0; i < 8; ++i) {
+    b.output(b.add(out[static_cast<std::size_t>(i)],
+                   state[static_cast<std::size_t>(i)]));
+  }
+  return g;
+}
+
+}  // namespace isdc::workloads

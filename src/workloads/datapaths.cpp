@@ -1,0 +1,37 @@
+// The "internal datapath" benchmark: a deep mixed add/xor/rotate/select
+// chain standing in for the paper's unnamed internal SoC datapath — the
+// second-deepest pipeline of the suite.
+#include "ir/builder.h"
+#include "support/check.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+ir::graph build_internal_datapath(int steps) {
+  ISDC_CHECK(steps >= 1 && steps <= 64);
+  ir::graph g("internal_datapath");
+  ir::builder b(g);
+  ir::node_id x = b.input(32, "x");
+  ir::node_id y = b.input(32, "y");
+  const ir::node_id mode = b.input(1, "mode");
+
+  // An ARX-style (add/rotate/xor) round chain with a mode select, similar
+  // in op mix to hashing/checksum datapaths inside SoCs.
+  for (int i = 0; i < steps; ++i) {
+    const std::uint32_t rot = static_cast<std::uint32_t>(7 + 6 * i) % 31 + 1;
+    const ir::node_id k =
+        b.constant(32, 0x9e3779b9u * static_cast<std::uint32_t>(i + 1));
+    const ir::node_id added = b.add(x, b.bxor(y, k));
+    const ir::node_id rotated = b.rotri(added, rot);
+    const ir::node_id alt = b.bxor(b.add(y, k), x);
+    x = b.mux(mode, rotated, alt);
+    if (i % 3 == 2) {
+      y = b.add(y, x);
+    }
+  }
+  b.output(x);
+  b.output(y);
+  return g;
+}
+
+}  // namespace isdc::workloads

@@ -1,0 +1,142 @@
+// rrot, hsv2rgb and the video-core datapath — the media-flavoured
+// benchmarks of Table I. video-core is a synthetic stand-in for the
+// proprietary SoC datapath: an RGB->YCbCr conversion (constant multipliers
+// decomposed into shift-adds, as RTL generators emit), alpha blending and
+// saturation over a small pixel vector.
+#include <array>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/check.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+ir::graph build_rrot() {
+  ir::graph g("rrot");
+  ir::builder b(g);
+  std::array<ir::node_id, 3> x = {b.input(32, "x0"), b.input(32, "x1"),
+                                  b.input(32, "x2")};
+  std::array<ir::node_id, 3> amt = {b.input(6, "amt0"), b.input(6, "amt1"),
+                                    b.input(6, "amt2")};
+  // Rotate-and-mix lanes: a variable rotate, xor diffusion and an addend
+  // chain. The per-op delay sum exceeds 2500 ps, so classic SDC splits
+  // each lane across two stages; the synthesized stage cloud (carry-save
+  // fused adds, aligned barrel paths) is fast enough that feedback merges
+  // the lane back into one — the paper's rrot shape (2 stages / 192
+  // register bits down to 1 stage / 96).
+  for (int i = 0; i < 3; ++i) {
+    const auto xi = x[static_cast<std::size_t>(i)];
+    const auto xj = x[static_cast<std::size_t>((i + 1) % 3)];
+    const auto xk = x[static_cast<std::size_t>((i + 2) % 3)];
+    const auto ai = amt[static_cast<std::size_t>(i)];
+    const ir::node_id t1 = b.rotr(xi, ai);
+    const ir::node_id u = b.bxor(t1, xj);
+    const ir::node_id v = b.bxor(u, b.rotri(xj, 9));
+    const ir::node_id s1 = b.add(v, xk);
+    const ir::node_id s2 = b.add(s1, t1);
+    b.output(b.bxor(s2, b.rotri(xk, 7)));
+  }
+  return g;
+}
+
+ir::graph build_hsv2rgb() {
+  ir::graph g("hsv2rgb");
+  ir::builder b(g);
+  const ir::node_id h = b.input(8, "h");
+  const ir::node_id s = b.input(8, "s");
+  const ir::node_id v = b.input(8, "v");
+
+  const auto to16 = [&](ir::node_id n) { return b.zext(n, 16); };
+  const ir::node_id max255 = b.constant(8, 255);
+
+  // region = (h*6) >> 8 in [0,5]; f = fractional part within the region.
+  const ir::node_id h6 = b.mul(to16(h), b.constant(16, 6));
+  const ir::node_id region = b.slice(h6, 8, 3);
+  const ir::node_id f = b.slice(h6, 0, 8);
+
+  // p = v*(255-s) >> 8;  q = v*(255 - s*f/256) >> 8;
+  // t = v*(255 - s*(255-f)/256) >> 8.
+  const auto scale = [&](ir::node_id a, ir::node_id c) {
+    return b.slice(b.mul(to16(a), to16(c)), 8, 8);
+  };
+  const ir::node_id p = scale(v, b.sub(max255, s));
+  const ir::node_id q = scale(v, b.sub(max255, scale(s, f)));
+  const ir::node_id t = scale(v, b.sub(max255, scale(s, b.sub(max255, f))));
+
+  // 6-way select by region.
+  const auto pick = [&](std::uint64_t r0, ir::node_id a0, std::uint64_t r1,
+                        ir::node_id a1, std::uint64_t r2, ir::node_id a2,
+                        std::uint64_t r3, ir::node_id a3, std::uint64_t r4,
+                        ir::node_id a4, ir::node_id a5) {
+    ir::node_id out = a5;
+    const std::array<std::pair<std::uint64_t, ir::node_id>, 5> arms = {
+        std::pair{r4, a4}, std::pair{r3, a3}, std::pair{r2, a2},
+        std::pair{r1, a1}, std::pair{r0, a0}};
+    for (const auto& [code, val] : arms) {
+      out = b.mux(b.eq(region, b.constant(3, code)), val, out);
+    }
+    return out;
+  };
+  b.output(pick(0, v, 1, q, 2, p, 3, p, 4, t, v));  // r
+  b.output(pick(0, t, 1, v, 2, v, 3, q, 4, p, p));  // g
+  b.output(pick(0, p, 1, p, 2, t, 3, v, 4, v, q));  // b
+  return g;
+}
+
+ir::graph build_video_core_datapath(int pixels) {
+  ISDC_CHECK(pixels >= 1 && pixels <= 8);
+  ir::graph g("video_core");
+  ir::builder b(g);
+
+  // Constant multiply by shift-add decomposition (how RTL emits x*66 etc).
+  const auto const_mul = [&](ir::node_id x16, std::uint32_t k) {
+    std::vector<ir::node_id> terms;
+    for (int bit = 0; bit < 16; ++bit) {
+      if ((k >> bit) & 1) {
+        terms.push_back(b.shli(x16, static_cast<std::uint32_t>(bit)));
+      }
+    }
+    ISDC_CHECK(!terms.empty());
+    return b.add_tree(terms);
+  };
+  const auto saturate8 = [&](ir::node_id x16) {
+    // Clamp a 16-bit intermediate into [0, 255].
+    const ir::node_id over = b.ult(b.constant(16, 255), x16);
+    return b.slice(b.mux(over, b.constant(16, 255), x16), 0, 8);
+  };
+
+  const ir::node_id alpha = b.input(8, "alpha");
+  for (int px = 0; px < pixels; ++px) {
+    const std::string sfx = std::to_string(px);
+    const ir::node_id r = b.zext(b.input(8, "r" + sfx), 16);
+    const ir::node_id gg = b.zext(b.input(8, "g" + sfx), 16);
+    const ir::node_id bl = b.zext(b.input(8, "b" + sfx), 16);
+    const ir::node_id ovl = b.zext(b.input(8, "ovl" + sfx), 16);
+
+    // BT.601-style luma/chroma from shift-add constant multipliers.
+    std::array<ir::node_id, 4> luma_terms = {
+        const_mul(r, 66), const_mul(gg, 129), const_mul(bl, 25),
+        b.constant(16, 4096)};
+    const ir::node_id y = b.shri(b.add_tree(luma_terms), 8);
+    const ir::node_id cb_raw =
+        b.add(b.sub(const_mul(bl, 112),
+                    b.add(const_mul(r, 38), const_mul(gg, 74))),
+              b.constant(16, 32768));
+    const ir::node_id cr_raw =
+        b.add(b.sub(const_mul(r, 112),
+                    b.add(const_mul(gg, 94), const_mul(bl, 18))),
+              b.constant(16, 32768));
+
+    // Alpha blend the luma with an overlay plane, then saturate.
+    const ir::node_id blended =
+        b.add(b.mul(y, b.zext(alpha, 16)),
+              b.mul(ovl, b.zext(b.sub(b.constant(8, 255), alpha), 16)));
+    b.output(saturate8(b.shri(blended, 8)));
+    b.output(saturate8(b.shri(cb_raw, 8)));
+    b.output(saturate8(b.shri(cr_raw, 8)));
+  }
+  return g;
+}
+
+}  // namespace isdc::workloads

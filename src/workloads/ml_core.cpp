@@ -1,0 +1,213 @@
+// Synthetic ML-core datapaths standing in for the paper's proprietary
+// machine-learning processor benchmarks: MAC trees, saturating
+// accumulators, convolution reductions, pooling and activation pipelines.
+// Opcode numbering mirrors Table I (opcode4 is the trivial multiply-add
+// that converges in one iteration; opcode2 is the largest).
+#include <array>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/check.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+namespace {
+
+/// a*b with 16-bit operands zero-extended to 32 bits first — the shape an
+/// HLS frontend emits for widened MACs. The per-op delay model charges a
+/// full 32x32 multiply; downstream synthesis sees the zero upper halves.
+ir::node_id widened_mul(ir::builder& b, ir::node_id a16, ir::node_id b16) {
+  return b.mul(b.zext(a16, 32), b.zext(b16, 32));
+}
+
+ir::node_id relu32(ir::builder& b, ir::node_id x) {
+  const ir::node_id sign = b.slice(x, 31, 1);
+  return b.mux(sign, b.constant(32, 0), x);
+}
+
+ir::node_id saturating_add32(ir::builder& b, ir::node_id acc, ir::node_id x,
+                             std::uint64_t limit) {
+  const ir::node_id sum = b.add(acc, x);
+  const ir::node_id cap = b.constant(32, limit);
+  return b.mux(b.ult(cap, sum), cap, sum);
+}
+
+}  // namespace
+
+ir::graph build_ml_datapath0_opcode(int opcode) {
+  ISDC_CHECK(opcode >= 0 && opcode <= 4);
+  ir::graph g("ml_datapath0_opcode" + std::to_string(opcode));
+  ir::builder b(g);
+
+  switch (opcode) {
+    case 0: {  // dot-4 + bias + relu
+      std::vector<ir::node_id> products;
+      for (int i = 0; i < 4; ++i) {
+        const std::string sfx = std::to_string(i);
+        products.push_back(widened_mul(b, b.input(16, "a" + sfx),
+                                       b.input(16, "b" + sfx)));
+      }
+      const ir::node_id bias = b.input(32, "bias");
+      const ir::node_id dot = b.add_tree(products);
+      b.output(relu32(b, b.add(dot, bias)));
+      break;
+    }
+    case 1: {  // saturating sequential accumulate of 6 products
+      ir::node_id acc = b.input(32, "acc_in");
+      for (int i = 0; i < 6; ++i) {
+        const std::string sfx = std::to_string(i);
+        const ir::node_id prod = widened_mul(b, b.input(16, "a" + sfx),
+                                             b.input(16, "b" + sfx));
+        acc = saturating_add32(b, acc, prod, 0x7fffffff);
+      }
+      b.output(acc);
+      break;
+    }
+    case 2: {  // conv-9 reduction + normalization + clamp
+      std::vector<ir::node_id> products;
+      for (int i = 0; i < 9; ++i) {
+        const std::string sfx = std::to_string(i);
+        products.push_back(widened_mul(b, b.input(16, "px" + sfx),
+                                       b.input(16, "k" + sfx)));
+      }
+      const ir::node_id sum = b.add_tree(products);
+      const ir::node_id shift = b.input(5, "norm_shift");
+      const ir::node_id normalized = b.shr(sum, b.zext(shift, 32));
+      const ir::node_id scaled =
+          b.mul(normalized, b.zext(b.input(16, "scale"), 32));
+      b.output(saturating_add32(b, scaled, b.input(32, "round"), 0x00ffffff));
+      break;
+    }
+    case 3: {  // 2x2 average pooling on 4 lanes + requantization
+      std::vector<ir::node_id> pooled;
+      for (int lane = 0; lane < 4; ++lane) {
+        std::array<ir::node_id, 4> px{};
+        for (int i = 0; i < 4; ++i) {
+          px[static_cast<std::size_t>(i)] = b.zext(
+              b.input(16, "l" + std::to_string(lane) + "p" + std::to_string(i)),
+              32);
+        }
+        const ir::node_id sum =
+            b.add(b.add(px[0], px[1]), b.add(px[2], px[3]));
+        pooled.push_back(b.shri(b.add(sum, b.constant(32, 2)), 2));
+      }
+      const ir::node_id scale = b.zext(b.input(16, "scale"), 32);
+      for (ir::node_id lane : pooled) {
+        b.output(b.shri(b.mul(lane, scale), 8));
+      }
+      break;
+    }
+    case 4: {  // plain multiply-add (converges immediately in the paper)
+      const ir::node_id prod =
+          b.mul(b.input(32, "a"), b.input(32, "b"));
+      b.output(b.add(prod, b.input(32, "c")));
+      break;
+    }
+    default:
+      ISDC_UNREACHABLE("opcode out of range");
+  }
+  return g;
+}
+
+ir::graph build_ml_datapath0_all() {
+  ir::graph g("ml_datapath0_all");
+  ir::builder b(g);
+  const ir::node_id opcode = b.input(3, "opcode");
+
+  // Shared operand bus, per-opcode datapaths, output mux — the classic
+  // ALU-style union datapath of a processor execution unit.
+  std::array<ir::node_id, 9> a{};
+  std::array<ir::node_id, 9> c{};
+  for (int i = 0; i < 9; ++i) {
+    a[static_cast<std::size_t>(i)] = b.input(16, "busa" + std::to_string(i));
+    c[static_cast<std::size_t>(i)] = b.input(16, "busb" + std::to_string(i));
+  }
+  const ir::node_id acc = b.input(32, "acc");
+
+  // opcode 0: dot-4 + relu.
+  std::vector<ir::node_id> dot4;
+  for (int i = 0; i < 4; ++i) {
+    dot4.push_back(widened_mul(b, a[static_cast<std::size_t>(i)],
+                               c[static_cast<std::size_t>(i)]));
+  }
+  const ir::node_id r0 = relu32(b, b.add(b.add_tree(dot4), acc));
+
+  // opcode 1: saturating accumulate of 4 products.
+  ir::node_id r1 = acc;
+  for (int i = 0; i < 4; ++i) {
+    r1 = saturating_add32(
+        b, r1,
+        widened_mul(b, a[static_cast<std::size_t>(i)],
+                    c[static_cast<std::size_t>(i + 4)]),
+        0x7fffffff);
+  }
+
+  // opcode 2: conv-9 + normalize.
+  std::vector<ir::node_id> conv;
+  for (int i = 0; i < 9; ++i) {
+    conv.push_back(widened_mul(b, a[static_cast<std::size_t>(i)],
+                               c[static_cast<std::size_t>(i)]));
+  }
+  const ir::node_id r2 = b.shri(b.add_tree(conv), 6);
+
+  // opcode 3: pooling of the first 4 bus words.
+  std::array<ir::node_id, 4> pool{};
+  for (int i = 0; i < 4; ++i) {
+    pool[static_cast<std::size_t>(i)] =
+        b.zext(a[static_cast<std::size_t>(i)], 32);
+  }
+  const ir::node_id r3 =
+      b.shri(b.add(b.add(pool[0], pool[1]), b.add(pool[2], pool[3])), 2);
+
+  // opcode 4: multiply-add.
+  const ir::node_id r4 =
+      b.add(widened_mul(b, a[0], c[0]), acc);
+
+  ir::node_id out = r4;
+  const std::array<std::pair<std::uint64_t, ir::node_id>, 4> arms = {
+      std::pair{3ull, r3}, std::pair{2ull, r2}, std::pair{1ull, r1},
+      std::pair{0ull, r0}};
+  for (const auto& [code, val] : arms) {
+    out = b.mux(b.eq(opcode, b.constant(3, code)), val, out);
+  }
+  b.output(out);
+  return g;
+}
+
+ir::graph build_ml_datapath1() {
+  ir::graph g("ml_datapath1");
+  ir::builder b(g);
+  // Quantized activation on 3 lanes: shift-scale, bias, relu6-style clamp.
+  for (int lane = 0; lane < 3; ++lane) {
+    const std::string sfx = std::to_string(lane);
+    const ir::node_id x = b.zext(b.input(8, "x" + sfx), 16);
+    const ir::node_id bias = b.input(16, "bias" + sfx);
+    const ir::node_id scaled = b.add(b.shli(x, 4), b.shli(x, 1));
+    const ir::node_id biased = b.add(scaled, bias);
+    const ir::node_id cap = b.constant(16, 6 << 8);
+    const ir::node_id clamped = b.mux(b.ult(cap, biased), cap, biased);
+    const ir::node_id sign = b.slice(biased, 15, 1);
+    b.output(b.mux(sign, b.constant(16, 0), clamped));
+  }
+  return g;
+}
+
+ir::graph build_ml_datapath2(int macs) {
+  ISDC_CHECK(macs >= 1 && macs <= 32);
+  ir::graph g("ml_datapath2");
+  ir::builder b(g);
+  // Sequential 16-bit MAC chain: the systolic inner loop unrolled; the
+  // dependence chain makes this a deep pipeline at 2500 ps.
+  ir::node_id acc = b.zext(b.input(16, "acc_in"), 32);
+  for (int i = 0; i < macs; ++i) {
+    const std::string sfx = std::to_string(i);
+    const ir::node_id prod =
+        b.mul(b.input(16, "a" + sfx), b.input(16, "w" + sfx));
+    acc = b.add(acc, b.zext(b.shri(prod, 4), 32));
+  }
+  b.output(acc);
+  return g;
+}
+
+}  // namespace isdc::workloads

@@ -1,0 +1,46 @@
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+const std::vector<workload_spec>& all_workloads() {
+  // Table I order. 2500 ps default; 5000 ps where an individual operation
+  // (a 32-bit multiply under the sky130ish library) exceeds 2500 ps,
+  // following the paper's clock-selection rule.
+  static const std::vector<workload_spec> specs = {
+      {"ml_datapath1", 2500.0, [] { return build_ml_datapath1(); }},
+      {"ml_datapath0_opcode4", 5000.0,
+       [] { return build_ml_datapath0_opcode(4); }},
+      {"rrot", 2500.0, [] { return build_rrot(); }},
+      {"ml_datapath0_opcode3", 5000.0,
+       [] { return build_ml_datapath0_opcode(3); }},
+      {"binary_divide", 2500.0, [] { return build_binary_divide(); }},
+      {"hsv2rgb", 5000.0, [] { return build_hsv2rgb(); }},
+      {"ml_datapath0_opcode0", 5000.0,
+       [] { return build_ml_datapath0_opcode(0); }},
+      {"crc32", 2500.0, [] { return build_crc32(); }},
+      {"ml_datapath0_opcode1", 5000.0,
+       [] { return build_ml_datapath0_opcode(1); }},
+      {"ml_datapath0_opcode2", 5000.0,
+       [] { return build_ml_datapath0_opcode(2); }},
+      {"ml_datapath0_all", 5000.0, [] { return build_ml_datapath0_all(); }},
+      {"ml_datapath2", 2500.0, [] { return build_ml_datapath2(); }},
+      {"float32_fast_rsqrt", 5000.0,
+       [] { return build_float32_fast_rsqrt(); }},
+      {"video_core", 2500.0, [] { return build_video_core_datapath(); }},
+      {"internal_datapath", 2500.0, [] { return build_internal_datapath(); }},
+      {"sha256", 2500.0, [] { return build_sha256(); }},
+      {"fpexp_32", 5000.0, [] { return build_fpexp32(); }},
+  };
+  return specs;
+}
+
+const workload_spec* find_workload(std::string_view name) {
+  for (const workload_spec& spec : all_workloads()) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace isdc::workloads

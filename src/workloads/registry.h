@@ -1,0 +1,61 @@
+// The 17-benchmark suite mirroring Table I of the paper.
+//
+// Public-algorithm benchmarks (crc32, sha256, rrot, binary-divide,
+// hsv2rgb, fast-rsqrt, fpexp) are implemented from their public
+// definitions; the proprietary SoC datapaths (ML-core, video-core,
+// internal) are replaced by synthetic datapaths with matching op mixes and
+// pipeline structure (see DESIGN.md section 4). sha256/fpexp are scaled
+// (fewer rounds/terms) so the full iterative flow runs in minutes; sizes
+// are parameters, so the unscaled versions remain one call away.
+#ifndef ISDC_WORKLOADS_REGISTRY_H_
+#define ISDC_WORKLOADS_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace isdc::workloads {
+
+struct workload_spec {
+  std::string name;
+  /// Paper's rule: 2500 ps unless some op's isolated delay exceeds it,
+  /// then 5000 ps.
+  double clock_period_ps = 2500.0;
+  std::function<ir::graph()> build;
+};
+
+/// All 17 workloads, in Table I order.
+const std::vector<workload_spec>& all_workloads();
+
+/// Lookup by name; nullptr if unknown.
+const workload_spec* find_workload(std::string_view name);
+
+// Individual generators (crypto.cpp).
+ir::graph build_crc32(int num_steps = 32);
+ir::graph build_sha256(int rounds = 12);
+
+// arithmetic.cpp.
+ir::graph build_binary_divide(int width = 8);
+ir::graph build_float32_fast_rsqrt(int newton_iterations = 2);
+ir::graph build_fpexp32(int terms = 8);
+
+// media.cpp.
+ir::graph build_rrot();
+ir::graph build_hsv2rgb();
+ir::graph build_video_core_datapath(int pixels = 2);
+
+// ml_core.cpp.
+ir::graph build_ml_datapath0_opcode(int opcode);  // 0..4
+ir::graph build_ml_datapath0_all();
+ir::graph build_ml_datapath1();
+ir::graph build_ml_datapath2(int macs = 8);
+
+// datapaths.cpp.
+ir::graph build_internal_datapath(int steps = 24);
+
+}  // namespace isdc::workloads
+
+#endif  // ISDC_WORKLOADS_REGISTRY_H_

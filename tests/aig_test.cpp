@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig.h"
+#include "aig/simulate.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace isdc::aig {
+namespace {
+
+TEST(AigTest, ConstantFoldingRules) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  EXPECT_EQ(g.create_and(a, lit_false), lit_false);
+  EXPECT_EQ(g.create_and(lit_false, a), lit_false);
+  EXPECT_EQ(g.create_and(a, lit_true), a);
+  EXPECT_EQ(g.create_and(lit_true, a), a);
+  EXPECT_EQ(g.create_and(a, a), a);
+  EXPECT_EQ(g.create_and(a, lit_not(a)), lit_false);
+  EXPECT_EQ(g.num_ands(), 0u);
+}
+
+TEST(AigTest, StructuralHashingDeduplicates) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  const literal b = make_literal(g.add_pi());
+  const literal x = g.create_and(a, b);
+  const literal y = g.create_and(b, a);  // commuted
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(g.num_ands(), 1u);
+  const literal z = g.create_and(lit_not(a), b);  // different function
+  EXPECT_NE(x, z);
+  EXPECT_EQ(g.num_ands(), 2u);
+}
+
+TEST(AigTest, LevelsTrackDepth) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  const literal b = make_literal(g.add_pi());
+  const literal c = make_literal(g.add_pi());
+  const literal ab = g.create_and(a, b);
+  const literal abc = g.create_and(ab, c);
+  EXPECT_EQ(g.level(lit_node(a)), 0);
+  EXPECT_EQ(g.level(lit_node(ab)), 1);
+  EXPECT_EQ(g.level(lit_node(abc)), 2);
+  g.add_po(abc);
+  EXPECT_EQ(g.depth(), 2);
+}
+
+TEST(AigTest, XorMuxOrFunctions) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  const literal b = make_literal(g.add_pi());
+  const literal s = make_literal(g.add_pi());
+  g.add_po(g.create_xor(a, b));
+  g.add_po(g.create_xnor(a, b));
+  g.add_po(g.create_or(a, b));
+  g.add_po(g.create_mux(s, a, b));
+  // Exhaustive 8-minterm check via packed patterns.
+  const std::vector<std::uint64_t> patterns = {0b10101010, 0b11001100,
+                                               0b11110000};
+  const auto out = simulate_outputs(g, patterns);
+  for (int m = 0; m < 8; ++m) {
+    const bool va = (m >> 0) & 1;
+    const bool vb = (m >> 1) & 1;
+    const bool vs = (m >> 2) & 1;
+    EXPECT_EQ((out[0] >> m) & 1, static_cast<std::uint64_t>(va != vb));
+    EXPECT_EQ((out[1] >> m) & 1, static_cast<std::uint64_t>(va == vb));
+    EXPECT_EQ((out[2] >> m) & 1, static_cast<std::uint64_t>(va || vb));
+    EXPECT_EQ((out[3] >> m) & 1, static_cast<std::uint64_t>(vs ? va : vb));
+  }
+}
+
+TEST(AigTest, MuxIdenticalArmsCollapses) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  const literal s = make_literal(g.add_pi());
+  EXPECT_EQ(g.create_mux(s, a, a), a);
+}
+
+TEST(AigTest, FanoutCounts) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  const literal b = make_literal(g.add_pi());
+  const literal x = g.create_and(a, b);
+  const literal y = g.create_and(x, lit_not(a));
+  g.add_po(y);
+  g.add_po(x);
+  const auto refs = g.fanout_counts();
+  EXPECT_EQ(refs[lit_node(a)], 2u);  // x and y
+  EXPECT_EQ(refs[lit_node(x)], 2u);  // y and PO
+  EXPECT_EQ(refs[lit_node(y)], 1u);  // PO
+}
+
+TEST(AigTest, CleanupDropsDanglingKeepsFunction) {
+  rng r(5);
+  aig g = isdc::testing::random_aig(r, 5, 40);
+  // Add extra dangling logic.
+  const literal d1 = g.create_and(make_literal(g.pis()[0]),
+                                  make_literal(g.pis()[1]));
+  (void)d1;
+  const std::size_t before = g.num_ands();
+  const aig cleaned = g.cleanup();
+  EXPECT_LE(cleaned.num_ands(), before);
+  EXPECT_EQ(cleaned.num_pis(), g.num_pis());
+  rng r2(6);
+  EXPECT_TRUE(isdc::testing::simulation_equivalent(g, cleaned, r2));
+}
+
+TEST(AigTest, CleanupTranslationMapsLiterals) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  const literal b = make_literal(g.add_pi());
+  const literal x = g.create_and(a, lit_not(b));
+  g.add_po(x);
+  std::vector<literal> map;
+  const aig cleaned = g.cleanup(&map);
+  EXPECT_NE(map[lit_node(x)], aig::invalid_literal);
+  EXPECT_EQ(cleaned.pos().size(), 1u);
+}
+
+TEST(AigTest, ComplementedPoSimulation) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  g.add_po(lit_not(a));
+  const std::vector<std::uint64_t> patterns = {0xf0f0f0f0f0f0f0f0ull};
+  const auto out = simulate_outputs(g, patterns);
+  EXPECT_EQ(out[0], ~0xf0f0f0f0f0f0f0f0ull);
+}
+
+TEST(AigTest, ConstantPo) {
+  aig g;
+  g.add_pi();
+  g.add_po(lit_true);
+  g.add_po(lit_false);
+  const std::vector<std::uint64_t> patterns = {42};
+  const auto out = simulate_outputs(g, patterns);
+  EXPECT_EQ(out[0], ~0ull);
+  EXPECT_EQ(out[1], 0ull);
+}
+
+TEST(AigTest, RandomAigSimulationDeterministic) {
+  rng r(77);
+  const aig g = isdc::testing::random_aig(r, 6, 60);
+  const std::vector<std::uint64_t> patterns(6, 0x123456789abcdef0ull);
+  EXPECT_EQ(simulate_outputs(g, patterns), simulate_outputs(g, patterns));
+}
+
+}  // namespace
+}  // namespace isdc::aig

@@ -1,0 +1,348 @@
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "core/delay_update.h"
+#include "core/downstream.h"
+#include "core/floyd_warshall.h"
+#include "core/isdc_scheduler.h"
+#include "core/reformulate.h"
+#include "ir/builder.h"
+#include "sched/metrics.h"
+#include "sched/validate.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace isdc::core {
+namespace {
+
+sched::delay_matrix uniform_matrix(const ir::graph& g, double unit) {
+  return sched::delay_matrix::initial(g, [&g, unit](ir::node_id v) {
+    const ir::opcode op = g.at(v).op;
+    return op == ir::opcode::input || op == ir::opcode::constant ? 0.0
+                                                                 : unit;
+  });
+}
+
+TEST(DelayUpdateTest, OnlyLowersCoveredConnectedPairs) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  const ir::node_id c = bl.bnot(b);
+  g.mark_output(c);
+  sched::delay_matrix d = uniform_matrix(g, 100.0);
+  ASSERT_FLOAT_EQ(d.get(a, b), 200.0f);
+  ASSERT_FLOAT_EQ(d.get(a, c), 300.0f);
+
+  // Feedback: subgraph {a, b} measured at 150 ps.
+  const evaluated_subgraph eval{{a, b}, 150.0};
+  const std::size_t lowered = update_delay_matrix(d, {&eval, 1});
+  EXPECT_FLOAT_EQ(d.get(a, b), 150.0f);   // lowered
+  EXPECT_FLOAT_EQ(d.get(a, c), 300.0f);   // not covered: unchanged
+  EXPECT_FLOAT_EQ(d.get(b, a), sched::delay_matrix::not_connected);
+  EXPECT_GT(lowered, 0u);
+}
+
+TEST(DelayUpdateTest, NeverRaises) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  g.mark_output(b);
+  sched::delay_matrix d = uniform_matrix(g, 100.0);
+  const evaluated_subgraph eval{{a, b}, 999.0};  // worse than estimate
+  update_delay_matrix(d, {&eval, 1});
+  EXPECT_FLOAT_EQ(d.get(a, b), 200.0f);  // unchanged
+}
+
+TEST(ReformulateTest, Alg2PropagatesSubgraphImprovement) {
+  // Chain a -> b -> c; feedback lowers (a, b); Alg. 2 must propagate the
+  // improvement into (a, c) by composing D[a][b] + d(c).
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  const ir::node_id c = bl.bnot(b);
+  g.mark_output(c);
+  sched::delay_matrix d = uniform_matrix(g, 100.0);
+  const evaluated_subgraph eval{{a, b}, 120.0};
+  update_delay_matrix(d, {&eval, 1});
+  reformulate_alg2(g, d);
+  EXPECT_FLOAT_EQ(d.get(a, c), 220.0f);  // 120 + 100
+  EXPECT_FLOAT_EQ(d.get(x, c), 220.0f);
+}
+
+TEST(ReformulateTest, Alg2NeverRaisesEntries) {
+  rng r(8);
+  const ir::graph g = isdc::testing::random_graph(r, 3, 20, 8);
+  sched::delay_matrix d = uniform_matrix(g, 100.0);
+  sched::delay_matrix before = d;
+  reformulate_alg2(g, d);
+  for (ir::node_id u = 0; u < g.num_nodes(); ++u) {
+    for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+      if (before.connected(u, v)) {
+        EXPECT_LE(d.get(u, v), before.get(u, v) + 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(ReformulateTest, Alg2AndFloydWarshallOnlyEverLower) {
+  // Both reformulations are monotone: they refine (never raise) the
+  // feedback-updated matrix and preserve the connectivity pattern. They
+  // are *different* estimators — the paper's Fig. 7 quantifies how close
+  // the O(n^2) Alg. 2 stays to the O(n^3) reference — so no entry-wise
+  // ordering between them is asserted here.
+  rng r(12);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ir::graph g = isdc::testing::random_graph(r, 3, 18, 8);
+    sched::delay_matrix d = uniform_matrix(g, 100.0);
+    // Random feedback on a few member sets.
+    std::vector<evaluated_subgraph> evals;
+    for (int e = 0; e < 3; ++e) {
+      evaluated_subgraph ev;
+      for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+        if (r.next_bool(0.3)) {
+          ev.members.push_back(v);
+        }
+      }
+      ev.delay_ps = 80.0 + 40.0 * static_cast<double>(e);
+      if (!ev.members.empty()) {
+        evals.push_back(ev);
+      }
+    }
+    update_delay_matrix(d, evals);
+    sched::delay_matrix alg2 = d;
+    sched::delay_matrix fw = d;
+    reformulate_alg2(g, alg2);
+    reformulate_floyd_warshall(g, fw);
+    for (ir::node_id u = 0; u < g.num_nodes(); ++u) {
+      for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(d.connected(u, v), fw.connected(u, v));
+        EXPECT_EQ(d.connected(u, v), alg2.connected(u, v));
+        if (d.connected(u, v)) {
+          EXPECT_LE(fw.get(u, v), d.get(u, v) + 1e-3f)
+              << "FW raised (" << u << ", " << v << ") trial " << trial;
+          EXPECT_LE(alg2.get(u, v), d.get(u, v) + 1e-3f)
+              << "Alg2 raised (" << u << ", " << v << ") trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(ReformulateTest, FloydWarshallHandComputedComposition) {
+  // Chain a -> b -> c with (a, b) fed back at 120: FW composes
+  // D[a][c] = D[a][b] + D[b][c] - d(b) = 120 + 200 - 100 = 220.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  const ir::node_id c = bl.bnot(b);
+  g.mark_output(c);
+  sched::delay_matrix d = uniform_matrix(g, 100.0);
+  const evaluated_subgraph eval{{a, b}, 120.0};
+  update_delay_matrix(d, {&eval, 1});
+  reformulate_floyd_warshall(g, d);
+  EXPECT_FLOAT_EQ(d.get(a, c), 220.0f);
+}
+
+TEST(DownstreamTest, SynthesisToolReturnsPositiveDelay) {
+  ir::graph g("sub");
+  ir::builder bl(g);
+  bl.output(bl.add(bl.input(8, "a"), bl.input(8, "b")));
+  synthesis_downstream tool;
+  const double delay = tool.subgraph_delay_ps(g);
+  EXPECT_GT(delay, 100.0);
+  EXPECT_LT(delay, 2500.0);
+  EXPECT_EQ(tool.name(), "synthesis+sta");
+}
+
+TEST(DownstreamTest, AigDepthToolScalesWithDepth) {
+  ir::graph shallow("shallow");
+  {
+    ir::builder bl(shallow);
+    bl.output(bl.bxor(bl.input(8, "a"), bl.input(8, "b")));
+  }
+  ir::graph deep("deep");
+  {
+    ir::builder bl(deep);
+    ir::node_id v = bl.input(8, "a");
+    const ir::node_id w = bl.input(8, "b");
+    for (int i = 0; i < 4; ++i) {
+      v = bl.add(v, w);
+    }
+    deep.mark_output(v);
+  }
+  aig_depth_downstream tool(80.0);
+  EXPECT_LT(tool.subgraph_delay_ps(shallow), tool.subgraph_delay_ps(deep));
+  EXPECT_EQ(tool.name(), "aig-depth");
+}
+
+/// Counting downstream tool for loop-behavior tests.
+class counting_downstream final : public downstream_tool {
+public:
+  explicit counting_downstream(double delay) : delay_(delay) {}
+  double subgraph_delay_ps(const ir::graph&) const override {
+    ++calls_;
+    return delay_;
+  }
+  std::string name() const override { return "counting"; }
+  int calls() const { return calls_.load(); }
+
+private:
+  double delay_;
+  mutable std::atomic<int> calls_{0};
+};
+
+/// A deep chain whose true (fed back) delays allow denser packing.
+ir::graph make_chain_graph(int length) {
+  ir::graph g("chain");
+  ir::builder bl(g);
+  ir::node_id v = bl.input(32, "x");
+  for (int i = 0; i < length; ++i) {
+    v = bl.bnot(v);
+  }
+  g.mark_output(v);
+  return g;
+}
+
+TEST(IsdcLoopTest, ReducesRegistersOnChain) {
+  const ir::graph g = make_chain_graph(8);
+  // Naive model: every op 600 ps; downstream says any cloud is 650 ps.
+  // At Tclk = 1300: naive packs 2 ops/stage (4 stages); with feedback the
+  // chain packs progressively denser (650 + 600 composes under 1300).
+  isdc_options opts;
+  opts.base.clock_period_ps = 1300.0;
+  opts.max_iterations = 8;
+  opts.subgraphs_per_iteration = 4;
+  opts.num_threads = 2;
+  counting_downstream tool(650.0);
+
+  // Uniform 600 ps naive model via a custom delay model is not available
+  // through run_isdc (it characterizes for real), so drive the loop parts
+  // manually here.
+  sched::delay_matrix d = uniform_matrix(g, 600.0);
+  sched::scheduler_options base;
+  base.clock_period_ps = 1300.0;
+  sched::schedule s = sched::sdc_schedule(g, d, base);
+  const std::int64_t initial_bits = sched::register_bits(g, s);
+  EXPECT_EQ(s.num_stages(), 4);
+
+  for (int iter = 0; iter < 6; ++iter) {
+    auto candidates = extract::enumerate_candidate_paths(g, s, d);
+    if (candidates.empty()) {
+      break;
+    }
+    std::vector<double> scores;
+    extract::rank_candidates(g, s, 1300.0,
+                             extract::extraction_strategy::fanout_driven,
+                             candidates, &scores);
+    std::vector<evaluated_subgraph> evals;
+    for (std::size_t i = 0; i < candidates.size() && i < 4; ++i) {
+      const auto sub = extract::expand_to_cone(g, s, candidates[i]);
+      evals.push_back({sub.members, tool.subgraph_delay_ps(g)});
+    }
+    update_delay_matrix(d, evals);
+    reformulate_alg2(g, d);
+    s = sched::sdc_schedule(g, d, base);
+  }
+  EXPECT_LT(sched::register_bits(g, s), initial_bits);
+  EXPECT_LT(s.num_stages(), 4);
+  EXPECT_TRUE(sched::validate_schedule(g, s, d, 1300.0).empty());
+}
+
+TEST(IsdcLoopTest, EndToEndRunIsdcOnRealDesign) {
+  // Full run_isdc with the real synthesis downstream on a small design.
+  ir::graph g("adders");
+  ir::builder bl(g);
+  const ir::node_id a = bl.input(32, "a");
+  const ir::node_id b = bl.input(32, "b");
+  const ir::node_id c = bl.input(32, "c");
+  const ir::node_id d = bl.input(32, "d");
+  bl.output(bl.add(bl.add(bl.add(a, b), c), d));
+
+  isdc_options opts;
+  opts.base.clock_period_ps = 2500.0;
+  opts.max_iterations = 6;
+  opts.subgraphs_per_iteration = 4;
+  opts.num_threads = 2;
+  synthesis_downstream tool(opts.synth);
+  const isdc_result result = run_isdc(g, tool, opts);
+
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_EQ(result.history[0].register_bits,
+            sched::register_bits(g, result.initial));
+  // ISDC must never end up worse than the baseline.
+  EXPECT_LE(sched::register_bits(g, result.final_schedule),
+            sched::register_bits(g, result.initial));
+  // The final schedule must be legal under the final (fed back) matrix.
+  EXPECT_TRUE(sched::validate_schedule(g, result.final_schedule,
+                                       result.delays, 2500.0)
+                  .empty());
+  // The updated matrix is entry-wise <= the naive matrix.
+  for (ir::node_id u = 0; u < g.num_nodes(); ++u) {
+    for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+      if (result.naive_delays.connected(u, v)) {
+        EXPECT_LE(result.delays.get(u, v),
+                  result.naive_delays.get(u, v) + 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(IsdcLoopTest, SubgraphCacheAvoidsReevaluation) {
+  const ir::graph g = make_chain_graph(6);
+  isdc_options opts;
+  opts.base.clock_period_ps = 2500.0;
+  opts.max_iterations = 10;
+  opts.subgraphs_per_iteration = 8;
+  opts.num_threads = 1;
+  opts.convergence_patience = 10;  // force running until exhaustion
+  counting_downstream tool(200.0);
+  const isdc_result result = run_isdc(g, tool, opts);
+  // Every evaluation in the history corresponds to a distinct subgraph:
+  // total calls == sum of per-iteration counts, and the loop stopped by
+  // exhausting candidates rather than looping forever.
+  int recorded = 0;
+  for (const auto& rec : result.history) {
+    recorded += rec.subgraphs_evaluated;
+  }
+  EXPECT_EQ(tool.calls(), recorded);
+  EXPECT_LT(result.iterations, 10);
+}
+
+TEST(IsdcLoopTest, RespectsMaxIterations) {
+  const ir::graph g = make_chain_graph(10);
+  isdc_options opts;
+  opts.base.clock_period_ps = 2500.0;
+  opts.max_iterations = 2;
+  opts.subgraphs_per_iteration = 1;
+  opts.num_threads = 1;
+  counting_downstream tool(300.0);
+  const isdc_result result = run_isdc(g, tool, opts);
+  EXPECT_LE(result.iterations, 2);
+  EXPECT_LE(result.history.size(), 3u);
+}
+
+TEST(IsdcLoopTest, BaselineMatchesRunIsdcInitial) {
+  ir::graph g("pair");
+  ir::builder bl(g);
+  bl.output(bl.add(bl.input(16, "a"), bl.input(16, "b")));
+  isdc_options opts;
+  opts.base.clock_period_ps = 2500.0;
+  opts.max_iterations = 1;
+  synthesis_downstream tool(opts.synth);
+  synth::delay_model model(opts.synth);
+  const sched::schedule baseline = run_sdc_baseline(g, opts, &model);
+  const isdc_result result = run_isdc(g, tool, opts, &model);
+  EXPECT_EQ(baseline, result.initial);
+}
+
+}  // namespace
+}  // namespace isdc::core

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "aig/cuts.h"
+#include "aig/simulate.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace isdc::aig {
+namespace {
+
+cut make_cut(std::initializer_list<node_index> leaves) {
+  cut c;
+  for (node_index l : leaves) {
+    c.leaves[c.size++] = l;
+  }
+  return c;
+}
+
+TEST(CutTest, MergeDisjoint) {
+  const cut a = make_cut({1, 3});
+  const cut b = make_cut({2, 5});
+  cut out;
+  ASSERT_TRUE(merge_cuts(a, b, 4, out));
+  EXPECT_EQ(out.size, 4);
+  EXPECT_EQ(out.leaves[0], 1u);
+  EXPECT_EQ(out.leaves[3], 5u);
+}
+
+TEST(CutTest, MergeOverlapping) {
+  const cut a = make_cut({1, 3, 7});
+  const cut b = make_cut({3, 7, 9});
+  cut out;
+  ASSERT_TRUE(merge_cuts(a, b, 4, out));
+  EXPECT_EQ(out.size, 4);
+}
+
+TEST(CutTest, MergeRejectsOverflow) {
+  const cut a = make_cut({1, 2, 3});
+  const cut b = make_cut({4, 5});
+  cut out;
+  EXPECT_FALSE(merge_cuts(a, b, 4, out));
+}
+
+TEST(CutTest, Dominance) {
+  const cut small = make_cut({2, 4});
+  const cut big = make_cut({2, 4, 6});
+  EXPECT_TRUE(small.dominates(big));
+  EXPECT_FALSE(big.dominates(small));
+  EXPECT_TRUE(small.dominates(small));
+}
+
+TEST(CutEnumerationTest, SmallNetwork) {
+  aig g;
+  const literal a = make_literal(g.add_pi());
+  const literal b = make_literal(g.add_pi());
+  const literal c = make_literal(g.add_pi());
+  const literal ab = g.create_and(a, b);
+  const literal abc = g.create_and(ab, c);
+  g.add_po(abc);
+  const auto cuts = enumerate_cuts(g);
+  const auto& root_cuts = cuts[lit_node(abc)];
+  // Must contain {ab, c}, {a, b, c} and the trivial cut.
+  bool has_fanin_cut = false;
+  bool has_leaf_cut = false;
+  for (const cut& ct : root_cuts) {
+    if (ct.size == 2 && ct.contains(lit_node(ab)) &&
+        ct.contains(lit_node(c))) {
+      has_fanin_cut = true;
+    }
+    if (ct.size == 3 && ct.contains(lit_node(a)) &&
+        ct.contains(lit_node(b)) && ct.contains(lit_node(c))) {
+      has_leaf_cut = true;
+    }
+  }
+  EXPECT_TRUE(has_fanin_cut);
+  EXPECT_TRUE(has_leaf_cut);
+  EXPECT_EQ(root_cuts.back().size, 1);  // trivial last
+  EXPECT_EQ(root_cuts.back().leaves[0], lit_node(abc));
+}
+
+TEST(CutEnumerationTest, RespectsLimits) {
+  rng r(11);
+  const aig g = isdc::testing::random_aig(r, 6, 80);
+  cut_enumeration_options opts;
+  opts.k = 4;
+  opts.max_cuts = 5;
+  const auto cuts = enumerate_cuts(g, opts);
+  for (node_index n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LE(cuts[n].size(), 6u);  // max_cuts + trivial
+    for (const cut& c : cuts[n]) {
+      EXPECT_LE(static_cast<int>(c.size), opts.k);
+      for (std::uint8_t i = 1; i < c.size; ++i) {
+        EXPECT_LT(c.leaves[i - 1], c.leaves[i]) << "leaves must be sorted";
+      }
+    }
+  }
+}
+
+/// Property: the cut function evaluated on simulated leaf values equals the
+/// simulated root value, for every enumerated cut of every node.
+class CutFunctionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutFunctionTest, FunctionMatchesSimulation) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  const aig g = isdc::testing::random_aig(r, 5, 40);
+  const auto cuts = enumerate_cuts(g);
+
+  std::vector<std::uint64_t> patterns(g.num_pis());
+  for (auto& p : patterns) {
+    p = r.next();
+  }
+  const auto words = simulate(g, patterns);
+
+  for (node_index n = 0; n < g.num_nodes(); ++n) {
+    if (!g.is_and(n)) {
+      continue;
+    }
+    for (const cut& c : cuts[n]) {
+      if (c.size == 1 && c.leaves[0] == n) {
+        continue;
+      }
+      const tt6 f = cut_function(g, n, c);
+      // Evaluate f at the simulated leaf bits, for each of 64 patterns.
+      for (int bit = 0; bit < 64; ++bit) {
+        int minterm = 0;
+        for (std::uint8_t i = 0; i < c.size; ++i) {
+          if ((words[c.leaves[i]] >> bit) & 1) {
+            minterm |= 1 << i;
+          }
+        }
+        const std::uint64_t expected = (words[n] >> bit) & 1;
+        EXPECT_EQ((f >> minterm) & 1, expected)
+            << "node " << n << " cut size " << static_cast<int>(c.size);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutFunctionTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace isdc::aig

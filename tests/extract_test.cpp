@@ -1,0 +1,277 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "extract/cone.h"
+#include "extract/path_enum.h"
+#include "extract/scoring.h"
+#include "extract/subgraph.h"
+#include "extract/window.h"
+#include "ir/builder.h"
+#include "ir/verify.h"
+#include "sched/sdc_scheduler.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace isdc::extract {
+namespace {
+
+sched::delay_matrix uniform_matrix(const ir::graph& g, double unit) {
+  return sched::delay_matrix::initial(g, [&g, unit](ir::node_id v) {
+    const ir::opcode op = g.at(v).op;
+    return op == ir::opcode::input || op == ir::opcode::constant ? 0.0
+                                                                 : unit;
+  });
+}
+
+/// Two-stage fixture: stage 0 holds a small cloud, stage 1 consumes it.
+struct two_stage_fixture {
+  ir::graph g;
+  sched::schedule s;
+  ir::node_id x, y, a, b, c, out;
+
+  two_stage_fixture() {
+    ir::builder bl(g);
+    x = bl.input(8, "x");
+    y = bl.input(8, "y");
+    a = bl.add(x, y);      // stage 0
+    b = bl.bnot(a);        // stage 0
+    c = bl.bxor(b, x);     // stage 0, registered
+    out = bl.add(c, y);    // stage 1
+    g.mark_output(out);
+    s.cycle = {0, 0, 0, 0, 0, 1};
+  }
+};
+
+TEST(PathEnumTest, FindsRegisteredValues) {
+  two_stage_fixture f;
+  const auto d = uniform_matrix(f.g, 100.0);
+  const auto candidates = enumerate_candidate_paths(f.g, f.s, d);
+  // Register owners: c (crosses to stage 1) and out (primary output, owns
+  // the pipeline-end register). Inputs are excluded.
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].to, f.c);
+  EXPECT_EQ(candidates[0].from, f.x);  // critical same-stage ancestor
+  EXPECT_FLOAT_EQ(static_cast<float>(candidates[0].delay_ps), 300.0f);
+  EXPECT_EQ(candidates[1].to, f.out);
+}
+
+TEST(PathEnumTest, SingleNodePathWhenIsolated) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id o = bl.bnot(a);
+  g.mark_output(o);
+  sched::schedule s;
+  s.cycle = {0, 0, 1};
+  const auto d = uniform_matrix(g, 100.0);
+  // a crosses the boundary; o is a primary output.
+  const auto candidates = enumerate_candidate_paths(g, s, d);
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].to, a);
+  EXPECT_EQ(candidates[0].from, a);  // isolated: single-node path
+  EXPECT_EQ(candidates[1].to, o);
+}
+
+TEST(ScoringTest, FanoutDrivenPrefersLightlyUsedWideRegisters) {
+  // Paper Fig. 3: a longer path whose register has two consumers should
+  // rank below a slightly shorter one with a single consumer (same width).
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id r3 = bl.bnot(x);         // long path producer
+  const ir::node_id r4 = bl.neg(x);          // short path producer
+  const ir::node_id u1 = bl.bnot(r3);        // consumer 1 of r3
+  const ir::node_id u2 = bl.neg(r3);         // consumer 2 of r3
+  const ir::node_id u3 = bl.bnot(r4);        // single consumer of r4
+  g.mark_output(bl.add(bl.add(u1, u2), u3));
+  sched::schedule s;
+  // r3 and r4 in stage 0; consumers in stage 1.
+  s.cycle.assign(g.num_nodes(), 1);
+  s.cycle[x] = 0;
+  s.cycle[r3] = 0;
+  s.cycle[r4] = 0;
+
+  path_candidate p3{x, r3, 1000.0};  // longest path
+  path_candidate p4{x, r4, 900.0};   // shorter but single-consumer
+  const double t_clk = 1000.0;
+
+  // Delay-driven ranks p3 first.
+  EXPECT_GT(score_path(g, s, p3, t_clk, extraction_strategy::delay_driven),
+            score_path(g, s, p4, t_clk, extraction_strategy::delay_driven));
+  // Fanout-driven (Eq. 3) ranks p4 first: same bits, fewer consumers.
+  EXPECT_LT(score_path(g, s, p3, t_clk, extraction_strategy::fanout_driven),
+            score_path(g, s, p4, t_clk, extraction_strategy::fanout_driven));
+}
+
+TEST(ScoringTest, WiderRegistersScoreHigher) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(32, "x");
+  const ir::node_id wide = bl.bnot(x);               // 32 bits
+  const ir::node_id narrow = bl.slice(bl.neg(x), 0, 8);
+  g.mark_output(bl.add(wide, bl.zext(narrow, 32)));
+  sched::schedule s;
+  s.cycle.assign(g.num_nodes(), 1);
+  s.cycle[x] = 0;
+  s.cycle[wide] = 0;
+  s.cycle[narrow] = 0;
+  s.cycle[narrow - 1] = 0;  // the neg feeding the slice
+  const path_candidate pw{x, wide, 500.0};
+  const path_candidate pn{x, narrow, 500.0};
+  EXPECT_GT(score_path(g, s, pw, 1000.0, extraction_strategy::fanout_driven),
+            score_path(g, s, pn, 1000.0, extraction_strategy::fanout_driven));
+}
+
+TEST(ScoringTest, RankCandidatesSortsDescending) {
+  two_stage_fixture f;
+  const auto d = uniform_matrix(f.g, 100.0);
+  auto candidates = enumerate_candidate_paths(f.g, f.s, d);
+  std::vector<double> scores;
+  rank_candidates(f.g, f.s, 1000.0, extraction_strategy::fanout_driven,
+                  candidates, &scores);
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i - 1], scores[i]);
+  }
+}
+
+TEST(ConeTest, PathExpansionFollowsCriticalChain) {
+  two_stage_fixture f;
+  const auto d = uniform_matrix(f.g, 100.0);
+  const path_candidate cand{f.x, f.c, 300.0};
+  const subgraph sub = expand_to_path(f.g, f.s, d, cand);
+  // Critical chain x -> a -> b -> c; x is an input (not a member).
+  EXPECT_EQ(sub.members, (std::vector<ir::node_id>{f.a, f.b, f.c}));
+  EXPECT_EQ(sub.roots, (std::vector<ir::node_id>{f.c}));
+}
+
+TEST(ConeTest, ConeCoversWholeStageFanIn) {
+  two_stage_fixture f;
+  const path_candidate cand{f.x, f.c, 300.0};
+  const subgraph sub = expand_to_cone(f.g, f.s, cand);
+  EXPECT_EQ(sub.members, (std::vector<ir::node_id>{f.a, f.b, f.c}));
+  EXPECT_EQ(sub.leaves, (std::vector<ir::node_id>{f.x, f.y}));
+}
+
+/// The paper's two cone properties, checked on random scheduled graphs:
+/// (1) every path from a PI to the root passes through a leaf;
+/// (2) every leaf has a path to the root bypassing all other leaves.
+class ConePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConePropertyTest, PaperConeProperties) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 17 + 5);
+  const ir::graph g = isdc::testing::random_graph(r, 4, 25, 8);
+  const auto d = uniform_matrix(g, 400.0);
+  sched::scheduler_options opts;
+  opts.clock_period_ps = 900.0;
+  const sched::schedule s = sched::sdc_schedule(g, d, opts);
+  const auto candidates = enumerate_candidate_paths(g, s, d);
+  for (const auto& cand : candidates) {
+    const subgraph cone = expand_to_cone(g, s, cand);
+    std::vector<bool> is_member(g.num_nodes(), false);
+    for (ir::node_id m : cone.members) {
+      is_member[m] = true;
+    }
+    std::vector<bool> is_leaf(g.num_nodes(), false);
+    for (ir::node_id l : cone.leaves) {
+      is_leaf[l] = true;
+    }
+    // (1): walk up from the root through members only; any edge leaving
+    // the member set must land on a leaf or a constant.
+    for (ir::node_id m : cone.members) {
+      for (ir::node_id p : g.at(m).operands) {
+        if (!is_member[p]) {
+          EXPECT_TRUE(is_leaf[p] ||
+                      g.at(p).op == ir::opcode::constant)
+              << "path into the cone bypasses the leaves";
+        }
+      }
+    }
+    // (2): each leaf directly feeds a member, giving a member-only path to
+    // the root that bypasses the other leaves.
+    for (ir::node_id l : cone.leaves) {
+      bool feeds_member = false;
+      for (ir::node_id u : g.users(l)) {
+        feeds_member = feeds_member || (u < is_member.size() && is_member[u]);
+      }
+      EXPECT_TRUE(feeds_member) << "leaf " << l << " does not feed the cone";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConePropertyTest, ::testing::Range(0, 10));
+
+TEST(WindowTest, MergesOverlappingLeaves) {
+  // Two cones sharing input x must merge; a third with disjoint leaves
+  // must stay separate.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id y = bl.input(8, "y");
+  const ir::node_id z = bl.input(8, "z");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.add(x, y);
+  const ir::node_id c = bl.neg(z);
+  const ir::node_id o = bl.add(bl.add(a, b), c);
+  g.mark_output(o);
+  sched::schedule s;
+  s.cycle.assign(g.num_nodes(), 0);
+  s.cycle[o] = 1;
+  s.cycle[o - 1] = 1;  // the inner add
+
+  const auto make_cone = [&](ir::node_id root) {
+    path_candidate cand{root, root, 0.0};
+    return expand_to_cone(g, s, cand);
+  };
+  std::vector<subgraph> cones = {make_cone(a), make_cone(b), make_cone(c)};
+  const auto windows = merge_into_windows(g, s, std::move(cones));
+  ASSERT_EQ(windows.size(), 2u);
+  // First window: {a, b} merged via shared leaf x, multi-root.
+  EXPECT_EQ(windows[0].members, (std::vector<ir::node_id>{a, b}));
+  EXPECT_EQ(windows[0].roots.size(), 2u);
+  EXPECT_EQ(windows[1].members, (std::vector<ir::node_id>{c}));
+}
+
+TEST(WindowTest, DifferentStagesNeverMerge) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.neg(a);
+  g.mark_output(b);
+  sched::schedule s;
+  s.cycle = {0, 0, 1};
+  subgraph c1;
+  c1.members = {a};
+  c1.stage = 0;
+  finalize_subgraph(g, s, c1);
+  subgraph c2;
+  c2.members = {b};
+  c2.stage = 1;
+  finalize_subgraph(g, s, c2);
+  const auto windows = merge_into_windows(g, s, {c1, c2});
+  EXPECT_EQ(windows.size(), 2u);
+}
+
+TEST(SubgraphTest, KeyIsOrderIndependentFingerprint) {
+  subgraph a;
+  a.members = {1, 5, 9};
+  subgraph b;
+  b.members = {1, 5, 9};
+  EXPECT_EQ(a.key(), b.key());
+  b.members = {1, 5, 10};
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(SubgraphTest, ToIrVerifiesAndHasRoots) {
+  two_stage_fixture f;
+  const path_candidate cand{f.x, f.c, 300.0};
+  const subgraph sub = expand_to_cone(f.g, f.s, cand);
+  const ir::extraction ex = subgraph_to_ir(f.g, sub);
+  EXPECT_EQ(ir::verify(ex.g), "");
+  EXPECT_EQ(ex.g.outputs().size(), sub.roots.size());
+}
+
+}  // namespace
+}  // namespace isdc::extract

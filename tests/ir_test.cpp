@@ -1,0 +1,354 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/dot.h"
+#include "ir/evaluate.h"
+#include "ir/extract.h"
+#include "ir/graph.h"
+#include "ir/verify.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace isdc::ir {
+namespace {
+
+TEST(GraphTest, AddNodeMaintainsUsersAndInputs) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  const node_id y = b.input(8, "y");
+  const node_id sum = b.add(x, y);
+  b.output(sum);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.inputs().size(), 2u);
+  EXPECT_EQ(g.users(x).size(), 1u);
+  EXPECT_EQ(g.users(x)[0], sum);
+  EXPECT_TRUE(g.is_output(sum));
+  EXPECT_FALSE(g.is_output(x));
+}
+
+TEST(GraphTest, OperandMustPrecede) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  EXPECT_THROW(g.add_node(opcode::add, 8, {x, 5}), check_error);
+}
+
+TEST(GraphTest, WidthBounds) {
+  graph g;
+  EXPECT_THROW(g.add_node(opcode::input, 0, {}), check_error);
+  EXPECT_THROW(g.add_node(opcode::input, 65, {}), check_error);
+  EXPECT_NO_THROW(g.add_node(opcode::input, 64, {}));
+}
+
+TEST(GraphTest, IsConnected) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  const node_id y = b.input(8, "y");
+  const node_id s1 = b.add(x, y);
+  const node_id s2 = b.add(s1, y);
+  const node_id lone = b.input(8, "z");
+  b.output(s2);
+  EXPECT_TRUE(g.is_connected(x, s2));
+  EXPECT_TRUE(g.is_connected(s1, s2));
+  EXPECT_TRUE(g.is_connected(x, x));
+  EXPECT_FALSE(g.is_connected(s2, x));
+  EXPECT_FALSE(g.is_connected(lone, s2));
+}
+
+TEST(GraphTest, TotalOutputBits) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  b.output(b.add(x, x));
+  b.output(b.bnot(x));
+  EXPECT_EQ(g.total_output_bits(), 16u);
+}
+
+TEST(GraphTest, DuplicateOutputIgnored) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(4, "x");
+  g.mark_output(x);
+  g.mark_output(x);
+  EXPECT_EQ(g.outputs().size(), 1u);
+}
+
+// --- evaluation semantics, one test per opcode ---
+
+struct eval_case {
+  const char* name;
+  std::function<node_id(builder&, node_id, node_id)> make;
+  std::uint64_t a, b, expected;
+  std::uint32_t width;
+};
+
+class EvaluateTest : public ::testing::TestWithParam<eval_case> {};
+
+TEST_P(EvaluateTest, BinaryOpSemantics) {
+  const eval_case& c = GetParam();
+  graph g;
+  builder b(g);
+  const node_id x = b.input(c.width, "x");
+  const node_id y = b.input(c.width, "y");
+  b.output(c.make(b, x, y));
+  const auto out = evaluate(g, std::vector<std::uint64_t>{c.a, c.b});
+  EXPECT_EQ(out[0], c.expected) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, EvaluateTest,
+    ::testing::Values(
+        eval_case{"add_wrap",
+                  [](builder& b, node_id x, node_id y) { return b.add(x, y); },
+                  0xff, 0x01, 0x00, 8},
+        eval_case{"sub_wrap",
+                  [](builder& b, node_id x, node_id y) { return b.sub(x, y); },
+                  0x00, 0x01, 0xff, 8},
+        eval_case{"mul_low",
+                  [](builder& b, node_id x, node_id y) { return b.mul(x, y); },
+                  0x10, 0x10, 0x00, 8},
+        eval_case{"and",
+                  [](builder& b, node_id x, node_id y) { return b.band(x, y); },
+                  0b1100, 0b1010, 0b1000, 4},
+        eval_case{"or",
+                  [](builder& b, node_id x, node_id y) { return b.bor(x, y); },
+                  0b1100, 0b1010, 0b1110, 4},
+        eval_case{"xor",
+                  [](builder& b, node_id x, node_id y) { return b.bxor(x, y); },
+                  0b1100, 0b1010, 0b0110, 4},
+        eval_case{"eq_true",
+                  [](builder& b, node_id x, node_id y) { return b.eq(x, y); },
+                  7, 7, 1, 8},
+        eval_case{"ne_true",
+                  [](builder& b, node_id x, node_id y) { return b.ne(x, y); },
+                  7, 8, 1, 8},
+        eval_case{"ult",
+                  [](builder& b, node_id x, node_id y) { return b.ult(x, y); },
+                  3, 9, 1, 8},
+        eval_case{"ule_eq",
+                  [](builder& b, node_id x, node_id y) { return b.ule(x, y); },
+                  9, 9, 1, 8},
+        eval_case{"shl_var",
+                  [](builder& b, node_id x, node_id y) { return b.shl(x, y); },
+                  0b0011, 2, 0b1100, 4},
+        eval_case{"shl_overflow",
+                  [](builder& b, node_id x, node_id y) { return b.shl(x, y); },
+                  0b0011, 9, 0, 4},
+        eval_case{"shr_var",
+                  [](builder& b, node_id x, node_id y) { return b.shr(x, y); },
+                  0b1100, 2, 0b0011, 4},
+        eval_case{"rotl_mod",
+                  [](builder& b, node_id x, node_id y) { return b.rotl(x, y); },
+                  0b0001, 5, 0b0010, 4},
+        eval_case{"rotr",
+                  [](builder& b, node_id x, node_id y) { return b.rotr(x, y); },
+                  0b0001, 1, 0b1000, 4}));
+
+TEST(EvaluateUnaryTest, NegNotSextZextSliceConcatMuxRot) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  const node_id y = b.input(8, "y");
+  const node_id sel = b.input(1, "sel");
+  b.output(b.neg(x));                 // 0
+  b.output(b.bnot(x));                // 1
+  b.output(b.sext(b.slice(x, 4, 4), 8));  // 2: sign-extend high nibble
+  b.output(b.zext(b.slice(x, 0, 4), 8));  // 3
+  b.output(b.concat(x, y));           // 4: 16 bits {x, y}
+  b.output(b.mux(sel, x, y));         // 5
+  b.output(b.rotri(x, 3));            // 6
+  b.output(b.rotli(x, 3));            // 7
+  b.output(b.shri(x, 7));             // 8
+  const auto out =
+      evaluate(g, std::vector<std::uint64_t>{0x9c, 0x33, 1});
+  EXPECT_EQ(out[0], (0x100 - 0x9c) & 0xffu);
+  EXPECT_EQ(out[1], static_cast<std::uint64_t>(~0x9c & 0xff));
+  EXPECT_EQ(out[2], 0xf9u);  // high nibble 0x9 sign-extends
+  EXPECT_EQ(out[3], 0x0cu);
+  EXPECT_EQ(out[4], 0x9c33u);
+  EXPECT_EQ(out[5], 0x9cu);
+  EXPECT_EQ(out[6], ((0x9cu >> 3) | (0x9cu << 5)) & 0xffu);
+  EXPECT_EQ(out[7], ((0x9cu << 3) | (0x9cu >> 5)) & 0xffu);
+  EXPECT_EQ(out[8], 0x9cu >> 7);
+}
+
+TEST(EvaluateTest64Bit, FullWidthMasking) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(64, "x");
+  b.output(b.add(x, x));
+  const auto out = evaluate(g, std::vector<std::uint64_t>{~0ull});
+  EXPECT_EQ(out[0], ~0ull - 1);
+}
+
+// --- verify ---
+
+TEST(VerifyTest, AcceptsWellFormed) {
+  graph g;
+  builder b(g);
+  b.output(b.add(b.input(8, "x"), b.input(8, "y")));
+  EXPECT_EQ(verify(g), "");
+  EXPECT_NO_THROW(verify_or_throw(g));
+}
+
+TEST(VerifyTest, RejectsNoOutputs) {
+  graph g;
+  builder b(g);
+  b.input(8, "x");
+  EXPECT_NE(verify(g), "");
+}
+
+TEST(VerifyTest, RejectsWidthMismatch) {
+  graph g;
+  const node_id x = g.add_node(opcode::input, 8, {});
+  const node_id y = g.add_node(opcode::input, 4, {});
+  const node_id s = g.add_node(opcode::add, 8, {x, y});
+  g.mark_output(s);
+  EXPECT_NE(verify(g), "");
+}
+
+TEST(VerifyTest, RejectsBadSlice) {
+  graph g;
+  const node_id x = g.add_node(opcode::input, 8, {});
+  const node_id s = g.add_node(opcode::slice, 4, {x}, 6);  // [9:6] of 8 bits
+  g.mark_output(s);
+  EXPECT_NE(verify(g), "");
+}
+
+TEST(VerifyTest, RejectsNonOneBitComparison) {
+  graph g;
+  const node_id x = g.add_node(opcode::input, 8, {});
+  const node_id y = g.add_node(opcode::input, 8, {});
+  const node_id e = g.add_node(opcode::eq, 2, {x, y});
+  g.mark_output(e);
+  EXPECT_NE(verify(g), "");
+}
+
+TEST(VerifyTest, RejectsDegenerateExtension) {
+  graph g;
+  const node_id x = g.add_node(opcode::input, 8, {});
+  const node_id z = g.add_node(opcode::zext, 8, {x});
+  g.mark_output(z);
+  EXPECT_NE(verify(g), "");
+}
+
+// --- subgraph extraction ---
+
+TEST(ExtractTest, BoundaryInputsAreDeduplicated) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  const node_id y = b.input(8, "y");
+  const node_id pre = b.add(x, y);    // external
+  const node_id m1 = b.add(pre, pre); // member, uses pre twice... one operand
+  const node_id m2 = b.bxor(m1, pre); // member, uses pre again
+  b.output(m2);
+
+  const std::vector<node_id> members = {m1, m2};
+  const std::vector<node_id> roots = {m2};
+  const extraction ex = extract_subgraph(g, members, roots);
+  EXPECT_EQ(ex.boundary.size(), 1u);  // `pre` appears once
+  EXPECT_EQ(ex.boundary[0], pre);
+  EXPECT_EQ(ex.g.outputs().size(), 1u);
+  EXPECT_EQ(verify(ex.g), "");
+}
+
+TEST(ExtractTest, ConstantsAreClonedNotInputs) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  const node_id k = b.constant(8, 42);
+  const node_id m = b.add(x, k);
+  b.output(m);
+  const std::vector<node_id> members = {m};
+  const std::vector<node_id> roots = {m};
+  const extraction ex = extract_subgraph(g, members, roots);
+  EXPECT_EQ(ex.boundary.size(), 1u);  // only x
+  // The subgraph has one input and one constant.
+  EXPECT_EQ(ex.g.inputs().size(), 1u);
+  bool has_constant = false;
+  for (const node& n : ex.g.nodes()) {
+    has_constant = has_constant || n.op == opcode::constant;
+  }
+  EXPECT_TRUE(has_constant);
+}
+
+TEST(ExtractTest, SubgraphComputesSameFunction) {
+  rng r(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph g = isdc::testing::random_graph(r, 3, 20, 8);
+    // Extract the fan-in cone of the last output.
+    const node_id root = g.outputs().back();
+    std::vector<node_id> members;
+    std::vector<node_id> stack{root};
+    std::vector<bool> seen(g.num_nodes(), false);
+    seen[root] = true;
+    while (!stack.empty()) {
+      const node_id w = stack.back();
+      stack.pop_back();
+      if (g.at(w).op == opcode::input) {
+        continue;
+      }
+      members.push_back(w);
+      for (node_id p : g.at(w).operands) {
+        if (!seen[p]) {
+          seen[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+    if (members.empty()) {
+      continue;
+    }
+    const std::vector<node_id> roots = {root};
+    const extraction ex = extract_subgraph(g, members, roots);
+    ASSERT_EQ(verify(ex.g), "");
+
+    // Bind boundary values from a full evaluation of the original graph.
+    const auto inputs = isdc::testing::random_inputs(g, r);
+    const auto all_values = evaluate_all(g, inputs);
+    std::vector<std::uint64_t> sub_inputs;
+    for (node_id orig : ex.boundary) {
+      sub_inputs.push_back(all_values[orig]);
+    }
+    const auto sub_out = evaluate(ex.g, sub_inputs);
+    ASSERT_EQ(sub_out.size(), 1u);
+    EXPECT_EQ(sub_out[0], all_values[root]) << "trial " << trial;
+  }
+}
+
+TEST(ExtractTest, RootMustBeMember) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  const node_id m = b.bnot(x);
+  const node_id other = b.neg(x);
+  b.output(m);
+  b.output(other);
+  const std::vector<node_id> members = {m};
+  const std::vector<node_id> roots = {other};
+  EXPECT_THROW(extract_subgraph(g, members, roots), check_error);
+}
+
+// --- dot ---
+
+TEST(DotTest, EmitsClustersWhenStaged) {
+  graph g;
+  builder b(g);
+  const node_id x = b.input(8, "x");
+  b.output(b.add(x, x));
+  std::ostringstream os;
+  const std::vector<int> stages = {0, 1};
+  write_dot(os, g, stages);
+  EXPECT_NE(os.str().find("cluster_stage0"), std::string::npos);
+  EXPECT_NE(os.str().find("cluster_stage1"), std::string::npos);
+  EXPECT_NE(os.str().find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isdc::ir

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "sched/delay_matrix.h"
+#include "sched/metrics.h"
+#include "sched/schedule.h"
+#include "sched/sdc_scheduler.h"
+#include "sched/validate.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace isdc::sched {
+namespace {
+
+/// A delay function assigning `unit` ps to every non-input node.
+delay_matrix uniform_matrix(const ir::graph& g, double unit) {
+  return delay_matrix::initial(g, [&g, unit](ir::node_id v) {
+    const ir::opcode op = g.at(v).op;
+    return op == ir::opcode::input || op == ir::opcode::constant ? 0.0
+                                                                 : unit;
+  });
+}
+
+TEST(DelayMatrixTest, InitialCriticalPaths) {
+  // x -> a -> b, y -> b. Delays: a = 3, b = 5.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id y = bl.input(8, "y");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.add(a, y);
+  bl.output(b);
+  const delay_matrix d = delay_matrix::initial(g, [&](ir::node_id v) {
+    if (v == a) return 3.0;
+    if (v == b) return 5.0;
+    return 0.0;
+  });
+  EXPECT_FLOAT_EQ(d.self(a), 3.0f);
+  EXPECT_FLOAT_EQ(d.get(a, b), 8.0f);   // a + b
+  EXPECT_FLOAT_EQ(d.get(x, b), 8.0f);   // through a
+  EXPECT_FLOAT_EQ(d.get(y, b), 5.0f);   // direct
+  EXPECT_EQ(d.get(b, a), delay_matrix::not_connected);
+  EXPECT_EQ(d.get(x, y), delay_matrix::not_connected);
+}
+
+TEST(DelayMatrixTest, PicksCriticalOfTwoPaths) {
+  // Diamond: x -> {p (2), q (7)} -> r (1). ccp(x, r) = 8.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id p = bl.bnot(x);
+  const ir::node_id q = bl.neg(x);
+  const ir::node_id r = bl.add(p, q);
+  bl.output(r);
+  const delay_matrix d = delay_matrix::initial(g, [&](ir::node_id v) {
+    if (v == p) return 2.0;
+    if (v == q) return 7.0;
+    if (v == r) return 1.0;
+    return 0.0;
+  });
+  EXPECT_FLOAT_EQ(d.get(x, r), 8.0f);
+}
+
+TEST(SchedulerTest, ChainSplitsByClockPeriod) {
+  // 6 ops of 400 ps each, clock 1000 ps: at most 2 per stage -> 3 stages.
+  ir::graph g;
+  ir::builder bl(g);
+  ir::node_id v = bl.input(8, "x");
+  for (int i = 0; i < 6; ++i) {
+    v = bl.bnot(v);
+  }
+  bl.output(v);
+  const delay_matrix d = uniform_matrix(g, 400.0);
+  scheduler_options opts;
+  opts.clock_period_ps = 1000.0;
+  const schedule s = sdc_schedule(g, d, opts);
+  EXPECT_EQ(s.num_stages(), 3);
+  EXPECT_TRUE(validate_schedule(g, s, d, opts.clock_period_ps).empty());
+}
+
+TEST(SchedulerTest, SingleStageWhenEverythingFits) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  bl.output(bl.add(x, bl.bnot(x)));
+  const delay_matrix d = uniform_matrix(g, 100.0);
+  const schedule s = sdc_schedule(g, d, {});
+  EXPECT_EQ(s.num_stages(), 1);
+  EXPECT_EQ(register_bits(g, s), 8);  // just the output register
+}
+
+TEST(SchedulerTest, InputsPinnedToStageZero) {
+  ir::graph g;
+  ir::builder bl(g);
+  ir::node_id v = bl.input(8, "x");
+  const ir::node_id y = bl.input(8, "y");
+  for (int i = 0; i < 4; ++i) {
+    v = bl.bnot(v);
+  }
+  bl.output(bl.add(v, y));
+  const delay_matrix d = uniform_matrix(g, 600.0);
+  scheduler_options opts;
+  opts.clock_period_ps = 1300.0;
+  const schedule s = sdc_schedule(g, d, opts);
+  for (ir::node_id in : g.inputs()) {
+    EXPECT_EQ(s.cycle[in], 0);
+  }
+  EXPECT_TRUE(validate_schedule(g, s, d, opts.clock_period_ps).empty());
+}
+
+TEST(SchedulerTest, ThrowsWhenOpSlowerThanClock) {
+  ir::graph g;
+  ir::builder bl(g);
+  bl.output(bl.bnot(bl.input(8, "x")));
+  const delay_matrix d = uniform_matrix(g, 3000.0);
+  scheduler_options opts;
+  opts.clock_period_ps = 2500.0;
+  EXPECT_THROW(sdc_schedule(g, d, opts), check_error);
+}
+
+TEST(SchedulerTest, RegisterObjectivePrefersNarrowCrossings) {
+  // wide (32b) and narrow (8b) values both feed the output stage; the
+  // schedule should chain the wide producer into the consumer stage and
+  // register the narrow one if anything.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id a = bl.input(32, "a");
+  const ir::node_id b = bl.input(32, "b");
+  // Deep narrow chain (must be split) and shallow wide op.
+  ir::node_id narrow = bl.slice(bl.add(a, b), 0, 8);
+  for (int i = 0; i < 5; ++i) {
+    narrow = bl.bnot(narrow);
+  }
+  const ir::node_id wide = bl.add(a, b);
+  const ir::node_id merged = bl.add(wide, bl.zext(narrow, 32));
+  bl.output(merged);
+  const delay_matrix d = delay_matrix::initial(g, [&g](ir::node_id v) {
+    const ir::opcode op = g.at(v).op;
+    if (op == ir::opcode::input || op == ir::opcode::constant ||
+        op == ir::opcode::slice || op == ir::opcode::zext) {
+      return 0.0;
+    }
+    return 500.0;
+  });
+  scheduler_options opts;
+  opts.clock_period_ps = 1100.0;
+  const schedule s = sdc_schedule(g, d, opts);
+  EXPECT_TRUE(validate_schedule(g, s, d, opts.clock_period_ps).empty());
+  // Registering the adder's single 32-bit result through the pipeline is
+  // cheaper than piping both 32-bit operands to the last stage, so the LP
+  // must place `wide` at stage 0, next to its operands.
+  EXPECT_EQ(s.cycle[wide], 0);
+  // And the solution must beat the naive alternative placement.
+  schedule alternative = s;
+  alternative.cycle[wide] = s.cycle[merged];
+  EXPECT_LE(register_bits(g, s), register_bits(g, alternative));
+}
+
+TEST(SchedulerTest, FrontierAndAllPairsAgreeOnSmallGraphs) {
+  rng r(404);
+  for (int trial = 0; trial < 8; ++trial) {
+    const ir::graph g = isdc::testing::random_graph(r, 3, 12, 8);
+    const delay_matrix d = uniform_matrix(g, 700.0);
+    scheduler_options frontier;
+    frontier.clock_period_ps = 1500.0;
+    frontier.timing = timing_mode::frontier;
+    scheduler_options all_pairs = frontier;
+    all_pairs.timing = timing_mode::all_pairs;
+    const schedule sf = sdc_schedule(g, d, frontier);
+    const schedule sa = sdc_schedule(g, d, all_pairs);
+    // Both must be legal; the frontier relaxation can only do better or
+    // equal on register bits (its feasible set is the true legal set).
+    EXPECT_TRUE(validate_schedule(g, sf, d, 1500.0).empty());
+    EXPECT_TRUE(validate_schedule(g, sa, d, 1500.0).empty());
+    EXPECT_LE(register_bits(g, sf), register_bits(g, sa)) << "trial "
+                                                          << trial;
+  }
+}
+
+TEST(SchedulerTest, StatsReported) {
+  ir::graph g;
+  ir::builder bl(g);
+  ir::node_id v = bl.input(8, "x");
+  for (int i = 0; i < 6; ++i) {
+    v = bl.bnot(v);
+  }
+  bl.output(v);
+  const delay_matrix d = uniform_matrix(g, 400.0);
+  scheduler_options opts;
+  opts.clock_period_ps = 1000.0;
+  scheduler_stats stats;
+  sdc_schedule(g, d, opts, &stats);
+  EXPECT_GT(stats.num_constraints, 0u);
+  EXPECT_GT(stats.num_timing_constraints, 0u);
+}
+
+TEST(MetricsTest, RegisterBitsHandComputed) {
+  // x(8) -> a(8) at stage 0; b(8) at stage 1 uses a and x; output b.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.add(a, x);
+  bl.output(b);
+  schedule s;
+  s.cycle = {0, 0, 1};
+  // x crosses 1 boundary (8), a crosses 1 (8), b is output at final stage
+  // (+8 output register). Total 24.
+  EXPECT_EQ(register_bits(g, s), 24);
+  EXPECT_EQ(last_use_stage(g, s, x), 1);
+  EXPECT_EQ(last_use_stage(g, s, b), 1);
+}
+
+TEST(MetricsTest, ConstantsAreFree) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id k = bl.constant(8, 7);
+  const ir::node_id a = bl.add(x, k);
+  bl.output(a);
+  schedule s;
+  s.cycle = {0, 0, 1};
+  // x crosses one boundary (8) + output reg (8); the constant is free.
+  EXPECT_EQ(register_bits(g, s), 16);
+}
+
+TEST(MetricsTest, EstimatedStageDelays) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  const ir::node_id c = bl.bnot(b);
+  bl.output(c);
+  const delay_matrix d = uniform_matrix(g, 100.0);
+  schedule s;
+  s.cycle = {0, 0, 0, 1};
+  const auto delays = estimated_stage_delays(g, s, d);
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 200.0);  // a -> b within stage 0
+  EXPECT_DOUBLE_EQ(delays[1], 100.0);  // c alone
+  EXPECT_DOUBLE_EQ(estimated_critical_delay(g, s, d), 200.0);
+}
+
+TEST(MetricsTest, SynthesizedStageDelayOfWiringIsZero) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(16, "x");
+  bl.output(bl.rotri(x, 3));
+  schedule s;
+  s.cycle = {0, 0, 0};  // input, constant amount, rotr
+  EXPECT_DOUBLE_EQ(synthesized_stage_delay(g, s, 0), 0.0);
+}
+
+TEST(ValidateTest, DetectsDependenceViolation) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  bl.output(a);
+  const delay_matrix d = uniform_matrix(g, 100.0);
+  schedule s;
+  s.cycle = {1, 0};  // input not at 0 AND operand after user
+  const auto violations = validate_schedule(g, s, d, 1000.0);
+  EXPECT_GE(violations.size(), 2u);
+}
+
+TEST(ValidateTest, DetectsTimingViolation) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  bl.output(b);
+  const delay_matrix d = uniform_matrix(g, 800.0);
+  schedule s;
+  s.cycle = {0, 0, 0};  // 1600 ps path in a 1000 ps stage
+  // Two violating windows: a -> b and (through the zero-delay input) x -> b.
+  const auto violations = validate_schedule(g, s, d, 1000.0);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_NE(violations[0].find("1600"), std::string::npos);
+  EXPECT_NE(violations[1].find("1600"), std::string::npos);
+}
+
+TEST(ScheduleTest, StageQueriesAndEquality) {
+  schedule s;
+  s.cycle = {0, 1, 1, 2};
+  EXPECT_EQ(s.num_stages(), 3);
+  EXPECT_TRUE(s.same_stage(1, 2));
+  EXPECT_FALSE(s.same_stage(0, 3));
+  EXPECT_EQ(s.nodes_in_stage(1), (std::vector<ir::node_id>{1, 2}));
+  schedule t = s;
+  EXPECT_EQ(s, t);
+}
+
+}  // namespace
+}  // namespace isdc::sched

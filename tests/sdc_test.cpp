@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "sdc/bellman_ford.h"
+#include "sdc/brute_force.h"
+#include "sdc/mcmf_solver.h"
+#include "sdc/system.h"
+#include "support/rng.h"
+
+namespace isdc::sdc {
+namespace {
+
+TEST(SystemTest, DedupKeepsTightestBound) {
+  system sys(2);
+  sys.add_constraint(0, 1, 5);
+  sys.add_constraint(0, 1, 3);
+  sys.add_constraint(0, 1, 7);
+  ASSERT_EQ(sys.constraints().size(), 1u);
+  EXPECT_EQ(sys.constraints()[0].bound, 3);
+}
+
+TEST(SystemTest, SelfConstraintNegativeIsInfeasible) {
+  system sys(1);
+  sys.add_constraint(0, 0, -1);
+  EXPECT_TRUE(sys.trivially_infeasible());
+  EXPECT_EQ(find_feasible(sys).st, solution::status::infeasible);
+  EXPECT_EQ(solve(sys).st, solution::status::infeasible);
+}
+
+TEST(SystemTest, SelfConstraintNonNegativeIsVacuous) {
+  system sys(1);
+  sys.add_constraint(0, 0, 0);
+  EXPECT_FALSE(sys.trivially_infeasible());
+  EXPECT_TRUE(sys.constraints().empty());
+}
+
+TEST(SystemTest, SatisfiedByAndObjective) {
+  system sys(2);
+  sys.add_constraint(0, 1, 2);  // s0 - s1 <= 2
+  sys.add_objective(0, 3);
+  sys.add_objective(1, -1);
+  EXPECT_TRUE(sys.satisfied_by({1, 0}));
+  EXPECT_FALSE(sys.satisfied_by({3, 0}));
+  EXPECT_EQ(sys.objective_at({2, 1}), 5);
+}
+
+TEST(BellmanFordTest, FeasibleChain) {
+  // s1 >= s0 + 1, s2 >= s1 + 2  (as s0 - s1 <= -1, s1 - s2 <= -2).
+  system sys(3);
+  sys.add_constraint(0, 1, -1);
+  sys.add_constraint(1, 2, -2);
+  const solution sol = find_feasible(sys);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sys.satisfied_by(sol.values));
+}
+
+TEST(BellmanFordTest, NegativeCycleDetected) {
+  // s0 - s1 <= -1 and s1 - s0 <= 0 => s0 < s0, infeasible.
+  system sys(2);
+  sys.add_constraint(0, 1, -1);
+  sys.add_constraint(1, 0, 0);
+  EXPECT_EQ(find_feasible(sys).st, solution::status::infeasible);
+  EXPECT_EQ(solve(sys).st, solution::status::infeasible);
+}
+
+TEST(McmfTest, SimpleChainOptimal) {
+  // Minimize s2 with s1 >= s0 + 1, s2 >= s1 + 2, s0 = origin.
+  system sys(3);
+  sys.add_constraint(0, 1, -1);
+  sys.add_constraint(1, 2, -2);
+  // bound everything to the origin so the LP is bounded
+  sys.add_constraint(1, 0, 10);
+  sys.add_constraint(2, 0, 10);
+  sys.add_constraint(0, 1, 10);
+  sys.add_constraint(0, 2, 10);
+  sys.add_objective(2, 1);
+  const solution sol = solve(sys, 0);
+  ASSERT_EQ(sol.st, solution::status::optimal);
+  EXPECT_EQ(sol.values[0], 0);
+  EXPECT_EQ(sol.values[2], 3);
+  EXPECT_EQ(sol.objective, 3);
+}
+
+TEST(McmfTest, MaximizationViaNegativeCoefficient) {
+  // Maximize s1 subject to s1 - s0 <= 4.
+  system sys(2);
+  sys.add_constraint(1, 0, 4);
+  sys.add_constraint(0, 1, 0);
+  sys.add_objective(1, -1);
+  const solution sol = solve(sys, 0);
+  ASSERT_EQ(sol.st, solution::status::optimal);
+  EXPECT_EQ(sol.values[1], 4);
+}
+
+TEST(McmfTest, UnboundedDetected) {
+  // Minimize s1 with only s0 - s1 <= 0: s1 can go to -infinity? No: s1 >= s0
+  // bounds below. Minimize -s1 (maximize s1) with no upper bound instead.
+  system sys(2);
+  sys.add_constraint(0, 1, 0);  // s1 >= s0
+  sys.add_objective(1, -1);
+  EXPECT_EQ(solve(sys, 0).st, solution::status::unbounded);
+}
+
+TEST(McmfTest, ZeroObjectiveReturnsFeasible) {
+  system sys(2);
+  sys.add_constraint(0, 1, -3);
+  const solution sol = solve(sys, 0);
+  ASSERT_EQ(sol.st, solution::status::optimal);
+  EXPECT_TRUE(sys.satisfied_by(sol.values));
+}
+
+/// Randomized cross-check against brute force: small systems, bounded box.
+class McmfRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(McmfRandomTest, MatchesBruteForceOptimum) {
+  rng r(static_cast<std::uint64_t>(GetParam()));
+  const int n = 2 + static_cast<int>(r.next_below(4));  // 2..5 vars
+  system sys(n);
+  // Random difference constraints.
+  const int num_constraints = 3 + static_cast<int>(r.next_below(8));
+  for (int i = 0; i < num_constraints; ++i) {
+    const int u = static_cast<int>(r.next_below(n));
+    const int v = static_cast<int>(r.next_below(n));
+    sys.add_constraint(u, v, r.next_in(-3, 5));
+  }
+  // Box constraints so both solvers search the same bounded region:
+  // 0 <= s_v - s_0 <= 6.
+  for (int v = 1; v < n; ++v) {
+    sys.add_constraint(0, v, 0);
+    sys.add_constraint(v, 0, 6);
+  }
+  for (int v = 0; v < n; ++v) {
+    sys.add_objective(v, r.next_in(-4, 4));
+  }
+
+  const solution exact = solve_brute_force(sys, 0, 6, 0);
+  const solution fast = solve(sys, 0);
+  if (exact.st == solution::status::infeasible) {
+    EXPECT_EQ(fast.st, solution::status::infeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(fast.st, solution::status::optimal) << "seed " << GetParam();
+    EXPECT_TRUE(sys.satisfied_by(fast.values));
+    EXPECT_EQ(fast.objective, exact.objective) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McmfRandomTest, ::testing::Range(0, 60));
+
+TEST(McmfTest, IntegralityOnTies) {
+  // TU structure guarantees an integral optimum; spot-check a tie-heavy
+  // instance.
+  system sys(4);
+  for (int v = 1; v < 4; ++v) {
+    sys.add_constraint(0, v, 0);
+    sys.add_constraint(v, 0, 2);
+  }
+  sys.add_constraint(1, 2, 0);
+  sys.add_constraint(2, 3, 0);
+  sys.add_objective(1, 1);
+  sys.add_objective(3, -1);
+  const solution sol = solve(sys, 0);
+  ASSERT_EQ(sol.st, solution::status::optimal);
+  for (const auto v : sol.values) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 2);
+  }
+  EXPECT_EQ(sol.objective, -2);  // s1 = 0, s3 = 2
+}
+
+}  // namespace
+}  // namespace isdc::sdc

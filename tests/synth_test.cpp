@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "lower/lowering.h"
+#include "support/rng.h"
+#include "synth/cell_library.h"
+#include "synth/characterizer.h"
+#include "synth/netlist.h"
+#include "synth/sta.h"
+#include "synth/synthesis.h"
+#include "synth/techmap.h"
+#include "test_util.h"
+
+namespace isdc::synth {
+namespace {
+
+using isdc::testing::random_aig;
+
+TEST(CellLibraryTest, ContainsInverterAndBasics) {
+  const cell_library& lib = default_library();
+  EXPECT_GE(lib.cells().size(), 20u);
+  EXPECT_GT(lib.inverter_delay_ps(), 0.0);
+  EXPECT_EQ(lib.at(lib.inverter_index()).name, "inv");
+}
+
+TEST(CellLibraryTest, EveryTwoVariableFunctionHasMatchOrComplement) {
+  // Needed so the mapper can always fall back to the fanin-pair cut: every
+  // nondegenerate 2-var function must match in at least one phase.
+  const cell_library& lib = default_library();
+  for (aig::tt6 f = 0; f < 16; ++f) {
+    const bool degenerate = f == 0 || f == 0xf ||
+                            f == (aig::tt_project(0) & 0xf) ||
+                            f == (~aig::tt_project(0) & 0xf) ||
+                            f == (aig::tt_project(1) & 0xf) ||
+                            f == (~aig::tt_project(1) & 0xf);
+    if (degenerate) {
+      continue;
+    }
+    const bool matched =
+        lib.find(2, f) != nullptr || lib.find(2, ~f & 0xf) != nullptr;
+    EXPECT_TRUE(matched) << "2-var function " << f << " unmatched";
+  }
+}
+
+TEST(CellLibraryTest, MatchSemantics) {
+  // The and2b cell (x0 & !x1) must match f = !x0 & x1 via pin swap.
+  const cell_library& lib = default_library();
+  const aig::tt6 f = (~aig::tt_project(0) & aig::tt_project(1)) & 0xf;
+  const auto* matches = lib.find(2, f);
+  ASSERT_NE(matches, nullptr);
+  bool found_and2b = false;
+  for (const cell_match& m : *matches) {
+    if (lib.at(m.cell_index).name == "and2b") {
+      found_and2b = true;
+      // pin 0 (the non-inverted one) must read variable 1.
+      EXPECT_EQ(m.pin_to_var[0], 1);
+      EXPECT_EQ(m.pin_to_var[1], 0);
+    }
+  }
+  EXPECT_TRUE(found_and2b);
+}
+
+TEST(NetlistTest, AreaAndGateBookkeeping) {
+  const cell_library& lib = default_library();
+  netlist nl(lib);
+  const net_id a = nl.add_pi();
+  const net_id b = nl.add_pi();
+  const net_id x = nl.add_gate(lib.inverter_index(), {a});
+  (void)b;
+  nl.add_po(x);
+  EXPECT_EQ(nl.num_gates(), 1u);
+  EXPECT_DOUBLE_EQ(nl.total_area(), lib.at(lib.inverter_index()).area);
+  EXPECT_EQ(nl.driver_gate(x), 0);
+  EXPECT_EQ(nl.driver_gate(a), -1);
+}
+
+TEST(NetlistTest, SimulationEvaluatesCells) {
+  const cell_library& lib = default_library();
+  netlist nl(lib);
+  const net_id a = nl.add_pi();
+  const net_id b = nl.add_pi();
+  // find nand2
+  int nand2 = -1;
+  for (std::size_t i = 0; i < lib.cells().size(); ++i) {
+    if (lib.cells()[i].name == "nand2") {
+      nand2 = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(nand2, 0);
+  const net_id x = nl.add_gate(nand2, {a, b});
+  nl.add_po(x);
+  const std::vector<std::uint64_t> patterns = {0b1100, 0b1010};
+  const auto out = nl.simulate_outputs(patterns);
+  EXPECT_EQ(out[0] & 0xf, 0b0111u);
+}
+
+TEST(StaTest, HandComputedArrivals) {
+  const cell_library& lib = default_library();
+  netlist nl(lib);
+  const net_id a = nl.add_pi();
+  const net_id b = nl.add_pi();
+  const net_id inv_a = nl.add_gate(lib.inverter_index(), {a});
+  int and2 = -1;
+  for (std::size_t i = 0; i < lib.cells().size(); ++i) {
+    if (lib.cells()[i].name == "and2") {
+      and2 = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(and2, 0);
+  const net_id x = nl.add_gate(and2, {inv_a, b});
+  nl.add_po(x);
+  const sta_result sta = analyze(nl);
+  const double expected =
+      lib.inverter_delay_ps() + lib.at(and2).delay_ps;
+  EXPECT_DOUBLE_EQ(sta.critical_delay_ps, expected);
+  EXPECT_DOUBLE_EQ(worst_slack_ps(nl, 1000.0), 1000.0 - expected);
+  const auto path = critical_path(nl);
+  EXPECT_EQ(path.size(), 3u);  // po net, inv net, pi
+}
+
+/// Mapper legality + equivalence: the mapped netlist must compute exactly
+/// the AIG's outputs.
+class TechmapTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TechmapTest, MappedNetlistEquivalentToAig) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const aig::aig g = random_aig(r, 6, 90);
+  const netlist nl = technology_map(g, default_library());
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::uint64_t> patterns(g.num_pis());
+    for (auto& p : patterns) {
+      p = r.next();
+    }
+    EXPECT_EQ(nl.simulate_outputs(patterns),
+              aig::simulate_outputs(g, patterns))
+        << "seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TechmapTest, ::testing::Range(0, 15));
+
+TEST(TechmapTest, MapsLoweredAdder) {
+  ir::graph g("adder");
+  ir::builder b(g);
+  b.output(b.add(b.input(16, "a"), b.input(16, "b")));
+  const lower::lowering_result lowered = lower::lower_graph(g);
+  const aig::aig opt = optimize(lowered.net.cleanup());
+  const netlist nl = technology_map(opt, default_library());
+  EXPECT_GT(nl.num_gates(), 0u);
+  rng r(3);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::uint64_t> patterns(opt.num_pis());
+    for (auto& p : patterns) {
+      p = r.next();
+    }
+    EXPECT_EQ(nl.simulate_outputs(patterns),
+              aig::simulate_outputs(opt, patterns));
+  }
+}
+
+TEST(SynthesisTest, WiringOnlyDesignHasZeroDelay) {
+  ir::graph g("wires");
+  ir::builder b(g);
+  const ir::node_id x = b.input(16, "x");
+  b.output(b.rotri(x, 5));
+  const synthesis_result res = synthesize_graph(g);
+  EXPECT_EQ(res.gate_count, 0u);
+  EXPECT_DOUBLE_EQ(res.critical_delay_ps, 0.0);
+}
+
+TEST(SynthesisTest, OptimizationReducesOrKeepsDepth) {
+  ir::graph g("tree");
+  ir::builder b(g);
+  std::vector<ir::node_id> xs;
+  for (int i = 0; i < 6; ++i) {
+    xs.push_back(b.input(8, "x" + std::to_string(i)));
+  }
+  b.output(b.add_many(xs));  // left fold: badly unbalanced
+  const synthesis_result res = synthesize_graph(g);
+  EXPECT_LE(res.aig_depth_after, res.aig_depth_before);
+  EXPECT_GT(res.critical_delay_ps, 0.0);
+}
+
+TEST(CharacterizerTest, WiringOpsAreFree) {
+  delay_model dm;
+  EXPECT_DOUBLE_EQ(dm.op_delay_ps(ir::opcode::slice, 8), 0.0);
+  EXPECT_DOUBLE_EQ(dm.op_delay_ps(ir::opcode::concat, 16), 0.0);
+  EXPECT_DOUBLE_EQ(dm.op_delay_ps(ir::opcode::zext, 32), 0.0);
+  EXPECT_DOUBLE_EQ(
+      dm.op_delay_ps(ir::opcode::shl, 32, /*variable_amount=*/false), 0.0);
+  EXPECT_GT(dm.op_delay_ps(ir::opcode::shl, 32, /*variable_amount=*/true),
+            0.0);
+}
+
+TEST(CharacterizerTest, PlausibleAdderDelays) {
+  delay_model dm;
+  const double add8 = dm.op_delay_ps(ir::opcode::add, 8);
+  const double add32 = dm.op_delay_ps(ir::opcode::add, 32);
+  EXPECT_GT(add8, 100.0);   // a few gate delays at least
+  EXPECT_LT(add32, 2500.0); // must fit the paper's default clock
+  EXPECT_GT(add32, add8);   // wider is slower
+}
+
+TEST(CharacterizerTest, MultiplierSlowerThanAdder) {
+  delay_model dm;
+  EXPECT_GT(dm.op_delay_ps(ir::opcode::mul, 16),
+            dm.op_delay_ps(ir::opcode::add, 16));
+  // The paper's clock-selection rule: 32-bit multiply exceeds 2500 ps.
+  EXPECT_GT(dm.op_delay_ps(ir::opcode::mul, 32), 2500.0);
+  EXPECT_LT(dm.op_delay_ps(ir::opcode::mul, 32), 5000.0);
+}
+
+TEST(CharacterizerTest, NodeDelayUsesOperandContext) {
+  ir::graph g("ctx");
+  ir::builder b(g);
+  const ir::node_id x = b.input(16, "x");
+  const ir::node_id const_shift = b.shli(x, 3);
+  const ir::node_id var_shift = b.shl(x, b.input(5, "amt"));
+  b.output(b.bxor(const_shift, var_shift));
+  delay_model dm;
+  EXPECT_DOUBLE_EQ(dm.node_delay_ps(g, const_shift), 0.0);
+  EXPECT_GT(dm.node_delay_ps(g, var_shift), 0.0);
+}
+
+TEST(CharacterizerTest, ComparisonCharacterizedAtOperandWidth) {
+  ir::graph g("cmp");
+  ir::builder b(g);
+  const ir::node_id c = b.ult(b.input(32, "a"), b.input(32, "b"));
+  b.output(c);
+  delay_model dm;
+  // Must be far more than a 1-bit op: it is a 32-bit comparator.
+  EXPECT_GT(dm.node_delay_ps(g, c), 200.0);
+}
+
+// The phenomenon the whole paper rests on: synthesized multi-op clouds are
+// faster than the sum of their isolated characterizations.
+TEST(SynthesisTest, ChainedAddersBeatSumOfParts) {
+  delay_model dm;
+  const double single = dm.op_delay_ps(ir::opcode::add, 32);
+  ir::graph g("chain3");
+  ir::builder b(g);
+  const ir::node_id a = b.input(32, "a");
+  const ir::node_id c = b.input(32, "b");
+  const ir::node_id d = b.input(32, "c");
+  const ir::node_id e = b.input(32, "d");
+  b.output(b.add(b.add(b.add(a, c), d), e));
+  const double combined = synthesize_graph(g).critical_delay_ps;
+  EXPECT_LT(combined, 3.0 * single)
+      << "combined synthesis must beat the sum of per-op delays";
+  EXPECT_GT(combined, single);  // sanity: it is still more than one adder
+}
+
+TEST(SynthesisTest, SubgraphDelayNeverExceedsSumOfParts) {
+  // Property over random graphs: synthesize the whole graph and compare
+  // with the naive sum along the worst path.
+  rng r(2024);
+  delay_model dm;
+  for (int trial = 0; trial < 3; ++trial) {
+    const ir::graph g = isdc::testing::random_graph(r, 3, 8, 16);
+    // Naive critical path: longest path by per-op delays.
+    std::vector<double> arrival(g.num_nodes(), 0.0);
+    double naive = 0.0;
+    for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+      double in = 0.0;
+      for (ir::node_id p : g.at(v).operands) {
+        in = std::max(in, arrival[p]);
+      }
+      arrival[v] = in + dm.node_delay_ps(g, v);
+      naive = std::max(naive, arrival[v]);
+    }
+    const double combined = synthesize_graph(g).critical_delay_ps;
+    // Small tolerance: mapping is heuristic, so allow 5% above the naive
+    // bound; in practice the combined delay is far *below* it.
+    EXPECT_LE(combined, naive * 1.05 + 1e-6) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace isdc::synth

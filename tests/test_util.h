@@ -1,0 +1,113 @@
+// Shared helpers for the test suite: random graph/AIG generation and
+// simulation-based equivalence checking.
+#ifndef ISDC_TESTS_TEST_UTIL_H_
+#define ISDC_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "aig/aig.h"
+#include "aig/simulate.h"
+#include "ir/builder.h"
+#include "ir/evaluate.h"
+#include "support/rng.h"
+
+namespace isdc::testing {
+
+/// Random feed-forward IR graph over arithmetic/logic ops; all widths
+/// equal, every sink becomes an output.
+inline ir::graph random_graph(rng& r, int num_inputs, int num_ops,
+                              std::uint32_t width) {
+  ir::graph g("random");
+  ir::builder b(g);
+  std::vector<ir::node_id> pool;
+  for (int i = 0; i < num_inputs; ++i) {
+    pool.push_back(b.input(width, "i" + std::to_string(i)));
+  }
+  for (int i = 0; i < num_ops; ++i) {
+    const ir::node_id x = pool[r.next_below(pool.size())];
+    const ir::node_id y = pool[r.next_below(pool.size())];
+    ir::node_id out;
+    switch (r.next_below(6)) {
+      case 0: out = b.add(x, y); break;
+      case 1: out = b.sub(x, y); break;
+      case 2: out = b.bxor(x, y); break;
+      case 3: out = b.band(x, y); break;
+      case 4: out = b.bor(x, y); break;
+      default:
+        out = b.rotri(x, static_cast<std::uint32_t>(r.next_below(width)));
+        break;
+    }
+    pool.push_back(out);
+  }
+  // Every node without users becomes an output.
+  for (ir::node_id id = 0; id < g.num_nodes(); ++id) {
+    if (g.users(id).empty() && g.at(id).op != ir::opcode::constant) {
+      g.mark_output(id);
+    }
+  }
+  return g;
+}
+
+/// Random AIG with `num_pis` inputs and `num_ands` AND attempts.
+inline aig::aig random_aig(rng& r, int num_pis, int num_ands) {
+  aig::aig g;
+  std::vector<aig::literal> pool;
+  for (int i = 0; i < num_pis; ++i) {
+    pool.push_back(aig::make_literal(g.add_pi()));
+  }
+  for (int i = 0; i < num_ands; ++i) {
+    aig::literal a = pool[r.next_below(pool.size())];
+    aig::literal b = pool[r.next_below(pool.size())];
+    if (r.next_bool(0.4)) {
+      a = aig::lit_not(a);
+    }
+    if (r.next_bool(0.4)) {
+      b = aig::lit_not(b);
+    }
+    pool.push_back(g.create_and(a, b));
+  }
+  // A handful of POs over the most recent signals.
+  const std::size_t num_pos = std::min<std::size_t>(4, pool.size());
+  for (std::size_t i = 0; i < num_pos; ++i) {
+    aig::literal po = pool[pool.size() - 1 - i];
+    if (r.next_bool(0.3)) {
+      po = aig::lit_not(po);
+    }
+    g.add_po(po);
+  }
+  return g;
+}
+
+/// Checks PO-for-PO equivalence of two AIGs with `rounds` x 64 random
+/// patterns. PIs must correspond by index.
+inline bool simulation_equivalent(const aig::aig& a, const aig::aig& b,
+                                  rng& r, int rounds = 8) {
+  if (a.num_pis() != b.num_pis() || a.pos().size() != b.pos().size()) {
+    return false;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::uint64_t> patterns(a.num_pis());
+    for (auto& p : patterns) {
+      p = r.next();
+    }
+    if (aig::simulate_outputs(a, patterns) !=
+        aig::simulate_outputs(b, patterns)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Random input values for an IR graph.
+inline std::vector<std::uint64_t> random_inputs(const ir::graph& g, rng& r) {
+  std::vector<std::uint64_t> values;
+  values.reserve(g.inputs().size());
+  for (ir::node_id in : g.inputs()) {
+    values.push_back(r.next() & ir::width_mask(g.at(in).width));
+  }
+  return values;
+}
+
+}  // namespace isdc::testing
+
+#endif  // ISDC_TESTS_TEST_UTIL_H_

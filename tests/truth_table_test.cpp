@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "aig/truth_table.h"
+#include "support/rng.h"
+
+namespace isdc::aig {
+namespace {
+
+TEST(TruthTableTest, Masks) {
+  EXPECT_EQ(tt_mask(0), 1ull);
+  EXPECT_EQ(tt_mask(1), 0x3ull);
+  EXPECT_EQ(tt_mask(2), 0xfull);
+  EXPECT_EQ(tt_mask(4), 0xffffull);
+  EXPECT_EQ(tt_mask(6), ~0ull);
+}
+
+TEST(TruthTableTest, ProjectionsMatchMinterms) {
+  for (int v = 0; v < 6; ++v) {
+    const tt6 p = tt_project(v);
+    for (int m = 0; m < 64; ++m) {
+      EXPECT_EQ((p >> m) & 1, static_cast<tt6>((m >> v) & 1))
+          << "var " << v << " minterm " << m;
+    }
+  }
+}
+
+TEST(TruthTableTest, Cofactors) {
+  // f = x0 & x1 over 2 vars: tt = 0b1000.
+  const tt6 f = 0b1000;
+  EXPECT_EQ(tt_cofactor1(f, 0) & tt_mask(2), tt_project(1) & tt_mask(2));
+  EXPECT_EQ(tt_cofactor0(f, 0) & tt_mask(2), 0ull);
+}
+
+TEST(TruthTableTest, DependsOn) {
+  const tt6 f = tt_project(0) ^ tt_project(2);  // x0 xor x2 over 3 vars
+  EXPECT_TRUE(tt_depends_on(f, 0, 3));
+  EXPECT_FALSE(tt_depends_on(f, 1, 3));
+  EXPECT_TRUE(tt_depends_on(f, 2, 3));
+}
+
+TEST(TruthTableTest, PermuteIdentity) {
+  rng r(3);
+  const int perm[6] = {0, 1, 2, 3, 4, 5};
+  for (int trial = 0; trial < 20; ++trial) {
+    const tt6 f = r.next() & tt_mask(4);
+    EXPECT_EQ(tt_permute(f, 4, std::span<const int>(perm, 4)), f);
+  }
+}
+
+TEST(TruthTableTest, PermuteSwap) {
+  // f = x0 & !x1; swapping vars gives x1 & !x0.
+  const tt6 f = 0b0010;
+  const int perm[2] = {1, 0};
+  const tt6 swapped = tt_permute(f, 2, std::span<const int>(perm, 2));
+  EXPECT_EQ(swapped, 0b0100ull);
+}
+
+TEST(TruthTableTest, PermuteComposesWithEvaluation) {
+  // result(x) = f(x_perm...): check bit-by-bit on a random 3-var function.
+  rng r(9);
+  const tt6 f = r.next() & tt_mask(3);
+  const int perm[3] = {2, 0, 1};
+  const tt6 q = tt_permute(f, 3, std::span<const int>(perm, 3));
+  for (int m = 0; m < 8; ++m) {
+    int src = 0;
+    for (int i = 0; i < 3; ++i) {
+      if ((m >> i) & 1) {
+        src |= 1 << perm[i];
+      }
+    }
+    EXPECT_EQ((q >> m) & 1, (f >> src) & 1);
+  }
+}
+
+TEST(CubeTest, LiteralsAndFunction) {
+  cube c;
+  c.pos_mask = 0b001;  // x0
+  c.neg_mask = 0b100;  // !x2
+  EXPECT_EQ(c.num_literals(), 2);
+  const tt6 f = cube_function(c, 3);
+  EXPECT_EQ(f, tt_project(0) & ~tt_project(2) & tt_mask(3));
+}
+
+TEST(CubeTest, EmptyCubeIsTautology) {
+  const cube c;
+  EXPECT_EQ(cube_function(c, 3), tt_mask(3));
+}
+
+TEST(IsopTest, ConstantFunctions) {
+  EXPECT_TRUE(isop(0, 3).empty());
+  const auto taut = isop(tt_mask(3), 3);
+  ASSERT_EQ(taut.size(), 1u);
+  EXPECT_EQ(taut[0].num_literals(), 0);
+}
+
+TEST(IsopTest, SingleVariable) {
+  const auto cubes = isop(tt_project(1) & tt_mask(3), 3);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0].pos_mask, 0b010u);
+  EXPECT_EQ(cubes[0].neg_mask, 0u);
+}
+
+TEST(IsopTest, ExhaustiveThreeVariables) {
+  // Every 3-variable function must be covered exactly.
+  for (tt6 f = 0; f < 256; ++f) {
+    const auto cubes = isop(f, 3);
+    EXPECT_EQ(sop_function(cubes, 3), f) << "function " << f;
+  }
+}
+
+class IsopRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopRandomTest, CoverEqualsFunction) {
+  rng r(static_cast<std::uint64_t>(GetParam()));
+  for (int vars = 4; vars <= 6; ++vars) {
+    const tt6 f = r.next() & tt_mask(vars);
+    const auto cubes = isop(f, vars);
+    EXPECT_EQ(sop_function(cubes, vars), f)
+        << "vars " << vars << " seed " << GetParam();
+    // Irredundancy: dropping any cube must lose coverage.
+    for (std::size_t drop = 0; drop < cubes.size(); ++drop) {
+      std::vector<cube> reduced = cubes;
+      reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(drop));
+      EXPECT_NE(sop_function(reduced, vars), f)
+          << "cube " << drop << " is redundant";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsopRandomTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace isdc::aig

@@ -1,0 +1,346 @@
+// Benchmark-suite validation: structural well-formedness of all 17
+// workloads and functional correctness of the ones with public reference
+// semantics (crc32 against a software CRC, sha256 against a reference
+// compression, binary divide against integer division, hsv2rgb against the
+// integer formulas). crc32 is additionally checked end-to-end at the gate
+// level (IR -> AIG -> simulation).
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.h"
+#include "ir/evaluate.h"
+#include "ir/verify.h"
+#include "lower/lowering.h"
+#include "support/rng.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+namespace {
+
+TEST(RegistryTest, SeventeenWorkloadsInTableOrder) {
+  const auto& specs = all_workloads();
+  ASSERT_EQ(specs.size(), 17u);
+  EXPECT_EQ(specs.front().name, "ml_datapath1");
+  EXPECT_EQ(specs.back().name, "fpexp_32");
+  EXPECT_NE(find_workload("sha256"), nullptr);
+  EXPECT_EQ(find_workload("nonexistent"), nullptr);
+}
+
+class WorkloadStructureTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkloadStructureTest, BuildsAndVerifies) {
+  const workload_spec& spec = all_workloads()[GetParam()];
+  const ir::graph g = spec.build();
+  EXPECT_EQ(ir::verify(g), "") << spec.name;
+  EXPECT_GT(g.num_nodes(), 4u) << spec.name;
+  EXPECT_FALSE(g.outputs().empty()) << spec.name;
+  EXPECT_TRUE(spec.clock_period_ps == 2500.0 || spec.clock_period_ps == 5000.0);
+  // Deterministic construction.
+  const ir::graph g2 = spec.build();
+  EXPECT_EQ(g.num_nodes(), g2.num_nodes());
+  // Evaluation smoke test.
+  rng r(GetParam());
+  std::vector<std::uint64_t> inputs;
+  for (ir::node_id in : g.inputs()) {
+    inputs.push_back(r.next() & ir::width_mask(g.at(in).width));
+  }
+  EXPECT_EQ(ir::evaluate(g, inputs), ir::evaluate(g, inputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadStructureTest,
+                         ::testing::Range<std::size_t>(0, 17),
+                         [](const auto& info) {
+                           return all_workloads()[info.param].name;
+                         });
+
+// --- crc32 ---
+
+std::uint32_t software_crc32_step(std::uint32_t crc, std::uint32_t data,
+                                  int bits) {
+  for (int i = 0; i < bits; ++i) {
+    const std::uint32_t bit = (crc ^ (data >> i)) & 1u;
+    crc >>= 1;
+    if (bit != 0) {
+      crc ^= 0xedb88320u;
+    }
+  }
+  return crc;
+}
+
+TEST(Crc32Test, MatchesSoftwareReference) {
+  const ir::graph g = build_crc32(32);
+  rng r(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t crc_in = static_cast<std::uint32_t>(r.next());
+    const std::uint32_t data = static_cast<std::uint32_t>(r.next());
+    const auto out = ir::evaluate(
+        g, std::vector<std::uint64_t>{crc_in, data});
+    EXPECT_EQ(out[0], software_crc32_step(crc_in, data, 32));
+  }
+}
+
+TEST(Crc32Test, StandardTestVector) {
+  // CRC32("\x00...") style check: feeding data=0, crc=0xffffffff for one
+  // word matches the software loop.
+  const ir::graph g = build_crc32(32);
+  const auto out =
+      ir::evaluate(g, std::vector<std::uint64_t>{0xffffffffu, 0u});
+  EXPECT_EQ(out[0], software_crc32_step(0xffffffffu, 0, 32));
+}
+
+TEST(Crc32Test, GateLevelSimulationMatches) {
+  const ir::graph g = build_crc32(16);
+  const lower::lowering_result lowered = lower::lower_graph(g);
+  rng r(7);
+  const std::uint32_t crc_in = static_cast<std::uint32_t>(r.next());
+  const std::uint32_t data = static_cast<std::uint32_t>(r.next());
+  // One pattern lane (all 64 lanes identical).
+  std::vector<std::uint64_t> patterns;
+  for (int bit = 0; bit < 32; ++bit) {
+    patterns.push_back(((crc_in >> bit) & 1) != 0 ? ~0ull : 0ull);
+  }
+  for (int bit = 0; bit < 32; ++bit) {
+    patterns.push_back(((data >> bit) & 1) != 0 ? ~0ull : 0ull);
+  }
+  const auto sim = aig::simulate(lowered.net, patterns);
+  std::uint32_t gate_result = 0;
+  for (int bit = 0; bit < 32; ++bit) {
+    if ((aig::literal_value(lowered.net.pos()[static_cast<std::size_t>(bit)],
+                            sim) &
+         1) != 0) {
+      gate_result |= 1u << bit;
+    }
+  }
+  EXPECT_EQ(gate_result, software_crc32_step(crc_in, data, 16));
+}
+
+// --- sha256 ---
+
+struct sha_state {
+  std::array<std::uint32_t, 8> h;
+};
+
+std::uint32_t rotr32(std::uint32_t x, int k) {
+  return (x >> k) | (x << (32 - k));
+}
+
+sha_state reference_sha256_rounds(sha_state in,
+                                  const std::vector<std::uint32_t>& words,
+                                  int rounds) {
+  static constexpr std::array<std::uint32_t, 64> k = {
+      0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+      0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+      0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+      0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+      0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+      0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+      0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+      0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+      0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+      0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+      0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+      0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+      0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+  std::vector<std::uint32_t> w = words;
+  w.resize(static_cast<std::size_t>(std::max(rounds, 16)), 0);
+  for (int t = 16; t < rounds; ++t) {
+    const std::uint32_t s0 = rotr32(w[t - 15], 7) ^ rotr32(w[t - 15], 18) ^
+                             (w[t - 15] >> 3);
+    const std::uint32_t s1 = rotr32(w[t - 2], 17) ^ rotr32(w[t - 2], 19) ^
+                             (w[t - 2] >> 10);
+    w[static_cast<std::size_t>(t)] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+  auto [a, b, c, d, e, f, g, h] = in.h;
+  for (int t = 0; t < rounds; ++t) {
+    const std::uint32_t big_s1 =
+        rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 =
+        h + big_s1 + ch + k[static_cast<std::size_t>(t)] +
+        w[static_cast<std::size_t>(t)];
+    const std::uint32_t big_s0 =
+        rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = big_s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  sha_state out;
+  out.h = {a + in.h[0], b + in.h[1], c + in.h[2], d + in.h[3],
+           e + in.h[4], f + in.h[5], g + in.h[6], h + in.h[7]};
+  return out;
+}
+
+class Sha256Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sha256Test, MatchesReferenceRounds) {
+  const int rounds = GetParam();
+  const ir::graph g = build_sha256(rounds);
+  rng r(static_cast<std::uint64_t>(rounds));
+  sha_state in;
+  std::vector<std::uint64_t> inputs;
+  for (auto& h : in.h) {
+    h = static_cast<std::uint32_t>(r.next());
+    inputs.push_back(h);
+  }
+  std::vector<std::uint32_t> words;
+  for (int t = 0; t < std::min(rounds, 16); ++t) {
+    words.push_back(static_cast<std::uint32_t>(r.next()));
+    inputs.push_back(words.back());
+  }
+  const auto out = ir::evaluate(g, inputs);
+  const sha_state expected = reference_sha256_rounds(in, words, rounds);
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)],
+              expected.h[static_cast<std::size_t>(i)])
+        << "state word " << i << " rounds " << rounds;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, Sha256Test,
+                         ::testing::Values(1, 4, 12, 16, 24, 64));
+
+// --- binary divide ---
+
+TEST(BinaryDivideTest, MatchesIntegerDivision) {
+  const ir::graph g = build_binary_divide(8);
+  rng r(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t dividend = r.next() & 0xff;
+    const std::uint64_t divisor = (r.next() & 0xff) | 1;  // nonzero
+    const auto out =
+        ir::evaluate(g, std::vector<std::uint64_t>{dividend, divisor});
+    EXPECT_EQ(out[0], dividend / divisor) << dividend << "/" << divisor;
+    EXPECT_EQ(out[1], dividend % divisor) << dividend << "%" << divisor;
+  }
+}
+
+TEST(BinaryDivideTest, WidthParameterized) {
+  for (int width : {4, 6, 12}) {
+    const ir::graph g = build_binary_divide(width);
+    const std::uint64_t mask = ir::width_mask(static_cast<std::uint32_t>(width));
+    rng r(static_cast<std::uint64_t>(width));
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint64_t a = r.next() & mask;
+      const std::uint64_t b = (r.next() & mask) | 1;
+      const auto out = ir::evaluate(g, std::vector<std::uint64_t>{a, b});
+      EXPECT_EQ(out[0], a / b);
+      EXPECT_EQ(out[1], a % b);
+    }
+  }
+}
+
+// --- hsv2rgb ---
+
+std::array<std::uint64_t, 3> reference_hsv2rgb(std::uint32_t h,
+                                               std::uint32_t s,
+                                               std::uint32_t v) {
+  const std::uint32_t h6 = h * 6;
+  const std::uint32_t region = (h6 >> 8) & 7;
+  const std::uint32_t f = h6 & 0xff;
+  const auto scale = [](std::uint32_t a, std::uint32_t c) {
+    return ((a * c) >> 8) & 0xff;
+  };
+  const std::uint32_t p = scale(v, 255 - s);
+  const std::uint32_t q = scale(v, (255 - scale(s, f)) & 0xffff);
+  const std::uint32_t t = scale(v, (255 - scale(s, 255 - f)) & 0xffff);
+  switch (region) {
+    case 0: return {v, t, p};
+    case 1: return {q, v, p};
+    case 2: return {p, v, t};
+    case 3: return {p, q, v};
+    case 4: return {t, p, v};
+    default: return {v, p, q};
+  }
+}
+
+TEST(Hsv2RgbTest, MatchesIntegerReference) {
+  const ir::graph g = build_hsv2rgb();
+  rng r(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint32_t h = static_cast<std::uint32_t>(r.next() & 0xff);
+    const std::uint32_t s = static_cast<std::uint32_t>(r.next() & 0xff);
+    const std::uint32_t v = static_cast<std::uint32_t>(r.next() & 0xff);
+    const auto out = ir::evaluate(g, std::vector<std::uint64_t>{h, s, v});
+    const auto expected = reference_hsv2rgb(h, s, v);
+    EXPECT_EQ(out[0], expected[0]) << "r at h=" << h;
+    EXPECT_EQ(out[1], expected[1]) << "g at h=" << h;
+    EXPECT_EQ(out[2], expected[2]) << "b at h=" << h;
+  }
+}
+
+TEST(Hsv2RgbTest, GrayWhenSaturationZero) {
+  const ir::graph g = build_hsv2rgb();
+  const auto out = ir::evaluate(g, std::vector<std::uint64_t>{123, 0, 200});
+  // s = 0: p = q = t = (v*255)>>8 = v - 1, while one channel carries v
+  // itself — the classic off-by-one of the integer algorithm. All three
+  // channels must agree within 1 count.
+  EXPECT_EQ(out[0], out[2]);
+  EXPECT_NEAR(static_cast<double>(out[1]), static_cast<double>(out[0]), 1.0);
+}
+
+// --- structural expectations on the synthetic datapaths ---
+
+TEST(MlCoreTest, Opcode4IsSmallest) {
+  std::array<std::size_t, 5> sizes{};
+  for (int op = 0; op < 5; ++op) {
+    sizes[static_cast<std::size_t>(op)] =
+        build_ml_datapath0_opcode(op).num_nodes();
+  }
+  EXPECT_LT(sizes[4], sizes[2]);  // mul-add smaller than conv-9
+  EXPECT_LT(sizes[0], sizes[2]);
+}
+
+TEST(MlCoreTest, AllOpcodesUnionIsLargest) {
+  const std::size_t all = build_ml_datapath0_all().num_nodes();
+  for (int op = 0; op < 5; ++op) {
+    EXPECT_GT(all, build_ml_datapath0_opcode(op).num_nodes() / 2);
+  }
+}
+
+TEST(MlCoreTest, Datapath2ScalesWithMacs) {
+  EXPECT_GT(build_ml_datapath2(16).num_nodes(),
+            build_ml_datapath2(4).num_nodes());
+}
+
+TEST(VideoCoreTest, ScalesWithPixels) {
+  EXPECT_GT(build_video_core_datapath(4).num_nodes(),
+            build_video_core_datapath(1).num_nodes());
+  EXPECT_EQ(build_video_core_datapath(2).outputs().size(), 6u);
+}
+
+TEST(InternalDatapathTest, DeepChain) {
+  const ir::graph g = build_internal_datapath(24);
+  EXPECT_GT(g.num_nodes(), 100u);
+  EXPECT_EQ(g.outputs().size(), 2u);
+}
+
+TEST(RrotTest, RotatesAndMixes) {
+  const ir::graph g = build_rrot();
+  const std::uint32_t x0 = 0x80000001u;
+  const std::uint32_t x1 = 0xff00ff00u;
+  const std::uint32_t x2 = 0x12345678u;
+  const auto out = ir::evaluate(
+      g, std::vector<std::uint64_t>{x0, x1, x2, 4, 8, 16});
+  // Lane 0: t1 = rotr(x0, 4); v = t1 ^ x1 ^ rotr(x1, 9);
+  // out = ((v + x2) + t1) ^ rotr(x2, 7).
+  const auto rotr = [](std::uint32_t v, unsigned k) {
+    return k == 0 ? v : (v >> k) | (v << (32 - k));
+  };
+  const std::uint32_t t1 = rotr(x0, 4);
+  const std::uint32_t v = t1 ^ x1 ^ rotr(x1, 9);
+  EXPECT_EQ(out[0],
+            static_cast<std::uint32_t>(((v + x2) + t1) ^ rotr(x2, 7)));
+}
+
+}  // namespace
+}  // namespace isdc::workloads
