@@ -7,7 +7,7 @@
 // estimate.
 //
 // Flags: --design=NAME (default hsv2rgb), --points=N (default 96; the
-//        paper used 6912), --seed=S, --csv
+//        paper used 6912), --seed=S, --csv, --quick (CI smoke size)
 #include <algorithm>
 #include <iostream>
 
@@ -21,7 +21,7 @@
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
   const std::string design = flags.get("design", "hsv2rgb");
-  const int points = flags.get_int("points", 96);
+  const int points = flags.quick_int("points", 96, 8);
 
   const auto* spec = isdc::workloads::find_workload(design);
   if (spec == nullptr) {

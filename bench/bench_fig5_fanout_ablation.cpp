@@ -5,11 +5,12 @@
 // reach lower register usage.
 //
 // Flags: --design=NAME (default video_core), --iterations=N (default 30),
-//        --csv
+//        --csv, --quick (CI smoke size)
+#include <algorithm>
 #include <iostream>
 
 #include "common.h"
-#include "core/isdc_scheduler.h"
+#include "engine/engine.h"
 #include "support/table.h"
 #include "workloads/registry.h"
 
@@ -18,7 +19,8 @@ namespace {
 std::vector<std::int64_t> register_trajectory(
     const isdc::workloads::workload_spec& spec,
     isdc::extract::extraction_strategy strategy, int subgraphs,
-    int iterations, const isdc::synth::delay_model& model) {
+    int iterations, const isdc::synth::delay_model& model,
+    isdc::engine::engine& e) {
   const isdc::ir::graph g = spec.build();
   isdc::core::isdc_options opts;
   opts.base.clock_period_ps = spec.clock_period_ps;
@@ -29,17 +31,20 @@ std::vector<std::int64_t> register_trajectory(
   opts.convergence_patience = iterations + 1;  // run the full curve
   opts.num_threads = 4;
   isdc::core::synthesis_downstream tool(opts.synth);
-  const isdc::core::isdc_result result =
-      isdc::core::run_isdc(g, tool, opts, &model);
 
   // Best-so-far register usage per iteration (the paper plots the
-  // scheduler's current best), padded after convergence/exhaustion.
+  // scheduler's current best), collected as the run streams by and padded
+  // after convergence/exhaustion.
   std::vector<std::int64_t> curve;
-  std::int64_t best = result.history.front().register_bits;
-  for (const auto& rec : result.history) {
-    best = std::min(best, rec.register_bits);
-    curve.push_back(best);
-  }
+  isdc::engine::callback_observer collect(
+      [&curve](const isdc::core::iteration_record& rec) {
+        curve.push_back(curve.empty()
+                            ? rec.register_bits
+                            : std::min(curve.back(), rec.register_bits));
+      });
+  e.add_observer(&collect);
+  e.run(g, tool, opts, &model);
+  e.remove_observer(&collect);  // `collect` dies here; the engine lives on
   curve.resize(static_cast<std::size_t>(iterations) + 1, curve.back());
   return curve;
 }
@@ -49,7 +54,7 @@ std::vector<std::int64_t> register_trajectory(
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
   const std::string design = flags.get("design", "video_core");
-  const int iterations = flags.get_int("iterations", 30);
+  const int iterations = flags.quick_int("iterations", 30, 4);
 
   const auto* spec = isdc::workloads::find_workload(design);
   if (spec == nullptr) {
@@ -57,6 +62,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   isdc::synth::delay_model model;
+  // One engine for the whole ablation: the six configurations revisit many
+  // of the same subgraphs, which the evaluation cache serves for free.
+  isdc::engine::engine shared_engine;
 
   std::cout << "=== Fig. 5: delay-driven vs fanout-driven extraction ("
             << design << ", path-based) ===\n\n";
@@ -68,8 +76,8 @@ int main(int argc, char** argv) {
   for (int m : {4, 8, 16}) {
     for (auto strategy : {isdc::extract::extraction_strategy::delay_driven,
                           isdc::extract::extraction_strategy::fanout_driven}) {
-      curves.push_back(
-          register_trajectory(*spec, strategy, m, iterations, model));
+      curves.push_back(register_trajectory(*spec, strategy, m, iterations,
+                                           model, shared_engine));
       std::cerr << "done: m=" << m << " strategy="
                 << (strategy ==
                             isdc::extract::extraction_strategy::delay_driven

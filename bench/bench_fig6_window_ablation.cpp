@@ -5,7 +5,7 @@
 // edge for windows.
 //
 // Flags: --design=NAME (default video_core), --iterations=N (default 30),
-//        --csv
+//        --csv, --quick (CI smoke size)
 #include <iostream>
 
 #include "common.h"
@@ -46,7 +46,7 @@ std::vector<std::int64_t> register_trajectory(
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
   const std::string design = flags.get("design", "video_core");
-  const int iterations = flags.get_int("iterations", 30);
+  const int iterations = flags.quick_int("iterations", 30, 4);
 
   const auto* spec = isdc::workloads::find_workload(design);
   if (spec == nullptr) {

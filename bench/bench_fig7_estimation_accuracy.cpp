@@ -8,7 +8,7 @@
 // (more cross-op optimization is overlooked).
 //
 // Flags: --benchmarks=a,b --max-iterations=N (default 10) --subgraphs=M
-//        (default 16) --csv
+//        (default 16) --csv --quick (first 2 workloads, 3 iterations)
 #include <cmath>
 #include <iostream>
 
@@ -21,7 +21,7 @@
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
   const auto subset = flags.get_list("benchmarks");
-  const int max_iterations = flags.get_int("max-iterations", 10);
+  const int max_iterations = flags.quick_int("max-iterations", 10, 3);
 
   isdc::synth::delay_model model;
 
@@ -33,16 +33,20 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> error_naive(
       static_cast<std::size_t>(max_iterations) + 1);
 
+  int taken = 0;
   for (const auto& spec : isdc::workloads::all_workloads()) {
     if (!subset.empty() &&
         std::find(subset.begin(), subset.end(), spec.name) == subset.end()) {
       continue;
     }
+    if (flags.quick() && subset.empty() && ++taken > 2) {
+      break;  // --quick: smoke-run the first two workloads only
+    }
     const isdc::ir::graph g = spec.build();
     isdc::core::isdc_options opts;
     opts.base.clock_period_ps = spec.clock_period_ps;
     opts.max_iterations = max_iterations;
-    opts.subgraphs_per_iteration = flags.get_int("subgraphs", 16);
+    opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
     opts.convergence_patience = max_iterations + 1;  // full trajectory
     opts.num_threads = 4;
     opts.record_synthesized_delay = true;

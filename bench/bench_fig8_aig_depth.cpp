@@ -5,7 +5,7 @@
 // constant for core::aig_depth_downstream.
 //
 // Flags: --design=NAME (default hsv2rgb), --points=N (default 64),
-//        --seed=S, --csv
+//        --seed=S, --csv, --quick (CI smoke size)
 #include <algorithm>
 #include <iostream>
 
@@ -56,7 +56,7 @@ int schedule_aig_depth(const isdc::ir::graph& g,
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
   const std::string design = flags.get("design", "hsv2rgb");
-  const int points = flags.get_int("points", 64);
+  const int points = flags.quick_int("points", 64, 8);
 
   const auto* spec = isdc::workloads::find_workload(design);
   if (spec == nullptr) {

@@ -3,7 +3,14 @@
 // mapping, the delay-matrix algorithms (Alg. 1 / Alg. 2 / Floyd-Warshall)
 // and one full subgraph-synthesis feedback evaluation. These back the
 // scheduling-runtime columns of Table I with per-kernel numbers.
+//
+// Flags: everything google-benchmark accepts, plus --quick (shrinks the
+// per-benchmark measuring time to a CI-smoke size).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "aig/balance.h"
 #include "aig/cuts.h"
@@ -160,4 +167,28 @@ BENCHMARK(BM_floyd_warshall)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the repo-wide --quick convention: google-benchmark
+// rejects flags it does not know, so --quick is stripped before Initialize
+// and mapped onto a minimal measuring time.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool quick = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01s";
+  if (quick) {
+    // Right after argv[0], so an explicit --benchmark_min_time later in
+    // the command line still wins (last one parsed takes effect).
+    args.insert(args.begin() + 1, min_time.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 //        --subgraphs=M         per iteration (default 16)
 //        --threads=T           parallel subgraph evaluations (default 4)
 //        --csv                 emit CSV instead of the aligned table
+//        --quick               CI smoke: first 2 workloads, 3 iterations
 #include <chrono>
 #include <iostream>
 
@@ -43,17 +44,21 @@ int main(int argc, char** argv) {
   std::vector<double> reg_ratio;
   std::vector<double> time_ratio;
 
+  int taken = 0;
   for (const auto& spec : isdc::workloads::all_workloads()) {
     if (!subset.empty() &&
         std::find(subset.begin(), subset.end(), spec.name) == subset.end()) {
       continue;
     }
+    if (flags.quick() && subset.empty() && ++taken > 2) {
+      break;  // --quick: smoke-run the first two workloads only
+    }
     const isdc::ir::graph g = spec.build();
 
     isdc::core::isdc_options opts;
     opts.base.clock_period_ps = spec.clock_period_ps;
-    opts.max_iterations = flags.get_int("max-iterations", 15);
-    opts.subgraphs_per_iteration = flags.get_int("subgraphs", 16);
+    opts.max_iterations = flags.quick_int("max-iterations", 15, 3);
+    opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
     opts.num_threads = flags.get_int("threads", 4);
 
     // Pre-warm the characterization cache so scheduling times measure

@@ -34,6 +34,16 @@ public:
     }
   }
 
+  /// True when --quick was passed: benches shrink their iteration counts
+  /// and workload sets to a CI-smoke size.
+  bool quick() const { return has("quick"); }
+
+  /// The value of --key, defaulting to `normal` — or to `reduced` under
+  /// --quick. An explicit --key=value always wins.
+  int quick_int(const std::string& key, int normal, int reduced) const {
+    return get_int(key, quick() ? reduced : normal);
+  }
+
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;

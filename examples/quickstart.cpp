@@ -3,11 +3,12 @@
 //
 //   $ ./quickstart
 //
-// Walks through the whole public API surface in ~60 lines: ir::builder,
-// core::run_isdc, sched metrics and schedule validation.
+// Walks through the whole public API surface in ~70 lines: ir::builder,
+// the staged engine (with an observer streaming each iteration),
+// core::run_isdc's one-call equivalent, sched metrics and validation.
 #include <iostream>
 
-#include "core/isdc_scheduler.h"
+#include "engine/engine.h"
 #include "ir/builder.h"
 #include "sched/metrics.h"
 #include "sched/validate.h"
@@ -31,28 +32,37 @@ int main() {
   opts.max_iterations = 8;
   opts.subgraphs_per_iteration = 8;
 
-  // 3. Run. The downstream tool is the built-in logic-synthesis + STA
-  //    flow; any timing oracle can be plugged in instead (see the
-  //    custom_downstream example).
+  // 3. Run on the staged engine. The downstream tool is the built-in
+  //    logic-synthesis + STA flow; any timing oracle can be plugged in
+  //    instead (see the custom_downstream example). The observer streams
+  //    every iteration as it finishes — core::run_isdc(g, tool, opts) is
+  //    the one-call version without the streaming.
   core::synthesis_downstream tool(opts.synth);
-  const core::isdc_result result = core::run_isdc(g, tool, opts);
+  engine::engine isdc_engine;
+  engine::callback_observer progress([](const core::iteration_record& rec) {
+    std::cout << "iteration " << rec.iteration << ": " << rec.register_bits
+              << " register bits, " << rec.num_stages << " stages, "
+              << rec.subgraphs_evaluated << " subgraphs evaluated\n";
+  });
+  isdc_engine.add_observer(&progress);
 
-  // 4. Inspect.
   std::cout << "design: " << g.num_nodes() << " nodes, "
             << g.inputs().size() << " inputs\n\n";
-  std::cout << "classic SDC : " << result.initial.num_stages()
+  const core::isdc_result result = isdc_engine.run(g, tool, opts);
+
+  // 4. Inspect.
+  std::cout << "\nclassic SDC : " << result.initial.num_stages()
             << " stages, " << sched::register_bits(g, result.initial)
             << " register bits\n";
   std::cout << "ISDC        : " << result.final_schedule.num_stages()
             << " stages, "
             << sched::register_bits(g, result.final_schedule)
-            << " register bits (" << result.iterations << " iterations)\n\n";
+            << " register bits (" << result.iterations << " iterations)\n";
+  const auto cache_stats = isdc_engine.cache().stats();
+  std::cout << "evaluations : " << cache_stats.misses << " downstream, "
+            << cache_stats.hits << " from cache\n";
 
-  std::cout << "iteration history (register bits):";
-  for (const auto& rec : result.history) {
-    std::cout << ' ' << rec.register_bits;
-  }
-  std::cout << "\n\npost-synthesis slack: "
+  std::cout << "\npost-synthesis slack: "
             << sched::post_synthesis_slack(g, result.final_schedule,
                                            opts.base.clock_period_ps)
             << " ps\n";

@@ -1,13 +1,42 @@
 #include "core/downstream.h"
 
+#include <sstream>
+
 #include "lower/lowering.h"
 
 namespace isdc::core {
+
+namespace {
+
+void append_options(std::ostream& out,
+                    const synth::synthesis_options& options) {
+  out << "r" << options.opt_rounds << (options.use_rewrite ? "+rw" : "")
+      << (options.use_refactor ? "+rf" : "") << ",cut"
+      << options.mapping.cut_size << "x" << options.mapping.max_cuts_per_node;
+}
+
+}  // namespace
+
+std::string synthesis_downstream::name() const {
+  std::ostringstream out;
+  out << "synthesis+sta(";
+  append_options(out, options_);
+  out << ")";
+  return out.str();
+}
 
 double aig_depth_downstream::subgraph_delay_ps(const ir::graph& sub) const {
   const lower::lowering_result lowered = lower::lower_graph(sub);
   const aig::aig optimized = synth::optimize(lowered.net.cleanup(), options_);
   return offset_ps_ + ps_per_level_ * optimized.depth();
+}
+
+std::string aig_depth_downstream::name() const {
+  std::ostringstream out;
+  out << "aig-depth(" << ps_per_level_ << "ps/lvl+" << offset_ps_ << "ps,";
+  append_options(out, options_);
+  out << ")";
+  return out.str();
 }
 
 }  // namespace isdc::core

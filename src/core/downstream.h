@@ -27,6 +27,10 @@ public:
   /// Critical combinational delay of a standalone subgraph, in ps.
   virtual double subgraph_delay_ps(const ir::graph& sub) const = 0;
 
+  /// Identity of the tool. Besides reporting, this scopes the engine's
+  /// evaluation cache: two tools with the same name are assumed to return
+  /// the same delays, so implementations whose answers depend on
+  /// configuration should encode that configuration in the name.
   virtual std::string name() const = 0;
 };
 
@@ -39,7 +43,9 @@ public:
   double subgraph_delay_ps(const ir::graph& sub) const override {
     return synth::synthesize_graph(sub, options_).critical_delay_ps;
   }
-  std::string name() const override { return "synthesis+sta"; }
+  /// "synthesis+sta(...)" with the synthesis options spelled out, so two
+  /// differently-configured flows never share cache entries.
+  std::string name() const override;
 
 private:
   synth::synthesis_options options_;
@@ -57,7 +63,9 @@ public:
         options_(options) {}
 
   double subgraph_delay_ps(const ir::graph& sub) const override;
-  std::string name() const override { return "aig-depth"; }
+  /// "aig-depth(...)" with the calibration constants and optimization
+  /// options spelled out (see synthesis_downstream::name()).
+  std::string name() const override;
 
 private:
   double ps_per_level_;

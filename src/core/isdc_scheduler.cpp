@@ -1,186 +1,11 @@
 #include "core/isdc_scheduler.h"
 
-#include <algorithm>
-#include <unordered_set>
 #include <utility>
 
-#include "core/delay_update.h"
-#include "core/floyd_warshall.h"
-#include "extract/path_enum.h"
-#include "extract/window.h"
-#include "sched/metrics.h"
-#include "support/check.h"
-#include "support/thread_pool.h"
+// run_isdc itself is defined in src/engine/run_isdc.cpp on top of the
+// staged engine; only the non-iterative baseline lives here.
 
 namespace isdc::core {
-
-namespace {
-
-iteration_record make_record(const ir::graph& g, const sched::schedule& s,
-                             const sched::delay_matrix& current,
-                             const sched::delay_matrix& naive,
-                             const isdc_options& options, int iteration) {
-  iteration_record rec;
-  rec.iteration = iteration;
-  rec.register_bits = sched::register_bits(g, s);
-  rec.num_stages = s.num_stages();
-  rec.estimated_delay_ps = sched::estimated_critical_delay(g, s, current);
-  rec.naive_estimated_delay_ps = sched::estimated_critical_delay(g, s, naive);
-  if (options.record_synthesized_delay) {
-    rec.synthesized_delay_ps =
-        sched::synthesized_critical_delay(g, s, options.synth);
-  }
-  return rec;
-}
-
-/// Expands the ranked candidates into up-to-m not-yet-evaluated subgraphs.
-std::vector<extract::subgraph> select_subgraphs(
-    const ir::graph& g, const sched::schedule& s,
-    const sched::delay_matrix& d, const isdc_options& options,
-    std::vector<extract::path_candidate>& candidates,
-    const std::vector<double>& scores,
-    std::unordered_set<std::uint64_t>& evaluated_keys) {
-  const int m = options.subgraphs_per_iteration;
-  std::vector<extract::subgraph> picked;
-  std::unordered_set<std::uint64_t> this_round;
-
-  const auto consider = [&](extract::subgraph sub) {
-    const std::uint64_t key = sub.key();
-    if (evaluated_keys.contains(key) || this_round.contains(key)) {
-      return;
-    }
-    this_round.insert(key);
-    picked.push_back(std::move(sub));
-  };
-
-  if (options.expansion != extract::expansion_mode::window) {
-    for (std::size_t i = 0;
-         i < candidates.size() && static_cast<int>(picked.size()) < m; ++i) {
-      const extract::path_candidate& cand = candidates[i];
-      extract::subgraph sub =
-          options.expansion == extract::expansion_mode::path
-              ? extract::expand_to_path(g, s, d, cand)
-              : extract::expand_to_cone(g, s, cand);
-      sub.score = scores[i];
-      consider(std::move(sub));
-    }
-    return picked;
-  }
-
-  // Window mode: keep folding ranked cones into overlapping-leaf windows
-  // until m *new* windows are available (merging shrinks the set, so the
-  // cone budget is not the window budget).
-  std::vector<extract::subgraph> cones;
-  std::vector<extract::subgraph> windows;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    extract::subgraph cone = extract::expand_to_cone(g, s, candidates[i]);
-    cone.score = scores[i];
-    cones.push_back(std::move(cone));
-    windows = extract::merge_into_windows(g, s, cones);
-    int fresh = 0;
-    for (const extract::subgraph& w : windows) {
-      fresh += evaluated_keys.contains(w.key()) ? 0 : 1;
-    }
-    if (fresh >= m) {
-      break;
-    }
-  }
-  for (extract::subgraph& w : windows) {
-    if (static_cast<int>(picked.size()) >= m) {
-      break;
-    }
-    consider(std::move(w));
-  }
-  return picked;
-}
-
-}  // namespace
-
-isdc_result run_isdc(const ir::graph& g, const downstream_tool& tool,
-                     const isdc_options& options,
-                     const synth::delay_model* model) {
-  ISDC_CHECK(options.max_iterations >= 0);
-  ISDC_CHECK(options.subgraphs_per_iteration > 0);
-
-  synth::delay_model local_model(options.synth);
-  const synth::delay_model& dm = model != nullptr ? *model : local_model;
-
-  isdc_result result;
-  result.naive_delays = sched::delay_matrix::initial(
-      g, [&](ir::node_id v) { return dm.node_delay_ps(g, v); });
-  result.delays = result.naive_delays;
-
-  sched::schedule current = sdc_schedule(g, result.delays, options.base);
-  result.initial = current;
-  result.final_schedule = current;
-  result.history.push_back(make_record(g, current, result.delays,
-                                       result.naive_delays, options, 0));
-  std::int64_t best_bits = result.history.back().register_bits;
-
-  std::unordered_set<std::uint64_t> evaluated_keys;
-  thread_pool pool(static_cast<std::size_t>(std::max(1, options.num_threads)));
-  int stable_iterations = 0;
-
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    // 1-2. Candidate paths from the previous schedule, ranked.
-    std::vector<extract::path_candidate> candidates =
-        extract::enumerate_candidate_paths(g, current, result.delays);
-    std::vector<double> scores;
-    extract::rank_candidates(g, current, options.base.clock_period_ps,
-                             options.strategy, candidates, &scores);
-
-    // 3. Expansion + dedup against every earlier evaluation.
-    std::vector<extract::subgraph> subgraphs =
-        select_subgraphs(g, current, result.delays, options, candidates,
-                         scores, evaluated_keys);
-    if (subgraphs.empty()) {
-      break;  // search space exhausted
-    }
-
-    // 4. Parallel downstream evaluation.
-    std::vector<evaluated_subgraph> evaluations(subgraphs.size());
-    pool.parallel_for(subgraphs.size(), [&](std::size_t i) {
-      const ir::extraction sub_ir = extract::subgraph_to_ir(g, subgraphs[i]);
-      evaluations[i].members = subgraphs[i].members;
-      evaluations[i].delay_ps = tool.subgraph_delay_ps(sub_ir.g);
-    });
-    for (const extract::subgraph& sub : subgraphs) {
-      evaluated_keys.insert(sub.key());
-    }
-
-    // 5. Alg. 1 update + reformulation.
-    const std::size_t lowered =
-        update_delay_matrix(result.delays, evaluations);
-    switch (options.reformulation) {
-      case reformulation_mode::alg2:
-        reformulate_alg2(g, result.delays);
-        break;
-      case reformulation_mode::floyd_warshall:
-        reformulate_floyd_warshall(g, result.delays);
-        break;
-      case reformulation_mode::none:
-        break;
-    }
-
-    // 6. Re-solve.
-    current = sdc_schedule(g, result.delays, options.base);
-    iteration_record rec = make_record(g, current, result.delays,
-                                       result.naive_delays, options, iter);
-    rec.subgraphs_evaluated = static_cast<int>(subgraphs.size());
-    rec.matrix_entries_lowered = lowered;
-    result.history.push_back(rec);
-    result.iterations = iter;
-
-    if (rec.register_bits < best_bits) {
-      best_bits = rec.register_bits;
-      result.final_schedule = current;
-      stable_iterations = 0;
-    } else if (++stable_iterations >= options.convergence_patience) {
-      break;  // register usage stable: converged
-    }
-  }
-  return result;
-}
 
 sched::schedule run_sdc_baseline(const ir::graph& g,
                                  const isdc_options& options,

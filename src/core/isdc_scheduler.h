@@ -10,6 +10,12 @@
 //   5. update the delay matrix (Alg. 1) and reformulate (Alg. 2);
 //   6. re-solve the SDC LP;
 // until the register usage is stable or the iteration budget is spent.
+//
+// The loop is implemented by the staged engine in src/engine (one stage
+// per step above, composed by engine::engine); run_isdc below is the
+// convenience entry point over a fresh engine. Use engine::engine directly
+// to reuse the evaluation cache across runs or to observe iterations as
+// they happen.
 #ifndef ISDC_CORE_ISDC_SCHEDULER_H_
 #define ISDC_CORE_ISDC_SCHEDULER_H_
 
@@ -51,6 +57,7 @@ struct iteration_record {
   double synthesized_delay_ps = -1.0;     ///< only when recorded
   int subgraphs_evaluated = 0;
   std::size_t matrix_entries_lowered = 0;
+  int cache_hits = 0;  ///< evaluations answered by the evaluation cache
 };
 
 struct isdc_result {

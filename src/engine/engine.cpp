@@ -1,0 +1,142 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/stages.h"
+#include "sched/metrics.h"
+#include "support/check.h"
+#include "support/hash.h"
+
+namespace isdc::engine {
+
+namespace {
+
+core::iteration_record make_record(const ir::graph& g,
+                                   const sched::schedule& s,
+                                   const sched::delay_matrix& current,
+                                   const sched::delay_matrix& naive,
+                                   const core::isdc_options& options,
+                                   int iteration) {
+  core::iteration_record rec;
+  rec.iteration = iteration;
+  rec.register_bits = sched::register_bits(g, s);
+  rec.num_stages = s.num_stages();
+  rec.estimated_delay_ps = sched::estimated_critical_delay(g, s, current);
+  rec.naive_estimated_delay_ps = sched::estimated_critical_delay(g, s, naive);
+  if (options.record_synthesized_delay) {
+    rec.synthesized_delay_ps =
+        sched::synthesized_critical_delay(g, s, options.synth);
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<stage>> engine::default_pipeline() {
+  std::vector<std::unique_ptr<stage>> stages;
+  stages.push_back(make_enumerate_stage());
+  stages.push_back(make_rank_stage());
+  stages.push_back(make_expand_stage());
+  stages.push_back(make_evaluate_stage());
+  stages.push_back(make_update_stage());
+  stages.push_back(make_resolve_stage());
+  return stages;
+}
+
+engine::engine(std::vector<std::unique_ptr<stage>> pipeline)
+    : pipeline_(std::move(pipeline)) {
+  ISDC_CHECK(!pipeline_.empty(), "engine needs at least one stage");
+}
+
+void engine::add_observer(iteration_observer* observer) {
+  ISDC_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void engine::remove_observer(iteration_observer* observer) {
+  std::erase(observers_, observer);
+}
+
+core::isdc_result engine::run(const ir::graph& g,
+                              const core::downstream_tool& tool,
+                              const core::isdc_options& options,
+                              const synth::delay_model* model) {
+  ISDC_CHECK(options.max_iterations >= 0);
+  ISDC_CHECK(options.subgraphs_per_iteration > 0);
+
+  synth::delay_model local_model(options.synth);
+  const synth::delay_model& dm = model != nullptr ? *model : local_model;
+
+  core::isdc_result result;
+  result.naive_delays = sched::delay_matrix::initial(
+      g, [&](ir::node_id v) { return dm.node_delay_ps(g, v); });
+  result.delays = result.naive_delays;
+
+  sched::schedule current = sched::sdc_schedule(g, result.delays, options.base);
+  result.initial = current;
+  result.final_schedule = current;
+  result.history.push_back(make_record(g, current, result.delays,
+                                       result.naive_delays, options, 0));
+  std::int64_t best_bits = result.history.back().register_bits;
+
+  for (iteration_observer* obs : observers_) {
+    obs->on_run_begin(g, options);
+  }
+  for (iteration_observer* obs : observers_) {
+    obs->on_iteration(result.history.back());
+  }
+
+  cache_.begin_generation();
+  thread_pool pool(static_cast<std::size_t>(std::max(1, options.num_threads)));
+  // Cache keys scope to (design, downstream tool): a delay measured by one
+  // oracle must never answer for another (see downstream_tool::name()).
+  const std::uint64_t design_fingerprint =
+      fnv1a64().mix(g.fingerprint()).mix(tool.name()).value();
+  run_state rs{g,      tool,   options, result,
+               current, cache_, pool,    design_fingerprint};
+
+  int stable_iterations = 0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    iteration_state it;
+    it.iteration = iter;
+
+    bool stopped = false;
+    for (const std::unique_ptr<stage>& st : pipeline_) {
+      if (!st->run(rs, it)) {
+        stopped = true;
+        break;
+      }
+    }
+    if (stopped) {
+      break;  // search space exhausted (or a custom stage ended the run)
+    }
+
+    core::iteration_record rec = make_record(g, current, result.delays,
+                                             result.naive_delays, options,
+                                             iter);
+    rec.subgraphs_evaluated = static_cast<int>(it.subgraphs.size());
+    rec.matrix_entries_lowered = it.matrix_entries_lowered;
+    rec.cache_hits = it.cache_hits;
+    result.history.push_back(rec);
+    result.iterations = iter;
+    for (iteration_observer* obs : observers_) {
+      obs->on_iteration(rec);
+    }
+
+    if (rec.register_bits < best_bits) {
+      best_bits = rec.register_bits;
+      result.final_schedule = current;
+      stable_iterations = 0;
+    } else if (++stable_iterations >= options.convergence_patience) {
+      break;  // register usage stable: converged
+    }
+  }
+
+  for (iteration_observer* obs : observers_) {
+    obs->on_run_end(result);
+  }
+  return result;
+}
+
+}  // namespace isdc::engine

@@ -1,0 +1,63 @@
+// The ISDC driver: composes a stage pipeline (see stages.h for the
+// default six), owns the cross-run evaluation cache and the per-run
+// iteration bookkeeping — best-schedule tracking, convergence patience,
+// selection dedup via cache generations — and streams every history
+// record to registered observers.
+//
+// core::run_isdc is a thin wrapper over a fresh engine. Hold one engine
+// across runs to reuse downstream evaluations: re-running the same design
+// (or sweeping its clock period) answers repeated subgraph measurements
+// from the cache instead of the downstream tool.
+#ifndef ISDC_ENGINE_ENGINE_H_
+#define ISDC_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/evaluation_cache.h"
+#include "engine/observer.h"
+#include "engine/stage.h"
+
+namespace isdc::engine {
+
+class engine {
+public:
+  /// The paper's pipeline: enumerate, rank, expand, evaluate, update,
+  /// resolve.
+  static std::vector<std::unique_ptr<stage>> default_pipeline();
+
+  engine() : engine(default_pipeline()) {}
+  explicit engine(std::vector<std::unique_ptr<stage>> pipeline);
+
+  /// Registers a (non-owned) observer; it must outlive every run() call
+  /// made while it is registered.
+  void add_observer(iteration_observer* observer);
+
+  /// Unregisters an observer previously added (no-op if absent).
+  void remove_observer(iteration_observer* observer);
+
+  const std::vector<std::unique_ptr<stage>>& pipeline() const {
+    return pipeline_;
+  }
+
+  evaluation_cache& cache() { return cache_; }
+  const evaluation_cache& cache() const { return cache_; }
+
+  /// Runs the full ISDC flow on `g`. Semantically identical to
+  /// core::run_isdc, plus cache reuse and observer streaming. `model`
+  /// provides the pre-characterized per-op delays; pass a shared instance
+  /// to amortize characterization across runs, or nullptr to characterize
+  /// locally.
+  core::isdc_result run(const ir::graph& g, const core::downstream_tool& tool,
+                        const core::isdc_options& options = {},
+                        const synth::delay_model* model = nullptr);
+
+private:
+  std::vector<std::unique_ptr<stage>> pipeline_;
+  std::vector<iteration_observer*> observers_;
+  evaluation_cache cache_;
+};
+
+}  // namespace isdc::engine
+
+#endif  // ISDC_ENGINE_ENGINE_H_

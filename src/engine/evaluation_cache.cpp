@@ -1,0 +1,40 @@
+#include "engine/evaluation_cache.h"
+
+namespace isdc::engine {
+
+bool evaluation_cache::selected_this_generation(std::uint64_t key) const {
+  const auto it = entries_.find(key);
+  return it != entries_.end() &&
+         it->second.selected_generation == generation_;
+}
+
+void evaluation_cache::mark_selected(std::uint64_t key) {
+  entries_[key].selected_generation = generation_;
+}
+
+std::optional<double> evaluation_cache::lookup(std::uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.has_delay) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  return it->second.delay_ps;
+}
+
+void evaluation_cache::store(std::uint64_t key, double delay_ps) {
+  entry& e = entries_[key];
+  if (!e.has_delay) {
+    ++num_delays_;
+  }
+  e.delay_ps = delay_ps;
+  e.has_delay = true;
+}
+
+void evaluation_cache::clear() {
+  entries_.clear();
+  counters_ = {};
+  num_delays_ = 0;
+}
+
+}  // namespace isdc::engine

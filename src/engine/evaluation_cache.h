@@ -1,0 +1,89 @@
+// Persistent memo of downstream evaluations. A subgraph's measured delay
+// depends only on its extracted IR and the downstream tool that timed it,
+// never on the schedule that exposed it: all engine subgraphs are
+// single-stage, so their root sets — and therefore the IR handed to the
+// tool — are pure functions of the member set (the evaluate stage checks
+// this). A measurement is thus valid across iterations, across run()
+// calls and even across clock periods of the same design — the cache
+// survives all three and reports how much downstream work it saved. Keys
+// mix the design fingerprint and the tool identity with the member-set
+// key, so neither different designs nor different tools can collide.
+//
+// The cache also subsumes the per-run dedup the monolithic loop kept in a
+// separate std::unordered_set: every entry remembers the generation (run)
+// in which it was last selected, so the expansion stage's "was this
+// subgraph already taken this run?" question and the evaluation stage's
+// "do we already know its delay?" question are answered by one structure.
+#ifndef ISDC_ENGINE_EVALUATION_CACHE_H_
+#define ISDC_ENGINE_EVALUATION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace isdc::engine {
+
+/// Canonical cache key: the design fingerprint (which the engine already
+/// scopes by downstream-tool identity) mixed into the subgraph's
+/// member-set key, so member ids from different designs cannot collide.
+inline std::uint64_t subgraph_cache_key(std::uint64_t design_fingerprint,
+                                        std::uint64_t subgraph_key) {
+  std::uint64_t x = design_fingerprint ^ (subgraph_key * 0x9e3779b97f4a7c15ull);
+  // splitmix64 finalizer.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Not thread-safe: the engine serializes all access (lookups and stores
+/// happen outside the parallel evaluation region).
+class evaluation_cache {
+public:
+  struct counters {
+    std::uint64_t hits = 0;    ///< lookups answered from the cache
+    std::uint64_t misses = 0;  ///< lookups that required a downstream call
+  };
+
+  /// Starts a new run: per-run selection dedup resets, memoized delays and
+  /// counters survive.
+  void begin_generation() { ++generation_; }
+
+  /// True when `key` was already selected during the current generation.
+  bool selected_this_generation(std::uint64_t key) const;
+
+  /// Marks `key` as selected in the current generation.
+  void mark_selected(std::uint64_t key);
+
+  /// Memoized delay for `key`; bumps the hit/miss counters.
+  std::optional<double> lookup(std::uint64_t key);
+
+  /// Memoizes a downstream measurement for `key`.
+  void store(std::uint64_t key, double delay_ps);
+
+  /// Number of memoized delays.
+  std::size_t size() const { return num_delays_; }
+  counters stats() const { return counters_; }
+
+  /// Drops all entries and counters (the generation keeps advancing).
+  void clear();
+
+private:
+  struct entry {
+    double delay_ps = 0.0;
+    bool has_delay = false;
+    std::uint64_t selected_generation = 0;  ///< 0 = never selected
+  };
+
+  std::unordered_map<std::uint64_t, entry> entries_;
+  counters counters_;
+  std::size_t num_delays_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace isdc::engine
+
+#endif  // ISDC_ENGINE_EVALUATION_CACHE_H_

@@ -1,0 +1,47 @@
+// Streaming view of an engine run. Observers receive every history record
+// as it is produced (including the iteration-0 baseline), so progress
+// printers, live plots and trajectory collectors no longer need to wait
+// for run() to return and pick apart isdc_result.
+#ifndef ISDC_ENGINE_OBSERVER_H_
+#define ISDC_ENGINE_OBSERVER_H_
+
+#include <functional>
+#include <utility>
+
+#include "core/isdc_scheduler.h"
+
+namespace isdc::engine {
+
+class iteration_observer {
+public:
+  virtual ~iteration_observer() = default;
+
+  /// The run is configured and the baseline schedule is solved; called
+  /// just before the baseline record is emitted.
+  virtual void on_run_begin(const ir::graph& /*g*/,
+                            const core::isdc_options& /*options*/) {}
+
+  /// One history record: the baseline (iteration 0) and every feedback
+  /// iteration after its re-solve.
+  virtual void on_iteration(const core::iteration_record& /*rec*/) {}
+
+  /// The loop terminated (converged, exhausted or out of budget).
+  virtual void on_run_end(const core::isdc_result& /*result*/) {}
+};
+
+/// Adapts a callable to the per-iteration hook.
+class callback_observer final : public iteration_observer {
+public:
+  using callback = std::function<void(const core::iteration_record&)>;
+
+  explicit callback_observer(callback fn) : fn_(std::move(fn)) {}
+
+  void on_iteration(const core::iteration_record& rec) override { fn_(rec); }
+
+private:
+  callback fn_;
+};
+
+}  // namespace isdc::engine
+
+#endif  // ISDC_ENGINE_OBSERVER_H_

@@ -1,0 +1,16 @@
+// core::run_isdc, implemented on the staged engine. The declaration stays
+// in core/isdc_scheduler.h so existing callers keep one include; the
+// definition lives here because the driver sits one layer above core.
+#include "core/isdc_scheduler.h"
+#include "engine/engine.h"
+
+namespace isdc::core {
+
+isdc_result run_isdc(const ir::graph& g, const downstream_tool& tool,
+                     const isdc_options& options,
+                     const synth::delay_model* model) {
+  engine::engine driver;
+  return driver.run(g, tool, options, model);
+}
+
+}  // namespace isdc::core

@@ -1,0 +1,67 @@
+// The staged decomposition of the ISDC feedback loop (paper Fig. 2).
+// Every iteration flows through a pipeline of stages — by default
+// enumerate -> rank -> expand -> evaluate -> update -> resolve — that
+// communicate only through run_state (per-run) and iteration_state
+// (per-iteration), so pipelines can be recomposed, stages swapped and new
+// ones (batching, async evaluation, alternative solvers) inserted without
+// touching the driver.
+#ifndef ISDC_ENGINE_STAGE_H_
+#define ISDC_ENGINE_STAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/delay_update.h"
+#include "core/isdc_scheduler.h"
+#include "engine/evaluation_cache.h"
+#include "extract/scoring.h"
+#include "extract/subgraph.h"
+#include "support/thread_pool.h"
+
+namespace isdc::engine {
+
+/// Per-run context shared by every stage: the problem being solved and the
+/// engine-owned state and services stages may use. The delay matrix being
+/// refined lives in result.delays; `current` is the schedule of the latest
+/// re-solve.
+struct run_state {
+  const ir::graph& g;
+  const core::downstream_tool& tool;
+  const core::isdc_options& options;
+  core::isdc_result& result;
+  sched::schedule& current;
+  evaluation_cache& cache;
+  thread_pool& pool;
+  std::uint64_t design_fingerprint = 0;  ///< mixed into cache keys
+};
+
+/// Data handed from stage to stage within one iteration.
+struct iteration_state {
+  int iteration = 0;
+  std::vector<extract::path_candidate> paths;          ///< enumerate ->
+  std::vector<extract::scored_candidate> candidates;   ///< rank ->
+  std::vector<extract::subgraph> subgraphs;            ///< expand ->
+  std::vector<core::evaluated_subgraph> evaluations;   ///< evaluate ->
+  std::size_t matrix_entries_lowered = 0;              ///< update ->
+  int cache_hits = 0;  ///< evaluations answered by the cache
+};
+
+/// One step of the loop. Stages hold no per-iteration state of their own;
+/// everything carried forward lives in run_state/iteration_state.
+class stage {
+public:
+  virtual ~stage() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Runs the stage. Returning false ends the run (e.g. the search space
+  /// is exhausted): the iteration's remaining stages are skipped and no
+  /// record is emitted for it.
+  virtual bool run(run_state& rs, iteration_state& it) = 0;
+};
+
+}  // namespace isdc::engine
+
+#endif  // ISDC_ENGINE_STAGE_H_

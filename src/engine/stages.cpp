@@ -1,0 +1,209 @@
+#include "engine/stages.h"
+
+#include <utility>
+
+#include "core/floyd_warshall.h"
+#include "core/reformulate.h"
+#include "extract/cone.h"
+#include "extract/path_enum.h"
+#include "extract/window.h"
+#include "support/check.h"
+
+namespace isdc::engine {
+
+namespace {
+
+class enumerate_stage final : public stage {
+public:
+  std::string_view name() const override { return "enumerate"; }
+
+  bool run(run_state& rs, iteration_state& it) override {
+    it.paths = extract::enumerate_candidate_paths(rs.g, rs.current,
+                                                  rs.result.delays);
+    return true;
+  }
+};
+
+class rank_stage final : public stage {
+public:
+  std::string_view name() const override { return "rank"; }
+
+  bool run(run_state& rs, iteration_state& it) override {
+    it.candidates = extract::rank_candidates(
+        rs.g, rs.current, rs.options.base.clock_period_ps,
+        rs.options.strategy, std::move(it.paths));
+    it.paths.clear();
+    return true;
+  }
+};
+
+/// Expands the ranked candidates into up-to-m not-yet-selected subgraphs
+/// (the iterative search-space reduction of Section III-A2). Ends the run
+/// when nothing new can be selected.
+class expand_stage final : public stage {
+public:
+  std::string_view name() const override { return "expand"; }
+
+  bool run(run_state& rs, iteration_state& it) override {
+    const int m = rs.options.subgraphs_per_iteration;
+    std::vector<extract::subgraph>& picked = it.subgraphs;
+
+    const auto selected = [&rs](const extract::subgraph& sub) {
+      return rs.cache.selected_this_generation(
+          subgraph_cache_key(rs.design_fingerprint, sub.key()));
+    };
+    const auto consider = [&](extract::subgraph sub) {
+      const std::uint64_t key =
+          subgraph_cache_key(rs.design_fingerprint, sub.key());
+      if (rs.cache.selected_this_generation(key)) {
+        return;
+      }
+      rs.cache.mark_selected(key);
+      picked.push_back(std::move(sub));
+    };
+
+    if (rs.options.expansion != extract::expansion_mode::window) {
+      for (std::size_t i = 0;
+           i < it.candidates.size() && static_cast<int>(picked.size()) < m;
+           ++i) {
+        const extract::scored_candidate& cand = it.candidates[i];
+        extract::subgraph sub =
+            rs.options.expansion == extract::expansion_mode::path
+                ? extract::expand_to_path(rs.g, rs.current, rs.result.delays,
+                                          cand.path)
+                : extract::expand_to_cone(rs.g, rs.current, cand.path);
+        sub.score = cand.score;
+        consider(std::move(sub));
+      }
+      return !picked.empty();
+    }
+
+    // Window mode: keep folding ranked cones into overlapping-leaf windows
+    // until m *new* windows are available (merging shrinks the set, so the
+    // cone budget is not the window budget). Each cone folds into the
+    // running window set incrementally; a fold can reshape one window, so
+    // the fresh count is recounted, but the set is never re-merged from
+    // scratch.
+    std::vector<extract::subgraph> windows;
+    for (const extract::scored_candidate& cand : it.candidates) {
+      extract::subgraph cone =
+          extract::expand_to_cone(rs.g, rs.current, cand.path);
+      cone.score = cand.score;
+      extract::merge_cone_into_windows(rs.g, rs.current, std::move(cone),
+                                       windows);
+      int fresh = 0;
+      for (const extract::subgraph& w : windows) {
+        fresh += selected(w) ? 0 : 1;
+      }
+      if (fresh >= m) {
+        break;
+      }
+    }
+    for (extract::subgraph& w : windows) {
+      if (static_cast<int>(picked.size()) >= m) {
+        break;
+      }
+      consider(std::move(w));
+    }
+    return !picked.empty();
+  }
+};
+
+/// Measures every selected subgraph: cache hits reuse the memoized delay,
+/// misses go to the downstream tool in parallel and are memoized after.
+class evaluate_stage final : public stage {
+public:
+  std::string_view name() const override { return "evaluate"; }
+
+  bool run(run_state& rs, iteration_state& it) override {
+    it.evaluations.assign(it.subgraphs.size(), {});
+    std::vector<std::size_t> misses;
+    for (std::size_t i = 0; i < it.subgraphs.size(); ++i) {
+      // The cache keys on the member set alone, which is only sound for
+      // single-stage subgraphs: their root sets (hence their extracted IR
+      // and measured delay) are pure functions of the members. Every
+      // built-in expansion produces single-stage subgraphs; a custom stage
+      // must too.
+      for (const ir::node_id m : it.subgraphs[i].members) {
+        ISDC_CHECK(rs.current.same_stage(m, it.subgraphs[i].members.front()),
+                   "evaluate stage requires single-stage subgraphs");
+      }
+      it.evaluations[i].members = it.subgraphs[i].members;
+      const std::uint64_t key =
+          subgraph_cache_key(rs.design_fingerprint, it.subgraphs[i].key());
+      if (const auto memo = rs.cache.lookup(key)) {
+        it.evaluations[i].delay_ps = *memo;
+        ++it.cache_hits;
+      } else {
+        misses.push_back(i);
+      }
+    }
+    rs.pool.parallel_for(misses.size(), [&](std::size_t j) {
+      const std::size_t i = misses[j];
+      const ir::extraction sub_ir =
+          extract::subgraph_to_ir(rs.g, it.subgraphs[i]);
+      it.evaluations[i].delay_ps = rs.tool.subgraph_delay_ps(sub_ir.g);
+    });
+    for (std::size_t i : misses) {
+      rs.cache.store(
+          subgraph_cache_key(rs.design_fingerprint, it.subgraphs[i].key()),
+          it.evaluations[i].delay_ps);
+    }
+    return true;
+  }
+};
+
+/// Alg. 1 lines 10-14 plus the configured reformulation.
+class update_stage final : public stage {
+public:
+  std::string_view name() const override { return "update"; }
+
+  bool run(run_state& rs, iteration_state& it) override {
+    it.matrix_entries_lowered =
+        core::update_delay_matrix(rs.result.delays, it.evaluations);
+    switch (rs.options.reformulation) {
+      case core::reformulation_mode::alg2:
+        core::reformulate_alg2(rs.g, rs.result.delays);
+        break;
+      case core::reformulation_mode::floyd_warshall:
+        core::reformulate_floyd_warshall(rs.g, rs.result.delays);
+        break;
+      case core::reformulation_mode::none:
+        break;
+    }
+    return true;
+  }
+};
+
+class resolve_stage final : public stage {
+public:
+  std::string_view name() const override { return "resolve"; }
+
+  bool run(run_state& rs, iteration_state&) override {
+    rs.current = sched::sdc_schedule(rs.g, rs.result.delays, rs.options.base);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<stage> make_enumerate_stage() {
+  return std::make_unique<enumerate_stage>();
+}
+std::unique_ptr<stage> make_rank_stage() {
+  return std::make_unique<rank_stage>();
+}
+std::unique_ptr<stage> make_expand_stage() {
+  return std::make_unique<expand_stage>();
+}
+std::unique_ptr<stage> make_evaluate_stage() {
+  return std::make_unique<evaluate_stage>();
+}
+std::unique_ptr<stage> make_update_stage() {
+  return std::make_unique<update_stage>();
+}
+std::unique_ptr<stage> make_resolve_stage() {
+  return std::make_unique<resolve_stage>();
+}
+
+}  // namespace isdc::engine

@@ -1,0 +1,29 @@
+// The six built-in stages of the ISDC pipeline (paper Fig. 2):
+//   enumerate — candidate paths from the previous schedule;
+//   rank      — score them (Eq. 3 or delay-driven) and sort;
+//   expand    — grow the top candidates into path/cone/window subgraphs,
+//               skipping ones already selected this run;
+//   evaluate  — measure each subgraph with the downstream tool (cache
+//               hits skip the tool), in parallel;
+//   update    — Alg. 1 delay-matrix update plus reformulation (Alg. 2 or
+//               Floyd-Warshall);
+//   resolve   — re-solve the SDC LP against the updated matrix.
+#ifndef ISDC_ENGINE_STAGES_H_
+#define ISDC_ENGINE_STAGES_H_
+
+#include <memory>
+
+#include "engine/stage.h"
+
+namespace isdc::engine {
+
+std::unique_ptr<stage> make_enumerate_stage();
+std::unique_ptr<stage> make_rank_stage();
+std::unique_ptr<stage> make_expand_stage();
+std::unique_ptr<stage> make_evaluate_stage();
+std::unique_ptr<stage> make_update_stage();
+std::unique_ptr<stage> make_resolve_stage();
+
+}  // namespace isdc::engine
+
+#endif  // ISDC_ENGINE_STAGES_H_

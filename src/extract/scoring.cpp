@@ -1,6 +1,7 @@
 #include "extract/scoring.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.h"
 
@@ -34,29 +35,19 @@ double score_path(const ir::graph& g, const sched::schedule& s,
   return (bits + normalized_delay) / (users + 1.0);
 }
 
-void rank_candidates(const ir::graph& g, const sched::schedule& s,
-                     double clock_period_ps, extraction_strategy strategy,
-                     std::vector<path_candidate>& candidates,
-                     std::vector<double>* scores_out) {
-  std::vector<std::pair<double, path_candidate>> scored;
+std::vector<scored_candidate> rank_candidates(
+    const ir::graph& g, const sched::schedule& s, double clock_period_ps,
+    extraction_strategy strategy, std::vector<path_candidate> candidates) {
+  std::vector<scored_candidate> scored;
   scored.reserve(candidates.size());
-  for (const path_candidate& c : candidates) {
-    scored.emplace_back(score_path(g, s, c, clock_period_ps, strategy), c);
+  for (path_candidate& c : candidates) {
+    scored.push_back({c, score_path(g, s, c, clock_period_ps, strategy)});
   }
   std::stable_sort(scored.begin(), scored.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first > b.first;
+                   [](const scored_candidate& a, const scored_candidate& b) {
+                     return a.score > b.score;
                    });
-  candidates.clear();
-  if (scores_out != nullptr) {
-    scores_out->clear();
-  }
-  for (auto& [score, c] : scored) {
-    candidates.push_back(c);
-    if (scores_out != nullptr) {
-      scores_out->push_back(score);
-    }
-  }
+  return scored;
 }
 
 }  // namespace isdc::extract

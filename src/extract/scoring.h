@@ -14,6 +14,14 @@ enum class extraction_strategy {
   fanout_driven,  ///< Eq. 3 (default)
 };
 
+/// A candidate path paired with its rank score. Ranking and expansion
+/// exchange these as one unit so the path order and the score order can
+/// never desynchronize.
+struct scored_candidate {
+  path_candidate path;
+  double score = 0.0;
+};
+
 /// Register consumers of vj's pipeline register: users in later stages,
 /// plus one for the output register when vj is a primary output.
 int num_register_consumers(const ir::graph& g, const sched::schedule& s,
@@ -24,11 +32,10 @@ double score_path(const ir::graph& g, const sched::schedule& s,
                   const path_candidate& path, double clock_period_ps,
                   extraction_strategy strategy);
 
-/// Scores all candidates and sorts them in descending score order.
-void rank_candidates(const ir::graph& g, const sched::schedule& s,
-                     double clock_period_ps, extraction_strategy strategy,
-                     std::vector<path_candidate>& candidates,
-                     std::vector<double>* scores_out = nullptr);
+/// Scores all candidates and returns them in descending score order.
+std::vector<scored_candidate> rank_candidates(
+    const ir::graph& g, const sched::schedule& s, double clock_period_ps,
+    extraction_strategy strategy, std::vector<path_candidate> candidates);
 
 }  // namespace isdc::extract
 

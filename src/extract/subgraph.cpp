@@ -3,17 +3,17 @@
 #include <algorithm>
 
 #include "support/check.h"
+#include "support/hash.h"
 
 namespace isdc::extract {
 
 std::uint64_t subgraph::key() const {
   // FNV-1a over the sorted member ids.
-  std::uint64_t h = 1469598103934665603ull;
+  fnv1a64 h;
   for (ir::node_id m : members) {
-    h ^= m;
-    h *= 1099511628211ull;
+    h.mix(m);
   }
-  return h;
+  return h.value();
 }
 
 void finalize_subgraph(const ir::graph& g, const sched::schedule& s,

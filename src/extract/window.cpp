@@ -1,6 +1,7 @@
 #include "extract/window.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace isdc::extract {
 
@@ -25,25 +26,27 @@ bool leaves_overlap(const subgraph& a, const subgraph& b) {
 
 }  // namespace
 
+void merge_cone_into_windows(const ir::graph& g, const sched::schedule& s,
+                             subgraph cone, std::vector<subgraph>& windows) {
+  for (subgraph& window : windows) {
+    if (window.stage == cone.stage && leaves_overlap(window, cone)) {
+      window.members.insert(window.members.end(), cone.members.begin(),
+                            cone.members.end());
+      window.score = std::max(window.score, cone.score);
+      finalize_subgraph(g, s, window);
+      return;
+    }
+  }
+  windows.push_back(std::move(cone));
+}
+
 std::vector<subgraph> merge_into_windows(const ir::graph& g,
                                          const sched::schedule& s,
                                          std::vector<subgraph> cones) {
   std::vector<subgraph> windows;
+  windows.reserve(cones.size());
   for (subgraph& cone : cones) {
-    bool merged = false;
-    for (subgraph& window : windows) {
-      if (window.stage == cone.stage && leaves_overlap(window, cone)) {
-        window.members.insert(window.members.end(), cone.members.begin(),
-                              cone.members.end());
-        window.score = std::max(window.score, cone.score);
-        finalize_subgraph(g, s, window);
-        merged = true;
-        break;
-      }
-    }
-    if (!merged) {
-      windows.push_back(std::move(cone));
-    }
+    merge_cone_into_windows(g, s, std::move(cone), windows);
   }
   return windows;
 }

@@ -11,6 +11,15 @@
 
 namespace isdc::extract {
 
+/// Folds one cone into `windows` in place: absorbed by the first same-stage
+/// window whose leaf set overlaps the cone's (the window keeps the max
+/// score), appended as a new window otherwise. Folding cones one at a time
+/// through this is exactly `merge_into_windows` — the incremental form lets
+/// callers grow the window set cone by cone without re-merging from
+/// scratch.
+void merge_cone_into_windows(const ir::graph& g, const sched::schedule& s,
+                             subgraph cone, std::vector<subgraph>& windows);
+
 /// Greedily merges same-stage cones whose leaf sets share at least one
 /// value. Input order is preserved as priority (callers pass cones in
 /// descending score order); each output window carries the max score of

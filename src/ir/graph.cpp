@@ -1,6 +1,7 @@
 #include "ir/graph.h"
 
 #include "support/check.h"
+#include "support/hash.h"
 
 namespace isdc::ir {
 
@@ -76,6 +77,24 @@ bool graph::is_connected(node_id from, node_id to) const {
     }
   }
   return false;
+}
+
+std::uint64_t graph::fingerprint() const {
+  fnv1a64 h;
+  h.mix(nodes_.size());
+  for (const node& n : nodes_) {
+    h.mix(static_cast<std::uint64_t>(n.op))
+        .mix(n.width)
+        .mix(n.value)
+        .mix(n.operands.size());
+    for (node_id operand : n.operands) {
+      h.mix(operand);
+    }
+  }
+  for (node_id out : outputs_) {
+    h.mix(out);
+  }
+  return h.value();
 }
 
 std::uint64_t graph::total_output_bits() const {

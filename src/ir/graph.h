@@ -63,6 +63,13 @@ public:
   /// Sum of widths of all primary outputs.
   std::uint64_t total_output_bits() const;
 
+  /// Structural fingerprint of the graph: a hash over every node's opcode,
+  /// width, value and operand edges plus the output set. Two graphs with
+  /// the same fingerprint are structurally identical for scheduling
+  /// purposes (the name is excluded), so the fingerprint can key
+  /// per-design caches.
+  std::uint64_t fingerprint() const;
+
 private:
   std::string name_;
   std::vector<node> nodes_;

@@ -1,0 +1,39 @@
+// FNV-1a 64-bit hashing, shared by the structural fingerprints (IR graph,
+// subgraph member sets, cache keys) so the constants and mixing loop live
+// in exactly one place.
+#ifndef ISDC_SUPPORT_HASH_H_
+#define ISDC_SUPPORT_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace isdc {
+
+/// Incremental FNV-1a over 64-bit words.
+class fnv1a64 {
+public:
+  fnv1a64& mix(std::uint64_t v) {
+    h_ ^= v;
+    h_ *= prime;
+    return *this;
+  }
+
+  fnv1a64& mix(std::string_view s) {
+    for (const char c : s) {
+      mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    return *this;
+  }
+
+  std::uint64_t value() const { return h_; }
+
+private:
+  static constexpr std::uint64_t offset_basis = 1469598103934665603ull;
+  static constexpr std::uint64_t prime = 1099511628211ull;
+
+  std::uint64_t h_ = offset_basis;
+};
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_HASH_H_

@@ -160,7 +160,8 @@ TEST(DownstreamTest, SynthesisToolReturnsPositiveDelay) {
   const double delay = tool.subgraph_delay_ps(g);
   EXPECT_GT(delay, 100.0);
   EXPECT_LT(delay, 2500.0);
-  EXPECT_EQ(tool.name(), "synthesis+sta");
+  // The name carries the configuration (it scopes the evaluation cache).
+  EXPECT_EQ(tool.name(), "synthesis+sta(r2+rw+rf,cut4x10)");
 }
 
 TEST(DownstreamTest, AigDepthToolScalesWithDepth) {
@@ -181,7 +182,7 @@ TEST(DownstreamTest, AigDepthToolScalesWithDepth) {
   }
   aig_depth_downstream tool(80.0);
   EXPECT_LT(tool.subgraph_delay_ps(shallow), tool.subgraph_delay_ps(deep));
-  EXPECT_EQ(tool.name(), "aig-depth");
+  EXPECT_EQ(tool.name(), "aig-depth(80ps/lvl+0ps,r2+rw+rf,cut4x10)");
 }
 
 /// Counting downstream tool for loop-behavior tests.
@@ -239,13 +240,12 @@ TEST(IsdcLoopTest, ReducesRegistersOnChain) {
     if (candidates.empty()) {
       break;
     }
-    std::vector<double> scores;
-    extract::rank_candidates(g, s, 1300.0,
-                             extract::extraction_strategy::fanout_driven,
-                             candidates, &scores);
+    const auto ranked = extract::rank_candidates(
+        g, s, 1300.0, extract::extraction_strategy::fanout_driven,
+        std::move(candidates));
     std::vector<evaluated_subgraph> evals;
-    for (std::size_t i = 0; i < candidates.size() && i < 4; ++i) {
-      const auto sub = extract::expand_to_cone(g, s, candidates[i]);
+    for (std::size_t i = 0; i < ranked.size() && i < 4; ++i) {
+      const auto sub = extract::expand_to_cone(g, s, ranked[i].path);
       evals.push_back({sub.members, tool.subgraph_delay_ps(g)});
     }
     update_delay_matrix(d, evals);

@@ -1,0 +1,320 @@
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/stages.h"
+#include "ir/builder.h"
+#include "sched/metrics.h"
+
+namespace isdc::engine {
+namespace {
+
+/// Thread-safe downstream stub that counts calls.
+class counting_downstream final : public core::downstream_tool {
+public:
+  explicit counting_downstream(double delay, std::string name = "counting")
+      : delay_(delay), name_(std::move(name)) {}
+  double subgraph_delay_ps(const ir::graph&) const override {
+    ++calls_;
+    return delay_;
+  }
+  std::string name() const override { return name_; }
+  int calls() const { return calls_.load(); }
+
+private:
+  double delay_;
+  std::string name_;
+  mutable std::atomic<int> calls_{0};
+};
+
+/// A chain of adders long enough to span several pipeline stages at the
+/// default 2500 ps clock.
+ir::graph make_add_chain(int length) {
+  ir::graph g("addchain");
+  ir::builder bl(g);
+  ir::node_id v = bl.input(32, "x");
+  const ir::node_id y = bl.input(32, "y");
+  for (int i = 0; i < length; ++i) {
+    v = bl.add(v, y);
+  }
+  g.mark_output(v);
+  return g;
+}
+
+core::isdc_options chain_options() {
+  core::isdc_options opts;
+  opts.base.clock_period_ps = 2500.0;
+  opts.max_iterations = 10;
+  opts.subgraphs_per_iteration = 2;
+  opts.num_threads = 2;
+  opts.expansion = extract::expansion_mode::cone;
+  return opts;
+}
+
+/// The shared characterization, amortized across the whole test binary.
+const synth::delay_model& shared_model() {
+  static const synth::delay_model model{synth::synthesis_options{}};
+  return model;
+}
+
+void expect_same_result(const core::isdc_result& a,
+                        const core::isdc_result& b) {
+  EXPECT_EQ(a.initial, b.initial);
+  EXPECT_EQ(a.final_schedule, b.final_schedule);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.delays, b.delays);
+  EXPECT_EQ(a.naive_delays, b.naive_delays);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    // cache_hits is intentionally excluded: it reports how the evaluations
+    // were served, not what they computed.
+    EXPECT_EQ(a.history[i].iteration, b.history[i].iteration);
+    EXPECT_EQ(a.history[i].register_bits, b.history[i].register_bits);
+    EXPECT_EQ(a.history[i].num_stages, b.history[i].num_stages);
+    EXPECT_DOUBLE_EQ(a.history[i].estimated_delay_ps,
+                     b.history[i].estimated_delay_ps);
+    EXPECT_EQ(a.history[i].subgraphs_evaluated,
+              b.history[i].subgraphs_evaluated);
+    EXPECT_EQ(a.history[i].matrix_entries_lowered,
+              b.history[i].matrix_entries_lowered);
+  }
+}
+
+TEST(EvaluationCacheTest, LookupStoreAndGenerations) {
+  evaluation_cache cache;
+  cache.begin_generation();
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  cache.store(42, 123.0);
+  const auto memo = cache.lookup(42);
+  ASSERT_TRUE(memo.has_value());
+  EXPECT_DOUBLE_EQ(*memo, 123.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  EXPECT_FALSE(cache.selected_this_generation(42));
+  cache.mark_selected(42);
+  EXPECT_TRUE(cache.selected_this_generation(42));
+  // A new run resets the selection dedup but keeps the memoized delay.
+  cache.begin_generation();
+  EXPECT_FALSE(cache.selected_this_generation(42));
+  EXPECT_TRUE(cache.lookup(42).has_value());
+}
+
+TEST(EvaluationCacheTest, KeysMixDesignFingerprint) {
+  // The same member-set key under two designs must map to two entries.
+  EXPECT_NE(subgraph_cache_key(1, 7), subgraph_cache_key(2, 7));
+  EXPECT_NE(subgraph_cache_key(1, 7), subgraph_cache_key(1, 8));
+}
+
+TEST(EngineTest, DefaultPipelineIsTheSixPaperStages) {
+  const auto pipeline = engine::default_pipeline();
+  ASSERT_EQ(pipeline.size(), 6u);
+  const char* expected[] = {"enumerate", "rank",   "expand",
+                            "evaluate",  "update", "resolve"};
+  for (std::size_t i = 0; i < pipeline.size(); ++i) {
+    EXPECT_EQ(pipeline[i]->name(), expected[i]) << "stage " << i;
+  }
+}
+
+TEST(EngineTest, RunMatchesRunIsdc) {
+  const ir::graph g = make_add_chain(5);
+  const core::isdc_options opts = chain_options();
+  counting_downstream tool_a(900.0);
+  counting_downstream tool_b(900.0);
+
+  const core::isdc_result via_wrapper =
+      core::run_isdc(g, tool_a, opts, &shared_model());
+  engine e;
+  const core::isdc_result via_engine =
+      e.run(g, tool_b, opts, &shared_model());
+
+  expect_same_result(via_wrapper, via_engine);
+  EXPECT_EQ(tool_a.calls(), tool_b.calls());
+}
+
+/// A composable gate: passes iterations through until a budget is hit,
+/// then ends the run — exercising custom stages in the pipeline.
+class halt_after_stage final : public stage {
+public:
+  explicit halt_after_stage(int budget) : budget_(budget) {}
+  std::string_view name() const override { return "halt-after"; }
+  bool run(run_state&, iteration_state& it) override {
+    return it.iteration <= budget_;
+  }
+
+private:
+  int budget_;
+};
+
+/// Counts completed pipeline passes (runs as the last stage).
+class tally_stage final : public stage {
+public:
+  std::string_view name() const override { return "tally"; }
+  bool run(run_state&, iteration_state&) override {
+    ++passes;
+    return true;
+  }
+  int passes = 0;
+};
+
+TEST(EngineTest, PipelineComposesCustomStages) {
+  const ir::graph g = make_add_chain(5);
+  core::isdc_options opts = chain_options();
+  opts.convergence_patience = 10;
+
+  auto pipeline = engine::default_pipeline();
+  pipeline.insert(pipeline.begin(), std::make_unique<halt_after_stage>(2));
+  auto tally = std::make_unique<tally_stage>();
+  tally_stage* tally_ptr = tally.get();
+  pipeline.push_back(std::move(tally));
+
+  engine e(std::move(pipeline));
+  ASSERT_EQ(e.pipeline().size(), 8u);
+  counting_downstream tool(900.0);
+  const core::isdc_result result = e.run(g, tool, opts, &shared_model());
+
+  // The gate ends the run at iteration 3, so exactly two full passes
+  // completed and the tally stage saw each of them.
+  EXPECT_EQ(result.iterations, 2);
+  EXPECT_EQ(result.history.size(), 3u);
+  EXPECT_EQ(tally_ptr->passes, 2);
+}
+
+TEST(EngineTest, ConvergencePatienceBoundsStableRuns) {
+  const ir::graph g = make_add_chain(5);
+  // Feedback that never beats the characterized estimate: the schedule
+  // cannot improve, so every iteration is "stable" and patience is the
+  // only thing that stops the run (long before max_iterations).
+  core::isdc_options opts = chain_options();
+  opts.subgraphs_per_iteration = 1;
+
+  opts.convergence_patience = 1;
+  counting_downstream slow_a(50000.0);
+  const core::isdc_result impatient =
+      engine().run(g, slow_a, opts, &shared_model());
+  EXPECT_EQ(impatient.iterations, 1);
+
+  opts.convergence_patience = 3;
+  counting_downstream slow_b(50000.0);
+  const core::isdc_result patient =
+      engine().run(g, slow_b, opts, &shared_model());
+  EXPECT_GE(patient.iterations, impatient.iterations);
+  EXPECT_LE(patient.iterations, 3);
+  EXPECT_LT(patient.iterations, opts.max_iterations);
+}
+
+TEST(EngineTest, SearchSpaceExhaustionEndsTheRun) {
+  const ir::graph g = make_add_chain(5);
+  core::isdc_options opts = chain_options();
+  opts.subgraphs_per_iteration = 64;  // swallow every cone in one round
+  opts.convergence_patience = 10;     // patience must not be what stops us
+  counting_downstream slow(50000.0);  // never improves -> same cones again
+
+  const core::isdc_result result = engine().run(g, slow, opts, &shared_model());
+
+  // Iteration 1 evaluates every cone; iteration 2 finds nothing new and
+  // the expansion stage ends the run.
+  EXPECT_EQ(result.iterations, 1);
+  ASSERT_EQ(result.history.size(), 2u);
+  EXPECT_GT(result.history[1].subgraphs_evaluated, 0);
+  EXPECT_EQ(slow.calls(), result.history[1].subgraphs_evaluated);
+}
+
+TEST(EngineTest, EvaluationCachePersistsAcrossRuns) {
+  const ir::graph g = make_add_chain(5);
+  const core::isdc_options opts = chain_options();
+  counting_downstream tool(900.0);
+
+  engine e;
+  const core::isdc_result first = e.run(g, tool, opts, &shared_model());
+  const int downstream_calls = tool.calls();
+  EXPECT_GT(downstream_calls, 0);
+  EXPECT_EQ(e.cache().stats().hits, 0u);
+  EXPECT_EQ(e.cache().stats().misses,
+            static_cast<std::uint64_t>(downstream_calls));
+  int first_hits = 0;
+  for (const auto& rec : first.history) {
+    first_hits += rec.cache_hits;
+  }
+  EXPECT_EQ(first_hits, 0);
+
+  // Same design, same options: the second run selects the same subgraphs
+  // and every evaluation is served from the cache — the downstream tool is
+  // never called again and the result is identical.
+  const core::isdc_result second = e.run(g, tool, opts, &shared_model());
+  EXPECT_EQ(tool.calls(), downstream_calls);
+  EXPECT_EQ(e.cache().stats().hits,
+            static_cast<std::uint64_t>(downstream_calls));
+  int second_hits = 0;
+  for (const auto& rec : second.history) {
+    second_hits += rec.cache_hits;
+  }
+  EXPECT_EQ(second_hits, downstream_calls);
+  expect_same_result(first, second);
+}
+
+TEST(EngineTest, DifferentDownstreamToolsDoNotShareCacheEntries) {
+  // Cache keys scope to the tool identity: a delay measured by one oracle
+  // must never answer for another.
+  const ir::graph g = make_add_chain(5);
+  const core::isdc_options opts = chain_options();
+  engine e;
+  counting_downstream fast(900.0, "fast-oracle");
+  counting_downstream slow(1800.0, "slow-oracle");
+
+  e.run(g, fast, opts, &shared_model());
+  const int fast_calls = fast.calls();
+  EXPECT_GT(fast_calls, 0);
+
+  e.run(g, slow, opts, &shared_model());
+  EXPECT_GT(slow.calls(), 0);  // consulted, not served fast-oracle memos
+  EXPECT_EQ(e.cache().stats().hits, 0u);
+  EXPECT_EQ(fast.calls(), fast_calls);
+}
+
+/// Collects the streamed records.
+class collecting_observer final : public iteration_observer {
+public:
+  void on_run_begin(const ir::graph&, const core::isdc_options&) override {
+    ++begins;
+  }
+  void on_iteration(const core::iteration_record& rec) override {
+    records.push_back(rec);
+  }
+  void on_run_end(const core::isdc_result&) override { ++ends; }
+
+  int begins = 0;
+  int ends = 0;
+  std::vector<core::iteration_record> records;
+};
+
+TEST(EngineTest, ObserversStreamTheHistory) {
+  const ir::graph g = make_add_chain(5);
+  const core::isdc_options opts = chain_options();
+  counting_downstream tool(900.0);
+
+  engine e;
+  collecting_observer obs;
+  callback_observer cb([](const core::iteration_record&) {});
+  e.add_observer(&obs);
+  e.add_observer(&cb);
+  const core::isdc_result result = e.run(g, tool, opts, &shared_model());
+
+  EXPECT_EQ(obs.begins, 1);
+  EXPECT_EQ(obs.ends, 1);
+  ASSERT_EQ(obs.records.size(), result.history.size());
+  for (std::size_t i = 0; i < obs.records.size(); ++i) {
+    EXPECT_EQ(obs.records[i].iteration, result.history[i].iteration);
+    EXPECT_EQ(obs.records[i].register_bits, result.history[i].register_bits);
+  }
+}
+
+}  // namespace
+}  // namespace isdc::engine

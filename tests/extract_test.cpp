@@ -128,11 +128,11 @@ TEST(ScoringTest, RankCandidatesSortsDescending) {
   two_stage_fixture f;
   const auto d = uniform_matrix(f.g, 100.0);
   auto candidates = enumerate_candidate_paths(f.g, f.s, d);
-  std::vector<double> scores;
-  rank_candidates(f.g, f.s, 1000.0, extraction_strategy::fanout_driven,
-                  candidates, &scores);
-  for (std::size_t i = 1; i < scores.size(); ++i) {
-    EXPECT_GE(scores[i - 1], scores[i]);
+  const auto ranked =
+      rank_candidates(f.g, f.s, 1000.0, extraction_strategy::fanout_driven,
+                      std::move(candidates));
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
   }
 }
 
@@ -231,6 +231,49 @@ TEST(WindowTest, MergesOverlappingLeaves) {
   EXPECT_EQ(windows[0].members, (std::vector<ir::node_id>{a, b}));
   EXPECT_EQ(windows[0].roots.size(), 2u);
   EXPECT_EQ(windows[1].members, (std::vector<ir::node_id>{c}));
+}
+
+TEST(WindowTest, IncrementalFoldMatchesBatchMerge) {
+  // Folding cones one at a time through merge_cone_into_windows must
+  // produce the same windows as the batch merge, at every prefix — the
+  // invariant the engine's expansion stage relies on to avoid re-merging
+  // the cone set from scratch after every append.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id y = bl.input(8, "y");
+  const ir::node_id z = bl.input(8, "z");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.add(x, y);
+  const ir::node_id c = bl.neg(z);
+  const ir::node_id d = bl.add(y, z);
+  const ir::node_id o = bl.add(bl.add(a, b), bl.add(c, d));
+  g.mark_output(o);
+  sched::schedule s;
+  s.cycle.assign(g.num_nodes(), 0);
+  s.cycle[o] = 1;
+  s.cycle[o - 1] = 1;
+  s.cycle[o - 2] = 1;
+
+  const auto make_cone = [&](ir::node_id root) {
+    path_candidate cand{root, root, 0.0};
+    return expand_to_cone(g, s, cand);
+  };
+  const std::vector<subgraph> cones = {make_cone(a), make_cone(b),
+                                       make_cone(c), make_cone(d)};
+  std::vector<subgraph> incremental;
+  for (std::size_t n = 0; n < cones.size(); ++n) {
+    merge_cone_into_windows(g, s, cones[n], incremental);
+    const auto batch = merge_into_windows(
+        g, s, std::vector<subgraph>(cones.begin(), cones.begin() + n + 1));
+    ASSERT_EQ(incremental.size(), batch.size()) << "prefix " << n + 1;
+    for (std::size_t w = 0; w < batch.size(); ++w) {
+      EXPECT_EQ(incremental[w].members, batch[w].members);
+      EXPECT_EQ(incremental[w].roots, batch[w].roots);
+      EXPECT_EQ(incremental[w].leaves, batch[w].leaves);
+      EXPECT_DOUBLE_EQ(incremental[w].score, batch[w].score);
+    }
+  }
 }
 
 TEST(WindowTest, DifferentStagesNeverMerge) {
