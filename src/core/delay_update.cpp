@@ -2,19 +2,19 @@
 
 namespace isdc::core {
 
-std::size_t update_delay_matrix(sched::delay_matrix& d,
-                                std::span<const evaluated_subgraph>
-                                    evaluations) {
-  std::size_t lowered = 0;
+std::vector<sched::delay_matrix::node_pair> update_delay_matrix(
+    sched::delay_matrix& d,
+    std::span<const evaluated_subgraph> evaluations) {
+  std::vector<sched::delay_matrix::node_pair> lowered;
   for (const evaluated_subgraph& eval : evaluations) {
     const float delay = static_cast<float>(eval.delay_ps);
-    for (ir::node_id u : eval.members) {
-      for (ir::node_id v : eval.members) {
+    for (const ir::node_id u : eval.members) {
+      for (const ir::node_id v : eval.members) {
         const float current = d.get(u, v);
         if (current != sched::delay_matrix::not_connected &&
             current > delay) {
           d.set(u, v, delay);
-          ++lowered;
+          lowered.emplace_back(u, v);
         }
       }
     }

@@ -19,10 +19,14 @@ struct evaluated_subgraph {
 };
 
 /// Applies Alg. 1 lines 10-14 for every subgraph in `evaluations`.
-/// Returns the number of matrix entries lowered.
-std::size_t update_delay_matrix(sched::delay_matrix& d,
-                                std::span<const evaluated_subgraph>
-                                    evaluations);
+/// Returns the (u, v) pairs lowered, one entry per lowering (a pair capped
+/// by several evaluations appears once per cap), so .size() is the number
+/// of entries lowered. Callers driving the loop by hand can feed the pairs
+/// to sched::scheduler_instance::resolve; the engine instead consumes the
+/// delay_matrix change log, which also catches custom-stage mutations.
+std::vector<sched::delay_matrix::node_pair> update_delay_matrix(
+    sched::delay_matrix& d,
+    std::span<const evaluated_subgraph> evaluations);
 
 }  // namespace isdc::core
 

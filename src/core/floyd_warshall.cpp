@@ -4,10 +4,12 @@
 
 namespace isdc::core {
 
-void reformulate_floyd_warshall(const ir::graph& g, sched::delay_matrix& d) {
+std::vector<sched::delay_matrix::node_pair> reformulate_floyd_warshall(
+    const ir::graph& g, sched::delay_matrix& d) {
   const std::size_t n = g.num_nodes();
   ISDC_CHECK(d.size() == n, "matrix size mismatch");
   using sched::delay_matrix;
+  std::vector<sched::delay_matrix::node_pair> changed;
   // Standard FW ordering; the graph is a DAG with topological ids, so only
   // u <= w <= v triples can compose.
   for (ir::node_id w = 0; w < n; ++w) {
@@ -29,10 +31,12 @@ void reformulate_floyd_warshall(const ir::graph& g, sched::delay_matrix& d) {
         const float current = d.get(u, v);
         if (current == delay_matrix::not_connected || composed < current) {
           d.set(u, v, composed);
+          changed.emplace_back(u, v);
         }
       }
     }
   }
+  return changed;
 }
 
 }  // namespace isdc::core

@@ -6,11 +6,16 @@
 #ifndef ISDC_CORE_FLOYD_WARSHALL_H_
 #define ISDC_CORE_FLOYD_WARSHALL_H_
 
+#include <vector>
+
 #include "sched/delay_matrix.h"
 
 namespace isdc::core {
 
-void reformulate_floyd_warshall(const ir::graph& g, sched::delay_matrix& d);
+/// Applies the exact reformulation in place; returns the (u, v) pairs
+/// whose entry changed (one record per lowering, like reformulate_alg2).
+std::vector<sched::delay_matrix::node_pair> reformulate_floyd_warshall(
+    const ir::graph& g, sched::delay_matrix& d);
 
 }  // namespace isdc::core
 

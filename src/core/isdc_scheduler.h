@@ -58,6 +58,11 @@ struct iteration_record {
   int subgraphs_evaluated = 0;
   std::size_t matrix_entries_lowered = 0;
   int cache_hits = 0;  ///< evaluations answered by the evaluation cache
+  // LP solver metrics for this iteration's (re-)solve. The baseline
+  // (iteration 0) is always a cold solve.
+  bool warm_resolve = false;              ///< solver state reused
+  std::size_t solver_ssp_paths = 0;       ///< augmenting paths routed
+  std::size_t constraints_reemitted = 0;  ///< timing constraints re-emitted
 };
 
 struct isdc_result {

@@ -11,9 +11,11 @@ namespace {
 using sched::delay_matrix;
 }  // namespace
 
-void reformulate_alg2(const ir::graph& g, sched::delay_matrix& d) {
+std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
+    const ir::graph& g, sched::delay_matrix& d) {
   const std::size_t n = g.num_nodes();
   ISDC_CHECK(d.size() == n, "matrix size mismatch");
+  std::vector<sched::delay_matrix::node_pair> changed;
 
   // Forward pass (Alg. 2 lines 2-12): node ids are topological.
   std::vector<float> dv(n);
@@ -38,6 +40,7 @@ void reformulate_alg2(const ir::graph& g, sched::delay_matrix& d) {
       const float current = d.get(u, v);
       if (current > dv[u] || current == delay_matrix::not_connected) {
         d.set(u, v, dv[u]);
+        changed.emplace_back(u, v);
       }
     }
   }
@@ -65,9 +68,11 @@ void reformulate_alg2(const ir::graph& g, sched::delay_matrix& d) {
       const float current = d.get(u, w);
       if (current > du[w] || current == delay_matrix::not_connected) {
         d.set(u, w, du[w]);
+        changed.emplace_back(u, w);
       }
     }
   }
+  return changed;
 }
 
 }  // namespace isdc::core

@@ -5,8 +5,14 @@
 // symmetric user-side propagation to catch the complementary paths the
 // forward pass cannot. O(n^2)-flavoured, versus the O(n^3) Floyd-Warshall
 // reference in floyd_warshall.h.
+//
+// Both reformulations report the pairs they changed; hand-driven loops can
+// feed them to sched::scheduler_instance::resolve (the engine consumes the
+// delay_matrix change log instead).
 #ifndef ISDC_CORE_REFORMULATE_H_
 #define ISDC_CORE_REFORMULATE_H_
+
+#include <vector>
 
 #include "sched/delay_matrix.h"
 
@@ -18,8 +24,10 @@ enum class reformulation_mode {
   none,            ///< use the feedback-updated matrix as-is
 };
 
-/// Applies Alg. 2 in place.
-void reformulate_alg2(const ir::graph& g, sched::delay_matrix& d);
+/// Applies Alg. 2 in place; returns the (u, v) pairs whose entry changed
+/// (a pair touched by both passes appears once per change).
+std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
+    const ir::graph& g, sched::delay_matrix& d);
 
 }  // namespace isdc::core
 

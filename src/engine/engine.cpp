@@ -73,11 +73,20 @@ core::isdc_result engine::run(const ir::graph& g,
       g, [&](ir::node_id v) { return dm.node_delay_ps(g, v); });
   result.delays = result.naive_delays;
 
-  sched::schedule current = sched::sdc_schedule(g, result.delays, options.base);
+  // The scheduling instance persists across iterations: the baseline solve
+  // below builds its constraint system cold, and every later re-solve (the
+  // resolve stage) re-emits only the timing constraints whose matrix
+  // entries changed — tracked by the change log enabled here — and resumes
+  // the LP solver warm.
+  sched::scheduler_instance scheduler(g, options.base);
+  sched::scheduler_stats baseline_stats;
+  sched::schedule current = scheduler.solve(result.delays, &baseline_stats);
+  result.delays.track_changes(true);
   result.initial = current;
   result.final_schedule = current;
   result.history.push_back(make_record(g, current, result.delays,
                                        result.naive_delays, options, 0));
+  result.history.back().solver_ssp_paths = baseline_stats.ssp_paths;
   std::int64_t best_bits = result.history.back().register_bits;
 
   for (iteration_observer* obs : observers_) {
@@ -93,8 +102,8 @@ core::isdc_result engine::run(const ir::graph& g,
   // oracle must never answer for another (see downstream_tool::name()).
   const std::uint64_t design_fingerprint =
       fnv1a64().mix(g.fingerprint()).mix(tool.name()).value();
-  run_state rs{g,      tool,   options, result,
-               current, cache_, pool,    design_fingerprint};
+  run_state rs{g,      tool,   options, result,    current,
+               cache_, pool,   scheduler, design_fingerprint};
 
   int stable_iterations = 0;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
@@ -118,6 +127,9 @@ core::isdc_result engine::run(const ir::graph& g,
     rec.subgraphs_evaluated = static_cast<int>(it.subgraphs.size());
     rec.matrix_entries_lowered = it.matrix_entries_lowered;
     rec.cache_hits = it.cache_hits;
+    rec.warm_resolve = it.warm_resolve;
+    rec.solver_ssp_paths = it.solver_ssp_paths;
+    rec.constraints_reemitted = it.constraints_reemitted;
     result.history.push_back(rec);
     result.iterations = iter;
     for (iteration_observer* obs : observers_) {

@@ -18,6 +18,7 @@
 #include "engine/evaluation_cache.h"
 #include "extract/scoring.h"
 #include "extract/subgraph.h"
+#include "sched/scheduler_instance.h"
 #include "support/thread_pool.h"
 
 namespace isdc::engine {
@@ -25,7 +26,10 @@ namespace isdc::engine {
 /// Per-run context shared by every stage: the problem being solved and the
 /// engine-owned state and services stages may use. The delay matrix being
 /// refined lives in result.delays; `current` is the schedule of the latest
-/// re-solve.
+/// re-solve. `scheduler` is the stateful scheduling instance that solved
+/// the baseline: it holds the warm LP solver across iterations, and
+/// result.delays has change tracking enabled so the resolve stage can
+/// re-emit only the timing constraints whose entries moved.
 struct run_state {
   const ir::graph& g;
   const core::downstream_tool& tool;
@@ -34,6 +38,7 @@ struct run_state {
   sched::schedule& current;
   evaluation_cache& cache;
   thread_pool& pool;
+  sched::scheduler_instance& scheduler;
   std::uint64_t design_fingerprint = 0;  ///< mixed into cache keys
 };
 
@@ -46,6 +51,10 @@ struct iteration_state {
   std::vector<core::evaluated_subgraph> evaluations;   ///< evaluate ->
   std::size_t matrix_entries_lowered = 0;              ///< update ->
   int cache_hits = 0;  ///< evaluations answered by the cache
+  // resolve -> (solver metrics of this iteration's re-solve)
+  bool warm_resolve = false;
+  std::size_t solver_ssp_paths = 0;
+  std::size_t constraints_reemitted = 0;
 };
 
 /// One step of the loop. Stages hold no per-iteration state of their own;

@@ -1,5 +1,7 @@
 #include "engine/stages.h"
 
+#include <cstdint>
+#include <unordered_set>
 #include <utility>
 
 #include "core/floyd_warshall.h"
@@ -80,20 +82,38 @@ public:
 
     // Window mode: keep folding ranked cones into overlapping-leaf windows
     // until m *new* windows are available (merging shrinks the set, so the
-    // cone budget is not the window budget). Each cone folds into the
-    // running window set incrementally; a fold can reshape one window, so
-    // the fresh count is recounted, but the set is never re-merged from
-    // scratch.
+    // cone budget is not the window budget). Each fold changes exactly one
+    // window, so the fresh-window count is maintained incrementally from
+    // the fold result instead of recounting the whole set. Candidates that
+    // expand to a cone already folded this round are skipped — once a
+    // stage's distinct cones are exhausted, its remaining candidates cost
+    // nothing. (A refold could still matter in one corner: an *earlier*
+    // window whose leaf set has since grown to overlap the duplicate would
+    // absorb a second copy of its members. That only duplicates nodes
+    // already inside another window, so the skip deliberately drops it.)
     std::vector<extract::subgraph> windows;
+    std::vector<bool> window_fresh;
+    std::unordered_set<std::uint64_t> folded_cones;
+    int fresh = 0;
     for (const extract::scored_candidate& cand : it.candidates) {
       extract::subgraph cone =
           extract::expand_to_cone(rs.g, rs.current, cand.path);
       cone.score = cand.score;
-      extract::merge_cone_into_windows(rs.g, rs.current, std::move(cone),
-                                       windows);
-      int fresh = 0;
-      for (const extract::subgraph& w : windows) {
-        fresh += selected(w) ? 0 : 1;
+      if (!folded_cones.insert(cone.key()).second) {
+        continue;
+      }
+      const extract::fold_result fold = extract::merge_cone_into_windows(
+          rs.g, rs.current, std::move(cone), windows);
+      const bool now_fresh = !selected(windows[fold.index]);
+      if (fold.appended) {
+        window_fresh.push_back(now_fresh);
+        fresh += now_fresh ? 1 : 0;
+      } else {
+        // The merge reshaped windows[fold.index] (new member set, new
+        // cache key), which can flip its freshness either way.
+        fresh += (now_fresh ? 1 : 0) -
+                 (window_fresh[fold.index] ? 1 : 0);
+        window_fresh[fold.index] = now_fresh;
       }
       if (fresh >= m) {
         break;
@@ -160,7 +180,7 @@ public:
 
   bool run(run_state& rs, iteration_state& it) override {
     it.matrix_entries_lowered =
-        core::update_delay_matrix(rs.result.delays, it.evaluations);
+        core::update_delay_matrix(rs.result.delays, it.evaluations).size();
     switch (rs.options.reformulation) {
       case core::reformulation_mode::alg2:
         core::reformulate_alg2(rs.g, rs.result.delays);
@@ -175,12 +195,23 @@ public:
   }
 };
 
+/// Re-solves the SDC LP through the run's stateful scheduler_instance:
+/// only timing constraints whose delay-matrix entries moved (per the
+/// matrix change log) are re-emitted, and the LP solver resumes warm from
+/// its previous duals. Produces schedules bit-identical to a from-scratch
+/// sdc_schedule on the same matrix.
 class resolve_stage final : public stage {
 public:
   std::string_view name() const override { return "resolve"; }
 
-  bool run(run_state& rs, iteration_state&) override {
-    rs.current = sched::sdc_schedule(rs.g, rs.result.delays, rs.options.base);
+  bool run(run_state& rs, iteration_state& it) override {
+    const std::vector<sched::delay_matrix::node_pair> changed =
+        rs.result.delays.take_changed_pairs();
+    sched::scheduler_stats stats;
+    rs.current = rs.scheduler.resolve(rs.result.delays, changed, &stats);
+    it.warm_resolve = stats.warm;
+    it.solver_ssp_paths = stats.ssp_paths;
+    it.constraints_reemitted = stats.constraints_reemitted;
     return true;
   }
 };

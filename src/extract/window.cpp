@@ -26,18 +26,21 @@ bool leaves_overlap(const subgraph& a, const subgraph& b) {
 
 }  // namespace
 
-void merge_cone_into_windows(const ir::graph& g, const sched::schedule& s,
-                             subgraph cone, std::vector<subgraph>& windows) {
-  for (subgraph& window : windows) {
+fold_result merge_cone_into_windows(const ir::graph& g,
+                                    const sched::schedule& s, subgraph cone,
+                                    std::vector<subgraph>& windows) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    subgraph& window = windows[i];
     if (window.stage == cone.stage && leaves_overlap(window, cone)) {
       window.members.insert(window.members.end(), cone.members.begin(),
                             cone.members.end());
       window.score = std::max(window.score, cone.score);
       finalize_subgraph(g, s, window);
-      return;
+      return {i, false};
     }
   }
   windows.push_back(std::move(cone));
+  return {windows.size() - 1, true};
 }
 
 std::vector<subgraph> merge_into_windows(const ir::graph& g,

@@ -11,14 +11,24 @@
 
 namespace isdc::extract {
 
+/// What one fold did: which window the cone landed in, and whether that
+/// window is new. Exactly one window changes per fold, so callers can
+/// maintain derived counts (e.g. how many windows are fresh) incrementally
+/// instead of rescanning the whole set.
+struct fold_result {
+  std::size_t index = 0;  ///< windows[index] absorbed the cone
+  bool appended = false;  ///< true if the cone became a new window
+};
+
 /// Folds one cone into `windows` in place: absorbed by the first same-stage
 /// window whose leaf set overlaps the cone's (the window keeps the max
 /// score), appended as a new window otherwise. Folding cones one at a time
 /// through this is exactly `merge_into_windows` — the incremental form lets
 /// callers grow the window set cone by cone without re-merging from
 /// scratch.
-void merge_cone_into_windows(const ir::graph& g, const sched::schedule& s,
-                             subgraph cone, std::vector<subgraph>& windows);
+fold_result merge_cone_into_windows(const ir::graph& g,
+                                    const sched::schedule& s, subgraph cone,
+                                    std::vector<subgraph>& windows);
 
 /// Greedily merges same-stage cones whose leaf sets share at least one
 /// value. Input order is preserved as priority (callers pass cones in

@@ -6,6 +6,31 @@
 
 namespace isdc::sched {
 
+void delay_matrix::track_changes(bool enabled) {
+  tracking_ = enabled;
+  changed_.clear();
+  if (enabled) {
+    logged_.assign(n_ * n_, false);
+  } else {
+    logged_.clear();
+    logged_.shrink_to_fit();
+  }
+}
+
+std::vector<delay_matrix::node_pair> delay_matrix::take_changed_pairs() {
+  ISDC_CHECK(tracking_, "take_changed_pairs requires track_changes(true)");
+  std::sort(changed_.begin(), changed_.end());
+  std::vector<node_pair> pairs;
+  pairs.reserve(changed_.size());
+  for (const std::size_t i : changed_) {
+    logged_[i] = false;
+    pairs.emplace_back(static_cast<ir::node_id>(i / n_),
+                       static_cast<ir::node_id>(i % n_));
+  }
+  changed_.clear();
+  return pairs;
+}
+
 delay_matrix delay_matrix::initial(
     const ir::graph& g,
     const std::function<double(ir::node_id)>& node_delay) {

@@ -5,11 +5,18 @@
 // (Alg. 1 lines 1-9) uses the pre-characterized per-op delays; feedback
 // updates (Alg. 1 lines 10-14) and the reformulation (Alg. 2) live in
 // src/core.
+//
+// Change log: with track_changes(true), every set() that actually changes
+// an entry records the (u, v) pair; take_changed_pairs() hands the
+// accumulated (deduplicated) pairs to a consumer and resets the log. The
+// incremental scheduler (scheduler_instance.h) uses this to re-emit only
+// the timing constraints whose matrix entries moved since the last solve.
 #ifndef ISDC_SCHED_DELAY_MATRIX_H_
 #define ISDC_SCHED_DELAY_MATRIX_H_
 
 #include <cstddef>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "ir/graph.h"
@@ -20,6 +27,10 @@ class delay_matrix {
 public:
   static constexpr float not_connected = -1.0f;
 
+  /// A (u, v) matrix coordinate, as reported by the change log and by the
+  /// core mutators (delay update, reformulation).
+  using node_pair = std::pair<ir::node_id, ir::node_id>;
+
   explicit delay_matrix(std::size_t n)
       : n_(n), d_(n * n, not_connected) {}
 
@@ -27,7 +38,15 @@ public:
 
   float get(ir::node_id u, ir::node_id v) const { return d_[index(u, v)]; }
   void set(ir::node_id u, ir::node_id v, float delay) {
-    d_[index(u, v)] = delay;
+    const std::size_t i = index(u, v);
+    if (d_[i] == delay) {
+      return;
+    }
+    d_[i] = delay;
+    if (tracking_ && !logged_[i]) {
+      logged_[i] = true;
+      changed_.push_back(i);
+    }
   }
   bool connected(ir::node_id u, ir::node_id v) const {
     return get(u, v) != not_connected;
@@ -36,6 +55,15 @@ public:
   /// Individual node delay D[v][v].
   float self(ir::node_id v) const { return get(v, v); }
 
+  /// Turns the change log on or off. Turning it on (re)starts an empty
+  /// log.
+  void track_changes(bool enabled);
+  bool tracking_changes() const { return tracking_; }
+
+  /// The pairs whose value changed since tracking started or the last
+  /// take, deduplicated and sorted; resets the log. Requires tracking.
+  std::vector<node_pair> take_changed_pairs();
+
   /// Alg. 1 lines 1-9: D[v][v] = d(v); D[u][v] = critical path delay (sum
   /// of node delays along the worst path, both endpoints included) for
   /// connected pairs; -1 otherwise.
@@ -43,7 +71,11 @@ public:
       const ir::graph& g,
       const std::function<double(ir::node_id)>& node_delay);
 
-  bool operator==(const delay_matrix&) const = default;
+  /// Equality of the delay entries (the change-log state is bookkeeping,
+  /// not part of the matrix's value).
+  bool operator==(const delay_matrix& other) const {
+    return n_ == other.n_ && d_ == other.d_;
+  }
 
 private:
   std::size_t index(ir::node_id u, ir::node_id v) const {
@@ -52,6 +84,9 @@ private:
 
   std::size_t n_ = 0;
   std::vector<float> d_;
+  bool tracking_ = false;
+  std::vector<bool> logged_;         ///< per-entry "already in changed_"
+  std::vector<std::size_t> changed_; ///< flat indices, insertion order
 };
 
 }  // namespace isdc::sched

@@ -1,0 +1,252 @@
+#include "sched/scheduler_instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/check.h"
+
+namespace isdc::sched {
+
+namespace {
+
+bool is_free_node(const ir::graph& g, ir::node_id v) {
+  // Constants are hardwired: never registered, never timing sources.
+  return g.at(v).op == ir::opcode::constant;
+}
+
+}  // namespace
+
+scheduler_instance::scheduler_instance(const ir::graph& g,
+                                       const scheduler_options& options)
+    : g_(g), options_(options), n_(static_cast<int>(g.num_nodes())),
+      horizon_(n_ + 2) {
+  ISDC_CHECK(options_.clock_period_ps > 0.0, "clock period must be positive");
+  free_.resize(g.num_nodes());
+  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+    free_[v] = is_free_node(g, v);
+  }
+}
+
+const sdc::incremental_solver::solver_stats&
+scheduler_instance::solver_stats() const {
+  ISDC_CHECK(solver_.has_value(), "instance not built yet");
+  return solver_->stats();
+}
+
+void scheduler_instance::check_matrix(const delay_matrix& d) const {
+  ISDC_CHECK(d.size() == g_.num_nodes(), "delay matrix size mismatch");
+  const double t_clk = options_.clock_period_ps;
+  for (ir::node_id v = 0; v < g_.num_nodes(); ++v) {
+    ISDC_CHECK(d.self(v) <= t_clk,
+               "operation " << v << " (" << ir::opcode_name(g_.at(v).op)
+                            << ", " << d.self(v)
+                            << " ps) exceeds the clock period " << t_clk
+                            << " ps; increase the target period");
+  }
+}
+
+std::optional<std::int64_t> scheduler_instance::desired_timing_bound(
+    const delay_matrix& d, ir::node_id u, ir::node_id v) const {
+  const double t_clk = options_.clock_period_ps;
+  const float delay = d.get(u, v);
+  if (delay <= t_clk || delay == delay_matrix::not_connected) {
+    return std::nullopt;
+  }
+  if (options_.timing == timing_mode::frontier) {
+    // Emit only if no user of u also exceeds Tclk towards v.
+    for (const ir::node_id c : g_.users(u)) {
+      if (c <= v && d.get(c, v) > t_clk) {
+        return std::nullopt;
+      }
+    }
+    return -1;
+  }
+  // A path with delay D > Tclk must span at least ceil(D / Tclk) stages.
+  return -(static_cast<std::int64_t>(std::ceil(delay / t_clk)) - 1);
+}
+
+bool scheduler_instance::apply_timing(const delay_matrix& d, ir::node_id u,
+                                      ir::node_id v) {
+  const std::uint64_t key = pack(u, v);
+  const auto desired = desired_timing_bound(d, u, v);
+  // With no timing constraint the pair falls back to its base bound: the
+  // dependence bound for operand edges, otherwise the horizon (vacuous
+  // under the box constraints, which keeps the solver's arc set stable).
+  const std::int64_t base = dependence_pairs_.contains(key) ? 0 : horizon_;
+  const std::int64_t want = desired ? std::min(base, *desired) : base;
+  const auto active = active_timing_.find(key);
+  const std::int64_t current =
+      active != active_timing_.end() ? std::min(base, active->second) : base;
+  if (desired) {
+    active_timing_[key] = *desired;
+  } else if (active != active_timing_.end()) {
+    active_timing_.erase(active);
+  }
+  if (want == current) {
+    return false;
+  }
+  solver_->set_bound(static_cast<sdc::var_id>(u), static_cast<sdc::var_id>(v),
+                     want);
+  return true;
+}
+
+void scheduler_instance::build(const delay_matrix& d) {
+  const int n = n_;
+  // Variable layout: s_v = v, m_v = n + v, origin = 2n, sink = 2n + 1.
+  sdc::system sys(2 * n + 2);
+  const sdc::var_id origin = 2 * n;
+  const sdc::var_id sink = 2 * n + 1;
+  const auto s_var = [](ir::node_id v) { return static_cast<sdc::var_id>(v); };
+  const auto m_var = [n](ir::node_id v) {
+    return static_cast<sdc::var_id>(n + static_cast<int>(v));
+  };
+
+  for (ir::node_id v = 0; v < g_.num_nodes(); ++v) {
+    // 0 <= s_v <= horizon (relative to the origin).
+    sys.add_constraint(origin, s_var(v), 0);
+    sys.add_constraint(s_var(v), origin, horizon_);
+    // s_v <= sink <= horizon.
+    sys.add_constraint(s_var(v), sink, 0);
+    // Inputs and constants are available at stage 0.
+    if (g_.at(v).op == ir::opcode::input || free_[v]) {
+      sys.add_constraint(s_var(v), origin, 0);
+    }
+    // Dependences: an operation cannot precede its operands (chaining in
+    // the same stage is allowed).
+    for (const ir::node_id p : g_.at(v).operands) {
+      sys.add_constraint(s_var(p), s_var(v), 0);
+      dependence_pairs_.insert(pack(p, v));
+    }
+    // Last-use coupling.
+    if (!free_[v]) {
+      sys.add_constraint(s_var(v), m_var(v), 0);
+      for (const ir::node_id u : g_.users(v)) {
+        sys.add_constraint(s_var(u), m_var(v), 0);
+      }
+      if (g_.is_output(v)) {
+        sys.add_constraint(sink, m_var(v), 0);
+      }
+    }
+  }
+  sys.add_constraint(sink, origin, horizon_);
+
+  // Timing constraints (Eq. 2), full scan on first build.
+  for (ir::node_id v = 0; v < g_.num_nodes(); ++v) {
+    for (ir::node_id u = 0; u < v; ++u) {
+      if (free_[u]) {
+        continue;  // constants are valid at t=0 of every stage
+      }
+      if (const auto bound = desired_timing_bound(d, u, v)) {
+        sys.add_constraint(s_var(u), s_var(v), *bound);
+        active_timing_.emplace(pack(u, v), *bound);
+      }
+    }
+  }
+
+  // Objective: K * register bits + earliest/shortest tie-break. K strictly
+  // dominates the largest possible tie-break total, so registers are the
+  // primary objective and the result stays integral (TU matrix).
+  const std::int64_t k =
+      2 * static_cast<std::int64_t>(n) * horizon_ + 4 * horizon_ + 1;
+  for (ir::node_id v = 0; v < g_.num_nodes(); ++v) {
+    if (free_[v]) {
+      continue;
+    }
+    const std::int64_t bits = g_.at(v).width;
+    sys.add_objective(m_var(v), k * bits + 1);
+    sys.add_objective(s_var(v), -k * bits + 1);
+  }
+  sys.add_objective(sink, 4);
+
+  solver_.emplace(std::move(sys), origin);
+}
+
+schedule scheduler_instance::run_solver(scheduler_stats* stats,
+                                        std::size_t reemitted) {
+  const sdc::incremental_solver::solver_stats before = solver_->stats();
+  const sdc::solution sol = solver_->solve();
+  ISDC_CHECK(sol.st == sdc::solution::status::optimal,
+             "SDC scheduling LP not solvable (status "
+                 << static_cast<int>(sol.st) << ')');
+
+  schedule result;
+  result.cycle.resize(g_.num_nodes());
+  for (ir::node_id v = 0; v < g_.num_nodes(); ++v) {
+    result.cycle[v] = static_cast<int>(sol.values[v]);
+    ISDC_CHECK(result.cycle[v] >= 0, "negative stage in LP solution");
+  }
+  if (stats != nullptr) {
+    const sdc::incremental_solver::solver_stats& after = solver_->stats();
+    stats->num_constraints = solver_->current_system().constraints().size();
+    stats->num_timing_constraints = active_timing_.size();
+    stats->objective = sol.objective;
+    stats->warm = after.cold_solves == before.cold_solves;
+    stats->ssp_paths = after.ssp_paths - before.ssp_paths;
+    stats->constraints_reemitted = reemitted;
+  }
+  return result;
+}
+
+schedule scheduler_instance::solve(const delay_matrix& d,
+                                   scheduler_stats* stats) {
+  check_matrix(d);
+  if (!solver_.has_value()) {
+    build(d);
+    return run_solver(stats, 0);
+  }
+  // Full rescan: diff every pair's desired timing constraint against the
+  // active set; the solve itself still runs warm.
+  std::size_t reemitted = 0;
+  for (ir::node_id v = 0; v < g_.num_nodes(); ++v) {
+    for (ir::node_id u = 0; u < v; ++u) {
+      if (!free_[u] && apply_timing(d, u, v)) {
+        ++reemitted;
+      }
+    }
+  }
+  return run_solver(stats, reemitted);
+}
+
+schedule scheduler_instance::resolve(
+    const delay_matrix& d, std::span<const delay_matrix::node_pair> changed,
+    scheduler_stats* stats) {
+  if (!solver_.has_value()) {
+    return solve(d, stats);
+  }
+  check_matrix(d);
+
+  // A changed entry (a, b) affects the timing constraint of (a, b) itself
+  // and — in frontier mode, where (u, b) is shadowed while some user of u
+  // still exceeds Tclk towards b — of (p, b) for every operand p of a.
+  std::vector<std::uint64_t> affected;
+  affected.reserve(changed.size() * 2);
+  for (const auto& [a, b] : changed) {
+    if (a >= b) {
+      continue;  // self and lower-triangle entries emit no constraints
+    }
+    if (!free_[a]) {
+      affected.push_back(pack(a, b));
+    }
+    for (const ir::node_id p : g_.at(a).operands) {
+      if (p < b && !free_[p]) {
+        affected.push_back(pack(p, b));
+      }
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  std::size_t reemitted = 0;
+  for (const std::uint64_t key : affected) {
+    const auto u = static_cast<ir::node_id>(key >> 32);
+    const auto v = static_cast<ir::node_id>(key & 0xffffffffu);
+    if (apply_timing(d, u, v)) {
+      ++reemitted;
+    }
+  }
+  return run_solver(stats, reemitted);
+}
+
+}  // namespace isdc::sched

@@ -1,0 +1,102 @@
+// Reusable SDC scheduling instance for iterative re-solving.
+//
+// `sdc_schedule` (sdc_scheduler.h) rebuilds the whole constraint system
+// and solves from scratch on every call, even though ISDC re-solves the
+// same graph with a delay matrix that moved in only a few entries.
+// `scheduler_instance` splits that work: the first solve() builds the
+// dependence / pinning / last-use-coupling constraints and the objective
+// once (they depend only on the graph) and cold-solves; every later
+// resolve() re-emits only the Eq. 2 timing constraints whose delay-matrix
+// entries changed — driven by the matrix's change log — and re-solves the
+// underlying sdc::incremental_solver warm.
+//
+// Incremental contract:
+//  - warm re-solves apply whenever only delay-matrix entries changed
+//    between calls (the ISDC loop: Alg. 1 feedback + Alg. 2
+//    reformulation). Timing constraints that disappear are relaxed to the
+//    schedule horizon (vacuous under the box constraints) rather than
+//    removed, which keeps the solver state structurally stable.
+//  - the fallback to a cold solve lives in the solver: infeasibility or a
+//    structural change there rebuilds from the mutated system; the
+//    schedules produced are bit-identical to sdc_schedule on the same
+//    matrix either way (both extract the canonical minimal LP optimum).
+//  - the graph and options must not change across calls (the instance
+//    keeps a reference to the graph); a changed clock period or timing
+//    mode needs a new instance.
+#ifndef ISDC_SCHED_SCHEDULER_INSTANCE_H_
+#define ISDC_SCHED_SCHEDULER_INSTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/delay_matrix.h"
+#include "sched/schedule.h"
+#include "sched/sdc_scheduler.h"
+#include "sdc/incremental_solver.h"
+
+namespace isdc::sched {
+
+class scheduler_instance {
+public:
+  /// Binds the instance to `g` (kept by reference: the graph must outlive
+  /// the instance) and the scheduling options.
+  scheduler_instance(const ir::graph& g, const scheduler_options& options);
+
+  /// Schedules against `d`. The first call builds the constraint system
+  /// and cold-solves; later calls diff the full timing-constraint set
+  /// against the active one (O(n^2) rescan) and re-solve warm. Prefer
+  /// resolve() with a change list when the caller knows which entries
+  /// moved. Throws check_error on infeasible constraints, like
+  /// sdc_schedule.
+  schedule solve(const delay_matrix& d, scheduler_stats* stats = nullptr);
+
+  /// Re-solves after the delay-matrix entries in `changed` moved (e.g.
+  /// from delay_matrix::take_changed_pairs). Only timing constraints
+  /// affected by those pairs are recomputed. Falls back to solve() when
+  /// the instance has not been built yet.
+  schedule resolve(const delay_matrix& d,
+                   std::span<const delay_matrix::node_pair> changed,
+                   scheduler_stats* stats = nullptr);
+
+  bool built() const { return solver_.has_value(); }
+
+  /// The underlying solver's lifetime counters (warm/cold solves, paths).
+  const sdc::incremental_solver::solver_stats& solver_stats() const;
+
+private:
+  void build(const delay_matrix& d);
+  void check_matrix(const delay_matrix& d) const;
+  /// The Eq. 2 bound for pair (u, v) under `d`, or nullopt when no timing
+  /// constraint applies (not over-clock, not connected, or shadowed by a
+  /// deeper frontier pair).
+  std::optional<std::int64_t> desired_timing_bound(const delay_matrix& d,
+                                                   ir::node_id u,
+                                                   ir::node_id v) const;
+  /// Re-emits the timing constraint of one pair if its desired bound
+  /// differs from the active one; returns true if the solver was touched.
+  bool apply_timing(const delay_matrix& d, ir::node_id u, ir::node_id v);
+  schedule run_solver(scheduler_stats* stats, std::size_t reemitted);
+
+  static std::uint64_t pack(ir::node_id u, ir::node_id v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  const ir::graph& g_;
+  scheduler_options options_;
+  int n_ = 0;
+  std::int64_t horizon_ = 0;
+  std::vector<bool> free_;  ///< constants: never registered / timed
+
+  std::optional<sdc::incremental_solver> solver_;
+  std::unordered_set<std::uint64_t> dependence_pairs_;  ///< operand edges
+  /// Currently emitted timing constraints: packed (u, v) -> bound.
+  std::unordered_map<std::uint64_t, std::int64_t> active_timing_;
+};
+
+}  // namespace isdc::sched
+
+#endif  // ISDC_SCHED_SCHEDULER_INSTANCE_H_

@@ -1,144 +1,14 @@
 #include "sched/sdc_scheduler.h"
 
-#include <cmath>
-
-#include "sdc/mcmf_solver.h"
-#include "sdc/system.h"
-#include "support/check.h"
+#include "sched/scheduler_instance.h"
 
 namespace isdc::sched {
-
-namespace {
-
-bool is_free_node(const ir::graph& g, ir::node_id v) {
-  // Constants are hardwired: never registered, never timing sources.
-  return g.at(v).op == ir::opcode::constant;
-}
-
-}  // namespace
 
 schedule sdc_schedule(const ir::graph& g, const delay_matrix& d,
                       const scheduler_options& options,
                       scheduler_stats* stats) {
-  const int n = static_cast<int>(g.num_nodes());
-  ISDC_CHECK(d.size() == g.num_nodes(), "delay matrix size mismatch");
-  const double t_clk = options.clock_period_ps;
-  ISDC_CHECK(t_clk > 0.0, "clock period must be positive");
-  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
-    ISDC_CHECK(d.self(v) <= t_clk,
-               "operation " << v << " (" << ir::opcode_name(g.at(v).op)
-                            << ", " << d.self(v)
-                            << " ps) exceeds the clock period " << t_clk
-                            << " ps; increase the target period");
-  }
-
-  // Variable layout: s_v = v, m_v = n + v, origin = 2n, sink = 2n + 1.
-  sdc::system sys(2 * n + 2);
-  const sdc::var_id origin = 2 * n;
-  const sdc::var_id sink = 2 * n + 1;
-  const auto s_var = [](ir::node_id v) { return static_cast<sdc::var_id>(v); };
-  const auto m_var = [n](ir::node_id v) {
-    return static_cast<sdc::var_id>(n + static_cast<int>(v));
-  };
-
-  const std::int64_t horizon = n + 2;
-
-  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
-    // 0 <= s_v <= horizon (relative to the origin).
-    sys.add_constraint(origin, s_var(v), 0);
-    sys.add_constraint(s_var(v), origin, horizon);
-    // s_v <= sink <= horizon.
-    sys.add_constraint(s_var(v), sink, 0);
-    // Inputs and constants are available at stage 0.
-    if (g.at(v).op == ir::opcode::input || is_free_node(g, v)) {
-      sys.add_constraint(s_var(v), origin, 0);
-    }
-    // Dependences: an operation cannot precede its operands (chaining in
-    // the same stage is allowed).
-    for (ir::node_id p : g.at(v).operands) {
-      sys.add_constraint(s_var(p), s_var(v), 0);
-    }
-    // Last-use coupling.
-    if (!is_free_node(g, v)) {
-      sys.add_constraint(s_var(v), m_var(v), 0);
-      for (ir::node_id u : g.users(v)) {
-        sys.add_constraint(s_var(u), m_var(v), 0);
-      }
-      if (g.is_output(v)) {
-        sys.add_constraint(sink, m_var(v), 0);
-      }
-    }
-  }
-  sys.add_constraint(sink, origin, horizon);
-
-  // Timing constraints (Eq. 2): a path with delay D > Tclk must span at
-  // least ceil(D / Tclk) stages.
-  std::size_t timing_count = 0;
-  const auto separation = [t_clk](double delay) {
-    return static_cast<std::int64_t>(std::ceil(delay / t_clk)) - 1;
-  };
-  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
-    for (ir::node_id u = 0; u < v; ++u) {
-      if (is_free_node(g, u)) {
-        continue;  // constants are valid at t=0 of every stage
-      }
-      const float delay = d.get(u, v);
-      if (delay <= t_clk || delay == delay_matrix::not_connected) {
-        continue;
-      }
-      if (options.timing == timing_mode::frontier) {
-        // Emit only if no user of u also exceeds Tclk towards v.
-        bool deeper_exists = false;
-        for (ir::node_id c : g.users(u)) {
-          if (c <= v && d.get(c, v) > t_clk) {
-            deeper_exists = true;
-            break;
-          }
-        }
-        if (deeper_exists) {
-          continue;
-        }
-        sys.add_constraint(s_var(u), s_var(v), -1);
-      } else {
-        sys.add_constraint(s_var(u), s_var(v), -separation(delay));
-      }
-      ++timing_count;
-    }
-  }
-
-  // Objective: K * register bits + earliest/shortest tie-break. K strictly
-  // dominates the largest possible tie-break total, so registers are the
-  // primary objective and the result stays integral (TU matrix).
-  const std::int64_t k =
-      2 * static_cast<std::int64_t>(n) * horizon + 4 * horizon + 1;
-  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
-    if (is_free_node(g, v)) {
-      continue;
-    }
-    const std::int64_t bits = g.at(v).width;
-    sys.add_objective(m_var(v), k * bits + 1);
-    sys.add_objective(s_var(v), -k * bits + 1);
-  }
-  sys.add_objective(sink, 4);
-
-  const sdc::solution sol = sdc::solve(sys, origin);
-  ISDC_CHECK(sol.st == sdc::solution::status::optimal,
-             "SDC scheduling LP not solvable (status "
-                 << static_cast<int>(sol.st) << ')');
-
-  schedule result;
-  result.cycle.resize(g.num_nodes());
-  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
-    result.cycle[v] = static_cast<int>(sol.values[static_cast<std::size_t>(
-        s_var(v))]);
-    ISDC_CHECK(result.cycle[v] >= 0, "negative stage in LP solution");
-  }
-  if (stats != nullptr) {
-    stats->num_constraints = sys.constraints().size();
-    stats->num_timing_constraints = timing_count;
-    stats->objective = sol.objective;
-  }
-  return result;
+  scheduler_instance instance(g, options);
+  return instance.solve(d, stats);
 }
 
 }  // namespace isdc::sched

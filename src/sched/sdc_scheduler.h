@@ -8,8 +8,13 @@
 // earliest/shortest tie-break. The LP is solved exactly by the
 // min-cost-flow dual solver in src/sdc.
 //
-// ISDC calls this same scheduler every iteration with an updated,
-// reformulated delay matrix.
+// ISDC re-solves this same LP every iteration with an updated,
+// reformulated delay matrix. `sdc_schedule` below is the one-shot entry
+// point (a thin wrapper over a fresh sched::scheduler_instance); the
+// iterative loop holds a scheduler_instance (scheduler_instance.h) across
+// iterations instead, which re-emits only the timing constraints whose
+// matrix entries changed and re-solves the LP warm. Both paths produce
+// bit-identical schedules.
 #ifndef ISDC_SCHED_SDC_SCHEDULER_H_
 #define ISDC_SCHED_SDC_SCHEDULER_H_
 
@@ -38,13 +43,19 @@ struct scheduler_options {
 };
 
 struct scheduler_stats {
-  std::size_t num_constraints = 0;
-  std::size_t num_timing_constraints = 0;
+  std::size_t num_constraints = 0;         ///< in the solver's system
+  std::size_t num_timing_constraints = 0;  ///< Eq. 2 constraints active
   std::int64_t objective = 0;
+  // Solver metrics for the solve that produced the schedule. A one-shot
+  // sdc_schedule always reports a cold solve with nothing re-emitted.
+  bool warm = false;                      ///< reused warm solver state
+  std::size_t ssp_paths = 0;              ///< augmenting paths routed
+  std::size_t constraints_reemitted = 0;  ///< timing constraints re-emitted
 };
 
-/// Schedules `g` against delay matrix `d`. Throws check_error when the
-/// constraints are infeasible (e.g. a single operation slower than Tclk).
+/// Schedules `g` against delay matrix `d`, building the LP from scratch.
+/// Throws check_error when the constraints are infeasible (e.g. a single
+/// operation slower than Tclk).
 schedule sdc_schedule(const ir::graph& g, const delay_matrix& d,
                       const scheduler_options& options = {},
                       scheduler_stats* stats = nullptr);

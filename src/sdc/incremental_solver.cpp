@@ -1,0 +1,447 @@
+#include "sdc/incremental_solver.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "sdc/bellman_ford.h"
+#include "support/check.h"
+
+namespace isdc::sdc {
+
+namespace {
+
+constexpr std::int64_t infinite_dist = std::numeric_limits<std::int64_t>::max();
+// Uncapacitated forward arcs get "infinite" capacity that no sequence of
+// augmentations in these problems can exhaust.
+constexpr std::int64_t huge = std::numeric_limits<std::int64_t>::max() / 4;
+
+using pq_item = std::pair<std::int64_t, int>;
+using min_heap =
+    std::priority_queue<pq_item, std::vector<pq_item>, std::greater<>>;
+
+}  // namespace
+
+incremental_solver::incremental_solver(system sys, var_id origin)
+    : sys_(std::move(sys)), origin_(origin) {
+  ISDC_CHECK(origin_ >= 0 && origin_ < sys_.num_vars(),
+             "origin variable out of range");
+}
+
+var_id incremental_solver::add_var() {
+  cold_needed_ = true;
+  solved_ = false;
+  return sys_.add_var();
+}
+
+void incremental_solver::tighten(var_id u, var_id v, std::int64_t bound) {
+  if (u != v) {
+    const auto current = sys_.bound_for(u, v);
+    if (current.has_value() && *current <= bound) {
+      return;  // not tighter
+    }
+  }
+  set_bound(u, v, bound);
+}
+
+void incremental_solver::set_bound(var_id u, var_id v, std::int64_t bound) {
+  sys_.set_constraint(u, v, bound);
+  solved_ = false;
+  if (u == v || cold_needed_) {
+    // Self-pairs never enter the network (the system records trivial
+    // infeasibility); with no warm state there is nothing to maintain.
+    return;
+  }
+  const auto [it, inserted] =
+      arc_index_.try_emplace(pack(u, v), static_cast<int>(edges_.size()));
+  const int e = it->second;
+  if (inserted) {
+    add_arc(u, v, bound);
+  } else {
+    edge& fwd = edges_[static_cast<std::size_t>(e)];
+    if (fwd.cost == bound) {
+      return;
+    }
+    if (bound > fwd.cost) {
+      // Relaxation: flow on the arc was priced at the old (tighter) bound;
+      // cancel it and let the next solve reroute the restored supply.
+      const std::int64_t flow = edges_[static_cast<std::size_t>(e ^ 1)].residual;
+      if (flow > 0) {
+        push(e ^ 1, flow);
+        deficit_[static_cast<std::size_t>(u)] -= flow;
+        deficit_[static_cast<std::size_t>(v)] += flow;
+        ++stats_.flow_cancellations;
+      }
+    }
+    fwd.cost = bound;
+    edges_[static_cast<std::size_t>(e ^ 1)].cost = -bound;
+  }
+  if (reduced_cost(e) < 0) {
+    pending_repairs_.insert(e);
+  }
+}
+
+void incremental_solver::add_objective(var_id v, std::int64_t coeff) {
+  sys_.add_objective(v, coeff);
+  solved_ = false;
+  if (!cold_needed_ && coeff != 0 && v != origin_) {
+    // The origin absorbs the balancing remainder (s_origin is pinned), so
+    // an objective delta moves supply between v and the origin.
+    deficit_[static_cast<std::size_t>(v)] += coeff;
+    deficit_[static_cast<std::size_t>(origin_)] -= coeff;
+  }
+}
+
+void incremental_solver::add_arc(var_id u, var_id v, std::int64_t cost) {
+  head_[static_cast<std::size_t>(u)].push_back(static_cast<int>(edges_.size()));
+  edges_.push_back(edge{v, huge, cost});
+  head_[static_cast<std::size_t>(v)].push_back(static_cast<int>(edges_.size()));
+  edges_.push_back(edge{u, 0, -cost});
+}
+
+void incremental_solver::push(int e, std::int64_t amount) {
+  edges_[static_cast<std::size_t>(e)].residual -= amount;
+  edges_[static_cast<std::size_t>(e ^ 1)].residual += amount;
+}
+
+std::int64_t incremental_solver::reduced_cost(int e) const {
+  const edge& arc = edges_[static_cast<std::size_t>(e)];
+  const int from = edges_[static_cast<std::size_t>(e ^ 1)].to;
+  return arc.cost + pi_[static_cast<std::size_t>(from)] -
+         pi_[static_cast<std::size_t>(arc.to)];
+}
+
+solution incremental_solver::fail(solution::status st) {
+  cold_needed_ = true;  // partial warm state is not resumable
+  cached_ = solution{};
+  cached_.st = st;
+  solved_ = true;
+  return cached_;
+}
+
+bool incremental_solver::cold_start() {
+  const int n = sys_.num_vars();
+  const auto bf = potential_distances(sys_);
+  if (!bf.has_value()) {
+    return false;
+  }
+  pi_ = *bf;
+
+  head_.assign(static_cast<std::size_t>(n), {});
+  edges_.clear();
+  arc_index_.clear();
+  pending_repairs_.clear();
+  for (const constraint& c : sys_.constraints()) {
+    arc_index_.emplace(pack(c.u, c.v), static_cast<int>(edges_.size()));
+    add_arc(c.u, c.v, c.bound);
+  }
+
+  deficit_.assign(sys_.objective().begin(), sys_.objective().end());
+  std::int64_t total = 0;
+  for (const std::int64_t c : deficit_) {
+    total += c;
+  }
+  deficit_[static_cast<std::size_t>(origin_)] -= total;
+
+  dist_.resize(static_cast<std::size_t>(n));
+  parent_edge_.resize(static_cast<std::size_t>(n));
+  settled_.resize(static_cast<std::size_t>(n));
+  cold_needed_ = false;
+  return true;
+}
+
+bool incremental_solver::repair_pending() {
+  while (!pending_repairs_.empty()) {
+    const int e = *pending_repairs_.begin();
+    pending_repairs_.erase(pending_repairs_.begin());
+    if (!repair_arc(e)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Restores dual feasibility after the bound of arc `e` (u -> v) was
+/// tightened below its reduced-cost slack. Shortest distances from v
+/// within the violation delta either expose a negative residual cycle
+/// through `e` (flow must reroute through the tightened constraint: push
+/// around the cycle, cancelling flow elsewhere) or prove the duals can be
+/// lowered locally (only nodes closer than delta to v move).
+bool incremental_solver::repair_arc(int e) {
+  bool counted = false;
+  for (;;) {
+    const std::int64_t delta = -reduced_cost(e);
+    if (delta <= 0) {
+      return true;  // repaired (or was never violated)
+    }
+    if (!counted) {
+      ++stats_.arcs_repaired;
+      counted = true;
+    }
+    const int u = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    const int v = edges_[static_cast<std::size_t>(e)].to;
+
+    std::fill(dist_.begin(), dist_.end(), infinite_dist);
+    std::fill(parent_edge_.begin(), parent_edge_.end(), -1);
+    std::fill(settled_.begin(), settled_.end(), false);
+    min_heap pq;
+    dist_[static_cast<std::size_t>(v)] = 0;
+    pq.emplace(0, v);
+
+    bool cycle = false;
+    while (!pq.empty()) {
+      const auto [d, w] = pq.top();
+      pq.pop();
+      if (d >= delta) {
+        break;  // nodes at delta or beyond keep their potential
+      }
+      if (settled_[static_cast<std::size_t>(w)]) {
+        continue;
+      }
+      settled_[static_cast<std::size_t>(w)] = true;
+      if (w == u) {
+        cycle = true;  // v reaches u below delta: negative cycle through e
+        break;
+      }
+      for (const int a : head_[static_cast<std::size_t>(w)]) {
+        const edge& arc = edges_[static_cast<std::size_t>(a)];
+        if (arc.residual <= 0) {
+          continue;
+        }
+        const std::int64_t rc = reduced_cost(a);
+        if (rc < 0) {
+          continue;  // another pending arc; repaired on its own turn
+        }
+        const std::int64_t cand = d + rc;
+        if (cand < dist_[static_cast<std::size_t>(arc.to)]) {
+          dist_[static_cast<std::size_t>(arc.to)] = cand;
+          parent_edge_[static_cast<std::size_t>(arc.to)] = a;
+          pq.emplace(cand, arc.to);
+        }
+      }
+    }
+
+    if (!cycle) {
+      // Settled nodes sit closer than delta to v: lowering their potential
+      // by (delta - dist) zeroes the violated arc and keeps every
+      // non-pending residual arc non-negative.
+      const int n = sys_.num_vars();
+      for (int w = 0; w < n; ++w) {
+        if (settled_[static_cast<std::size_t>(w)]) {
+          pi_[static_cast<std::size_t>(w)] +=
+              dist_[static_cast<std::size_t>(w)] - delta;
+        }
+      }
+      return true;
+    }
+
+    // The residual path v -> ... -> u closes a negative cycle through e.
+    // If it is made of original constraints alone the system itself is
+    // infeasible. Otherwise some reverse (flow-carrying) arcs enable it:
+    // cancel their flow outright (restoring the endpoint supplies for the
+    // SSP phase to reroute) — that removes them from the residual graph
+    // while keeping the remaining flow complementary-slack — and retry.
+    // Every round removes at least one flow arc, so the loop terminates.
+    bool cancelled = false;
+    for (int w = u; parent_edge_[static_cast<std::size_t>(w)] != -1;) {
+      const int a = parent_edge_[static_cast<std::size_t>(w)];
+      if ((a & 1) != 0) {  // reverse arc: paired after its forward arc
+        const std::int64_t flow = edges_[static_cast<std::size_t>(a)].residual;
+        const int tail = edges_[static_cast<std::size_t>(a)].to;
+        const int h = edges_[static_cast<std::size_t>(a ^ 1)].to;
+        push(a, flow);
+        deficit_[static_cast<std::size_t>(tail)] -= flow;
+        deficit_[static_cast<std::size_t>(h)] += flow;
+        ++stats_.flow_cancellations;
+        cancelled = true;
+      }
+      w = edges_[static_cast<std::size_t>(a ^ 1)].to;
+    }
+    if (!cancelled) {
+      return false;  // pure-constraint negative cycle: infeasible
+    }
+  }
+}
+
+/// Successive shortest paths over reduced costs: every augmentation fully
+/// discharges a source or a sink, so with few outstanding deficits (the
+/// warm case) only a few rounds run.
+bool incremental_solver::route_deficits() {
+  const int n = sys_.num_vars();
+  for (;;) {
+    std::fill(dist_.begin(), dist_.end(), infinite_dist);
+    std::fill(parent_edge_.begin(), parent_edge_.end(), -1);
+    std::fill(settled_.begin(), settled_.end(), false);
+    min_heap pq;
+    bool have_source = false;
+    for (int w = 0; w < n; ++w) {
+      if (deficit_[static_cast<std::size_t>(w)] < 0) {
+        dist_[static_cast<std::size_t>(w)] = 0;
+        pq.emplace(0, w);
+        have_source = true;
+      }
+    }
+    if (!have_source) {
+      return true;  // all supplies routed: flow optimal
+    }
+
+    int sink = -1;
+    while (!pq.empty()) {
+      const auto [d, w] = pq.top();
+      pq.pop();
+      if (settled_[static_cast<std::size_t>(w)]) {
+        continue;
+      }
+      settled_[static_cast<std::size_t>(w)] = true;
+      if (deficit_[static_cast<std::size_t>(w)] > 0) {
+        sink = w;
+        break;
+      }
+      for (const int a : head_[static_cast<std::size_t>(w)]) {
+        const edge& arc = edges_[static_cast<std::size_t>(a)];
+        if (arc.residual <= 0) {
+          continue;
+        }
+        const std::int64_t rc = reduced_cost(a);
+        ISDC_CHECK(rc >= 0, "negative reduced cost in Dijkstra");
+        const std::int64_t cand = d + rc;
+        if (cand < dist_[static_cast<std::size_t>(arc.to)]) {
+          dist_[static_cast<std::size_t>(arc.to)] = cand;
+          parent_edge_[static_cast<std::size_t>(arc.to)] = a;
+          pq.emplace(cand, arc.to);
+        }
+      }
+    }
+
+    if (sink == -1) {
+      // A supply cannot reach any demand: the flow (LP dual) is
+      // infeasible, so the primal objective is unbounded.
+      return false;
+    }
+
+    // Potential update keeps all residual reduced costs non-negative.
+    const std::int64_t d_sink = dist_[static_cast<std::size_t>(sink)];
+    for (int w = 0; w < n; ++w) {
+      pi_[static_cast<std::size_t>(w)] +=
+          std::min(dist_[static_cast<std::size_t>(w)], d_sink);
+    }
+
+    // Walk back to the source this path started from, capping the push by
+    // the path's residual capacity: a shortest path may travel reverse
+    // (flow-cancelling) arcs, whose capacity is the flow they carry.
+    std::int64_t amount = deficit_[static_cast<std::size_t>(sink)];
+    int w = sink;
+    while (parent_edge_[static_cast<std::size_t>(w)] != -1) {
+      const int a = parent_edge_[static_cast<std::size_t>(w)];
+      amount = std::min(amount, edges_[static_cast<std::size_t>(a)].residual);
+      w = edges_[static_cast<std::size_t>(a ^ 1)].to;
+    }
+    amount = std::min(amount, -deficit_[static_cast<std::size_t>(w)]);
+    ISDC_CHECK(amount > 0, "degenerate augmentation");
+
+    deficit_[static_cast<std::size_t>(w)] += amount;
+    deficit_[static_cast<std::size_t>(sink)] -= amount;
+    for (int x = sink; parent_edge_[static_cast<std::size_t>(x)] != -1;) {
+      const int a = parent_edge_[static_cast<std::size_t>(x)];
+      push(a, amount);
+      x = edges_[static_cast<std::size_t>(a ^ 1)].to;
+    }
+    ++stats_.ssp_paths;
+  }
+}
+
+/// Reads the canonical optimum out of the optimal flow: shortest distances
+/// from the origin over the residual network span the optimal face (the
+/// constraints plus complementary-slackness equalities on flow arcs), and
+/// -dist is its unique component-wise minimal point — independent of how
+/// the solver reached optimality, which is what makes warm and cold solves
+/// bit-identical. Variables with no constraints at all get 0; if some
+/// *constrained* variable cannot reach the origin the solver returns the
+/// raw potential assignment instead (optimal, but path-dependent).
+void incremental_solver::extract_solution() {
+  const int n = sys_.num_vars();
+
+  std::fill(dist_.begin(), dist_.end(), infinite_dist);
+  std::fill(settled_.begin(), settled_.end(), false);
+  min_heap pq;
+  dist_[static_cast<std::size_t>(origin_)] = 0;
+  pq.emplace(0, origin_);
+  while (!pq.empty()) {
+    const auto [d, w] = pq.top();
+    pq.pop();
+    if (settled_[static_cast<std::size_t>(w)]) {
+      continue;
+    }
+    settled_[static_cast<std::size_t>(w)] = true;
+    for (const int a : head_[static_cast<std::size_t>(w)]) {
+      const edge& arc = edges_[static_cast<std::size_t>(a)];
+      if (arc.residual <= 0) {
+        continue;
+      }
+      const std::int64_t cand = d + reduced_cost(a);
+      if (cand < dist_[static_cast<std::size_t>(arc.to)]) {
+        dist_[static_cast<std::size_t>(arc.to)] = cand;
+        pq.emplace(cand, arc.to);
+      }
+    }
+  }
+
+  bool canonical = true;
+  for (int w = 0; w < n; ++w) {
+    if (!head_[static_cast<std::size_t>(w)].empty() &&
+        dist_[static_cast<std::size_t>(w)] == infinite_dist) {
+      canonical = false;
+      break;
+    }
+  }
+
+  cached_ = solution{};
+  cached_.st = solution::status::optimal;
+  cached_.values.resize(static_cast<std::size_t>(n));
+  const std::int64_t pi_origin = pi_[static_cast<std::size_t>(origin_)];
+  for (int w = 0; w < n; ++w) {
+    if (head_[static_cast<std::size_t>(w)].empty()) {
+      cached_.values[static_cast<std::size_t>(w)] = 0;
+    } else if (canonical) {
+      // True distance = reduced distance de-potentialed.
+      cached_.values[static_cast<std::size_t>(w)] =
+          -(dist_[static_cast<std::size_t>(w)] +
+            pi_[static_cast<std::size_t>(w)] - pi_origin);
+    } else {
+      cached_.values[static_cast<std::size_t>(w)] =
+          -(pi_[static_cast<std::size_t>(w)] - pi_origin);
+    }
+  }
+  ISDC_CHECK(sys_.satisfied_by(cached_.values),
+             "solver produced an infeasible assignment");
+  cached_.objective = sys_.objective_at(cached_.values);
+}
+
+solution incremental_solver::solve() {
+  if (solved_) {
+    return cached_;
+  }
+  if (sys_.trivially_infeasible()) {
+    return fail(solution::status::infeasible);
+  }
+  if (cold_needed_) {
+    if (!cold_start()) {
+      return fail(solution::status::infeasible);
+    }
+    ++stats_.cold_solves;
+  } else {
+    ++stats_.warm_solves;
+    if (!repair_pending()) {
+      return fail(solution::status::infeasible);
+    }
+  }
+  if (!route_deficits()) {
+    return fail(solution::status::unbounded);
+  }
+  extract_solution();
+  solved_ = true;
+  return cached_;
+}
+
+}  // namespace isdc::sdc

@@ -1,0 +1,136 @@
+// Stateful SDC solver for iterative re-solving.
+//
+// ISDC re-solves the same scheduling LP every iteration with bounds that
+// changed in only a handful of entries. `incremental_solver` exploits that:
+// it owns the min-cost-flow network that is dual to the SDC LP and keeps
+// the node potentials, arc flows and residual capacities *between* solves,
+// so a re-solve after a few `set_bound` calls costs a handful of local
+// dual repairs plus a few augmenting paths instead of a full
+// Bellman-Ford + successive-shortest-paths run.
+//
+// Incremental contract:
+//  - `tighten` / `set_bound` / `add_objective` may be called in any order
+//    between solves; the next `solve()` is warm whenever the variable set
+//    is unchanged.
+//  - Tightening an arc's bound can make its reduced cost negative; the
+//    solver repairs the duals with a Dijkstra bounded by the violation
+//    (only nodes within that distance of the arc head are touched) and
+//    cancels flow around negative residual cycles when the existing flow
+//    must reroute through the tightened constraint.
+//  - Relaxing an arc that carries flow cancels that flow (restoring the
+//    endpoint supplies) and lets the next solve reroute it.
+//  - `add_var` is a structural change: the next solve is cold. Likewise a
+//    solve that ends infeasible or unbounded invalidates the warm state,
+//    and the solver falls back to a cold rebuild on the next call.
+//
+// Determinism: warm and cold solves of the same system return bit-identical
+// assignments. Both extract the *component-wise minimal* optimal solution
+// (the optimal face of an SDC is a lattice, so that point is unique and
+// independent of the path the solver took to optimality) whenever every
+// constrained variable is reachable from the origin in the residual
+// network — always true for the scheduler's systems. Unreachable
+// constrained variables (possible in hand-built systems) fall back to the
+// raw potential assignment, which is optimal but solver-path dependent.
+#ifndef ISDC_SDC_INCREMENTAL_SOLVER_H_
+#define ISDC_SDC_INCREMENTAL_SOLVER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sdc/system.h"
+
+namespace isdc::sdc {
+
+class incremental_solver {
+public:
+  /// Cumulative counters across the solver's lifetime.
+  struct solver_stats {
+    std::uint64_t cold_solves = 0;  ///< full rebuilds (first solve, add_var)
+    std::uint64_t warm_solves = 0;  ///< solves resumed from kept state
+    std::uint64_t ssp_paths = 0;    ///< augmenting paths routed
+    std::uint64_t arcs_repaired = 0;       ///< tightened arcs needing dual repair
+    std::uint64_t flow_cancellations = 0;  ///< flow removed from changed arcs
+  };
+
+  /// Takes ownership of `sys`; `origin` is the variable pinned to 0.
+  explicit incremental_solver(system sys, var_id origin = 0);
+
+  /// Appends a variable (structural change: next solve is cold).
+  var_id add_var();
+
+  /// Lowers the bound of `s_u - s_v <= bound` (no-op if not tighter),
+  /// adding the constraint if the pair is new.
+  void tighten(var_id u, var_id v, std::int64_t bound);
+
+  /// Sets the bound of `s_u - s_v <= bound` in either direction,
+  /// adding the constraint if the pair is new. Raising a bound to a value
+  /// implied by other constraints effectively retires it.
+  void set_bound(var_id u, var_id v, std::int64_t bound);
+
+  /// Adds `coeff * s_v` to the objective (accumulates, like
+  /// system::add_objective).
+  void add_objective(var_id v, std::int64_t coeff);
+
+  /// Solves the current system with s_origin fixed to 0. Returns the
+  /// cached solution unchanged when nothing was mutated since the last
+  /// solve.
+  solution solve();
+
+  /// The system as mutated so far (retired constraints keep their relaxed
+  /// bounds).
+  const system& current_system() const { return sys_; }
+
+  var_id origin() const { return origin_; }
+  const solver_stats& stats() const { return stats_; }
+
+private:
+  /// Residual-graph edge. Paired storage: edge i and i^1 are reverses.
+  struct edge {
+    int to = 0;
+    std::int64_t residual = 0;
+    std::int64_t cost = 0;
+  };
+
+  static std::uint64_t pack(var_id u, var_id v) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
+  void add_arc(var_id u, var_id v, std::int64_t cost);
+  void push(int e, std::int64_t amount);
+  std::int64_t reduced_cost(int e) const;
+
+  bool cold_start();          // rebuild + Bellman-Ford; false on infeasible
+  bool repair_pending();      // restore dual feasibility; false on infeasible
+  bool repair_arc(int e);     // one tightened arc; false on infeasible
+  bool route_deficits();      // successive shortest paths; false on unbounded
+  void extract_solution();    // canonical minimal optimum -> cached_
+
+  solution fail(solution::status st);
+
+  system sys_;
+  var_id origin_ = 0;
+  solver_stats stats_;
+
+  bool cold_needed_ = true;
+  bool solved_ = false;
+  solution cached_;
+
+  std::vector<std::vector<int>> head_;  ///< incident edge ids per node
+  std::vector<edge> edges_;
+  std::unordered_map<std::uint64_t, int> arc_index_;  ///< (u,v) -> edge id
+  std::vector<std::int64_t> pi_;        ///< dual potentials
+  std::vector<std::int64_t> deficit_;   ///< un-routed supply per node
+  std::unordered_set<int> pending_repairs_;  ///< arcs possibly dual-infeasible
+
+  // Scratch reused across Dijkstra passes.
+  std::vector<std::int64_t> dist_;
+  std::vector<int> parent_edge_;
+  std::vector<bool> settled_;
+};
+
+}  // namespace isdc::sdc
+
+#endif  // ISDC_SDC_INCREMENTAL_SOLVER_H_

@@ -1,194 +1,12 @@
 #include "sdc/mcmf_solver.h"
 
-#include <algorithm>
-#include <limits>
-#include <queue>
-#include <vector>
-
-#include "sdc/bellman_ford.h"
-#include "support/check.h"
+#include "sdc/incremental_solver.h"
 
 namespace isdc::sdc {
 
-namespace {
-
-constexpr std::int64_t infinite_dist = std::numeric_limits<std::int64_t>::max();
-
-/// Residual-graph edge. Paired storage: edge i and i^1 are reverses.
-struct edge {
-  int to = 0;
-  std::int64_t residual = 0;  // remaining capacity
-  std::int64_t cost = 0;
-};
-
-class flow_network {
-public:
-  explicit flow_network(int num_nodes)
-      : head_(static_cast<std::size_t>(num_nodes)) {}
-
-  void add_arc(int u, int v, std::int64_t cost) {
-    // Uncapacitated forward arc; "infinite" capacity that no sequence of
-    // augmentations in this problem can exhaust.
-    constexpr std::int64_t huge = std::numeric_limits<std::int64_t>::max() / 4;
-    head_[static_cast<std::size_t>(u)].push_back(static_cast<int>(edges_.size()));
-    edges_.push_back(edge{v, huge, cost});
-    head_[static_cast<std::size_t>(v)].push_back(static_cast<int>(edges_.size()));
-    edges_.push_back(edge{u, 0, -cost});
-  }
-
-  const std::vector<int>& arcs_from(int u) const {
-    return head_[static_cast<std::size_t>(u)];
-  }
-  edge& at(int e) { return edges_[static_cast<std::size_t>(e)]; }
-  const edge& at(int e) const { return edges_[static_cast<std::size_t>(e)]; }
-
-  void push(int e, std::int64_t amount) {
-    edges_[static_cast<std::size_t>(e)].residual -= amount;
-    edges_[static_cast<std::size_t>(e ^ 1)].residual += amount;
-  }
-
-private:
-  std::vector<std::vector<int>> head_;
-  std::vector<edge> edges_;
-};
-
-}  // namespace
-
 solution solve(const system& sys, var_id origin) {
-  solution result;
-  const int n = sys.num_vars();
-  ISDC_CHECK(origin >= 0 && origin < n, "origin variable out of range");
-
-  // Feasibility + initial potentials.
-  const auto bf = potential_distances(sys);
-  if (!bf.has_value()) {
-    result.st = solution::status::infeasible;
-    return result;
-  }
-
-  // Node supplies: node w must absorb net inflow c_w; the origin absorbs
-  // the balancing remainder (equivalent to pinning s_origin = 0).
-  std::vector<std::int64_t> deficit(sys.objective().begin(),
-                                    sys.objective().end());
-  std::int64_t total = 0;
-  for (std::int64_t c : deficit) {
-    total += c;
-  }
-  deficit[static_cast<std::size_t>(origin)] -= total;
-
-  const bool any_objective =
-      std::any_of(deficit.begin(), deficit.end(),
-                  [](std::int64_t d) { return d != 0; });
-
-  std::vector<std::int64_t> pi = *bf;  // reduced-cost potentials
-
-  if (any_objective) {
-    flow_network net(n);
-    for (const constraint& c : sys.constraints()) {
-      net.add_arc(c.u, c.v, c.bound);
-    }
-
-    // Successive shortest paths: every augmentation fully discharges a
-    // source or a sink, so there are at most O(n) rounds.
-    std::vector<std::int64_t> dist(static_cast<std::size_t>(n));
-    std::vector<int> parent_edge(static_cast<std::size_t>(n));
-    std::vector<bool> settled(static_cast<std::size_t>(n));
-    for (;;) {
-      // Multi-source Dijkstra from all remaining sources (deficit < 0).
-      std::fill(dist.begin(), dist.end(), infinite_dist);
-      std::fill(parent_edge.begin(), parent_edge.end(), -1);
-      std::fill(settled.begin(), settled.end(), false);
-      using item = std::pair<std::int64_t, int>;
-      std::priority_queue<item, std::vector<item>, std::greater<>> pq;
-      bool have_source = false;
-      for (int w = 0; w < n; ++w) {
-        if (deficit[static_cast<std::size_t>(w)] < 0) {
-          dist[static_cast<std::size_t>(w)] = 0;
-          pq.emplace(0, w);
-          have_source = true;
-        }
-      }
-      if (!have_source) {
-        break;  // all supplies routed: flow optimal
-      }
-
-      int sink = -1;
-      while (!pq.empty()) {
-        const auto [d, u] = pq.top();
-        pq.pop();
-        if (settled[static_cast<std::size_t>(u)]) {
-          continue;
-        }
-        settled[static_cast<std::size_t>(u)] = true;
-        if (deficit[static_cast<std::size_t>(u)] > 0) {
-          sink = u;
-          break;
-        }
-        for (int e : net.arcs_from(u)) {
-          const edge& arc = net.at(e);
-          if (arc.residual <= 0) {
-            continue;
-          }
-          const std::int64_t reduced =
-              arc.cost + pi[static_cast<std::size_t>(u)] -
-              pi[static_cast<std::size_t>(arc.to)];
-          ISDC_CHECK(reduced >= 0, "negative reduced cost in Dijkstra");
-          const std::int64_t cand = d + reduced;
-          if (cand < dist[static_cast<std::size_t>(arc.to)]) {
-            dist[static_cast<std::size_t>(arc.to)] = cand;
-            parent_edge[static_cast<std::size_t>(arc.to)] = e;
-            pq.emplace(cand, arc.to);
-          }
-        }
-      }
-
-      if (sink == -1) {
-        // A supply cannot reach any demand: the flow (LP dual) is
-        // infeasible, so the primal objective is unbounded.
-        result.st = solution::status::unbounded;
-        return result;
-      }
-
-      // Potential update keeps all residual reduced costs non-negative.
-      const std::int64_t d_sink = dist[static_cast<std::size_t>(sink)];
-      for (int w = 0; w < n; ++w) {
-        pi[static_cast<std::size_t>(w)] +=
-            std::min(dist[static_cast<std::size_t>(w)], d_sink);
-      }
-
-      // Walk back to the source this path started from.
-      std::int64_t amount = deficit[static_cast<std::size_t>(sink)];
-      int w = sink;
-      while (parent_edge[static_cast<std::size_t>(w)] != -1) {
-        w = net.at(parent_edge[static_cast<std::size_t>(w)] ^ 1).to;
-      }
-      amount = std::min(amount, -deficit[static_cast<std::size_t>(w)]);
-      ISDC_CHECK(amount > 0, "degenerate augmentation");
-
-      deficit[static_cast<std::size_t>(w)] += amount;
-      deficit[static_cast<std::size_t>(sink)] -= amount;
-      int x = sink;
-      while (parent_edge[static_cast<std::size_t>(x)] != -1) {
-        const int e = parent_edge[static_cast<std::size_t>(x)];
-        net.push(e, amount);
-        x = net.at(e ^ 1).to;
-      }
-    }
-  }
-
-  // Optimal primal assignment from potentials: s_w = -pi_w, normalized so
-  // s_origin = 0 (the problem is translation-invariant once balanced).
-  result.st = solution::status::optimal;
-  result.values.resize(static_cast<std::size_t>(n));
-  const std::int64_t base = -pi[static_cast<std::size_t>(origin)];
-  for (int w = 0; w < n; ++w) {
-    result.values[static_cast<std::size_t>(w)] =
-        -pi[static_cast<std::size_t>(w)] - base;
-  }
-  ISDC_CHECK(sys.satisfied_by(result.values),
-             "solver produced an infeasible assignment");
-  result.objective = sys.objective_at(result.values);
-  return result;
+  incremental_solver solver(sys, origin);
+  return solver.solve();
 }
 
 }  // namespace isdc::sdc

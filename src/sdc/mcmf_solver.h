@@ -3,15 +3,21 @@
 // The LP  `min c's  s.t.  s_u - s_v <= b_uv`  is the dual of an
 // uncapacitated min-cost flow: each constraint becomes an arc u -> v with
 // cost b_uv, and each variable w becomes a node that must absorb a net
-// inflow of c_w. We solve the flow with successive shortest paths over
-// reduced costs (Bellman-Ford warm start, then Dijkstra) and read the
-// optimal primal assignment back from the node potentials; total
+// inflow of c_w. The flow is solved by successive shortest paths over
+// reduced costs (Bellman-Ford warm start, then Dijkstra) and the optimal
+// primal assignment is read back from the node potentials; total
 // unimodularity guarantees it is integral.
 //
 // The origin variable is treated as the schedule's time reference: its
 // objective coefficient is internally adjusted so supplies balance, which
-// is exactly equivalent to fixing s_origin = 0 (the problem is then
-// invariant under translation and we normalize afterwards).
+// is exactly equivalent to fixing s_origin = 0.
+//
+// `solve` below is the one-shot entry point: a thin wrapper over a fresh
+// sdc::incremental_solver (incremental_solver.h), which is the real
+// implementation and additionally supports warm-started re-solves after
+// bound/objective mutations. Both return the same canonical
+// (component-wise minimal) optimum, so one-shot and incremental callers
+// see bit-identical assignments.
 #ifndef ISDC_SDC_MCMF_SOLVER_H_
 #define ISDC_SDC_MCMF_SOLVER_H_
 

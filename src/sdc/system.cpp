@@ -37,6 +37,37 @@ void system::add_constraint(var_id u, var_id v, std::int64_t bound) {
   }
 }
 
+void system::set_constraint(var_id u, var_id v, std::int64_t bound) {
+  ISDC_CHECK(u >= 0 && u < num_vars_ && v >= 0 && v < num_vars_,
+             "constraint variables out of range: " << u << ", " << v);
+  if (u == v) {
+    if (bound < 0) {
+      trivially_infeasible_ = true;  // s_u - s_u <= negative
+    }
+    return;  // otherwise vacuous
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+      static_cast<std::uint32_t>(v);
+  auto [it, inserted] = constraint_index_.try_emplace(key, constraints_.size());
+  if (inserted) {
+    constraints_.push_back(constraint{u, v, bound});
+  } else {
+    constraints_[it->second].bound = bound;
+  }
+}
+
+std::optional<std::int64_t> system::bound_for(var_id u, var_id v) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+      static_cast<std::uint32_t>(v);
+  const auto it = constraint_index_.find(key);
+  if (it == constraint_index_.end()) {
+    return std::nullopt;
+  }
+  return constraints_[it->second].bound;
+}
+
 void system::add_objective(var_id v, std::int64_t coeff) {
   ISDC_CHECK(v >= 0 && v < num_vars_, "objective variable out of range");
   objective_[static_cast<std::size_t>(v)] += coeff;

@@ -10,6 +10,7 @@
 #define ISDC_SDC_SYSTEM_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,16 @@ public:
   /// bound. A self-pair with a negative bound makes the system trivially
   /// infeasible; that is recorded and reported by the solvers.
   void add_constraint(var_id u, var_id v, std::int64_t bound);
+
+  /// Sets the bound of `s_u - s_v <= bound`, overwriting in either
+  /// direction (unlike add_constraint's keep-tightest), adding the
+  /// constraint if the pair is new. The mutation hook behind
+  /// incremental_solver's relaxations. Self-pairs behave as in
+  /// add_constraint (negative latches trivial infeasibility).
+  void set_constraint(var_id u, var_id v, std::int64_t bound);
+
+  /// Current bound of the (u, v) constraint, or nullopt if absent.
+  std::optional<std::int64_t> bound_for(var_id u, var_id v) const;
 
   /// Adds `coeff * s_v` to the objective (accumulates over calls).
   void add_objective(var_id v, std::int64_t coeff);
@@ -69,6 +80,8 @@ struct solution {
   bool ok() const {
     return st == status::optimal || st == status::feasible;
   }
+
+  bool operator==(const solution&) const = default;
 };
 
 }  // namespace isdc::sdc

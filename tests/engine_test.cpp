@@ -295,6 +295,32 @@ public:
   std::vector<core::iteration_record> records;
 };
 
+TEST(EngineTest, WarmResolveEngagesAfterBaseline) {
+  const ir::graph g = make_add_chain(8);
+  core::isdc_options opts = chain_options();
+  counting_downstream tool(900.0);
+
+  engine e;
+  const core::isdc_result result = e.run(g, tool, opts, &shared_model());
+
+  // The baseline is always a cold solve; every later iteration must reuse
+  // the warm solver state, so cold solves < iterations + 1.
+  ASSERT_GE(result.history.size(), 2u);
+  EXPECT_FALSE(result.history[0].warm_resolve);
+  std::size_t cold = 0;
+  for (const core::iteration_record& rec : result.history) {
+    cold += rec.warm_resolve ? 0 : 1;
+  }
+  EXPECT_EQ(cold, 1u);
+  // Feedback lowered entries, so at least one re-solve re-emitted timing
+  // constraints, and the observers see the same counters via the record.
+  std::size_t reemitted = 0;
+  for (const core::iteration_record& rec : result.history) {
+    reemitted += rec.constraints_reemitted;
+  }
+  EXPECT_GT(reemitted, 0u);
+}
+
 TEST(EngineTest, ObserversStreamTheHistory) {
   const ir::graph g = make_add_chain(5);
   const core::isdc_options opts = chain_options();

@@ -276,6 +276,48 @@ TEST(WindowTest, IncrementalFoldMatchesBatchMerge) {
   }
 }
 
+TEST(WindowTest, FoldResultReportsTargetWindow) {
+  // Same graph/schedule as IncrementalFoldMatchesBatchMerge: a and b share
+  // leaf x (merge), c opens a fresh window, d merges into c's via z.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id y = bl.input(8, "y");
+  const ir::node_id z = bl.input(8, "z");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.add(x, y);
+  const ir::node_id c = bl.neg(z);
+  const ir::node_id d = bl.add(y, z);
+  const ir::node_id o = bl.add(bl.add(a, b), bl.add(c, d));
+  g.mark_output(o);
+  sched::schedule s;
+  s.cycle.assign(g.num_nodes(), 0);
+  s.cycle[o] = 1;
+  s.cycle[o - 1] = 1;
+  s.cycle[o - 2] = 1;
+
+  const auto make_cone = [&](ir::node_id root) {
+    path_candidate cand{root, root, 0.0};
+    return expand_to_cone(g, s, cand);
+  };
+  std::vector<subgraph> windows;
+  const fold_result fa = merge_cone_into_windows(g, s, make_cone(a), windows);
+  EXPECT_TRUE(fa.appended);
+  EXPECT_EQ(fa.index, 0u);
+  const fold_result fb = merge_cone_into_windows(g, s, make_cone(b), windows);
+  EXPECT_FALSE(fb.appended);  // shares leaf x with a's window
+  EXPECT_EQ(fb.index, 0u);
+  const fold_result fc = merge_cone_into_windows(g, s, make_cone(c), windows);
+  EXPECT_TRUE(fc.appended);
+  EXPECT_EQ(fc.index, 1u);
+  const fold_result fd = merge_cone_into_windows(g, s, make_cone(d), windows);
+  EXPECT_FALSE(fd.appended);  // shares leaf y with the first window
+  EXPECT_EQ(fd.index, 0u);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].members, (std::vector<ir::node_id>{a, b, d}));
+  EXPECT_EQ(windows[1].members, (std::vector<ir::node_id>{c}));
+}
+
 TEST(WindowTest, DifferentStagesNeverMerge) {
   ir::graph g;
   ir::builder bl(g);

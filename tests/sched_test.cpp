@@ -1,14 +1,23 @@
+#include <memory>
+#include <utility>
+
 #include <gtest/gtest.h>
 
+#include "core/downstream.h"
+#include "engine/engine.h"
+#include "engine/stages.h"
 #include "ir/builder.h"
 #include "sched/delay_matrix.h"
 #include "sched/metrics.h"
 #include "sched/schedule.h"
+#include "sched/scheduler_instance.h"
 #include "sched/sdc_scheduler.h"
 #include "sched/validate.h"
 #include "support/check.h"
 #include "support/rng.h"
+#include "synth/characterizer.h"
 #include "test_util.h"
+#include "workloads/registry.h"
 
 namespace isdc::sched {
 namespace {
@@ -281,6 +290,174 @@ TEST(ValidateTest, DetectsTimingViolation) {
   ASSERT_EQ(violations.size(), 2u);
   EXPECT_NE(violations[0].find("1600"), std::string::npos);
   EXPECT_NE(violations[1].find("1600"), std::string::npos);
+}
+
+TEST(DelayMatrixTest, ChangeLogTracksAndDeduplicates) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  bl.output(b);
+  delay_matrix d = uniform_matrix(g, 100.0);
+  d.track_changes(true);
+  EXPECT_TRUE(d.take_changed_pairs().empty());
+
+  d.set(a, b, 150.0f);
+  d.set(a, b, 150.0f);  // no-op: same value, not logged
+  d.set(a, b, 140.0f);  // second change of the same pair: deduplicated
+  d.set(x, b, 180.0f);
+  const auto changed = d.take_changed_pairs();
+  ASSERT_EQ(changed.size(), 2u);
+  EXPECT_EQ(changed[0], std::make_pair(x, b));
+  EXPECT_EQ(changed[1], std::make_pair(a, b));
+  // The take resets the log.
+  EXPECT_TRUE(d.take_changed_pairs().empty());
+  d.set(a, b, 130.0f);
+  EXPECT_EQ(d.take_changed_pairs().size(), 1u);
+}
+
+/// Lowers a few random connected entries, as ISDC feedback would.
+void lower_random_entries(rng& r, const ir::graph& g, delay_matrix& d,
+                          int count) {
+  const auto n = g.num_nodes();
+  for (int k = 0; k < count; ++k) {
+    const ir::node_id u = static_cast<ir::node_id>(r.next_below(n));
+    const ir::node_id v = static_cast<ir::node_id>(r.next_below(n));
+    const float current = d.get(u, v);
+    if (u >= v || current == delay_matrix::not_connected) {
+      continue;
+    }
+    d.set(u, v, std::max(d.self(u), current * 0.7f));
+  }
+}
+
+/// The incremental contract: resolving with only the changed pairs must
+/// give bit-identical schedules to a from-scratch sdc_schedule on the same
+/// matrix, in both timing modes, while actually re-solving warm.
+TEST(SchedulerInstanceTest, WarmResolveMatchesFromScratch) {
+  for (const timing_mode mode :
+       {timing_mode::frontier, timing_mode::all_pairs}) {
+    rng r(mode == timing_mode::frontier ? 71 : 72);
+    for (int trial = 0; trial < 6; ++trial) {
+      const ir::graph g = isdc::testing::random_graph(r, 3, 16, 8);
+      delay_matrix d = uniform_matrix(g, 600.0);
+      scheduler_options opts;
+      opts.clock_period_ps = 1300.0;
+      opts.timing = mode;
+
+      scheduler_instance instance(g, opts);
+      scheduler_stats stats;
+      const schedule first = instance.solve(d, &stats);
+      EXPECT_FALSE(stats.warm);
+      EXPECT_EQ(first, sdc_schedule(g, d, opts));
+
+      d.track_changes(true);
+      for (int round = 0; round < 5; ++round) {
+        lower_random_entries(r, g, d, 6);
+        const auto changed = d.take_changed_pairs();
+        const schedule incremental = instance.resolve(d, changed, &stats);
+        EXPECT_TRUE(stats.warm);
+        const schedule scratch = sdc_schedule(g, d, opts);
+        EXPECT_EQ(incremental, scratch)
+            << "mode " << static_cast<int>(mode) << " trial " << trial
+            << " round " << round;
+      }
+      EXPECT_EQ(instance.solver_stats().cold_solves, 1u);
+    }
+  }
+}
+
+/// The seed's from-scratch resolve: rebuild the constraint system and
+/// cold-solve every iteration, exactly what the engine did before the
+/// instance-based resolve stage existed.
+class scratch_resolve_stage final : public engine::stage {
+public:
+  std::string_view name() const override { return "resolve-scratch"; }
+  bool run(engine::run_state& rs, engine::iteration_state&) override {
+    rs.current = sdc_schedule(rs.g, rs.result.delays, rs.options.base);
+    return true;
+  }
+};
+
+/// End-to-end parity: a full ISDC run with the instance-based (warm,
+/// incremental) resolve must produce schedules and history bit-identical
+/// to the from-scratch path on registry workloads.
+TEST(SchedulerInstanceTest, FullIsdcMatchesFromScratchOnRegistryWorkloads) {
+  const synth::delay_model model{synth::synthesis_options{}};
+  struct workload_case {
+    const char* name;
+    ir::graph g;
+  };
+  const workload_case cases[] = {
+      {"rrot", workloads::build_rrot()},
+      {"hsv2rgb", workloads::build_hsv2rgb()},
+      {"binary_divide", workloads::build_binary_divide(8)},
+      {"ml_datapath1", workloads::build_ml_datapath1()},
+  };
+  for (const workload_case& wc : cases) {
+    core::isdc_options opts;
+    opts.base.clock_period_ps = 2500.0;
+    opts.max_iterations = 4;
+    opts.subgraphs_per_iteration = 4;
+    opts.num_threads = 2;
+    const core::aig_depth_downstream tool(80.0);
+
+    engine::engine incremental_engine;
+    const core::isdc_result incremental =
+        incremental_engine.run(wc.g, tool, opts, &model);
+
+    auto pipeline = engine::engine::default_pipeline();
+    pipeline.back() = std::make_unique<scratch_resolve_stage>();
+    engine::engine scratch_engine(std::move(pipeline));
+    const core::isdc_result scratch =
+        scratch_engine.run(wc.g, tool, opts, &model);
+
+    EXPECT_EQ(incremental.initial, scratch.initial) << wc.name;
+    EXPECT_EQ(incremental.final_schedule, scratch.final_schedule) << wc.name;
+    EXPECT_EQ(incremental.iterations, scratch.iterations) << wc.name;
+    EXPECT_EQ(incremental.delays, scratch.delays) << wc.name;
+    ASSERT_EQ(incremental.history.size(), scratch.history.size()) << wc.name;
+    for (std::size_t i = 0; i < incremental.history.size(); ++i) {
+      EXPECT_EQ(incremental.history[i].register_bits,
+                scratch.history[i].register_bits)
+          << wc.name << " iteration " << i;
+      EXPECT_EQ(incremental.history[i].num_stages,
+                scratch.history[i].num_stages)
+          << wc.name << " iteration " << i;
+      EXPECT_EQ(incremental.history[i].matrix_entries_lowered,
+                scratch.history[i].matrix_entries_lowered)
+          << wc.name << " iteration " << i;
+    }
+    // The incremental path must actually run warm: every post-baseline
+    // iteration reuses the solver state.
+    for (std::size_t i = 1; i < incremental.history.size(); ++i) {
+      EXPECT_TRUE(incremental.history[i].warm_resolve)
+          << wc.name << " iteration " << i;
+    }
+    EXPECT_FALSE(incremental.history[0].warm_resolve) << wc.name;
+  }
+}
+
+/// Resolving with an empty change list must be a no-op re-solve.
+TEST(SchedulerInstanceTest, NoChangesIsStable) {
+  ir::graph g;
+  ir::builder bl(g);
+  ir::node_id v = bl.input(8, "x");
+  for (int i = 0; i < 6; ++i) {
+    v = bl.bnot(v);
+  }
+  bl.output(v);
+  const delay_matrix d = uniform_matrix(g, 400.0);
+  scheduler_options opts;
+  opts.clock_period_ps = 1000.0;
+  scheduler_instance instance(g, opts);
+  const schedule first = instance.solve(d);
+  scheduler_stats stats;
+  const schedule again = instance.resolve(d, {}, &stats);
+  EXPECT_EQ(first, again);
+  EXPECT_TRUE(stats.warm);
+  EXPECT_EQ(stats.constraints_reemitted, 0u);
 }
 
 TEST(ScheduleTest, StageQueriesAndEquality) {

@@ -2,6 +2,7 @@
 
 #include "sdc/bellman_ford.h"
 #include "sdc/brute_force.h"
+#include "sdc/incremental_solver.h"
 #include "sdc/mcmf_solver.h"
 #include "sdc/system.h"
 #include "support/rng.h"
@@ -144,6 +145,144 @@ TEST_P(McmfRandomTest, MatchesBruteForceOptimum) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, McmfRandomTest, ::testing::Range(0, 60));
+
+/// Randomized incremental-vs-cold equivalence: apply a random mutation
+/// sequence (tightenings, relaxations, objective deltas) to an
+/// incremental_solver and after every step check it against a cold solve
+/// of the same system and against brute force. Because every variable is
+/// boxed to the origin, the canonical extraction applies and the warm
+/// solver must reproduce the cold solver's values bit for bit.
+class IncrementalRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalRandomTest, MatchesColdAndBruteForceAtEveryStep) {
+  rng r(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  const int n = 3 + static_cast<int>(r.next_below(4));  // 3..6 vars
+  system sys(n);
+  // Box constraints tie every variable to the origin: 0 <= s_v - s_0 <= 6.
+  for (int v = 1; v < n; ++v) {
+    sys.add_constraint(0, v, 0);
+    sys.add_constraint(v, 0, 6);
+  }
+  const int num_constraints = 2 + static_cast<int>(r.next_below(6));
+  for (int i = 0; i < num_constraints; ++i) {
+    const int u = static_cast<int>(r.next_below(n));
+    const int v = static_cast<int>(r.next_below(n));
+    if (u != v) {
+      sys.add_constraint(u, v, r.next_in(-2, 6));
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    sys.add_objective(v, r.next_in(-4, 4));
+  }
+
+  incremental_solver inc(sys, 0);
+  int expected_cold = 1;
+  for (int step = 0; step < 10; ++step) {
+    const solution fast = inc.solve();
+    const solution cold = solve(inc.current_system(), 0);
+    const solution exact = solve_brute_force(inc.current_system(), 0, 6, 0);
+    ASSERT_EQ(fast.st, cold.st) << "seed " << GetParam() << " step " << step;
+    if (exact.st == solution::status::infeasible) {
+      EXPECT_EQ(fast.st, solution::status::infeasible)
+          << "seed " << GetParam() << " step " << step;
+    } else {
+      ASSERT_EQ(fast.st, solution::status::optimal)
+          << "seed " << GetParam() << " step " << step;
+      EXPECT_TRUE(inc.current_system().satisfied_by(fast.values));
+      EXPECT_EQ(fast.objective, exact.objective)
+          << "seed " << GetParam() << " step " << step;
+      // Warm and cold must agree on the exact assignment, not just the
+      // objective: both extract the canonical minimal optimum.
+      EXPECT_EQ(fast.values, cold.values)
+          << "seed " << GetParam() << " step " << step;
+    }
+    if (fast.st != solution::status::optimal) {
+      ++expected_cold;  // a failed solve invalidates the warm state
+    }
+
+    // Mutate: mostly tightenings (the ISDC direction), some relaxations
+    // and objective deltas. Non-origin pairs only, so the box constraints
+    // stay intact and brute force's [0, 6] range stays exhaustive.
+    const int u = 1 + static_cast<int>(r.next_below(n - 1));
+    int v = 1 + static_cast<int>(r.next_below(n - 1));
+    if (u == v) {
+      v = 1 + (v % (n - 1));
+    }
+    switch (r.next_below(4)) {
+      case 0:
+      case 1:
+        inc.tighten(u, v, r.next_in(-2, 4));
+        break;
+      case 2:
+        inc.set_bound(u, v, r.next_in(0, 8));  // relax (or add loose)
+        break;
+      default:
+        inc.add_objective(u, r.next_in(-2, 2));
+        break;
+    }
+  }
+  // Warm solving actually engaged: only the first solve (plus recoveries
+  // after infeasible steps) went cold. Cached and infeasible solves count
+  // as neither, so the totals are upper bounds.
+  EXPECT_LE(inc.stats().cold_solves,
+            static_cast<std::uint64_t>(expected_cold));
+  EXPECT_LE(inc.stats().warm_solves + inc.stats().cold_solves, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalRandomTest,
+                         ::testing::Range(0, 80));
+
+TEST(IncrementalTest, AddVarForcesColdButKeepsCorrectness) {
+  system sys(2);
+  sys.add_constraint(0, 1, 4);
+  sys.add_constraint(1, 0, 4);
+  sys.add_objective(1, 1);
+  incremental_solver inc(sys, 0);
+  ASSERT_EQ(inc.solve().st, solution::status::optimal);
+  EXPECT_EQ(inc.stats().cold_solves, 1u);
+
+  const var_id w = inc.add_var();
+  inc.set_bound(w, 0, 5);
+  inc.set_bound(0, w, 0);
+  inc.add_objective(w, -1);  // maximize s_w -> 5
+  const solution sol = inc.solve();
+  ASSERT_EQ(sol.st, solution::status::optimal);
+  EXPECT_EQ(sol.values[static_cast<std::size_t>(w)], 5);
+  EXPECT_EQ(inc.stats().cold_solves, 2u);
+}
+
+TEST(IncrementalTest, RelaxationRecoversFromInfeasibility) {
+  system sys(2);
+  sys.add_constraint(0, 1, 2);
+  sys.add_constraint(1, 0, 2);
+  sys.add_objective(1, 1);
+  incremental_solver inc(sys, 0);
+  ASSERT_EQ(inc.solve().st, solution::status::optimal);
+
+  // s_0 - s_1 <= -3 and s_1 - s_0 <= 2 is a negative cycle.
+  inc.tighten(0, 1, -3);
+  EXPECT_EQ(inc.solve().st, solution::status::infeasible);
+  // Relaxing the bound restores feasibility; the next solve is cold (the
+  // failed solve dropped the warm state) but must be correct.
+  inc.set_bound(0, 1, -1);
+  const solution sol = inc.solve();
+  ASSERT_EQ(sol.st, solution::status::optimal);
+  EXPECT_EQ(sol.values[1], 1);  // minimized s_1 >= s_0 + 1
+  EXPECT_EQ(sol, solve(inc.current_system(), 0));
+}
+
+TEST(IncrementalTest, CachedSolutionReusedWhenUntouched) {
+  system sys(2);
+  sys.add_constraint(0, 1, 0);
+  sys.add_constraint(1, 0, 3);
+  sys.add_objective(1, 1);
+  incremental_solver inc(sys, 0);
+  const solution first = inc.solve();
+  const solution again = inc.solve();
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(inc.stats().cold_solves, 1u);
+  EXPECT_EQ(inc.stats().warm_solves, 0u);  // cached, not re-solved
+}
 
 TEST(McmfTest, IntegralityOnTies) {
   // TU structure guarantees an integral optimum; spot-check a tie-heavy
