@@ -8,6 +8,8 @@
 // per-benchmark measuring time to a CI-smoke size).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "lower/lowering.h"
 #include "sched/sdc_scheduler.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "synth/synthesis.h"
 #include "synth/techmap.h"
 #include "workloads/registry.h"
@@ -164,6 +167,23 @@ void BM_floyd_warshall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_floyd_warshall)->Arg(64)->Arg(256);
+
+void BM_parallel_for(benchmark::State& state) {
+  // The engine's evaluate fan-out (16 subgraphs per iteration) and the
+  // bench sweeps dispatch through parallel_for; chunked dispatch over an
+  // atomic counter replaced one packaged_task + future allocation per
+  // index, which dominated at these small trip counts.
+  thread_pool pool(4);
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(count, [&sink](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_parallel_for)->Arg(16)->Arg(256)->Arg(4096);
 
 }  // namespace
 

@@ -6,10 +6,17 @@
 //        --max-iterations=N    (default 15, as in the paper)
 //        --subgraphs=M         per iteration (default 16)
 //        --threads=T           parallel subgraph evaluations (default 4)
+//        --async               run the asynchronous pipelined evaluation
+//        --downstream-latency-ms=N  pad each downstream call (default 0)
 //        --csv                 emit CSV instead of the aligned table
+//        --json=PATH           also write per-workload metrics (wall
+//                              clock, warm/cold solves, cache hit rate,
+//                              evaluation overlap) as a JSON artifact
 //        --quick               CI smoke: first 2 workloads, 3 iterations
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "core/isdc_scheduler.h"
@@ -43,7 +50,9 @@ int main(int argc, char** argv) {
   std::vector<double> stage_ratio;
   std::vector<double> reg_ratio;
   std::vector<double> time_ratio;
+  isdc::bench::json_array workload_json;
 
+  const double latency_ms = flags.get_int("downstream-latency-ms", 0);
   int taken = 0;
   for (const auto& spec : isdc::workloads::all_workloads()) {
     if (!subset.empty() &&
@@ -60,6 +69,7 @@ int main(int argc, char** argv) {
     opts.max_iterations = flags.quick_int("max-iterations", 15, 3);
     opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
     opts.num_threads = flags.get_int("threads", 4);
+    opts.async_evaluation = flags.has("async");
 
     // Pre-warm the characterization cache so scheduling times measure
     // scheduling, not one-time library characterization (the paper's
@@ -75,7 +85,15 @@ int main(int argc, char** argv) {
         isdc::sched::sdc_schedule(g, naive, opts.base);
     const double sdc_seconds = seconds_since(sdc_start);
 
-    isdc::core::synthesis_downstream tool(opts.synth);
+    const isdc::core::synthesis_downstream synth_tool(opts.synth);
+    std::unique_ptr<isdc::core::latency_downstream> padded;
+    if (latency_ms > 0) {
+      padded = std::make_unique<isdc::core::latency_downstream>(synth_tool,
+                                                                latency_ms);
+    }
+    const isdc::core::downstream_tool& tool =
+        padded ? static_cast<const isdc::core::downstream_tool&>(*padded)
+               : synth_tool;
     const auto isdc_start = clock_type::now();
     const isdc::core::isdc_result result =
         isdc::core::run_isdc(g, tool, opts, &model);
@@ -96,9 +114,25 @@ int main(int argc, char** argv) {
     std::size_t warm_solves = 0;
     std::size_t cold_solves = 0;
     std::size_t reemitted = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t subgraphs_evaluated = 0;
+    std::int64_t dispatched = 0;
+    std::int64_t arrived = 0;
+    std::size_t max_in_flight = 0;
     for (const auto& rec : result.history) {
       (rec.warm_resolve ? warm_solves : cold_solves) += 1;
       reemitted += rec.constraints_reemitted;
+      cache_hits += rec.cache_hits;
+      subgraphs_evaluated += rec.subgraphs_evaluated;
+      dispatched += rec.evaluations_dispatched;
+      arrived += rec.evaluations_arrived;
+      // Peak concurrent in-flight depth during the pass: what was still
+      // pending after update plus what update consumed (all of which were
+      // simultaneously dispatched-and-unconsumed when the pass began its
+      // update).
+      max_in_flight = std::max(
+          max_in_flight, rec.evaluations_in_flight +
+                             static_cast<std::size_t>(rec.evaluations_arrived));
     }
 
     table.add_row({spec.name, isdc::format_double(spec.clock_period_ps, 0),
@@ -114,6 +148,32 @@ int main(int argc, char** argv) {
                    std::to_string(warm_solves) + "/" +
                        std::to_string(cold_solves),
                    std::to_string(reemitted)});
+
+    isdc::bench::json_object wj;
+    wj.set("name", spec.name)
+        .set("clock_period_ps", spec.clock_period_ps)
+        .set("sdc_slack_ps", sdc_slack)
+        .set("sdc_stages", baseline.num_stages())
+        .set("sdc_register_bits", sdc_regs)
+        .set("sdc_seconds", sdc_seconds)
+        .set("isdc_slack_ps", isdc_slack)
+        .set("isdc_stages", result.final_schedule.num_stages())
+        .set("isdc_register_bits", isdc_regs)
+        .set("isdc_seconds", isdc_seconds)
+        .set("iterations", result.iterations)
+        .set("warm_solves", static_cast<std::int64_t>(warm_solves))
+        .set("cold_solves", static_cast<std::int64_t>(cold_solves))
+        .set("constraints_reemitted", static_cast<std::int64_t>(reemitted))
+        .set("subgraphs_evaluated", subgraphs_evaluated)
+        .set("cache_hits", cache_hits)
+        .set("cache_hit_rate",
+             subgraphs_evaluated > 0
+                 ? static_cast<double>(cache_hits) / subgraphs_evaluated
+                 : 0.0)
+        .set("evaluations_dispatched", dispatched)
+        .set("evaluations_arrived", arrived)
+        .set("max_in_flight", static_cast<std::int64_t>(max_in_flight));
+    workload_json.push_raw(wj.str());
 
     if (sdc_slack > 0 && isdc_slack > 0) {
       slack_ratio.push_back(isdc_slack / sdc_slack);
@@ -143,6 +203,23 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+
+  isdc::bench::json_object root;
+  root.set("bench", "table1")
+      .set("async_evaluation", flags.has("async"))
+      .set("downstream_latency_ms", latency_ms)
+      .set("subgraphs_per_iteration", flags.quick_int("subgraphs", 16, 4))
+      .set("threads", flags.get_int("threads", 4))
+      .set_raw("workloads", workload_json.str());
+  isdc::bench::json_object geo;
+  geo.set("slack", isdc::geomean(slack_ratio))
+      .set("stages", isdc::geomean(stage_ratio))
+      .set("registers", isdc::geomean(reg_ratio))
+      .set("time", isdc::geomean(time_ratio));
+  root.set_raw("geomean_isdc_over_sdc", geo.str());
+  if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
+    return 1;
   }
   return 0;
 }

@@ -1,14 +1,18 @@
 // Shared helpers for the paper-reproduction bench binaries: a tiny
-// --key=value flag parser and the random-schedule generator used by the
-// Fig. 1 / Fig. 8 design-space sweeps.
+// --key=value flag parser, minimal JSON emission for machine-readable
+// perf artifacts (--json=<path>), and the random-schedule generator used
+// by the Fig. 1 / Fig. 8 design-space sweeps.
 #ifndef ISDC_BENCH_COMMON_H_
 #define ISDC_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sched/schedule.h"
@@ -73,6 +77,122 @@ public:
 private:
   std::map<std::string, std::string> values_;
 };
+
+/// JSON string escaping (quotes, backslashes, control characters).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Insertion-ordered JSON object builder — just enough for the bench
+/// artifacts (BENCH_*.json); no parsing, no nesting library, values are
+/// either scalars or pre-rendered JSON via set_raw.
+class json_object {
+public:
+  json_object& set(const std::string& key, const std::string& v) {
+    return set_raw(key, "\"" + json_escape(v) + "\"");
+  }
+  json_object& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  json_object& set(const std::string& key, double v) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return set_raw(key, os.str());
+  }
+  json_object& set(const std::string& key, std::int64_t v) {
+    return set_raw(key, std::to_string(v));
+  }
+  json_object& set(const std::string& key, std::uint64_t v) {
+    return set_raw(key, std::to_string(v));
+  }
+  json_object& set(const std::string& key, int v) {
+    return set(key, static_cast<std::int64_t>(v));
+  }
+  json_object& set(const std::string& key, bool v) {
+    return set_raw(key, v ? "true" : "false");
+  }
+  /// `raw` must already be valid JSON (a nested object/array/number).
+  json_object& set_raw(const std::string& key, std::string raw) {
+    fields_.emplace_back(key, std::move(raw));
+    return *this;
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += "\"" + json_escape(fields_[i].first) + "\":" +
+             fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// JSON array of pre-rendered elements.
+class json_array {
+public:
+  void push_raw(std::string raw) { elements_.push_back(std::move(raw)); }
+
+  std::string str() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += elements_[i];
+    }
+    out += "]";
+    return out;
+  }
+
+private:
+  std::vector<std::string> elements_;
+};
+
+/// Writes `root` to the path given by --json=<path>; no-op without the
+/// flag. Returns false (and complains on stderr) when the file cannot be
+/// written, so benches can fail CI instead of silently dropping the
+/// artifact.
+inline bool write_json_artifact(const flags& f, const json_object& root,
+                                std::ostream& err) {
+  const std::string path = f.get("json", "");
+  if (path.empty()) {
+    return true;
+  }
+  std::ofstream out(path);
+  out << root.str() << "\n";
+  out.flush();  // surface buffered-write failures before the check
+  if (!out) {
+    err << "failed to write JSON artifact: " << path << "\n";
+    return false;
+  }
+  return true;
+}
 
 /// A random legal-by-construction schedule: inputs/constants at stage 0,
 /// every node at or after its operands, with `push_probability` chance of

@@ -1,6 +1,8 @@
 #include "core/downstream.h"
 
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "lower/lowering.h"
 
@@ -36,6 +38,21 @@ std::string aig_depth_downstream::name() const {
   out << "aig-depth(" << ps_per_level_ << "ps/lvl+" << offset_ps_ << "ps,";
   append_options(out, options_);
   out << ")";
+  return out.str();
+}
+
+double latency_downstream::subgraph_delay_ps(const ir::graph& sub) const {
+  ++calls_;
+  if (latency_ms_ > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(latency_ms_));
+  }
+  return inner_.subgraph_delay_ps(sub);
+}
+
+std::string latency_downstream::name() const {
+  std::ostringstream out;
+  out << "latency(" << latency_ms_ << "ms," << inner_.name() << ")";
   return out.str();
 }
 

@@ -8,9 +8,16 @@
 //   aig_depth_downstream — the paper's Section V-3 proposal: skip mapping
 //       and STA, return optimized AIG depth scaled by a per-level delay
 //       (motivated by the strong linear STA/depth correlation of Fig. 8).
+// Plus one decorator:
+//   latency_downstream — wraps any tool and sleeps before delegating,
+//       simulating the round-trip of a slow external backend (a Yosys
+//       subprocess, a remote STA service) for async-pipeline benches and
+//       tests.
 #ifndef ISDC_CORE_DOWNSTREAM_H_
 #define ISDC_CORE_DOWNSTREAM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "ir/graph.h"
@@ -71,6 +78,32 @@ private:
   double ps_per_level_;
   double offset_ps_;
   synth::synthesis_options options_;
+};
+
+/// Latency-injecting decorator: sleeps `latency_ms` per call, then
+/// delegates to the wrapped tool. Models the dominant cost of a real
+/// downstream backend — seconds of synthesis/STA per subgraph, or the
+/// round-trip to a remote timing service — without changing the answers,
+/// so sync-vs-async pipeline comparisons measure latency hiding alone.
+/// Thread-safe iff the wrapped tool is; `inner` must outlive the decorator.
+class latency_downstream final : public downstream_tool {
+public:
+  latency_downstream(const downstream_tool& inner, double latency_ms)
+      : inner_(inner), latency_ms_(latency_ms) {}
+
+  double subgraph_delay_ps(const ir::graph& sub) const override;
+  /// "latency(Nms,<inner name>)": the delay does not change the answers,
+  /// but keeping the wrapper's identity distinct means cache entries never
+  /// leak between wrapped and bare configurations of a sweep.
+  std::string name() const override;
+
+  /// Downstream calls made through this wrapper (across threads).
+  std::uint64_t calls() const { return calls_.load(); }
+
+private:
+  const downstream_tool& inner_;
+  double latency_ms_;
+  mutable std::atomic<std::uint64_t> calls_{0};
 };
 
 }  // namespace isdc::core

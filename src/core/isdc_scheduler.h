@@ -44,6 +44,17 @@ struct isdc_options {
   int convergence_patience = 2;       ///< stable iterations before stopping
   int num_threads = 4;                ///< parallel subgraph evaluations
   bool record_synthesized_delay = false;  ///< per-iteration STA (Fig. 7)
+  /// Asynchronous pipelined evaluation: the evaluate stage dispatches cache
+  /// misses to a wide I/O pool and returns immediately; the update stage
+  /// folds in whatever measurements have arrived — from this iteration or
+  /// earlier ones — so iteration k+1's scheduling work overlaps iteration
+  /// k's downstream calls. Off by default: the synchronous join-all
+  /// reference pipeline.
+  bool async_evaluation = false;
+  /// Cap on concurrently pending downstream calls in async mode (also the
+  /// dispatch-pool width — downstream calls block on an external tool, so
+  /// they are I/O-bound, not CPU-bound). 0 = 4 * subgraphs_per_iteration.
+  int async_max_in_flight = 0;
 };
 
 /// Metrics of one schedule in the iteration history. Entry 0 is the
@@ -63,6 +74,10 @@ struct iteration_record {
   bool warm_resolve = false;              ///< solver state reused
   std::size_t solver_ssp_paths = 0;       ///< augmenting paths routed
   std::size_t constraints_reemitted = 0;  ///< timing constraints re-emitted
+  // Async evaluation pipeline accounting (all zero in sync mode).
+  int evaluations_dispatched = 0;  ///< downstream calls launched this pass
+  int evaluations_arrived = 0;     ///< completed measurements folded in
+  std::size_t evaluations_in_flight = 0;  ///< still pending after this pass
 };
 
 struct isdc_result {

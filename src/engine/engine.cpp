@@ -31,6 +31,19 @@ core::iteration_record make_record(const ir::graph& g,
   return rec;
 }
 
+void fill_pipeline_counters(core::iteration_record& rec,
+                            const iteration_state& it) {
+  rec.subgraphs_evaluated = static_cast<int>(it.subgraphs.size());
+  rec.matrix_entries_lowered = it.matrix_entries_lowered;
+  rec.cache_hits = it.cache_hits;
+  rec.warm_resolve = it.warm_resolve;
+  rec.solver_ssp_paths = it.solver_ssp_paths;
+  rec.constraints_reemitted = it.constraints_reemitted;
+  rec.evaluations_dispatched = it.evaluations_dispatched;
+  rec.evaluations_arrived = it.evaluations_arrived;
+  rec.evaluations_in_flight = it.evaluations_in_flight;
+}
+
 }  // namespace
 
 std::vector<std::unique_ptr<stage>> engine::default_pipeline() {
@@ -97,16 +110,62 @@ core::isdc_result engine::run(const ir::graph& g,
   }
 
   cache_.begin_generation();
-  thread_pool pool(static_cast<std::size_t>(std::max(1, options.num_threads)));
+  const bool async = options.async_evaluation;
+  const int max_in_flight =
+      !async ? 0
+             : (options.async_max_in_flight > 0
+                    ? options.async_max_in_flight
+                    : 4 * options.subgraphs_per_iteration);
+  // Declared before the pool: dispatched tasks push here, and the pool
+  // destructor runs-and-joins every outstanding task first.
+  completion_queue<evaluation_arrival> completions;
+  // One pool per run. Sync mode sizes it to num_threads (CPU-bound
+  // parallel evaluation). Async mode sizes it to the in-flight cap:
+  // downstream calls block on an external tool (I/O-bound), and the sync
+  // evaluate path that would want a cores-sized pool is unreachable.
+  thread_pool pool(static_cast<std::size_t>(
+      async ? max_in_flight : std::max(1, options.num_threads)));
   // Cache keys scope to (design, downstream tool): a delay measured by one
   // oracle must never answer for another (see downstream_tool::name()).
   const std::uint64_t design_fingerprint =
       fnv1a64().mix(g.fingerprint()).mix(tool.name()).value();
-  run_state rs{g,      tool,   options, result,    current,
-               cache_, pool,   scheduler, design_fingerprint};
+  run_state rs{.g = g,
+               .tool = tool,
+               .options = options,
+               .result = result,
+               .current = current,
+               .cache = cache_,
+               .pool = pool,
+               .dispatch_pool = pool,
+               .completions = completions,
+               .scheduler = scheduler,
+               .design_fingerprint = design_fingerprint,
+               .max_in_flight = max_in_flight,
+               .in_flight = 0,
+               .next_ticket = 0,
+               .quiesce = false,
+               .candidate_cache = {},
+               .candidate_cache_fresh = false};
 
-  int stable_iterations = 0;
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+  // An async pass folds in however much feedback happens to have arrived,
+  // so passes are not comparable units of work: the iteration budget and
+  // the convergence patience are both measured in *consumed evaluations*,
+  // normalized by subgraphs_per_iteration. A sync run and an async run
+  // with the same options therefore see the same feedback volume.
+  const std::int64_t per_iteration =
+      static_cast<std::int64_t>(options.subgraphs_per_iteration);
+  const std::int64_t evaluation_budget =
+      static_cast<std::int64_t>(options.max_iterations) * per_iteration;
+  const std::int64_t stable_budget =
+      static_cast<std::int64_t>(options.convergence_patience) * per_iteration;
+  int stable_iterations = 0;        // sync: non-improving passes
+  std::int64_t stable_consumed = 0;  // async: non-improving consumed evals
+  std::int64_t consumed_total = 0;
+  int iterations_run = 0;
+  for (int iter = 1;
+       async ? consumed_total < evaluation_budget
+             : iter <= options.max_iterations;
+       ++iter) {
     iteration_state it;
     it.iteration = iter;
 
@@ -120,28 +179,88 @@ core::isdc_result engine::run(const ir::graph& g,
     if (stopped) {
       break;  // search space exhausted (or a custom stage ended the run)
     }
+    iterations_run = iter;
 
     core::iteration_record rec = make_record(g, current, result.delays,
                                              result.naive_delays, options,
                                              iter);
-    rec.subgraphs_evaluated = static_cast<int>(it.subgraphs.size());
-    rec.matrix_entries_lowered = it.matrix_entries_lowered;
-    rec.cache_hits = it.cache_hits;
-    rec.warm_resolve = it.warm_resolve;
-    rec.solver_ssp_paths = it.solver_ssp_paths;
-    rec.constraints_reemitted = it.constraints_reemitted;
+    fill_pipeline_counters(rec, it);
     result.history.push_back(rec);
     result.iterations = iter;
     for (iteration_observer* obs : observers_) {
       obs->on_iteration(rec);
     }
 
+    const int consumed = rec.cache_hits + rec.evaluations_arrived;
+    consumed_total += consumed;
     if (rec.register_bits < best_bits) {
       best_bits = rec.register_bits;
       result.final_schedule = current;
       stable_iterations = 0;
-    } else if (++stable_iterations >= options.convergence_patience) {
-      break;  // register usage stable: converged
+      stable_consumed = 0;
+      rs.quiesce = false;
+    } else if (!async) {
+      if (++stable_iterations >= options.convergence_patience) {
+        break;  // register usage stable: converged
+      }
+    } else if (consumed > 0) {
+      // Async passes that consumed nothing (still waiting on downstream
+      // results) are not evidence of convergence and don't age patience.
+      stable_consumed += consumed;
+      if (stable_consumed >= stable_budget) {
+        if (rs.in_flight == 0) {
+          break;  // register usage stable: converged
+        }
+        // Patience must not fire while results are pending: stop
+        // speculating and drain until they arrive (an improvement resets
+        // the counter above).
+        rs.quiesce = true;
+      }
+    }
+  }
+
+  // Final drain: the loop may end — converged, exhausted or out of budget
+  // — with measurements still in flight. Consume every one of them, run
+  // update + resolve once more, and account the pass as one extra record,
+  // so no downstream result is ever lost.
+  if (async && rs.in_flight > 0) {
+    iteration_state it;
+    it.iteration = iterations_run + 1;
+    drain_pending_evaluations(rs, it);
+    // Fold with the pipeline's own drain-participating stages (see
+    // stage::runs_in_drain), so a recomposed pipeline keeps its semantics
+    // for the drained batch; a pipeline declaring none falls back to the
+    // built-in update + resolve. The usual stage contract holds: a stage
+    // returning false ends the pass, and no record is emitted for it.
+    bool any_drain_stage = false;
+    bool drain_stopped = false;
+    for (const std::unique_ptr<stage>& st : pipeline_) {
+      if (st->runs_in_drain()) {
+        any_drain_stage = true;
+        if (!st->run(rs, it)) {
+          drain_stopped = true;
+          break;
+        }
+      }
+    }
+    if (!any_drain_stage) {
+      make_update_stage()->run(rs, it);
+      make_resolve_stage()->run(rs, it);
+    }
+    if (!drain_stopped) {
+      core::iteration_record rec =
+          make_record(g, current, result.delays, result.naive_delays,
+                      options, it.iteration);
+      fill_pipeline_counters(rec, it);
+      result.history.push_back(rec);
+      result.iterations = it.iteration;
+      for (iteration_observer* obs : observers_) {
+        obs->on_iteration(rec);
+      }
+      if (rec.register_bits < best_bits) {
+        best_bits = rec.register_bits;
+        result.final_schedule = current;
+      }
     }
   }
 

@@ -1,18 +1,28 @@
 #include "engine/evaluation_cache.h"
 
+#include "support/check.h"
+
 namespace isdc::engine {
 
+void evaluation_cache::begin_generation() {
+  std::lock_guard lock(mutex_);
+  ++generation_;
+}
+
 bool evaluation_cache::selected_this_generation(std::uint64_t key) const {
+  std::lock_guard lock(mutex_);
   const auto it = entries_.find(key);
   return it != entries_.end() &&
          it->second.selected_generation == generation_;
 }
 
 void evaluation_cache::mark_selected(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
   entries_[key].selected_generation = generation_;
 }
 
 std::optional<double> evaluation_cache::lookup(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end() || !it->second.has_delay) {
     ++counters_.misses;
@@ -23,15 +33,65 @@ std::optional<double> evaluation_cache::lookup(std::uint64_t key) {
 }
 
 void evaluation_cache::store(std::uint64_t key, double delay_ps) {
+  std::lock_guard lock(mutex_);
   entry& e = entries_[key];
   if (!e.has_delay) {
     ++num_delays_;
+  }
+  if (e.in_flight) {
+    e.in_flight = false;
+    --num_in_flight_;
   }
   e.delay_ps = delay_ps;
   e.has_delay = true;
 }
 
+evaluation_cache::acquisition evaluation_cache::try_acquire(
+    std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  entry& e = entries_[key];
+  if (e.has_delay) {
+    ++counters_.hits;
+    return {acquire_status::hit, e.delay_ps};
+  }
+  if (e.in_flight) {
+    ++counters_.coalesced;
+    return {acquire_status::in_flight, 0.0};
+  }
+  ++counters_.misses;
+  e.in_flight = true;
+  ++num_in_flight_;
+  return {acquire_status::acquired, 0.0};
+}
+
+void evaluation_cache::abandon(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.in_flight) {
+    it->second.in_flight = false;
+    --num_in_flight_;
+  }
+}
+
+std::size_t evaluation_cache::num_in_flight() const {
+  std::lock_guard lock(mutex_);
+  return num_in_flight_;
+}
+
+std::size_t evaluation_cache::size() const {
+  std::lock_guard lock(mutex_);
+  return num_delays_;
+}
+
+evaluation_cache::counters evaluation_cache::stats() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
 void evaluation_cache::clear() {
+  std::lock_guard lock(mutex_);
+  ISDC_CHECK(num_in_flight_ == 0,
+             "evaluation_cache::clear with evaluations in flight");
   entries_.clear();
   counters_ = {};
   num_delays_ = 0;

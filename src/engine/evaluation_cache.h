@@ -14,11 +14,18 @@
 // in which it was last selected, so the expansion stage's "was this
 // subgraph already taken this run?" question and the evaluation stage's
 // "do we already know its delay?" question are answered by one structure.
+//
+// Entries additionally carry an in-flight state for the asynchronous
+// evaluate stage: try_acquire() grants a single-flight ticket per key, so
+// a subgraph selected again while its measurement is still pending is
+// never dispatched twice. All methods are thread-safe — completions land
+// from dispatch-pool threads concurrently with the driver's lookups.
 #ifndef ISDC_ENGINE_EVALUATION_CACHE_H_
 #define ISDC_ENGINE_EVALUATION_CACHE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -39,18 +46,28 @@ inline std::uint64_t subgraph_cache_key(std::uint64_t design_fingerprint,
   return x;
 }
 
-/// Not thread-safe: the engine serializes all access (lookups and stores
-/// happen outside the parallel evaluation region).
 class evaluation_cache {
 public:
   struct counters {
     std::uint64_t hits = 0;    ///< lookups answered from the cache
     std::uint64_t misses = 0;  ///< lookups that required a downstream call
+    std::uint64_t coalesced = 0;  ///< acquisitions answered "in flight"
+  };
+
+  /// What try_acquire found for a key.
+  enum class acquire_status {
+    hit,       ///< a memoized delay exists (returned alongside)
+    acquired,  ///< no memo, no pending ticket: the caller must evaluate
+    in_flight  ///< someone else holds the ticket; the result will arrive
+  };
+  struct acquisition {
+    acquire_status status = acquire_status::acquired;
+    double delay_ps = 0.0;  ///< valid only when status == hit
   };
 
   /// Starts a new run: per-run selection dedup resets, memoized delays and
   /// counters survive.
-  void begin_generation() { ++generation_; }
+  void begin_generation();
 
   /// True when `key` was already selected during the current generation.
   bool selected_this_generation(std::uint64_t key) const;
@@ -61,26 +78,44 @@ public:
   /// Memoized delay for `key`; bumps the hit/miss counters.
   std::optional<double> lookup(std::uint64_t key);
 
-  /// Memoizes a downstream measurement for `key`.
+  /// Memoizes a downstream measurement for `key` and releases any pending
+  /// in-flight ticket.
   void store(std::uint64_t key, double delay_ps);
 
+  /// Single-flight gate for the async evaluate stage: answers from the
+  /// memo when possible, otherwise grants the evaluation ticket to exactly
+  /// one caller per key (counted as a miss); later acquirers see in_flight
+  /// (counted as coalesced) until store()/abandon() releases the ticket.
+  acquisition try_acquire(std::uint64_t key);
+
+  /// Releases an in-flight ticket without storing a delay (the downstream
+  /// call failed); the next try_acquire may evaluate the key again.
+  void abandon(std::uint64_t key);
+
+  /// Number of keys whose evaluation ticket is currently held.
+  std::size_t num_in_flight() const;
+
   /// Number of memoized delays.
-  std::size_t size() const { return num_delays_; }
-  counters stats() const { return counters_; }
+  std::size_t size() const;
+  counters stats() const;
 
   /// Drops all entries and counters (the generation keeps advancing).
+  /// Must not be called with evaluations in flight.
   void clear();
 
 private:
   struct entry {
     double delay_ps = 0.0;
     bool has_delay = false;
+    bool in_flight = false;
     std::uint64_t selected_generation = 0;  ///< 0 = never selected
   };
 
+  mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, entry> entries_;
   counters counters_;
   std::size_t num_delays_ = 0;
+  std::size_t num_in_flight_ = 0;
   std::uint64_t generation_ = 0;
 };
 

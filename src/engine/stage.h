@@ -3,13 +3,22 @@
 // enumerate -> rank -> expand -> evaluate -> update -> resolve — that
 // communicate only through run_state (per-run) and iteration_state
 // (per-iteration), so pipelines can be recomposed, stages swapped and new
-// ones (batching, async evaluation, alternative solvers) inserted without
-// touching the driver.
+// ones (batching, alternative solvers) inserted without touching the
+// driver.
+//
+// With isdc_options::async_evaluation the evaluate stage becomes a
+// non-blocking dispatcher: misses are submitted to the dispatch pool as
+// in-flight tickets and the update stage consumes whatever measurements
+// have arrived on the completion queue — from this iteration or earlier
+// ones — so one iteration's scheduling work overlaps another's downstream
+// calls. run_state carries the ticket accounting shared by those stages
+// and the driver's drain-and-converge logic.
 #ifndef ISDC_ENGINE_STAGE_H_
 #define ISDC_ENGINE_STAGE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <string_view>
 #include <vector>
 
@@ -19,9 +28,22 @@
 #include "extract/scoring.h"
 #include "extract/subgraph.h"
 #include "sched/scheduler_instance.h"
+#include "support/completion_queue.h"
 #include "support/thread_pool.h"
 
 namespace isdc::engine {
+
+/// One downstream measurement coming back from the dispatch pool.
+/// `sequence` is the dispatch order; consumers sort arrivals by it so the
+/// delay-matrix update order (hence the change log) is deterministic no
+/// matter when completions physically land. The cache ticket is released
+/// by the dispatched task itself (store on success, abandon on error)
+/// before the arrival is pushed, so no key travels back.
+struct evaluation_arrival {
+  std::uint64_t sequence = 0;
+  core::evaluated_subgraph evaluation;
+  std::exception_ptr error;  ///< set when the downstream call threw
+};
 
 /// Per-run context shared by every stage: the problem being solved and the
 /// engine-owned state and services stages may use. The delay matrix being
@@ -38,8 +60,39 @@ struct run_state {
   sched::schedule& current;
   evaluation_cache& cache;
   thread_pool& pool;
+  /// Where async downstream calls run. The engine aliases this to `pool`,
+  /// sized num_threads in sync mode (CPU-bound joined evaluation) and
+  /// max_in_flight in async mode (the calls block on an external tool
+  /// rather than burn host CPU); the two references stay distinct in the
+  /// contract so custom drivers can split compute from dispatch.
+  thread_pool& dispatch_pool;
+  completion_queue<evaluation_arrival>& completions;
   sched::scheduler_instance& scheduler;
   std::uint64_t design_fingerprint = 0;  ///< mixed into cache keys
+  // Async ticket accounting (driver + evaluate + update only; all zero /
+  // false in sync mode).
+  int max_in_flight = 0;        ///< dispatch cap (resolved from options)
+  std::size_t in_flight = 0;    ///< tickets dispatched, not yet consumed
+  std::uint64_t next_ticket = 0;  ///< dispatch sequence counter
+  /// Set by the driver once convergence patience is exhausted but results
+  /// are still in flight: stages stop speculating (expand selects nothing
+  /// new) and the loop just drains until in_flight reaches zero or an
+  /// arrival improves the schedule.
+  bool quiesce = false;
+  /// Async candidate memo: the ranked candidate list is a function of the
+  /// current schedule (and the delay matrix), so passes whose re-solve
+  /// left the schedule untouched reuse it instead of re-enumerating —
+  /// speculative expansion just walks further down the same ranking, and
+  /// drain passes cost almost nothing. Invalidated by the resolve stage
+  /// whenever the schedule moves. Unused in sync mode, where every pass
+  /// follows a matrix update.
+  std::vector<extract::scored_candidate> candidate_cache;
+  bool candidate_cache_fresh = false;
+  /// First not-yet-considered index into candidate_cache while the memo is
+  /// fresh (path/cone expansion): successive speculative passes continue
+  /// down the ranking instead of re-expanding already-selected prefixes.
+  /// Reset whenever the ranking is recomputed.
+  std::size_t candidate_cursor = 0;
 };
 
 /// Data handed from stage to stage within one iteration.
@@ -51,6 +104,10 @@ struct iteration_state {
   std::vector<core::evaluated_subgraph> evaluations;   ///< evaluate ->
   std::size_t matrix_entries_lowered = 0;              ///< update ->
   int cache_hits = 0;  ///< evaluations answered by the cache
+  // Async pipeline accounting for this pass (evaluate/update ->).
+  int evaluations_dispatched = 0;
+  int evaluations_arrived = 0;
+  std::size_t evaluations_in_flight = 0;  ///< pending after update consumed
   // resolve -> (solver metrics of this iteration's re-solve)
   bool warm_resolve = false;
   std::size_t solver_ssp_paths = 0;
@@ -67,8 +124,16 @@ public:
 
   /// Runs the stage. Returning false ends the run (e.g. the search space
   /// is exhausted): the iteration's remaining stages are skipped and no
-  /// record is emitted for it.
+  /// record is emitted for it. In async mode the driver still drains
+  /// in-flight evaluations (final update + resolve) before returning.
   virtual bool run(run_state& rs, iteration_state& it) = 0;
+
+  /// True for stages that must also run in the driver's end-of-run drain
+  /// pass, after the last in-flight evaluations are consumed (async mode
+  /// only). The built-in update and resolve stages opt in; a recomposed
+  /// pipeline's replacements should too, or the drain falls back to the
+  /// built-in update + resolve semantics.
+  virtual bool runs_in_drain() const { return false; }
 };
 
 }  // namespace isdc::engine

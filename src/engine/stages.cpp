@@ -1,6 +1,8 @@
 #include "engine/stages.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <unordered_set>
 #include <utility>
 
@@ -15,11 +17,45 @@ namespace isdc::engine {
 
 namespace {
 
+/// Folds a batch of arrivals into the iteration, oldest dispatch first so
+/// the matrix-update order (and the change log) is independent of when
+/// completions physically landed. A failed downstream call is rethrown —
+/// after the whole batch is accounted, so the in-flight count stays
+/// consistent.
+void consume_arrivals(run_state& rs, iteration_state& it,
+                      std::vector<evaluation_arrival> arrivals) {
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const evaluation_arrival& a, const evaluation_arrival& b) {
+              return a.sequence < b.sequence;
+            });
+  std::exception_ptr first_error;
+  for (evaluation_arrival& arrival : arrivals) {
+    ISDC_CHECK(rs.in_flight > 0, "arrival without an in-flight ticket");
+    --rs.in_flight;
+    ++it.evaluations_arrived;
+    if (arrival.error != nullptr) {
+      if (first_error == nullptr) {
+        first_error = arrival.error;
+      }
+      continue;
+    }
+    it.evaluations.push_back(std::move(arrival.evaluation));
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
 class enumerate_stage final : public stage {
 public:
   std::string_view name() const override { return "enumerate"; }
 
   bool run(run_state& rs, iteration_state& it) override {
+    if (rs.candidate_cache_fresh || rs.quiesce) {
+      // Async: the memo stands, or the pass only drains (expand selects
+      // nothing while quiescing, so candidates would be discarded unread).
+      return true;
+    }
     it.paths = extract::enumerate_candidate_paths(rs.g, rs.current,
                                                   rs.result.delays);
     return true;
@@ -31,10 +67,21 @@ public:
   std::string_view name() const override { return "rank"; }
 
   bool run(run_state& rs, iteration_state& it) override {
+    if (rs.candidate_cache_fresh || rs.quiesce) {
+      return true;  // expand reads rs.candidate_cache / selects nothing
+    }
     it.candidates = extract::rank_candidates(
         rs.g, rs.current, rs.options.base.clock_period_ps,
         rs.options.strategy, std::move(it.paths));
     it.paths.clear();
+    if (rs.options.async_evaluation) {
+      // Moved, not copied: expand reads rs.candidate_cache whenever the
+      // memo is fresh, so it.candidates is never consumed afterwards.
+      rs.candidate_cache = std::move(it.candidates);
+      it.candidates.clear();
+      rs.candidate_cache_fresh = true;
+      rs.candidate_cursor = 0;
+    }
     return true;
   }
 };
@@ -47,7 +94,27 @@ public:
   std::string_view name() const override { return "expand"; }
 
   bool run(run_state& rs, iteration_state& it) override {
-    const int m = rs.options.subgraphs_per_iteration;
+    const bool async = rs.options.async_evaluation;
+    int m = rs.options.subgraphs_per_iteration;
+    if (async) {
+      if (rs.quiesce) {
+        // Patience is exhausted; stop speculating and let update drain the
+        // remaining in-flight results. With nothing pending either, the
+        // driver's stability check ends the run after this pass.
+        return true;
+      }
+      // Speculation cap: never select more than the in-flight budget can
+      // hold, since everything picked here is dispatched this pass. When
+      // the budget is full but results are pending, keep the pass alive so
+      // update can consume arrivals; end the run only once nothing is
+      // selected *and* nothing is in flight.
+      m = std::min(m, rs.max_in_flight - static_cast<int>(rs.in_flight));
+      if (m <= 0) {
+        return rs.in_flight > 0;
+      }
+    }
+    const std::vector<extract::scored_candidate>& candidates =
+        rs.candidate_cache_fresh ? rs.candidate_cache : it.candidates;
     std::vector<extract::subgraph>& picked = it.subgraphs;
 
     const auto selected = [&rs](const extract::subgraph& sub) {
@@ -65,10 +132,13 @@ public:
     };
 
     if (rs.options.expansion != extract::expansion_mode::window) {
-      for (std::size_t i = 0;
-           i < it.candidates.size() && static_cast<int>(picked.size()) < m;
+      // While the memo is fresh the prefix before the cursor was already
+      // expanded (and selected or rejected) by an earlier pass of this
+      // ranking; speculation continues where it left off.
+      std::size_t i = rs.candidate_cache_fresh ? rs.candidate_cursor : 0;
+      for (; i < candidates.size() && static_cast<int>(picked.size()) < m;
            ++i) {
-        const extract::scored_candidate& cand = it.candidates[i];
+        const extract::scored_candidate& cand = candidates[i];
         extract::subgraph sub =
             rs.options.expansion == extract::expansion_mode::path
                 ? extract::expand_to_path(rs.g, rs.current, rs.result.delays,
@@ -77,10 +147,16 @@ public:
         sub.score = cand.score;
         consider(std::move(sub));
       }
-      return !picked.empty();
+      if (rs.candidate_cache_fresh) {
+        rs.candidate_cursor = i;
+      }
+      return !picked.empty() || (async && rs.in_flight > 0);
     }
 
-    // Window mode: keep folding ranked cones into overlapping-leaf windows
+    // Window mode: keep folding ranked cones into overlapping-leaf windows.
+    // (No cursor here: the window set is rebuilt from the whole ranking
+    // each pass because every fold can reshape earlier windows — the
+    // re-expansion is inherent to the merge, not a missed memo.)
     // until m *new* windows are available (merging shrinks the set, so the
     // cone budget is not the window budget). Each fold changes exactly one
     // window, so the fresh-window count is maintained incrementally from
@@ -95,7 +171,7 @@ public:
     std::vector<bool> window_fresh;
     std::unordered_set<std::uint64_t> folded_cones;
     int fresh = 0;
-    for (const extract::scored_candidate& cand : it.candidates) {
+    for (const extract::scored_candidate& cand : candidates) {
       extract::subgraph cone =
           extract::expand_to_cone(rs.g, rs.current, cand.path);
       cone.score = cand.score;
@@ -125,29 +201,45 @@ public:
       }
       consider(std::move(w));
     }
-    return !picked.empty();
+    // In async mode an empty pick is not exhaustion while measurements are
+    // pending: their arrival will change the schedule and open new
+    // candidates.
+    return !picked.empty() || (async && rs.in_flight > 0);
   }
 };
 
-/// Measures every selected subgraph: cache hits reuse the memoized delay,
-/// misses go to the downstream tool in parallel and are memoized after.
+/// The cache keys on the member set alone, which is only sound for
+/// single-stage subgraphs: their root sets (hence their extracted IR and
+/// measured delay) are pure functions of the members. Every built-in
+/// expansion produces single-stage subgraphs; a custom stage must too.
+/// Validated only for subgraphs about to be measured — a memoized entry
+/// was already validated when it was stored.
+void check_single_stage(const run_state& rs, const extract::subgraph& sub) {
+  for (const ir::node_id m : sub.members) {
+    ISDC_CHECK(rs.current.same_stage(m, sub.members.front()),
+               "evaluate stage requires single-stage subgraphs");
+  }
+}
+
+/// Measures every selected subgraph: cache hits reuse the memoized delay.
+/// Sync mode sends misses to the downstream tool in parallel and joins
+/// before memoizing. Async mode is a non-blocking dispatcher: each miss
+/// acquires a single-flight ticket and is submitted to the I/O dispatch
+/// pool; its measurement arrives on the completion queue — possibly
+/// several iterations later — where the update stage consumes it. A
+/// subgraph selected again while its ticket is still pending is never
+/// dispatched twice.
 class evaluate_stage final : public stage {
 public:
   std::string_view name() const override { return "evaluate"; }
 
   bool run(run_state& rs, iteration_state& it) override {
+    if (rs.options.async_evaluation) {
+      return run_async(rs, it);
+    }
     it.evaluations.assign(it.subgraphs.size(), {});
     std::vector<std::size_t> misses;
     for (std::size_t i = 0; i < it.subgraphs.size(); ++i) {
-      // The cache keys on the member set alone, which is only sound for
-      // single-stage subgraphs: their root sets (hence their extracted IR
-      // and measured delay) are pure functions of the members. Every
-      // built-in expansion produces single-stage subgraphs; a custom stage
-      // must too.
-      for (const ir::node_id m : it.subgraphs[i].members) {
-        ISDC_CHECK(rs.current.same_stage(m, it.subgraphs[i].members.front()),
-                   "evaluate stage requires single-stage subgraphs");
-      }
       it.evaluations[i].members = it.subgraphs[i].members;
       const std::uint64_t key =
           subgraph_cache_key(rs.design_fingerprint, it.subgraphs[i].key());
@@ -155,6 +247,7 @@ public:
         it.evaluations[i].delay_ps = *memo;
         ++it.cache_hits;
       } else {
+        check_single_stage(rs, it.subgraphs[i]);
         misses.push_back(i);
       }
     }
@@ -171,14 +264,88 @@ public:
     }
     return true;
   }
+
+private:
+  static bool run_async(run_state& rs, iteration_state& it) {
+    for (const extract::subgraph& sub : it.subgraphs) {
+      const std::uint64_t key =
+          subgraph_cache_key(rs.design_fingerprint, sub.key());
+      const evaluation_cache::acquisition acq = rs.cache.try_acquire(key);
+      switch (acq.status) {
+        case evaluation_cache::acquire_status::hit: {
+          core::evaluated_subgraph eval;
+          eval.members = sub.members;
+          eval.delay_ps = acq.delay_ps;
+          it.evaluations.push_back(std::move(eval));
+          ++it.cache_hits;
+          break;
+        }
+        case evaluation_cache::acquire_status::in_flight:
+          // Single-flight: an earlier selection's ticket is pending; its
+          // arrival will cover this one too.
+          break;
+        case evaluation_cache::acquire_status::acquired: {
+          check_single_stage(rs, sub);
+          // The IR is extracted here, on the scheduling thread, so the
+          // dispatched task touches nothing owned by this iteration.
+          dispatch(rs, key, sub.members,
+                   extract::subgraph_to_ir(rs.g, sub));
+          ++it.evaluations_dispatched;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Submits one downstream call. The task only touches objects that
+  /// outlive the dispatch pool (tool, cache, completion queue) plus its
+  /// own captures, and never throws: failures travel back through the
+  /// arrival's error slot and release the cache ticket.
+  static void dispatch(run_state& rs, std::uint64_t key,
+                       std::vector<ir::node_id> members,
+                       ir::extraction sub_ir) {
+    const std::uint64_t sequence = rs.next_ticket++;
+    ++rs.in_flight;
+    rs.dispatch_pool.submit(
+        [tool = &rs.tool, cache = &rs.cache, completions = &rs.completions,
+         sequence, key, members = std::move(members),
+         sub_ir = std::move(sub_ir)]() mutable {
+          evaluation_arrival arrival;
+          arrival.sequence = sequence;
+          arrival.evaluation.members = std::move(members);
+          try {
+            arrival.evaluation.delay_ps = tool->subgraph_delay_ps(sub_ir.g);
+            cache->store(key, arrival.evaluation.delay_ps);
+          } catch (...) {
+            arrival.error = std::current_exception();
+            cache->abandon(key);
+          }
+          completions->push(std::move(arrival));
+        });
+  }
 };
 
-/// Alg. 1 lines 10-14 plus the configured reformulation.
+/// Alg. 1 lines 10-14 plus the configured reformulation. In async mode it
+/// first consumes whatever measurements have arrived — dispatched this
+/// iteration or any earlier one — and only blocks when the pass would
+/// otherwise make no progress at all (nothing arrived, nothing hit,
+/// nothing dispatched) while results are still pending.
 class update_stage final : public stage {
 public:
   std::string_view name() const override { return "update"; }
+  bool runs_in_drain() const override { return true; }
 
   bool run(run_state& rs, iteration_state& it) override {
+    if (rs.options.async_evaluation) {
+      std::vector<evaluation_arrival> arrivals = rs.completions.try_drain();
+      if (arrivals.empty() && it.cache_hits == 0 &&
+          it.evaluations_dispatched == 0 && rs.in_flight > 0) {
+        arrivals = rs.completions.wait_drain();
+      }
+      consume_arrivals(rs, it, std::move(arrivals));
+      it.evaluations_in_flight = rs.in_flight;
+    }
     it.matrix_entries_lowered =
         core::update_delay_matrix(rs.result.delays, it.evaluations).size();
     switch (rs.options.reformulation) {
@@ -203,12 +370,22 @@ public:
 class resolve_stage final : public stage {
 public:
   std::string_view name() const override { return "resolve"; }
+  bool runs_in_drain() const override { return true; }
 
   bool run(run_state& rs, iteration_state& it) override {
     const std::vector<sched::delay_matrix::node_pair> changed =
         rs.result.delays.take_changed_pairs();
     sched::scheduler_stats stats;
-    rs.current = rs.scheduler.resolve(rs.result.delays, changed, &stats);
+    sched::schedule resolved =
+        rs.scheduler.resolve(rs.result.delays, changed, &stats);
+    // The memoized ranking is a function of both the schedule and the
+    // delay matrix: a moved matrix entry can reorder candidates even when
+    // the re-solved schedule is unchanged.
+    if (rs.candidate_cache_fresh &&
+        (!changed.empty() || !(resolved == rs.current))) {
+      rs.candidate_cache_fresh = false;
+    }
+    rs.current = std::move(resolved);
     it.warm_resolve = stats.warm;
     it.solver_ssp_paths = stats.ssp_paths;
     it.constraints_reemitted = stats.constraints_reemitted;
@@ -235,6 +412,23 @@ std::unique_ptr<stage> make_update_stage() {
 }
 std::unique_ptr<stage> make_resolve_stage() {
   return std::make_unique<resolve_stage>();
+}
+
+std::size_t drain_pending_evaluations(run_state& rs, iteration_state& it) {
+  // Collect every outstanding arrival first and consume them as one batch,
+  // so the dispatch-order sort spans the whole drain — consuming batch by
+  // batch would let a slow early ticket land behind a fast later one.
+  std::vector<evaluation_arrival> arrivals = rs.completions.try_drain();
+  while (arrivals.size() < rs.in_flight) {
+    std::vector<evaluation_arrival> more = rs.completions.wait_drain();
+    arrivals.insert(arrivals.end(), std::make_move_iterator(more.begin()),
+                    std::make_move_iterator(more.end()));
+  }
+  const std::size_t consumed = arrivals.size();
+  consume_arrivals(rs, it, std::move(arrivals));
+  ISDC_CHECK(rs.in_flight == 0, "drain left evaluations in flight");
+  it.evaluations_in_flight = 0;
+  return consumed;
 }
 
 }  // namespace isdc::engine

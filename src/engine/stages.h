@@ -4,13 +4,18 @@
 //   expand    — grow the top candidates into path/cone/window subgraphs,
 //               skipping ones already selected this run;
 //   evaluate  — measure each subgraph with the downstream tool (cache
-//               hits skip the tool), in parallel;
-//   update    — Alg. 1 delay-matrix update plus reformulation (Alg. 2 or
-//               Floyd-Warshall);
+//               hits skip the tool): in parallel with a join in sync mode,
+//               or as non-blocking single-flight dispatches to the I/O
+//               pool in async mode;
+//   update    — fold in measurements (all of this iteration's in sync
+//               mode; whatever has arrived, from any iteration, in async
+//               mode), then Alg. 1 delay-matrix update plus reformulation
+//               (Alg. 2 or Floyd-Warshall);
 //   resolve   — re-solve the SDC LP against the updated matrix.
 #ifndef ISDC_ENGINE_STAGES_H_
 #define ISDC_ENGINE_STAGES_H_
 
+#include <cstddef>
 #include <memory>
 
 #include "engine/stage.h"
@@ -23,6 +28,13 @@ std::unique_ptr<stage> make_expand_stage();
 std::unique_ptr<stage> make_evaluate_stage();
 std::unique_ptr<stage> make_update_stage();
 std::unique_ptr<stage> make_resolve_stage();
+
+/// Blocks until every in-flight evaluation has arrived and appends them
+/// (in dispatch order) to it.evaluations; returns the number consumed.
+/// The driver's final drain runs this, then the update and resolve stages
+/// once more, so no measurement is ever lost when the run converges with
+/// results still pending.
+std::size_t drain_pending_evaluations(run_state& rs, iteration_state& it);
 
 }  // namespace isdc::engine
 

@@ -1,0 +1,59 @@
+// Multi-producer single-consumer completion queue: worker threads push
+// finished results, the consumer polls ("what has arrived?") without
+// blocking or waits for the next batch. Built for the engine's async
+// evaluate stage — downstream measurements stream back into the update
+// stage across iterations — but generic over the payload type.
+#ifndef ISDC_SUPPORT_COMPLETION_QUEUE_H_
+#define ISDC_SUPPORT_COMPLETION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace isdc {
+
+template <typename T>
+class completion_queue {
+public:
+  /// Enqueues one completed result (any thread).
+  void push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      ready_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Takes everything that has arrived so far; empty when nothing has.
+  /// Never blocks.
+  std::vector<T> try_drain() {
+    std::lock_guard lock(mutex_);
+    return std::exchange(ready_, {});
+  }
+
+  /// Blocks until at least one result is available, then takes the whole
+  /// batch. Only sound with outstanding producers (the engine guards calls
+  /// with its in-flight ticket count).
+  std::vector<T> wait_drain() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !ready_.empty(); });
+    return std::exchange(ready_, {});
+  }
+
+  /// Results currently waiting to be drained.
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return ready_.size();
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<T> ready_;
+};
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_COMPLETION_QUEUE_H_

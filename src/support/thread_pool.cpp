@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace isdc {
 
@@ -47,13 +49,74 @@ void thread_pool::parallel_for(std::size_t count,
   if (count == 0) {
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  if (count == 1) {
+    fn(0);
+    return;
   }
-  for (auto& fut : futures) {
-    fut.get();  // propagate the first exception, if any
+  // Chunked dispatch: instead of one heap-allocated packaged_task plus one
+  // future per index, min(workers, count-1) helper tasks (and the calling
+  // thread) race over an atomic counter. Indices after a failure are
+  // skipped; the first exception caught is rethrown once everyone is done.
+  //
+  // The caller never blocks on the helpers themselves — it drains the
+  // counter, then waits only for chunks still mid-loop. A helper that gets
+  // a worker late finds the counter exhausted and returns without touching
+  // fn, so nested parallel_for calls finish even when every worker is
+  // occupied by other parallel_for callers (waiting on helper futures here
+  // would deadlock in exactly that case).
+  struct state_t {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex mutex;  ///< guards first_error, active and the cv
+    std::condition_variable cv;
+    std::size_t active = 0;  ///< chunks currently inside their claim loop
+  };
+  auto state = std::make_shared<state_t>();
+  const auto run_chunk = [state, count, &fn] {
+    {
+      std::lock_guard lock(state->mutex);
+      ++state->active;
+    }
+    for (;;) {
+      if (state->failed.load(std::memory_order_relaxed)) {
+        break;
+      }
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        break;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(state->mutex);
+        if (!state->first_error) {
+          state->first_error = std::current_exception();
+        }
+        state->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    {
+      std::lock_guard lock(state->mutex);
+      --state->active;
+    }
+    state->cv.notify_all();
+  };
+  // The caller occupies one of the configured slots, so total concurrency
+  // never exceeds size(): num_threads = 1 still means strictly serial
+  // evaluation.
+  const std::size_t helpers = std::min(count - 1, size() - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit(run_chunk);  // completion is tracked via state, not the future
+  }
+  run_chunk();
+  // The caller's own chunk only returned once the counter was exhausted
+  // (or a failure stopped further claims), so no new fn call can start;
+  // wait out the chunks still finishing their current index.
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&state] { return state->active == 0; });
+  if (state->first_error) {
+    std::rethrow_exception(state->first_error);
   }
 }
 

@@ -43,7 +43,14 @@ public:
     return fut;
   }
 
-  /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+  /// Runs fn(i) for i in [0, count) and waits for all. Chunked over an
+  /// atomic counter, so the cost is a handful of task submissions rather
+  /// than one per index. The caller participates and counts toward the
+  /// pool's width (at most size() fn invocations run concurrently; a
+  /// 1-thread pool evaluates strictly serially), which also keeps nested
+  /// parallel_for calls from pool tasks deadlock-free. After an fn throws,
+  /// not-yet-started indices are skipped and the first exception caught is
+  /// rethrown.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 

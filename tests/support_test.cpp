@@ -1,11 +1,16 @@
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "support/check.h"
+#include "support/completion_queue.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -144,6 +149,96 @@ TEST(ThreadPoolTest, ExceptionPropagates) {
                           }
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForNestedInsidePoolTask) {
+  // Chunked dispatch with caller participation: parallel_for issued from
+  // inside pool tasks must finish even when EVERY worker is occupied by
+  // such a caller — here both workers of a 2-thread pool nest one, so
+  // neither's helper tasks ever get a worker; the callers must drain the
+  // counters themselves instead of blocking on the helpers.
+  thread_pool pool(2);
+  std::vector<std::future<int>> futs;
+  for (int t = 0; t < 2; ++t) {
+    futs.push_back(pool.submit([&pool] {
+      std::atomic<int> sum{0};
+      pool.parallel_for(50,
+                        [&](std::size_t i) { sum += static_cast<int>(i); });
+      return sum.load();
+    }));
+  }
+  for (auto& fut : futs) {
+    EXPECT_EQ(fut.get(), 49 * 50 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSingleAndEmpty) {
+  thread_pool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSkipsAfterFailure) {
+  // Fail-fast: once an index throws, not-yet-started indices are skipped,
+  // so a long tail never runs. The already-running chunk finishes.
+  thread_pool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100000,
+                                 [&](std::size_t) {
+                                   ++ran;
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(CompletionQueueTest, PushTryDrainRoundTrip) {
+  completion_queue<int> q;
+  EXPECT_TRUE(q.try_drain().empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  const std::vector<int> batch = q.try_drain();
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.try_drain().empty());
+}
+
+TEST(CompletionQueueTest, WaitDrainBlocksUntilPush) {
+  completion_queue<int> q;
+  thread_pool pool(1);
+  auto fut = pool.submit([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(7);
+  });
+  // Issued before the push lands: wait_drain must block, then deliver.
+  const std::vector<int> batch = q.wait_drain();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 7);
+  fut.get();
+}
+
+TEST(CompletionQueueTest, ManyProducersLoseNothing) {
+  completion_queue<int> q;
+  thread_pool pool(4);
+  constexpr int kPerProducer = 500;
+  pool.parallel_for(4, [&](std::size_t p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      q.push(static_cast<int>(p) * kPerProducer + i);
+    }
+  });
+  std::vector<int> all = q.try_drain();
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 4u * kPerProducer);
+  for (int i = 0; i < 4 * kPerProducer; ++i) {
+    EXPECT_EQ(all[i], i);
+  }
 }
 
 TEST(TableTest, AlignedOutput) {
