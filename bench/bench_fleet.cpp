@@ -1,0 +1,286 @@
+// Fleet scheduling over the full workload registry: many designs through
+// one engine with a shared canonical-fingerprint evaluation cache, one
+// I/O dispatch pool and one process-wide characterizer, versus the
+// one-design-at-a-time baseline (fresh engine, fresh characterizer and
+// cold cache per design — the "one design per process" shape this front-
+// end replaces). Both arms use the same per-run pipeline options, so the
+// comparison isolates what the fleet adds: shard concurrency, amortized
+// warmup and cross-design measurement reuse.
+//
+// Per design it checks result parity (stages / register bits / schedule
+// bits vs the solo run); for the batch it reports wall clock, speedup,
+// designs/sec and the cross-design coalescing: how many distinct
+// fingerprints the whole registry shares, and how many downstream calls
+// the sharing saved.
+//
+// Flags: --shards=N                  concurrent ISDC runs (default 4)
+//        --downstream-latency-ms=N   injected per-call latency (default 50)
+//        --max-iterations=N          (default 15)
+//        --subgraphs=M               per iteration (default 16, the paper)
+//        --sync                      synchronous per-run pipeline (default:
+//                                    async, PR 3's latency-hiding pipeline)
+//        --benchmarks=a,b,c          subset (default: the full registry)
+//        --json=PATH                 machine-readable artifact
+//        --csv                       CSV instead of the aligned table
+//        --quick                     CI smoke: 4 workloads, 10ms, 3 iters,
+//                                    2 shards
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/downstream.h"
+#include "engine/fleet.h"
+#include "sched/metrics.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+struct solo_outcome {
+  double seconds = 0.0;
+  std::uint64_t downstream_calls = 0;
+  std::uint64_t unique_subgraphs = 0;
+  std::uint64_t cache_hits = 0;
+  isdc::core::isdc_result result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const isdc::bench::flags flags(argc, argv);
+  auto subset = flags.get_list("benchmarks");
+  if (subset.empty()) {
+    for (const isdc::workloads::workload_spec& spec :
+         isdc::workloads::all_workloads()) {
+      subset.push_back(spec.name);
+    }
+    if (flags.quick()) {
+      subset = {"rrot", "ml_datapath0_opcode0", "ml_datapath0_all", "crc32"};
+    }
+  }
+  const double latency_ms = flags.quick_int("downstream-latency-ms", 50, 10);
+  const int shards = flags.quick_int("shards", 4, 2);
+
+  isdc::core::isdc_options opts;
+  opts.max_iterations = flags.quick_int("max-iterations", 15, 3);
+  opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
+  opts.num_threads = flags.get_int("threads", 4);
+  opts.async_evaluation = !flags.has("sync");
+  // An unoptimized AIG-depth oracle: real (depth-correlated) feedback at
+  // negligible local compute, so the injected latency models an external
+  // backend (a Yosys subprocess, a remote STA service) that burns no host
+  // CPU while the caller waits.
+  isdc::synth::synthesis_options cheap;
+  cheap.opt_rounds = 0;
+  cheap.use_rewrite = false;
+  cheap.use_refactor = false;
+  opts.synth = cheap;
+  const isdc::core::aig_depth_downstream inner(80.0, 0.0, cheap);
+
+  // Build every design up front; jobs reference them.
+  std::vector<const isdc::workloads::workload_spec*> specs;
+  for (const std::string& name : subset) {
+    const isdc::workloads::workload_spec* spec =
+        isdc::workloads::find_workload(name);
+    if (spec == nullptr) {
+      std::cerr << "unknown workload: " << name << "\n";
+      return 1;
+    }
+    specs.push_back(spec);
+  }
+  std::vector<isdc::ir::graph> graphs;
+  graphs.reserve(specs.size());
+  for (const auto* spec : specs) {
+    graphs.push_back(spec->build());
+  }
+
+  // Arm 1 — sequential baseline: one design per "process". Fresh engine,
+  // fresh characterizer, cold cache for every design; same pipeline
+  // options otherwise.
+  std::vector<solo_outcome> solo(specs.size());
+  double sequential_seconds = 0.0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    isdc::core::latency_downstream tool(inner, latency_ms);
+    const auto start = clock_type::now();
+    isdc::synth::delay_model per_run_model(opts.synth);
+    isdc::engine::engine e;
+    isdc::core::isdc_options run_opts = opts;
+    run_opts.base.clock_period_ps = specs[i]->clock_period_ps;
+    solo[i].result = e.run(graphs[i], tool, run_opts, &per_run_model);
+    solo[i].seconds = seconds_since(start);
+    solo[i].downstream_calls = tool.calls();
+    solo[i].unique_subgraphs = e.cache().size();
+    solo[i].cache_hits = e.cache().stats().hits;
+    sequential_seconds += solo[i].seconds;
+    std::cerr << "solo done: " << specs[i]->name << "\n";
+  }
+
+  // Arm 2 — the fleet: everything shared.
+  isdc::core::latency_downstream fleet_tool(inner, latency_ms);
+  isdc::engine::fleet_options fopts;
+  fopts.shards = shards;
+  fopts.isdc = opts;
+  isdc::engine::fleet fleet(fopts);
+  std::vector<isdc::engine::fleet_job> jobs;
+  jobs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    jobs.push_back({.name = specs[i]->name,
+                    .graph = &graphs[i],
+                    .clock_period_ps = specs[i]->clock_period_ps});
+  }
+  const isdc::engine::fleet_report report = fleet.run(jobs, fleet_tool);
+  std::cerr << "fleet done: " << jobs.size() << " designs\n";
+
+  // Cross-design coalescing: distinct fingerprints each design would
+  // measure alone, minus what the shared cache actually holds.
+  std::uint64_t solo_unique_total = 0;
+  std::uint64_t solo_calls_total = 0;
+  std::uint64_t solo_hits_total = 0;
+  for (const solo_outcome& s : solo) {
+    solo_unique_total += s.unique_subgraphs;
+    solo_calls_total += s.downstream_calls;
+    solo_hits_total += s.cache_hits;
+  }
+  // Guarded subtractions: async trajectories are timing-dependent, so a
+  // fleet run can occasionally measure subgraphs the solo arm never
+  // reached — the differences below must floor at zero, not wrap.
+  const std::uint64_t cross_design_shared =
+      solo_unique_total > report.unique_subgraphs
+          ? solo_unique_total - report.unique_subgraphs
+          : 0;
+  const std::uint64_t calls_saved =
+      solo_calls_total > fleet_tool.calls()
+          ? solo_calls_total - fleet_tool.calls()
+          : 0;
+  // Hits beyond what the designs would produce against their own private
+  // caches: answered by entries another design measured.
+  const std::uint64_t cross_design_hits =
+      report.cache_delta.hits > solo_hits_total
+          ? report.cache_delta.hits - solo_hits_total
+          : 0;
+
+  isdc::text_table table;
+  table.set_header({"Benchmark", "Solo t(s)", "Fleet t(s)", "Solo calls",
+                    "Solo stg", "Fleet stg", "Solo regs", "Fleet regs",
+                    "Bit-identical"});
+  isdc::bench::json_array rows;
+  int parity_mismatches = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const isdc::engine::fleet_result& fr = report.results[i];
+    if (fr.error != nullptr) {
+      table.add_row({specs[i]->name, "", "", "", "", "", "", "", "ERROR"});
+      ++parity_mismatches;
+      continue;
+    }
+    const auto solo_regs =
+        isdc::sched::register_bits(graphs[i], solo[i].result.final_schedule);
+    const auto fleet_regs =
+        isdc::sched::register_bits(graphs[i], fr.result.final_schedule);
+    const bool identical =
+        fr.result.final_schedule == solo[i].result.final_schedule;
+    parity_mismatches += identical ? 0 : 1;
+    table.add_row(
+        {specs[i]->name, isdc::format_double(solo[i].seconds, 2),
+         isdc::format_double(fr.seconds, 2),
+         std::to_string(solo[i].downstream_calls),
+         std::to_string(solo[i].result.final_schedule.num_stages()),
+         std::to_string(fr.result.final_schedule.num_stages()),
+         std::to_string(solo_regs), std::to_string(fleet_regs),
+         identical ? "yes" : "NO"});
+    isdc::bench::json_object row;
+    row.set("benchmark", specs[i]->name)
+        .set("solo_seconds", solo[i].seconds)
+        .set("fleet_seconds", fr.seconds)
+        .set("solo_downstream_calls",
+             static_cast<std::uint64_t>(solo[i].downstream_calls))
+        .set("solo_unique_subgraphs",
+             static_cast<std::uint64_t>(solo[i].unique_subgraphs))
+        .set("solo_stages", solo[i].result.final_schedule.num_stages())
+        .set("fleet_stages", fr.result.final_schedule.num_stages())
+        .set("solo_register_bits", static_cast<std::int64_t>(solo_regs))
+        .set("fleet_register_bits", static_cast<std::int64_t>(fleet_regs))
+        .set("schedule_bit_identical", identical);
+    rows.push_raw(row.str());
+  }
+
+  const double speedup =
+      sequential_seconds / std::max(report.wall_seconds, 1e-9);
+  table.add_row({"Total", isdc::format_double(sequential_seconds, 2),
+                 isdc::format_double(report.wall_seconds, 2),
+                 std::to_string(solo_calls_total), "", "", "", "",
+                 isdc::format_double(speedup, 2) + "x speedup"});
+
+  std::cout << "=== Fleet scheduling vs one-design-at-a-time ===\n";
+  std::cout << "(" << jobs.size() << " designs, " << shards << " shards, "
+            << latency_ms << " ms injected downstream latency, "
+            << (opts.async_evaluation ? "async" : "sync")
+            << " per-run pipeline)\n\n";
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nSequential wall clock:    "
+            << isdc::format_double(sequential_seconds, 2) << " s\n";
+  std::cout << "Fleet wall clock:         "
+            << isdc::format_double(report.wall_seconds, 2) << " s  ("
+            << isdc::format_double(speedup, 2) << "x, "
+            << isdc::format_double(report.designs_per_second, 2)
+            << " designs/s)\n";
+  std::cout << "Downstream calls:         " << solo_calls_total
+            << " solo -> " << fleet_tool.calls() << " fleet ("
+            << calls_saved << " saved)\n";
+  std::cout << "Distinct subgraphs:       " << solo_unique_total
+            << " per-design -> " << report.unique_subgraphs
+            << " shared (" << cross_design_shared
+            << " coalesced across designs)\n";
+  std::cout << "Fleet cache activity:     " << report.cache_delta.hits
+            << " hits (" << cross_design_hits << " cross-design, vs "
+            << solo_hits_total << " total against private caches), "
+            << report.cache_delta.misses << " misses, "
+            << report.cache_delta.coalesced << " coalesced acquisitions\n";
+  std::cout << "Schedule parity:          "
+            << (parity_mismatches == 0 ? "all designs bit-identical to solo"
+                                       : std::to_string(parity_mismatches) +
+                                             " design(s) differ")
+            << "\n";
+
+  isdc::bench::json_object root;
+  root.set("bench", "fleet")
+      .set("shards", shards)
+      .set("downstream_latency_ms", latency_ms)
+      .set("async", opts.async_evaluation)
+      .set("designs", static_cast<std::int64_t>(jobs.size()))
+      .set("sequential_seconds", sequential_seconds)
+      .set("fleet_wall_seconds", report.wall_seconds)
+      .set("speedup", speedup)
+      .set("designs_per_second", report.designs_per_second)
+      .set("solo_downstream_calls", solo_calls_total)
+      .set("fleet_downstream_calls", fleet_tool.calls())
+      .set("downstream_calls_saved", calls_saved)
+      .set("solo_unique_subgraphs", solo_unique_total)
+      .set("fleet_unique_subgraphs",
+           static_cast<std::uint64_t>(report.unique_subgraphs))
+      .set("cross_design_shared_subgraphs", cross_design_shared)
+      .set("cross_design_cache_hits", cross_design_hits)
+      .set("solo_cache_hits", solo_hits_total)
+      .set("fleet_cache_hits", report.cache_delta.hits)
+      .set("fleet_cache_misses", report.cache_delta.misses)
+      .set("fleet_cache_coalesced", report.cache_delta.coalesced)
+      .set("schedule_parity_mismatches", parity_mismatches)
+      .set_raw("per_design", rows.str());
+  if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
+    return 1;
+  }
+  return 0;
+}

@@ -76,6 +76,10 @@ struct iteration_record {
   std::size_t constraints_reemitted = 0;  ///< timing constraints re-emitted
   // Async evaluation pipeline accounting (all zero in sync mode).
   int evaluations_dispatched = 0;  ///< downstream calls launched this pass
+  /// Selections that subscribed onto an already-in-flight measurement of
+  /// an isomorphic cone (this run's or, in fleet mode, another design's)
+  /// instead of dispatching their own; each produces its own arrival.
+  int evaluations_coalesced = 0;
   int evaluations_arrived = 0;     ///< completed measurements folded in
   std::size_t evaluations_in_flight = 0;  ///< still pending after this pass
 };

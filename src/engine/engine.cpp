@@ -1,9 +1,11 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "engine/stages.h"
+#include "extract/canonical.h"
 #include "sched/metrics.h"
 #include "support/check.h"
 #include "support/hash.h"
@@ -40,11 +42,38 @@ void fill_pipeline_counters(core::iteration_record& rec,
   rec.solver_ssp_paths = it.solver_ssp_paths;
   rec.constraints_reemitted = it.constraints_reemitted;
   rec.evaluations_dispatched = it.evaluations_dispatched;
+  rec.evaluations_coalesced = it.evaluations_coalesced;
   rec.evaluations_arrived = it.evaluations_arrived;
   rec.evaluations_in_flight = it.evaluations_in_flight;
 }
 
+/// Guarantees no ticket outlives the run, whichever way it exits. Every
+/// in-flight entry — own dispatches and subscriptions onto other runs'
+/// tickets — eventually pushes exactly one arrival onto this run's
+/// completion queue, so on an exceptional exit we block until all have
+/// landed and discard them. Without this, a shared dispatch pool (fleet
+/// mode) could complete a task whose completion queue is already gone.
+struct ticket_drain_guard {
+  run_state& rs;
+  ~ticket_drain_guard() {
+    while (rs.in_flight > 0) {
+      const std::size_t landed = rs.completions.wait_drain().size();
+      ISDC_CHECK(landed <= rs.in_flight, "more arrivals than tickets");
+      rs.in_flight -= landed;
+    }
+  }
+};
+
 }  // namespace
+
+int evaluation_pool_width(const core::isdc_options& options) {
+  if (options.async_evaluation) {
+    return options.async_max_in_flight > 0
+               ? options.async_max_in_flight
+               : 4 * options.subgraphs_per_iteration;
+  }
+  return std::max(1, options.num_threads);
+}
 
 std::vector<std::unique_ptr<stage>> engine::default_pipeline() {
   std::vector<std::unique_ptr<stage>> stages;
@@ -62,6 +91,32 @@ engine::engine(std::vector<std::unique_ptr<stage>> pipeline)
   ISDC_CHECK(!pipeline_.empty(), "engine needs at least one stage");
 }
 
+engine::engine(std::string cache_file) : engine(default_pipeline()) {
+  attach_cache_file(std::move(cache_file));
+}
+
+engine::~engine() {
+  if (!cache_file_.empty()) {
+    flush_cache_file();
+  }
+}
+
+void engine::use_shared_cache(evaluation_cache* shared) {
+  active_cache_ = shared != nullptr ? shared : &cache_;
+}
+
+bool engine::attach_cache_file(std::string path) {
+  cache_file_ = std::move(path);
+  return active_cache_->load(cache_file_,
+                             extract::canonical_fingerprint_version());
+}
+
+bool engine::flush_cache_file() const {
+  return !cache_file_.empty() &&
+         active_cache_->save(cache_file_,
+                             extract::canonical_fingerprint_version());
+}
+
 void engine::add_observer(iteration_observer* observer) {
   ISDC_CHECK(observer != nullptr);
   observers_.push_back(observer);
@@ -74,7 +129,8 @@ void engine::remove_observer(iteration_observer* observer) {
 core::isdc_result engine::run(const ir::graph& g,
                               const core::downstream_tool& tool,
                               const core::isdc_options& options,
-                              const synth::delay_model* model) {
+                              const synth::delay_model* model,
+                              thread_pool* shared_pool) {
   ISDC_CHECK(options.max_iterations >= 0);
   ISDC_CHECK(options.subgraphs_per_iteration > 0);
 
@@ -109,43 +165,48 @@ core::isdc_result engine::run(const ir::graph& g,
     obs->on_iteration(result.history.back());
   }
 
-  cache_.begin_generation();
   const bool async = options.async_evaluation;
-  const int max_in_flight =
-      !async ? 0
-             : (options.async_max_in_flight > 0
-                    ? options.async_max_in_flight
-                    : 4 * options.subgraphs_per_iteration);
-  // Declared before the pool: dispatched tasks push here, and the pool
-  // destructor runs-and-joins every outstanding task first.
+  const int max_in_flight = async ? evaluation_pool_width(options) : 0;
+  // Declared before the (local) pool: dispatched tasks push here, and the
+  // pool destructor runs-and-joins every outstanding task first.
   completion_queue<evaluation_arrival> completions;
-  // One pool per run. Sync mode sizes it to num_threads (CPU-bound
-  // parallel evaluation). Async mode sizes it to the in-flight cap:
-  // downstream calls block on an external tool (I/O-bound), and the sync
-  // evaluate path that would want a cores-sized pool is unreachable.
-  thread_pool pool(static_cast<std::size_t>(
-      async ? max_in_flight : std::max(1, options.num_threads)));
-  // Cache keys scope to (design, downstream tool): a delay measured by one
+  // The evaluation pool: the caller's shared one (fleet mode — one wide
+  // I/O pool serves every shard), or a per-run pool sized by
+  // evaluation_pool_width (CPU-bound parallel evaluation in sync mode,
+  // the I/O in-flight cap in async mode).
+  std::optional<thread_pool> local_pool;
+  if (shared_pool == nullptr) {
+    local_pool.emplace(
+        static_cast<std::size_t>(evaluation_pool_width(options)));
+  }
+  thread_pool& pool = shared_pool != nullptr ? *shared_pool : *local_pool;
+  // Cache keys scope to the downstream tool: a delay measured by one
   // oracle must never answer for another (see downstream_tool::name()).
-  const std::uint64_t design_fingerprint =
-      fnv1a64().mix(g.fingerprint()).mix(tool.name()).value();
+  // Designs deliberately do not enter the key — subgraphs are keyed by
+  // canonical structural fingerprint, so isomorphic cones from different
+  // designs (or different regions of this one) share a measurement.
+  const std::uint64_t tool_fingerprint = fnv1a64().mix(tool.name()).value();
   run_state rs{.g = g,
                .tool = tool,
                .options = options,
                .result = result,
                .current = current,
-               .cache = cache_,
+               .cache = *active_cache_,
                .pool = pool,
                .dispatch_pool = pool,
                .completions = completions,
                .scheduler = scheduler,
-               .design_fingerprint = design_fingerprint,
+               .tool_fingerprint = tool_fingerprint,
+               .selected = {},
                .max_in_flight = max_in_flight,
                .in_flight = 0,
                .next_ticket = 0,
                .quiesce = false,
                .candidate_cache = {},
                .candidate_cache_fresh = false};
+  // After rs (and before anything that can throw below): its destructor
+  // reads rs and must run before the pool and queue go away.
+  const ticket_drain_guard drain_guard{rs};
 
   // An async pass folds in however much feedback happens to have arrived,
   // so passes are not comparable units of work: the iteration budget and

@@ -1,17 +1,25 @@
 // The ISDC driver: composes a stage pipeline (see stages.h for the
 // default six), owns the cross-run evaluation cache and the per-run
 // iteration bookkeeping — best-schedule tracking, convergence patience,
-// selection dedup via cache generations — and streams every history
-// record to registered observers.
+// run-local selection dedup — and streams every history record to
+// registered observers.
 //
 // core::run_isdc is a thin wrapper over a fresh engine. Hold one engine
-// across runs to reuse downstream evaluations: re-running the same design
-// (or sweeping its clock period) answers repeated subgraph measurements
-// from the cache instead of the downstream tool.
+// across runs to reuse downstream evaluations: measurements are keyed by
+// canonical subgraph fingerprint, so re-running the same design, sweeping
+// its clock period, or running a *different* design containing isomorphic
+// cones all answer from the cache instead of the downstream tool.
+//
+// run() is safe to call concurrently from several threads on one engine
+// (the fleet front-end in fleet.h does exactly that): stages are
+// stateless, the cache is thread-safe and all per-run state lives on the
+// calling thread. Observer registration must not race active runs, and
+// observers registered during fleet use must themselves be thread-safe.
 #ifndef ISDC_ENGINE_ENGINE_H_
 #define ISDC_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/evaluation_cache.h"
@@ -19,6 +27,14 @@
 #include "engine/stage.h"
 
 namespace isdc::engine {
+
+/// Width of the downstream-evaluation pool one run wants: in async mode
+/// the in-flight cap (async_max_in_flight, defaulting to 4x the
+/// per-iteration subgraph count — the calls block on an external tool,
+/// so the pool is I/O-sized, not core-sized); in sync mode num_threads.
+/// engine::run sizes its per-run pool with this, and the fleet sizes its
+/// shared pool as shards times this, so the two can never diverge.
+int evaluation_pool_width(const core::isdc_options& options);
 
 class engine {
 public:
@@ -28,6 +44,12 @@ public:
 
   engine() : engine(default_pipeline()) {}
   explicit engine(std::vector<std::unique_ptr<stage>> pipeline);
+  /// Default pipeline plus a persisted cache: loads `cache_file` now (a
+  /// missing file is fine — it will be created) and saves on destruction.
+  explicit engine(std::string cache_file);
+
+  /// Saves the attached cache file, if any (see attach_cache_file).
+  ~engine();
 
   /// Registers a (non-owned) observer; it must outlive every run() call
   /// made while it is registered.
@@ -40,22 +62,46 @@ public:
     return pipeline_;
   }
 
-  evaluation_cache& cache() { return cache_; }
-  const evaluation_cache& cache() const { return cache_; }
+  /// The active cache: the engine's own, or the shared one installed by
+  /// use_shared_cache.
+  evaluation_cache& cache() { return *active_cache_; }
+  const evaluation_cache& cache() const { return *active_cache_; }
+
+  /// Routes all caching through an externally owned cache (nullptr
+  /// restores the engine's own) — how a fleet shares one memo across
+  /// engines and designs. Must not be called while runs are active; the
+  /// shared cache must outlive them.
+  void use_shared_cache(evaluation_cache* shared);
+
+  /// Attaches a persisted-cache file to the *active* cache: merges its
+  /// entries now (returns false when nothing was loaded — missing file,
+  /// corruption or a canonical-fingerprint version mismatch) and saves on
+  /// destruction and on every flush_cache_file() call.
+  bool attach_cache_file(std::string path);
+
+  /// Saves the active cache to the attached file now. False when no file
+  /// is attached or the write failed.
+  bool flush_cache_file() const;
 
   /// Runs the full ISDC flow on `g`. Semantically identical to
   /// core::run_isdc, plus cache reuse and observer streaming. `model`
   /// provides the pre-characterized per-op delays; pass a shared instance
   /// to amortize characterization across runs, or nullptr to characterize
-  /// locally.
+  /// locally. `shared_pool`, when non-null, is used for downstream
+  /// evaluation (the sync parallel join and the async dispatches) instead
+  /// of a per-run pool — the fleet passes one wide I/O pool shared by all
+  /// shards; it must outlive the call.
   core::isdc_result run(const ir::graph& g, const core::downstream_tool& tool,
                         const core::isdc_options& options = {},
-                        const synth::delay_model* model = nullptr);
+                        const synth::delay_model* model = nullptr,
+                        thread_pool* shared_pool = nullptr);
 
 private:
   std::vector<std::unique_ptr<stage>> pipeline_;
   std::vector<iteration_observer*> observers_;
   evaluation_cache cache_;
+  evaluation_cache* active_cache_ = &cache_;
+  std::string cache_file_;
 };
 
 }  // namespace isdc::engine

@@ -1,25 +1,21 @@
 #include "engine/evaluation_cache.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
 #include "support/check.h"
 
 namespace isdc::engine {
 
-void evaluation_cache::begin_generation() {
-  std::lock_guard lock(mutex_);
-  ++generation_;
-}
+namespace {
 
-bool evaluation_cache::selected_this_generation(std::uint64_t key) const {
-  std::lock_guard lock(mutex_);
-  const auto it = entries_.find(key);
-  return it != entries_.end() &&
-         it->second.selected_generation == generation_;
-}
+// 8-byte magic; the trailing byte is the container format version.
+constexpr char kMagic[8] = {'I', 'S', 'D', 'C', 'E', 'V', 'C', '\x01'};
 
-void evaluation_cache::mark_selected(std::uint64_t key) {
-  std::lock_guard lock(mutex_);
-  entries_[key].selected_generation = generation_;
-}
+}  // namespace
 
 std::optional<double> evaluation_cache::lookup(std::uint64_t key) {
   std::lock_guard lock(mutex_);
@@ -33,17 +29,27 @@ std::optional<double> evaluation_cache::lookup(std::uint64_t key) {
 }
 
 void evaluation_cache::store(std::uint64_t key, double delay_ps) {
-  std::lock_guard lock(mutex_);
-  entry& e = entries_[key];
-  if (!e.has_delay) {
-    ++num_delays_;
+  std::vector<waiter> waiters;
+  {
+    std::lock_guard lock(mutex_);
+    entry& e = entries_[key];
+    if (!e.has_delay) {
+      ++num_delays_;
+    }
+    if (e.in_flight) {
+      e.in_flight = false;
+      --num_in_flight_;
+    }
+    e.delay_ps = delay_ps;
+    e.has_delay = true;
+    waiters = std::move(e.waiters);
+    e.waiters.clear();
   }
-  if (e.in_flight) {
-    e.in_flight = false;
-    --num_in_flight_;
+  // Outside the lock: waiters typically push into a run's completion
+  // queue, and must be free to call back into the cache.
+  for (waiter& w : waiters) {
+    w.on_ready(delay_ps);
   }
-  e.delay_ps = delay_ps;
-  e.has_delay = true;
 }
 
 evaluation_cache::acquisition evaluation_cache::try_acquire(
@@ -64,12 +70,40 @@ evaluation_cache::acquisition evaluation_cache::try_acquire(
   return {acquire_status::acquired, 0.0};
 }
 
-void evaluation_cache::abandon(std::uint64_t key) {
+evaluation_cache::acquisition evaluation_cache::try_acquire(
+    std::uint64_t key, const std::function<waiter()>& make_waiter) {
   std::lock_guard lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it != entries_.end() && it->second.in_flight) {
+  entry& e = entries_[key];
+  if (e.has_delay) {
+    ++counters_.hits;
+    return {acquire_status::hit, e.delay_ps};
+  }
+  if (e.in_flight) {
+    ++counters_.coalesced;
+    e.waiters.push_back(make_waiter());
+    return {acquire_status::in_flight, 0.0};
+  }
+  ++counters_.misses;
+  e.in_flight = true;
+  ++num_in_flight_;
+  return {acquire_status::acquired, 0.0};
+}
+
+void evaluation_cache::abandon(std::uint64_t key, std::exception_ptr error) {
+  std::vector<waiter> waiters;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || !it->second.in_flight) {
+      return;
+    }
     it->second.in_flight = false;
     --num_in_flight_;
+    waiters = std::move(it->second.waiters);
+    it->second.waiters.clear();
+  }
+  for (waiter& w : waiters) {
+    w.on_abandon(error);
   }
 }
 
@@ -95,6 +129,91 @@ void evaluation_cache::clear() {
   entries_.clear();
   counters_ = {};
   num_delays_ = 0;
+}
+
+bool evaluation_cache::save(const std::string& path,
+                            std::uint64_t key_schema) const {
+  std::vector<std::pair<std::uint64_t, double>> delays;
+  {
+    std::lock_guard lock(mutex_);
+    delays.reserve(num_delays_);
+    for (const auto& [key, e] : entries_) {
+      if (e.has_delay) {
+        delays.emplace_back(key, e.delay_ps);
+      }
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint64_t count = delays.size();
+    out.write(reinterpret_cast<const char*>(&key_schema), sizeof(key_schema));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& [key, delay] : delays) {
+      out.write(reinterpret_cast<const char*>(&key), sizeof(key));
+      out.write(reinterpret_cast<const char*>(&delay), sizeof(delay));
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool evaluation_cache::load(const std::string& path,
+                            std::uint64_t key_schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  char magic[sizeof(kMagic)];
+  std::uint64_t schema = 0;
+  std::uint64_t count = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&schema), sizeof(schema));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+      schema != key_schema) {
+    return false;
+  }
+  // Validate the whole payload before mutating the cache, so a truncated
+  // file loads nothing rather than half of something. The on-disk count
+  // is untrusted: a corrupt header must produce `false`, not a
+  // length_error/bad_alloc from reserving by it, so the reservation is
+  // capped and the loop lets the stream run dry instead.
+  std::vector<std::pair<std::uint64_t, double>> delays;
+  delays.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, 1u << 20)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t key = 0;
+    double delay = 0.0;
+    in.read(reinterpret_cast<char*>(&key), sizeof(key));
+    in.read(reinterpret_cast<char*>(&delay), sizeof(delay));
+    if (!in) {
+      return false;
+    }
+    delays.emplace_back(key, delay);
+  }
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, delay] : delays) {
+    entry& e = entries_[key];
+    if (!e.has_delay) {
+      ++num_delays_;
+    }
+    e.delay_ps = delay;
+    e.has_delay = true;
+  }
+  return true;
 }
 
 }  // namespace isdc::engine

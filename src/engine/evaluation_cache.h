@@ -4,46 +4,48 @@
 // single-stage, so their root sets — and therefore the IR handed to the
 // tool — are pure functions of the member set (the evaluate stage checks
 // this). A measurement is thus valid across iterations, across run()
-// calls and even across clock periods of the same design — the cache
-// survives all three and reports how much downstream work it saved. Keys
-// mix the design fingerprint and the tool identity with the member-set
-// key, so neither different designs nor different tools can collide.
+// calls, across clock periods and — because keys are *canonical* subgraph
+// fingerprints (extract/canonical.h) combined with the tool identity —
+// across designs: isomorphic cones from different designs coalesce into
+// one entry, so a whole fleet of workloads shares one memo.
 //
-// The cache also subsumes the per-run dedup the monolithic loop kept in a
-// separate std::unordered_set: every entry remembers the generation (run)
-// in which it was last selected, so the expansion stage's "was this
-// subgraph already taken this run?" question and the evaluation stage's
-// "do we already know its delay?" question are answered by one structure.
+// Entries carry an in-flight state for the asynchronous evaluate stage:
+// try_acquire() grants a single-flight ticket per key, and later acquirers
+// may register a waiter that is notified when the ticket resolves — which
+// is how a cone selected by one design while an isomorphic cone from
+// another design is still being measured receives that measurement instead
+// of stalling or re-dispatching. All methods are thread-safe: completions
+// land from dispatch-pool threads, and in fleet mode many concurrent runs
+// share one cache.
 //
-// Entries additionally carry an in-flight state for the asynchronous
-// evaluate stage: try_acquire() grants a single-flight ticket per key, so
-// a subgraph selected again while its measurement is still pending is
-// never dispatched twice. All methods are thread-safe — completions land
-// from dispatch-pool threads concurrently with the driver's lookups.
+// The memo can be persisted: save()/load() serialize the fingerprint ->
+// delay map as a versioned binary file, so feedback survives process
+// restarts and can be shipped between machines.
 #ifndef ISDC_ENGINE_EVALUATION_CACHE_H_
 #define ISDC_ENGINE_EVALUATION_CACHE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <vector>
+
+#include "support/hash.h"
 
 namespace isdc::engine {
 
-/// Canonical cache key: the design fingerprint (which the engine already
-/// scopes by downstream-tool identity) mixed into the subgraph's
-/// member-set key, so member ids from different designs cannot collide.
-inline std::uint64_t subgraph_cache_key(std::uint64_t design_fingerprint,
-                                        std::uint64_t subgraph_key) {
-  std::uint64_t x = design_fingerprint ^ (subgraph_key * 0x9e3779b97f4a7c15ull);
-  // splitmix64 finalizer.
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ull;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return x;
+/// Canonical cache key: the downstream-tool fingerprint (a delay measured
+/// by one oracle must never answer for another) combined with the
+/// subgraph's canonical structural fingerprint. Designs deliberately do
+/// not enter the key — that is what lets isomorphic cones from different
+/// designs share one measurement.
+inline std::uint64_t subgraph_cache_key(std::uint64_t tool_fingerprint,
+                                        std::uint64_t canonical_fingerprint) {
+  return hash_combine(tool_fingerprint, canonical_fingerprint);
 }
 
 class evaluation_cache {
@@ -65,21 +67,22 @@ public:
     double delay_ps = 0.0;  ///< valid only when status == hit
   };
 
-  /// Starts a new run: per-run selection dedup resets, memoized delays and
-  /// counters survive.
-  void begin_generation();
-
-  /// True when `key` was already selected during the current generation.
-  bool selected_this_generation(std::uint64_t key) const;
-
-  /// Marks `key` as selected in the current generation.
-  void mark_selected(std::uint64_t key);
+  /// Notification hooks for an in-flight ticket held by someone else —
+  /// possibly a different design's run on a different shard. Exactly one
+  /// of the two fires, on the thread that resolves the ticket, outside the
+  /// cache lock; both must stay callable until then (the registrant's
+  /// completion queue must outlive the ticket, which the engine guarantees
+  /// by draining every subscription before returning).
+  struct waiter {
+    std::function<void(double delay_ps)> on_ready;  ///< store() resolved it
+    std::function<void(std::exception_ptr)> on_abandon;  ///< call failed
+  };
 
   /// Memoized delay for `key`; bumps the hit/miss counters.
   std::optional<double> lookup(std::uint64_t key);
 
-  /// Memoizes a downstream measurement for `key` and releases any pending
-  /// in-flight ticket.
+  /// Memoizes a downstream measurement for `key`, releases any pending
+  /// in-flight ticket and notifies registered waiters (outside the lock).
   void store(std::uint64_t key, double delay_ps);
 
   /// Single-flight gate for the async evaluate stage: answers from the
@@ -88,9 +91,20 @@ public:
   /// (counted as coalesced) until store()/abandon() releases the ticket.
   acquisition try_acquire(std::uint64_t key);
 
+  /// Like try_acquire, but an in_flight answer additionally registers the
+  /// waiter built by `make_waiter` to be notified when the pending ticket
+  /// resolves. The factory runs on the calling thread, only when the
+  /// answer is in_flight, and atomically with the acquisition — so the
+  /// caller can take per-run ticket accounting (sequence numbers,
+  /// in-flight counts) inside it without racing the resolution. It must
+  /// not call back into the cache.
+  acquisition try_acquire(std::uint64_t key,
+                          const std::function<waiter()>& make_waiter);
+
   /// Releases an in-flight ticket without storing a delay (the downstream
-  /// call failed); the next try_acquire may evaluate the key again.
-  void abandon(std::uint64_t key);
+  /// call failed); waiters are notified with `error` and the next
+  /// try_acquire may evaluate the key again.
+  void abandon(std::uint64_t key, std::exception_ptr error = nullptr);
 
   /// Number of keys whose evaluation ticket is currently held.
   std::size_t num_in_flight() const;
@@ -99,16 +113,30 @@ public:
   std::size_t size() const;
   counters stats() const;
 
-  /// Drops all entries and counters (the generation keeps advancing).
-  /// Must not be called with evaluations in flight.
+  /// Drops all entries and counters. Must not be called with evaluations
+  /// in flight.
   void clear();
+
+  /// Serializes the memoized delays (in-flight tickets and counters are
+  /// transient and skipped) as a versioned binary file, written atomically
+  /// via a temp file + rename. `key_schema` identifies how keys were
+  /// computed — pass extract::canonical_fingerprint_version() — so a cache
+  /// written under one fingerprint algorithm is never misread under
+  /// another. Returns false on I/O failure.
+  bool save(const std::string& path, std::uint64_t key_schema) const;
+
+  /// Merges entries from a file written by save() into the cache (existing
+  /// delays are overwritten; tickets are untouched). Returns false — and
+  /// loads nothing — when the file is missing, corrupt, from a different
+  /// format version or from a different key schema.
+  bool load(const std::string& path, std::uint64_t key_schema);
 
 private:
   struct entry {
     double delay_ps = 0.0;
     bool has_delay = false;
     bool in_flight = false;
-    std::uint64_t selected_generation = 0;  ///< 0 = never selected
+    std::vector<waiter> waiters;  ///< registered while in_flight
   };
 
   mutable std::mutex mutex_;
@@ -116,7 +144,6 @@ private:
   counters counters_;
   std::size_t num_delays_ = 0;
   std::size_t num_in_flight_ = 0;
-  std::uint64_t generation_ = 0;
 };
 
 }  // namespace isdc::engine

@@ -1,0 +1,90 @@
+#include "engine/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "support/check.h"
+
+namespace isdc::engine {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+std::size_t shared_pool_width(const fleet_options& options) {
+  if (options.pool_width > 0) {
+    return static_cast<std::size_t>(options.pool_width);
+  }
+  const int width = std::max(1, options.shards) *
+                    std::max(1, evaluation_pool_width(options.isdc));
+  return static_cast<std::size_t>(std::clamp(width, 1, 256));
+}
+
+}  // namespace
+
+fleet::fleet(fleet_options options)
+    : options_(std::move(options)),
+      model_(options_.isdc.synth),
+      io_pool_(shared_pool_width(options_)),
+      shard_pool_(static_cast<std::size_t>(std::max(1, options_.shards))) {
+  ISDC_CHECK(options_.shards >= 1, "fleet needs at least one shard");
+  engine_.use_shared_cache(&cache_);
+  if (!options_.cache_path.empty()) {
+    // Loads into the shared cache now and saves when engine_ is
+    // destroyed (before cache_, which is declared first). A missing or
+    // stale file just means a cold start.
+    engine_.attach_cache_file(options_.cache_path);
+  }
+}
+
+fleet::~fleet() = default;
+
+bool fleet::flush_cache() const { return engine_.flush_cache_file(); }
+
+fleet_report fleet::run(const std::vector<fleet_job>& jobs,
+                        const core::downstream_tool& tool) {
+  fleet_report report;
+  report.results.resize(jobs.size());
+  const evaluation_cache::counters before = cache_.stats();
+
+  const auto start = clock_type::now();
+  // Dynamic sharding: shard threads (the caller included) pull the next
+  // unstarted job from an atomic cursor, so a long design never serializes
+  // the batch behind it.
+  shard_pool_.parallel_for(jobs.size(), [&](std::size_t i) {
+    const fleet_job& job = jobs[i];
+    fleet_result& out = report.results[i];
+    out.name = job.name;
+    const auto job_start = clock_type::now();
+    try {
+      ISDC_CHECK(job.graph != nullptr, "fleet job without a graph");
+      core::isdc_options opts = options_.isdc;
+      if (job.clock_period_ps.has_value()) {
+        opts.base.clock_period_ps = *job.clock_period_ps;
+      }
+      out.result = engine_.run(*job.graph, tool, opts, &model_, &io_pool_);
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+    out.seconds = seconds_since(job_start);
+  });
+  report.wall_seconds = seconds_since(start);
+  report.designs_per_second =
+      jobs.empty() ? 0.0
+                   : static_cast<double>(jobs.size()) /
+                         std::max(report.wall_seconds, 1e-12);
+
+  const evaluation_cache::counters after = cache_.stats();
+  report.cache_delta.hits = after.hits - before.hits;
+  report.cache_delta.misses = after.misses - before.misses;
+  report.cache_delta.coalesced = after.coalesced - before.coalesced;
+  report.unique_subgraphs = cache_.size();
+  return report;
+}
+
+}  // namespace isdc::engine

@@ -1,0 +1,105 @@
+// Fleet scheduling: many designs through one engine. The batch front-end
+// that turns the one-design-per-process ISDC driver into a many-users
+// service shape: a CPU shard pool runs one ISDC flow per shard, and every
+// shard shares
+//   - one engine (stateless stages, concurrent-safe run()),
+//   - one thread-safe evaluation_cache keyed by canonical subgraph
+//     fingerprints, so isomorphic cones from *different* designs coalesce
+//     into a single downstream measurement — including concurrently, via
+//     the cache's cross-run single-flight tickets,
+//   - one wide async I/O dispatch pool for downstream calls,
+//   - one process-wide characterizer (synth::delay_model) over the
+//     process-wide cell library,
+// instead of each run paying its own setup and its own measurements.
+//
+// The cache can be persisted (fleet_options::cache_path): loaded at
+// construction, saved on destruction and on flush_cache(), so feedback
+// survives restarts and is shippable between machines.
+#ifndef ISDC_ENGINE_FLEET_H_
+#define ISDC_ENGINE_FLEET_H_
+
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "support/thread_pool.h"
+#include "synth/characterizer.h"
+
+namespace isdc::engine {
+
+struct fleet_options {
+  /// Concurrent ISDC runs. Each shard executes whole runs; within a shard
+  /// the usual engine pipeline (including async evaluation) applies.
+  int shards = 4;
+  /// Options applied to every job (clock period overridable per job). The
+  /// shared characterizer is built from `isdc.synth`.
+  core::isdc_options isdc;
+  /// Width of the shared downstream-evaluation pool. 0 = shards times the
+  /// per-run width (num_threads in sync mode, the async in-flight cap in
+  /// async mode), capped at 256.
+  int pool_width = 0;
+  /// Optional persisted-cache path; empty = in-memory only.
+  std::string cache_path;
+};
+
+/// One design to schedule. The graph must outlive fleet::run.
+struct fleet_job {
+  std::string name;
+  const ir::graph* graph = nullptr;
+  std::optional<double> clock_period_ps;  ///< overrides isdc.base
+};
+
+struct fleet_result {
+  std::string name;
+  core::isdc_result result;  ///< valid only when error == nullptr
+  double seconds = 0.0;      ///< this job's wall clock on its shard
+  std::exception_ptr error;  ///< a failed job never sinks the batch
+};
+
+struct fleet_report {
+  std::vector<fleet_result> results;  ///< one per job, in job order
+  double wall_seconds = 0.0;
+  double designs_per_second = 0.0;
+  /// Cache activity during this batch (counters after minus before).
+  evaluation_cache::counters cache_delta;
+  std::size_t unique_subgraphs = 0;  ///< distinct fingerprints memoized
+};
+
+class fleet {
+public:
+  explicit fleet(fleet_options options);
+  /// Saves the persisted cache (when cache_path is set).
+  ~fleet();
+
+  fleet(const fleet&) = delete;
+  fleet& operator=(const fleet&) = delete;
+
+  /// Schedules every job, `shards` at a time, through the shared engine.
+  /// `tool` is the one downstream backend for the whole batch and must be
+  /// thread-safe. Callable repeatedly; the cache keeps warming.
+  fleet_report run(const std::vector<fleet_job>& jobs,
+                   const core::downstream_tool& tool);
+
+  evaluation_cache& cache() { return cache_; }
+  synth::delay_model& model() { return model_; }
+  engine& shared_engine() { return engine_; }
+
+  /// Saves the cache to cache_path now. False when no path is configured
+  /// or the write failed.
+  bool flush_cache() const;
+
+private:
+  fleet_options options_;
+  evaluation_cache cache_;
+  synth::delay_model model_;
+  thread_pool io_pool_;
+  thread_pool shard_pool_;
+  engine engine_;
+};
+
+}  // namespace isdc::engine
+
+#endif  // ISDC_ENGINE_FLEET_H_

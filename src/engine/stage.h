@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <exception>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "core/delay_update.h"
@@ -68,7 +69,19 @@ struct run_state {
   thread_pool& dispatch_pool;
   completion_queue<evaluation_arrival>& completions;
   sched::scheduler_instance& scheduler;
-  std::uint64_t design_fingerprint = 0;  ///< mixed into cache keys
+  /// Fingerprint of the downstream tool's identity, combined with each
+  /// subgraph's canonical fingerprint to form cache keys. Designs are
+  /// deliberately absent from keys: isomorphic cones from different
+  /// designs share one measurement.
+  std::uint64_t tool_fingerprint = 0;
+  /// Per-run selection dedup (the iterative search-space reduction of
+  /// Section III-A2), keyed by the design-local member-set key — NOT the
+  /// canonical fingerprint: two isomorphic cones in different regions of
+  /// one design share a measurement but must each be selected, because
+  /// each lowers its own region's delay-matrix entries. Run-local so that
+  /// concurrent fleet runs sharing one cache never poison each other's
+  /// dedup.
+  std::unordered_set<std::uint64_t> selected;
   // Async ticket accounting (driver + evaluate + update only; all zero /
   // false in sync mode).
   int max_in_flight = 0;        ///< dispatch cap (resolved from options)
@@ -106,6 +119,7 @@ struct iteration_state {
   int cache_hits = 0;  ///< evaluations answered by the cache
   // Async pipeline accounting for this pass (evaluate/update ->).
   int evaluations_dispatched = 0;
+  int evaluations_coalesced = 0;  ///< subscriptions onto in-flight tickets
   int evaluations_arrived = 0;
   std::size_t evaluations_in_flight = 0;  ///< pending after update consumed
   // resolve -> (solver metrics of this iteration's re-solve)

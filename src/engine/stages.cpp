@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <iterator>
+#include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "core/floyd_warshall.h"
 #include "core/reformulate.h"
+#include "extract/canonical.h"
 #include "extract/cone.h"
 #include "extract/path_enum.h"
 #include "extract/window.h"
@@ -117,18 +120,17 @@ public:
         rs.candidate_cache_fresh ? rs.candidate_cache : it.candidates;
     std::vector<extract::subgraph>& picked = it.subgraphs;
 
+    // Selection dedup is run-local and keyed by the member set: each
+    // distinct region of the design is selected once per run, even when
+    // several regions are isomorphic and will share one cached
+    // measurement downstream.
     const auto selected = [&rs](const extract::subgraph& sub) {
-      return rs.cache.selected_this_generation(
-          subgraph_cache_key(rs.design_fingerprint, sub.key()));
+      return rs.selected.contains(sub.key());
     };
     const auto consider = [&](extract::subgraph sub) {
-      const std::uint64_t key =
-          subgraph_cache_key(rs.design_fingerprint, sub.key());
-      if (rs.cache.selected_this_generation(key)) {
-        return;
+      if (rs.selected.insert(sub.key()).second) {
+        picked.push_back(std::move(sub));
       }
-      rs.cache.mark_selected(key);
-      picked.push_back(std::move(sub));
     };
 
     if (rs.options.expansion != extract::expansion_mode::window) {
@@ -221,14 +223,18 @@ void check_single_stage(const run_state& rs, const extract::subgraph& sub) {
   }
 }
 
-/// Measures every selected subgraph: cache hits reuse the memoized delay.
-/// Sync mode sends misses to the downstream tool in parallel and joins
-/// before memoizing. Async mode is a non-blocking dispatcher: each miss
-/// acquires a single-flight ticket and is submitted to the I/O dispatch
-/// pool; its measurement arrives on the completion queue — possibly
-/// several iterations later — where the update stage consumes it. A
-/// subgraph selected again while its ticket is still pending is never
-/// dispatched twice.
+/// Measures every selected subgraph: cache hits reuse the memoized delay,
+/// and keys are canonical fingerprints, so the memo may have been written
+/// by an isomorphic cone of another design. Sync mode sends misses to the
+/// downstream tool in parallel — one call per *distinct* fingerprint —
+/// and joins before memoizing. Async mode is a non-blocking dispatcher:
+/// each miss acquires a single-flight ticket and is submitted to the I/O
+/// dispatch pool; its measurement arrives on the completion queue —
+/// possibly several iterations later — where the update stage consumes
+/// it. A fingerprint whose ticket is already pending (this run's, or a
+/// concurrent fleet run's) is never dispatched twice: the selection
+/// subscribes onto the pending ticket and receives its own arrival when
+/// the one measurement completes.
 class evaluate_stage final : public stage {
 public:
   std::string_view name() const override { return "evaluate"; }
@@ -238,29 +244,40 @@ public:
       return run_async(rs, it);
     }
     it.evaluations.assign(it.subgraphs.size(), {});
-    std::vector<std::size_t> misses;
+    // Misses grouped by canonical fingerprint: isomorphic cones selected
+    // in the same batch cost one downstream call, and the rest copy it.
+    std::vector<std::uint64_t> keys(it.subgraphs.size(), 0);
+    std::vector<std::size_t> unique_misses;
+    std::unordered_map<std::uint64_t, std::size_t> first_miss;
     for (std::size_t i = 0; i < it.subgraphs.size(); ++i) {
       it.evaluations[i].members = it.subgraphs[i].members;
-      const std::uint64_t key =
-          subgraph_cache_key(rs.design_fingerprint, it.subgraphs[i].key());
-      if (const auto memo = rs.cache.lookup(key)) {
+      keys[i] = subgraph_cache_key(
+          rs.tool_fingerprint,
+          extract::canonical_fingerprint(rs.g, it.subgraphs[i]));
+      if (const auto memo = rs.cache.lookup(keys[i])) {
         it.evaluations[i].delay_ps = *memo;
         ++it.cache_hits;
       } else {
         check_single_stage(rs, it.subgraphs[i]);
-        misses.push_back(i);
+        if (first_miss.emplace(keys[i], i).second) {
+          unique_misses.push_back(i);
+        }
       }
     }
-    rs.pool.parallel_for(misses.size(), [&](std::size_t j) {
-      const std::size_t i = misses[j];
+    rs.pool.parallel_for(unique_misses.size(), [&](std::size_t j) {
+      const std::size_t i = unique_misses[j];
       const ir::extraction sub_ir =
           extract::subgraph_to_ir(rs.g, it.subgraphs[i]);
       it.evaluations[i].delay_ps = rs.tool.subgraph_delay_ps(sub_ir.g);
     });
-    for (std::size_t i : misses) {
-      rs.cache.store(
-          subgraph_cache_key(rs.design_fingerprint, it.subgraphs[i].key()),
-          it.evaluations[i].delay_ps);
+    for (std::size_t i : unique_misses) {
+      rs.cache.store(keys[i], it.evaluations[i].delay_ps);
+    }
+    for (std::size_t i = 0; i < it.subgraphs.size(); ++i) {
+      const auto rep = first_miss.find(keys[i]);
+      if (rep != first_miss.end() && rep->second != i) {
+        it.evaluations[i].delay_ps = it.evaluations[rep->second].delay_ps;
+      }
     }
     return true;
   }
@@ -268,9 +285,47 @@ public:
 private:
   static bool run_async(run_state& rs, iteration_state& it) {
     for (const extract::subgraph& sub : it.subgraphs) {
-      const std::uint64_t key =
-          subgraph_cache_key(rs.design_fingerprint, sub.key());
-      const evaluation_cache::acquisition acq = rs.cache.try_acquire(key);
+      const std::uint64_t key = subgraph_cache_key(
+          rs.tool_fingerprint, extract::canonical_fingerprint(rs.g, sub));
+      // The factory runs only when the key's ticket is already held —
+      // by an earlier selection of this run or by a concurrent fleet run
+      // measuring an isomorphic cone of another design. It subscribes
+      // this selection onto that ticket: a sequence number is allocated
+      // here, on the scheduling thread, and when the one measurement
+      // resolves, an arrival carrying *these* members lands on this
+      // run's completion queue — so this region's matrix entries are
+      // updated by a measurement dispatched by somebody else.
+      const auto subscribe = [&rs, &sub]() {
+        const std::uint64_t sequence = rs.next_ticket++;
+        ++rs.in_flight;
+        auto* completions = &rs.completions;
+        std::vector<ir::node_id> members = sub.members;
+        return evaluation_cache::waiter{
+            .on_ready =
+                [completions, sequence, members](double delay_ps) {
+                  evaluation_arrival arrival;
+                  arrival.sequence = sequence;
+                  arrival.evaluation.members = members;
+                  arrival.evaluation.delay_ps = delay_ps;
+                  completions->push(std::move(arrival));
+                },
+            .on_abandon =
+                [completions, sequence,
+                 members](std::exception_ptr error) {
+                  evaluation_arrival arrival;
+                  arrival.sequence = sequence;
+                  arrival.evaluation.members = members;
+                  arrival.error =
+                      error != nullptr
+                          ? error
+                          : std::make_exception_ptr(std::runtime_error(
+                                "coalesced downstream evaluation "
+                                "abandoned"));
+                  completions->push(std::move(arrival));
+                }};
+      };
+      const evaluation_cache::acquisition acq =
+          rs.cache.try_acquire(key, subscribe);
       switch (acq.status) {
         case evaluation_cache::acquire_status::hit: {
           core::evaluated_subgraph eval;
@@ -281,15 +336,24 @@ private:
           break;
         }
         case evaluation_cache::acquire_status::in_flight:
-          // Single-flight: an earlier selection's ticket is pending; its
-          // arrival will cover this one too.
+          ++it.evaluations_coalesced;
           break;
         case evaluation_cache::acquire_status::acquired: {
-          check_single_stage(rs, sub);
-          // The IR is extracted here, on the scheduling thread, so the
-          // dispatched task touches nothing owned by this iteration.
-          dispatch(rs, key, sub.members,
-                   extract::subgraph_to_ir(rs.g, sub));
+          // Until the dispatched task owns the ticket (store/abandon on
+          // completion), any failure here must release it — otherwise
+          // every later isomorphic selection, this run's or another
+          // shard's, would wait forever on a measurement nobody is
+          // making.
+          try {
+            check_single_stage(rs, sub);
+            // The IR is extracted here, on the scheduling thread, so the
+            // dispatched task touches nothing owned by this iteration.
+            dispatch(rs, key, sub.members,
+                     extract::subgraph_to_ir(rs.g, sub));
+          } catch (...) {
+            rs.cache.abandon(key, std::current_exception());
+            throw;
+          }
           ++it.evaluations_dispatched;
           break;
         }
@@ -306,7 +370,10 @@ private:
                        std::vector<ir::node_id> members,
                        ir::extraction sub_ir) {
     const std::uint64_t sequence = rs.next_ticket++;
-    ++rs.in_flight;
+    // in_flight is counted only after submit() succeeds: a failed submit
+    // produces no arrival, and an uncounted sequence gap is harmless
+    // (consumers only need the ordering). The caller abandons the cache
+    // ticket on the throw.
     rs.dispatch_pool.submit(
         [tool = &rs.tool, cache = &rs.cache, completions = &rs.completions,
          sequence, key, members = std::move(members),
@@ -319,10 +386,11 @@ private:
             cache->store(key, arrival.evaluation.delay_ps);
           } catch (...) {
             arrival.error = std::current_exception();
-            cache->abandon(key);
+            cache->abandon(key, arrival.error);
           }
           completions->push(std::move(arrival));
         });
+    ++rs.in_flight;
   }
 };
 
@@ -340,7 +408,8 @@ public:
     if (rs.options.async_evaluation) {
       std::vector<evaluation_arrival> arrivals = rs.completions.try_drain();
       if (arrivals.empty() && it.cache_hits == 0 &&
-          it.evaluations_dispatched == 0 && rs.in_flight > 0) {
+          it.evaluations_dispatched == 0 && it.evaluations_coalesced == 0 &&
+          rs.in_flight > 0) {
         arrivals = rs.completions.wait_drain();
       }
       consume_arrivals(rs, it, std::move(arrivals));

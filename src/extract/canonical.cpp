@@ -1,0 +1,164 @@
+#include "extract/canonical.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+#include "support/hash.h"
+
+namespace isdc::extract {
+
+namespace {
+
+// Node-kind tags mixed ahead of each node's payload, so a leaf can never
+// alias a member or a constant of coincidentally equal width.
+constexpr std::uint64_t kTagMember = 0x6d656d6265720000ull;  // "member"
+constexpr std::uint64_t kTagLeaf = 0x6c65616600000000ull;    // "leaf"
+constexpr std::uint64_t kTagConst = 0x636f6e7374000000ull;   // "const"
+
+bool uses_value(ir::opcode op) {
+  return op == ir::opcode::constant || op == ir::opcode::slice;
+}
+
+/// Bottom-up shape hash of one member: opcode, width, value (where it is
+/// semantic) and the shape hashes of its operands in operand order, with
+/// out-of-cone operands anonymized — constants by (width, value), every
+/// other external source by width alone. Member ids never enter the hash.
+std::uint64_t shape_hash(
+    const ir::graph& g, ir::node_id m,
+    const std::unordered_map<ir::node_id, std::uint64_t>& member_shape) {
+  const ir::node& n = g.at(m);
+  fnv1a64 h;
+  h.mix(kTagMember);
+  h.mix(static_cast<std::uint64_t>(n.op));
+  h.mix(n.width);
+  if (uses_value(n.op)) {
+    h.mix(n.value);
+  }
+  for (const ir::node_id p : n.operands) {
+    const auto it = member_shape.find(p);
+    if (it != member_shape.end()) {
+      h.mix(it->second);
+    } else if (g.at(p).op == ir::opcode::constant) {
+      h.mix(kTagConst);
+      h.mix(g.at(p).width);
+      h.mix(g.at(p).value);
+    } else {
+      h.mix(kTagLeaf);
+      h.mix(g.at(p).width);
+    }
+  }
+  return h.value();
+}
+
+}  // namespace
+
+std::uint64_t canonical_fingerprint_version() { return 1; }
+
+std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub) {
+  ISDC_CHECK(!sub.members.empty(), "canonical_fingerprint of empty subgraph");
+
+  // Pass 1 — shape hashes, bottom-up. Members are sorted ascending and ids
+  // are topological by construction, so operands are hashed before users.
+  std::unordered_map<ir::node_id, std::uint64_t> shape;
+  shape.reserve(sub.members.size());
+  for (const ir::node_id m : sub.members) {
+    shape.emplace(m, shape_hash(g, m, shape));
+  }
+
+  // Pass 2 — a canonical traversal order. Roots are visited by ascending
+  // shape hash (their design-local id order is what we must erase); ties
+  // keep the finalized root order, which is deterministic per design and
+  // only costs coalescing between designs whose roots are genuinely
+  // symmetric. A deterministic DFS from each root, following operand
+  // order, numbers every reachable node — members, leaves and external
+  // constants alike — at first visit.
+  std::vector<ir::node_id> root_order(sub.roots.begin(), sub.roots.end());
+  std::stable_sort(root_order.begin(), root_order.end(),
+                   [&shape](ir::node_id a, ir::node_id b) {
+                     return shape.at(a) < shape.at(b);
+                   });
+
+  std::unordered_map<ir::node_id, std::uint64_t> canonical_id;
+  canonical_id.reserve(shape.size() + sub.leaves.size());
+  std::vector<ir::node_id> order;  // nodes in canonical-id order
+  order.reserve(shape.size() + sub.leaves.size());
+  std::vector<ir::node_id> stack;
+  const auto visit_from = [&](ir::node_id root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const ir::node_id v = stack.back();
+      stack.pop_back();
+      if (!canonical_id.emplace(v, order.size()).second) {
+        continue;
+      }
+      order.push_back(v);
+      if (!shape.contains(v)) {
+        continue;  // leaf or external constant: a terminal
+      }
+      const std::vector<ir::node_id>& operands = g.at(v).operands;
+      for (auto it = operands.rbegin(); it != operands.rend(); ++it) {
+        stack.push_back(*it);  // reversed: popped in operand order
+      }
+    }
+  };
+  for (const ir::node_id r : root_order) {
+    visit_from(r);
+  }
+  // Members unreachable from every root (possible only for hand-built
+  // member sets with dead nodes) still must distinguish the fingerprint:
+  // traverse them too, in the same shape-then-id order.
+  if (order.size() < shape.size()) {
+    std::vector<ir::node_id> rest;
+    for (const ir::node_id m : sub.members) {
+      if (!canonical_id.contains(m)) {
+        rest.push_back(m);
+      }
+    }
+    std::stable_sort(rest.begin(), rest.end(),
+                     [&shape](ir::node_id a, ir::node_id b) {
+                       return shape.at(a) < shape.at(b);
+                     });
+    for (const ir::node_id m : rest) {
+      visit_from(m);
+    }
+  }
+
+  // Pass 3 — the fingerprint: every node in canonical order with its
+  // operands as canonical indices, then the roots as canonical indices.
+  // This encodes the exact DAG (including fan-out sharing), just relabeled.
+  fnv1a64 h;
+  h.mix(order.size());
+  for (const ir::node_id v : order) {
+    const ir::node& n = g.at(v);
+    if (!shape.contains(v)) {
+      if (n.op == ir::opcode::constant) {
+        h.mix(kTagConst);
+        h.mix(n.width);
+        h.mix(n.value);
+      } else {
+        h.mix(kTagLeaf);
+        h.mix(n.width);
+      }
+      continue;
+    }
+    h.mix(kTagMember);
+    h.mix(static_cast<std::uint64_t>(n.op));
+    h.mix(n.width);
+    if (uses_value(n.op)) {
+      h.mix(n.value);
+    }
+    for (const ir::node_id p : n.operands) {
+      h.mix(canonical_id.at(p));
+    }
+  }
+  h.mix(root_order.size());
+  for (const ir::node_id r : root_order) {
+    h.mix(canonical_id.at(r));
+  }
+  return h.value();
+}
+
+}  // namespace isdc::extract

@@ -1,0 +1,37 @@
+// Canonical structural fingerprint of an extracted subgraph: a hash over
+// the cone's *shape* — opcodes, bitwidths, constant values, edge structure
+// and a canonicalized input ordering — rather than over its design-local
+// node ids. Two isomorphic cones extracted from different designs (or from
+// two regions of the same design) produce the same fingerprint, so one
+// downstream measurement answers for both; structurally different cones
+// differ except with 64-bit hash-collision probability.
+//
+// This is the key the engine's evaluation cache uses (combined with the
+// downstream-tool identity), replacing the old design-fingerprint ×
+// member-set keying that made every design pay for its own measurements.
+#ifndef ISDC_EXTRACT_CANONICAL_H_
+#define ISDC_EXTRACT_CANONICAL_H_
+
+#include <cstdint>
+
+#include "extract/subgraph.h"
+
+namespace isdc::extract {
+
+/// Version of the canonical-fingerprint algorithm. Bumped whenever the
+/// hash changes meaning, so persisted evaluation caches keyed by old
+/// fingerprints are rejected instead of silently misread.
+std::uint64_t canonical_fingerprint_version();
+
+/// Canonical fingerprint of `sub` within `g`. Invariant under node
+/// renumbering (the same circuit embedded in two designs at different ids
+/// hashes equal) and under root reordering; sensitive to opcodes, widths,
+/// constant/slice values, operand order, fan-out sharing (a reused
+/// subexpression is distinguished from a duplicated one) and the root set.
+/// `sub.members` must be finalized (sorted members, computed roots), which
+/// every built-in expansion guarantees.
+std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub);
+
+}  // namespace isdc::extract
+
+#endif  // ISDC_EXTRACT_CANONICAL_H_

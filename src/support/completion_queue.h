@@ -6,9 +6,11 @@
 #ifndef ISDC_SUPPORT_COMPLETION_QUEUE_H_
 #define ISDC_SUPPORT_COMPLETION_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -17,13 +19,28 @@ namespace isdc {
 template <typename T>
 class completion_queue {
 public:
+  /// Waits out producers still inside push(): the consumer may have
+  /// consumed an arrival — and decided the queue is done — while the
+  /// pusher is between enqueuing it and returning. Only a concern when
+  /// producers run on a pool that outlives the queue (the engine's shared
+  /// fleet dispatch pool); a per-run pool joins its tasks first anyway.
+  ~completion_queue() {
+    while (pushing_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+  }
+
   /// Enqueues one completed result (any thread).
   void push(T value) {
+    pushing_.fetch_add(1, std::memory_order_acq_rel);
     {
       std::lock_guard lock(mutex_);
       ready_.push_back(std::move(value));
     }
     cv_.notify_one();
+    // Last touch of the queue: after this decrement the destructor may
+    // proceed.
+    pushing_.fetch_sub(1, std::memory_order_release);
   }
 
   /// Takes everything that has arrived so far; empty when nothing has.
@@ -52,6 +69,7 @@ private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<T> ready_;
+  std::atomic<int> pushing_{0};  ///< producers currently inside push()
 };
 
 }  // namespace isdc

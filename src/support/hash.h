@@ -1,6 +1,7 @@
 // FNV-1a 64-bit hashing, shared by the structural fingerprints (IR graph,
 // subgraph member sets, cache keys) so the constants and mixing loop live
-// in exactly one place.
+// in exactly one place — plus the one true two-word hash combine used for
+// composite cache keys.
 #ifndef ISDC_SUPPORT_HASH_H_
 #define ISDC_SUPPORT_HASH_H_
 
@@ -8,6 +9,27 @@
 #include <string_view>
 
 namespace isdc {
+
+/// splitmix64 finalizer: a full-avalanche bijection on 64-bit words.
+inline std::uint64_t hash_finalize(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-dependent combine of two 64-bit hashes. Each word is avalanched
+/// before it is folded in, so hash_combine(a, b) != hash_combine(b, a) and
+/// single-bit differences in either input diffuse through the whole key —
+/// unlike the classic `seed ^ (v * phi)` fold, where correlated inputs
+/// collide along xor-linear subspaces.
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  seed = hash_finalize(seed + 0x9e3779b97f4a7c15ull);
+  return hash_finalize(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                               (seed >> 2)));
+}
 
 /// Incremental FNV-1a over 64-bit words.
 class fnv1a64 {

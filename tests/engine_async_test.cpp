@@ -73,6 +73,7 @@ core::isdc_options async_options(double clock_period_ps) {
 
 struct history_totals {
   int dispatched = 0;
+  int coalesced = 0;
   int arrived = 0;
   int hits = 0;
 };
@@ -81,6 +82,7 @@ history_totals totals(const core::isdc_result& result) {
   history_totals t;
   for (const core::iteration_record& rec : result.history) {
     t.dispatched += rec.evaluations_dispatched;
+    t.coalesced += rec.evaluations_coalesced;
     t.arrived += rec.evaluations_arrived;
     t.hits += rec.cache_hits;
   }
@@ -89,7 +91,6 @@ history_totals totals(const core::isdc_result& result) {
 
 TEST(EvaluationCacheAsyncTest, TryAcquireIsSingleFlight) {
   evaluation_cache cache;
-  cache.begin_generation();
 
   // First acquisition wins the ticket; the second coalesces onto it.
   EXPECT_EQ(cache.try_acquire(7).status,
@@ -119,7 +120,6 @@ TEST(EvaluationCacheAsyncTest, TryAcquireIsSingleFlight) {
 
 TEST(EvaluationCacheAsyncTest, ConcurrentAcquireGrantsOneTicketPerKey) {
   evaluation_cache cache;
-  cache.begin_generation();
   constexpr int kThreads = 8;
   constexpr std::uint64_t kKeys = 32;
   std::atomic<int> acquired{0};
@@ -183,10 +183,12 @@ TEST_P(AsyncParityTest, MatchesSyncFinalQuality) {
   EXPECT_LE(sched::register_bits(g, async.final_schedule),
             sched::register_bits(g, async.initial));
 
-  // The async run's ticket accounting must balance: every dispatch arrived
-  // and nothing is pending at the end.
+  // The async run's ticket accounting must balance: every ticket — own
+  // dispatches and subscriptions coalesced onto an isomorphic cone's
+  // pending measurement — produced exactly one arrival, and nothing is
+  // pending at the end.
   const history_totals t = totals(async);
-  EXPECT_EQ(t.dispatched, t.arrived);
+  EXPECT_EQ(t.dispatched + t.coalesced, t.arrived);
   EXPECT_GT(t.dispatched, 0);
   EXPECT_EQ(async.history.back().evaluations_in_flight, 0u);
 }
@@ -209,12 +211,14 @@ TEST(AsyncEvaluationTest, SingleFlightDedupUnderFlakyLatency) {
   engine e;
   const core::isdc_result result = e.run(g, tool, opts, &shared_model());
 
-  // Single-flight: every distinct subgraph was measured exactly once, even
-  // when re-selected while its first measurement was still in flight.
+  // Single-flight: every distinct canonical fingerprint was measured
+  // exactly once, even when an isomorphic cone was selected while the
+  // first measurement was still in flight (those selections subscribe
+  // onto the pending ticket and arrive without a second call).
   EXPECT_EQ(static_cast<std::size_t>(tool.calls()), e.cache().size());
   const history_totals t = totals(result);
   EXPECT_EQ(t.dispatched, tool.calls());
-  EXPECT_EQ(t.dispatched, t.arrived);
+  EXPECT_EQ(t.dispatched + t.coalesced, t.arrived);
   EXPECT_EQ(e.cache().num_in_flight(), 0u);
 }
 
@@ -236,7 +240,7 @@ TEST(AsyncEvaluationTest, DrainAtEndLosesNoEvaluation) {
 
   const history_totals t = totals(result);
   EXPECT_GT(t.dispatched, 0);
-  EXPECT_EQ(t.dispatched, t.arrived);  // nothing lost
+  EXPECT_EQ(t.dispatched + t.coalesced, t.arrived);  // nothing lost
   EXPECT_EQ(static_cast<std::uint64_t>(t.dispatched), tool.calls());
   EXPECT_EQ(e.cache().size(), tool.calls());
   EXPECT_EQ(e.cache().num_in_flight(), 0u);
@@ -271,7 +275,7 @@ TEST(AsyncEvaluationTest, ZeroLatencyPipelineStaysBalanced) {
   const core::isdc_result result = e.run(g, tool, opts, &shared_model());
 
   const history_totals t = totals(result);
-  EXPECT_EQ(t.dispatched, t.arrived);
+  EXPECT_EQ(t.dispatched + t.coalesced, t.arrived);
   EXPECT_EQ(t.dispatched, tool.calls());
   EXPECT_EQ(e.cache().num_in_flight(), 0u);
   EXPECT_EQ(result.history.back().evaluations_in_flight, 0u);

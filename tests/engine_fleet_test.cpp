@@ -1,0 +1,404 @@
+// The fleet batch front-end: fleet-vs-solo parity (sync bit-identical,
+// async equal quality), cross-design coalescing through the canonical
+// fingerprint keys, cross-shard single-flight, per-job error isolation,
+// and the persisted evaluation cache (binary round trip, versioning,
+// engine- and fleet-level restart survival).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/downstream.h"
+#include "engine/fleet.h"
+#include "extract/canonical.h"
+#include "ir/builder.h"
+#include "sched/metrics.h"
+#include "sched/validate.h"
+#include "workloads/registry.h"
+
+namespace isdc::engine {
+namespace {
+
+/// Thread-safe constant-delay downstream stub that counts calls.
+class counting_downstream final : public core::downstream_tool {
+public:
+  explicit counting_downstream(double delay, std::string name = "counting")
+      : delay_(delay), name_(std::move(name)) {}
+  double subgraph_delay_ps(const ir::graph&) const override {
+    ++calls_;
+    return delay_;
+  }
+  std::string name() const override { return name_; }
+  int calls() const { return calls_.load(); }
+
+private:
+  double delay_;
+  std::string name_;
+  mutable std::atomic<int> calls_{0};
+};
+
+const synth::delay_model& shared_model() {
+  static const synth::delay_model model{synth::synthesis_options{}};
+  return model;
+}
+
+core::isdc_options small_options(double clock_period_ps = 2500.0) {
+  core::isdc_options opts;
+  opts.base.clock_period_ps = clock_period_ps;
+  opts.max_iterations = 8;
+  opts.subgraphs_per_iteration = 4;
+  opts.num_threads = 2;
+  return opts;
+}
+
+/// A design containing `prelude` unused pad inputs before a fixed adder
+/// ladder: the same circuit at shifted node ids, so two instances are
+/// isomorphic designs whose member-set keys never collide.
+ir::graph make_shifted_ladder(int prelude, int rungs = 6) {
+  ir::graph g("ladder" + std::to_string(prelude));
+  ir::builder bl(g);
+  for (int i = 0; i < prelude; ++i) {
+    bl.input(8, "pad" + std::to_string(i));
+  }
+  ir::node_id v = bl.input(32, "x");
+  const ir::node_id y = bl.input(32, "y");
+  for (int i = 0; i < rungs; ++i) {
+    v = bl.add(v, y);
+  }
+  g.mark_output(v);
+  return g;
+}
+
+/// Everything the feedback loop computed, compared bit-identically;
+/// evaluation-sourcing counters (cache hits / dispatch accounting) are
+/// excluded because a warm shared cache legitimately serves from memo
+/// what a cold solo run had to measure — with identical values.
+void expect_same_schedule_trajectory(const core::isdc_result& a,
+                                     const core::isdc_result& b) {
+  EXPECT_EQ(a.initial, b.initial);
+  EXPECT_EQ(a.final_schedule, b.final_schedule);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.delays, b.delays);
+  EXPECT_EQ(a.naive_delays, b.naive_delays);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const core::iteration_record& ra = a.history[i];
+    const core::iteration_record& rb = b.history[i];
+    EXPECT_EQ(ra.iteration, rb.iteration) << "record " << i;
+    EXPECT_EQ(ra.register_bits, rb.register_bits) << "record " << i;
+    EXPECT_EQ(ra.num_stages, rb.num_stages) << "record " << i;
+    EXPECT_DOUBLE_EQ(ra.estimated_delay_ps, rb.estimated_delay_ps)
+        << "record " << i;
+    EXPECT_DOUBLE_EQ(ra.naive_estimated_delay_ps,
+                     rb.naive_estimated_delay_ps)
+        << "record " << i;
+    EXPECT_EQ(ra.subgraphs_evaluated, rb.subgraphs_evaluated)
+        << "record " << i;
+    EXPECT_EQ(ra.matrix_entries_lowered, rb.matrix_entries_lowered)
+        << "record " << i;
+    EXPECT_EQ(ra.warm_resolve, rb.warm_resolve) << "record " << i;
+    EXPECT_EQ(ra.solver_ssp_paths, rb.solver_ssp_paths) << "record " << i;
+    EXPECT_EQ(ra.constraints_reemitted, rb.constraints_reemitted)
+        << "record " << i;
+  }
+}
+
+TEST(FleetTest, SyncParityWithSoloRuns) {
+  const std::vector<std::string> names = {"rrot", "ml_datapath1",
+                                          "binary_divide", "crc32"};
+  std::vector<ir::graph> graphs;
+  std::vector<fleet_job> jobs;
+  graphs.reserve(names.size());
+  for (const std::string& name : names) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr);
+    graphs.push_back(spec->build());
+    jobs.push_back({.name = name,
+                    .graph = &graphs.back(),
+                    .clock_period_ps = spec->clock_period_ps});
+  }
+
+  counting_downstream fleet_tool(900.0);
+  fleet_options fopts;
+  fopts.shards = 2;
+  fopts.isdc = small_options();
+  fleet f(fopts);
+  const fleet_report report = f.run(jobs, fleet_tool);
+  ASSERT_EQ(report.results.size(), jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(report.results[i].error, nullptr) << names[i];
+    counting_downstream solo_tool(900.0);
+    core::isdc_options opts = small_options();
+    opts.base.clock_period_ps = *jobs[i].clock_period_ps;
+    const core::isdc_result solo =
+        engine().run(graphs[i], solo_tool, opts, &shared_model());
+    expect_same_schedule_trajectory(report.results[i].result, solo);
+  }
+  EXPECT_GT(report.cache_delta.misses, 0u);
+  EXPECT_GT(report.unique_subgraphs, 0u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.designs_per_second, 0.0);
+}
+
+TEST(FleetTest, AsyncMatchesSoloFinalQuality) {
+  const std::vector<std::string> names = {"rrot", "binary_divide",
+                                          "ml_datapath1"};
+  std::vector<ir::graph> graphs;
+  std::vector<fleet_job> jobs;
+  graphs.reserve(names.size());
+  for (const std::string& name : names) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr);
+    graphs.push_back(spec->build());
+    jobs.push_back({.name = name,
+                    .graph = &graphs.back(),
+                    .clock_period_ps = spec->clock_period_ps});
+  }
+
+  counting_downstream tool(900.0);
+  fleet_options fopts;
+  fopts.shards = 3;
+  fopts.isdc = small_options();
+  fopts.isdc.max_iterations = 12;
+  fopts.isdc.subgraphs_per_iteration = 8;
+  fopts.isdc.async_evaluation = true;
+  fleet f(fopts);
+  const fleet_report report = f.run(jobs, tool);
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(report.results[i].error, nullptr) << names[i];
+    const core::isdc_result& fr = report.results[i].result;
+    counting_downstream solo_tool(900.0);
+    core::isdc_options opts = fopts.isdc;
+    opts.base.clock_period_ps = *jobs[i].clock_period_ps;
+    const core::isdc_result solo =
+        engine().run(graphs[i], solo_tool, opts, &shared_model());
+    EXPECT_EQ(fr.final_schedule.num_stages(),
+              solo.final_schedule.num_stages())
+        << names[i];
+    EXPECT_EQ(sched::register_bits(graphs[i], fr.final_schedule),
+              sched::register_bits(graphs[i], solo.final_schedule))
+        << names[i];
+    EXPECT_TRUE(sched::validate_schedule(graphs[i], fr.final_schedule,
+                                         fr.delays, *jobs[i].clock_period_ps)
+                    .empty())
+        << names[i];
+    // Ticket accounting balances per design: every dispatch/subscription
+    // produced exactly one consumed arrival, and nothing leaked.
+    int dispatched = 0, coalesced = 0, arrived = 0;
+    for (const core::iteration_record& rec : fr.history) {
+      dispatched += rec.evaluations_dispatched;
+      coalesced += rec.evaluations_coalesced;
+      arrived += rec.evaluations_arrived;
+    }
+    EXPECT_EQ(dispatched + coalesced, arrived) << names[i];
+    EXPECT_EQ(fr.history.back().evaluations_in_flight, 0u) << names[i];
+  }
+  EXPECT_EQ(f.cache().num_in_flight(), 0u);
+}
+
+TEST(FleetTest, IsomorphicDesignsShareMeasurements) {
+  // Two designs, same circuit at different node ids: the second is served
+  // entirely from the first's measurements.
+  const ir::graph a = make_shifted_ladder(0);
+  const ir::graph b = make_shifted_ladder(5);
+  counting_downstream solo_tool(900.0);
+  const core::isdc_result solo =
+      engine().run(a, solo_tool, small_options(), &shared_model());
+  const int solo_calls = solo_tool.calls();
+  ASSERT_GT(solo_calls, 0);
+
+  counting_downstream fleet_tool(900.0);
+  fleet_options fopts;
+  fopts.shards = 1;  // deterministic order: a fully measured before b
+  fopts.isdc = small_options();
+  fleet f(fopts);
+  const fleet_report report = f.run(
+      {{.name = "a", .graph = &a}, {.name = "b", .graph = &b}}, fleet_tool);
+  ASSERT_EQ(report.results[0].error, nullptr);
+  ASSERT_EQ(report.results[1].error, nullptr);
+
+  // The batch cost exactly one design's worth of downstream calls, and
+  // b's trajectory is bit-identical to a solo run of b.
+  EXPECT_EQ(fleet_tool.calls(), solo_calls);
+  EXPECT_GT(report.cache_delta.hits, 0u);
+  counting_downstream solo_b_tool(900.0);
+  const core::isdc_result solo_b =
+      engine().run(b, solo_b_tool, small_options(), &shared_model());
+  expect_same_schedule_trajectory(report.results[1].result, solo_b);
+}
+
+TEST(FleetTest, CrossShardSingleFlight) {
+  // Two isomorphic designs on two shards with a slow tool: concurrent
+  // selections of the same canonical cone must coalesce onto one
+  // downstream call via the cache's cross-run waiters, not stall and not
+  // double-measure.
+  const ir::graph a = make_shifted_ladder(0, 8);
+  const ir::graph b = make_shifted_ladder(3, 8);
+  counting_downstream inner(900.0);
+  core::latency_downstream tool(inner, 5.0);
+
+  fleet_options fopts;
+  fopts.shards = 2;
+  fopts.isdc = small_options();
+  fopts.isdc.async_evaluation = true;
+  fleet f(fopts);
+  const fleet_report report = f.run(
+      {{.name = "a", .graph = &a}, {.name = "b", .graph = &b}}, tool);
+  ASSERT_EQ(report.results[0].error, nullptr);
+  ASSERT_EQ(report.results[1].error, nullptr);
+
+  // Single flight across shards: one call per distinct fingerprint.
+  EXPECT_EQ(tool.calls(), f.cache().size());
+  EXPECT_EQ(f.cache().num_in_flight(), 0u);
+  EXPECT_TRUE(sched::validate_schedule(a, report.results[0].result
+                                              .final_schedule,
+                                       report.results[0].result.delays,
+                                       2500.0)
+                  .empty());
+  EXPECT_TRUE(sched::validate_schedule(b, report.results[1].result
+                                              .final_schedule,
+                                       report.results[1].result.delays,
+                                       2500.0)
+                  .empty());
+}
+
+TEST(FleetTest, JobErrorDoesNotSinkTheBatch) {
+  const ir::graph a = make_shifted_ladder(0);
+  counting_downstream tool(900.0);
+  fleet_options fopts;
+  fopts.shards = 2;
+  fopts.isdc = small_options();
+  fleet f(fopts);
+  const fleet_report report = f.run(
+      {{.name = "bad", .graph = nullptr}, {.name = "good", .graph = &a}},
+      tool);
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_NE(report.results[0].error, nullptr);
+  EXPECT_EQ(report.results[1].error, nullptr);
+  EXPECT_GT(report.results[1].result.history.size(), 0u);
+}
+
+TEST(PersistedCacheTest, BinaryRoundTrip) {
+  const std::string path = testing::TempDir() + "isdc_cache_roundtrip.bin";
+  evaluation_cache original;
+  original.store(11, 100.5);
+  original.store(22, 200.25);
+  original.store(33, 300.125);
+  ASSERT_TRUE(original.save(path, 7));
+
+  evaluation_cache loaded;
+  ASSERT_TRUE(loaded.load(path, 7));
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(*loaded.lookup(11), 100.5);
+  EXPECT_DOUBLE_EQ(*loaded.lookup(22), 200.25);
+  EXPECT_DOUBLE_EQ(*loaded.lookup(33), 300.125);
+
+  // A different key schema (a changed canonical-hash algorithm) must be
+  // rejected wholesale, not reinterpreted.
+  evaluation_cache wrong_schema;
+  EXPECT_FALSE(wrong_schema.load(path, 8));
+  EXPECT_EQ(wrong_schema.size(), 0u);
+
+  // A truncated file loads nothing.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() - 4);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  evaluation_cache truncated;
+  EXPECT_FALSE(truncated.load(path, 7));
+  EXPECT_EQ(truncated.size(), 0u);
+
+  // A bit-flipped count field decoding to an absurd value must produce a
+  // clean false too, not an allocation failure.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const char magic[8] = {'I', 'S', 'D', 'C', 'E', 'V', 'C', '\x01'};
+    const std::uint64_t schema = 7;
+    const std::uint64_t absurd_count = ~std::uint64_t{0};
+    out.write(magic, sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&schema), sizeof(schema));
+    out.write(reinterpret_cast<const char*>(&absurd_count),
+              sizeof(absurd_count));
+  }
+  evaluation_cache absurd;
+  EXPECT_FALSE(absurd.load(path, 7));
+  EXPECT_EQ(absurd.size(), 0u);
+
+  // Missing file: clean false.
+  evaluation_cache missing;
+  EXPECT_FALSE(missing.load(path + ".nope", 7));
+  std::remove(path.c_str());
+}
+
+TEST(PersistedCacheTest, EngineFeedbackSurvivesRestart) {
+  const std::string path = testing::TempDir() + "isdc_cache_engine.bin";
+  std::remove(path.c_str());
+  const ir::graph g = make_shifted_ladder(0);
+
+  counting_downstream first_tool(900.0);
+  core::isdc_result first;
+  {
+    engine e(path);  // loads (nothing yet), saves on destruction
+    first = e.run(g, first_tool, small_options(), &shared_model());
+    EXPECT_GT(first_tool.calls(), 0);
+  }
+
+  // A new process: same file, fresh engine — every measurement is served
+  // from disk and the downstream tool is never consulted.
+  counting_downstream second_tool(900.0);
+  {
+    engine e(path);
+    const core::isdc_result second =
+        e.run(g, second_tool, small_options(), &shared_model());
+    EXPECT_EQ(second_tool.calls(), 0);
+    expect_same_schedule_trajectory(first, second);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistedCacheTest, FleetFeedbackSurvivesRestart) {
+  const std::string path = testing::TempDir() + "isdc_cache_fleet.bin";
+  std::remove(path.c_str());
+  const ir::graph a = make_shifted_ladder(0);
+  const ir::graph b = make_shifted_ladder(2, 7);
+  const std::vector<fleet_job> jobs = {{.name = "a", .graph = &a},
+                                       {.name = "b", .graph = &b}};
+
+  fleet_options fopts;
+  fopts.shards = 2;
+  fopts.isdc = small_options();
+  fopts.cache_path = path;
+  counting_downstream first_tool(900.0);
+  {
+    fleet f(fopts);
+    const fleet_report report = f.run(jobs, first_tool);
+    ASSERT_EQ(report.results[0].error, nullptr);
+    ASSERT_EQ(report.results[1].error, nullptr);
+    EXPECT_GT(first_tool.calls(), 0);
+  }
+
+  counting_downstream second_tool(900.0);
+  {
+    fleet f(fopts);
+    const fleet_report report = f.run(jobs, second_tool);
+    ASSERT_EQ(report.results[0].error, nullptr);
+    ASSERT_EQ(report.results[1].error, nullptr);
+    EXPECT_EQ(second_tool.calls(), 0);
+    EXPECT_EQ(report.cache_delta.misses, 0u);
+    EXPECT_GT(report.cache_delta.hits, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace isdc::engine

@@ -85,9 +85,8 @@ void expect_same_result(const core::isdc_result& a,
   }
 }
 
-TEST(EvaluationCacheTest, LookupStoreAndGenerations) {
+TEST(EvaluationCacheTest, LookupAndStore) {
   evaluation_cache cache;
-  cache.begin_generation();
   EXPECT_FALSE(cache.lookup(42).has_value());
   EXPECT_EQ(cache.stats().misses, 1u);
 
@@ -97,20 +96,15 @@ TEST(EvaluationCacheTest, LookupStoreAndGenerations) {
   EXPECT_DOUBLE_EQ(*memo, 123.0);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.size(), 1u);
-
-  EXPECT_FALSE(cache.selected_this_generation(42));
-  cache.mark_selected(42);
-  EXPECT_TRUE(cache.selected_this_generation(42));
-  // A new run resets the selection dedup but keeps the memoized delay.
-  cache.begin_generation();
-  EXPECT_FALSE(cache.selected_this_generation(42));
-  EXPECT_TRUE(cache.lookup(42).has_value());
 }
 
-TEST(EvaluationCacheTest, KeysMixDesignFingerprint) {
-  // The same member-set key under two designs must map to two entries.
+TEST(EvaluationCacheTest, KeysMixToolFingerprint) {
+  // The same canonical fingerprint under two tools must map to two
+  // entries, and two fingerprints under one tool likewise.
   EXPECT_NE(subgraph_cache_key(1, 7), subgraph_cache_key(2, 7));
   EXPECT_NE(subgraph_cache_key(1, 7), subgraph_cache_key(1, 8));
+  // The combine is order-dependent: tool and subgraph are distinct roles.
+  EXPECT_NE(subgraph_cache_key(1, 7), subgraph_cache_key(7, 1));
 }
 
 TEST(EngineTest, DefaultPipelineIsTheSixPaperStages) {

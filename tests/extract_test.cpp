@@ -1,7 +1,11 @@
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "extract/canonical.h"
 #include "extract/cone.h"
 #include "extract/path_enum.h"
 #include "extract/scoring.h"
@@ -356,6 +360,215 @@ TEST(SubgraphTest, ToIrVerifiesAndHasRoots) {
   const ir::extraction ex = subgraph_to_ir(f.g, sub);
   EXPECT_EQ(ir::verify(ex.g), "");
   EXPECT_EQ(ex.g.outputs().size(), sub.roots.size());
+}
+
+
+// ---------------------------------------------------------------------------
+// Canonical fingerprints: the cross-design cache key. Isomorphic cones must
+// hash equal no matter where their nodes sit in their designs; any semantic
+// difference — opcode, width, constant value, operand order, sharing, roots
+// — must hash apart.
+
+/// Builds `prelude` unused inputs first, so every later node id is shifted:
+/// the same circuit embedded at different ids in a "different design".
+struct shifted_chain {
+  ir::graph g;
+  sched::schedule s;
+  subgraph sub;
+
+  explicit shifted_chain(int prelude, ir::opcode second_op = ir::opcode::add,
+                         std::uint32_t width = 16) {
+    ir::builder bl(g);
+    for (int i = 0; i < prelude; ++i) {
+      bl.input(8, "pad" + std::to_string(i));
+    }
+    const ir::node_id x = bl.input(width, "x");
+    const ir::node_id y = bl.input(width, "y");
+    const ir::node_id a = bl.add(x, y);
+    const ir::node_id b =
+        second_op == ir::opcode::add ? bl.add(a, y) : bl.bxor(a, y);
+    const ir::node_id c = bl.mul(b, x);
+    g.mark_output(c);
+    s.cycle.assign(g.num_nodes(), 0);
+    sub.members = {a, b, c};
+    finalize_subgraph(g, s, sub);
+  }
+};
+
+TEST(CanonicalFingerprintTest, InvariantUnderNodeRenumbering) {
+  const shifted_chain base(0);
+  const shifted_chain shifted(7);
+  EXPECT_NE(base.sub.key(), shifted.sub.key());  // design-local keys differ
+  EXPECT_EQ(canonical_fingerprint(base.g, base.sub),
+            canonical_fingerprint(shifted.g, shifted.sub));
+}
+
+TEST(CanonicalFingerprintTest, OpcodeAndWidthChangeTheFingerprint) {
+  const shifted_chain add_chain(0, ir::opcode::add, 16);
+  const shifted_chain xor_chain(0, ir::opcode::bxor, 16);
+  const shifted_chain wide_chain(0, ir::opcode::add, 32);
+  EXPECT_NE(canonical_fingerprint(add_chain.g, add_chain.sub),
+            canonical_fingerprint(xor_chain.g, xor_chain.sub));
+  EXPECT_NE(canonical_fingerprint(add_chain.g, add_chain.sub),
+            canonical_fingerprint(wide_chain.g, wide_chain.sub));
+}
+
+TEST(CanonicalFingerprintTest, OperandOrderMatters) {
+  // sub(~x, y) vs sub(y, ~x): distinguishable operands on a
+  // non-commutative op — different circuits, different fingerprints.
+  // (sub(x, y) vs sub(y, x) over two *fresh* leaves would rightly
+  // coalesce: swapping anonymous inputs is an isomorphism.)
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(16, "x");
+  const ir::node_id y = bl.input(16, "y");
+  const ir::node_id nx = bl.bnot(x);
+  const ir::node_id ny = bl.bnot(x);
+  const ir::node_id fwd_sub = bl.sub(nx, y);
+  const ir::node_id rev_sub = bl.sub(y, ny);
+  g.mark_output(fwd_sub);
+  g.mark_output(rev_sub);
+  sched::schedule s;
+  s.cycle.assign(g.num_nodes(), 0);
+  subgraph fwd, rev;
+  fwd.members = {nx, fwd_sub};
+  rev.members = {ny, rev_sub};
+  finalize_subgraph(g, s, fwd);
+  finalize_subgraph(g, s, rev);
+  EXPECT_NE(canonical_fingerprint(g, fwd), canonical_fingerprint(g, rev));
+  // Reusing one leaf twice must hash differently from using two distinct
+  // leaves: sub(x, x) is not sub(x, y).
+  const ir::node_id xy = bl.sub(x, y);
+  const ir::node_id xx = bl.sub(x, x);
+  g.mark_output(xy);
+  g.mark_output(xx);
+  s.cycle.assign(g.num_nodes(), 0);
+  subgraph two_leaves, one_leaf;
+  two_leaves.members = {xy};
+  one_leaf.members = {xx};
+  finalize_subgraph(g, s, two_leaves);
+  finalize_subgraph(g, s, one_leaf);
+  EXPECT_NE(canonical_fingerprint(g, two_leaves),
+            canonical_fingerprint(g, one_leaf));
+}
+
+TEST(CanonicalFingerprintTest, ConstantValuesMatter) {
+  const auto make = [](std::uint64_t k) {
+    ir::graph g;
+    ir::builder bl(g);
+    const ir::node_id x = bl.input(16, "x");
+    const ir::node_id c = bl.constant(16, k);
+    const ir::node_id v = bl.bxor(x, c);
+    g.mark_output(v);
+    sched::schedule s;
+    s.cycle.assign(g.num_nodes(), 0);
+    subgraph sub;
+    sub.members = {v};
+    finalize_subgraph(g, s, sub);
+    return canonical_fingerprint(g, sub);
+  };
+  EXPECT_EQ(make(0xbeef), make(0xbeef));
+  EXPECT_NE(make(0xbeef), make(0xbee0));
+}
+
+TEST(CanonicalFingerprintTest, SharingDistinguishedFromDuplication) {
+  // (x+y) + (x+y) with the subexpression shared vs computed twice: the
+  // same tree unfolding, different DAGs — downstream synthesis sees
+  // different input netlists, so the fingerprints must differ.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(16, "x");
+  const ir::node_id y = bl.input(16, "y");
+  const ir::node_id shared = bl.add(x, y);
+  const ir::node_id shared_sum = bl.add(shared, shared);
+  const ir::node_id dup_a = bl.add(x, y);
+  const ir::node_id dup_b = bl.add(x, y);
+  const ir::node_id dup_sum = bl.add(dup_a, dup_b);
+  g.mark_output(shared_sum);
+  g.mark_output(dup_sum);
+  sched::schedule s;
+  s.cycle.assign(g.num_nodes(), 0);
+  subgraph with_sharing, without_sharing;
+  with_sharing.members = {shared, shared_sum};
+  without_sharing.members = {dup_a, dup_b, dup_sum};
+  finalize_subgraph(g, s, with_sharing);
+  finalize_subgraph(g, s, without_sharing);
+  EXPECT_NE(canonical_fingerprint(g, with_sharing),
+            canonical_fingerprint(g, without_sharing));
+}
+
+TEST(CanonicalFingerprintTest, MultiRootWindowInvariantUnderRenumbering) {
+  // A two-root window (two cones sharing a leaf), embedded at two
+  // different id offsets; also checks the root set is part of the key.
+  const auto make = [](int prelude) {
+    ir::graph g;
+    ir::builder bl(g);
+    for (int i = 0; i < prelude; ++i) {
+      bl.input(8, "pad" + std::to_string(i));
+    }
+    const ir::node_id x = bl.input(16, "x");
+    const ir::node_id y = bl.input(16, "y");
+    const ir::node_id z = bl.input(16, "z");
+    const ir::node_id a = bl.add(x, y);
+    const ir::node_id r1 = bl.bnot(a);
+    const ir::node_id r2 = bl.bxor(a, z);
+    g.mark_output(r1);
+    g.mark_output(r2);
+    sched::schedule s;
+    s.cycle.assign(g.num_nodes(), 0);
+    subgraph sub;
+    sub.members = {a, r1, r2};
+    finalize_subgraph(g, s, sub);
+    return std::pair{canonical_fingerprint(g, sub), sub};
+  };
+  const auto [fp0, sub0] = make(0);
+  const auto [fp3, sub3] = make(3);
+  EXPECT_EQ(fp0, fp3);
+
+  // Dropping one root (r1 becomes an interior dead end) changes the set
+  // of outputs the downstream tool times, so the fingerprint moves.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(16, "x");
+  const ir::node_id y = bl.input(16, "y");
+  const ir::node_id z = bl.input(16, "z");
+  const ir::node_id a = bl.add(x, y);
+  bl.bnot(a);
+  const ir::node_id r2 = bl.bxor(a, z);
+  g.mark_output(r2);
+  sched::schedule s;
+  s.cycle.assign(g.num_nodes(), 0);
+  subgraph sub;
+  sub.members = {a, r2};
+  finalize_subgraph(g, s, sub);
+  EXPECT_NE(canonical_fingerprint(g, sub), fp0);
+}
+
+TEST(CanonicalFingerprintTest, ExpandedConesFromIsomorphicRegionsCoalesce) {
+  // End-to-end shape: two structurally identical adder chains living in
+  // one design's two halves produce cones with equal fingerprints.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x1 = bl.input(16, "x1");
+  const ir::node_id y1 = bl.input(16, "y1");
+  const ir::node_id x2 = bl.input(16, "x2");
+  const ir::node_id y2 = bl.input(16, "y2");
+  ir::node_id v1 = x1;
+  ir::node_id v2 = x2;
+  for (int i = 0; i < 3; ++i) {
+    v1 = bl.add(v1, y1);
+    v2 = bl.add(v2, y2);
+  }
+  g.mark_output(v1);
+  g.mark_output(v2);
+  sched::schedule s;
+  s.cycle.assign(g.num_nodes(), 0);
+  const path_candidate p1{.from = x1, .to = v1};
+  const path_candidate p2{.from = x2, .to = v2};
+  const subgraph cone1 = expand_to_cone(g, s, p1);
+  const subgraph cone2 = expand_to_cone(g, s, p2);
+  EXPECT_NE(cone1.key(), cone2.key());
+  EXPECT_EQ(canonical_fingerprint(g, cone1), canonical_fingerprint(g, cone2));
 }
 
 }  // namespace
