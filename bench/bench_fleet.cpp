@@ -14,7 +14,13 @@
 // the sharing saved.
 //
 // Flags: --shards=N                  concurrent ISDC runs (default 4)
-//        --downstream-latency-ms=N   injected per-call latency (default 50)
+//        --tool=SPEC                 downstream backend (backend registry
+//                                    spec; default: the unoptimized
+//                                    AIG-depth oracle below)
+//        --downstream-latency-ms=N   injected per-call latency. Default 50
+//                                    for the built-in oracle; 0 when
+//                                    --tool is given (a real backend's
+//                                    latency needs no injection)
 //        --max-iterations=N          (default 15)
 //        --subgraphs=M               per iteration (default 16, the paper)
 //        --sync                      synchronous per-run pipeline (default:
@@ -30,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/registry.h"
 #include "common.h"
 #include "core/downstream.h"
 #include "engine/fleet.h"
@@ -68,7 +75,13 @@ int main(int argc, char** argv) {
       subset = {"rrot", "ml_datapath0_opcode0", "ml_datapath0_all", "crc32"};
     }
   }
-  const double latency_ms = flags.quick_int("downstream-latency-ms", 50, 10);
+  // Injected latency models an external backend when the oracle is the
+  // in-process default; an explicit --tool already pays its own real
+  // latency, so injection defaults off for it (still overridable).
+  const double latency_ms =
+      flags.has("downstream-latency-ms") || !flags.has("tool")
+          ? flags.quick_int("downstream-latency-ms", 50, 10)
+          : 0.0;
   const int shards = flags.quick_int("shards", 4, 2);
 
   isdc::core::isdc_options opts;
@@ -76,16 +89,26 @@ int main(int argc, char** argv) {
   opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
   opts.num_threads = flags.get_int("threads", 4);
   opts.async_evaluation = !flags.has("sync");
-  // An unoptimized AIG-depth oracle: real (depth-correlated) feedback at
-  // negligible local compute, so the injected latency models an external
-  // backend (a Yosys subprocess, a remote STA service) that burns no host
-  // CPU while the caller waits.
+  // Default backend: an unoptimized AIG-depth oracle — real
+  // (depth-correlated) feedback at negligible local compute, so the
+  // injected latency models an external backend (a Yosys subprocess, a
+  // remote STA service) that burns no host CPU while the caller waits.
+  // --tool=SPEC swaps in any registry-built backend (e.g. a real
+  // subprocess pool, whose latency then needs no injection).
   isdc::synth::synthesis_options cheap;
   cheap.opt_rounds = 0;
   cheap.use_rewrite = false;
   cheap.use_refactor = false;
   opts.synth = cheap;
-  const isdc::core::aig_depth_downstream inner(80.0, 0.0, cheap);
+  isdc::backend::tool_handle backend;
+  try {
+    backend = isdc::backend::make_tool(flags.get(
+        "tool", "aig-depth:ps=80,offset=0,rounds=0,rewrite=0,refactor=0"));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  const isdc::core::downstream_tool& inner = backend.tool();
 
   // Build every design up front; jobs reference them.
   std::vector<const isdc::workloads::workload_spec*> specs;
@@ -257,6 +280,7 @@ int main(int argc, char** argv) {
 
   isdc::bench::json_object root;
   root.set("bench", "fleet")
+      .set("tool", backend.spec())
       .set("shards", shards)
       .set("downstream_latency_ms", latency_ms)
       .set("async", opts.async_evaluation)
@@ -279,6 +303,11 @@ int main(int argc, char** argv) {
       .set("fleet_cache_coalesced", report.cache_delta.coalesced)
       .set("schedule_parity_mismatches", parity_mismatches)
       .set_raw("per_design", rows.str());
+  if (const isdc::backend::subprocess_tool* pool = backend.subprocess()) {
+    root.set_raw(
+        "subprocess",
+        isdc::bench::subprocess_counters_json(pool->stats()).str());
+  }
   if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
     return 1;
   }

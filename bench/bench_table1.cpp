@@ -7,6 +7,10 @@
 //        --subgraphs=M         per iteration (default 16)
 //        --threads=T           parallel subgraph evaluations (default 4)
 //        --async               run the asynchronous pipelined evaluation
+//        --tool=SPEC           downstream backend, built by the backend
+//                              registry (default "synthesis"); e.g.
+//                              subprocess:cmd=build/tools/isdc_delay_worker,workers=4
+//                              or fallback(subprocess:cmd=...,aig-depth)
 //        --downstream-latency-ms=N  pad each downstream call (default 0)
 //        --csv                 emit CSV instead of the aligned table
 //        --json=PATH           also write per-workload metrics (wall
@@ -18,6 +22,7 @@
 #include <iostream>
 #include <memory>
 
+#include "backend/registry.h"
 #include "common.h"
 #include "core/isdc_scheduler.h"
 #include "sched/metrics.h"
@@ -53,6 +58,25 @@ int main(int argc, char** argv) {
   isdc::bench::json_array workload_json;
 
   const double latency_ms = flags.get_int("downstream-latency-ms", 0);
+
+  // Downstream backend selected by spec string; the engine takes any
+  // registry-built tool unchanged (cache keys scope by tool name).
+  isdc::backend::tool_handle backend;
+  try {
+    backend = isdc::backend::make_tool(flags.get("tool", "synthesis"));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  std::unique_ptr<isdc::core::latency_downstream> padded;
+  if (latency_ms > 0) {
+    padded = std::make_unique<isdc::core::latency_downstream>(backend.tool(),
+                                                              latency_ms);
+  }
+  const isdc::core::downstream_tool& tool =
+      padded ? static_cast<const isdc::core::downstream_tool&>(*padded)
+             : backend.tool();
+
   int taken = 0;
   for (const auto& spec : isdc::workloads::all_workloads()) {
     if (!subset.empty() &&
@@ -85,15 +109,6 @@ int main(int argc, char** argv) {
         isdc::sched::sdc_schedule(g, naive, opts.base);
     const double sdc_seconds = seconds_since(sdc_start);
 
-    const isdc::core::synthesis_downstream synth_tool(opts.synth);
-    std::unique_ptr<isdc::core::latency_downstream> padded;
-    if (latency_ms > 0) {
-      padded = std::make_unique<isdc::core::latency_downstream>(synth_tool,
-                                                                latency_ms);
-    }
-    const isdc::core::downstream_tool& tool =
-        padded ? static_cast<const isdc::core::downstream_tool&>(*padded)
-               : synth_tool;
     const auto isdc_start = clock_type::now();
     const isdc::core::isdc_result result =
         isdc::core::run_isdc(g, tool, opts, &model);
@@ -207,6 +222,7 @@ int main(int argc, char** argv) {
 
   isdc::bench::json_object root;
   root.set("bench", "table1")
+      .set("tool", backend.spec())
       .set("async_evaluation", flags.has("async"))
       .set("downstream_latency_ms", latency_ms)
       .set("subgraphs_per_iteration", flags.quick_int("subgraphs", 16, 4))
@@ -218,6 +234,14 @@ int main(int argc, char** argv) {
       .set("registers", isdc::geomean(reg_ratio))
       .set("time", isdc::geomean(time_ratio));
   root.set_raw("geomean_isdc_over_sdc", geo.str());
+  if (const isdc::backend::subprocess_tool* pool = backend.subprocess()) {
+    const auto c = pool->stats();
+    root.set_raw("subprocess",
+                 isdc::bench::subprocess_counters_json(c).str());
+    std::cout << "\nSubprocess pool: " << c.calls << " calls, "
+              << c.restarts << " restarts, " << c.timeouts << " timeouts, "
+              << c.retries << " retries\n";
+  }
   if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
     return 1;
   }

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "backend/subprocess_tool.h"
 #include "sched/schedule.h"
 #include "support/rng.h"
 
@@ -173,6 +174,21 @@ public:
 private:
   std::vector<std::string> elements_;
 };
+
+/// The worker-pool health counters as one JSON object — shared by every
+/// bench artifact that reports a subprocess backend, so the schema cannot
+/// drift between them.
+inline json_object subprocess_counters_json(
+    const backend::subprocess_tool::counters& c) {
+  json_object out;
+  out.set("calls", c.calls)
+      .set("restarts", c.restarts)
+      .set("timeouts", c.timeouts)
+      .set("crashes", c.crashes)
+      .set("retries", c.retries)
+      .set("protocol_errors", c.protocol_errors);
+  return out;
+}
 
 /// Writes `root` to the path given by --json=<path>; no-op without the
 /// flag. Returns false (and complains on stderr) when the file cannot be

@@ -1,0 +1,368 @@
+#include "backend/netlist.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "ir/opcode.h"
+#include "ir/verify.h"
+
+namespace isdc::backend {
+
+namespace {
+
+constexpr std::array<ir::opcode, 23> all_opcodes = {
+    ir::opcode::input, ir::opcode::constant, ir::opcode::add,
+    ir::opcode::sub,   ir::opcode::neg,      ir::opcode::mul,
+    ir::opcode::band,  ir::opcode::bor,      ir::opcode::bxor,
+    ir::opcode::bnot,  ir::opcode::shl,      ir::opcode::shr,
+    ir::opcode::rotl,  ir::opcode::rotr,     ir::opcode::eq,
+    ir::opcode::ne,    ir::opcode::ult,      ir::opcode::ule,
+    ir::opcode::mux,   ir::opcode::concat,   ir::opcode::slice,
+    ir::opcode::zext,  ir::opcode::sext};
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("netlist text parse error (line " +
+                           std::to_string(line_no + 1) + "): " + what);
+}
+
+std::string sanitize_identifier(std::string_view name, std::string_view def) {
+  std::string out;
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c : '_';
+  }
+  if (out.empty()) {
+    return std::string(def);
+  }
+  if (std::isdigit(static_cast<unsigned char>(out.front()))) {
+    // (append instead of prepend-via-insert: GCC 12's -Wrestrict false
+    // positive fires on the string-insert path under -O2.)
+    std::string prefixed = "isdc_";
+    prefixed.append(out);
+    return prefixed;
+  }
+  return out;
+}
+
+std::string verilog_constant(std::uint32_t width, std::uint64_t value) {
+  std::ostringstream out;
+  out << width << "'h" << std::hex << value;
+  return out.str();
+}
+
+std::string verilog_rhs(const ir::graph& g, ir::node_id id,
+                        const std::vector<std::string>& names) {
+  const ir::node& n = g.at(id);
+  const auto op = [&](std::size_t i) { return names[n.operands[i]]; };
+  const std::uint32_t w = n.width;
+  std::ostringstream out;
+  switch (n.op) {
+    case ir::opcode::input:
+      break;  // ports have no assign
+    case ir::opcode::constant:
+      out << verilog_constant(w, n.value);
+      break;
+    case ir::opcode::add: out << op(0) << " + " << op(1); break;
+    case ir::opcode::sub: out << op(0) << " - " << op(1); break;
+    case ir::opcode::neg: out << "-" << op(0); break;
+    case ir::opcode::mul: out << op(0) << " * " << op(1); break;
+    case ir::opcode::band: out << op(0) << " & " << op(1); break;
+    case ir::opcode::bor: out << op(0) << " | " << op(1); break;
+    case ir::opcode::bxor: out << op(0) << " ^ " << op(1); break;
+    case ir::opcode::bnot: out << "~" << op(0); break;
+    case ir::opcode::shl: out << op(0) << " << " << op(1); break;
+    case ir::opcode::shr: out << op(0) << " >> " << op(1); break;
+    case ir::opcode::rotl:
+      // (b % w) == 0 degenerates correctly: a << 0 is a and the over-wide
+      // right shift contributes zero.
+      out << "(" << op(0) << " << (" << op(1) << " % " << w << ")) | ("
+          << op(0) << " >> (" << w << " - (" << op(1) << " % " << w << ")))";
+      break;
+    case ir::opcode::rotr:
+      out << "(" << op(0) << " >> (" << op(1) << " % " << w << ")) | ("
+          << op(0) << " << (" << w << " - (" << op(1) << " % " << w << ")))";
+      break;
+    case ir::opcode::eq: out << op(0) << " == " << op(1); break;
+    case ir::opcode::ne: out << op(0) << " != " << op(1); break;
+    case ir::opcode::ult: out << op(0) << " < " << op(1); break;
+    case ir::opcode::ule: out << op(0) << " <= " << op(1); break;
+    case ir::opcode::mux:
+      out << op(0) << " ? " << op(1) << " : " << op(2);
+      break;
+    case ir::opcode::concat:
+      out << "{" << op(0) << ", " << op(1) << "}";
+      break;
+    case ir::opcode::slice:
+      out << op(0) << "[" << (n.value + w - 1) << ":" << n.value << "]";
+      break;
+    case ir::opcode::zext: {
+      const std::uint32_t win = g.width(n.operands[0]);
+      if (win == w) {
+        out << op(0);
+      } else {
+        out << "{{" << (w - win) << "{1'b0}}, " << op(0) << "}";
+      }
+      break;
+    }
+    case ir::opcode::sext: {
+      const std::uint32_t win = g.width(n.operands[0]);
+      if (win == w) {
+        out << op(0);
+      } else {
+        out << "{{" << (w - win) << "{" << op(0) << "[" << (win - 1)
+            << "]}}, " << op(0) << "}";
+      }
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_verilog(const ir::graph& g, const verilog_options& options) {
+  const std::string module =
+      options.module_name.empty()
+          ? sanitize_identifier(g.name(), "isdc_netlist")
+          : options.module_name;
+
+  // Port-position names for inputs; every non-port node gets a wire.
+  // (Built via ostringstream, not string concatenation: GCC 12's
+  // -Wrestrict false positive, PR105329, fires on the inlined
+  // basic_string replace/insert paths under -O2.)
+  const auto indexed = [](const char* prefix, std::uint64_t n) {
+    std::ostringstream name;
+    name << prefix << n;
+    return name.str();
+  };
+  std::vector<std::string> names(g.num_nodes());
+  for (std::size_t k = 0; k < g.inputs().size(); ++k) {
+    names[g.inputs()[k]] = indexed("pi", k);
+  }
+  for (ir::node_id id = 0; id < g.num_nodes(); ++id) {
+    if (names[id].empty()) {
+      names[id] = indexed("n", id);
+    }
+  }
+
+  std::ostringstream out;
+  out << "// generated by isdc backend::to_verilog (graph: " << g.name()
+      << ")\n";
+  out << "module " << module << "(\n";
+  std::size_t remaining = g.inputs().size() + g.outputs().size();
+  for (std::size_t k = 0; k < g.inputs().size(); ++k) {
+    const ir::node_id id = g.inputs()[k];
+    out << "  input wire [" << (g.width(id) - 1) << ":0] " << names[id]
+        << (--remaining > 0 ? "," : "");
+    if (!g.at(id).name.empty()) {
+      out << "  // " << sanitize_identifier(g.at(id).name, "unnamed");
+    }
+    out << "\n";
+  }
+  for (std::size_t k = 0; k < g.outputs().size(); ++k) {
+    const ir::node_id id = g.outputs()[k];
+    out << "  output wire [" << (g.width(id) - 1) << ":0] po" << k
+        << (--remaining > 0 ? "," : "");
+    if (!g.at(id).name.empty()) {
+      out << "  // " << sanitize_identifier(g.at(id).name, "unnamed");
+    }
+    out << "\n";
+  }
+  out << ");\n";
+
+  for (ir::node_id id = 0; id < g.num_nodes(); ++id) {
+    const ir::node& n = g.at(id);
+    if (n.op == ir::opcode::input) {
+      continue;
+    }
+    out << "  wire [" << (n.width - 1) << ":0] " << names[id] << ";\n";
+    out << "  assign " << names[id] << " = " << verilog_rhs(g, id, names)
+        << ";\n";
+  }
+  for (std::size_t k = 0; k < g.outputs().size(); ++k) {
+    out << "  assign po" << k << " = " << names[g.outputs()[k]] << ";\n";
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+std::string to_text(const ir::graph& g, char sep) {
+  std::ostringstream out;
+  out << "isdc-graph " << text_format_version << sep;
+  out << "name " << sanitize_identifier(g.name(), "g") << sep;
+  for (const ir::node& n : g.nodes()) {
+    out << "node " << ir::opcode_name(n.op) << " " << n.width << " "
+        << n.value;
+    for (const ir::node_id p : n.operands) {
+      out << " " << p;
+    }
+    out << sep;
+  }
+  out << "out";
+  for (const ir::node_id id : g.outputs()) {
+    out << " " << id;
+  }
+  out << sep << "end" << sep;
+  return out.str();
+}
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view text, char a, char b) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == a || text[i] == b) {
+      std::string_view piece = text.substr(start, i - start);
+      while (!piece.empty() && (piece.back() == '\r' || piece.back() == ' ')) {
+        piece.remove_suffix(1);
+      }
+      while (!piece.empty() && piece.front() == ' ') {
+        piece.remove_prefix(1);
+      }
+      if (!piece.empty()) {
+        out.push_back(piece);
+      }
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(std::string_view token, std::size_t line_no,
+                        const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    parse_error(line_no, std::string("bad ") + what + " '" +
+                             std::string(token) + "'");
+  }
+  return value;
+}
+
+ir::opcode parse_opcode(std::string_view token, std::size_t line_no) {
+  for (const ir::opcode op : all_opcodes) {
+    if (ir::opcode_name(op) == token) {
+      return op;
+    }
+  }
+  parse_error(line_no, "unknown opcode '" + std::string(token) + "'");
+}
+
+}  // namespace
+
+ir::graph from_text(std::string_view text) {
+  const std::vector<std::string_view> lines = split(text, '\n', ';');
+  if (lines.empty()) {
+    throw std::runtime_error("netlist text parse error: empty input");
+  }
+
+  std::size_t i = 0;
+  {
+    const auto header = split(lines[0], ' ', ' ');
+    if (header.size() != 2 || header[0] != "isdc-graph") {
+      parse_error(0, "expected 'isdc-graph <version>' header");
+    }
+    const std::uint64_t version = parse_u64(header[1], 0, "version");
+    if (version != static_cast<std::uint64_t>(text_format_version)) {
+      parse_error(0, "unsupported format version " + std::to_string(version) +
+                         " (this build speaks " +
+                         std::to_string(text_format_version) + ")");
+    }
+    ++i;
+  }
+
+  std::string name = "g";
+  if (i < lines.size()) {
+    const auto tokens = split(lines[i], ' ', ' ');
+    if (!tokens.empty() && tokens[0] == "name") {
+      if (tokens.size() != 2) {
+        parse_error(i, "expected 'name <identifier>'");
+      }
+      name = std::string(tokens[1]);
+      ++i;
+    }
+  }
+
+  ir::graph g(name);
+  bool saw_out = false;
+  bool saw_end = false;
+  for (; i < lines.size(); ++i) {
+    const auto tokens = split(lines[i], ' ', ' ');
+    if (tokens[0] == "node") {
+      if (saw_out) {
+        parse_error(i, "node line after the out line");
+      }
+      if (tokens.size() < 4) {
+        parse_error(i, "expected 'node <opcode> <width> <value> <operands>'");
+      }
+      const ir::opcode op = parse_opcode(tokens[1], i);
+      const std::uint64_t width = parse_u64(tokens[2], i, "width");
+      const std::uint64_t value = parse_u64(tokens[3], i, "value");
+      std::vector<ir::node_id> operands;
+      for (std::size_t t = 4; t < tokens.size(); ++t) {
+        const std::uint64_t p = parse_u64(tokens[t], i, "operand id");
+        if (p >= g.num_nodes()) {
+          parse_error(i, "operand " + std::to_string(p) +
+                             " does not precede node " +
+                             std::to_string(g.num_nodes()));
+        }
+        operands.push_back(static_cast<ir::node_id>(p));
+      }
+      if (static_cast<int>(operands.size()) != ir::opcode_arity(op)) {
+        parse_error(i, std::string("opcode '") + std::string(tokens[1]) +
+                           "' takes " + std::to_string(ir::opcode_arity(op)) +
+                           " operand(s), got " +
+                           std::to_string(operands.size()));
+      }
+      if (width == 0 || width > 64) {
+        parse_error(i, "width " + std::to_string(width) +
+                           " outside the IR's 1..64 range");
+      }
+      try {
+        g.add_node(op, static_cast<std::uint32_t>(width),
+                   std::move(operands), value);
+      } catch (const std::exception& e) {
+        parse_error(i, e.what());
+      }
+    } else if (tokens[0] == "out") {
+      if (saw_out) {
+        parse_error(i, "duplicate out line");
+      }
+      saw_out = true;
+      for (std::size_t t = 1; t < tokens.size(); ++t) {
+        const std::uint64_t id = parse_u64(tokens[t], i, "output id");
+        if (id >= g.num_nodes()) {
+          parse_error(i, "output id " + std::to_string(id) +
+                             " out of range");
+        }
+        g.mark_output(static_cast<ir::node_id>(id));
+      }
+    } else if (tokens[0] == "end") {
+      saw_end = true;
+      if (i + 1 != lines.size()) {
+        parse_error(i + 1, "trailing content after 'end'");
+      }
+      break;
+    } else {
+      parse_error(i, "unknown directive '" + std::string(tokens[0]) + "'");
+    }
+  }
+  if (!saw_out || !saw_end) {
+    throw std::runtime_error(
+        "netlist text parse error: missing 'out'/'end' terminator");
+  }
+  const std::string violation = ir::verify(g);
+  if (!violation.empty()) {
+    throw std::runtime_error("netlist text parse error: rebuilt graph is "
+                             "malformed: " + violation);
+  }
+  return g;
+}
+
+}  // namespace isdc::backend

@@ -1,0 +1,67 @@
+// Netlist export: serializes an ir::graph — typically an extracted
+// subgraph cone — into forms external downstream tools can consume.
+//
+// Two formats:
+//   to_verilog  — a structural Verilog-2001 module (one wire and one
+//       assign per node), the hand-off format for real synthesizer/STA
+//       backends (Yosys + OpenSTA read it directly);
+//   to_text     — a compact line-based text format with a one-line variant
+//       (';'-separated) that fits the worker protocol's one-request-per-
+//       line framing (see subprocess_tool.h). from_text parses it back
+//       into an ir::graph with an identical structural fingerprint, so
+//       the format is also a lossless interchange/golden format.
+//
+// Both exports are deterministic: the same graph always produces the same
+// bytes (node ids are the IR's creation-order ids, which are already a
+// canonical topological order).
+#ifndef ISDC_BACKEND_NETLIST_H_
+#define ISDC_BACKEND_NETLIST_H_
+
+#include <string>
+#include <string_view>
+
+#include "ir/graph.h"
+
+namespace isdc::backend {
+
+/// Version of the text netlist grammar. Bumped on any change to the
+/// emitted lines; from_text rejects other versions, so a worker never
+/// silently misreads a request from a newer client.
+inline constexpr int text_format_version = 1;
+
+struct verilog_options {
+  /// Module name; empty derives a sanitized identifier from the graph
+  /// name ("isdc_" prefix when the name starts with a digit).
+  std::string module_name;
+};
+
+/// Structural Verilog for `g`: inputs/outputs become ports (pi<k>/po<k>,
+/// with the IR node name in a trailing comment when present), every other
+/// node becomes one wire plus one continuous assign. Wrap-around
+/// arithmetic, shifts-to-zero and rotates match the IR semantics
+/// (ir/opcode.h). `g` must pass ir::verify.
+std::string to_verilog(const ir::graph& g, const verilog_options& options = {});
+
+/// Compact text format:
+///   isdc-graph 1
+///   name <graph name, spaces replaced by '_'>
+///   node <opcode> <width> <value> <operand ids...>   (one per node, in id
+///                                                     order — ids are
+///                                                     implicit)
+///   out <node id>...
+///   end
+/// `sep` separates lines: '\n' (default) or ';' for the single-line form
+/// embedded in worker protocol requests.
+std::string to_text(const ir::graph& g, char sep = '\n');
+
+/// Parses a to_text serialization (either separator). Throws
+/// std::runtime_error with a descriptive message on malformed input —
+/// wrong version, unknown opcode, arity/operand-order violations — and
+/// verifies the rebuilt graph, so a worker fed garbage rejects it instead
+/// of timing a broken circuit. Node names are not round-tripped; the
+/// structural fingerprint (ir::graph::fingerprint) is.
+ir::graph from_text(std::string_view text);
+
+}  // namespace isdc::backend
+
+#endif  // ISDC_BACKEND_NETLIST_H_

@@ -1,0 +1,350 @@
+#include "backend/registry.h"
+
+#include <charconv>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "backend/resilient.h"
+#include "synth/synthesis.h"
+
+namespace isdc::backend {
+
+namespace {
+
+const std::vector<std::string> known_names = {
+    "synthesis", "aig-depth", "subprocess",
+    "latency",   "fallback",  "calibrated"};
+
+[[noreturn]] void spec_error(const std::string& what) {
+  throw std::runtime_error("backend spec error: " + what);
+}
+
+bool is_known_name(std::string_view segment) {
+  const std::size_t end = segment.find_first_of(":(");
+  const std::string_view ident = segment.substr(0, end);
+  for (const std::string& name : known_names) {
+    if (ident == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parsed (not yet built) spec node.
+struct parsed_spec {
+  std::string name;
+  std::vector<parsed_spec> children;
+  // Insertion-ordered; duplicate keys rejected at lookup.
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+/// Splits `text` at parenthesis-depth-0 commas; a segment that does not
+/// start with a known tool name is merged into the previous segment (it
+/// is a parameter of that child, e.g. `workers=4` inside a fallback
+/// list).
+std::vector<std::string_view> split_children(std::string_view text) {
+  std::vector<std::string_view> raw;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      raw.push_back(text.substr(start, i - start));
+      start = i + 1;
+    } else if (text[i] == '(') {
+      ++depth;
+    } else if (text[i] == ')') {
+      --depth;
+    }
+  }
+  std::vector<std::string_view> merged;
+  for (const std::string_view segment : raw) {
+    if (segment.empty()) {
+      spec_error("empty element in composite child list");
+    }
+    if (merged.empty() || is_known_name(segment)) {
+      merged.push_back(segment);
+    } else {
+      // Extend the previous child through this segment (views share the
+      // original buffer, so the span between them is exactly one ',').
+      const std::string_view prev = merged.back();
+      merged.back() = std::string_view(
+          prev.data(), static_cast<std::size_t>(segment.data() + segment.size()
+                                                - prev.data()));
+    }
+  }
+  return merged;
+}
+
+parsed_spec parse_spec(std::string_view text);
+
+void parse_params(std::string_view text, parsed_spec& out) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',') {
+      const std::string_view kv = text.substr(start, i - start);
+      start = i + 1;
+      const std::size_t eq = kv.find('=');
+      if (kv.empty() || eq == std::string_view::npos || eq == 0) {
+        spec_error("malformed parameter '" + std::string(kv) +
+                   "' (expected key=value) in '" + out.name + "'");
+      }
+      out.params.emplace_back(std::string(kv.substr(0, eq)),
+                              std::string(kv.substr(eq + 1)));
+    }
+  }
+}
+
+parsed_spec parse_spec(std::string_view text) {
+  parsed_spec out;
+  const std::size_t mark = text.find_first_of(":(");
+  out.name = std::string(text.substr(0, mark));
+  if (out.name.empty()) {
+    spec_error("missing tool name in '" + std::string(text) + "'");
+  }
+  if (mark == std::string_view::npos) {
+    return out;
+  }
+  std::size_t rest = mark;
+  if (text[mark] == '(') {
+    int depth = 0;
+    std::size_t close = std::string_view::npos;
+    for (std::size_t i = mark; i < text.size(); ++i) {
+      if (text[i] == '(') {
+        ++depth;
+      } else if (text[i] == ')' && --depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string_view::npos) {
+      spec_error("unbalanced parentheses in '" + std::string(text) + "'");
+    }
+    for (const std::string_view child :
+         split_children(text.substr(mark + 1, close - mark - 1))) {
+      out.children.push_back(parse_spec(child));
+    }
+    if (close + 1 == text.size()) {
+      return out;
+    }
+    if (text[close + 1] != ':') {
+      spec_error("unexpected text after ')' in '" + std::string(text) + "'");
+    }
+    rest = close + 1;
+  }
+  parse_params(text.substr(rest + 1), out);
+  return out;
+}
+
+/// Typed parameter lookup with unknown-key rejection (a typo'd key must
+/// not silently fall back to a default).
+class param_reader {
+public:
+  explicit param_reader(const parsed_spec& spec) : spec_(spec) {
+    for (const auto& [key, value] : spec.params) {
+      if (!values_.emplace(key, value).second) {
+        spec_error("duplicate parameter '" + key + "' in '" + spec.name +
+                   "'");
+      }
+    }
+  }
+
+  ~param_reader() = default;
+
+  std::string get_string(const std::string& key, std::string fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    consumed_.insert(it->first);
+    return it->second;
+  }
+
+  double get_double(const std::string& key, double fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    consumed_.insert(it->first);
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0' || it->second.empty()) {
+      spec_error("parameter '" + key + "' of '" + spec_.name +
+                 "' is not a number: '" + it->second + "'");
+    }
+    return v;
+  }
+
+  int get_int(const std::string& key, int fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    consumed_.insert(it->first);
+    int v = 0;
+    const auto [ptr, ec] = std::from_chars(
+        it->second.data(), it->second.data() + it->second.size(), v);
+    if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
+      spec_error("parameter '" + key + "' of '" + spec_.name +
+                 "' is not an integer: '" + it->second + "'");
+    }
+    return v;
+  }
+
+  bool get_bool(const std::string& key, bool fallback) {
+    return get_int(key, fallback ? 1 : 0) != 0;
+  }
+
+  /// Call after reading every supported key.
+  void reject_unknown() const {
+    for (const auto& [key, value] : values_) {
+      if (!consumed_.contains(key)) {
+        spec_error("unknown parameter '" + key + "' for '" + spec_.name +
+                   "'");
+      }
+    }
+  }
+
+private:
+  const parsed_spec& spec_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+void expect_children(const parsed_spec& spec, std::size_t min,
+                     std::size_t max) {
+  if (spec.children.size() < min || spec.children.size() > max) {
+    spec_error("'" + spec.name + "' takes " + std::to_string(min) +
+               (min == max ? "" : ".." + std::to_string(max)) +
+               " child spec(s), got " + std::to_string(spec.children.size()));
+  }
+}
+
+synth::synthesis_options read_synth_options(param_reader& params) {
+  synth::synthesis_options o;
+  o.opt_rounds = params.get_int("rounds", o.opt_rounds);
+  o.use_rewrite = params.get_bool("rewrite", o.use_rewrite);
+  o.use_refactor = params.get_bool("refactor", o.use_refactor);
+  return o;
+}
+
+}  // namespace
+
+/// Construction shim with access to tool_handle's internals. Builds the
+/// composition bottom-up; every constructed tool is pushed into
+/// `handle.owned_`. Wrappers hold non-owned references to children, and
+/// no tool touches its children in its destructor, so the vector's
+/// destruction order is immaterial.
+struct tool_builder {
+  static const core::downstream_tool* remember(
+      tool_handle& handle, std::unique_ptr<core::downstream_tool> tool) {
+    handle.owned_.push_back(std::move(tool));
+    return handle.owned_.back().get();
+  }
+
+  static void note_subprocess(tool_handle& handle, subprocess_tool* tool) {
+    if (handle.subprocess_ == nullptr) {
+      handle.subprocess_ = tool;
+    }
+  }
+
+  static void finish(tool_handle& handle, const std::string& spec,
+                     const core::downstream_tool* root) {
+    handle.spec_ = spec;
+    handle.root_ = root;
+  }
+};
+
+namespace {
+
+const core::downstream_tool* remember(
+    tool_handle& handle, std::unique_ptr<core::downstream_tool> tool) {
+  return tool_builder::remember(handle, std::move(tool));
+}
+
+const core::downstream_tool* build(const parsed_spec& spec,
+                                   tool_handle& handle) {
+  param_reader params(spec);
+  if (spec.name == "synthesis") {
+    expect_children(spec, 0, 0);
+    const synth::synthesis_options o = read_synth_options(params);
+    params.reject_unknown();
+    return remember(handle,
+                    std::make_unique<core::synthesis_downstream>(o));
+  }
+  if (spec.name == "aig-depth") {
+    expect_children(spec, 0, 0);
+    const double ps = params.get_double("ps", 80.0);
+    const double offset = params.get_double("offset", 0.0);
+    const synth::synthesis_options o = read_synth_options(params);
+    params.reject_unknown();
+    return remember(handle, std::make_unique<core::aig_depth_downstream>(
+                                ps, offset, o));
+  }
+  if (spec.name == "subprocess") {
+    expect_children(spec, 0, 0);
+    subprocess_options o;
+    o.command = params.get_string("cmd", "");
+    o.workers = params.get_int("workers", o.workers);
+    o.timeout_ms = params.get_int("timeout_ms", o.timeout_ms);
+    o.max_attempts = params.get_int("attempts", o.max_attempts);
+    params.reject_unknown();
+    if (o.command.empty()) {
+      spec_error("'subprocess' requires cmd=<worker command>");
+    }
+    auto tool = std::make_unique<subprocess_tool>(std::move(o));
+    tool_builder::note_subprocess(handle, tool.get());
+    return remember(handle, std::move(tool));
+  }
+  if (spec.name == "latency") {
+    expect_children(spec, 1, 1);
+    const core::downstream_tool* inner = build(spec.children[0], handle);
+    const double ms = params.get_double("ms", 50.0);
+    const double jitter = params.get_double("jitter_ms", 0.0);
+    params.reject_unknown();
+    return remember(handle, std::make_unique<core::latency_downstream>(
+                                *inner, ms, jitter));
+  }
+  if (spec.name == "fallback") {
+    expect_children(spec, 1, 16);
+    std::vector<const core::downstream_tool*> chain;
+    for (const parsed_spec& child : spec.children) {
+      chain.push_back(build(child, handle));
+    }
+    params.reject_unknown();
+    return remember(handle,
+                    std::make_unique<fallback_tool>(std::move(chain)));
+  }
+  if (spec.name == "calibrated") {
+    expect_children(spec, 2, 2);
+    const core::downstream_tool* proxy = build(spec.children[0], handle);
+    const core::downstream_tool* reference = build(spec.children[1], handle);
+    const int every = params.get_int("every", 8);
+    params.reject_unknown();
+    return remember(handle, std::make_unique<calibrated_tool>(
+                                *proxy, *reference, every));
+  }
+  std::string known;
+  for (const std::string& name : known_names) {
+    known += (known.empty() ? "" : ", ") + name;
+  }
+  spec_error("unknown tool '" + spec.name + "' (known: " + known + ")");
+}
+
+}  // namespace
+
+tool_handle make_tool(const std::string& spec) {
+  if (spec.empty()) {
+    spec_error("empty spec");
+  }
+  const parsed_spec parsed = parse_spec(spec);
+  tool_handle handle;
+  tool_builder::finish(handle, spec, build(parsed, handle));
+  return handle;
+}
+
+std::vector<std::string> known_tool_names() { return known_names; }
+
+}  // namespace isdc::backend

@@ -1,0 +1,73 @@
+// Backend registry: build any downstream-tool composition from a spec
+// string, so engines, fleets, benches and tests select backends by flag
+// (--tool=SPEC) instead of by code. The engine's evaluation cache already
+// scopes entries by downstream_tool::name(), so every registry-built tool
+// drops into engine/fleet unchanged.
+//
+// Grammar (ASCII, no whitespace):
+//   spec     := ident [ '(' spec {',' spec} ')' ] [ ':' params ]
+//   params   := key '=' value {',' key '=' value}
+// Leaf tools:
+//   synthesis[:rounds=3,rewrite=1,refactor=1]    full synthesis + STA
+//   aig-depth[:ps=80,offset=0,rounds=3,rewrite=1,refactor=1]
+//   subprocess:cmd=<command>[,workers=2,timeout_ms=10000,attempts=3]
+// Composites:
+//   latency(<spec>)[:ms=50,jitter_ms=0]          injected-latency wrapper
+//   fallback(<spec>,<spec>,...)                  ordered failover chain
+//   calibrated(<proxy spec>,<reference spec>)[:every=8]
+// Convenience: inside a composite's child list, a segment that does not
+// start with a known tool name is folded into the previous child's
+// params, so `fallback(subprocess:cmd=w,workers=4,aig-depth)` parses as
+// {subprocess:cmd=w,workers=4} then {aig-depth}. A `cmd=` value runs to
+// the next ',' — worker commands with arguments use spaces
+// (`cmd=tools/isdc_delay_worker --tool=synthesis`).
+#ifndef ISDC_BACKEND_REGISTRY_H_
+#define ISDC_BACKEND_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/subprocess_tool.h"
+#include "core/downstream.h"
+
+namespace isdc::backend {
+
+/// A built tool plus ownership of every tool in its composition (the
+/// chain is destroyed leaves-last). Move-only.
+class tool_handle {
+public:
+  tool_handle() = default;
+  tool_handle(tool_handle&&) = default;
+  tool_handle& operator=(tool_handle&&) = default;
+
+  /// The composition root; valid for the handle's lifetime.
+  const core::downstream_tool& tool() const { return *root_; }
+  bool valid() const { return root_ != nullptr; }
+
+  /// The spec string this handle was built from, verbatim.
+  const std::string& spec() const { return spec_; }
+
+  /// First subprocess pool in the composition (depth-first), nullptr when
+  /// none — benches and tests read its restart/timeout counters.
+  subprocess_tool* subprocess() const { return subprocess_; }
+
+private:
+  friend struct tool_builder;  // registry.cpp's construction shim
+  std::vector<std::unique_ptr<core::downstream_tool>> owned_;
+  const core::downstream_tool* root_ = nullptr;
+  subprocess_tool* subprocess_ = nullptr;
+  std::string spec_;
+};
+
+/// Parses `spec` and builds the composition. Throws std::runtime_error
+/// with a descriptive message (unknown tool, unknown or malformed
+/// parameter, missing cmd, unbalanced parentheses, worker spawn failure).
+tool_handle make_tool(const std::string& spec);
+
+/// The leaf/composite names the grammar accepts, for help text.
+std::vector<std::string> known_tool_names();
+
+}  // namespace isdc::backend
+
+#endif  // ISDC_BACKEND_REGISTRY_H_

@@ -1,0 +1,115 @@
+#include "backend/resilient.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace isdc::backend {
+
+fallback_tool::fallback_tool(
+    std::vector<const core::downstream_tool*> chain) {
+  ISDC_CHECK(!chain.empty(), "fallback_tool needs at least one link");
+  for (const core::downstream_tool* tool : chain) {
+    ISDC_CHECK(tool != nullptr, "fallback_tool link must not be null");
+    auto l = std::make_unique<link>();
+    l->tool = tool;
+    chain_.push_back(std::move(l));
+  }
+}
+
+double fallback_tool::subgraph_delay_ps(const ir::graph& sub) const {
+  std::exception_ptr last;
+  for (const auto& l : chain_) {
+    ++l->calls;
+    try {
+      return l->tool->subgraph_delay_ps(sub);
+    } catch (...) {
+      ++l->failures;
+      last = std::current_exception();
+    }
+  }
+  std::rethrow_exception(last);
+}
+
+std::string fallback_tool::name() const {
+  std::ostringstream out;
+  out << "fallback(";
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    out << (i > 0 ? "," : "") << chain_[i]->tool->name();
+  }
+  out << ")";
+  return out.str();
+}
+
+std::vector<fallback_tool::link_counters> fallback_tool::stats() const {
+  std::vector<link_counters> out;
+  out.reserve(chain_.size());
+  for (const auto& l : chain_) {
+    out.push_back({l->calls.load(), l->failures.load()});
+  }
+  return out;
+}
+
+calibrated_tool::calibrated_tool(const core::downstream_tool& proxy,
+                                 const core::downstream_tool& reference,
+                                 int sample_every, int min_samples)
+    : proxy_(proxy), reference_(reference),
+      sample_every_(std::max(1, sample_every)),
+      min_samples_(std::max(2, min_samples)) {}
+
+double calibrated_tool::subgraph_delay_ps(const ir::graph& sub) const {
+  const std::uint64_t n = proxy_calls_.fetch_add(1);
+  const double x = proxy_.subgraph_delay_ps(sub);
+
+  if (n % static_cast<std::uint64_t>(sample_every_) == 0) {
+    ++reference_calls_;
+    try {
+      const double y = reference_.subgraph_delay_ps(sub);
+      std::lock_guard<std::mutex> lk(mu_);
+      ++n_;
+      sum_x_ += x;
+      sum_y_ += y;
+      sum_xx_ += x * x;
+      sum_xy_ += x * y;
+    } catch (...) {
+      // The reference backend being down must not sink the call; the
+      // current fit (or the raw proxy) still answers.
+      ++reference_failures_;
+    }
+  }
+
+  const fit f = current_fit();
+  return std::max(0.0, f.slope * x + f.offset);
+}
+
+calibrated_tool::fit calibrated_tool::current_fit() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  fit f;
+  f.samples = n_;
+  if (n_ < static_cast<std::size_t>(min_samples_)) {
+    return f;  // identity until enough reference points exist
+  }
+  const double n = static_cast<double>(n_);
+  const double var = sum_xx_ - sum_x_ * sum_x_ / n;
+  if (var <= 1e-9) {
+    // Degenerate sample (all proxy answers equal): the best constant
+    // predictor is the reference mean.
+    f.slope = 0.0;
+    f.offset = sum_y_ / n;
+    return f;
+  }
+  f.slope = (sum_xy_ - sum_x_ * sum_y_ / n) / var;
+  f.offset = (sum_y_ - f.slope * sum_x_) / n;
+  return f;
+}
+
+std::string calibrated_tool::name() const {
+  std::ostringstream out;
+  out << "calibrated(" << proxy_.name() << "->" << reference_.name()
+      << ",every=" << sample_every_ << ")";
+  return out.str();
+}
+
+}  // namespace isdc::backend

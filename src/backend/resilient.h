@@ -1,0 +1,118 @@
+// Resilient downstream-tool composition.
+//
+// fallback_tool — primary backend with an ordered fallback chain: a link
+//     that throws (subprocess deadline, dead remote service, worker error)
+//     hands the same subgraph to the next link, so the scheduling loop
+//     degrades to cheaper feedback instead of dying. The canonical stack
+//     is subprocess STA falling back to the AIG-depth proxy.
+//
+// calibrated_tool — a cheap proxy (e.g. AIG depth) recalibrated online
+//     against sparse reference measurements (e.g. full synthesis or a
+//     subprocess STA): every sample_every-th call also asks the reference
+//     and refits an ordinary least-squares line y = slope*x + offset, the
+//     running generalization of the paper's Fig. 8 STA/depth regression.
+//     All other calls pay only the proxy and return the fitted mapping of
+//     its answer.
+//
+// Both are thread-safe when their children are; children are non-owned
+// and must outlive the wrapper (the backend registry owns whole
+// compositions — see registry.h).
+#ifndef ISDC_BACKEND_RESILIENT_H_
+#define ISDC_BACKEND_RESILIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/downstream.h"
+
+namespace isdc::backend {
+
+class fallback_tool final : public core::downstream_tool {
+public:
+  /// `chain` is tried in order; at least one link is required.
+  explicit fallback_tool(std::vector<const core::downstream_tool*> chain);
+
+  /// First link's answer that does not throw; rethrows the last link's
+  /// failure when every link failed.
+  double subgraph_delay_ps(const ir::graph& sub) const override;
+
+  /// "fallback(<link names>)" — the whole chain is the cache identity,
+  /// since which link answered is not recorded per entry.
+  std::string name() const override;
+
+  struct link_counters {
+    std::uint64_t calls = 0;     ///< subgraphs handed to this link
+    std::uint64_t failures = 0;  ///< throws that fell through to the next
+  };
+  /// One entry per chain link, in order.
+  std::vector<link_counters> stats() const;
+
+private:
+  struct link {
+    const core::downstream_tool* tool = nullptr;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> failures{0};
+  };
+  std::vector<std::unique_ptr<link>> chain_;
+};
+
+class calibrated_tool final : public core::downstream_tool {
+public:
+  /// Every `sample_every`-th call (the first included) also measures
+  /// `reference` and refits. Until `min_samples` reference points exist
+  /// the proxy's answer passes through unfitted.
+  calibrated_tool(const core::downstream_tool& proxy,
+                  const core::downstream_tool& reference,
+                  int sample_every = 8, int min_samples = 2);
+
+  /// max(0, slope * proxy(sub) + offset) under the current fit. A failing
+  /// reference measurement never fails the call: the sample is skipped
+  /// (counted) and the existing fit answers.
+  double subgraph_delay_ps(const ir::graph& sub) const override;
+
+  /// "calibrated(<proxy>-><reference>,every=N)". Note the identity is
+  /// deliberately fit-independent: cached entries are answers of an
+  /// evolving estimator, so re-measured subgraphs would disagree across a
+  /// run anyway — the cache just freezes whichever calibration answered
+  /// first, exactly like the paper's one-shot Fig. 8 fit.
+  std::string name() const override;
+
+  struct fit {
+    double slope = 1.0;
+    double offset = 0.0;
+    std::size_t samples = 0;
+  };
+  fit current_fit() const;
+
+  std::uint64_t proxy_calls() const { return proxy_calls_.load(); }
+  std::uint64_t reference_calls() const { return reference_calls_.load(); }
+  std::uint64_t reference_failures() const {
+    return reference_failures_.load();
+  }
+
+private:
+  const core::downstream_tool& proxy_;
+  const core::downstream_tool& reference_;
+  int sample_every_;
+  int min_samples_;
+
+  mutable std::atomic<std::uint64_t> proxy_calls_{0};
+  mutable std::atomic<std::uint64_t> reference_calls_{0};
+  mutable std::atomic<std::uint64_t> reference_failures_{0};
+
+  // Running least-squares accumulators, guarded by mu_.
+  mutable std::mutex mu_;
+  mutable std::size_t n_ = 0;
+  mutable double sum_x_ = 0.0;
+  mutable double sum_y_ = 0.0;
+  mutable double sum_xx_ = 0.0;
+  mutable double sum_xy_ = 0.0;
+};
+
+}  // namespace isdc::backend
+
+#endif  // ISDC_BACKEND_RESILIENT_H_

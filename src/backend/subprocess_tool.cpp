@@ -1,0 +1,449 @@
+#include "backend/subprocess_tool.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "backend/netlist.h"
+
+namespace isdc::backend {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+constexpr std::string_view ready_line = "ready isdc-delay-worker 1";
+
+/// Writes to a worker whose process already died raise SIGPIPE, which
+/// would kill the whole scheduler; the pool treats them as an ordinary
+/// crash (EPIPE) and respawns instead. Ignoring the signal process-wide is
+/// the only portable way to get the errno behavior; done once, lazily.
+void ignore_sigpipe() {
+  static const bool once = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)once;
+}
+
+std::vector<std::string> split_command(const std::string& command) {
+  std::vector<std::string> argv;
+  std::istringstream in(command);
+  std::string word;
+  while (in >> word) {
+    argv.push_back(word);
+  }
+  return argv;
+}
+
+enum class io_status { ok, timed_out, closed };
+
+}  // namespace
+
+/// One live worker process. The owning pool is responsible for reaping
+/// the pid; the struct only owns the two pipe ends.
+struct subprocess_tool::worker {
+  pid_t pid = -1;
+  int to_child = -1;    ///< request pipe (our write end)
+  int from_child = -1;  ///< response pipe (our read end)
+  std::string buffer;   ///< response bytes read but not yet consumed
+
+  ~worker() {
+    if (to_child >= 0) {
+      ::close(to_child);
+    }
+    if (from_child >= 0) {
+      ::close(from_child);
+    }
+  }
+};
+
+namespace {
+
+/// Reads one '\n'-terminated line (stripped) within the deadline.
+/// timeout_ms <= 0 waits forever.
+io_status read_line(subprocess_tool::worker& w, int timeout_ms,
+                    std::string& line) {
+  const auto deadline =
+      clock_type::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const std::size_t nl = w.buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = w.buffer.substr(0, nl);
+      w.buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      return io_status::ok;
+    }
+    int wait_ms = -1;
+    if (timeout_ms > 0) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline - clock_type::now());
+      if (remaining.count() <= 0) {
+        return io_status::timed_out;
+      }
+      wait_ms = static_cast<int>(remaining.count());
+    }
+    struct pollfd pfd = {.fd = w.from_child, .events = POLLIN, .revents = 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready == 0) {
+      return io_status::timed_out;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return io_status::closed;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(w.from_child, chunk, sizeof(chunk));
+    if (n > 0) {
+      w.buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return io_status::closed;  // EOF: the worker died or closed stdout
+  }
+}
+
+/// Writes `data` within the deadline. The request fd is non-blocking, so
+/// a worker that stopped draining stdin (wedged wrapper, full pipe on a
+/// large cone) surfaces as timed_out instead of hanging the scheduler.
+io_status write_all(subprocess_tool::worker& w, std::string_view data,
+                    int timeout_ms) {
+  const auto deadline =
+      clock_type::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(w.to_child, data.data() + off,
+                              data.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait_ms = -1;
+      if (timeout_ms > 0) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - clock_type::now());
+        if (remaining.count() <= 0) {
+          return io_status::timed_out;
+        }
+        wait_ms = static_cast<int>(remaining.count());
+      }
+      struct pollfd pfd = {
+          .fd = w.to_child, .events = POLLOUT, .revents = 0};
+      const int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready == 0) {
+        return io_status::timed_out;
+      }
+      if (ready < 0 && errno != EINTR) {
+        return io_status::closed;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return io_status::closed;  // EPIPE et al.: the worker is gone
+  }
+  return io_status::ok;
+}
+
+/// SIGKILL + reap. Safe on an already-dead pid (waitpid still reaps it).
+void kill_worker(subprocess_tool::worker& w) {
+  if (w.pid > 0) {
+    ::kill(w.pid, SIGKILL);
+    ::waitpid(w.pid, nullptr, 0);
+    w.pid = -1;
+  }
+}
+
+/// Polite shutdown: quit + stdin EOF, a short grace period, then SIGKILL.
+void stop_worker(subprocess_tool::worker& w) {
+  if (w.pid <= 0) {
+    return;
+  }
+  (void)write_all(w, "quit\n", /*timeout_ms=*/50);
+  ::close(w.to_child);
+  w.to_child = -1;
+  for (int i = 0; i < 25; ++i) {
+    // Only a returned pid means the child was reaped; 0 is still-running
+    // and -1 (EINTR) is a retry, never an exit.
+    if (::waitpid(w.pid, nullptr, WNOHANG) == w.pid) {
+      w.pid = -1;
+      return;
+    }
+    ::usleep(10 * 1000);
+  }
+  kill_worker(w);
+}
+
+std::unique_ptr<subprocess_tool::worker> spawn_worker(
+    const subprocess_options& options) {
+  const std::vector<std::string> args = split_command(options.command);
+  if (args.empty()) {
+    throw std::runtime_error("subprocess backend: empty worker command");
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  // O_CLOEXEC everywhere: without it every forked sibling would inherit
+  // this worker's pipe ends, so closing our write end would never
+  // deliver stdin EOF while any sibling lives. The child's dup2 onto
+  // stdin/stdout clears the flag on the descriptors that must survive
+  // exec.
+  int request[2];   // [0] worker stdin, [1] our write end
+  int response[2];  // [0] our read end, [1] worker stdout
+  if (::pipe2(request, O_CLOEXEC) != 0) {
+    throw std::runtime_error(std::string("subprocess backend: pipe: ") +
+                             std::strerror(errno));
+  }
+  if (::pipe2(response, O_CLOEXEC) != 0) {
+    ::close(request[0]);
+    ::close(request[1]);
+    throw std::runtime_error(std::string("subprocess backend: pipe: ") +
+                             std::strerror(errno));
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {request[0], request[1], response[0], response[1]}) {
+      ::close(fd);
+    }
+    throw std::runtime_error(std::string("subprocess backend: fork: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: async-signal-safe calls only between fork and exec. The
+    // original CLOEXEC descriptors close themselves at exec.
+    ::dup2(request[0], STDIN_FILENO);
+    ::dup2(response[1], STDOUT_FILENO);
+    ::execvp(argv[0], argv.data());
+    // exec failed; 127 is the shell's command-not-found convention.
+    _exit(127);
+  }
+
+  auto w = std::make_unique<subprocess_tool::worker>();
+  w->pid = pid;
+  w->to_child = request[1];
+  w->from_child = response[0];
+  ::close(request[0]);
+  ::close(response[1]);
+  // Non-blocking requests: write_all polls for space against the
+  // deadline, so a worker that stops reading cannot wedge a scheduler
+  // thread on a cone bigger than the pipe buffer.
+  ::fcntl(w->to_child, F_SETFL, O_NONBLOCK);
+
+  std::string greeting;
+  const io_status st = read_line(*w, options.timeout_ms, greeting);
+  if (st != io_status::ok || greeting != ready_line) {
+    kill_worker(*w);
+    std::ostringstream msg;
+    msg << "subprocess backend: worker '" << options.command << "' ";
+    if (st == io_status::timed_out) {
+      msg << "did not send its ready line within " << options.timeout_ms
+          << " ms";
+    } else if (st == io_status::closed) {
+      msg << "exited before the ready handshake (bad command?)";
+    } else {
+      msg << "sent an unexpected greeting '" << greeting << "' (expected '"
+          << ready_line << "')";
+    }
+    throw std::runtime_error(msg.str());
+  }
+  return w;
+}
+
+}  // namespace
+
+subprocess_tool::subprocess_tool(subprocess_options options)
+    : options_(std::move(options)) {
+  ignore_sigpipe();
+  options_.workers = std::max(1, options_.workers);
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  try {
+    for (int i = 0; i < options_.workers; ++i) {
+      idle_.push_back(spawn_worker(options_));
+      ++live_slots_;
+    }
+  } catch (...) {
+    for (auto& w : idle_) {
+      kill_worker(*w);
+    }
+    throw;
+  }
+}
+
+subprocess_tool::~subprocess_tool() {
+  // Calls must have drained (the engine joins its runs before tool
+  // teardown); only idle workers remain to stop.
+  for (auto& w : idle_) {
+    stop_worker(*w);
+  }
+}
+
+std::unique_ptr<subprocess_tool::worker> subprocess_tool::acquire() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (!idle_.empty()) {
+      auto w = std::move(idle_.back());
+      idle_.pop_back();
+      return w;
+    }
+    if (live_slots_ < options_.workers) {
+      // A slot died (failed respawn); heal it inline, outside the lock.
+      ++live_slots_;
+      lk.unlock();
+      try {
+        return spawn_worker(options_);
+      } catch (...) {
+        lk.lock();
+        --live_slots_;
+        slot_free_.notify_one();
+        throw;
+      }
+    }
+    slot_free_.wait(lk);
+  }
+}
+
+void subprocess_tool::release(std::unique_ptr<worker> w) const {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    idle_.push_back(std::move(w));
+  }
+  slot_free_.notify_one();
+}
+
+double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
+  ++calls_;
+  const std::string request = "eval " + to_text(sub, ';') + "\n";
+
+  // Kills the held worker and frees its slot; the next acquire respawns.
+  const auto discard = [this](std::unique_ptr<worker> w) {
+    kill_worker(*w);
+    ++restarts_;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --live_slots_;
+    }
+    slot_free_.notify_one();
+  };
+
+  std::string transient;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+    }
+    std::unique_ptr<worker> w = acquire();
+    const io_status sent = write_all(*w, request, options_.timeout_ms);
+    if (sent == io_status::timed_out) {
+      ++timeouts_;
+      transient = "worker stopped accepting requests within the " +
+                  std::to_string(options_.timeout_ms) + " ms deadline";
+      discard(std::move(w));
+      continue;
+    }
+    if (sent == io_status::closed) {
+      ++crashes_;
+      transient = "worker rejected the request (broken pipe)";
+      discard(std::move(w));
+      continue;
+    }
+    std::string line;
+    const io_status st = read_line(*w, options_.timeout_ms, line);
+    if (st == io_status::timed_out) {
+      ++timeouts_;
+      transient = "deadline of " + std::to_string(options_.timeout_ms) +
+                  " ms expired";
+      discard(std::move(w));
+      continue;
+    }
+    if (st == io_status::closed) {
+      ++crashes_;
+      transient = "worker died mid-request";
+      discard(std::move(w));
+      continue;
+    }
+    if (line.rfind("ok ", 0) == 0) {
+      char* end = nullptr;
+      const std::string value = line.substr(3);
+      const double delay_ps = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || value.empty() ||
+          !w->buffer.empty()) {
+        ++protocol_errors_;
+        discard(std::move(w));
+        throw std::runtime_error(
+            "subprocess backend: protocol error: unparseable ok response '" +
+            line + "'");
+      }
+      release(std::move(w));
+      return delay_ps;
+    }
+    if (line.rfind("err ", 0) == 0) {
+      const std::string message = line.substr(4);
+      if (!w->buffer.empty()) {
+        // Residual output after the response means the worker is out of
+        // sync with the request framing — releasing it would hand its
+        // stale line to the next caller as an answer. Same rule as the
+        // ok path: kill it.
+        ++protocol_errors_;
+        discard(std::move(w));
+      } else {
+        // The worker is healthy and in sync; the failure is
+        // deterministic (it would fail again), so no retry.
+        release(std::move(w));
+      }
+      throw std::runtime_error("subprocess backend: worker error: " +
+                               message);
+    }
+    ++protocol_errors_;
+    discard(std::move(w));
+    throw std::runtime_error(
+        "subprocess backend: protocol error: unexpected worker response '" +
+        line + "' (expected 'ok <delay>' or 'err <message>')");
+  }
+  throw std::runtime_error("subprocess backend: call failed after " +
+                           std::to_string(options_.max_attempts) +
+                           " attempt(s): " + transient);
+}
+
+std::string subprocess_tool::name() const {
+  std::ostringstream out;
+  out << "subprocess(" << options_.command << ",w=" << options_.workers
+      << ",t=" << options_.timeout_ms << "ms)";
+  return out.str();
+}
+
+subprocess_tool::counters subprocess_tool::stats() const {
+  counters c;
+  c.calls = calls_.load();
+  c.restarts = restarts_.load();
+  c.timeouts = timeouts_.load();
+  c.crashes = crashes_.load();
+  c.retries = retries_.load();
+  c.protocol_errors = protocol_errors_.load();
+  return c;
+}
+
+}  // namespace isdc::backend

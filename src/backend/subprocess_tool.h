@@ -1,0 +1,114 @@
+// Out-of-process downstream backend: a pool of persistent worker
+// processes spoken to over pipes with a newline-delimited request/response
+// protocol. This is the shape a real Yosys+OpenSTA (or vendor-flow)
+// integration takes — the expensive oracle lives behind a process
+// boundary, and the async/fleet machinery hides its latency — while the
+// reference worker (tools/isdc_delay_worker) wraps the built-in flows
+// behind the same protocol so everything is testable without external
+// tools installed.
+//
+// Protocol (version 1), one line per message:
+//   worker -> client:  ready isdc-delay-worker 1          (once, at spawn)
+//   client -> worker:  eval <one-line text netlist>       (netlist.h,
+//                                                          ';'-separated)
+//   worker -> client:  ok <critical delay in ps, %.17g>
+//                  or  err <single-line message>
+//   client -> worker:  quit                               (then stdin EOF)
+// Any other worker output is a protocol error. A real backend is a script
+// that speaks these five lines; see README "Downstream backends".
+//
+// Resilience: every call has a deadline; a worker that times out, dies or
+// babbles is SIGKILLed and respawned, and the request is retried on the
+// fresh worker (bounded attempts). Deterministic worker-reported failures
+// ("err ...") and protocol garbage are NOT retried — they would fail
+// again — and surface as exceptions (compose with fallback_tool to
+// degrade gracefully). All counters are atomic; calls are thread-safe and
+// block when every worker is busy.
+#ifndef ISDC_BACKEND_SUBPROCESS_TOOL_H_
+#define ISDC_BACKEND_SUBPROCESS_TOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/downstream.h"
+
+namespace isdc::backend {
+
+struct subprocess_options {
+  /// Worker command line, split on spaces into argv (no shell quoting;
+  /// argv[0] is resolved through PATH when it contains no '/').
+  std::string command;
+  /// Persistent worker processes. Calls beyond this many block until a
+  /// worker frees up, so size it like an I/O pool (the engine's async
+  /// dispatch width, not the host core count).
+  int workers = 2;
+  /// Per-attempt deadline, applied to the request write and the response
+  /// read separately (and, at spawn, to the ready handshake), so neither
+  /// a wedged reader nor a silent worker can hang a scheduler thread.
+  /// 0 disables the deadline.
+  int timeout_ms = 10000;
+  /// Total tries per call: the first send plus retries on fresh workers
+  /// after a crash or timeout.
+  int max_attempts = 3;
+};
+
+class subprocess_tool final : public core::downstream_tool {
+public:
+  /// One live worker process; defined (and only touched) in the .cpp.
+  struct worker;
+
+  /// Spawns the pool eagerly and waits for every worker's ready line, so
+  /// a bad command fails here with a descriptive error instead of inside
+  /// the first scheduling iteration.
+  explicit subprocess_tool(subprocess_options options);
+
+  /// Sends quit, gives workers a grace period, then SIGKILLs stragglers.
+  ~subprocess_tool() override;
+
+  subprocess_tool(const subprocess_tool&) = delete;
+  subprocess_tool& operator=(const subprocess_tool&) = delete;
+
+  double subgraph_delay_ps(const ir::graph& sub) const override;
+
+  /// "subprocess(<command>,w=<workers>,t=<timeout>ms)" — the command is
+  /// part of the identity, so two pools wrapping different external flows
+  /// never share evaluation-cache entries.
+  std::string name() const override;
+
+  struct counters {
+    std::uint64_t calls = 0;            ///< subgraph_delay_ps invocations
+    std::uint64_t restarts = 0;         ///< kill + respawn events
+    std::uint64_t timeouts = 0;         ///< attempts past the deadline
+    std::uint64_t crashes = 0;          ///< worker EOF / write failures
+    std::uint64_t retries = 0;          ///< requests re-sent after a failure
+    std::uint64_t protocol_errors = 0;  ///< unparseable worker responses
+  };
+  counters stats() const;
+
+private:
+  /// Blocks until a worker slot is free and takes ownership of it.
+  std::unique_ptr<worker> acquire() const;
+  void release(std::unique_ptr<worker> w) const;
+
+  subprocess_options options_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable slot_free_;
+  mutable std::vector<std::unique_ptr<worker>> idle_;
+  mutable int live_slots_ = 0;  ///< workers either idle or checked out
+
+  mutable std::atomic<std::uint64_t> calls_{0};
+  mutable std::atomic<std::uint64_t> restarts_{0};
+  mutable std::atomic<std::uint64_t> timeouts_{0};
+  mutable std::atomic<std::uint64_t> crashes_{0};
+  mutable std::atomic<std::uint64_t> retries_{0};
+  mutable std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace isdc::backend
+
+#endif  // ISDC_BACKEND_SUBPROCESS_TOOL_H_

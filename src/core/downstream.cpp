@@ -1,10 +1,12 @@
 #include "core/downstream.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
 
 #include "lower/lowering.h"
+#include "support/hash.h"
 
 namespace isdc::core {
 
@@ -42,17 +44,54 @@ std::string aig_depth_downstream::name() const {
 }
 
 double latency_downstream::subgraph_delay_ps(const ir::graph& sub) const {
-  ++calls_;
-  if (latency_ms_ > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(latency_ms_));
+  const std::uint64_t index = calls_.fetch_add(1);
+  double sleep_ms = latency_ms_;
+  if (jitter_ms_ > 0.0) {
+    // Deterministic per-call jitter: hashing the call index gives a
+    // reproducible uniform draw in [-jitter, +jitter] with no shared rng
+    // state to contend on.
+    const double unit =
+        static_cast<double>(hash_finalize(index + 1) >> 11) * 0x1.0p-53;
+    sleep_ms += (2.0 * unit - 1.0) * jitter_ms_;
   }
-  return inner_.subgraph_delay_ps(sub);
+  const auto start = std::chrono::steady_clock::now();
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  const double delay_ps = inner_.subgraph_delay_ps(sub);
+  const double observed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    min_ms_ = completed_ == 0 ? observed_ms : std::min(min_ms_, observed_ms);
+    max_ms_ = std::max(max_ms_, observed_ms);
+    sum_ms_ += observed_ms;
+    ++completed_;
+  }
+  return delay_ps;
+}
+
+latency_downstream::latency_stats latency_downstream::observed() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  latency_stats s;
+  s.calls = completed_;
+  s.min_ms = min_ms_;
+  s.max_ms = max_ms_;
+  s.mean_ms = completed_ > 0 ? sum_ms_ / static_cast<double>(completed_)
+                             : 0.0;
+  return s;
 }
 
 std::string latency_downstream::name() const {
   std::ostringstream out;
-  out << "latency(" << latency_ms_ << "ms," << inner_.name() << ")";
+  out << "latency(" << latency_ms_ << "ms";
+  if (jitter_ms_ > 0.0) {
+    out << "~" << jitter_ms_ << "ms";
+  }
+  out << "," << inner_.name() << ")";
   return out.str();
 }
 

@@ -17,7 +17,9 @@
 #define ISDC_CORE_DOWNSTREAM_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "ir/graph.h"
@@ -80,30 +82,60 @@ private:
   synth::synthesis_options options_;
 };
 
-/// Latency-injecting decorator: sleeps `latency_ms` per call, then
+/// Latency-injecting decorator: sleeps `latency_ms` (± a uniform jitter
+/// of up to `jitter_ms`, deterministic per call index) per call, then
 /// delegates to the wrapped tool. Models the dominant cost of a real
 /// downstream backend — seconds of synthesis/STA per subgraph, or the
-/// round-trip to a remote timing service — without changing the answers,
-/// so sync-vs-async pipeline comparisons measure latency hiding alone.
+/// round-trip to a remote timing service, whose latency is never constant
+/// in practice — without changing the answers, so sync-vs-async pipeline
+/// comparisons measure latency hiding alone.
 /// Thread-safe iff the wrapped tool is; `inner` must outlive the decorator.
 class latency_downstream final : public downstream_tool {
 public:
-  latency_downstream(const downstream_tool& inner, double latency_ms)
-      : inner_(inner), latency_ms_(latency_ms) {}
+  latency_downstream(const downstream_tool& inner, double latency_ms,
+                     double jitter_ms = 0.0)
+      : inner_(inner), latency_ms_(latency_ms), jitter_ms_(jitter_ms) {}
+
+  /// chrono-friendly spelling: any std::chrono::duration converts —
+  /// latency_downstream(tool, 50ms, 10ms), or microseconds, seconds, ...
+  latency_downstream(const downstream_tool& inner,
+                     std::chrono::duration<double, std::milli> latency,
+                     std::chrono::duration<double, std::milli> jitter =
+                         std::chrono::milliseconds(0))
+      : latency_downstream(inner, latency.count(), jitter.count()) {}
 
   double subgraph_delay_ps(const ir::graph& sub) const override;
-  /// "latency(Nms,<inner name>)": the delay does not change the answers,
-  /// but keeping the wrapper's identity distinct means cache entries never
-  /// leak between wrapped and bare configurations of a sweep.
+  /// "latency(Nms,<inner name>)" — or "latency(Nms~Jms,...)" with jitter:
+  /// the delay does not change the answers, but keeping the wrapper's
+  /// identity distinct means cache entries never leak between wrapped and
+  /// bare configurations of a sweep.
   std::string name() const override;
 
   /// Downstream calls made through this wrapper (across threads).
   std::uint64_t calls() const { return calls_.load(); }
 
+  /// Observed per-call wall-clock latency (sleep + delegate), across
+  /// threads. min/max/mean are 0 before the first call completes.
+  struct latency_stats {
+    std::uint64_t calls = 0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    double mean_ms = 0.0;
+  };
+  latency_stats observed() const;
+
 private:
   const downstream_tool& inner_;
   double latency_ms_;
+  double jitter_ms_;
   mutable std::atomic<std::uint64_t> calls_{0};
+  // Observed-latency accumulators. A mutex is fine here: every call just
+  // slept for milliseconds, so contention on a few adds is noise.
+  mutable std::mutex stats_mu_;
+  mutable std::uint64_t completed_ = 0;
+  mutable double sum_ms_ = 0.0;
+  mutable double min_ms_ = 0.0;
+  mutable double max_ms_ = 0.0;
 };
 
 }  // namespace isdc::core

@@ -1,0 +1,245 @@
+// Subprocess backend: the worker pool against the reference worker
+// binary (tools/isdc_delay_worker), including every failure mode the pool
+// must survive — crash mid-request, deadline expiry, protocol garbage,
+// bad commands — and the end-to-end guarantee: a fleet run through a
+// subprocess pool produces schedules bit-identical to the in-process
+// tool it wraps.
+//
+// ISDC_DELAY_WORKER_PATH is injected by CMake as the built worker's
+// absolute path, so the suite is hermetic.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "backend/registry.h"
+#include "backend/resilient.h"
+#include "backend/subprocess_tool.h"
+#include "core/downstream.h"
+#include "engine/engine.h"
+#include "engine/fleet.h"
+#include "ir/builder.h"
+#include "workloads/registry.h"
+
+namespace isdc {
+namespace {
+
+std::string worker_path() { return ISDC_DELAY_WORKER_PATH; }
+
+ir::graph small_adder() {
+  ir::graph g("adder");
+  ir::builder b(g);
+  b.output(b.add(b.input(8, "a"), b.input(8, "c")));
+  return g;
+}
+
+TEST(BackendSubprocess, MatchesInProcessSynthesisExactly) {
+  backend::subprocess_options options;
+  options.command = worker_path();
+  options.workers = 2;
+  const backend::subprocess_tool pool(options);
+  const core::synthesis_downstream reference;
+
+  const ir::graph g = small_adder();
+  // %.17g framing means the out-of-process answer is the same double, not
+  // merely close — the precondition for bit-identical schedules.
+  EXPECT_EQ(pool.subgraph_delay_ps(g), reference.subgraph_delay_ps(g));
+
+  const workloads::workload_spec* spec = workloads::find_workload("rrot");
+  ASSERT_NE(spec, nullptr);
+  const ir::graph w = spec->build();
+  EXPECT_EQ(pool.subgraph_delay_ps(w), reference.subgraph_delay_ps(w));
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.restarts, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(BackendSubprocess, RegistrySpecBuildsAPool) {
+  const backend::tool_handle handle = backend::make_tool(
+      "subprocess:cmd=" + worker_path() + " --tool=aig-depth:ps=80"
+      ",workers=1,timeout_ms=5000");
+  ASSERT_NE(handle.subprocess(), nullptr);
+  const core::aig_depth_downstream reference(80.0);
+  const ir::graph g = small_adder();
+  EXPECT_EQ(handle.tool().subgraph_delay_ps(g),
+            reference.subgraph_delay_ps(g));
+  EXPECT_EQ(handle.subprocess()->stats().calls, 1u);
+}
+
+TEST(BackendSubprocess, CrashMidRequestRespawnsAndRetries) {
+  backend::subprocess_options options;
+  // The worker exits without replying on its second eval; the respawned
+  // worker's counter starts over, so the retry lands on eval #1 and
+  // succeeds.
+  options.command = worker_path() + " --tool=aig-depth --crash-after=2";
+  options.workers = 1;
+  options.max_attempts = 3;
+  const backend::subprocess_tool pool(options);
+  const core::aig_depth_downstream reference;
+
+  const ir::graph g = small_adder();
+  EXPECT_EQ(pool.subgraph_delay_ps(g), reference.subgraph_delay_ps(g));
+  EXPECT_EQ(pool.subgraph_delay_ps(g), reference.subgraph_delay_ps(g));
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_GE(stats.crashes, 1u);
+  EXPECT_GE(stats.restarts, 1u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_EQ(stats.timeouts, 0u);
+}
+
+TEST(BackendSubprocess, DeadlineKillsWorkerAndFallbackAnswers) {
+  backend::subprocess_options options;
+  options.command = worker_path() + " --tool=aig-depth --hang-after=1";
+  options.workers = 1;
+  options.timeout_ms = 250;
+  options.max_attempts = 2;
+  const backend::subprocess_tool pool(options);
+  const ir::graph g = small_adder();
+
+  // Alone, the pool exhausts its attempts against the hang and reports
+  // the deadline.
+  try {
+    pool.subgraph_delay_ps(g);
+    FAIL() << "expected the deadline to expire";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos)
+        << e.what();
+  }
+  auto stats = pool.stats();
+  EXPECT_GE(stats.timeouts, 2u);
+  EXPECT_GE(stats.restarts, 2u);
+
+  // Composed, the same failure degrades to the in-process proxy instead.
+  const core::aig_depth_downstream proxy;
+  const backend::fallback_tool chain({&pool, &proxy});
+  EXPECT_EQ(chain.subgraph_delay_ps(g), proxy.subgraph_delay_ps(g));
+  const auto links = chain.stats();
+  EXPECT_EQ(links[0].failures, 1u);
+  EXPECT_EQ(links[1].calls, 1u);
+}
+
+TEST(BackendSubprocess, ProtocolGarbageIsRejectedWithDescription) {
+  backend::subprocess_options options;
+  options.command = worker_path() + " --tool=aig-depth --garbage-after=1";
+  options.workers = 1;
+  const backend::subprocess_tool pool(options);
+  try {
+    pool.subgraph_delay_ps(small_adder());
+    FAIL() << "expected a protocol error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("protocol error"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_GE(pool.stats().protocol_errors, 1u);
+}
+
+TEST(BackendSubprocess, WorkerReportedErrorsAreNotRetried) {
+  backend::subprocess_options options;
+  options.command = worker_path() + " --tool=aig-depth";
+  options.workers = 1;
+  const backend::subprocess_tool pool(options);
+  // A graph with no outputs fails the worker's IR verification, so it
+  // answers "err ..." — a deterministic failure the pool must surface
+  // without burning retries or killing the (healthy, in-sync) worker.
+  ir::graph g("no_outputs");
+  ir::builder b(g);
+  b.input(8, "a");
+  try {
+    pool.subgraph_delay_ps(g);
+    FAIL() << "expected a worker-reported error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("worker error"), std::string::npos)
+        << e.what();
+  }
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.restarts, 0u);
+  // The same worker keeps answering afterwards.
+  EXPECT_NO_THROW(pool.subgraph_delay_ps(small_adder()));
+  EXPECT_EQ(pool.stats().restarts, 0u);
+}
+
+TEST(BackendSubprocess, BadCommandFailsConstructionDescriptively) {
+  backend::subprocess_options options;
+  options.command = "definitely-not-a-real-binary-xyzzy";
+  options.workers = 1;
+  options.timeout_ms = 2000;
+  try {
+    const backend::subprocess_tool pool(options);
+    FAIL() << "expected spawn failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ready handshake"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// The acceptance bar: a fleet run over 4 shards through a 2-worker
+// subprocess pool (wrapping the built-in synthesis flow behind the wire
+// protocol) schedules bit-identically to solo in-process runs.
+TEST(BackendSubprocess, FleetThroughWorkerPoolMatchesInProcessBitExactly) {
+  const std::vector<std::string> names = {"rrot", "crc32", "hsv2rgb",
+                                          "ml_datapath0_opcode0"};
+  core::isdc_options opts;
+  opts.max_iterations = 2;
+  opts.subgraphs_per_iteration = 4;
+  opts.num_threads = 2;
+
+  std::vector<const workloads::workload_spec*> specs;
+  std::vector<ir::graph> graphs;
+  for (const std::string& name : names) {
+    specs.push_back(workloads::find_workload(name));
+    ASSERT_NE(specs.back(), nullptr) << name;
+    graphs.push_back(specs.back()->build());
+  }
+
+  // Solo arm: in-process synthesis, one fresh engine per design.
+  const core::synthesis_downstream in_process(opts.synth);
+  std::vector<core::isdc_result> solo;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    engine::engine e;
+    core::isdc_options run_opts = opts;
+    run_opts.base.clock_period_ps = specs[i]->clock_period_ps;
+    solo.push_back(e.run(graphs[i], in_process, run_opts));
+  }
+
+  // Fleet arm: 4 shards sharing a 2-worker subprocess pool.
+  backend::subprocess_options pool_options;
+  pool_options.command = worker_path();  // default --tool=synthesis
+  pool_options.workers = 2;
+  const backend::subprocess_tool pool(pool_options);
+
+  engine::fleet_options fopts;
+  fopts.shards = 4;
+  fopts.isdc = opts;
+  engine::fleet fleet(fopts);
+  std::vector<engine::fleet_job> jobs;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    jobs.push_back({.name = names[i],
+                    .graph = &graphs[i],
+                    .clock_period_ps = specs[i]->clock_period_ps});
+  }
+  const engine::fleet_report report = fleet.run(jobs, pool);
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(report.results[i].error, nullptr) << names[i];
+    EXPECT_TRUE(report.results[i].result.final_schedule ==
+                solo[i].final_schedule)
+        << names[i] << ": subprocess fleet diverged from in-process solo";
+    EXPECT_EQ(report.results[i].result.iterations, solo[i].iterations)
+        << names[i];
+  }
+  const auto stats = pool.stats();
+  EXPECT_GT(stats.calls, 0u);
+  EXPECT_EQ(stats.restarts, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+}  // namespace
+}  // namespace isdc

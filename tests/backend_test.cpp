@@ -1,0 +1,357 @@
+// Backend subsystem: netlist export (Verilog + text, golden and
+// round-trip), the spec-string registry, and the resilient composition
+// tools (fallback chain, online calibration, latency jitter).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "backend/netlist.h"
+#include "backend/registry.h"
+#include "backend/resilient.h"
+#include "core/downstream.h"
+#include "core/isdc_scheduler.h"
+#include "extract/cone.h"
+#include "extract/path_enum.h"
+#include "extract/scoring.h"
+#include "extract/subgraph.h"
+#include "ir/builder.h"
+#include "ir/verify.h"
+#include "workloads/registry.h"
+
+namespace isdc {
+namespace {
+
+/// A graph touching every opcode the text format must carry.
+ir::graph every_opcode_graph() {
+  ir::graph g("every_op");
+  ir::builder b(g);
+  const ir::node_id a = b.input(8, "a");
+  const ir::node_id c = b.input(8, "c");
+  const ir::node_id k = b.constant(8, 0x5a);
+  const ir::node_id amt = b.input(3, "amt");
+  const ir::node_id amt8 = b.zext(amt, 8);
+  const ir::node_id sum = b.add(a, c);
+  const ir::node_id dif = b.sub(sum, k);
+  const ir::node_id ng = b.neg(dif);
+  const ir::node_id prod = b.mul(ng, a);
+  const ir::node_id an = b.band(prod, c);
+  const ir::node_id orr = b.bor(an, k);
+  const ir::node_id xo = b.bxor(orr, a);
+  const ir::node_id nt = b.bnot(xo);
+  const ir::node_id sl = b.shl(nt, amt8);
+  const ir::node_id sr = b.shr(sl, amt8);
+  const ir::node_id rl = b.rotl(sr, amt8);
+  const ir::node_id rr = b.rotr(rl, amt8);
+  const ir::node_id e = b.eq(rr, a);
+  const ir::node_id n = b.ne(rr, c);
+  const ir::node_id lt = b.ult(rr, k);
+  const ir::node_id le = b.ule(rr, a);
+  const ir::node_id m = b.mux(e, rr, a);
+  const ir::node_id cat = b.concat(m, c);
+  const ir::node_id sli = b.slice(cat, 4, 8);
+  const ir::node_id sx = b.sext(sli, 16);
+  b.output(sx);
+  b.output(n);
+  b.output(lt);
+  b.output(le);
+  return g;
+}
+
+/// The top-ranked critical cone of a registry workload under its classic
+/// SDC baseline, extracted standalone — the unit ISDC ships downstream.
+ir::graph top_cone_ir(const std::string& workload) {
+  const workloads::workload_spec* spec = workloads::find_workload(workload);
+  EXPECT_NE(spec, nullptr) << workload;
+  const ir::graph g = spec->build();
+  core::isdc_options opts;
+  opts.base.clock_period_ps = spec->clock_period_ps;
+  sched::delay_matrix delays(0);
+  const sched::schedule baseline =
+      core::run_sdc_baseline(g, opts, nullptr, &delays);
+  auto paths = extract::enumerate_candidate_paths(g, baseline, delays);
+  const auto ranked = extract::rank_candidates(
+      g, baseline, spec->clock_period_ps,
+      extract::extraction_strategy::fanout_driven, std::move(paths));
+  EXPECT_FALSE(ranked.empty()) << workload;
+  const extract::subgraph cone =
+      extract::expand_to_cone(g, baseline, ranked.front().path);
+  return extract::subgraph_to_ir(g, cone).g;
+}
+
+TEST(BackendNetlistText, RoundTripsEveryOpcode) {
+  const ir::graph g = every_opcode_graph();
+  ASSERT_EQ(ir::verify(g), "");
+
+  const std::string text = backend::to_text(g);
+  const ir::graph parsed = backend::from_text(text);
+  EXPECT_EQ(parsed.fingerprint(), g.fingerprint());
+  EXPECT_EQ(parsed.num_nodes(), g.num_nodes());
+  EXPECT_EQ(parsed.outputs(), g.outputs());
+  // Re-serialization is stable: parse(print) is a fixed point.
+  EXPECT_EQ(backend::to_text(parsed), text);
+}
+
+TEST(BackendNetlistText, OneLineFormMatchesMultiLine) {
+  const ir::graph g = every_opcode_graph();
+  const std::string one_line = backend::to_text(g, ';');
+  EXPECT_EQ(one_line.find('\n'), std::string::npos);
+  const ir::graph parsed = backend::from_text(one_line);
+  EXPECT_EQ(parsed.fingerprint(), g.fingerprint());
+}
+
+TEST(BackendNetlistText, RejectsMalformedInput) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    try {
+      backend::from_text(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  expect_error("", "empty");
+  expect_error("bogus header", "isdc-graph");
+  expect_error("isdc-graph 99;node input 8 0;out 0;end", "version");
+  expect_error("isdc-graph 1;node warp 8 0;out 0;end", "unknown opcode");
+  expect_error("isdc-graph 1;node input 8 0;node add 8 0 0 5;out 1;end",
+               "does not precede");
+  expect_error("isdc-graph 1;node input 8 0;node add 8 0 0;out 1;end",
+               "operand");
+  expect_error("isdc-graph 1;node input 0 0;out 0;end", "width");
+  expect_error("isdc-graph 1;node input 8 0;out 0", "end");
+  expect_error("isdc-graph 1;node input 8 0;out 0;end;node input 8 0",
+               "trailing");
+  // Structurally well-formed lines whose graph violates IR width rules
+  // still fail (via ir::verify), not silently mis-time.
+  expect_error(
+      "isdc-graph 1;node input 8 0;node input 4 0;node add 8 0 0 1;"
+      "out 2;end",
+      "malformed");
+}
+
+TEST(BackendNetlistVerilog, GoldenSmallModule) {
+  ir::graph g("t");
+  ir::builder b(g);
+  const ir::node_id a = b.input(8, "a");
+  const ir::node_id c = b.input(8, "b");
+  b.output(b.add(a, c));
+  const std::string expected =
+      "// generated by isdc backend::to_verilog (graph: t)\n"
+      "module t(\n"
+      "  input wire [7:0] pi0,  // a\n"
+      "  input wire [7:0] pi1,  // b\n"
+      "  output wire [7:0] po0\n"
+      ");\n"
+      "  wire [7:0] n2;\n"
+      "  assign n2 = pi0 + pi1;\n"
+      "  assign po0 = n2;\n"
+      "endmodule\n";
+  EXPECT_EQ(backend::to_verilog(g), expected);
+}
+
+// The golden guarantee on real extracted cones: deterministic bytes
+// across exports, and a lossless text round trip (identical structural
+// fingerprint — the identity the evaluation cache keys descend from).
+TEST(BackendNetlistGolden, RegistryConesStableAndRoundTrip) {
+  for (const std::string workload : {"crc32", "rrot", "hsv2rgb"}) {
+    const ir::graph cone = top_cone_ir(workload);
+    ASSERT_EQ(ir::verify(cone), "") << workload;
+
+    const std::string verilog = backend::to_verilog(cone);
+    EXPECT_EQ(backend::to_verilog(cone), verilog) << workload;
+    EXPECT_NE(verilog.find("module "), std::string::npos);
+    // Every input and output appears as a port.
+    for (std::size_t k = 0; k < cone.inputs().size(); ++k) {
+      EXPECT_NE(verilog.find("pi" + std::to_string(k)), std::string::npos)
+          << workload;
+    }
+    for (std::size_t k = 0; k < cone.outputs().size(); ++k) {
+      EXPECT_NE(verilog.find("po" + std::to_string(k)), std::string::npos)
+          << workload;
+    }
+
+    const std::string text = backend::to_text(cone);
+    EXPECT_EQ(backend::to_text(cone), text) << workload;
+    const ir::graph parsed = backend::from_text(text);
+    EXPECT_EQ(parsed.fingerprint(), cone.fingerprint()) << workload;
+    EXPECT_EQ(backend::to_text(parsed), text) << workload;
+  }
+}
+
+TEST(BackendRegistry, BuildsLeafTools) {
+  const backend::tool_handle synthesis = backend::make_tool("synthesis");
+  EXPECT_EQ(synthesis.tool().name().rfind("synthesis+sta(", 0), 0u);
+  EXPECT_EQ(synthesis.subprocess(), nullptr);
+  EXPECT_EQ(synthesis.spec(), "synthesis");
+
+  const backend::tool_handle depth =
+      backend::make_tool("aig-depth:ps=100,offset=5");
+  EXPECT_EQ(depth.tool().name().rfind("aig-depth(100ps/lvl+5ps", 0), 0u);
+}
+
+TEST(BackendRegistry, BuildsComposites) {
+  const backend::tool_handle latency =
+      backend::make_tool("latency(aig-depth:ps=70):ms=1");
+  EXPECT_EQ(latency.tool().name().rfind("latency(1ms,aig-depth(70", 0), 0u);
+
+  // The documented merge rule: parameters following a child spec bind to
+  // that child, not to the composite or a new child.
+  const backend::tool_handle chain =
+      backend::make_tool("fallback(aig-depth:ps=70,offset=3,aig-depth)");
+  EXPECT_EQ(chain.tool().name(),
+            "fallback(" +
+                backend::make_tool("aig-depth:ps=70,offset=3").tool().name() +
+                "," + backend::make_tool("aig-depth").tool().name() + ")");
+
+  const backend::tool_handle cal =
+      backend::make_tool("calibrated(aig-depth,synthesis):every=4");
+  EXPECT_NE(cal.tool().name().find("every=4"), std::string::npos);
+}
+
+TEST(BackendRegistry, RejectsBadSpecs) {
+  const auto expect_error = [](const std::string& spec,
+                               const std::string& needle) {
+    try {
+      backend::make_tool(spec);
+      FAIL() << "expected spec failure for: " << spec;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  expect_error("", "empty");
+  expect_error("warp-drive", "unknown tool");
+  expect_error("aig-depth:warp=1", "unknown parameter");
+  expect_error("aig-depth:ps=fast", "not a number");
+  expect_error("aig-depth:ps=80,ps=90", "duplicate");
+  expect_error("fallback(aig-depth", "unbalanced");
+  expect_error("subprocess", "cmd=");
+  expect_error("latency(aig-depth,synthesis):ms=1", "child");
+  expect_error("latency(aig-depth)x", "unexpected text");
+}
+
+/// Always-failing link for fallback tests.
+class failing_tool final : public core::downstream_tool {
+public:
+  double subgraph_delay_ps(const ir::graph&) const override {
+    throw std::runtime_error("backend down");
+  }
+  std::string name() const override { return "failing"; }
+};
+
+/// Structural stand-in oracle: delay = ps-per-node times the node count.
+class node_count_tool final : public core::downstream_tool {
+public:
+  explicit node_count_tool(double ps_per_node, double offset = 0.0)
+      : ps_per_node_(ps_per_node), offset_(offset) {}
+  double subgraph_delay_ps(const ir::graph& sub) const override {
+    return offset_ + ps_per_node_ * static_cast<double>(sub.num_nodes());
+  }
+  std::string name() const override { return "node-count"; }
+
+private:
+  double ps_per_node_;
+  double offset_;
+};
+
+TEST(BackendFallback, FallsThroughFailingLinks) {
+  const failing_tool down;
+  const node_count_tool up(10.0);
+  const backend::fallback_tool chain({&down, &up});
+  const ir::graph g = every_opcode_graph();
+
+  EXPECT_EQ(chain.subgraph_delay_ps(g), 10.0 * g.num_nodes());
+  const auto stats = chain.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].calls, 1u);
+  EXPECT_EQ(stats[0].failures, 1u);
+  EXPECT_EQ(stats[1].calls, 1u);
+  EXPECT_EQ(stats[1].failures, 0u);
+  EXPECT_EQ(chain.name(), "fallback(failing,node-count)");
+}
+
+TEST(BackendFallback, RethrowsWhenEveryLinkFails) {
+  const failing_tool a;
+  const failing_tool b;
+  const backend::fallback_tool chain({&a, &b});
+  EXPECT_THROW(chain.subgraph_delay_ps(every_opcode_graph()),
+               std::runtime_error);
+  EXPECT_EQ(chain.stats()[1].failures, 1u);
+}
+
+TEST(BackendCalibrated, RecoversLinearReference) {
+  // reference = 3 * proxy + 100 exactly; the online fit must converge to
+  // it and calibrated answers must then match the reference.
+  const node_count_tool proxy(1.0);
+  const node_count_tool reference(3.0, 100.0);
+  const backend::calibrated_tool cal(proxy, reference, /*sample_every=*/1);
+
+  // Graphs of different sizes give the fit distinct x values.
+  for (int n = 0; n < 6; ++n) {
+    ir::graph g("g");
+    ir::builder b(g);
+    ir::node_id v = b.input(8, "x");
+    for (int i = 0; i <= n; ++i) {
+      v = b.add(v, v);
+    }
+    b.output(v);
+    cal.subgraph_delay_ps(g);
+  }
+  const backend::calibrated_tool::fit f = cal.current_fit();
+  EXPECT_EQ(f.samples, 6u);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(f.offset, 100.0, 1e-6);
+
+  ir::graph g("probe");
+  ir::builder b(g);
+  b.output(b.add(b.input(8, "a"), b.input(8, "c")));
+  EXPECT_NEAR(cal.subgraph_delay_ps(g), reference.subgraph_delay_ps(g),
+              1e-6);
+  EXPECT_GE(cal.reference_calls(), 6u);
+}
+
+TEST(BackendCalibrated, SurvivesReferenceFailure) {
+  const node_count_tool proxy(2.0);
+  const failing_tool reference;
+  const backend::calibrated_tool cal(proxy, reference, /*sample_every=*/1);
+  const ir::graph g = every_opcode_graph();
+  // Reference throws on its sparse sample; the call still answers with
+  // the (unfitted) proxy.
+  EXPECT_EQ(cal.subgraph_delay_ps(g), 2.0 * g.num_nodes());
+  EXPECT_EQ(cal.reference_failures(), 1u);
+  EXPECT_EQ(cal.current_fit().samples, 0u);
+}
+
+TEST(CoreLatency, JitterAndObservedStats) {
+  const node_count_tool inner(1.0);
+  using std::chrono::milliseconds;
+  // chrono-friendly construction (the satellite API): any duration works.
+  const core::latency_downstream tool(inner, milliseconds(4),
+                                      milliseconds(2));
+  const ir::graph g = every_opcode_graph();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tool.subgraph_delay_ps(g), 1.0 * g.num_nodes());
+  }
+  EXPECT_EQ(tool.calls(), 8u);
+  const core::latency_downstream::latency_stats s = tool.observed();
+  EXPECT_EQ(s.calls, 8u);
+  // sleep_for guarantees at least the requested time: >= 4 - 2 = 2 ms.
+  EXPECT_GE(s.min_ms, 1.9);
+  EXPECT_GE(s.max_ms, s.min_ms);
+  EXPECT_GE(s.mean_ms, s.min_ms);
+  EXPECT_LE(s.mean_ms, s.max_ms);
+  EXPECT_NE(tool.name().find("4ms~2ms"), std::string::npos);
+}
+
+TEST(CoreLatency, ZeroJitterKeepsLegacyName) {
+  const node_count_tool inner(1.0);
+  const core::latency_downstream tool(inner, 0.0);
+  EXPECT_EQ(tool.name(), "latency(0ms,node-count)");
+  EXPECT_EQ(tool.observed().calls, 0u);
+}
+
+}  // namespace
+}  // namespace isdc

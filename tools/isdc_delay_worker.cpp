@@ -1,0 +1,125 @@
+// Reference delay worker for the subprocess backend: wraps any
+// registry-built in-process tool (default: the full synthesis+STA flow)
+// behind the worker protocol of backend/subprocess_tool.h, so the whole
+// out-of-process stack is hermetically testable and CI-runnable without
+// Yosys/OpenSTA installed. A real external integration replaces this
+// binary with a script that speaks the same five lines (see README,
+// "Downstream backends").
+//
+// Protocol (version 1), stdin/stdout, one line per message:
+//   -> ready isdc-delay-worker 1         (printed once at startup)
+//   <- eval <one-line text netlist>      (backend/netlist.h, ';' form)
+//   -> ok <critical delay in ps>   |   err <single-line message>
+//   <- quit                              (or stdin EOF) -> exit 0
+//
+// Flags:
+//   --tool=SPEC       backend registry spec for the wrapped tool
+//                     (default "synthesis"); nesting another subprocess
+//                     spec works but is pointless outside tests.
+//   Failure-injection hooks for the resilience test suite:
+//   --crash-after=N   exit(3) without replying on the Nth eval (1-based)
+//   --hang-after=N    sleep past any sane deadline on the Nth eval
+//   --garbage-after=N reply with a non-protocol line on the Nth eval
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "backend/netlist.h"
+#include "backend/registry.h"
+
+namespace {
+
+/// Collapses a message onto one line so it always fits an err response.
+std::string one_line(std::string message) {
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return message;
+}
+
+int parse_count_flag(const std::string& arg, const std::string& prefix) {
+  if (arg.rfind(prefix, 0) != 0) {
+    return 0;
+  }
+  return std::atoi(arg.c_str() + prefix.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec = "synthesis";
+  int crash_after = 0;
+  int hang_after = 0;
+  int garbage_after = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tool=", 0) == 0) {
+      spec = arg.substr(7);
+    } else if (int n = parse_count_flag(arg, "--crash-after=")) {
+      crash_after = n;
+    } else if (int n = parse_count_flag(arg, "--hang-after=")) {
+      hang_after = n;
+    } else if (int n = parse_count_flag(arg, "--garbage-after=")) {
+      garbage_after = n;
+    } else {
+      std::cerr << "isdc_delay_worker: unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  isdc::backend::tool_handle tool;
+  try {
+    tool = isdc::backend::make_tool(spec);
+  } catch (const std::exception& e) {
+    std::cerr << "isdc_delay_worker: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::printf("ready isdc-delay-worker 1\n");
+  std::fflush(stdout);
+
+  int evals = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line == "quit") {
+      return 0;
+    }
+    if (line.rfind("eval ", 0) != 0) {
+      std::printf("err unknown request (expected 'eval <netlist>' or "
+                  "'quit')\n");
+      std::fflush(stdout);
+      continue;
+    }
+    ++evals;
+    if (crash_after > 0 && evals >= crash_after) {
+      return 3;  // simulated mid-request death: no reply, pipe closes
+    }
+    if (hang_after > 0 && evals >= hang_after) {
+      std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+    if (garbage_after > 0 && evals >= garbage_after) {
+      std::printf("!!! not a protocol line !!!\n");
+      std::fflush(stdout);
+      continue;
+    }
+    try {
+      const isdc::ir::graph g = isdc::backend::from_text(line.substr(5));
+      const double delay_ps = tool.tool().subgraph_delay_ps(g);
+      // %.17g survives the text round trip bit-exactly, so an in-process
+      // run and a worker-pool run of the same flow produce identical
+      // delay matrices (and therefore identical schedules).
+      std::printf("ok %.17g\n", delay_ps);
+    } catch (const std::exception& e) {
+      std::printf("err %s\n", one_line(e.what()).c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
