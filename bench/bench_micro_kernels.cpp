@@ -4,18 +4,27 @@
 // and one full subgraph-synthesis feedback evaluation. These back the
 // scheduling-runtime columns of Table I with per-kernel numbers.
 //
+// The reformulation kernels run at large n (1024/4096/10k) on two graph
+// shapes — the fully connected chain and a layered random DAG — next to
+// their scalar _reference twins, so the blocked-kernel speedup is measured
+// where it matters. (The heaviest reference points register only without
+// --quick; a CI smoke should not spend minutes in an O(n^3) scalar loop.)
+//
 // Flags: everything google-benchmark accepts, plus --quick (shrinks the
-// per-benchmark measuring time to a CI-smoke size).
+// per-benchmark measuring time to a CI-smoke size) and --json=PATH (the
+// repo-standard perf artifact: per-kernel ns and bytes/s).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "aig/balance.h"
 #include "aig/cuts.h"
+#include "common.h"
 #include "core/delay_update.h"
 #include "core/floyd_warshall.h"
 #include "core/reformulate.h"
@@ -44,6 +53,13 @@ ir::graph chain_graph(int length) {
   return g;
 }
 
+/// A layered random DAG with ~`nodes` nodes total: sparser connectivity
+/// than chain_graph, so the kernels' not_connected skipping is exercised.
+ir::graph random_dag_graph(int nodes) {
+  const workloads::random_dag_options opts;
+  return workloads::build_random_dag(42, nodes - opts.num_inputs, opts);
+}
+
 sched::delay_matrix uniform_matrix(const ir::graph& g, double unit) {
   return sched::delay_matrix::initial(g, [&g, unit](ir::node_id v) {
     const ir::opcode op = g.at(v).op;
@@ -68,8 +84,11 @@ void BM_delay_matrix_initial(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(uniform_matrix(g, 500.0));
   }
+  const std::int64_t n = static_cast<std::int64_t>(g.num_nodes());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * static_cast<std::int64_t>(sizeof(float)));
 }
-BENCHMARK(BM_delay_matrix_initial)->Arg(64)->Arg(256);
+BENCHMARK(BM_delay_matrix_initial)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_lower_graph(benchmark::State& state) {
   const ir::graph g = workloads::build_crc32(16);
@@ -146,27 +165,95 @@ void BM_alg1_delay_update(benchmark::State& state) {
 }
 BENCHMARK(BM_alg1_delay_update)->Arg(64)->Arg(256);
 
-void BM_alg2_reformulate(benchmark::State& state) {
-  const ir::graph g = chain_graph(static_cast<int>(state.range(0)));
+/// Shared body of every reformulation benchmark: one matrix per graph,
+/// re-copied per iteration outside the timed region (the copy is setup —
+/// at 4096 nodes it is a 64 MB memcpy that would otherwise drown the
+/// kernel), with the matrix footprint as bytes processed.
+template <typename Kernel>
+void reformulation_bench(benchmark::State& state, const ir::graph& g,
+                         Kernel kernel) {
   const sched::delay_matrix d = uniform_matrix(g, 500.0);
   for (auto _ : state) {
+    state.PauseTiming();
     sched::delay_matrix copy = d;
-    core::reformulate_alg2(g, copy);
-    benchmark::DoNotOptimize(copy);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(kernel(g, copy));
   }
+  const std::int64_t n = static_cast<std::int64_t>(g.num_nodes());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * static_cast<std::int64_t>(sizeof(float)));
 }
-BENCHMARK(BM_alg2_reformulate)->Arg(64)->Arg(256);
+
+void BM_alg2_reformulate(benchmark::State& state) {
+  reformulation_bench(state, chain_graph(static_cast<int>(state.range(0))),
+                      core::reformulate_alg2);
+}
+BENCHMARK(BM_alg2_reformulate)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10240);
+
+void BM_alg2_reformulate_reference(benchmark::State& state) {
+  reformulation_bench(state, chain_graph(static_cast<int>(state.range(0))),
+                      core::reformulate_alg2_reference);
+}
+BENCHMARK(BM_alg2_reformulate_reference)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_alg2_reformulate_random(benchmark::State& state) {
+  reformulation_bench(state,
+                      random_dag_graph(static_cast<int>(state.range(0))),
+                      core::reformulate_alg2);
+}
+BENCHMARK(BM_alg2_reformulate_random)->Arg(1024)->Arg(4096)->Arg(10240);
+
+void BM_alg2_reformulate_random_reference(benchmark::State& state) {
+  reformulation_bench(state,
+                      random_dag_graph(static_cast<int>(state.range(0))),
+                      core::reformulate_alg2_reference);
+}
+BENCHMARK(BM_alg2_reformulate_random_reference)->Arg(1024);
 
 void BM_floyd_warshall(benchmark::State& state) {
-  const ir::graph g = chain_graph(static_cast<int>(state.range(0)));
-  const sched::delay_matrix d = uniform_matrix(g, 500.0);
-  for (auto _ : state) {
-    sched::delay_matrix copy = d;
-    core::reformulate_floyd_warshall(g, copy);
-    benchmark::DoNotOptimize(copy);
-  }
+  reformulation_bench(state, chain_graph(static_cast<int>(state.range(0))),
+                      core::reformulate_floyd_warshall);
 }
-BENCHMARK(BM_floyd_warshall)->Arg(64)->Arg(256);
+BENCHMARK(BM_floyd_warshall)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_floyd_warshall_reference(benchmark::State& state) {
+  reformulation_bench(state, chain_graph(static_cast<int>(state.range(0))),
+                      core::reformulate_floyd_warshall_reference);
+}
+BENCHMARK(BM_floyd_warshall_reference)->Arg(64)->Arg(256);
+
+void BM_floyd_warshall_random(benchmark::State& state) {
+  reformulation_bench(state,
+                      random_dag_graph(static_cast<int>(state.range(0))),
+                      core::reformulate_floyd_warshall);
+}
+BENCHMARK(BM_floyd_warshall_random)->Arg(1024)->Arg(4096);
+
+void BM_floyd_warshall_random_reference(benchmark::State& state) {
+  reformulation_bench(state,
+                      random_dag_graph(static_cast<int>(state.range(0))),
+                      core::reformulate_floyd_warshall_reference);
+}
+BENCHMARK(BM_floyd_warshall_random_reference)->Arg(1024);
+
+/// The reference points that take whole seconds-to-minutes per iteration;
+/// a --quick smoke skips them, the full scoreboard run includes them so
+/// the speedup at 4096 lands in the artifact.
+void register_heavy_reference_benchmarks() {
+  benchmark::RegisterBenchmark("BM_alg2_reformulate_reference",
+                               BM_alg2_reformulate_reference)
+      ->Arg(4096)->Arg(10240);
+  benchmark::RegisterBenchmark("BM_alg2_reformulate_random_reference",
+                               BM_alg2_reformulate_random_reference)
+      ->Arg(4096);
+  benchmark::RegisterBenchmark("BM_floyd_warshall_reference",
+                               BM_floyd_warshall_reference)
+      ->Arg(1024)->Arg(4096);
+  benchmark::RegisterBenchmark("BM_floyd_warshall_random_reference",
+                               BM_floyd_warshall_random_reference)
+      ->Arg(4096);
+}
 
 void BM_parallel_for(benchmark::State& state) {
   // The engine's evaluate fan-out (16 subgraphs per iteration) and the
@@ -185,22 +272,60 @@ void BM_parallel_for(benchmark::State& state) {
 }
 BENCHMARK(BM_parallel_for)->Arg(16)->Arg(256)->Arg(4096);
 
+/// Console output as usual, plus one collected entry per run for the
+/// --json artifact.
+class collecting_reporter : public benchmark::ConsoleReporter {
+ public:
+  struct entry {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_ns = 0.0;
+    double cpu_ns = 0.0;
+    double bytes_per_second = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      entry e;
+      e.name = run.benchmark_name();
+      e.iterations = static_cast<std::int64_t>(run.iterations);
+      e.real_ns = run.GetAdjustedRealTime();
+      e.cpu_ns = run.GetAdjustedCPUTime();
+      const auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) {
+        e.bytes_per_second = static_cast<double>(it->second);
+      }
+      entries.push_back(std::move(e));
+    }
+  }
+
+  std::vector<entry> entries;
+};
+
 }  // namespace
 
-// BENCHMARK_MAIN(), plus the repo-wide --quick convention: google-benchmark
-// rejects flags it does not know, so --quick is stripped before Initialize
-// and mapped onto a minimal measuring time.
+// BENCHMARK_MAIN(), plus the repo-wide flag conventions: google-benchmark
+// rejects flags it does not know, so --quick and --json=PATH are stripped
+// before Initialize; --quick maps onto a minimal measuring time, --json
+// writes the per-kernel artifact through bench/common.h.
 int main(int argc, char** argv) {
+  const isdc::bench::flags repo_flags(argc, argv);
   std::vector<char*> args;
   bool quick = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      // handled via repo_flags
     } else {
       args.push_back(argv[i]);
     }
   }
-  std::string min_time = "--benchmark_min_time=0.01s";
+  std::string min_time = "--benchmark_min_time=0.01";
   if (quick) {
     // Right after argv[0], so an explicit --benchmark_min_time later in
     // the command line still wins (last one parsed takes effect).
@@ -208,7 +333,28 @@ int main(int argc, char** argv) {
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
-  benchmark::RunSpecifiedBenchmarks();
+  if (!quick) {
+    register_heavy_reference_benchmarks();
+  }
+  collecting_reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  isdc::bench::json_object root;
+  root.set("bench", "micro_kernels").set("quick", quick);
+  isdc::bench::json_array kernels;
+  for (const collecting_reporter::entry& e : reporter.entries) {
+    isdc::bench::json_object k;
+    k.set("name", e.name)
+        .set("iterations", e.iterations)
+        .set("real_ns_per_iter", e.real_ns)
+        .set("cpu_ns_per_iter", e.cpu_ns);
+    if (e.bytes_per_second > 0.0) {
+      k.set("bytes_per_second", e.bytes_per_second);
+    }
+    kernels.push_raw(k.str());
+  }
+  root.set_raw("kernels", kernels.str());
+  const bool ok = isdc::bench::write_json_artifact(repo_flags, root, std::cerr);
   benchmark::Shutdown();
-  return 0;
+  return ok ? 0 : 1;
 }

@@ -58,10 +58,11 @@ bool merge_cuts(const cut& a, const cut& b, int k, cut& out) {
   return true;
 }
 
-std::vector<std::vector<cut>> enumerate_cuts(
-    const aig& g, const cut_enumeration_options& options) {
+cut_set enumerate_cuts(const aig& g, const cut_enumeration_options& options) {
   ISDC_CHECK(options.k >= 2 && options.k <= 6, "cut size must be in [2, 6]");
-  std::vector<std::vector<cut>> cuts(g.num_nodes());
+  cut_set cuts;
+  cuts.offset_.reserve(g.num_nodes() + 1);
+  cuts.pool_.reserve(g.num_nodes() * 2);
 
   const auto trivial = [](node_index n) {
     cut c;
@@ -70,16 +71,22 @@ std::vector<std::vector<cut>> enumerate_cuts(
     return c;
   };
 
+  // One reused candidate buffer; the per-node result is appended to the
+  // pool in a block once complete. Fanin cut lists live in the already
+  // finalized prefix of the pool (ids are topological), and the pool is
+  // only appended to after merging, so their spans stay valid.
+  std::vector<cut> merged;
   for (node_index n = 0; n < g.num_nodes(); ++n) {
     if (!g.is_and(n)) {
-      cuts[n].push_back(trivial(n));
+      cuts.pool_.push_back(trivial(n));
+      cuts.offset_.push_back(static_cast<std::uint32_t>(cuts.pool_.size()));
       continue;
     }
     const node_index a = lit_node(g.fanin0(n));
     const node_index b = lit_node(g.fanin1(n));
-    std::vector<cut> merged;
-    for (const cut& ca : cuts[a]) {
-      for (const cut& cb : cuts[b]) {
+    merged.clear();
+    for (const cut& ca : cuts.of(a)) {
+      for (const cut& cb : cuts.of(b)) {
         cut c;
         if (!merge_cuts(ca, cb, options.k, c)) {
           continue;
@@ -106,7 +113,8 @@ std::vector<std::vector<cut>> enumerate_cuts(
       merged.resize(static_cast<std::size_t>(options.max_cuts));
     }
     merged.push_back(trivial(n));
-    cuts[n] = std::move(merged);
+    cuts.pool_.insert(cuts.pool_.end(), merged.begin(), merged.end());
+    cuts.offset_.push_back(static_cast<std::uint32_t>(cuts.pool_.size()));
   }
   return cuts;
 }

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "aig/aig.h"
@@ -32,10 +33,31 @@ struct cut_enumeration_options {
   int max_cuts = 10;      ///< cuts kept per node (plus the trivial cut)
 };
 
+/// All enumerated cuts of one AIG, packed into a single arena: one
+/// contiguous pool of cuts plus a per-node offset table, replacing the
+/// per-node std::vector allocations the mapper's inner loops used to
+/// chase. Indexing yields node n's cut list as a span.
+class cut_set {
+ public:
+  std::span<const cut> of(node_index n) const {
+    return {pool_.data() + offset_[n], offset_[n + 1] - offset_[n]};
+  }
+  std::span<const cut> operator[](node_index n) const { return of(n); }
+
+  std::size_t num_nodes() const { return offset_.size() - 1; }
+  std::size_t total_cuts() const { return pool_.size(); }
+
+ private:
+  friend cut_set enumerate_cuts(const aig&, const cut_enumeration_options&);
+
+  std::vector<cut> pool_;
+  std::vector<std::uint32_t> offset_{0};
+};
+
 /// Non-dominated cuts per node. The trivial cut {n} is always the last
 /// entry of node n's list. PIs and the constant get only the trivial cut.
-std::vector<std::vector<cut>> enumerate_cuts(
-    const aig& g, const cut_enumeration_options& options = {});
+cut_set enumerate_cuts(const aig& g,
+                       const cut_enumeration_options& options = {});
 
 /// Truth table of `root` as a function of the cut leaves (in leaf order).
 /// The cut must be complete: every path from below must enter through a

@@ -12,7 +12,7 @@ aig rewrite(const aig& g, const rewrite_options& options) {
   cut_enumeration_options cut_opts;
   cut_opts.k = 4;
   cut_opts.max_cuts = options.max_cuts_per_node;
-  const std::vector<std::vector<cut>> cuts = enumerate_cuts(g, cut_opts);
+  const cut_set cuts = enumerate_cuts(g, cut_opts);
 
   aig out;
   std::vector<literal> map(g.num_nodes(), aig::invalid_literal);

@@ -1,14 +1,127 @@
 #include "core/floyd_warshall.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "core/row_bitset.h"
 #include "support/check.h"
 
 namespace isdc::core {
 
+namespace {
+
+using sched::delay_matrix;
+
+/// One relaxation sweep of target row u against pivot row w:
+///   rowu[v] = min(rowu[v], first + roww[v] - self)   for v in [w, n)
+/// restricted to columns where the pivot row is connected. Branch-free
+/// select so the compiler vectorizes it; `connw` (the pivot row's
+/// connectivity bitset) gates the sweep so all-disconnected 64-column
+/// spans are skipped without touching the floats. rowu and roww alias
+/// when u == w (the reference's self-relaxation); each lane then reads
+/// its own cell before writing it, which matches the reference's
+/// cell-at-a-time order.
+void relax_row(float* rowu, const float* roww, const std::uint64_t* connw,
+               float first, float self, std::size_t w, std::size_t n) {
+  constexpr float nc = delay_matrix::not_connected;
+  const std::size_t words = (n + 63) >> 6;
+  for (std::size_t k = w >> 6; k < words; ++k) {
+    if (connw[k] == 0) {
+      continue;
+    }
+    const std::size_t lo = std::max(k << 6, w);
+    const std::size_t hi = std::min(n, (k + 1) << 6);
+    for (std::size_t v = lo; v < hi; ++v) {
+      const float second = roww[v];
+      const float composed = first + second - self;
+      const float cur = rowu[v];
+      const bool better =
+          (second != nc) & ((cur == nc) | (composed < cur));
+      rowu[v] = better ? composed : cur;
+    }
+  }
+}
+
+}  // namespace
+
+// Why the blocked kernel is bit-identical to the reference triple loop:
+// ids are topological, so D[w][v] is not_connected for v < w, and the
+// reference only relaxes (u, v) with u <= w <= v. Hence pivot w mutates
+// rows u <= w only, and row w itself is mutated by pivots >= w only —
+// every pivot row is read in its pre-kernel state, except the aliased
+// u == w sweep, which reads each cell before writing it in both versions.
+// That makes target rows independent: processing row u against its pivots
+// w = u..n-1 in ascending order performs exactly the reference's
+// floating-point operations on exactly the same operand bits. Panels of
+// kPanel target rows then share each pivot-row stream, cutting memory
+// traffic per cell by the panel height.
 std::vector<sched::delay_matrix::node_pair> reformulate_floyd_warshall(
     const ir::graph& g, sched::delay_matrix& d) {
   const std::size_t n = g.num_nodes();
   ISDC_CHECK(d.size() == n, "matrix size mismatch");
-  using sched::delay_matrix;
+  std::vector<sched::delay_matrix::node_pair> changed;
+  if (n == 0) {
+    return changed;
+  }
+  constexpr float nc = delay_matrix::not_connected;
+  constexpr std::size_t kPanel = 16;
+  const std::size_t wpr = d.words_per_row();
+
+  // Pivot-row connectivity, snapshot once: a pivot row can only gain
+  // connections after its own pivot step has run, so the pristine bitset
+  // stays valid for every read the kernel performs.
+  std::vector<std::uint64_t> conn(n * wpr, 0);
+  detail::build_connectivity(d, conn);
+
+  std::vector<float> before(kPanel * n);
+  std::vector<std::uint64_t> changed_bits(n * wpr, 0);
+
+  for (std::size_t u0 = 0; u0 < n; u0 += kPanel) {
+    const std::size_t u1 = std::min(n, u0 + kPanel);
+    for (std::size_t u = u0; u < u1; ++u) {
+      std::memcpy(before.data() + (u - u0) * n, d.row(u).data(),
+                  n * sizeof(float));
+    }
+    for (std::size_t w = u0; w < n; ++w) {
+      const float* roww = d.row(static_cast<ir::node_id>(w)).data();
+      const float self = roww[w];
+      const std::uint64_t* connw = conn.data() + w * wpr;
+      const std::size_t uend = std::min(u1, w + 1);
+      for (std::size_t u = u0; u < uend; ++u) {
+        float* rowu = d.row_mut(static_cast<ir::node_id>(u)).data();
+        const float first = rowu[w];
+        if (first == nc) {
+          continue;
+        }
+        relax_row(rowu, roww, connw, first, self, w, n);
+      }
+    }
+    for (std::size_t u = u0; u < u1; ++u) {
+      const float* now = d.row(static_cast<ir::node_id>(u)).data();
+      const float* old = before.data() + (u - u0) * n;
+      std::uint64_t* bits = changed_bits.data() + u * wpr;
+      for (std::size_t v = 0; v < n; ++v) {
+        bits[v >> 6] |= static_cast<std::uint64_t>(now[v] != old[v])
+                        << (v & 63);
+      }
+    }
+  }
+
+  if (d.tracking_changes()) {
+    for (std::size_t u = 0; u < n; ++u) {
+      d.log_row_changes(static_cast<ir::node_id>(u),
+                        {changed_bits.data() + u * wpr, wpr});
+    }
+  }
+  detail::append_pairs_from_bitmap(changed_bits, n, wpr, changed);
+  return changed;
+}
+
+std::vector<sched::delay_matrix::node_pair>
+reformulate_floyd_warshall_reference(const ir::graph& g,
+                                     sched::delay_matrix& d) {
+  const std::size_t n = g.num_nodes();
+  ISDC_CHECK(d.size() == n, "matrix size mismatch");
   std::vector<sched::delay_matrix::node_pair> changed;
   // Standard FW ordering; the graph is a DAG with topological ids, so only
   // u <= w <= v triples can compose.

@@ -1,8 +1,13 @@
-// The exact reformulation reference (paper Section III-D): composing
-// sub-path delays through every intermediate node w as
+// The exact reformulation (paper Section III-D): composing sub-path
+// delays through every intermediate node w as
 //   D[u][v] = min(D[u][v], D[u][w] + D[w][v] - D[w][w])
 // (w's own delay is counted by both halves). O(n^3); used to measure
 // Alg. 2's estimation accuracy and in tests.
+//
+// Two implementations with bit-identical results on the matrix:
+// reformulate_floyd_warshall is the fast panel-blocked kernel the engine
+// runs; reformulate_floyd_warshall_reference is the original scalar
+// triple loop, kept for differential testing.
 #ifndef ISDC_CORE_FLOYD_WARSHALL_H_
 #define ISDC_CORE_FLOYD_WARSHALL_H_
 
@@ -12,10 +17,21 @@
 
 namespace isdc::core {
 
-/// Applies the exact reformulation in place; returns the (u, v) pairs
-/// whose entry changed (one record per lowering, like reformulate_alg2).
+/// Applies the exact reformulation in place, blocked for memory locality:
+/// rows are independent under the DAG's topological ids (see the proof in
+/// floyd_warshall.cpp), so the kernel sweeps panels of target rows against
+/// each pivot row, skipping not_connected spans word-at-a-time via per-row
+/// connectivity bitsets. Returns the (u, v) pairs whose entry changed,
+/// deduplicated and sorted.
 std::vector<sched::delay_matrix::node_pair> reformulate_floyd_warshall(
     const ir::graph& g, sched::delay_matrix& d);
+
+/// The original cell-at-a-time triple loop; same matrix afterwards, but
+/// returns one record per lowering (duplicates possible). Reference for
+/// differential tests.
+std::vector<sched::delay_matrix::node_pair>
+reformulate_floyd_warshall_reference(const ir::graph& g,
+                                     sched::delay_matrix& d);
 
 }  // namespace isdc::core
 

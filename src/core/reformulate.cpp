@@ -1,17 +1,511 @@
 #include "core/reformulate.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "core/row_bitset.h"
+#include "ir/adjacency.h"
 #include "support/check.h"
 
 namespace isdc::core {
 
 namespace {
 using sched::delay_matrix;
+
+constexpr float nc = delay_matrix::not_connected;
+
+/// Forward-pass panel width: 64 rows advance together through a
+/// transposed scratch buffer, so the per-edge work (operand-span setup,
+/// compares) amortizes across lanes and each per-column step is a handful
+/// of full-width vector ops. The width is chiefly latency hiding: a
+/// chain-like graph serializes each column on its predecessor's
+/// store-to-load forward plus the max/add/blend chain, and that fixed
+/// ~20-cycle latency covers 64 rows at once. The buffer (kLanes * n
+/// floats, ~1.2 MB at n = 4096) must stay L2-resident: 96 lanes thrashes
+/// a 2 MB L2 and measures ~2x slower. GCC vector extensions are used
+/// directly because the loop-carried lane-max accumulator defeats the
+/// autovectorizer's SLP pass (it emits scalar maxss otherwise).
+constexpr std::size_t kLanes = 64;
+constexpr std::size_t kMaskWords = kLanes / 8;  // change bytes per column
+
+typedef float vf4 __attribute__((vector_size(16)));
+typedef char vc4 __attribute__((vector_size(4)));
+typedef float vf8 __attribute__((vector_size(32)));
+typedef char vc8 __attribute__((vector_size(8)));
+
+/// Classic 4x4 in-register transpose (the _MM_TRANSPOSE4_PS shuffle
+/// network). The panel buffer is a transpose of the matrix rows, so both
+/// the panel load and the write-back move 4x4 blocks with full-width
+/// vector loads on both sides instead of per-element scalar scatters.
+inline void transpose4(vf4& a, vf4& b, vf4& c, vf4& d) {
+  const vf4 t0 = __builtin_shufflevector(a, b, 0, 4, 1, 5);
+  const vf4 t1 = __builtin_shufflevector(a, b, 2, 6, 3, 7);
+  const vf4 t2 = __builtin_shufflevector(c, d, 0, 4, 1, 5);
+  const vf4 t3 = __builtin_shufflevector(c, d, 2, 6, 3, 7);
+  a = __builtin_shufflevector(t0, t2, 0, 1, 4, 5);
+  b = __builtin_shufflevector(t0, t2, 2, 3, 6, 7);
+  c = __builtin_shufflevector(t1, t3, 0, 1, 4, 5);
+  d = __builtin_shufflevector(t1, t3, 2, 3, 6, 7);
+}
+
+/// Scalar forward pass over one target row u (Alg. 2 lines 2-12). Why this
+/// is bit-identical to the reference: for a fixed pair (u, v) the
+/// reference reads D[u][p] for operands p of v (the live values, already
+/// updated at iteration v' = p of the same pass) and D[v][v] (never
+/// written by the forward pass, snapshotted in `selfs`). All reads are in
+/// row u or on the diagonal, so iterating u outermost and v ascending
+/// performs the same floating-point ops on the same bits. Taking max over
+/// operand path delays before adding self(v) is bit-identical to maxing
+/// the sums: float addition of a common addend is monotone, and the final
+/// add runs on the winning operand's exact value. Maxing the raw row
+/// values (nc included) equals the reference's skip-if-unconnected max
+/// because nc = -1 sorts below every physical delay (>= 0).
+void forward_row_scalar(const ir::flat_adjacency& adj, const float* selfs,
+                        ir::node_id u, float* row, std::size_t n,
+                        std::uint64_t* bits, bool& any) {
+  for (ir::node_id v = u + 1; v < n; ++v) {
+    float best = nc;
+    for (const ir::node_id p : adj.operands(v)) {
+      const float via = p >= u ? row[p] : nc;
+      best = best < via ? via : best;
+    }
+    if (best == nc) {
+      continue;
+    }
+    const float cand = best + selfs[v];
+    const float cur = row[v];
+    if (cur > cand || cur == nc) {
+      row[v] = cand;
+      bits[v >> 6] |= 1ull << (v & 63);
+      any = true;
+    }
+  }
+}
+
+/// Packs a 0/1 byte mask into the row's change-bitmap words; mask[j]
+/// stands for column base + j. Returns whether any bit was set. The mask
+/// storage must extend (zero-padded) to a multiple of 8 bytes past count.
+bool pack_mask_into_bits(const unsigned char* mask, std::size_t base,
+                         std::size_t count, std::uint64_t* bits) {
+  bool any = false;
+  for (std::size_t k = 0; k < count; k += 8) {
+    std::uint64_t eight = 0;
+    std::memcpy(&eight, mask + k, 8);
+    if (eight == 0) {
+      continue;
+    }
+    any = true;
+    for (std::size_t j = 0; j < 8 && k + j < count; ++j) {
+      if (mask[k + j]) {
+        const std::size_t v = base + k + j;
+        bits[v >> 6] |= 1ull << (v & 63);
+      }
+    }
+  }
+  return any;
+}
+
+/// Forward-pass edge scan over one panel (Alg. 2 lines 2-12 for kLanes
+/// rows at once), generic over the lane-vector width W. Per column v it
+/// maxes the transposed operand columns lane-wise, adds self(v), and
+/// lowers the column in place, recording each lowering in a change byte
+/// (0x00/0xff) at edge time. The per-lane arithmetic and operand order
+/// are identical at any W, so the result is bit-identical across widths.
+/// Must be force-inlined into its (possibly target-attributed) wrapper so
+/// the vector ops compile under the wrapper's ISA.
+template <class VF, class VC, std::size_t W>
+__attribute__((always_inline)) inline void edge_scan_impl(
+    const ir::flat_adjacency& adj, const float* selfs, float* bf,
+    std::uint64_t* cmask, std::size_t u0, std::size_t n) {
+  constexpr std::size_t kChunks = kLanes / W;
+  const VF ncv = VF{} + nc;  // vector-scalar add broadcasts
+  for (ir::node_id v = static_cast<ir::node_id>(u0 + 1); v < n; ++v) {
+    const auto ops = adj.operands(v);
+    std::uint64_t* cw = cmask + kMaskWords * v;
+    if (ops.empty()) {
+      for (std::size_t w = 0; w < kMaskWords; ++w) {
+        cw[w] = 0;
+      }
+      continue;
+    }
+    VF best[kChunks];
+    for (std::size_t h = 0; h < kChunks; ++h) {
+      best[h] = ncv;
+    }
+    for (const ir::node_id p : ops) {
+      if (static_cast<std::size_t>(p) < u0) {
+        continue;
+      }
+      const VF* col =
+          reinterpret_cast<const VF*>(bf + static_cast<std::size_t>(p) * kLanes);
+      for (std::size_t h = 0; h < kChunks; ++h) {
+        best[h] = best[h] < col[h] ? col[h] : best[h];
+      }
+    }
+    const float sv = selfs[v];
+    VF* cur = reinterpret_cast<VF*>(bf + static_cast<std::size_t>(v) * kLanes);
+    unsigned char cb[kLanes];
+    for (std::size_t h = 0; h < kChunks; ++h) {
+      const VF cand = best[h] + sv;
+      const VF old = cur[h];
+      const auto lower = (best[h] != ncv) & ((old > cand) | (old == ncv));
+      cur[h] = lower ? cand : old;
+      const VC cm = __builtin_convertvector(lower, VC);
+      std::memcpy(cb + W * h, &cm, W);
+    }
+    std::memcpy(cw, cb, kLanes);
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define ISDC_X86_GCC 1
+/// 8-wide edge scan for AVX2 machines. The 32-byte vectors only make
+/// sense here: under baseline SSE2, GCC scalarizes (and stack-spills)
+/// oversized vector selects instead of splitting them.
+__attribute__((target("avx2"))) void edge_scan_avx2(
+    const ir::flat_adjacency& adj, const float* selfs, float* bf,
+    std::uint64_t* cmask, std::size_t u0, std::size_t n) {
+  edge_scan_impl<vf8, vc8, 8>(adj, selfs, bf, cmask, u0, n);
+}
+
+/// Reverse-pass row merge, 8 lanes at a time, producing change bits
+/// straight from the compare masks (movmskps) instead of going through a
+/// byte mask that a second pass re-packs. For w in [lo, n):
+///   cand = AddSelf ? src[w] + self : src[w]
+///   lower iff src[w] connected and (row[w] > cand or row[w] unconnected)
+/// writes row[w] = cand on lowering and ORs bit w into `bits`. The
+/// per-lane arithmetic and predicates match the scalar merge exactly, so
+/// results stay bit-identical (AddSelf is a template flag rather than a
+/// self of 0.0f so the no-add flavour never rewrites -0.0f to +0.0f).
+template <bool AddSelf>
+__attribute__((always_inline)) inline bool merge_row_bits_impl(
+    const float* src, float* row, float self, std::size_t lo, std::size_t n,
+    std::uint64_t* bits) {
+  const vf8 ncv = vf8{} + nc;
+  bool any = false;
+  std::size_t w = lo;
+  const auto scalar_step = [&](std::size_t i) {
+    const float via = src[i];
+    const float cand = AddSelf ? via + self : via;
+    const float cur = row[i];
+    if ((via != nc) & ((cur > cand) | (cur == nc))) {
+      row[i] = cand;
+      bits[i >> 6] |= 1ull << (i & 63);
+      any = true;
+    }
+  };
+  for (; w < n && (w & 63) != 0; ++w) {
+    scalar_step(w);
+  }
+  for (; w + 64 <= n; w += 64) {
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const std::size_t base = w + 8 * j;
+      vf8 via, cur;
+      std::memcpy(&via, src + base, sizeof(via));
+      std::memcpy(&cur, row + base, sizeof(cur));
+      const vf8 cand = AddSelf ? via + self : via;
+      const auto lower = (via != ncv) & ((cur > cand) | (cur == ncv));
+      const vf8 out = lower ? cand : cur;
+      std::memcpy(row + base, &out, sizeof(out));
+      const unsigned m =
+          static_cast<unsigned>(__builtin_ia32_movmskps256((vf8)lower));
+      word |= static_cast<std::uint64_t>(m) << (8 * j);
+    }
+    if (word != 0) {
+      bits[w >> 6] |= word;
+      any = true;
+    }
+  }
+  for (; w < n; ++w) {
+    scalar_step(w);
+  }
+  return any;
+}
+
+__attribute__((target("avx2"))) bool merge_row_add_avx2(
+    const float* src, float* row, float self, std::size_t lo, std::size_t n,
+    std::uint64_t* bits) {
+  return merge_row_bits_impl<true>(src, row, self, lo, n, bits);
+}
+
+__attribute__((target("avx2"))) bool merge_row_raw_avx2(
+    const float* src, float* row, std::size_t lo, std::size_t n,
+    std::uint64_t* bits) {
+  return merge_row_bits_impl<false>(src, row, 0.0f, lo, n, bits);
+}
+#endif
+
+void edge_scan_generic(const ir::flat_adjacency& adj, const float* selfs,
+                       float* bf, std::uint64_t* cmask, std::size_t u0,
+                       std::size_t n) {
+  edge_scan_impl<vf4, vc4, 4>(adj, selfs, bf, cmask, u0, n);
+}
+
+/// Reverse pass over one row u (Alg. 2 lines 13-16): compose over user
+/// rows c > u read live — rows already fully reformulated, exactly like
+/// the reference — streaming each user row contiguously. The merge writes
+/// row u in place and records changed columns in a byte mask (branchless,
+/// auto-vectorizable), folded into the change bitmap afterwards.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// Resolve the hottest loops to AVX2 code at load time when the CPU has
+// it: the baseline x86-64 build only assumes SSE2, and the 4-lane vector
+// panels plus the streaming row merges all double their width under
+// -mavx2 for free.
+#define ISDC_HOT_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define ISDC_HOT_CLONES
+#endif
+
+ISDC_HOT_CLONES
+void reverse_row(const ir::flat_adjacency& adj, const float* selfs,
+                 delay_matrix& d, ir::node_id u, std::size_t n, float* du,
+                 unsigned char* mask, std::uint64_t* bits, std::size_t wpr) {
+  const auto users = adj.users(u);
+  if (users.empty()) {
+    return;
+  }
+  const float self = selfs[u];
+  float* row = d.row_mut(u).data();
+#if defined(ISDC_X86_GCC)
+  const bool have_avx2 = __builtin_cpu_supports("avx2") != 0;
+#else
+  const bool have_avx2 = false;
+#endif
+  bool any = false;
+  if (users.size() == 1) {
+    // One user: no accumulator needed, merge straight from its row.
+    const ir::node_id c = users[0];
+    const float* rowc = d.row(c).data();
+#if defined(ISDC_X86_GCC)
+    if (have_avx2) {
+      any = merge_row_add_avx2(rowc, row, self, c, n, bits);
+    }
+#endif
+    if (!have_avx2) {
+      // Byte-mask fallback: the merge stores a change byte per column in
+      // [c, n); only the gap before c needs explicit zeroing.
+      std::memset(mask + u + 1, 0, c - u - 1);
+      for (std::size_t w = c; w < n; ++w) {
+        const float via = rowc[w];
+        const float cand = via + self;
+        const float cur = row[w];
+        const bool lower = (via != nc) & ((cur > cand) | (cur == nc));
+        row[w] = lower ? cand : cur;
+        mask[w] = lower;
+      }
+      any = pack_mask_into_bits(mask + u + 1, u + 1, n - u - 1, bits);
+    }
+  } else {
+    std::fill(du + u + 1, du + n, nc);
+    for (const ir::node_id c : users) {
+      const float* rowc = d.row(c).data();
+      for (std::size_t w = c; w < n; ++w) {
+        const float via = rowc[w];
+        const float cand = via + self;
+        const bool take = (via != nc) & (du[w] < cand);
+        du[w] = take ? cand : du[w];
+      }
+    }
+#if defined(ISDC_X86_GCC)
+    if (have_avx2) {
+      any = merge_row_raw_avx2(du, row, u + 1, n, bits);
+    }
+#endif
+    if (!have_avx2) {
+      for (std::size_t w = u + 1; w < n; ++w) {
+        const float cand = du[w];
+        const float cur = row[w];
+        const bool lower = (cand != nc) & ((cur > cand) | (cur == nc));
+        row[w] = lower ? cand : cur;
+        mask[w] = lower;
+      }
+      any = pack_mask_into_bits(mask + u + 1, u + 1, n - u - 1, bits);
+    }
+  }
+  if (any) {
+    d.log_row_changes(u, {bits, wpr});
+  }
+}
+
 }  // namespace
 
+ISDC_HOT_CLONES
 std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
+    const ir::graph& g, sched::delay_matrix& d) {
+  const std::size_t n = g.num_nodes();
+  ISDC_CHECK(d.size() == n, "matrix size mismatch");
+  std::vector<sched::delay_matrix::node_pair> changed;
+  if (n == 0) {
+    return changed;
+  }
+  const ir::flat_adjacency& adj = g.flat();
+  const std::size_t wpr = d.words_per_row();
+  std::vector<std::uint64_t> changed_bits(n * wpr, 0);
+
+  // Neither pass writes the diagonal, so one contiguous snapshot serves
+  // all self(v) reads.
+  std::vector<float> selfs(n);
+  for (ir::node_id v = 0; v < n; ++v) {
+    selfs[v] = d.self(v);
+  }
+
+  // The two passes are fused into one descending sweep: the forward pass
+  // only ever reads/writes its own row plus the diagonal snapshot, and
+  // the reverse pass for row u reads user rows c > u after their full
+  // (forward + reverse) reformulation. Running rows from the top down —
+  // forward first, reverse immediately after — therefore performs the
+  // exact same operations as full-forward-then-full-reverse, while each
+  // row is reverse-merged while still cache-hot from its forward panel
+  // instead of being re-fetched from DRAM a second time.
+  std::vector<float> du(n);
+  std::vector<unsigned char> mask(n + 8, 0);
+
+  const std::size_t panel_rows = n - n % kLanes;
+  for (ir::node_id u = static_cast<ir::node_id>(panel_rows); u < n; ++u) {
+    float* row = d.row_mut(u).data();
+    std::uint64_t* bits = changed_bits.data() + u * wpr;
+    bool any = false;
+    forward_row_scalar(adj, selfs.data(), u, row, n, bits, any);
+    if (any) {
+      d.log_row_changes(u, {bits, wpr});
+    }
+  }
+  for (ir::node_id u = static_cast<ir::node_id>(n);
+       u-- > static_cast<ir::node_id>(panel_rows);) {
+    reverse_row(adj, selfs.data(), d, u, n, du.data(), mask.data(),
+                changed_bits.data() + u * wpr, wpr);
+  }
+
+  // Forward pass, kLanes rows per panel, through a transposed n x kLanes
+  // buffer — column v of the panel is contiguous, so every per-edge step
+  // runs as one 8-wide vector op instead of 8 scalar ones. No per-lane
+  // triangle guard is needed: the matrix stores not_connected in the
+  // strict lower triangle (constructed that way, and every writer only
+  // lowers already-connected cells), so lane i reading column p < u0 + i
+  // sees nc naturally and never produces a lowering — the diagonal
+  // included. Columns p < u0 are all-nc for the whole panel and skipped
+  // outright, which also lets the transpose start at u0. The edge loop
+  // records each lowering in a byte mask as it happens, so the write-back
+  // is a pure scatter copy plus a mask-to-bitmap fold — it never has to
+  // re-read and diff the old row values.
+  // The AVX2 edge scan reads the panel buffer as 32-byte vectors, so
+  // over-align it by hand: std::vector's allocator is not a reliable
+  // source of over-aligned memory (GCC 12 emits a plain operator new for
+  // vector<32-byte-vector> inside target clones, then faults on the
+  // aligned stores).
+  std::vector<float> buf(kLanes * n + 16);
+  std::vector<std::uint64_t> cmask(kMaskWords * n);
+  float* bf = reinterpret_cast<float*>(
+      (reinterpret_cast<std::uintptr_t>(buf.data()) + 63) &
+      ~static_cast<std::uintptr_t>(63));
+#if defined(ISDC_X86_GCC)
+  const bool have_avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+  for (std::size_t u0 = panel_rows; u0 != 0;) {
+    u0 -= kLanes;
+    float* rows[kLanes];
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      rows[i] = d.row_mut(static_cast<ir::node_id>(u0 + i)).data();
+    }
+    // Panel load: 4x4 block transpose so both the row reads and the
+    // buffer writes are full vector width (u0 is kLanes-aligned, so the
+    // block start is too; only the final n % 4 columns go element-wise).
+    std::size_t v = u0;
+    for (; v + 4 <= n; v += 4) {
+      for (std::size_t q = 0; q < kLanes; q += 4) {
+        vf4 a, b, c, e;
+        std::memcpy(&a, rows[q + 0] + v, sizeof(a));
+        std::memcpy(&b, rows[q + 1] + v, sizeof(b));
+        std::memcpy(&c, rows[q + 2] + v, sizeof(c));
+        std::memcpy(&e, rows[q + 3] + v, sizeof(e));
+        transpose4(a, b, c, e);
+        std::memcpy(bf + (v + 0) * kLanes + q, &a, sizeof(a));
+        std::memcpy(bf + (v + 1) * kLanes + q, &b, sizeof(b));
+        std::memcpy(bf + (v + 2) * kLanes + q, &c, sizeof(c));
+        std::memcpy(bf + (v + 3) * kLanes + q, &e, sizeof(e));
+      }
+    }
+    for (; v < n; ++v) {
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        bf[v * kLanes + i] = rows[i][v];
+      }
+    }
+#if defined(ISDC_X86_GCC)
+    if (have_avx2) {
+      edge_scan_avx2(adj, selfs.data(), bf, cmask.data(), u0, n);
+    } else {
+      edge_scan_generic(adj, selfs.data(), bf, cmask.data(), u0, n);
+    }
+#else
+    edge_scan_generic(adj, selfs.data(), bf, cmask.data(), u0, n);
+#endif
+    // Panel store: the same block transpose back into the rows. Columns
+    // below u0 + 1 were never touched by the edge scan, so copying the
+    // whole panel back is a plain overwrite with identical values there.
+    v = u0;
+    for (; v + 4 <= n; v += 4) {
+      for (std::size_t q = 0; q < kLanes; q += 4) {
+        vf4 a, b, c, e;
+        std::memcpy(&a, bf + (v + 0) * kLanes + q, sizeof(a));
+        std::memcpy(&b, bf + (v + 1) * kLanes + q, sizeof(b));
+        std::memcpy(&c, bf + (v + 2) * kLanes + q, sizeof(c));
+        std::memcpy(&e, bf + (v + 3) * kLanes + q, sizeof(e));
+        transpose4(a, b, c, e);
+        std::memcpy(rows[q + 0] + v, &a, sizeof(a));
+        std::memcpy(rows[q + 1] + v, &b, sizeof(b));
+        std::memcpy(rows[q + 2] + v, &c, sizeof(c));
+        std::memcpy(rows[q + 3] + v, &e, sizeof(e));
+      }
+    }
+    for (; v < n; ++v) {
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        rows[i][v] = bf[v * kLanes + i];
+      }
+    }
+    // Fold the change bytes (0x00 / 0xff per lane) into per-lane
+    // change-bitmap words, 64 columns at a time.
+    bool any[kLanes] = {};
+    for (std::size_t k = (u0 + 1) / 64; k < wpr; ++k) {
+      const std::size_t lo = k * 64;
+      const std::size_t hi = std::min(n, lo + 64);
+      std::uint64_t acc[kLanes] = {};
+      for (std::size_t c = std::max(lo, u0 + 1); c < hi; ++c) {
+        for (std::size_t w = 0; w < kMaskWords; ++w) {
+          const std::uint64_t x = cmask[kMaskWords * c + w];
+          if (x == 0) {
+            continue;
+          }
+          for (std::size_t j = 0; j < 8; ++j) {
+            acc[8 * w + j] |= ((x >> (8 * j)) & 1ull) << (c - lo);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        changed_bits[(u0 + i) * wpr + k] |= acc[i];
+        any[i] |= acc[i] != 0;
+      }
+    }
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      const ir::node_id u = static_cast<ir::node_id>(u0 + i);
+      if (any[i]) {
+        d.log_row_changes(u, {changed_bits.data() + u * wpr, wpr});
+      }
+    }
+    for (std::size_t i = kLanes; i-- > 0;) {
+      const ir::node_id u = static_cast<ir::node_id>(u0 + i);
+      reverse_row(adj, selfs.data(), d, u, n, du.data(), mask.data(),
+                  changed_bits.data() + u * wpr, wpr);
+    }
+  }
+
+  detail::append_pairs_from_bitmap(changed_bits, n, wpr, changed);
+  return changed;
+}
+
+std::vector<sched::delay_matrix::node_pair> reformulate_alg2_reference(
     const ir::graph& g, sched::delay_matrix& d) {
   const std::size_t n = g.num_nodes();
   ISDC_CHECK(d.size() == n, "matrix size mismatch");

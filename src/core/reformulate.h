@@ -20,13 +20,26 @@ namespace isdc::core {
 
 enum class reformulation_mode {
   alg2,            ///< the paper's O(n^2) approximation (default)
-  floyd_warshall,  ///< the exact O(n^3) reference
+  floyd_warshall,  ///< the exact O(n^3) reformulation
   none,            ///< use the feedback-updated matrix as-is
+  /// The original scalar kernels, bit-identical to the fast ones on the
+  /// matrix; kept selectable for differential testing.
+  alg2_reference,
+  floyd_warshall_reference,
 };
 
-/// Applies Alg. 2 in place; returns the (u, v) pairs whose entry changed
-/// (a pair touched by both passes appears once per change).
+/// Applies Alg. 2 in place, row-major: the forward pass exploits that each
+/// target row only reads its own prefix (see reformulate.cpp), so the
+/// max-plus scans run over contiguous rows instead of strided column
+/// walks; both passes read edges from the graph's flat CSR adjacency.
+/// Returns the (u, v) pairs whose entry changed, deduplicated and sorted.
 std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
+    const ir::graph& g, sched::delay_matrix& d);
+
+/// The original column-walking implementation; same matrix afterwards,
+/// but a pair touched by both passes appears once per change. Reference
+/// for differential tests.
+std::vector<sched::delay_matrix::node_pair> reformulate_alg2_reference(
     const ir::graph& g, sched::delay_matrix& d);
 
 }  // namespace isdc::core

@@ -1,0 +1,62 @@
+// Internal helpers shared by the dense reformulation kernels
+// (floyd_warshall.cpp, reformulate.cpp): per-row connectivity bitsets over
+// a delay matrix and changed-pair emission from a row-aligned bitmap. The
+// bitmap layout matches delay_matrix::log_row_changes: one span of
+// words_per_row() words per matrix row, bit v of word v / 64 = column v.
+#ifndef ISDC_CORE_ROW_BITSET_H_
+#define ISDC_CORE_ROW_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sched/delay_matrix.h"
+
+namespace isdc::core::detail {
+
+/// Fills `bits` (n x words_per_row words, zeroed by the caller) with one
+/// connectivity bitset per row: bit v of row u set iff D[u][v] is
+/// connected.
+inline void build_connectivity(const sched::delay_matrix& d,
+                               std::vector<std::uint64_t>& bits) {
+  const std::size_t n = d.size();
+  const std::size_t wpr = d.words_per_row();
+  for (ir::node_id u = 0; u < n; ++u) {
+    const float* row = d.row(u).data();
+    std::uint64_t* out = bits.data() + static_cast<std::size_t>(u) * wpr;
+    for (std::size_t v = 0; v < n; ++v) {
+      out[v >> 6] |=
+          static_cast<std::uint64_t>(row[v] !=
+                                     sched::delay_matrix::not_connected)
+          << (v & 63);
+    }
+  }
+}
+
+/// Appends every set bit of an n x words_per_row bitmap as a (row, column)
+/// pair, sorted ascending by construction. A popcount pre-pass sizes the
+/// output exactly: a dense kernel run can emit millions of pairs, and
+/// growth reallocations would dominate the append otherwise.
+inline void append_pairs_from_bitmap(
+    const std::vector<std::uint64_t>& bits, std::size_t n, std::size_t wpr,
+    std::vector<sched::delay_matrix::node_pair>& out) {
+  std::size_t count = 0;
+  for (const std::uint64_t w : bits) {
+    count += static_cast<std::size_t>(std::popcount(w));
+  }
+  out.reserve(out.size() + count);
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::uint64_t* row = bits.data() + u * wpr;
+    for (std::size_t k = 0; k < wpr; ++k) {
+      for (std::uint64_t b = row[k]; b != 0; b &= b - 1) {
+        out.emplace_back(
+            static_cast<ir::node_id>(u),
+            static_cast<ir::node_id>(k * 64 + std::countr_zero(b)));
+      }
+    }
+  }
+}
+
+}  // namespace isdc::core::detail
+
+#endif  // ISDC_CORE_ROW_BITSET_H_

@@ -424,6 +424,12 @@ public:
       case core::reformulation_mode::floyd_warshall:
         core::reformulate_floyd_warshall(rs.g, rs.result.delays);
         break;
+      case core::reformulation_mode::alg2_reference:
+        core::reformulate_alg2_reference(rs.g, rs.result.delays);
+        break;
+      case core::reformulation_mode::floyd_warshall_reference:
+        core::reformulate_floyd_warshall_reference(rs.g, rs.result.delays);
+        break;
       case core::reformulation_mode::none:
         break;
     }

@@ -1,7 +1,6 @@
 #include "extract/canonical.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -22,13 +21,34 @@ bool uses_value(ir::opcode op) {
   return op == ir::opcode::constant || op == ir::opcode::slice;
 }
 
+/// Epoch-stamped view of the scratch: a vector entry is live only if its
+/// stamp matches the current epoch, so clearing between calls is one
+/// counter increment instead of an O(n) wipe (or a rehash, in the
+/// unordered_map version this replaced).
+struct stamped {
+  std::vector<std::uint64_t>& value;
+  std::vector<std::uint32_t>& stamp;
+  const std::uint32_t epoch;
+
+  bool contains(ir::node_id v) const { return stamp[v] == epoch; }
+  std::uint64_t at(ir::node_id v) const { return value[v]; }
+  /// Returns false if already present (emplace semantics).
+  bool emplace(ir::node_id v, std::uint64_t x) {
+    if (stamp[v] == epoch) {
+      return false;
+    }
+    stamp[v] = epoch;
+    value[v] = x;
+    return true;
+  }
+};
+
 /// Bottom-up shape hash of one member: opcode, width, value (where it is
 /// semantic) and the shape hashes of its operands in operand order, with
 /// out-of-cone operands anonymized — constants by (width, value), every
 /// other external source by width alone. Member ids never enter the hash.
-std::uint64_t shape_hash(
-    const ir::graph& g, ir::node_id m,
-    const std::unordered_map<ir::node_id, std::uint64_t>& member_shape) {
+std::uint64_t shape_hash(const ir::graph& g, ir::node_id m,
+                         const stamped& member_shape) {
   const ir::node& n = g.at(m);
   fnv1a64 h;
   h.mix(kTagMember);
@@ -38,9 +58,8 @@ std::uint64_t shape_hash(
     h.mix(n.value);
   }
   for (const ir::node_id p : n.operands) {
-    const auto it = member_shape.find(p);
-    if (it != member_shape.end()) {
-      h.mix(it->second);
+    if (member_shape.contains(p)) {
+      h.mix(member_shape.at(p));
     } else if (g.at(p).op == ir::opcode::constant) {
       h.mix(kTagConst);
       h.mix(g.at(p).width);
@@ -58,12 +77,32 @@ std::uint64_t shape_hash(
 std::uint64_t canonical_fingerprint_version() { return 1; }
 
 std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub) {
+  static thread_local canonical_scratch scratch;
+  return canonical_fingerprint(g, sub, scratch);
+}
+
+std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub,
+                                    canonical_scratch& s) {
   ISDC_CHECK(!sub.members.empty(), "canonical_fingerprint of empty subgraph");
+
+  const std::size_t n = g.num_nodes();
+  if (s.shape.size() < n) {
+    s.shape.resize(n);
+    s.canonical.resize(n);
+    s.shape_epoch.resize(n, 0);
+    s.canon_epoch.resize(n, 0);
+  }
+  if (++s.epoch == 0) {
+    // Epoch wrapped: every stale stamp could collide, so wipe them once.
+    std::fill(s.shape_epoch.begin(), s.shape_epoch.end(), 0);
+    std::fill(s.canon_epoch.begin(), s.canon_epoch.end(), 0);
+    s.epoch = 1;
+  }
+  stamped shape{s.shape, s.shape_epoch, s.epoch};
+  stamped canonical_id{s.canonical, s.canon_epoch, s.epoch};
 
   // Pass 1 — shape hashes, bottom-up. Members are sorted ascending and ids
   // are topological by construction, so operands are hashed before users.
-  std::unordered_map<ir::node_id, std::uint64_t> shape;
-  shape.reserve(sub.members.size());
   for (const ir::node_id m : sub.members) {
     shape.emplace(m, shape_hash(g, m, shape));
   }
@@ -75,53 +114,50 @@ std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub) {
   // symmetric. A deterministic DFS from each root, following operand
   // order, numbers every reachable node — members, leaves and external
   // constants alike — at first visit.
-  std::vector<ir::node_id> root_order(sub.roots.begin(), sub.roots.end());
-  std::stable_sort(root_order.begin(), root_order.end(),
+  s.root_order.assign(sub.roots.begin(), sub.roots.end());
+  std::stable_sort(s.root_order.begin(), s.root_order.end(),
                    [&shape](ir::node_id a, ir::node_id b) {
                      return shape.at(a) < shape.at(b);
                    });
 
-  std::unordered_map<ir::node_id, std::uint64_t> canonical_id;
-  canonical_id.reserve(shape.size() + sub.leaves.size());
-  std::vector<ir::node_id> order;  // nodes in canonical-id order
-  order.reserve(shape.size() + sub.leaves.size());
-  std::vector<ir::node_id> stack;
+  s.order.clear();  // nodes in canonical-id order
+  s.stack.clear();
   const auto visit_from = [&](ir::node_id root) {
-    stack.push_back(root);
-    while (!stack.empty()) {
-      const ir::node_id v = stack.back();
-      stack.pop_back();
-      if (!canonical_id.emplace(v, order.size()).second) {
+    s.stack.push_back(root);
+    while (!s.stack.empty()) {
+      const ir::node_id v = s.stack.back();
+      s.stack.pop_back();
+      if (!canonical_id.emplace(v, s.order.size())) {
         continue;
       }
-      order.push_back(v);
+      s.order.push_back(v);
       if (!shape.contains(v)) {
         continue;  // leaf or external constant: a terminal
       }
       const std::vector<ir::node_id>& operands = g.at(v).operands;
       for (auto it = operands.rbegin(); it != operands.rend(); ++it) {
-        stack.push_back(*it);  // reversed: popped in operand order
+        s.stack.push_back(*it);  // reversed: popped in operand order
       }
     }
   };
-  for (const ir::node_id r : root_order) {
+  for (const ir::node_id r : s.root_order) {
     visit_from(r);
   }
   // Members unreachable from every root (possible only for hand-built
   // member sets with dead nodes) still must distinguish the fingerprint:
   // traverse them too, in the same shape-then-id order.
-  if (order.size() < shape.size()) {
-    std::vector<ir::node_id> rest;
+  if (s.order.size() < sub.members.size()) {
+    s.rest.clear();
     for (const ir::node_id m : sub.members) {
       if (!canonical_id.contains(m)) {
-        rest.push_back(m);
+        s.rest.push_back(m);
       }
     }
-    std::stable_sort(rest.begin(), rest.end(),
+    std::stable_sort(s.rest.begin(), s.rest.end(),
                      [&shape](ir::node_id a, ir::node_id b) {
                        return shape.at(a) < shape.at(b);
                      });
-    for (const ir::node_id m : rest) {
+    for (const ir::node_id m : s.rest) {
       visit_from(m);
     }
   }
@@ -130,32 +166,32 @@ std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub) {
   // operands as canonical indices, then the roots as canonical indices.
   // This encodes the exact DAG (including fan-out sharing), just relabeled.
   fnv1a64 h;
-  h.mix(order.size());
-  for (const ir::node_id v : order) {
-    const ir::node& n = g.at(v);
+  h.mix(s.order.size());
+  for (const ir::node_id v : s.order) {
+    const ir::node& node = g.at(v);
     if (!shape.contains(v)) {
-      if (n.op == ir::opcode::constant) {
+      if (node.op == ir::opcode::constant) {
         h.mix(kTagConst);
-        h.mix(n.width);
-        h.mix(n.value);
+        h.mix(node.width);
+        h.mix(node.value);
       } else {
         h.mix(kTagLeaf);
-        h.mix(n.width);
+        h.mix(node.width);
       }
       continue;
     }
     h.mix(kTagMember);
-    h.mix(static_cast<std::uint64_t>(n.op));
-    h.mix(n.width);
-    if (uses_value(n.op)) {
-      h.mix(n.value);
+    h.mix(static_cast<std::uint64_t>(node.op));
+    h.mix(node.width);
+    if (uses_value(node.op)) {
+      h.mix(node.value);
     }
-    for (const ir::node_id p : n.operands) {
+    for (const ir::node_id p : node.operands) {
       h.mix(canonical_id.at(p));
     }
   }
-  h.mix(root_order.size());
-  for (const ir::node_id r : root_order) {
+  h.mix(s.root_order.size());
+  for (const ir::node_id r : s.root_order) {
     h.mix(canonical_id.at(r));
   }
   return h.value();

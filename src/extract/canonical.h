@@ -13,10 +13,29 @@
 #define ISDC_EXTRACT_CANONICAL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "extract/subgraph.h"
 
 namespace isdc::extract {
+
+/// Reusable working memory for canonical_fingerprint. The engine calls
+/// the fingerprint once per candidate subgraph per iteration; with a
+/// scratch the per-call unordered_maps become node-indexed, epoch-stamped
+/// arrays that are allocated once per design and never rehash. A
+/// default-constructed scratch works for any graph; it grows to the
+/// largest graph it has seen.
+struct canonical_scratch {
+  std::vector<std::uint64_t> shape;         ///< member shape hashes
+  std::vector<std::uint64_t> canonical;     ///< canonical ids, all nodes
+  std::vector<std::uint32_t> shape_epoch;   ///< stamp validating shape[v]
+  std::vector<std::uint32_t> canon_epoch;   ///< stamp validating canonical[v]
+  std::vector<ir::node_id> root_order;
+  std::vector<ir::node_id> order;
+  std::vector<ir::node_id> rest;
+  std::vector<ir::node_id> stack;
+  std::uint32_t epoch = 0;
+};
 
 /// Version of the canonical-fingerprint algorithm. Bumped whenever the
 /// hash changes meaning, so persisted evaluation caches keyed by old
@@ -31,6 +50,11 @@ std::uint64_t canonical_fingerprint_version();
 /// `sub.members` must be finalized (sorted members, computed roots), which
 /// every built-in expansion guarantees.
 std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub);
+
+/// Same fingerprint, using caller-provided working memory. The no-scratch
+/// overload forwards here with a thread-local scratch.
+std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub,
+                                    canonical_scratch& scratch);
 
 }  // namespace isdc::extract
 

@@ -1,0 +1,37 @@
+#include "ir/adjacency.h"
+
+#include <algorithm>
+
+namespace isdc::ir {
+
+flat_adjacency::flat_adjacency(const graph& g) {
+  const std::size_t n = g.num_nodes();
+  operand_off_.assign(n + 1, 0);
+  user_off_.assign(n + 1, 0);
+  for (node_id v = 0; v < n; ++v) {
+    const std::vector<node_id>& ops = g.at(v).operands;
+    operand_off_[v + 1] =
+        operand_off_[v] + static_cast<std::uint32_t>(ops.size());
+    for (const node_id p : ops) {
+      ++user_off_[p + 1];
+    }
+  }
+  for (node_id v = 0; v < n; ++v) {
+    user_off_[v + 1] += user_off_[v];
+  }
+  operand_data_.resize(operand_off_[n]);
+  user_data_.resize(operand_off_[n]);
+  // Filling in id order keeps every user list ascending, matching the
+  // incremental order graph::users maintains.
+  std::vector<std::uint32_t> cursor(user_off_.begin(), user_off_.end() - 1);
+  for (node_id v = 0; v < n; ++v) {
+    const std::vector<node_id>& ops = g.at(v).operands;
+    std::copy(ops.begin(), ops.end(),
+              operand_data_.begin() + operand_off_[v]);
+    for (const node_id p : ops) {
+      user_data_[cursor[p]++] = v;
+    }
+  }
+}
+
+}  // namespace isdc::ir

@@ -1,0 +1,48 @@
+// Flat CSR snapshot of a graph's edges. The per-node `std::vector`
+// operand lists (and the vector-of-vectors user lists) scatter a dense
+// sweep's edge walks across the heap; the delay-matrix kernels instead
+// read this packed form, obtained from graph::flat(), which caches one
+// snapshot per graph and invalidates it on mutation.
+#ifndef ISDC_IR_ADJACENCY_H_
+#define ISDC_IR_ADJACENCY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace isdc::ir {
+
+/// Immutable operand/user adjacency in CSR form: one offsets array of
+/// n + 1 entries plus one packed data array per direction.
+class flat_adjacency {
+ public:
+  explicit flat_adjacency(const graph& g);
+
+  std::size_t num_nodes() const { return operand_off_.size() - 1; }
+  std::size_t num_edges() const { return operand_data_.size(); }
+
+  /// Operands of v, in operand order (same as graph::at(v).operands,
+  /// duplicates included).
+  std::span<const node_id> operands(node_id v) const {
+    return {operand_data_.data() + operand_off_[v],
+            operand_off_[v + 1] - operand_off_[v]};
+  }
+
+  /// Users of v, ascending (same sequence as graph::users(v)).
+  std::span<const node_id> users(node_id v) const {
+    return {user_data_.data() + user_off_[v], user_off_[v + 1] - user_off_[v]};
+  }
+
+ private:
+  std::vector<std::uint32_t> operand_off_;
+  std::vector<std::uint32_t> user_off_;
+  std::vector<node_id> operand_data_;
+  std::vector<node_id> user_data_;
+};
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_ADJACENCY_H_

@@ -1,9 +1,69 @@
 #include "ir/graph.h"
 
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "ir/adjacency.h"
 #include "support/check.h"
 #include "support/hash.h"
 
 namespace isdc::ir {
+
+/// The lazily built flat-adjacency snapshot. Heap-boxed so graph keeps its
+/// value semantics: copies start with a fresh (empty) cache, and the
+/// once_flag/atomic members never move.
+struct graph::adjacency_cache {
+  std::once_flag once;
+  std::atomic<bool> built{false};
+  std::optional<flat_adjacency> adjacency;
+};
+
+graph::graph(std::string name)
+    : name_(std::move(name)), adj_(std::make_unique<adjacency_cache>()) {}
+
+graph::graph(const graph& other)
+    : name_(other.name_),
+      nodes_(other.nodes_),
+      users_(other.users_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_),
+      output_mask_(other.output_mask_),
+      adj_(std::make_unique<adjacency_cache>()) {}
+
+graph::graph(graph&& other) noexcept = default;
+
+graph& graph::operator=(const graph& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    nodes_ = other.nodes_;
+    users_ = other.users_;
+    inputs_ = other.inputs_;
+    outputs_ = other.outputs_;
+    output_mask_ = other.output_mask_;
+    adj_ = std::make_unique<adjacency_cache>();
+  }
+  return *this;
+}
+
+graph& graph::operator=(graph&& other) noexcept = default;
+
+graph::~graph() = default;
+
+const flat_adjacency& graph::flat() const {
+  if (!adj_) {
+    // Only reachable on a moved-from graph being revived; single-threaded
+    // by definition (the move itself was not thread-safe either).
+    adj_ = std::make_unique<adjacency_cache>();
+  }
+  adjacency_cache& cache = *adj_;
+  std::call_once(cache.once, [this, &cache] {
+    cache.adjacency.emplace(*this);
+    cache.built.store(true, std::memory_order_release);
+  });
+  return *cache.adjacency;
+}
 
 node_id graph::add_node(opcode op, std::uint32_t width,
                         std::vector<node_id> operands, std::uint64_t value,
@@ -14,6 +74,9 @@ node_id graph::add_node(opcode op, std::uint32_t width,
              opcode_name(op) << " expects " << opcode_arity(op)
                              << " operands, got " << operands.size());
   const node_id id = static_cast<node_id>(nodes_.size());
+  if (adj_ == nullptr || adj_->built.load(std::memory_order_relaxed)) {
+    adj_ = std::make_unique<adjacency_cache>();  // invalidate the snapshot
+  }
   for (node_id operand : operands) {
     ISDC_CHECK(operand < id, "operand " << operand
                                         << " does not precede node " << id);

@@ -6,12 +6,15 @@
 #define ISDC_IR_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ir/opcode.h"
 
 namespace isdc::ir {
+
+class flat_adjacency;
 
 /// Index of a node within its graph.
 using node_id = std::uint32_t;
@@ -29,7 +32,12 @@ struct node {
 
 class graph {
 public:
-  explicit graph(std::string name = "g") : name_(std::move(name)) {}
+  explicit graph(std::string name = "g");
+  graph(const graph& other);
+  graph(graph&& other) noexcept;
+  graph& operator=(const graph& other);
+  graph& operator=(graph&& other) noexcept;
+  ~graph();
 
   const std::string& name() const { return name_; }
 
@@ -53,6 +61,12 @@ public:
   /// Users (consumer nodes) of each node; maintained incrementally.
   const std::vector<node_id>& users(node_id id) const;
 
+  /// Flat CSR operand/user adjacency (adjacency.h), built lazily on first
+  /// use and cached until the next mutation. Safe to call from multiple
+  /// reader threads; mutations must not race with readers (the same
+  /// contract every other accessor already has).
+  const flat_adjacency& flat() const;
+
   /// Total result bits of a node (== width; helper for readability).
   std::uint32_t width(node_id id) const { return at(id).width; }
 
@@ -71,12 +85,15 @@ public:
   std::uint64_t fingerprint() const;
 
 private:
+  struct adjacency_cache;  // graph.cpp; once-built flat_adjacency slot
+
   std::string name_;
   std::vector<node> nodes_;
   std::vector<std::vector<node_id>> users_;
   std::vector<node_id> inputs_;
   std::vector<node_id> outputs_;
   std::vector<bool> output_mask_;
+  mutable std::unique_ptr<adjacency_cache> adj_;
 };
 
 }  // namespace isdc::ir

@@ -1,7 +1,10 @@
 #include "sched/delay_matrix.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
+#include "ir/adjacency.h"
 #include "support/check.h"
 
 namespace isdc::sched {
@@ -10,10 +13,78 @@ void delay_matrix::track_changes(bool enabled) {
   tracking_ = enabled;
   changed_.clear();
   if (enabled) {
-    logged_.assign(n_ * n_, false);
+    logged_.assign(n_ * words_per_row_, 0);
   } else {
     logged_.clear();
     logged_.shrink_to_fit();
+  }
+}
+
+void delay_matrix::set_row(ir::node_id u, std::span<const float> values,
+                           std::vector<node_pair>* changed) {
+  ISDC_CHECK(values.size() == n_, "set_row expects a full row of "
+                                      << n_ << " values, got "
+                                      << values.size());
+  float* dst = d_.data() + static_cast<std::size_t>(u) * n_;
+  if (!tracking_ && changed == nullptr) {
+    std::memcpy(dst, values.data(), n_ * sizeof(float));
+    return;
+  }
+  for (std::size_t k = 0; k < words_per_row_; ++k) {
+    const std::size_t lo = k * 64;
+    const std::size_t hi = std::min(n_, lo + 64);
+    std::uint64_t diff = 0;
+    for (std::size_t v = lo; v < hi; ++v) {
+      if (dst[v] != values[v]) {
+        dst[v] = values[v];
+        diff |= 1ull << (v - lo);
+      }
+    }
+    if (diff == 0) {
+      continue;
+    }
+    if (changed != nullptr) {
+      for (std::uint64_t bits = diff; bits != 0; bits &= bits - 1) {
+        changed->emplace_back(
+            u, static_cast<ir::node_id>(lo + std::countr_zero(bits)));
+      }
+    }
+    if (tracking_) {
+      std::uint64_t& word =
+          logged_[static_cast<std::size_t>(u) * words_per_row_ + k];
+      for (std::uint64_t fresh = diff & ~word; fresh != 0;
+           fresh &= fresh - 1) {
+        changed_.push_back(index(
+            u, static_cast<ir::node_id>(lo + std::countr_zero(fresh))));
+      }
+      word |= diff;
+    }
+  }
+}
+
+void delay_matrix::log_row_changes(ir::node_id u,
+                                   std::span<const std::uint64_t> bits) {
+  if (!tracking_) {
+    return;
+  }
+  ISDC_CHECK(bits.size() == words_per_row_,
+             "log_row_changes expects " << words_per_row_ << " words, got "
+                                        << bits.size());
+  for (std::size_t k = 0; k < words_per_row_; ++k) {
+    std::uint64_t b = bits[k];
+    if (k == words_per_row_ - 1 && (n_ & 63) != 0) {
+      b &= (1ull << (n_ & 63)) - 1;  // ignore bits past column n
+    }
+    if (b == 0) {
+      continue;
+    }
+    std::uint64_t& word =
+        logged_[static_cast<std::size_t>(u) * words_per_row_ + k];
+    for (std::uint64_t fresh = b & ~word; fresh != 0; fresh &= fresh - 1) {
+      changed_.push_back(index(
+          u, static_cast<ir::node_id>(k * 64 + std::countr_zero(fresh))));
+    }
+    word |= b;
   }
 }
 
@@ -23,9 +94,11 @@ std::vector<delay_matrix::node_pair> delay_matrix::take_changed_pairs() {
   std::vector<node_pair> pairs;
   pairs.reserve(changed_.size());
   for (const std::size_t i : changed_) {
-    logged_[i] = false;
-    pairs.emplace_back(static_cast<ir::node_id>(i / n_),
-                       static_cast<ir::node_id>(i % n_));
+    const std::size_t u = i / n_;
+    const std::size_t v = i % n_;
+    logged_[u * words_per_row_ + (v >> 6)] &= ~(1ull << (v & 63));
+    pairs.emplace_back(static_cast<ir::node_id>(u),
+                       static_cast<ir::node_id>(v));
   }
   changed_.clear();
   return pairs;
@@ -36,24 +109,27 @@ delay_matrix delay_matrix::initial(
     const std::function<double(ir::node_id)>& node_delay) {
   const std::size_t n = g.num_nodes();
   delay_matrix d(n);
+  if (n == 0) {
+    return d;
+  }
   std::vector<float> delays(n);
   for (ir::node_id v = 0; v < n; ++v) {
     delays[v] = static_cast<float>(node_delay(v));
-    d.set(v, v, delays[v]);
   }
-  // Longest-path DP from every source; ids are topological.
-  std::vector<float> arrival(n);
+  // Longest-path DP from every source; ids are topological, so row u
+  // doubles as the arrival array (cells ahead of the sweep are still
+  // not_connected, exactly what an unreached arrival should read as).
+  const ir::flat_adjacency& adj = g.flat();
   for (ir::node_id u = 0; u < n; ++u) {
-    std::fill(arrival.begin(), arrival.end(), not_connected);
-    arrival[u] = delays[u];
+    float* row = d.row_mut(u).data();
+    row[u] = delays[u];
     for (ir::node_id w = u + 1; w < n; ++w) {
       float best = not_connected;
-      for (ir::node_id p : g.at(w).operands) {
-        best = std::max(best, arrival[p]);
+      for (const ir::node_id p : adj.operands(w)) {
+        best = std::max(best, row[p]);
       }
       if (best != not_connected) {
-        arrival[w] = best + delays[w];
-        d.set(u, w, arrival[w]);
+        row[w] = best + delays[w];
       }
     }
   }

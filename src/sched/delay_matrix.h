@@ -6,16 +6,27 @@
 // updates (Alg. 1 lines 10-14) and the reformulation (Alg. 2) live in
 // src/core.
 //
-// Change log: with track_changes(true), every set() that actually changes
-// an entry records the (u, v) pair; take_changed_pairs() hands the
+// Storage is row-major, and rows are the unit the hot kernels work in:
+// row()/row_mut() expose a contiguous row, set_row() replaces one row with
+// a word-at-a-time diff, and log_row_changes() folds a kernel-computed
+// change bitmap into the log after in-place row mutation.
+//
+// Change log: with track_changes(true), every mutation that actually
+// changes an entry records the (u, v) pair; take_changed_pairs() hands the
 // accumulated (deduplicated) pairs to a consumer and resets the log. The
 // incremental scheduler (scheduler_instance.h) uses this to re-emit only
 // the timing constraints whose matrix entries moved since the last solve.
+// The "already logged" state is a word-addressed bitmap (one row of
+// (n + 63) / 64 words per matrix row), not std::vector<bool>, so the
+// per-store test is a single shift/mask and row kernels can merge whole
+// words.
 #ifndef ISDC_SCHED_DELAY_MATRIX_H_
 #define ISDC_SCHED_DELAY_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -32,9 +43,13 @@ public:
   using node_pair = std::pair<ir::node_id, ir::node_id>;
 
   explicit delay_matrix(std::size_t n)
-      : n_(n), d_(n * n, not_connected) {}
+      : n_(n), words_per_row_((n + 63) / 64), d_(n * n, not_connected) {}
 
   std::size_t size() const { return n_; }
+
+  /// Words in one row of a per-row bitmap (bit v of word v / 64 stands for
+  /// column v), the layout log_row_changes() consumes.
+  std::size_t words_per_row() const { return words_per_row_; }
 
   float get(ir::node_id u, ir::node_id v) const { return d_[index(u, v)]; }
   void set(ir::node_id u, ir::node_id v, float delay) {
@@ -43,9 +58,8 @@ public:
       return;
     }
     d_[i] = delay;
-    if (tracking_ && !logged_[i]) {
-      logged_[i] = true;
-      changed_.push_back(i);
+    if (tracking_) {
+      log_cell(u, v);
     }
   }
   bool connected(ir::node_id u, ir::node_id v) const {
@@ -54,6 +68,31 @@ public:
 
   /// Individual node delay D[v][v].
   float self(ir::node_id v) const { return get(v, v); }
+
+  /// Row u (D[u][0..n)) as a contiguous span.
+  std::span<const float> row(ir::node_id u) const {
+    return {d_.data() + static_cast<std::size_t>(u) * n_, n_};
+  }
+
+  /// Mutable row u. Writing through this span bypasses the change log;
+  /// callers that mutate in place while tracking must report what they
+  /// changed via log_row_changes() (or use set_row()).
+  std::span<float> row_mut(ir::node_id u) {
+    return {d_.data() + static_cast<std::size_t>(u) * n_, n_};
+  }
+
+  /// Replaces row u with `values` (size n), diffing word-spans of 64
+  /// columns at a time; cells whose value actually changes are folded into
+  /// the change log in bulk, without the per-cell logged test set() pays.
+  /// When `changed` is non-null the changed (u, v) pairs are also appended
+  /// there, ascending in v, independent of tracking.
+  void set_row(ir::node_id u, std::span<const float> values,
+               std::vector<node_pair>* changed = nullptr);
+
+  /// Bulk change-log insert for kernels that mutated row u through
+  /// row_mut(): bit v of `bits` (words_per_row() words) marks column v as
+  /// changed. No-op when not tracking; bits past column n are ignored.
+  void log_row_changes(ir::node_id u, std::span<const std::uint64_t> bits);
 
   /// Turns the change log on or off. Turning it on (re)starts an empty
   /// log.
@@ -82,11 +121,24 @@ private:
     return static_cast<std::size_t>(u) * n_ + v;
   }
 
+  /// Marks one cell in the logged_ bitmap, appending to changed_ on the
+  /// first marking. Requires tracking_.
+  void log_cell(ir::node_id u, ir::node_id v) {
+    std::uint64_t& word =
+        logged_[static_cast<std::size_t>(u) * words_per_row_ + (v >> 6)];
+    const std::uint64_t bit = 1ull << (v & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      changed_.push_back(index(u, v));
+    }
+  }
+
   std::size_t n_ = 0;
+  std::size_t words_per_row_ = 0;
   std::vector<float> d_;
   bool tracking_ = false;
-  std::vector<bool> logged_;         ///< per-entry "already in changed_"
-  std::vector<std::size_t> changed_; ///< flat indices, insertion order
+  std::vector<std::uint64_t> logged_;  ///< row-aligned "already in changed_"
+  std::vector<std::size_t> changed_;   ///< flat indices, insertion order
 };
 
 }  // namespace isdc::sched

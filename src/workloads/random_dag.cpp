@@ -1,0 +1,84 @@
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+ir::graph build_random_dag(std::uint64_t seed, int num_ops,
+                           const random_dag_options& options) {
+  ISDC_CHECK(num_ops >= 1, "random dag needs at least one op");
+  ISDC_CHECK(options.num_inputs >= 1, "random dag needs at least one input");
+  ISDC_CHECK(options.layer_width >= 1, "layer_width must be positive");
+  ISDC_CHECK(options.fanin_window >= 1, "fanin_window must be positive");
+  ISDC_CHECK(options.width >= 1 && options.width <= 64,
+             "width must be in [1, 64]");
+
+  rng r(seed);
+  ir::graph g("random_dag_" + std::to_string(seed) + "_" +
+              std::to_string(num_ops));
+  ir::builder b(g);
+
+  // Layer 0 is the primary inputs; each op layer draws operands from the
+  // previous `fanin_window` layers, so layer_width controls breadth and
+  // fanin_window controls how quickly long combinational paths build up.
+  std::vector<std::vector<ir::node_id>> layers(1);
+  for (int i = 0; i < options.num_inputs; ++i) {
+    layers[0].push_back(b.input(options.width, "i" + std::to_string(i)));
+  }
+
+  std::vector<ir::node_id> pool;
+  const auto refill_pool = [&] {
+    pool.clear();
+    const std::size_t first =
+        layers.size() > static_cast<std::size_t>(options.fanin_window)
+            ? layers.size() - static_cast<std::size_t>(options.fanin_window)
+            : 0;
+    for (std::size_t l = first; l < layers.size(); ++l) {
+      pool.insert(pool.end(), layers[l].begin(), layers[l].end());
+    }
+  };
+
+  layers.emplace_back();
+  refill_pool();
+  for (int i = 0; i < num_ops; ++i) {
+    if (static_cast<int>(layers.back().size()) >= options.layer_width) {
+      layers.emplace_back();
+      refill_pool();
+    }
+    const ir::node_id x = pool[r.next_below(pool.size())];
+    const ir::node_id y = pool[r.next_below(pool.size())];
+    ir::node_id out;
+    if (r.next_bool(options.arith_fraction)) {
+      switch (r.next_below(3)) {
+        case 0: out = b.add(x, y); break;
+        case 1: out = b.sub(x, y); break;
+        default: out = b.mul(x, y); break;
+      }
+    } else {
+      switch (r.next_below(4)) {
+        case 0: out = b.band(x, y); break;
+        case 1: out = b.bor(x, y); break;
+        case 2: out = b.bxor(x, y); break;
+        default:
+          out = b.rotri(x, static_cast<std::uint32_t>(
+                               r.next_below(options.width)));
+          break;
+      }
+    }
+    layers.back().push_back(out);
+  }
+
+  // Every sink becomes a primary output, like the Table-I generators.
+  for (ir::node_id id = 0; id < g.num_nodes(); ++id) {
+    if (g.users(id).empty() && g.at(id).op != ir::opcode::constant) {
+      g.mark_output(id);
+    }
+  }
+  return g;
+}
+
+}  // namespace isdc::workloads

@@ -56,6 +56,23 @@ ir::graph build_ml_datapath2(int macs = 8);
 // datapaths.cpp.
 ir::graph build_internal_datapath(int steps = 24);
 
+// random_dag.cpp.
+/// Knobs for build_random_dag. Defaults give a wide, moderately deep
+/// datapath-flavoured DAG.
+struct random_dag_options {
+  std::uint32_t width = 16;     ///< bit width of every value
+  int num_inputs = 16;          ///< primary inputs feeding the first layer
+  int layer_width = 32;         ///< ops per layer (nodes / layer_width ~ depth)
+  int fanin_window = 2;         ///< how many preceding layers operands reach
+  double arith_fraction = 0.5;  ///< add/sub/mul share vs bitwise/rotate ops
+};
+
+/// Seed-deterministic layered DAG with `num_ops` operations over a mixed
+/// arithmetic/logic op set. Built for the 1k-10k-node shapes the kernel
+/// benches and differential tests sweep; not part of the Table-I registry.
+ir::graph build_random_dag(std::uint64_t seed, int num_ops,
+                           const random_dag_options& options = {});
+
 }  // namespace isdc::workloads
 
 #endif  // ISDC_WORKLOADS_REGISTRY_H_

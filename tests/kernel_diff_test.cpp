@@ -1,0 +1,241 @@
+// Differential tests for the locality-oriented reformulation kernels: the
+// panel-blocked Floyd-Warshall and the row-major Alg. 2 must be
+// bit-identical to the original scalar references — same matrix floats,
+// same set of changed pairs (the fast kernels deduplicate; the references
+// record every lowering), and the full ISDC loop must produce the same
+// schedules whichever implementation the update stage runs.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/delay_update.h"
+#include "core/downstream.h"
+#include "core/floyd_warshall.h"
+#include "core/isdc_scheduler.h"
+#include "core/reformulate.h"
+#include "ir/builder.h"
+#include "sched/delay_matrix.h"
+#include "sched/metrics.h"
+#include "support/rng.h"
+#include "test_util.h"
+#include "workloads/registry.h"
+
+namespace isdc::core {
+namespace {
+
+using sched::delay_matrix;
+using node_pair = delay_matrix::node_pair;
+
+/// Varied (non-uniform) per-op delays so compositions exercise distinct
+/// float values rather than multiples of one unit.
+delay_matrix varied_matrix(const ir::graph& g) {
+  return delay_matrix::initial(g, [&g](ir::node_id v) {
+    const ir::opcode op = g.at(v).op;
+    if (op == ir::opcode::input || op == ir::opcode::constant) {
+      return 0.0;
+    }
+    return 90.0 + 17.0 * static_cast<double>(v % 7);
+  });
+}
+
+/// Random feedback: lowers a few member-set cliques, as the ISDC loop's
+/// Alg. 1 update would, to give the reformulation real work.
+void apply_random_feedback(const ir::graph& g, delay_matrix& d, rng& r) {
+  std::vector<evaluated_subgraph> evals;
+  for (int e = 0; e < 4; ++e) {
+    evaluated_subgraph ev;
+    for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+      if (r.next_bool(0.25)) {
+        ev.members.push_back(v);
+      }
+    }
+    ev.delay_ps = 60.0 + 35.0 * static_cast<double>(e);
+    if (!ev.members.empty()) {
+      evals.push_back(ev);
+    }
+  }
+  update_delay_matrix(d, evals);
+}
+
+std::vector<node_pair> dedup(std::vector<node_pair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+/// Runs `fast` and `reference` on copies of `d` (both with tracking on) and
+/// checks: identical matrices, identical deduplicated changed-pair sets
+/// from both the return values and the change logs.
+template <typename Fast, typename Reference>
+void expect_kernels_match(const ir::graph& g, const delay_matrix& d,
+                          Fast fast, Reference reference,
+                          const char* context) {
+  delay_matrix fast_d = d;
+  delay_matrix ref_d = d;
+  fast_d.track_changes(true);
+  ref_d.track_changes(true);
+  const std::vector<node_pair> fast_pairs = fast(g, fast_d);
+  const std::vector<node_pair> ref_pairs = reference(g, ref_d);
+  EXPECT_TRUE(fast_d == ref_d) << context;
+  // The fast kernels return deduplicated sorted pairs; the references one
+  // record per lowering. Same set after dedup.
+  EXPECT_EQ(fast_pairs, dedup(fast_pairs)) << context;
+  EXPECT_EQ(fast_pairs, dedup(ref_pairs)) << context;
+  // The matrix's own change log agrees too (take_changed_pairs dedups).
+  EXPECT_EQ(fast_d.take_changed_pairs(), ref_d.take_changed_pairs())
+      << context;
+}
+
+TEST(KernelDiffTest, FloydWarshallMatchesReferenceOnSeededSweep) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng r(seed);
+    const ir::graph g = isdc::testing::random_graph(r, 4, 60, 8);
+    delay_matrix d = varied_matrix(g);
+    apply_random_feedback(g, d, r);
+    expect_kernels_match(g, d, reformulate_floyd_warshall,
+                         reformulate_floyd_warshall_reference,
+                         ("random_graph seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(KernelDiffTest, FloydWarshallMatchesReferenceOnRandomDags) {
+  // Layered DAGs past one 64-column word, so the word-at-a-time
+  // connectivity skipping crosses word boundaries.
+  for (std::uint64_t seed = 10; seed <= 12; ++seed) {
+    rng r(seed);
+    workloads::random_dag_options opts;
+    opts.layer_width = 24;
+    const ir::graph g = workloads::build_random_dag(seed, 180, opts);
+    delay_matrix d = varied_matrix(g);
+    apply_random_feedback(g, d, r);
+    expect_kernels_match(g, d, reformulate_floyd_warshall,
+                         reformulate_floyd_warshall_reference,
+                         ("random_dag seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(KernelDiffTest, Alg2MatchesReferenceOnSeededSweep) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng r(seed);
+    const ir::graph g = isdc::testing::random_graph(r, 4, 120, 8);
+    delay_matrix d = varied_matrix(g);
+    apply_random_feedback(g, d, r);
+    expect_kernels_match(g, d, reformulate_alg2, reformulate_alg2_reference,
+                         ("random_graph seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(KernelDiffTest, Alg2MatchesReferenceOnRandomDags) {
+  for (std::uint64_t seed = 20; seed <= 22; ++seed) {
+    rng r(seed);
+    workloads::random_dag_options opts;
+    opts.layer_width = 40;
+    opts.fanin_window = 3;
+    const ir::graph g = workloads::build_random_dag(seed, 400, opts);
+    delay_matrix d = varied_matrix(g);
+    apply_random_feedback(g, d, r);
+    expect_kernels_match(g, d, reformulate_alg2, reformulate_alg2_reference,
+                         ("random_dag seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(KernelDiffTest, KernelsMatchOnHandBuiltFillIn) {
+  // A chain with hand-lowered fill-in: entries strictly below every
+  // shortest composition, entries exactly at the existing value (no-op
+  // lowering), and a pair lowered twice. Exercises the "cur == composed"
+  // and re-take edges the random sweep may miss.
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  ir::node_id v = x;
+  std::vector<ir::node_id> chain{x};
+  for (int i = 0; i < 9; ++i) {
+    v = bl.bnot(v);
+    chain.push_back(v);
+  }
+  g.mark_output(v);
+  delay_matrix base = varied_matrix(g);
+  base.set(chain[1], chain[4], 50.0f);
+  base.set(chain[2], chain[7], 75.0f);
+  base.set(chain[2], chain[7], 60.0f);  // lowered twice
+  base.set(chain[0], chain[3], base.get(chain[0], chain[3]));  // no-op
+  expect_kernels_match(g, base, reformulate_floyd_warshall,
+                       reformulate_floyd_warshall_reference, "fill-in FW");
+  expect_kernels_match(g, base, reformulate_alg2, reformulate_alg2_reference,
+                       "fill-in Alg2");
+}
+
+TEST(KernelDiffTest, KernelsMatchWithoutTracking) {
+  // Tracking off: kernels must not touch the (absent) log and still agree.
+  rng r(33);
+  const ir::graph g = isdc::testing::random_graph(r, 4, 80, 8);
+  delay_matrix d = varied_matrix(g);
+  apply_random_feedback(g, d, r);
+  delay_matrix fw_fast = d, fw_ref = d, a2_fast = d, a2_ref = d;
+  const auto fw_pairs = reformulate_floyd_warshall(g, fw_fast);
+  const auto fw_ref_pairs = reformulate_floyd_warshall_reference(g, fw_ref);
+  EXPECT_TRUE(fw_fast == fw_ref);
+  EXPECT_EQ(fw_pairs, dedup(fw_ref_pairs));
+  const auto a2_pairs = reformulate_alg2(g, a2_fast);
+  const auto a2_ref_pairs = reformulate_alg2_reference(g, a2_ref);
+  EXPECT_TRUE(a2_fast == a2_ref);
+  EXPECT_EQ(a2_pairs, dedup(a2_ref_pairs));
+}
+
+/// Full-loop parity: run_isdc with the fast kernel vs its reference on a
+/// registry workload must visit identical schedules and matrices.
+void expect_isdc_parity(const workloads::workload_spec& spec,
+                        reformulation_mode fast, reformulation_mode ref) {
+  const ir::graph g = spec.build();
+  isdc_options opts;
+  opts.base.clock_period_ps = spec.clock_period_ps;
+  opts.max_iterations = 3;
+  opts.subgraphs_per_iteration = 4;
+  opts.num_threads = 1;  // deterministic evaluation order
+  aig_depth_downstream tool(80.0);
+
+  opts.reformulation = fast;
+  const isdc_result fast_result = run_isdc(g, tool, opts);
+  opts.reformulation = ref;
+  const isdc_result ref_result = run_isdc(g, tool, opts);
+
+  EXPECT_EQ(fast_result.initial, ref_result.initial) << spec.name;
+  EXPECT_EQ(fast_result.final_schedule, ref_result.final_schedule)
+      << spec.name;
+  EXPECT_TRUE(fast_result.delays == ref_result.delays) << spec.name;
+  ASSERT_EQ(fast_result.history.size(), ref_result.history.size())
+      << spec.name;
+  for (std::size_t i = 0; i < fast_result.history.size(); ++i) {
+    EXPECT_EQ(fast_result.history[i].register_bits,
+              ref_result.history[i].register_bits)
+        << spec.name << " iteration " << i;
+    EXPECT_EQ(fast_result.history[i].num_stages,
+              ref_result.history[i].num_stages)
+        << spec.name << " iteration " << i;
+  }
+}
+
+TEST(KernelDiffTest, IsdcAlg2ParityOnRegistryWorkloads) {
+  for (const char* name :
+       {"rrot", "hsv2rgb", "binary_divide", "ml_datapath1"}) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr) << name;
+    expect_isdc_parity(*spec, reformulation_mode::alg2,
+                       reformulation_mode::alg2_reference);
+  }
+}
+
+TEST(KernelDiffTest, IsdcFloydWarshallParityOnRegistryWorkloads) {
+  for (const char* name :
+       {"rrot", "hsv2rgb", "binary_divide", "ml_datapath1"}) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr) << name;
+    expect_isdc_parity(*spec, reformulation_mode::floyd_warshall,
+                       reformulation_mode::floyd_warshall_reference);
+  }
+}
+
+}  // namespace
+}  // namespace isdc::core

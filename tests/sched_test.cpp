@@ -317,6 +317,134 @@ TEST(DelayMatrixTest, ChangeLogTracksAndDeduplicates) {
   EXPECT_EQ(d.take_changed_pairs().size(), 1u);
 }
 
+TEST(DelayMatrixTest, TrackingOnOffAndRetake) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  bl.output(b);
+  delay_matrix d = uniform_matrix(g, 100.0);
+  EXPECT_FALSE(d.tracking_changes());
+
+  d.set(a, b, 150.0f);  // off: not logged
+  d.track_changes(true);
+  EXPECT_TRUE(d.take_changed_pairs().empty());
+  d.set(a, b, 140.0f);
+  d.track_changes(false);
+  d.set(x, b, 170.0f);  // off again: dropped, along with the pending log
+  d.track_changes(true);
+  EXPECT_TRUE(d.take_changed_pairs().empty());
+
+  // Re-take: a taken pair logs again on the next change.
+  d.set(a, b, 130.0f);
+  auto changed = d.take_changed_pairs();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], std::make_pair(a, b));
+  d.set(a, b, 120.0f);
+  changed = d.take_changed_pairs();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], std::make_pair(a, b));
+  EXPECT_TRUE(d.take_changed_pairs().empty());
+}
+
+TEST(DelayMatrixTest, RowSpansAliasTheMatrix) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  bl.output(b);
+  delay_matrix d = uniform_matrix(g, 100.0);
+  ASSERT_EQ(d.row(a).size(), g.num_nodes());
+  EXPECT_FLOAT_EQ(d.row(a)[b], d.get(a, b));
+  EXPECT_FLOAT_EQ(d.row(a)[a], d.self(a));
+  d.row_mut(a)[b] = 150.0f;  // in-place kernel-style write
+  EXPECT_FLOAT_EQ(d.get(a, b), 150.0f);
+}
+
+TEST(DelayMatrixTest, SetRowDiffsWordsAndLogsOnce) {
+  // A 70-node chain: each bitmap row spans two 64-bit words, so the diff
+  // and the change log cross a word boundary.
+  ir::graph g;
+  ir::builder bl(g);
+  ir::node_id v = bl.input(8, "x");
+  for (int i = 0; i < 69; ++i) {
+    v = bl.bnot(v);
+  }
+  bl.output(v);
+  delay_matrix d = uniform_matrix(g, 100.0);
+  ASSERT_EQ(d.words_per_row(), 2u);
+  d.track_changes(true);
+
+  std::vector<float> row(d.row(0).begin(), d.row(0).end());
+  row[10] -= 25.0f;
+  row[65] -= 50.0f;  // second word
+  std::vector<delay_matrix::node_pair> changed;
+  d.set_row(0, row, &changed);
+  ASSERT_EQ(changed.size(), 2u);
+  EXPECT_EQ(changed[0], std::make_pair(ir::node_id{0}, ir::node_id{10}));
+  EXPECT_EQ(changed[1], std::make_pair(ir::node_id{0}, ir::node_id{65}));
+  EXPECT_FLOAT_EQ(d.get(0, 10), row[10]);
+  EXPECT_FLOAT_EQ(d.get(0, 65), row[65]);
+
+  // Re-writing the identical row touches nothing.
+  changed.clear();
+  d.set_row(0, row, &changed);
+  EXPECT_TRUE(changed.empty());
+
+  // A second lowering of an already-logged cell reports through `changed`
+  // but stays deduplicated in the log.
+  row[10] -= 5.0f;
+  d.set_row(0, row, &changed);
+  ASSERT_EQ(changed.size(), 1u);
+  const auto logged = d.take_changed_pairs();
+  ASSERT_EQ(logged.size(), 2u);
+  EXPECT_EQ(logged[0], std::make_pair(ir::node_id{0}, ir::node_id{10}));
+  EXPECT_EQ(logged[1], std::make_pair(ir::node_id{0}, ir::node_id{65}));
+
+  // Without tracking, set_row still reports via the out-vector.
+  d.track_changes(false);
+  changed.clear();
+  row[20] -= 10.0f;
+  d.set_row(0, row, &changed);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], std::make_pair(ir::node_id{0}, ir::node_id{20}));
+  EXPECT_FLOAT_EQ(d.get(0, 20), row[20]);
+
+  // And the memcpy fast path (no tracking, no out-vector) just stores.
+  row[30] -= 10.0f;
+  d.set_row(0, row);
+  EXPECT_FLOAT_EQ(d.get(0, 30), row[30]);
+}
+
+TEST(DelayMatrixTest, LogRowChangesMergesBitmapAndMasksTail) {
+  ir::graph g;
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.bnot(x);
+  const ir::node_id b = bl.bnot(a);
+  bl.output(b);
+  delay_matrix d = uniform_matrix(g, 100.0);
+  ASSERT_EQ(d.words_per_row(), 1u);
+  d.track_changes(true);
+
+  // Kernel-style: mutate through row_mut, then report the bitmap — with
+  // garbage bits past column n, which must be ignored.
+  d.row_mut(a)[b] = 123.0f;
+  std::uint64_t bits = (1ull << b) | (1ull << 5) | (1ull << 63);
+  d.log_row_changes(a, {&bits, 1});
+  // Logging the same bit again stays deduplicated.
+  d.log_row_changes(a, {&bits, 1});
+  const auto changed = d.take_changed_pairs();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], std::make_pair(a, b));
+
+  // Not tracking: log_row_changes is a no-op, not an error.
+  d.track_changes(false);
+  d.log_row_changes(a, {&bits, 1});
+}
+
 /// Lowers a few random connected entries, as ISDC feedback would.
 void lower_random_entries(rng& r, const ir::graph& g, delay_matrix& d,
                           int count) {
