@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
     opts.max_iterations = flags.quick_int("max-iterations", 15, 3);
     opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
     opts.num_threads = flags.get_int("threads", 4);
+    opts.compute_threads = isdc::bench::threads_flag(flags);
     // An unoptimized AIG-depth oracle: real (depth-correlated) feedback at
     // negligible local compute, so the injected latency dominates each
     // call — the external-backend scenario the async pipeline exists for

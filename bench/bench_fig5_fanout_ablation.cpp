@@ -19,8 +19,8 @@ namespace {
 std::vector<std::int64_t> register_trajectory(
     const isdc::workloads::workload_spec& spec,
     isdc::extract::extraction_strategy strategy, int subgraphs,
-    int iterations, const isdc::synth::delay_model& model,
-    isdc::engine::engine& e) {
+    int iterations, int compute_threads,
+    const isdc::synth::delay_model& model, isdc::engine::engine& e) {
   const isdc::ir::graph g = spec.build();
   isdc::core::isdc_options opts;
   opts.base.clock_period_ps = spec.clock_period_ps;
@@ -30,6 +30,7 @@ std::vector<std::int64_t> register_trajectory(
   opts.subgraphs_per_iteration = subgraphs;
   opts.convergence_patience = iterations + 1;  // run the full curve
   opts.num_threads = 4;
+  opts.compute_threads = compute_threads;
   isdc::core::synthesis_downstream tool(opts.synth);
 
   // Best-so-far register usage per iteration (the paper plots the
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
     for (auto strategy : {isdc::extract::extraction_strategy::delay_driven,
                           isdc::extract::extraction_strategy::fanout_driven}) {
       curves.push_back(register_trajectory(*spec, strategy, m, iterations,
+                                           isdc::bench::threads_flag(flags),
                                            model, shared_engine));
       std::cerr << "done: m=" << m << " strategy="
                 << (strategy ==

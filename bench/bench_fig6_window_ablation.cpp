@@ -18,7 +18,7 @@ namespace {
 std::vector<std::int64_t> register_trajectory(
     const isdc::workloads::workload_spec& spec,
     isdc::extract::expansion_mode expansion, int subgraphs, int iterations,
-    const isdc::synth::delay_model& model) {
+    int compute_threads, const isdc::synth::delay_model& model) {
   const isdc::ir::graph g = spec.build();
   isdc::core::isdc_options opts;
   opts.base.clock_period_ps = spec.clock_period_ps;
@@ -28,6 +28,7 @@ std::vector<std::int64_t> register_trajectory(
   opts.subgraphs_per_iteration = subgraphs;
   opts.convergence_patience = iterations + 1;
   opts.num_threads = 4;
+  opts.compute_threads = compute_threads;
   isdc::core::synthesis_downstream tool(opts.synth);
   const isdc::core::isdc_result result =
       isdc::core::run_isdc(g, tool, opts, &model);
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
       header.push_back(std::string(mode_names[mode]) + " m=" +
                        std::to_string(m));
       curves.push_back(register_trajectory(*spec, modes[mode], m, iterations,
+                                           isdc::bench::threads_flag(flags),
                                            model));
       std::cerr << "done: m=" << m << " mode=" << mode_names[mode] << "\n";
     }

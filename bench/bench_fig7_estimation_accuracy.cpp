@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
     opts.convergence_patience = max_iterations + 1;  // full trajectory
     opts.num_threads = 4;
+    opts.compute_threads = isdc::bench::threads_flag(flags);
     opts.record_synthesized_delay = true;
     isdc::core::synthesis_downstream tool(opts.synth);
     const isdc::core::isdc_result result =

@@ -165,6 +165,15 @@ void BM_alg1_delay_update(benchmark::State& state) {
 }
 BENCHMARK(BM_alg1_delay_update)->Arg(64)->Arg(256);
 
+// The reformulation kernels grew parallel overloads; these wrappers pin
+// the serial forms so they can be passed as template arguments.
+constexpr auto serial_alg2 = [](const ir::graph& g, sched::delay_matrix& d) {
+  return core::reformulate_alg2(g, d);
+};
+constexpr auto serial_fw = [](const ir::graph& g, sched::delay_matrix& d) {
+  return core::reformulate_floyd_warshall(g, d);
+};
+
 /// Shared body of every reformulation benchmark: one matrix per graph,
 /// re-copied per iteration outside the timed region (the copy is setup —
 /// at 4096 nodes it is a 64 MB memcpy that would otherwise drown the
@@ -186,7 +195,7 @@ void reformulation_bench(benchmark::State& state, const ir::graph& g,
 
 void BM_alg2_reformulate(benchmark::State& state) {
   reformulation_bench(state, chain_graph(static_cast<int>(state.range(0))),
-                      core::reformulate_alg2);
+                      serial_alg2);
 }
 BENCHMARK(BM_alg2_reformulate)
     ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10240);
@@ -200,7 +209,7 @@ BENCHMARK(BM_alg2_reformulate_reference)->Arg(64)->Arg(256)->Arg(1024);
 void BM_alg2_reformulate_random(benchmark::State& state) {
   reformulation_bench(state,
                       random_dag_graph(static_cast<int>(state.range(0))),
-                      core::reformulate_alg2);
+                      serial_alg2);
 }
 BENCHMARK(BM_alg2_reformulate_random)->Arg(1024)->Arg(4096)->Arg(10240);
 
@@ -213,7 +222,7 @@ BENCHMARK(BM_alg2_reformulate_random_reference)->Arg(1024);
 
 void BM_floyd_warshall(benchmark::State& state) {
   reformulation_bench(state, chain_graph(static_cast<int>(state.range(0))),
-                      core::reformulate_floyd_warshall);
+                      serial_fw);
 }
 BENCHMARK(BM_floyd_warshall)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
@@ -226,7 +235,7 @@ BENCHMARK(BM_floyd_warshall_reference)->Arg(64)->Arg(256);
 void BM_floyd_warshall_random(benchmark::State& state) {
   reformulation_bench(state,
                       random_dag_graph(static_cast<int>(state.range(0))),
-                      core::reformulate_floyd_warshall);
+                      serial_fw);
 }
 BENCHMARK(BM_floyd_warshall_random)->Arg(1024)->Arg(4096);
 

@@ -1,0 +1,366 @@
+// Thread-sweep scoreboard for PR 7's in-design parallelism: how the
+// parallel delay kernels and the full zero-latency ISDC flow scale with
+// the compute-pool width, and — enforced, not just reported — that every
+// width produces bit-identical matrices and schedules.
+//
+// Two sections:
+//   1. Kernels: blocked Floyd-Warshall, Alg. 2 and the initial-matrix
+//      fill on a layered random DAG, timed at each thread count against
+//      the serial kernel, with matrix equality checked per width.
+//   2. End-to-end: the engine's full iterative flow (sync evaluation,
+//      in-process AIG-depth oracle, zero injected downstream latency, so
+//      the in-design compute — kernels, extraction, fingerprints — is the
+//      whole cost) on the largest registry workloads, with schedule
+//      parity checked against the serial run.
+//
+// The process exits non-zero on any parity mismatch, so CI smoke runs
+// double as bit-exactness checks on whatever machine they land on.
+//
+// Flags: --threads=N        top of the sweep (1,2,4,... up to N; default:
+//                           hardware_concurrency, at least 2)
+//        --reps=K           timing repetitions, best-of (default 3)
+//        --fw-nodes=N       random-DAG size for Floyd-Warshall (1024/256)
+//        --alg2-nodes=N     random-DAG size for Alg. 2 (4096/512)
+//        --max-iterations=N end-to-end iterations (default 10, quick 3)
+//        --subgraphs=M      per iteration (default 16, quick 4)
+//        --designs=D        largest-by-node-count workloads (default 3,
+//                           quick 1)
+//        --json=PATH        machine-readable artifact
+//        --csv              CSV instead of the aligned table
+//        --quick            CI smoke sizes
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/delay_update.h"
+#include "core/downstream.h"
+#include "core/floyd_warshall.h"
+#include "core/isdc_scheduler.h"
+#include "core/reformulate.h"
+#include "engine/engine.h"
+#include "sched/delay_matrix.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+using isdc::sched::delay_matrix;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// 1, 2, 4, ... doubling up to `max_threads` (always included).
+std::vector<int> sweep_points(int max_threads) {
+  std::vector<int> out;
+  for (int t = 1; t < max_threads; t *= 2) {
+    out.push_back(t);
+  }
+  out.push_back(max_threads);
+  return out;
+}
+
+/// Varied per-op delays (same shape as the differential tests), so the
+/// kernels compose distinct float values rather than one unit delay.
+delay_matrix varied_matrix(const isdc::ir::graph& g) {
+  return delay_matrix::initial(g, [&g](isdc::ir::node_id v) {
+    const isdc::ir::opcode op = g.at(v).op;
+    if (op == isdc::ir::opcode::input || op == isdc::ir::opcode::constant) {
+      return 0.0;
+    }
+    return 90.0 + 17.0 * static_cast<double>(v % 7);
+  });
+}
+
+/// Feedback-style perturbation: lowers a few member-set cliques so the
+/// reformulation has real work.
+void apply_random_feedback(const isdc::ir::graph& g, delay_matrix& d,
+                           isdc::rng& r) {
+  std::vector<isdc::core::evaluated_subgraph> evals;
+  for (int e = 0; e < 4; ++e) {
+    isdc::core::evaluated_subgraph ev;
+    for (isdc::ir::node_id v = 0; v < g.num_nodes(); ++v) {
+      if (r.next_bool(0.25)) {
+        ev.members.push_back(v);
+      }
+    }
+    ev.delay_ps = 60.0 + 35.0 * static_cast<double>(e);
+    if (!ev.members.empty()) {
+      evals.push_back(ev);
+    }
+  }
+  isdc::core::update_delay_matrix(d, evals);
+}
+
+struct timing {
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;  ///< serial seconds / this width's seconds
+  bool identical = true;
+};
+
+/// Times `run(pool)` best-of-`reps` at each sweep point; the 1-thread
+/// point passes nullptr (the serial path). `check(pool_result)` decides
+/// bit-identity against the serial result.
+template <typename Run, typename Check>
+std::vector<timing> sweep(const std::vector<int>& thread_counts, int reps,
+                          Run&& run, Check&& check) {
+  std::vector<timing> out;
+  double serial_seconds = 0.0;
+  for (const int t : thread_counts) {
+    std::optional<isdc::thread_pool> pool;
+    isdc::thread_pool* p = nullptr;
+    if (t > 1) {
+      pool.emplace(static_cast<std::size_t>(t));
+      p = &*pool;
+    }
+    timing row;
+    row.threads = t;
+    row.seconds = -1.0;
+    bool identical = true;
+    for (int r = 0; r < reps; ++r) {
+      const auto start = clock_type::now();
+      auto result = run(p);
+      const double s = seconds_since(start);
+      if (row.seconds < 0.0 || s < row.seconds) {
+        row.seconds = s;
+      }
+      identical = identical && check(result);
+    }
+    row.identical = identical;
+    if (t == 1) {
+      serial_seconds = row.seconds;
+    }
+    row.speedup = serial_seconds / std::max(row.seconds, 1e-12);
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const isdc::bench::flags flags(argc, argv);
+  const int hw =
+      std::max(1u, std::thread::hardware_concurrency());
+  const int max_threads =
+      std::max(1, flags.get_int("threads", std::max(2, hw)));
+  const std::vector<int> thread_counts = sweep_points(max_threads);
+  const int reps = flags.quick_int("reps", 3, 1);
+  const int fw_nodes = flags.quick_int("fw-nodes", 1024, 256);
+  const int alg2_nodes = flags.quick_int("alg2-nodes", 4096, 512);
+
+  isdc::text_table table;
+  table.set_header({"Section", "Workload", "Threads", "t(s)", "Speedup",
+                    "Bit-identical"});
+  isdc::bench::json_array kernel_rows;
+  int parity_mismatches = 0;
+
+  const auto record = [&](const std::string& section,
+                          const std::string& workload,
+                          const std::vector<timing>& rows,
+                          isdc::bench::json_array& sink) {
+    isdc::bench::json_array per_thread;
+    for (const timing& row : rows) {
+      table.add_row({section, workload, std::to_string(row.threads),
+                     isdc::format_double(row.seconds, 4),
+                     isdc::format_double(row.speedup, 2) + "x",
+                     row.identical ? "yes" : "NO"});
+      parity_mismatches += row.identical ? 0 : 1;
+      isdc::bench::json_object jt;
+      jt.set("threads", row.threads)
+          .set("seconds", row.seconds)
+          .set("speedup", row.speedup)
+          .set("bit_identical", row.identical);
+      per_thread.push_raw(jt.str());
+    }
+    isdc::bench::json_object entry;
+    entry.set("name", workload).set_raw("per_thread", per_thread.str());
+    sink.push_raw(entry.str());
+  };
+
+  // --- Section 1: kernels on a layered random DAG. -----------------------
+  {
+    const isdc::workloads::random_dag_options dag_opts;
+    const isdc::ir::graph fw_graph = isdc::workloads::build_random_dag(
+        42, fw_nodes - dag_opts.num_inputs, dag_opts);
+    const isdc::ir::graph alg2_graph = isdc::workloads::build_random_dag(
+        43, alg2_nodes - dag_opts.num_inputs, dag_opts);
+
+    // Identical perturbed starting matrix for every width and rep.
+    const auto perturbed = [](const isdc::ir::graph& g) {
+      delay_matrix d = varied_matrix(g);
+      isdc::rng r(7);
+      apply_random_feedback(g, d, r);
+      d.track_changes(true);
+      return d;
+    };
+    const delay_matrix fw_base = perturbed(fw_graph);
+    const delay_matrix alg2_base = perturbed(alg2_graph);
+
+    // Serial reference results, computed once.
+    delay_matrix fw_serial = fw_base;
+    isdc::core::reformulate_floyd_warshall(fw_graph, fw_serial);
+    delay_matrix alg2_serial = alg2_base;
+    isdc::core::reformulate_alg2(alg2_graph, alg2_serial);
+    const delay_matrix initial_serial = varied_matrix(alg2_graph);
+
+    record("floyd_warshall",
+           "random_dag n=" + std::to_string(fw_nodes),
+           sweep(
+               thread_counts, reps,
+               [&](isdc::thread_pool* p) {
+                 delay_matrix d = fw_base;
+                 isdc::core::reformulate_floyd_warshall(fw_graph, d, p);
+                 return d;
+               },
+               [&](const delay_matrix& d) { return d == fw_serial; }),
+           kernel_rows);
+    record("alg2",
+           "random_dag n=" + std::to_string(alg2_nodes),
+           sweep(
+               thread_counts, reps,
+               [&](isdc::thread_pool* p) {
+                 delay_matrix d = alg2_base;
+                 isdc::core::reformulate_alg2(alg2_graph, d, p);
+                 return d;
+               },
+               [&](const delay_matrix& d) { return d == alg2_serial; }),
+           kernel_rows);
+    record("initial_matrix",
+           "random_dag n=" + std::to_string(alg2_nodes),
+           sweep(
+               thread_counts, reps,
+               [&](isdc::thread_pool* p) {
+                 return delay_matrix::initial(
+                     alg2_graph,
+                     [&](isdc::ir::node_id v) {
+                       const isdc::ir::opcode op = alg2_graph.at(v).op;
+                       if (op == isdc::ir::opcode::input ||
+                           op == isdc::ir::opcode::constant) {
+                         return 0.0;
+                       }
+                       return 90.0 + 17.0 * static_cast<double>(v % 7);
+                     },
+                     p);
+               },
+               [&](const delay_matrix& d) { return d == initial_serial; }),
+           kernel_rows);
+  }
+
+  // --- Section 2: the full flow, compute-bound. --------------------------
+  // Zero injected latency and an in-process oracle make the in-design
+  // compute the entire cost, so the sweep isolates what the parallel
+  // stages buy. Fresh engine per run: every width starts from a cold
+  // cache, and a run's own cache warming is part of what is timed.
+  isdc::bench::json_array e2e_rows;
+  {
+    const int designs = flags.quick_int("designs", 3, 1);
+    std::vector<const isdc::workloads::workload_spec*> specs;
+    for (const isdc::workloads::workload_spec& spec :
+         isdc::workloads::all_workloads()) {
+      specs.push_back(&spec);
+    }
+    std::vector<isdc::ir::graph> graphs;
+    graphs.reserve(specs.size());
+    for (const auto* spec : specs) {
+      graphs.push_back(spec->build());
+    }
+    // Largest first: the big designs are where scaling matters.
+    std::vector<std::size_t> order(specs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return graphs[a].num_nodes() > graphs[b].num_nodes();
+    });
+    order.resize(std::min<std::size_t>(
+        order.size(), static_cast<std::size_t>(std::max(1, designs))));
+
+    isdc::core::isdc_options opts;
+    opts.max_iterations = flags.quick_int("max-iterations", 10, 3);
+    opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
+    opts.num_threads = 1;        // serial evaluation: compute dominates
+    opts.async_evaluation = false;
+    isdc::synth::synthesis_options cheap;
+    cheap.opt_rounds = 0;
+    cheap.use_rewrite = false;
+    cheap.use_refactor = false;
+    opts.synth = cheap;
+    const isdc::core::aig_depth_downstream oracle(80.0, 0.0, cheap);
+    isdc::synth::delay_model model(opts.synth);
+
+    for (const std::size_t i : order) {
+      isdc::core::isdc_options run_opts = opts;
+      run_opts.base.clock_period_ps = specs[i]->clock_period_ps;
+      isdc::core::isdc_result serial;
+      bool have_serial = false;
+      record("end_to_end", specs[i]->name,
+             sweep(
+                 thread_counts, reps,
+                 [&](isdc::thread_pool* p) {
+                   isdc::engine::engine e;
+                   return e.run(graphs[i], oracle, run_opts, &model,
+                                nullptr, p);
+                 },
+                 [&](const isdc::core::isdc_result& r) {
+                   if (!have_serial) {
+                     serial = r;
+                     have_serial = true;
+                     return true;
+                   }
+                   return r.final_schedule == serial.final_schedule &&
+                          r.initial == serial.initial &&
+                          r.delays == serial.delays &&
+                          r.iterations == serial.iterations;
+                 }),
+             e2e_rows);
+      std::cerr << "done: " << specs[i]->name << " ("
+                << graphs[i].num_nodes() << " nodes)\n";
+    }
+  }
+
+  std::cout << "=== Parallel in-design iteration: thread sweep ===\n";
+  std::cout << "(threads";
+  for (const int t : thread_counts) {
+    std::cout << " " << t;
+  }
+  std::cout << ", best of " << reps << ", hardware_concurrency=" << hw
+            << ")\n\n";
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nParity: "
+            << (parity_mismatches == 0
+                    ? "every width bit-identical to serial"
+                    : std::to_string(parity_mismatches) +
+                          " row(s) differ from serial")
+            << "\n";
+
+  isdc::bench::json_object root;
+  isdc::bench::json_array counts;
+  for (const int t : thread_counts) {
+    counts.push_raw(std::to_string(t));
+  }
+  root.set("bench", "parallel_scaling")
+      .set("reps", reps)
+      .set_raw("thread_counts", counts.str())
+      .set("parity_mismatches", parity_mismatches)
+      .set_raw("kernels", kernel_rows.str())
+      .set_raw("end_to_end", e2e_rows.str());
+  if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
+    return 1;
+  }
+  return parity_mismatches == 0 ? 0 : 1;
+}

@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
     opts.max_iterations = flags.quick_int("max-iterations", 15, 3);
     opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 16, 4);
     opts.num_threads = flags.get_int("threads", 4);
+    opts.compute_threads = isdc::bench::threads_flag(flags);
     opts.async_evaluation = flags.has("async");
 
     // Pre-warm the characterization cache so scheduling times measure

@@ -12,8 +12,13 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "backend/subprocess_tool.h"
 #include "sched/schedule.h"
@@ -190,18 +195,55 @@ inline json_object subprocess_counters_json(
   return out;
 }
 
+/// Peak resident set size of this process in KiB (ru_maxrss is KiB on
+/// Linux, bytes on macOS — normalized here); -1 where unsupported.
+inline std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(usage.ru_maxrss) / 1024;
+#else
+    return static_cast<std::int64_t>(usage.ru_maxrss);
+#endif
+  }
+#endif
+  return -1;
+}
+
+/// The --threads=N flag, shared by every bench: the in-design compute
+/// width fed to isdc_options::compute_threads. Absent = 1 (serial, the
+/// historical behavior); 0 = the process default pool
+/// (hardware_concurrency / ISDC_THREADS); N > 1 = N threads.
+inline int threads_flag(const flags& f) { return f.get_int("threads", 1); }
+
+/// Execution-context block stamped into every JSON artifact: peak RSS,
+/// the --threads setting and the host's hardware concurrency, so perf
+/// numbers in CI artifacts are interpretable after the fact.
+inline json_object runtime_json(const flags& f) {
+  json_object rt;
+  rt.set("peak_rss_kb", peak_rss_kb());
+  rt.set("threads", threads_flag(f));
+  rt.set("hardware_concurrency",
+         static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  return rt;
+}
+
 /// Writes `root` to the path given by --json=<path>; no-op without the
 /// flag. Returns false (and complains on stderr) when the file cannot be
 /// written, so benches can fail CI instead of silently dropping the
-/// artifact.
+/// artifact. A "runtime" block (peak RSS, thread count, hardware
+/// concurrency) is appended to every artifact.
 inline bool write_json_artifact(const flags& f, const json_object& root,
                                 std::ostream& err) {
   const std::string path = f.get("json", "");
   if (path.empty()) {
     return true;
   }
+  json_object enriched = root;
+  enriched.set_raw("runtime", runtime_json(f).str());
   std::ofstream out(path);
-  out << root.str() << "\n";
+  out << enriched.str() << "\n";
   out.flush();  // surface buffered-write failures before the check
   if (!out) {
     err << "failed to write JSON artifact: " << path << "\n";

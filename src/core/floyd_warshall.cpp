@@ -5,6 +5,7 @@
 
 #include "core/row_bitset.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace isdc::core {
 
@@ -39,6 +40,39 @@ void relax_row(float* rowu, const float* roww, const std::uint64_t* connw,
           (second != nc) & ((cur == nc) | (composed < cur));
       rowu[v] = better ? composed : cur;
     }
+  }
+}
+
+/// relax_row plus incremental change recording into the row's bitmap
+/// words. A bit is set only when the write actually changes the stored
+/// value (`composed != cur` — `better` alone is not enough: a composition
+/// can coincidentally equal not_connected and "lower" an unconnected cell
+/// onto its own bits). Since relaxations only ever lower a cell, some
+/// recording event fires iff the final value differs from the pristine
+/// one, which is exactly the serial kernel's before/after row diff.
+void relax_row_logged(float* rowu, const float* roww,
+                      const std::uint64_t* connw, float first, float self,
+                      std::size_t w, std::size_t n, std::uint64_t* bitsu) {
+  constexpr float nc = delay_matrix::not_connected;
+  const std::size_t words = (n + 63) >> 6;
+  for (std::size_t k = w >> 6; k < words; ++k) {
+    if (connw[k] == 0) {
+      continue;
+    }
+    const std::size_t lo = std::max(k << 6, w);
+    const std::size_t hi = std::min(n, (k + 1) << 6);
+    std::uint64_t cbits = 0;
+    for (std::size_t v = lo; v < hi; ++v) {
+      const float second = roww[v];
+      const float composed = first + second - self;
+      const float cur = rowu[v];
+      const bool better =
+          (second != nc) & ((cur == nc) | (composed < cur));
+      rowu[v] = better ? composed : cur;
+      cbits |= static_cast<std::uint64_t>(better & (composed != cur))
+               << (v & 63);
+    }
+    bitsu[k] |= cbits;
   }
 }
 
@@ -105,6 +139,86 @@ std::vector<sched::delay_matrix::node_pair> reformulate_floyd_warshall(
                         << (v & 63);
       }
     }
+  }
+
+  if (d.tracking_changes()) {
+    for (std::size_t u = 0; u < n; ++u) {
+      d.log_row_changes(static_cast<ir::node_id>(u),
+                        {changed_bits.data() + u * wpr, wpr});
+    }
+  }
+  detail::append_pairs_from_bitmap(changed_bits, n, wpr, changed);
+  return changed;
+}
+
+// The parallel kernel restructures the sweep pivot-block-outer so rows can
+// be partitioned across threads without ever reading a row another thread
+// writes. For a pivot block W = [w0, w1): rows in W are mutated only by
+// pivots >= their own index — all inside or after W — so at the head of
+// the block they are still pristine and one kB x n snapshot captures
+// exactly the operand bits every relaxation against W needs (including
+// the aliased u == w self-step, whose per-lane reads match the in-place
+// order because no lane reads another lane's cell). Each target row
+// u < w1 then applies pivots max(w0, u)..w1-1 ascending against the
+// snapshot; across ascending blocks that is the same per-row pivot
+// sequence u..n-1 the serial kernel and the reference perform, on the
+// same operand bits, so the result is bit-identical at any thread count
+// and any panel partition. Change bits are accumulated into row-owned
+// bitmap words by relax_row_logged and folded into the matrix change log
+// serially afterwards.
+std::vector<sched::delay_matrix::node_pair> reformulate_floyd_warshall(
+    const ir::graph& g, sched::delay_matrix& d, thread_pool* pool) {
+  if (pool == nullptr || pool->size() <= 1) {
+    return reformulate_floyd_warshall(g, d);
+  }
+  const std::size_t n = g.num_nodes();
+  ISDC_CHECK(d.size() == n, "matrix size mismatch");
+  std::vector<sched::delay_matrix::node_pair> changed;
+  if (n == 0) {
+    return changed;
+  }
+  constexpr float nc = delay_matrix::not_connected;
+  // kPivotBlock trades snapshot/barrier overhead against target-row
+  // re-streaming (each row is re-fetched once per block); 64 keeps the
+  // snapshot (64 x n floats, ~1 MB at n = 4096) comfortably shared-cache
+  // resident. kPanel matches the serial kernel's panel height: panels are
+  // the static work unit handed to parallel_for, so the partition is a
+  // pure function of n, never of the thread count.
+  constexpr std::size_t kPivotBlock = 64;
+  constexpr std::size_t kPanel = 16;
+  const std::size_t wpr = d.words_per_row();
+
+  std::vector<std::uint64_t> conn(n * wpr, 0);
+  detail::build_connectivity(d, conn);
+
+  std::vector<std::uint64_t> changed_bits(n * wpr, 0);
+  std::vector<float> piv(std::min(kPivotBlock, n) * n);
+
+  for (std::size_t w0 = 0; w0 < n; w0 += kPivotBlock) {
+    const std::size_t w1 = std::min(n, w0 + kPivotBlock);
+    for (std::size_t w = w0; w < w1; ++w) {
+      std::memcpy(piv.data() + (w - w0) * n,
+                  d.row(static_cast<ir::node_id>(w)).data(),
+                  n * sizeof(float));
+    }
+    const std::size_t panels = (w1 + kPanel - 1) / kPanel;
+    pool->parallel_for(panels, [&](std::size_t p) {
+      const std::size_t u0 = p * kPanel;
+      const std::size_t u1 = std::min(w1, u0 + kPanel);
+      for (std::size_t u = u0; u < u1; ++u) {
+        float* rowu = d.row_mut(static_cast<ir::node_id>(u)).data();
+        std::uint64_t* bitsu = changed_bits.data() + u * wpr;
+        for (std::size_t w = std::max(w0, u); w < w1; ++w) {
+          const float first = rowu[w];
+          if (first == nc) {
+            continue;
+          }
+          const float* roww = piv.data() + (w - w0) * n;
+          relax_row_logged(rowu, roww, conn.data() + w * wpr, first,
+                           roww[w], w, n, bitsu);
+        }
+      }
+    });
   }
 
   if (d.tracking_changes()) {

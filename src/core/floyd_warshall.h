@@ -15,6 +15,10 @@
 
 #include "sched/delay_matrix.h"
 
+namespace isdc {
+class thread_pool;
+}
+
 namespace isdc::core {
 
 /// Applies the exact reformulation in place, blocked for memory locality:
@@ -25,6 +29,16 @@ namespace isdc::core {
 /// deduplicated and sorted.
 std::vector<sched::delay_matrix::node_pair> reformulate_floyd_warshall(
     const ir::graph& g, sched::delay_matrix& d);
+
+/// Thread-parallel variant, bit-identical to the serial kernel (and the
+/// reference) at any pool width: pivot rows are snapshotted pristine one
+/// pivot block at a time, making every target row's relaxation sequence
+/// independent of the others (see the proof in floyd_warshall.cpp), so
+/// target-row panels are statically partitioned over pool->parallel_for.
+/// Change-log bitmap words are row-owned, so no atomics are involved.
+/// pool == nullptr (or a 1-thread pool) falls back to the serial kernel.
+std::vector<sched::delay_matrix::node_pair> reformulate_floyd_warshall(
+    const ir::graph& g, sched::delay_matrix& d, thread_pool* pool);
 
 /// The original cell-at-a-time triple loop; same matrix afterwards, but
 /// returns one record per lowering (duplicates possible). Reference for

@@ -43,6 +43,14 @@ struct isdc_options {
   int subgraphs_per_iteration = 16;
   int convergence_patience = 2;       ///< stable iterations before stopping
   int num_threads = 4;                ///< parallel subgraph evaluations
+  /// Width of the in-design *compute* pool — the one that parallelizes the
+  /// scheduling iteration itself (delay-matrix kernels, candidate
+  /// enumeration/ranking, cone expansion, fingerprinting) — distinct from
+  /// num_threads, which sizes downstream evaluation. 1 = serial (default);
+  /// 0 = the process-wide default pool (hardware_concurrency, ISDC_THREADS
+  /// override); N > 1 = a private pool of N threads. Every setting
+  /// produces bit-identical schedules and matrices.
+  int compute_threads = 1;
   bool record_synthesized_delay = false;  ///< per-iteration STA (Fig. 7)
   /// Asynchronous pipelined evaluation: the evaluate stage dispatches cache
   /// misses to a wide I/O pool and returns immediately; the update stage

@@ -8,6 +8,7 @@
 #include "core/row_bitset.h"
 #include "ir/adjacency.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace isdc::core {
 
@@ -249,23 +250,27 @@ void edge_scan_generic(const ir::flat_adjacency& adj, const float* selfs,
 /// the reference — streaming each user row contiguously. The merge writes
 /// row u in place and records changed columns in a byte mask (branchless,
 /// auto-vectorizable), folded into the change bitmap afterwards.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 // Resolve the hottest loops to AVX2 code at load time when the CPU has
 // it: the baseline x86-64 build only assumes SSE2, and the 4-lane vector
 // panels plus the streaming row merges all double their width under
-// -mavx2 for free.
+// -mavx2 for free. Not under TSan: target_clones emits IFUNCs, whose
+// resolvers run during relocation — before libtsan's initializer — and
+// the instrumented prologue faults in __tsan_func_entry. The baseline
+// build is what the race detector wants to see anyway.
 #define ISDC_HOT_CLONES __attribute__((target_clones("default", "avx2")))
 #else
 #define ISDC_HOT_CLONES
 #endif
 
 ISDC_HOT_CLONES
-void reverse_row(const ir::flat_adjacency& adj, const float* selfs,
+bool reverse_row(const ir::flat_adjacency& adj, const float* selfs,
                  delay_matrix& d, ir::node_id u, std::size_t n, float* du,
-                 unsigned char* mask, std::uint64_t* bits, std::size_t wpr) {
+                 unsigned char* mask, std::uint64_t* bits) {
   const auto users = adj.users(u);
   if (users.empty()) {
-    return;
+    return false;
   }
   const float self = selfs[u];
   float* row = d.row_mut(u).data();
@@ -325,9 +330,145 @@ void reverse_row(const ir::flat_adjacency& adj, const float* selfs,
       any = pack_mask_into_bits(mask + u + 1, u + 1, n - u - 1, bits);
     }
   }
-  if (any) {
-    d.log_row_changes(u, {bits, wpr});
+  return any;
+}
+
+/// Forward pass over one kLanes-row panel: transpose the rows into `bf`
+/// (kLanes * n floats, 64-byte aligned), run the edge scan, transpose
+/// back, and fold the per-column change bytes into the rows' change-bitmap
+/// words. Reads and writes nothing outside the panel's own rows (plus the
+/// shared read-only selfs/adjacency), so panels can run concurrently; the
+/// caller decides when to log. `any` (kLanes flags) reports which rows
+/// changed.
+ISDC_HOT_CLONES
+void forward_panel(const ir::flat_adjacency& adj, const float* selfs,
+                   delay_matrix& d, std::size_t u0, std::size_t n,
+                   std::size_t wpr, std::uint64_t* changed_bits, float* bf,
+                   std::uint64_t* cmask, bool* any) {
+  float* rows[kLanes];
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    rows[i] = d.row_mut(static_cast<ir::node_id>(u0 + i)).data();
   }
+  // Panel load: 4x4 block transpose so both the row reads and the
+  // buffer writes are full vector width (u0 is kLanes-aligned, so the
+  // block start is too; only the final n % 4 columns go element-wise).
+  std::size_t v = u0;
+  for (; v + 4 <= n; v += 4) {
+    for (std::size_t q = 0; q < kLanes; q += 4) {
+      vf4 a, b, c, e;
+      std::memcpy(&a, rows[q + 0] + v, sizeof(a));
+      std::memcpy(&b, rows[q + 1] + v, sizeof(b));
+      std::memcpy(&c, rows[q + 2] + v, sizeof(c));
+      std::memcpy(&e, rows[q + 3] + v, sizeof(e));
+      transpose4(a, b, c, e);
+      std::memcpy(bf + (v + 0) * kLanes + q, &a, sizeof(a));
+      std::memcpy(bf + (v + 1) * kLanes + q, &b, sizeof(b));
+      std::memcpy(bf + (v + 2) * kLanes + q, &c, sizeof(c));
+      std::memcpy(bf + (v + 3) * kLanes + q, &e, sizeof(e));
+    }
+  }
+  for (; v < n; ++v) {
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      bf[v * kLanes + i] = rows[i][v];
+    }
+  }
+#if defined(ISDC_X86_GCC)
+  if (__builtin_cpu_supports("avx2") != 0) {
+    edge_scan_avx2(adj, selfs, bf, cmask, u0, n);
+  } else {
+    edge_scan_generic(adj, selfs, bf, cmask, u0, n);
+  }
+#else
+  edge_scan_generic(adj, selfs, bf, cmask, u0, n);
+#endif
+  // Panel store: the same block transpose back into the rows. Columns
+  // below u0 + 1 were never touched by the edge scan, so copying the
+  // whole panel back is a plain overwrite with identical values there.
+  v = u0;
+  for (; v + 4 <= n; v += 4) {
+    for (std::size_t q = 0; q < kLanes; q += 4) {
+      vf4 a, b, c, e;
+      std::memcpy(&a, bf + (v + 0) * kLanes + q, sizeof(a));
+      std::memcpy(&b, bf + (v + 1) * kLanes + q, sizeof(b));
+      std::memcpy(&c, bf + (v + 2) * kLanes + q, sizeof(c));
+      std::memcpy(&e, bf + (v + 3) * kLanes + q, sizeof(e));
+      transpose4(a, b, c, e);
+      std::memcpy(rows[q + 0] + v, &a, sizeof(a));
+      std::memcpy(rows[q + 1] + v, &b, sizeof(b));
+      std::memcpy(rows[q + 2] + v, &c, sizeof(c));
+      std::memcpy(rows[q + 3] + v, &e, sizeof(e));
+    }
+  }
+  for (; v < n; ++v) {
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      rows[i][v] = bf[v * kLanes + i];
+    }
+  }
+  // Fold the change bytes (0x00 / 0xff per lane) into per-lane
+  // change-bitmap words, 64 columns at a time.
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    any[i] = false;
+  }
+  for (std::size_t k = (u0 + 1) / 64; k < wpr; ++k) {
+    const std::size_t lo = k * 64;
+    const std::size_t hi = std::min(n, lo + 64);
+    std::uint64_t acc[kLanes] = {};
+    for (std::size_t c = std::max(lo, u0 + 1); c < hi; ++c) {
+      for (std::size_t w = 0; w < kMaskWords; ++w) {
+        const std::uint64_t x = cmask[kMaskWords * c + w];
+        if (x == 0) {
+          continue;
+        }
+        for (std::size_t j = 0; j < 8; ++j) {
+          acc[8 * w + j] |= ((x >> (8 * j)) & 1ull) << (c - lo);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      changed_bits[(u0 + i) * wpr + k] |= acc[i];
+      any[i] |= acc[i] != 0;
+    }
+  }
+}
+
+/// Per-thread scratch for the parallel kernel: the transposed panel
+/// buffer and change-byte mask of the forward pass, and the accumulator
+/// row plus byte mask of the reverse merge. Thread-local so concurrent
+/// panel/row tasks never share storage; grown on demand and reused across
+/// calls.
+struct alg2_scratch {
+  std::vector<float> buf;
+  std::vector<std::uint64_t> cmask;
+  std::vector<float> du;
+  std::vector<unsigned char> mask;
+
+  float* aligned_bf(std::size_t n) {
+    if (buf.size() < kLanes * n + 16) {
+      buf.resize(kLanes * n + 16);
+    }
+    if (cmask.size() < kMaskWords * n) {
+      cmask.resize(kMaskWords * n);
+    }
+    return reinterpret_cast<float*>(
+        (reinterpret_cast<std::uintptr_t>(buf.data()) + 63) &
+        ~static_cast<std::uintptr_t>(63));
+  }
+
+  void ensure_reverse(std::size_t n) {
+    if (du.size() < n) {
+      du.resize(n);
+    }
+    if (mask.size() < n + 8) {
+      // assign (not resize) so the 8 padding bytes past n stay zero: the
+      // mask pack reads them word-at-a-time.
+      mask.assign(n + 8, 0);
+    }
+  }
+};
+
+alg2_scratch& tl_alg2_scratch() {
+  static thread_local alg2_scratch s;
+  return s;
 }
 
 }  // namespace
@@ -375,8 +516,10 @@ std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
   }
   for (ir::node_id u = static_cast<ir::node_id>(n);
        u-- > static_cast<ir::node_id>(panel_rows);) {
-    reverse_row(adj, selfs.data(), d, u, n, du.data(), mask.data(),
-                changed_bits.data() + u * wpr, wpr);
+    if (reverse_row(adj, selfs.data(), d, u, n, du.data(), mask.data(),
+                    changed_bits.data() + u * wpr)) {
+      d.log_row_changes(u, {changed_bits.data() + u * wpr, wpr});
+    }
   }
 
   // Forward pass, kLanes rows per panel, through a transposed n x kLanes
@@ -401,93 +544,11 @@ std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
   float* bf = reinterpret_cast<float*>(
       (reinterpret_cast<std::uintptr_t>(buf.data()) + 63) &
       ~static_cast<std::uintptr_t>(63));
-#if defined(ISDC_X86_GCC)
-  const bool have_avx2 = __builtin_cpu_supports("avx2") != 0;
-#endif
   for (std::size_t u0 = panel_rows; u0 != 0;) {
     u0 -= kLanes;
-    float* rows[kLanes];
-    for (std::size_t i = 0; i < kLanes; ++i) {
-      rows[i] = d.row_mut(static_cast<ir::node_id>(u0 + i)).data();
-    }
-    // Panel load: 4x4 block transpose so both the row reads and the
-    // buffer writes are full vector width (u0 is kLanes-aligned, so the
-    // block start is too; only the final n % 4 columns go element-wise).
-    std::size_t v = u0;
-    for (; v + 4 <= n; v += 4) {
-      for (std::size_t q = 0; q < kLanes; q += 4) {
-        vf4 a, b, c, e;
-        std::memcpy(&a, rows[q + 0] + v, sizeof(a));
-        std::memcpy(&b, rows[q + 1] + v, sizeof(b));
-        std::memcpy(&c, rows[q + 2] + v, sizeof(c));
-        std::memcpy(&e, rows[q + 3] + v, sizeof(e));
-        transpose4(a, b, c, e);
-        std::memcpy(bf + (v + 0) * kLanes + q, &a, sizeof(a));
-        std::memcpy(bf + (v + 1) * kLanes + q, &b, sizeof(b));
-        std::memcpy(bf + (v + 2) * kLanes + q, &c, sizeof(c));
-        std::memcpy(bf + (v + 3) * kLanes + q, &e, sizeof(e));
-      }
-    }
-    for (; v < n; ++v) {
-      for (std::size_t i = 0; i < kLanes; ++i) {
-        bf[v * kLanes + i] = rows[i][v];
-      }
-    }
-#if defined(ISDC_X86_GCC)
-    if (have_avx2) {
-      edge_scan_avx2(adj, selfs.data(), bf, cmask.data(), u0, n);
-    } else {
-      edge_scan_generic(adj, selfs.data(), bf, cmask.data(), u0, n);
-    }
-#else
-    edge_scan_generic(adj, selfs.data(), bf, cmask.data(), u0, n);
-#endif
-    // Panel store: the same block transpose back into the rows. Columns
-    // below u0 + 1 were never touched by the edge scan, so copying the
-    // whole panel back is a plain overwrite with identical values there.
-    v = u0;
-    for (; v + 4 <= n; v += 4) {
-      for (std::size_t q = 0; q < kLanes; q += 4) {
-        vf4 a, b, c, e;
-        std::memcpy(&a, bf + (v + 0) * kLanes + q, sizeof(a));
-        std::memcpy(&b, bf + (v + 1) * kLanes + q, sizeof(b));
-        std::memcpy(&c, bf + (v + 2) * kLanes + q, sizeof(c));
-        std::memcpy(&e, bf + (v + 3) * kLanes + q, sizeof(e));
-        transpose4(a, b, c, e);
-        std::memcpy(rows[q + 0] + v, &a, sizeof(a));
-        std::memcpy(rows[q + 1] + v, &b, sizeof(b));
-        std::memcpy(rows[q + 2] + v, &c, sizeof(c));
-        std::memcpy(rows[q + 3] + v, &e, sizeof(e));
-      }
-    }
-    for (; v < n; ++v) {
-      for (std::size_t i = 0; i < kLanes; ++i) {
-        rows[i][v] = bf[v * kLanes + i];
-      }
-    }
-    // Fold the change bytes (0x00 / 0xff per lane) into per-lane
-    // change-bitmap words, 64 columns at a time.
-    bool any[kLanes] = {};
-    for (std::size_t k = (u0 + 1) / 64; k < wpr; ++k) {
-      const std::size_t lo = k * 64;
-      const std::size_t hi = std::min(n, lo + 64);
-      std::uint64_t acc[kLanes] = {};
-      for (std::size_t c = std::max(lo, u0 + 1); c < hi; ++c) {
-        for (std::size_t w = 0; w < kMaskWords; ++w) {
-          const std::uint64_t x = cmask[kMaskWords * c + w];
-          if (x == 0) {
-            continue;
-          }
-          for (std::size_t j = 0; j < 8; ++j) {
-            acc[8 * w + j] |= ((x >> (8 * j)) & 1ull) << (c - lo);
-          }
-        }
-      }
-      for (std::size_t i = 0; i < kLanes; ++i) {
-        changed_bits[(u0 + i) * wpr + k] |= acc[i];
-        any[i] |= acc[i] != 0;
-      }
-    }
+    bool any[kLanes];
+    forward_panel(adj, selfs.data(), d, u0, n, wpr, changed_bits.data(),
+                  bf, cmask.data(), any);
     for (std::size_t i = 0; i < kLanes; ++i) {
       const ir::node_id u = static_cast<ir::node_id>(u0 + i);
       if (any[i]) {
@@ -496,11 +557,118 @@ std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
     }
     for (std::size_t i = kLanes; i-- > 0;) {
       const ir::node_id u = static_cast<ir::node_id>(u0 + i);
-      reverse_row(adj, selfs.data(), d, u, n, du.data(), mask.data(),
-                  changed_bits.data() + u * wpr, wpr);
+      if (reverse_row(adj, selfs.data(), d, u, n, du.data(), mask.data(),
+                      changed_bits.data() + u * wpr)) {
+        d.log_row_changes(u, {changed_bits.data() + u * wpr, wpr});
+      }
     }
   }
 
+  detail::append_pairs_from_bitmap(changed_bits, n, wpr, changed);
+  return changed;
+}
+
+// The parallel kernel un-fuses the sweep into a full forward pass then a
+// full reverse pass — documented bit-identical to the fused order above —
+// because the two parallelize along different axes. Forward: a panel (or
+// scalar tail row) reads and writes nothing but its own rows plus the
+// shared diagonal snapshot, so panels partition over the pool with no
+// ordering constraint at all. Reverse: row u's merge reads its user rows
+// c > u after their full reformulation, a dependency DAG along user
+// edges; level scheduling (level(u) = 1 + max level of u's users, 0 for
+// sinks) runs whole levels in parallel — every row a level reads is
+// finalized by construction, and each row writes only itself. Change-log
+// bitmap words are row-owned throughout; the matrix change log is folded
+// serially at the end (take_changed_pairs sorts, so fold order is
+// immaterial). A long user chain degrades to one row per level — serial,
+// exactly as the data dependences demand.
+std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
+    const ir::graph& g, sched::delay_matrix& d, thread_pool* pool) {
+  if (pool == nullptr || pool->size() <= 1) {
+    return reformulate_alg2(g, d);
+  }
+  const std::size_t n = g.num_nodes();
+  ISDC_CHECK(d.size() == n, "matrix size mismatch");
+  std::vector<sched::delay_matrix::node_pair> changed;
+  if (n == 0) {
+    return changed;
+  }
+  const ir::flat_adjacency& adj = g.flat();
+  const std::size_t wpr = d.words_per_row();
+  std::vector<std::uint64_t> changed_bits(n * wpr, 0);
+
+  std::vector<float> selfs(n);
+  for (ir::node_id v = 0; v < n; ++v) {
+    selfs[v] = d.self(v);
+  }
+
+  // Forward pass: one task per kLanes-row panel plus one per tail row,
+  // each through thread-local transposed scratch.
+  const std::size_t panel_rows = n - n % kLanes;
+  const std::size_t num_panels = panel_rows / kLanes;
+  pool->parallel_for(num_panels + (n - panel_rows), [&](std::size_t t) {
+    if (t < num_panels) {
+      alg2_scratch& s = tl_alg2_scratch();
+      float* bf = s.aligned_bf(n);
+      bool any[kLanes];
+      forward_panel(adj, selfs.data(), d, t * kLanes, n, wpr,
+                    changed_bits.data(), bf, s.cmask.data(), any);
+    } else {
+      const ir::node_id u =
+          static_cast<ir::node_id>(panel_rows + (t - num_panels));
+      bool any = false;
+      forward_row_scalar(adj, selfs.data(), u, d.row_mut(u).data(), n,
+                         changed_bits.data() + u * wpr, any);
+    }
+  });
+
+  // Reverse pass: level schedule over the user-edge dependency DAG.
+  // Users have higher ids, so one descending sweep computes every level.
+  std::vector<std::uint32_t> level(n, 0);
+  std::uint32_t max_level = 0;
+  for (std::size_t u = n; u-- > 0;) {
+    std::uint32_t lv = 0;
+    for (const ir::node_id c : adj.users(static_cast<ir::node_id>(u))) {
+      lv = std::max(lv, level[c] + 1);
+    }
+    level[u] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  // Counting sort into level buckets. Level 0 rows have no users — their
+  // reverse merge is a no-op — and are skipped outright.
+  std::vector<std::uint32_t> level_off(max_level + 2, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    ++level_off[level[u] + 1];
+  }
+  for (std::size_t lv = 1; lv < level_off.size(); ++lv) {
+    level_off[lv] += level_off[lv - 1];
+  }
+  std::vector<ir::node_id> by_level(n);
+  {
+    std::vector<std::uint32_t> cursor(level_off.begin(),
+                                      level_off.end() - 1);
+    for (std::size_t u = 0; u < n; ++u) {
+      by_level[cursor[level[u]]++] = static_cast<ir::node_id>(u);
+    }
+  }
+  for (std::uint32_t lv = 1; lv <= max_level; ++lv) {
+    const std::uint32_t lo = level_off[lv];
+    const std::uint32_t hi = level_off[lv + 1];
+    pool->parallel_for(hi - lo, [&](std::size_t i) {
+      const ir::node_id u = by_level[lo + i];
+      alg2_scratch& s = tl_alg2_scratch();
+      s.ensure_reverse(n);
+      reverse_row(adj, selfs.data(), d, u, n, s.du.data(), s.mask.data(),
+                  changed_bits.data() + u * wpr);
+    });
+  }
+
+  if (d.tracking_changes()) {
+    for (std::size_t u = 0; u < n; ++u) {
+      d.log_row_changes(static_cast<ir::node_id>(u),
+                        {changed_bits.data() + u * wpr, wpr});
+    }
+  }
   detail::append_pairs_from_bitmap(changed_bits, n, wpr, changed);
   return changed;
 }

@@ -16,6 +16,10 @@
 
 #include "sched/delay_matrix.h"
 
+namespace isdc {
+class thread_pool;
+}
+
 namespace isdc::core {
 
 enum class reformulation_mode {
@@ -35,6 +39,15 @@ enum class reformulation_mode {
 /// Returns the (u, v) pairs whose entry changed, deduplicated and sorted.
 std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
     const ir::graph& g, sched::delay_matrix& d);
+
+/// Thread-parallel variant, bit-identical to the serial kernel (and the
+/// reference) at any pool width. The forward pass partitions row panels
+/// over the pool (each touches only its own rows); the reverse pass level-
+/// schedules the user-edge dependency DAG, running each level's rows in
+/// parallel. Change-log bitmap words are row-owned, so no atomics.
+/// pool == nullptr (or a 1-thread pool) falls back to the serial kernel.
+std::vector<sched::delay_matrix::node_pair> reformulate_alg2(
+    const ir::graph& g, sched::delay_matrix& d, thread_pool* pool);
 
 /// The original column-walking implementation; same matrix afterwards,
 /// but a pair touched by both passes appears once per change. Reference

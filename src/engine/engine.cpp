@@ -130,16 +130,33 @@ core::isdc_result engine::run(const ir::graph& g,
                               const core::downstream_tool& tool,
                               const core::isdc_options& options,
                               const synth::delay_model* model,
-                              thread_pool* shared_pool) {
+                              thread_pool* shared_pool,
+                              thread_pool* compute_pool) {
   ISDC_CHECK(options.max_iterations >= 0);
   ISDC_CHECK(options.subgraphs_per_iteration > 0);
+  ISDC_CHECK(options.compute_threads >= 0);
+
+  // The in-design compute pool: the caller's (fleet mode — shards and
+  // in-design work co-schedule on one pool), the process default, or a
+  // private pool, per compute_threads. nullptr = every stage runs serial.
+  std::optional<thread_pool> local_compute;
+  thread_pool* compute = compute_pool;
+  if (compute == nullptr) {
+    if (options.compute_threads == 0) {
+      compute = &default_pool();
+    } else if (options.compute_threads > 1) {
+      local_compute.emplace(
+          static_cast<std::size_t>(options.compute_threads));
+      compute = &*local_compute;
+    }
+  }
 
   synth::delay_model local_model(options.synth);
   const synth::delay_model& dm = model != nullptr ? *model : local_model;
 
   core::isdc_result result;
   result.naive_delays = sched::delay_matrix::initial(
-      g, [&](ir::node_id v) { return dm.node_delay_ps(g, v); });
+      g, [&](ir::node_id v) { return dm.node_delay_ps(g, v); }, compute);
   result.delays = result.naive_delays;
 
   // The scheduling instance persists across iterations: the baseline solve
@@ -194,6 +211,7 @@ core::isdc_result engine::run(const ir::graph& g,
                .cache = *active_cache_,
                .pool = pool,
                .dispatch_pool = pool,
+               .compute = compute,
                .completions = completions,
                .scheduler = scheduler,
                .tool_fingerprint = tool_fingerprint,

@@ -90,11 +90,17 @@ public:
   /// locally. `shared_pool`, when non-null, is used for downstream
   /// evaluation (the sync parallel join and the async dispatches) instead
   /// of a per-run pool — the fleet passes one wide I/O pool shared by all
-  /// shards; it must outlive the call.
+  /// shards; it must outlive the call. `compute_pool`, when non-null,
+  /// overrides isdc_options::compute_threads as the in-design compute pool
+  /// (parallel kernels, concurrent extraction) — the fleet passes one
+  /// process-wide pool so shards and in-design work co-schedule instead of
+  /// oversubscribing; it must outlive the call. Results are bit-identical
+  /// whatever pool (or none) is used.
   core::isdc_result run(const ir::graph& g, const core::downstream_tool& tool,
                         const core::isdc_options& options = {},
                         const synth::delay_model* model = nullptr,
-                        thread_pool* shared_pool = nullptr);
+                        thread_pool* shared_pool = nullptr,
+                        thread_pool* compute_pool = nullptr);
 
 private:
   std::vector<std::unique_ptr<stage>> pipeline_;

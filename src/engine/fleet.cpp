@@ -33,6 +33,17 @@ fleet::fleet(fleet_options options)
       io_pool_(shared_pool_width(options_)),
       shard_pool_(static_cast<std::size_t>(std::max(1, options_.shards))) {
   ISDC_CHECK(options_.shards >= 1, "fleet needs at least one shard");
+  ISDC_CHECK(options_.isdc.compute_threads >= 0);
+  // One compute pool for the whole fleet: every shard's in-design parallel
+  // work (kernels, extraction, fingerprints) shares it, instead of each
+  // shard building compute_threads threads of its own.
+  if (options_.isdc.compute_threads == 0) {
+    compute_ = &default_pool();
+  } else if (options_.isdc.compute_threads > 1) {
+    compute_pool_.emplace(
+        static_cast<std::size_t>(options_.isdc.compute_threads));
+    compute_ = &*compute_pool_;
+  }
   engine_.use_shared_cache(&cache_);
   if (!options_.cache_path.empty()) {
     // Loads into the shared cache now and saves when engine_ is
@@ -67,7 +78,8 @@ fleet_report fleet::run(const std::vector<fleet_job>& jobs,
       if (job.clock_period_ps.has_value()) {
         opts.base.clock_period_ps = *job.clock_period_ps;
       }
-      out.result = engine_.run(*job.graph, tool, opts, &model_, &io_pool_);
+      out.result =
+          engine_.run(*job.graph, tool, opts, &model_, &io_pool_, compute_);
     } catch (...) {
       out.error = std::current_exception();
     }

@@ -97,6 +97,14 @@ private:
   synth::delay_model model_;
   thread_pool io_pool_;
   thread_pool shard_pool_;
+  /// ONE in-design compute pool shared by every shard (built only when
+  /// isdc.compute_threads > 1; 0 routes to the process default pool
+  /// instead). Shards and their in-design parallel work co-schedule on
+  /// this single pool — shard threads participate in their own
+  /// parallel_for calls while helpers are busy — so fleet width times
+  /// compute width never oversubscribes the machine.
+  std::optional<thread_pool> compute_pool_;
+  thread_pool* compute_ = nullptr;  ///< resolved pool handed to run()
   engine engine_;
 };
 

@@ -67,6 +67,13 @@ struct run_state {
   /// rather than burn host CPU); the two references stay distinct in the
   /// contract so custom drivers can split compute from dispatch.
   thread_pool& dispatch_pool;
+  /// In-design compute pool for the iteration's own work — parallel delay
+  /// kernels, candidate enumeration/ranking, cone expansion and canonical
+  /// fingerprinting. nullptr (or a 1-thread pool) keeps every stage
+  /// strictly serial; either way the results are bit-identical. Resolved
+  /// by the engine from isdc_options::compute_threads, or supplied by the
+  /// fleet so all shards co-schedule on one pool.
+  thread_pool* compute = nullptr;
   completion_queue<evaluation_arrival>& completions;
   sched::scheduler_instance& scheduler;
   /// Fingerprint of the downstream tool's identity, combined with each

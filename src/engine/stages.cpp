@@ -60,7 +60,8 @@ public:
       return true;
     }
     it.paths = extract::enumerate_candidate_paths(rs.g, rs.current,
-                                                  rs.result.delays);
+                                                  rs.result.delays,
+                                                  rs.compute);
     return true;
   }
 };
@@ -75,7 +76,7 @@ public:
     }
     it.candidates = extract::rank_candidates(
         rs.g, rs.current, rs.options.base.clock_period_ps,
-        rs.options.strategy, std::move(it.paths));
+        rs.options.strategy, std::move(it.paths), rs.compute);
     it.paths.clear();
     if (rs.options.async_evaluation) {
       // Moved, not copied: expand reads rs.candidate_cache whenever the
@@ -88,6 +89,40 @@ public:
     return true;
   }
 };
+
+/// Expands candidates [lo, hi) into subgraphs — path or cone per `as_path`
+/// — over the run's compute pool when one is attached. Each expansion is a
+/// pure function of (graph, schedule, matrix, candidate) using thread-local
+/// DFS scratch, so the block's contents are identical to serial expansion;
+/// only the *fold* over the block (selection, window merging) is order-
+/// sensitive, and that stays serial in the caller.
+std::vector<extract::subgraph> expand_block(
+    run_state& rs, const std::vector<extract::scored_candidate>& candidates,
+    std::size_t lo, std::size_t hi, bool as_path) {
+  std::vector<extract::subgraph> block(hi - lo);
+  const auto expand_one = [&](std::size_t j) {
+    const extract::scored_candidate& cand = candidates[lo + j];
+    block[j] = as_path ? extract::expand_to_path(rs.g, rs.current,
+                                                 rs.result.delays, cand.path)
+                       : extract::expand_to_cone(rs.g, rs.current, cand.path);
+    block[j].score = cand.score;
+  };
+  if (rs.compute != nullptr && rs.compute->size() > 1 && block.size() > 1) {
+    rs.compute->parallel_for(block.size(), expand_one);
+  } else {
+    for (std::size_t j = 0; j < block.size(); ++j) {
+      expand_one(j);
+    }
+  }
+  return block;
+}
+
+/// Candidates expanded per block: enough ahead of the selection budget
+/// that the parallel precompute is worth its dispatch, small enough that
+/// an early exit (m picked, or m fresh windows) wastes little pure work.
+std::size_t expand_block_size(int m) {
+  return std::max<std::size_t>(64, 2 * static_cast<std::size_t>(m));
+}
 
 /// Expands the ranked candidates into up-to-m not-yet-selected subgraphs
 /// (the iterative search-space reduction of Section III-A2). Ends the run
@@ -136,18 +171,26 @@ public:
     if (rs.options.expansion != extract::expansion_mode::window) {
       // While the memo is fresh the prefix before the cursor was already
       // expanded (and selected or rejected) by an earlier pass of this
-      // ranking; speculation continues where it left off.
+      // ranking; speculation continues where it left off. Expansion runs
+      // in look-ahead blocks — precomputed in parallel, folded serially in
+      // rank order — so the selected set and the cursor match the serial
+      // one-at-a-time walk exactly (a block may expand candidates the
+      // serial walk would have stopped before; that work is pure and its
+      // results are simply dropped).
+      const bool as_path =
+          rs.options.expansion == extract::expansion_mode::path;
+      const std::size_t block_size = expand_block_size(m);
       std::size_t i = rs.candidate_cache_fresh ? rs.candidate_cursor : 0;
-      for (; i < candidates.size() && static_cast<int>(picked.size()) < m;
-           ++i) {
-        const extract::scored_candidate& cand = candidates[i];
-        extract::subgraph sub =
-            rs.options.expansion == extract::expansion_mode::path
-                ? extract::expand_to_path(rs.g, rs.current, rs.result.delays,
-                                          cand.path)
-                : extract::expand_to_cone(rs.g, rs.current, cand.path);
-        sub.score = cand.score;
-        consider(std::move(sub));
+      while (i < candidates.size() && static_cast<int>(picked.size()) < m) {
+        const std::size_t hi = std::min(candidates.size(), i + block_size);
+        std::vector<extract::subgraph> block =
+            expand_block(rs, candidates, i, hi, as_path);
+        std::size_t j = 0;
+        for (; j < block.size() && static_cast<int>(picked.size()) < m;
+             ++j) {
+          consider(std::move(block[j]));
+        }
+        i += j;
       }
       if (rs.candidate_cache_fresh) {
         rs.candidate_cursor = i;
@@ -169,32 +212,39 @@ public:
     // window whose leaf set has since grown to overlap the duplicate would
     // absorb a second copy of its members. That only duplicates nodes
     // already inside another window, so the skip deliberately drops it.)
+    // Cones precompute in parallel look-ahead blocks (pure per-candidate
+    // work); the fold itself is serial in rank order, so the window set is
+    // identical to the one-at-a-time walk.
     std::vector<extract::subgraph> windows;
     std::vector<bool> window_fresh;
     std::unordered_set<std::uint64_t> folded_cones;
     int fresh = 0;
-    for (const extract::scored_candidate& cand : candidates) {
-      extract::subgraph cone =
-          extract::expand_to_cone(rs.g, rs.current, cand.path);
-      cone.score = cand.score;
-      if (!folded_cones.insert(cone.key()).second) {
-        continue;
-      }
-      const extract::fold_result fold = extract::merge_cone_into_windows(
-          rs.g, rs.current, std::move(cone), windows);
-      const bool now_fresh = !selected(windows[fold.index]);
-      if (fold.appended) {
-        window_fresh.push_back(now_fresh);
-        fresh += now_fresh ? 1 : 0;
-      } else {
-        // The merge reshaped windows[fold.index] (new member set, new
-        // cache key), which can flip its freshness either way.
-        fresh += (now_fresh ? 1 : 0) -
-                 (window_fresh[fold.index] ? 1 : 0);
-        window_fresh[fold.index] = now_fresh;
-      }
-      if (fresh >= m) {
-        break;
+    const std::size_t block_size = expand_block_size(m);
+    for (std::size_t ci = 0; ci < candidates.size() && fresh < m;
+         ci += block_size) {
+      const std::size_t hi = std::min(candidates.size(), ci + block_size);
+      std::vector<extract::subgraph> block =
+          expand_block(rs, candidates, ci, hi, /*as_path=*/false);
+      for (extract::subgraph& cone : block) {
+        if (!folded_cones.insert(cone.key()).second) {
+          continue;
+        }
+        const extract::fold_result fold = extract::merge_cone_into_windows(
+            rs.g, rs.current, std::move(cone), windows);
+        const bool now_fresh = !selected(windows[fold.index]);
+        if (fold.appended) {
+          window_fresh.push_back(now_fresh);
+          fresh += now_fresh ? 1 : 0;
+        } else {
+          // The merge reshaped windows[fold.index] (new member set, new
+          // cache key), which can flip its freshness either way.
+          fresh += (now_fresh ? 1 : 0) -
+                   (window_fresh[fold.index] ? 1 : 0);
+          window_fresh[fold.index] = now_fresh;
+        }
+        if (fresh >= m) {
+          break;
+        }
       }
     }
     for (extract::subgraph& w : windows) {
@@ -223,6 +273,27 @@ void check_single_stage(const run_state& rs, const extract::subgraph& sub) {
   }
 }
 
+/// Canonical fingerprints of all selected subgraphs, computed over the
+/// compute pool when one is attached. Each computation uses thread-local
+/// scratch and is a pure function of (graph, subgraph), so the vector is
+/// identical either way; the cache interaction that consumes the keys
+/// stays serial in the caller.
+std::vector<std::uint64_t> fingerprint_subgraphs(
+    run_state& rs, const std::vector<extract::subgraph>& subs) {
+  std::vector<std::uint64_t> fp(subs.size());
+  const auto one = [&](std::size_t i) {
+    fp[i] = extract::canonical_fingerprint(rs.g, subs[i]);
+  };
+  if (rs.compute != nullptr && rs.compute->size() > 1 && subs.size() > 1) {
+    rs.compute->parallel_for(subs.size(), one);
+  } else {
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      one(i);
+    }
+  }
+  return fp;
+}
+
 /// Measures every selected subgraph: cache hits reuse the memoized delay,
 /// and keys are canonical fingerprints, so the memo may have been written
 /// by an isomorphic cone of another design. Sync mode sends misses to the
@@ -246,14 +317,14 @@ public:
     it.evaluations.assign(it.subgraphs.size(), {});
     // Misses grouped by canonical fingerprint: isomorphic cones selected
     // in the same batch cost one downstream call, and the rest copy it.
+    const std::vector<std::uint64_t> fingerprints =
+        fingerprint_subgraphs(rs, it.subgraphs);
     std::vector<std::uint64_t> keys(it.subgraphs.size(), 0);
     std::vector<std::size_t> unique_misses;
     std::unordered_map<std::uint64_t, std::size_t> first_miss;
     for (std::size_t i = 0; i < it.subgraphs.size(); ++i) {
       it.evaluations[i].members = it.subgraphs[i].members;
-      keys[i] = subgraph_cache_key(
-          rs.tool_fingerprint,
-          extract::canonical_fingerprint(rs.g, it.subgraphs[i]));
+      keys[i] = subgraph_cache_key(rs.tool_fingerprint, fingerprints[i]);
       if (const auto memo = rs.cache.lookup(keys[i])) {
         it.evaluations[i].delay_ps = *memo;
         ++it.cache_hits;
@@ -284,9 +355,12 @@ public:
 
 private:
   static bool run_async(run_state& rs, iteration_state& it) {
-    for (const extract::subgraph& sub : it.subgraphs) {
-      const std::uint64_t key = subgraph_cache_key(
-          rs.tool_fingerprint, extract::canonical_fingerprint(rs.g, sub));
+    const std::vector<std::uint64_t> fingerprints =
+        fingerprint_subgraphs(rs, it.subgraphs);
+    for (std::size_t si = 0; si < it.subgraphs.size(); ++si) {
+      const extract::subgraph& sub = it.subgraphs[si];
+      const std::uint64_t key =
+          subgraph_cache_key(rs.tool_fingerprint, fingerprints[si]);
       // The factory runs only when the key's ticket is already held —
       // by an earlier selection of this run or by a concurrent fleet run
       // measuring an isomorphic cone of another design. It subscribes
@@ -419,10 +493,10 @@ public:
         core::update_delay_matrix(rs.result.delays, it.evaluations).size();
     switch (rs.options.reformulation) {
       case core::reformulation_mode::alg2:
-        core::reformulate_alg2(rs.g, rs.result.delays);
+        core::reformulate_alg2(rs.g, rs.result.delays, rs.compute);
         break;
       case core::reformulation_mode::floyd_warshall:
-        core::reformulate_floyd_warshall(rs.g, rs.result.delays);
+        core::reformulate_floyd_warshall(rs.g, rs.result.delays, rs.compute);
         break;
       case core::reformulation_mode::alg2_reference:
         core::reformulate_alg2_reference(rs.g, rs.result.delays);

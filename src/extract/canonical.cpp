@@ -134,7 +134,7 @@ std::uint64_t canonical_fingerprint(const ir::graph& g, const subgraph& sub,
       if (!shape.contains(v)) {
         continue;  // leaf or external constant: a terminal
       }
-      const std::vector<ir::node_id>& operands = g.at(v).operands;
+      const ir::operand_list operands = g.at(v).operands;
       for (auto it = operands.rbegin(); it != operands.rend(); ++it) {
         s.stack.push_back(*it);  // reversed: popped in operand order
       }

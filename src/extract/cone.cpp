@@ -1,5 +1,7 @@
 #include "extract/cone.h"
 
+#include <algorithm>
+
 #include "support/check.h"
 
 namespace isdc::extract {
@@ -43,27 +45,47 @@ subgraph expand_to_path(const ir::graph& g, const sched::schedule& s,
   return sub;
 }
 
+cone_scratch& tl_cone_scratch() {
+  static thread_local cone_scratch s;
+  return s;
+}
+
 subgraph expand_to_cone(const ir::graph& g, const sched::schedule& s,
                         const path_candidate& path) {
+  return expand_to_cone(g, s, path, tl_cone_scratch());
+}
+
+subgraph expand_to_cone(const ir::graph& g, const sched::schedule& s,
+                        const path_candidate& path, cone_scratch& scratch) {
   subgraph sub;
   sub.stage = s.cycle[path.to];
+  if (scratch.seen.size() < g.num_nodes()) {
+    scratch.seen.assign(g.num_nodes(), 0);
+    scratch.epoch = 0;
+  }
+  if (++scratch.epoch == 0) {  // epoch wrap: reset stamps once per 2^32
+    std::fill(scratch.seen.begin(), scratch.seen.end(), 0u);
+    scratch.epoch = 1;
+  }
+  const std::uint32_t epoch = scratch.epoch;
+  std::vector<ir::node_id>& stack = scratch.stack;
+  stack.clear();
   // DFS from the root towards the stage boundary / primary inputs.
-  std::vector<ir::node_id> stack{path.to};
-  std::vector<bool> seen(g.num_nodes(), false);
-  seen[path.to] = true;
+  stack.push_back(path.to);
+  scratch.seen[path.to] = epoch;
   while (!stack.empty()) {
     const ir::node_id w = stack.back();
     stack.pop_back();
     sub.members.push_back(w);
     for (ir::node_id p : g.at(w).operands) {
-      if (seen[p] || s.cycle[p] != sub.stage) {
+      if (scratch.seen[p] == epoch || s.cycle[p] != sub.stage) {
         continue;
       }
       const ir::opcode op = g.at(p).op;
       if (op == ir::opcode::constant || op == ir::opcode::input) {
         continue;  // boundary: constants fold, inputs are the PI frontier
       }
-      seen[p] = true;
+      scratch.seen[p] = epoch;
       stack.push_back(p);
     }
   }

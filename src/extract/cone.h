@@ -6,6 +6,9 @@
 #ifndef ISDC_EXTRACT_CONE_H_
 #define ISDC_EXTRACT_CONE_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "extract/path_enum.h"
 #include "extract/subgraph.h"
 
@@ -25,6 +28,23 @@ subgraph expand_to_path(const ir::graph& g, const sched::schedule& s,
 /// Same-stage fan-in cone of `path.to`.
 subgraph expand_to_cone(const ir::graph& g, const sched::schedule& s,
                         const path_candidate& path);
+
+/// Reusable DFS scratch for expand_to_cone: epoch-stamped visited marks
+/// make per-call reuse O(active set) instead of an O(n) allocation+clear.
+/// One instance per thread (tl_cone_scratch) keeps concurrent expansions
+/// side-effect free.
+struct cone_scratch {
+  std::vector<ir::node_id> stack;
+  std::vector<std::uint32_t> seen;  ///< seen[v] == epoch means visited
+  std::uint32_t epoch = 0;
+};
+
+/// This thread's scratch instance.
+cone_scratch& tl_cone_scratch();
+
+/// expand_to_cone against caller-provided scratch; identical result.
+subgraph expand_to_cone(const ir::graph& g, const sched::schedule& s,
+                        const path_candidate& path, cone_scratch& scratch);
 
 }  // namespace isdc::extract
 

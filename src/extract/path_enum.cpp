@@ -1,41 +1,87 @@
 #include "extract/path_enum.h"
 
+#include <algorithm>
+
 #include "sched/metrics.h"
+#include "support/thread_pool.h"
 
 namespace isdc::extract {
+namespace {
+
+/// Computes vj's candidate, or returns false when vj owns no register.
+/// Pure reads of g / s / d — safe to call concurrently for distinct vj.
+bool candidate_for(const ir::graph& g, const sched::schedule& s,
+                   const sched::delay_matrix& d, ir::node_id vj,
+                   path_candidate& out) {
+  const ir::opcode op = g.at(vj).op;
+  if (op == ir::opcode::constant || op == ir::opcode::input) {
+    return false;
+  }
+  // A value owns pipeline registers when it crosses a stage boundary or
+  // is a primary output (registered at the pipeline end).
+  if (sched::last_use_stage(g, s, vj) == s.cycle[vj] && !g.is_output(vj)) {
+    return false;
+  }
+  // Critical same-stage ancestor.
+  out.from = vj;
+  out.to = vj;
+  out.delay_ps = d.self(vj);
+  for (ir::node_id u = 0; u <= vj; ++u) {
+    if (s.cycle[u] != s.cycle[vj] || g.at(u).op == ir::opcode::constant) {
+      continue;
+    }
+    const float delay = d.get(u, vj);
+    if (delay != sched::delay_matrix::not_connected &&
+        delay > out.delay_ps) {
+      out.from = u;
+      out.delay_ps = delay;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 std::vector<path_candidate> enumerate_candidate_paths(
     const ir::graph& g, const sched::schedule& s,
     const sched::delay_matrix& d) {
   std::vector<path_candidate> candidates;
+  path_candidate best;
   for (ir::node_id vj = 0; vj < g.num_nodes(); ++vj) {
-    const ir::opcode op = g.at(vj).op;
-    if (op == ir::opcode::constant || op == ir::opcode::input) {
-      continue;
+    if (candidate_for(g, s, d, vj, best)) {
+      candidates.push_back(best);
     }
-    // A value owns pipeline registers when it crosses a stage boundary or
-    // is a primary output (registered at the pipeline end).
-    if (sched::last_use_stage(g, s, vj) == s.cycle[vj] && !g.is_output(vj)) {
-      continue;
+  }
+  return candidates;
+}
+
+std::vector<path_candidate> enumerate_candidate_paths(
+    const ir::graph& g, const sched::schedule& s,
+    const sched::delay_matrix& d, thread_pool* pool) {
+  const std::size_t n = g.num_nodes();
+  if (pool == nullptr || pool->size() <= 1 || n == 0) {
+    return enumerate_candidate_paths(g, s, d);
+  }
+  // Per-vj slots filled in parallel, compacted serially in vj order —
+  // the same order the serial loop emits.
+  std::vector<path_candidate> slots(n);
+  std::vector<unsigned char> present(n, 0);
+  constexpr std::size_t kPanel = 32;
+  const std::size_t panels = (n + kPanel - 1) / kPanel;
+  pool->parallel_for(panels, [&](std::size_t p) {
+    const std::size_t hi = std::min(n, (p + 1) * kPanel);
+    for (std::size_t vj = p * kPanel; vj < hi; ++vj) {
+      present[vj] = candidate_for(g, s, d, static_cast<ir::node_id>(vj),
+                                  slots[vj])
+                        ? 1
+                        : 0;
     }
-    // Critical same-stage ancestor.
-    path_candidate best;
-    best.from = vj;
-    best.to = vj;
-    best.delay_ps = d.self(vj);
-    for (ir::node_id u = 0; u <= vj; ++u) {
-      if (s.cycle[u] != s.cycle[vj] ||
-          g.at(u).op == ir::opcode::constant) {
-        continue;
-      }
-      const float delay = d.get(u, vj);
-      if (delay != sched::delay_matrix::not_connected &&
-          delay > best.delay_ps) {
-        best.from = u;
-        best.delay_ps = delay;
-      }
+  });
+  std::vector<path_candidate> candidates;
+  for (std::size_t vj = 0; vj < n; ++vj) {
+    if (present[vj]) {
+      candidates.push_back(slots[vj]);
     }
-    candidates.push_back(best);
   }
   return candidates;
 }

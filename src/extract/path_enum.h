@@ -9,6 +9,10 @@
 #include "sched/delay_matrix.h"
 #include "sched/schedule.h"
 
+namespace isdc {
+class thread_pool;
+}
+
 namespace isdc::extract {
 
 /// One candidate: the worst same-stage path (from, to); `to` is registered.
@@ -24,6 +28,14 @@ struct path_candidate {
 std::vector<path_candidate> enumerate_candidate_paths(
     const ir::graph& g, const sched::schedule& s,
     const sched::delay_matrix& d);
+
+/// Thread-parallel variant: each vj's candidate is independent (pure reads
+/// of schedule and matrix), so vj panels partition over the pool and the
+/// final list is compacted serially in vj order — identical output to the
+/// serial form. nullptr (or a 1-thread pool) falls back to serial.
+std::vector<path_candidate> enumerate_candidate_paths(
+    const ir::graph& g, const sched::schedule& s,
+    const sched::delay_matrix& d, thread_pool* pool);
 
 }  // namespace isdc::extract
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace isdc::extract {
 
@@ -35,6 +36,17 @@ double score_path(const ir::graph& g, const sched::schedule& s,
   return (bits + normalized_delay) / (users + 1.0);
 }
 
+namespace {
+
+void sort_by_score(std::vector<scored_candidate>& scored) {
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const scored_candidate& a, const scored_candidate& b) {
+                     return a.score > b.score;
+                   });
+}
+
+}  // namespace
+
 std::vector<scored_candidate> rank_candidates(
     const ir::graph& g, const sched::schedule& s, double clock_period_ps,
     extraction_strategy strategy, std::vector<path_candidate> candidates) {
@@ -43,10 +55,31 @@ std::vector<scored_candidate> rank_candidates(
   for (path_candidate& c : candidates) {
     scored.push_back({c, score_path(g, s, c, clock_period_ps, strategy)});
   }
-  std::stable_sort(scored.begin(), scored.end(),
-                   [](const scored_candidate& a, const scored_candidate& b) {
-                     return a.score > b.score;
-                   });
+  sort_by_score(scored);
+  return scored;
+}
+
+std::vector<scored_candidate> rank_candidates(
+    const ir::graph& g, const sched::schedule& s, double clock_period_ps,
+    extraction_strategy strategy, std::vector<path_candidate> candidates,
+    thread_pool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || candidates.empty()) {
+    return rank_candidates(g, s, clock_period_ps, strategy,
+                           std::move(candidates));
+  }
+  std::vector<scored_candidate> scored(candidates.size());
+  constexpr std::size_t kChunk = 64;
+  const std::size_t chunks = (candidates.size() + kChunk - 1) / kChunk;
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t hi = std::min(candidates.size(), (c + 1) * kChunk);
+    for (std::size_t i = c * kChunk; i < hi; ++i) {
+      scored[i] = {candidates[i], score_path(g, s, candidates[i],
+                                             clock_period_ps, strategy)};
+    }
+  });
+  // stable_sort on the index-ordered array: ties keep candidate order,
+  // exactly as the serial form.
+  sort_by_score(scored);
   return scored;
 }
 

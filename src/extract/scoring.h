@@ -7,6 +7,10 @@
 
 #include "extract/path_enum.h"
 
+namespace isdc {
+class thread_pool;
+}
+
 namespace isdc::extract {
 
 enum class extraction_strategy {
@@ -36,6 +40,15 @@ double score_path(const ir::graph& g, const sched::schedule& s,
 std::vector<scored_candidate> rank_candidates(
     const ir::graph& g, const sched::schedule& s, double clock_period_ps,
     extraction_strategy strategy, std::vector<path_candidate> candidates);
+
+/// Thread-parallel variant: scoring each candidate is pure, so scores
+/// compute concurrently into per-candidate slots; the final stable_sort
+/// runs serially on the same (index-ordered) array the serial form sorts,
+/// so the result is identical. nullptr / 1-thread pool falls back.
+std::vector<scored_candidate> rank_candidates(
+    const ir::graph& g, const sched::schedule& s, double clock_period_ps,
+    extraction_strategy strategy, std::vector<path_candidate> candidates,
+    thread_pool* pool);
 
 }  // namespace isdc::extract
 

@@ -9,7 +9,7 @@ flat_adjacency::flat_adjacency(const graph& g) {
   operand_off_.assign(n + 1, 0);
   user_off_.assign(n + 1, 0);
   for (node_id v = 0; v < n; ++v) {
-    const std::vector<node_id>& ops = g.at(v).operands;
+    const operand_list ops = g.at(v).operands;
     operand_off_[v + 1] =
         operand_off_[v] + static_cast<std::uint32_t>(ops.size());
     for (const node_id p : ops) {
@@ -25,7 +25,7 @@ flat_adjacency::flat_adjacency(const graph& g) {
   // incremental order graph::users maintains.
   std::vector<std::uint32_t> cursor(user_off_.begin(), user_off_.end() - 1);
   for (node_id v = 0; v < n; ++v) {
-    const std::vector<node_id>& ops = g.at(v).operands;
+    const operand_list ops = g.at(v).operands;
     std::copy(ops.begin(), ops.end(),
               operand_data_.begin() + operand_off_[v]);
     for (const node_id p : ops) {

@@ -1,0 +1,102 @@
+// Chunked id arena backing graph operand storage. Per-node
+// std::vector<node_id> operand lists cost one heap allocation (plus
+// malloc metadata) per node and scatter a traversal's operand reads
+// across the heap; the arena packs every list into a few large chunks —
+// contiguous in creation (= topological) order, which is exactly the
+// order the kernels and fingerprint walks visit them — and frees them all
+// at once. Chunks never move once allocated, so interned pointers stay
+// valid across further interning and across graph moves.
+#ifndef ISDC_IR_ARENA_H_
+#define ISDC_IR_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "ir/opcode.h"
+
+namespace isdc::ir {
+
+using node_id = std::uint32_t;  // mirrors graph.h (kept header-light)
+
+/// Bump allocator for immutable node_id arrays with stable addresses.
+/// Not thread-safe for interning (graph mutation already is not);
+/// interned storage is safe for concurrent readers.
+class id_arena {
+ public:
+  id_arena() = default;
+  id_arena(const id_arena&) = delete;
+  id_arena& operator=(const id_arena&) = delete;
+  id_arena(id_arena&&) noexcept = default;
+  id_arena& operator=(id_arena&&) noexcept = default;
+
+  /// Copies `count` ids into the arena and returns the stable location.
+  /// count == 0 returns nullptr (an empty list needs no storage).
+  const node_id* intern(const node_id* data, std::size_t count) {
+    if (count == 0) {
+      return nullptr;
+    }
+    if (chunks_.empty() || chunks_.back().used + count > chunks_.back().cap) {
+      grow(count);
+    }
+    chunk& c = chunks_.back();
+    node_id* dst = c.data.get() + c.used;
+    std::memcpy(dst, data, count * sizeof(node_id));
+    c.used += count;
+    total_ += count;
+    return dst;
+  }
+
+  /// Total ids interned since construction or the last clear().
+  std::size_t size() const { return total_; }
+
+  /// Bytes currently reserved by the arena's chunks.
+  std::size_t capacity_bytes() const {
+    std::size_t bytes = 0;
+    for (const chunk& c : chunks_) {
+      bytes += c.cap * sizeof(node_id);
+    }
+    return bytes;
+  }
+
+  /// Invalidates every interned pointer and recycles the storage: the
+  /// largest chunk is kept (emptied) so a build/clear/rebuild cycle
+  /// settles into zero allocations.
+  void clear() {
+    if (!chunks_.empty()) {
+      auto largest = std::max_element(
+          chunks_.begin(), chunks_.end(),
+          [](const chunk& a, const chunk& b) { return a.cap < b.cap; });
+      chunk keep = std::move(*largest);
+      keep.used = 0;
+      chunks_.clear();
+      chunks_.push_back(std::move(keep));
+    }
+    total_ = 0;
+  }
+
+ private:
+  struct chunk {
+    std::unique_ptr<node_id[]> data;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    // Geometric growth bounds the chunk count at O(log total) while the
+    // first chunk stays small enough not to tax tiny graphs.
+    constexpr std::size_t kMinChunk = 1024;
+    const std::size_t prev = chunks_.empty() ? 0 : chunks_.back().cap;
+    const std::size_t cap = std::max({kMinChunk, prev * 2, at_least});
+    chunks_.push_back(chunk{std::make_unique<node_id[]>(cap), cap, 0});
+  }
+
+  std::vector<chunk> chunks_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace isdc::ir
+
+#endif  // ISDC_IR_ARENA_H_

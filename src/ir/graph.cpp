@@ -30,7 +30,9 @@ graph::graph(const graph& other)
       inputs_(other.inputs_),
       outputs_(other.outputs_),
       output_mask_(other.output_mask_),
-      adj_(std::make_unique<adjacency_cache>()) {}
+      adj_(std::make_unique<adjacency_cache>()) {
+  reintern_operands();
+}
 
 graph::graph(graph&& other) noexcept = default;
 
@@ -42,9 +44,22 @@ graph& graph::operator=(const graph& other) {
     inputs_ = other.inputs_;
     outputs_ = other.outputs_;
     output_mask_ = other.output_mask_;
+    operand_arena_.clear();
+    reintern_operands();
     adj_ = std::make_unique<adjacency_cache>();
   }
   return *this;
+}
+
+void graph::reintern_operands() {
+  // The just-copied operand_lists still view the source graph's arena,
+  // which outlives this loop (the copy source is alive by contract), so
+  // each list can be read while its replacement is interned here.
+  for (node& n : nodes_) {
+    n.operands =
+        operand_list(operand_arena_.intern(n.operands.data(), n.operands.size()),
+                     n.operands.size());
+  }
 }
 
 graph& graph::operator=(graph&& other) noexcept = default;
@@ -82,7 +97,10 @@ node_id graph::add_node(opcode op, std::uint32_t width,
                                         << " does not precede node " << id);
     users_[operand].push_back(id);
   }
-  nodes_.push_back(node{op, width, value, std::move(operands), std::move(name)});
+  const operand_list stored(
+      operand_arena_.intern(operands.data(), operands.size()),
+      operands.size());
+  nodes_.push_back(node{op, width, value, stored, std::move(name)});
   users_.emplace_back();
   output_mask_.push_back(false);
   if (op == opcode::input) {

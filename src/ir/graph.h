@@ -6,10 +6,12 @@
 #define ISDC_IR_GRAPH_H_
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "ir/arena.h"
 #include "ir/opcode.h"
 
 namespace isdc::ir {
@@ -20,13 +22,47 @@ class flat_adjacency;
 using node_id = std::uint32_t;
 inline constexpr node_id invalid_node = static_cast<node_id>(-1);
 
+/// Immutable view of a node's operand ids. The storage lives in the
+/// owning graph's id_arena — contiguous across nodes in creation order —
+/// so a topological sweep over all operand edges is one linear scan
+/// instead of a pointer chase per node. Interface mirrors the read side
+/// of std::vector<node_id> (iteration both ways, indexing, size).
+class operand_list {
+public:
+  using value_type = node_id;
+  using const_iterator = const node_id*;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  operand_list() = default;
+  operand_list(const node_id* data, std::size_t size)
+      : data_(data), size_(static_cast<std::uint32_t>(size)) {}
+
+  const node_id* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  node_id operator[](std::size_t i) const { return data_[i]; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+private:
+  const node_id* data_ = nullptr;
+  std::uint32_t size_ = 0;
+};
+
 /// One IR operation. `value` holds the literal for `constant` and the low
-/// bit offset for `slice`; it is unused otherwise.
+/// bit offset for `slice`; it is unused otherwise. `operands` views arena
+/// storage owned by the graph the node belongs to.
 struct node {
   opcode op = opcode::input;
   std::uint32_t width = 0;  // result width in bits, 1..64
   std::uint64_t value = 0;
-  std::vector<node_id> operands;
+  operand_list operands;
   std::string name;
 };
 
@@ -87,7 +123,13 @@ public:
 private:
   struct adjacency_cache;  // graph.cpp; once-built flat_adjacency slot
 
+  /// Re-points every node's operand_list at this graph's own arena (used
+  /// by the copy operations, whose freshly copied lists still view the
+  /// source graph's storage).
+  void reintern_operands();
+
   std::string name_;
+  id_arena operand_arena_;  ///< backing store for every node's operands
   std::vector<node> nodes_;
   std::vector<std::vector<node_id>> users_;
   std::vector<node_id> inputs_;

@@ -6,6 +6,7 @@
 
 #include "ir/adjacency.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace isdc::sched {
 
@@ -106,7 +107,8 @@ std::vector<delay_matrix::node_pair> delay_matrix::take_changed_pairs() {
 
 delay_matrix delay_matrix::initial(
     const ir::graph& g,
-    const std::function<double(ir::node_id)>& node_delay) {
+    const std::function<double(ir::node_id)>& node_delay,
+    thread_pool* pool) {
   const std::size_t n = g.num_nodes();
   delay_matrix d(n);
   if (n == 0) {
@@ -119,8 +121,10 @@ delay_matrix delay_matrix::initial(
   // Longest-path DP from every source; ids are topological, so row u
   // doubles as the arrival array (cells ahead of the sweep are still
   // not_connected, exactly what an unreached arrival should read as).
+  // Each row reads and writes only itself, so rows partition over the
+  // pool in panels with no cross-thread traffic at all.
   const ir::flat_adjacency& adj = g.flat();
-  for (ir::node_id u = 0; u < n; ++u) {
+  const auto fill_row = [&](ir::node_id u) {
     float* row = d.row_mut(u).data();
     row[u] = delays[u];
     for (ir::node_id w = u + 1; w < n; ++w) {
@@ -132,7 +136,21 @@ delay_matrix delay_matrix::initial(
         row[w] = best + delays[w];
       }
     }
+  };
+  if (pool == nullptr || pool->size() <= 1) {
+    for (ir::node_id u = 0; u < n; ++u) {
+      fill_row(u);
+    }
+    return d;
   }
+  constexpr std::size_t kPanel = 16;
+  const std::size_t panels = (n + kPanel - 1) / kPanel;
+  pool->parallel_for(panels, [&](std::size_t p) {
+    const std::size_t hi = std::min(n, (p + 1) * kPanel);
+    for (std::size_t u = p * kPanel; u < hi; ++u) {
+      fill_row(static_cast<ir::node_id>(u));
+    }
+  });
   return d;
 }
 

@@ -32,6 +32,10 @@
 
 #include "ir/graph.h"
 
+namespace isdc {
+class thread_pool;
+}
+
 namespace isdc::sched {
 
 class delay_matrix {
@@ -105,10 +109,14 @@ public:
 
   /// Alg. 1 lines 1-9: D[v][v] = d(v); D[u][v] = critical path delay (sum
   /// of node delays along the worst path, both endpoints included) for
-  /// connected pairs; -1 otherwise.
+  /// connected pairs; -1 otherwise. When `pool` is non-null the per-row
+  /// longest-path DP — each row reads and writes only itself — is
+  /// partitioned over it, bit-identical to the serial fill (`node_delay`
+  /// is still called serially, once per node, in id order).
   static delay_matrix initial(
       const ir::graph& g,
-      const std::function<double(ir::node_id)>& node_delay);
+      const std::function<double(ir::node_id)>& node_delay,
+      thread_pool* pool = nullptr);
 
   /// Equality of the delay entries (the change-log state is bookkeeping,
   /// not part of the matrix's value).

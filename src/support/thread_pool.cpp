@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 
@@ -118,6 +119,29 @@ void thread_pool::parallel_for(std::size_t count,
   if (state->first_error) {
     std::rethrow_exception(state->first_error);
   }
+}
+
+std::size_t resolve_default_threads(const char* override_value) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (override_value == nullptr || *override_value == '\0') {
+    return hw;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(override_value, &end, 10);
+  if (end == override_value || *end != '\0' || parsed < 1) {
+    return hw;
+  }
+  return std::min(static_cast<std::size_t>(parsed), hw);
+}
+
+thread_pool& default_pool() {
+  // Leaked on purpose: worker threads must not be joined during static
+  // destruction (other statics they might touch could already be gone),
+  // and the pool is idle at exit anyway.
+  static thread_pool* pool = new thread_pool(
+      resolve_default_threads(std::getenv("ISDC_THREADS")));
+  return *pool;
 }
 
 }  // namespace isdc

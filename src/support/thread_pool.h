@@ -64,6 +64,21 @@ private:
   bool stopping_ = false;
 };
 
+/// Thread count an `ISDC_THREADS`-style override resolves to: empty /
+/// unset / unparsable means hardware_concurrency, and any value is capped
+/// there too (oversubscribing compute threads only adds context switches).
+/// Split from the accessor below so the parsing is testable without
+/// mutating the process environment.
+std::size_t resolve_default_threads(const char* override_value);
+
+/// The process-wide compute pool, created on first use with
+/// resolve_default_threads(getenv("ISDC_THREADS")) workers and shared by
+/// every caller that wants in-design parallelism without owning a pool
+/// (engine runs, fleet shards, benches). Never destroyed before exit.
+/// Callers co-schedule on it via parallel_for, whose caller-participates
+/// contract bounds total concurrency even when many runs share the pool.
+thread_pool& default_pool();
+
 }  // namespace isdc
 
 #endif  // ISDC_SUPPORT_THREAD_POOL_H_

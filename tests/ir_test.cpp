@@ -1,7 +1,12 @@
+#include <cstdint>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "ir/arena.h"
 #include "ir/builder.h"
 #include "ir/dot.h"
 #include "ir/evaluate.h"
@@ -348,6 +353,145 @@ TEST(DotTest, EmitsClustersWhenStaged) {
   EXPECT_NE(os.str().find("cluster_stage0"), std::string::npos);
   EXPECT_NE(os.str().find("cluster_stage1"), std::string::npos);
   EXPECT_NE(os.str().find("->"), std::string::npos);
+}
+
+// --- arena ---
+
+TEST(ArenaTest, InternBasics) {
+  id_arena arena;
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_EQ(arena.intern(nullptr, 0), nullptr);  // empty spans are free
+  EXPECT_EQ(arena.size(), 0u);
+
+  const node_id ops[] = {1, 2, 3};
+  const node_id* span = arena.intern(ops, 3);
+  ASSERT_NE(span, nullptr);
+  EXPECT_NE(span, ops);  // a copy, not the caller's storage
+  EXPECT_EQ(span[0], 1u);
+  EXPECT_EQ(span[1], 2u);
+  EXPECT_EQ(span[2], 3u);
+  EXPECT_EQ(arena.size(), 3u);
+  EXPECT_GT(arena.capacity_bytes(), 0u);
+}
+
+TEST(ArenaTest, ChunkGrowthKeepsEarlierSpansStable) {
+  id_arena arena;
+  const node_id first_ops[] = {10, 20};
+  const node_id* first = arena.intern(first_ops, 2);
+  // Force several chunk growths; earlier spans must not move.
+  std::vector<node_id> big(300);
+  for (int round = 0; round < 100; ++round) {
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<node_id>(round * 1000 + i);
+    }
+    const node_id* span = arena.intern(big.data(), big.size());
+    EXPECT_EQ(span[0], static_cast<node_id>(round * 1000));
+    EXPECT_EQ(span[big.size() - 1],
+              static_cast<node_id>(round * 1000 + big.size() - 1));
+  }
+  EXPECT_EQ(first[0], 10u);
+  EXPECT_EQ(first[1], 20u);
+  EXPECT_EQ(arena.size(), 2u + 100u * 300u);
+}
+
+TEST(ArenaTest, ClearReusesStorage) {
+  id_arena arena;
+  std::vector<node_id> ops(2000);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ops[i] = static_cast<node_id>(i);
+  }
+  arena.intern(ops.data(), ops.size());
+  const std::size_t cap_before = arena.capacity_bytes();
+  arena.clear();
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_GT(arena.capacity_bytes(), 0u);  // largest chunk is kept
+  const node_id* span = arena.intern(ops.data(), 100);
+  EXPECT_EQ(span[99], 99u);
+  EXPECT_LE(arena.capacity_bytes(), cap_before);  // no fresh allocation
+}
+
+namespace {
+
+/// A moderately sized random DAG built through the public builder, with
+/// varied operand arity (unary through add_many).
+graph arena_stress_graph(std::uint64_t seed, int ops) {
+  graph g;
+  builder b(g);
+  rng r(seed);
+  std::vector<node_id> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(b.input(16, "in" + std::to_string(i)));
+  }
+  for (int i = 0; i < ops; ++i) {
+    const node_id a = pool[r.next_below(pool.size())];
+    const node_id c = pool[r.next_below(pool.size())];
+    switch (r.next_below(4)) {
+      case 0: pool.push_back(b.add(a, c)); break;
+      case 1: pool.push_back(b.bnot(a)); break;
+      case 2: pool.push_back(b.mux(b.ult(a, c), a, c)); break;
+      default: {
+        const std::vector<node_id> many = {a, c, pool[r.next_below(pool.size())]};
+        pool.push_back(b.add_many(many));
+        break;
+      }
+    }
+  }
+  b.output(pool.back());
+  return g;
+}
+
+/// Node-by-node structural equality, reading every operand element (so a
+/// dangling operand span would be caught by sanitizers, not just by
+/// comparison).
+void expect_same_structure(const graph& a, const graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (node_id v = 0; v < a.num_nodes(); ++v) {
+    const node& na = a.at(v);
+    const node& nb = b.at(v);
+    EXPECT_EQ(na.op, nb.op);
+    ASSERT_EQ(na.operands.size(), nb.operands.size());
+    for (std::size_t i = 0; i < na.operands.size(); ++i) {
+      EXPECT_EQ(na.operands[i], nb.operands[i]);
+    }
+    EXPECT_EQ(a.users(v), b.users(v));
+  }
+}
+
+}  // namespace
+
+TEST(GraphArenaTest, CopyReintternsOperandsIntoOwnArena) {
+  const graph original = arena_stress_graph(1, 400);
+  const graph copy = original;
+  expect_same_structure(original, copy);
+  // The copy's operand spans must live in its own arena, not alias the
+  // original's (which could be destroyed first).
+  for (node_id v = 0; v < original.num_nodes(); ++v) {
+    if (original.at(v).operands.size() > 0) {
+      EXPECT_NE(original.at(v).operands.data(), copy.at(v).operands.data());
+    }
+  }
+}
+
+TEST(GraphArenaTest, AssignmentChurnKeepsOperandsStable) {
+  // Repeatedly assign graphs of very different sizes into one target:
+  // each assignment clears and re-interns the target's arena, so stale
+  // spans from the previous occupant must never survive.
+  graph target = arena_stress_graph(2, 50);
+  for (int round = 0; round < 6; ++round) {
+    const int ops = (round % 2 == 0) ? 700 : 30;
+    const graph source = arena_stress_graph(10 + round, ops);
+    target = source;
+    expect_same_structure(source, target);
+  }
+}
+
+TEST(GraphArenaTest, MoveKeepsSpansValid) {
+  graph original = arena_stress_graph(3, 300);
+  const graph snapshot = original;  // independent copy for comparison
+  const graph moved = std::move(original);
+  // Arena chunks are stable allocations, so a move transfers them and the
+  // operand spans keep pointing at live storage.
+  expect_same_structure(snapshot, moved);
 }
 
 }  // namespace

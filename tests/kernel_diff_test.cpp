@@ -19,6 +19,7 @@
 #include "sched/delay_matrix.h"
 #include "sched/metrics.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "test_util.h"
 #include "workloads/registry.h"
 
@@ -27,6 +28,15 @@ namespace {
 
 using sched::delay_matrix;
 using node_pair = delay_matrix::node_pair;
+
+// The kernels now have parallel overloads; bare function names would be
+// ambiguous as template arguments, so the serial forms get named wrappers.
+const auto fw_serial = [](const ir::graph& g, delay_matrix& d) {
+  return reformulate_floyd_warshall(g, d);
+};
+const auto alg2_serial = [](const ir::graph& g, delay_matrix& d) {
+  return reformulate_alg2(g, d);
+};
 
 /// Varied (non-uniform) per-op delays so compositions exercise distinct
 /// float values rather than multiples of one unit.
@@ -94,7 +104,7 @@ TEST(KernelDiffTest, FloydWarshallMatchesReferenceOnSeededSweep) {
     const ir::graph g = isdc::testing::random_graph(r, 4, 60, 8);
     delay_matrix d = varied_matrix(g);
     apply_random_feedback(g, d, r);
-    expect_kernels_match(g, d, reformulate_floyd_warshall,
+    expect_kernels_match(g, d, fw_serial,
                          reformulate_floyd_warshall_reference,
                          ("random_graph seed " + std::to_string(seed)).c_str());
   }
@@ -110,7 +120,7 @@ TEST(KernelDiffTest, FloydWarshallMatchesReferenceOnRandomDags) {
     const ir::graph g = workloads::build_random_dag(seed, 180, opts);
     delay_matrix d = varied_matrix(g);
     apply_random_feedback(g, d, r);
-    expect_kernels_match(g, d, reformulate_floyd_warshall,
+    expect_kernels_match(g, d, fw_serial,
                          reformulate_floyd_warshall_reference,
                          ("random_dag seed " + std::to_string(seed)).c_str());
   }
@@ -122,7 +132,7 @@ TEST(KernelDiffTest, Alg2MatchesReferenceOnSeededSweep) {
     const ir::graph g = isdc::testing::random_graph(r, 4, 120, 8);
     delay_matrix d = varied_matrix(g);
     apply_random_feedback(g, d, r);
-    expect_kernels_match(g, d, reformulate_alg2, reformulate_alg2_reference,
+    expect_kernels_match(g, d, alg2_serial, reformulate_alg2_reference,
                          ("random_graph seed " + std::to_string(seed)).c_str());
   }
 }
@@ -136,7 +146,7 @@ TEST(KernelDiffTest, Alg2MatchesReferenceOnRandomDags) {
     const ir::graph g = workloads::build_random_dag(seed, 400, opts);
     delay_matrix d = varied_matrix(g);
     apply_random_feedback(g, d, r);
-    expect_kernels_match(g, d, reformulate_alg2, reformulate_alg2_reference,
+    expect_kernels_match(g, d, alg2_serial, reformulate_alg2_reference,
                          ("random_dag seed " + std::to_string(seed)).c_str());
   }
 }
@@ -161,9 +171,9 @@ TEST(KernelDiffTest, KernelsMatchOnHandBuiltFillIn) {
   base.set(chain[2], chain[7], 75.0f);
   base.set(chain[2], chain[7], 60.0f);  // lowered twice
   base.set(chain[0], chain[3], base.get(chain[0], chain[3]));  // no-op
-  expect_kernels_match(g, base, reformulate_floyd_warshall,
+  expect_kernels_match(g, base, fw_serial,
                        reformulate_floyd_warshall_reference, "fill-in FW");
-  expect_kernels_match(g, base, reformulate_alg2, reformulate_alg2_reference,
+  expect_kernels_match(g, base, alg2_serial, reformulate_alg2_reference,
                        "fill-in Alg2");
 }
 
@@ -182,6 +192,74 @@ TEST(KernelDiffTest, KernelsMatchWithoutTracking) {
   const auto a2_ref_pairs = reformulate_alg2_reference(g, a2_ref);
   EXPECT_TRUE(a2_fast == a2_ref);
   EXPECT_EQ(a2_pairs, dedup(a2_ref_pairs));
+}
+
+TEST(KernelDiffTest, ParallelFloydWarshallBitExactAcrossThreadCounts) {
+  // 1 thread (serial fallback), 2, and 7 — the odd width makes the panel
+  // partition uneven, so chunk boundaries land mid-pivot-block.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    thread_pool pool(threads);
+    const auto fw_parallel = [&pool](const ir::graph& g, delay_matrix& d) {
+      return reformulate_floyd_warshall(g, d, &pool);
+    };
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      rng r(seed);
+      workloads::random_dag_options opts;
+      opts.layer_width = 24;
+      const ir::graph g = workloads::build_random_dag(seed, 200, opts);
+      delay_matrix d = varied_matrix(g);
+      apply_random_feedback(g, d, r);
+      const std::string ctx = "fw parallel threads=" +
+                              std::to_string(threads) + " seed " +
+                              std::to_string(seed);
+      expect_kernels_match(g, d, fw_parallel, fw_serial, ctx.c_str());
+      expect_kernels_match(g, d, fw_parallel,
+                           reformulate_floyd_warshall_reference, ctx.c_str());
+    }
+  }
+}
+
+TEST(KernelDiffTest, ParallelAlg2BitExactAcrossThreadCounts) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    thread_pool pool(threads);
+    const auto alg2_parallel = [&pool](const ir::graph& g, delay_matrix& d) {
+      return reformulate_alg2(g, d, &pool);
+    };
+    for (std::uint64_t seed = 20; seed <= 23; ++seed) {
+      rng r(seed);
+      workloads::random_dag_options opts;
+      opts.layer_width = 40;
+      opts.fanin_window = 3;
+      const ir::graph g = workloads::build_random_dag(seed, 400, opts);
+      delay_matrix d = varied_matrix(g);
+      apply_random_feedback(g, d, r);
+      const std::string ctx = "alg2 parallel threads=" +
+                              std::to_string(threads) + " seed " +
+                              std::to_string(seed);
+      expect_kernels_match(g, d, alg2_parallel, alg2_serial, ctx.c_str());
+      expect_kernels_match(g, d, alg2_parallel, reformulate_alg2_reference,
+                           ctx.c_str());
+    }
+  }
+}
+
+TEST(KernelDiffTest, ParallelInitialMatrixBitExact) {
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{7}}) {
+    thread_pool pool(threads);
+    for (std::uint64_t seed = 5; seed <= 7; ++seed) {
+      const ir::graph g = workloads::build_random_dag(seed, 300, {});
+      const auto delay_fn = [&g](ir::node_id v) {
+        const ir::opcode op = g.at(v).op;
+        return (op == ir::opcode::input || op == ir::opcode::constant)
+                   ? 0.0
+                   : 90.0 + 17.0 * static_cast<double>(v % 7);
+      };
+      const delay_matrix serial = delay_matrix::initial(g, delay_fn);
+      const delay_matrix parallel = delay_matrix::initial(g, delay_fn, &pool);
+      EXPECT_TRUE(serial == parallel)
+          << "initial threads=" << threads << " seed " << seed;
+    }
+  }
 }
 
 /// Full-loop parity: run_isdc with the fast kernel vs its reference on a
@@ -214,6 +292,69 @@ void expect_isdc_parity(const workloads::workload_spec& spec,
     EXPECT_EQ(fast_result.history[i].num_stages,
               ref_result.history[i].num_stages)
         << spec.name << " iteration " << i;
+  }
+}
+
+/// Full-loop parity across compute-pool widths: compute_threads > 1 runs
+/// the parallel kernels, concurrent extraction and parallel
+/// fingerprinting, and must reproduce the serial trajectory bit for bit —
+/// schedules, matrices and the whole per-iteration history. 0 exercises
+/// the process-wide default pool.
+void expect_parallel_isdc_parity(const workloads::workload_spec& spec,
+                                 reformulation_mode mode) {
+  const ir::graph g = spec.build();
+  isdc_options opts;
+  opts.base.clock_period_ps = spec.clock_period_ps;
+  opts.max_iterations = 3;
+  opts.subgraphs_per_iteration = 4;
+  opts.num_threads = 1;  // deterministic evaluation order
+  opts.reformulation = mode;
+  aig_depth_downstream tool(80.0);
+
+  opts.compute_threads = 1;
+  const isdc_result serial = run_isdc(g, tool, opts);
+  for (const int threads : {0, 2, 7}) {
+    opts.compute_threads = threads;
+    const isdc_result parallel = run_isdc(g, tool, opts);
+    EXPECT_EQ(serial.initial, parallel.initial)
+        << spec.name << " compute_threads=" << threads;
+    EXPECT_EQ(serial.final_schedule, parallel.final_schedule)
+        << spec.name << " compute_threads=" << threads;
+    EXPECT_TRUE(serial.delays == parallel.delays)
+        << spec.name << " compute_threads=" << threads;
+    EXPECT_TRUE(serial.naive_delays == parallel.naive_delays)
+        << spec.name << " compute_threads=" << threads;
+    EXPECT_EQ(serial.iterations, parallel.iterations)
+        << spec.name << " compute_threads=" << threads;
+    ASSERT_EQ(serial.history.size(), parallel.history.size())
+        << spec.name << " compute_threads=" << threads;
+    for (std::size_t i = 0; i < serial.history.size(); ++i) {
+      EXPECT_EQ(serial.history[i].register_bits,
+                parallel.history[i].register_bits)
+          << spec.name << " compute_threads=" << threads << " iteration "
+          << i;
+      EXPECT_EQ(serial.history[i].num_stages,
+                parallel.history[i].num_stages)
+          << spec.name << " compute_threads=" << threads << " iteration "
+          << i;
+    }
+  }
+}
+
+TEST(KernelDiffTest, IsdcParallelComputeParityAlg2) {
+  for (const char* name : {"rrot", "binary_divide", "ml_datapath1"}) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr) << name;
+    expect_parallel_isdc_parity(*spec, reformulation_mode::alg2);
+  }
+}
+
+TEST(KernelDiffTest, IsdcParallelComputeParityFloydWarshall) {
+  for (const char* name : {"rrot", "hsv2rgb"}) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr) << name;
+    expect_parallel_isdc_parity(*spec,
+                                reformulation_mode::floyd_warshall);
   }
 }
 

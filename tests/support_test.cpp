@@ -184,6 +184,32 @@ TEST(ThreadPoolTest, ParallelForSingleAndEmpty) {
   EXPECT_EQ(calls.load(), 1);
 }
 
+TEST(ThreadPoolTest, ResolveDefaultThreadsParsing) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // Unset / empty / unparsable / non-positive all fall back to hardware
+  // concurrency; valid values are capped there.
+  EXPECT_EQ(resolve_default_threads(nullptr), hw);
+  EXPECT_EQ(resolve_default_threads(""), hw);
+  EXPECT_EQ(resolve_default_threads("garbage"), hw);
+  EXPECT_EQ(resolve_default_threads("3x"), hw);
+  EXPECT_EQ(resolve_default_threads("0"), hw);
+  EXPECT_EQ(resolve_default_threads("-3"), hw);
+  EXPECT_EQ(resolve_default_threads("1"), 1u);
+  EXPECT_EQ(resolve_default_threads("2"), std::min<std::size_t>(2, hw));
+  EXPECT_EQ(resolve_default_threads("999999"), hw);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSharedAndUsable) {
+  thread_pool& a = default_pool();
+  thread_pool& b = default_pool();
+  EXPECT_EQ(&a, &b);  // one process-wide pool
+  EXPECT_GE(a.size(), 1u);
+  std::atomic<int> hits{0};
+  a.parallel_for(100, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 100);
+}
+
 TEST(ThreadPoolTest, ParallelForSkipsAfterFailure) {
   // Fail-fast: once an index throws, not-yet-started indices are skipped,
   // so a long tail never runs. The already-running chunk finishes.
