@@ -1,0 +1,315 @@
+// Chaos soak as a measurable artifact: the full workload registry through
+// a real subprocess worker pool, once fault-free (round 0, the reference)
+// and then repeatedly under seeded recoverable-fault schedules — worker
+// crashes, client read timeouts, torn request writes. Every chaos round
+// must reproduce round 0's schedules bit-exactly (recoverable faults are
+// retried on fresh workers; answers are deterministic), end with zero
+// leaked cache tickets and a fully healed pool, and keep the pool's
+// failure accounting consistent (restarts == crashes + timeouts, no
+// protocol errors). Any violation makes the bench exit non-zero, so CI
+// treats resilience regressions like test failures.
+//
+// Also measures the disarmed failpoint check — a single relaxed atomic
+// load on the hot path of every pipe I/O — and guards it against
+// accidentally growing into real work.
+//
+// Flags: --rounds=N       total rounds incl. the clean reference
+//                         (default 3, --quick 2)
+//        --seed=S         base failpoint seed; round r uses S+r (default 42)
+//        --shards=N       concurrent ISDC runs (default 4, --quick 2)
+//        --workers=N      subprocess pool width (default 2)
+//        --max-iterations=N / --subgraphs=M   per-run pipeline size
+//        --benchmarks=a,b,c   subset (default: the full registry;
+//                             --quick: 4 workloads)
+//        --json=PATH      machine-readable artifact (BENCH_chaos.json)
+//        --csv            CSV instead of the aligned table
+//        --quick          CI smoke size
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "backend/subprocess_tool.h"
+#include "common.h"
+#include "engine/fleet.h"
+#include "support/failpoint.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// ns per maybe_fail() call with no schedule armed. This is the price
+/// every production pipe read/write pays for carrying its failpoint, so
+/// it must stay an atomic load (~a few ns), not a map lookup.
+double disarmed_ns_per_call(int calls) {
+  isdc::failpoint::disarm();
+  int sink = 0;
+  const auto start = clock_type::now();
+  for (int i = 0; i < calls; ++i) {
+    sink += static_cast<int>(
+        isdc::failpoint::maybe_fail("bench.chaos.disarmed"));
+  }
+  const double seconds = seconds_since(start);
+  static volatile int g_sink;
+  g_sink = sink;
+  return seconds * 1e9 / calls;
+}
+
+struct round_outcome {
+  std::string client_spec;  ///< "" for the clean reference round
+  std::string worker_spec;
+  double seconds = 0.0;
+  bool parity = true;  ///< schedules bit-identical to round 0
+  int job_errors = 0;
+  std::size_t tickets_leaked = 0;
+  bool pool_healed = true;
+  std::uint64_t client_fires = 0;
+  isdc::backend::subprocess_tool::counters pool;
+  std::vector<isdc::failpoint::site_stats> client_sites;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const isdc::bench::flags flags(argc, argv);
+  auto subset = flags.get_list("benchmarks");
+  if (subset.empty()) {
+    for (const isdc::workloads::workload_spec& spec :
+         isdc::workloads::all_workloads()) {
+      subset.push_back(spec.name);
+    }
+    if (flags.quick()) {
+      subset = {"rrot", "ml_datapath0_opcode0", "ml_datapath0_all", "crc32"};
+    }
+  }
+  const int rounds = flags.quick_int("rounds", 3, 2);
+  const int base_seed = flags.get_int("seed", 42);
+  const int shards = flags.quick_int("shards", 4, 2);
+  const int workers = flags.get_int("workers", 2);
+
+  isdc::core::isdc_options opts;
+  opts.max_iterations = flags.quick_int("max-iterations", 3, 2);
+  opts.subgraphs_per_iteration = flags.quick_int("subgraphs", 4, 4);
+  opts.num_threads = 2;
+  opts.compute_threads = isdc::bench::threads_flag(flags);
+
+  std::vector<const isdc::workloads::workload_spec*> specs;
+  for (const std::string& name : subset) {
+    const isdc::workloads::workload_spec* spec =
+        isdc::workloads::find_workload(name);
+    if (spec == nullptr) {
+      std::cerr << "unknown workload: " << name << "\n";
+      return 1;
+    }
+    specs.push_back(spec);
+  }
+  std::vector<isdc::ir::graph> graphs;
+  graphs.reserve(specs.size());
+  std::vector<isdc::engine::fleet_job> jobs;
+  for (const auto* spec : specs) {
+    graphs.push_back(spec->build());
+    jobs.push_back({.name = spec->name,
+                    .graph = &graphs.back(),
+                    .clock_period_ps = spec->clock_period_ps});
+  }
+
+  // The disarmed-check guard first, while no schedule has ever been armed
+  // in this process.
+  const double disarmed_ns =
+      disarmed_ns_per_call(flags.quick() ? 200000 : 1000000);
+
+  // The recoverable-fault schedule: worker-side crashes are seeded inside
+  // each worker process; client-side read timeouts return instantly and
+  // torn writes desync the worker, both recovered by kill+respawn+retry.
+  // Garbage/protocol faults are deliberately absent: those are
+  // deterministic failures and are not retried.
+  const std::string worker_tool = " --tool=aig-depth:rounds=0";
+
+  std::vector<round_outcome> outcomes;
+  std::vector<isdc::core::isdc_result> reference;
+  int violations = 0;
+  for (int round = 0; round < rounds; ++round) {
+    round_outcome out;
+    const int seed = base_seed + round;
+    out.worker_spec =
+        round == 0 ? ""
+                   : "seed=" + std::to_string(seed) +
+                         ";worker.eval=fail@p=0.08";
+    out.client_spec =
+        round == 0 ? ""
+                   : "seed=" + std::to_string(seed) +
+                         ";backend.subprocess.read=timeout@p=0.05;"
+                         "backend.subprocess.write=partial@p=0.03";
+
+    isdc::backend::subprocess_options popts;
+    popts.command = std::string(ISDC_DELAY_WORKER_PATH) + worker_tool;
+    if (!out.worker_spec.empty()) {
+      popts.command += " --failpoints=" + out.worker_spec;
+    }
+    popts.workers = workers;
+    popts.max_attempts = 6;
+    popts.backoff_ms = 1.0;
+    popts.backoff_max_ms = 8.0;
+    isdc::backend::subprocess_tool pool(popts);
+
+    isdc::engine::fleet_options fopts;
+    fopts.shards = shards;
+    fopts.isdc = opts;
+    isdc::engine::fleet fleet(fopts);
+
+    if (!out.client_spec.empty()) {
+      isdc::failpoint::arm(out.client_spec);
+    }
+    const auto start = clock_type::now();
+    const isdc::engine::fleet_report report = fleet.run(jobs, pool);
+    out.seconds = seconds_since(start);
+    out.client_sites = isdc::failpoint::stats();
+    out.client_fires = isdc::failpoint::total_fires();
+    isdc::failpoint::disarm();
+
+    out.tickets_leaked = fleet.cache().num_in_flight();
+    out.pool = pool.stats();
+    try {
+      out.pool_healed = pool.heal() == workers;
+    } catch (const std::exception& e) {
+      std::cerr << "round " << round << ": heal failed: " << e.what()
+                << "\n";
+      out.pool_healed = false;
+    }
+
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      const isdc::engine::fleet_result& r = report.results[i];
+      if (r.error != nullptr) {
+        ++out.job_errors;
+        try {
+          std::rethrow_exception(r.error);
+        } catch (const std::exception& e) {
+          std::cerr << "round " << round << ": " << r.name << ": "
+                    << e.what() << "\n";
+        }
+        continue;
+      }
+      if (round == 0) {
+        reference.push_back(r.result);
+      } else if (i < reference.size() &&
+                 (r.result.final_schedule != reference[i].final_schedule ||
+                  r.result.iterations != reference[i].iterations)) {
+        out.parity = false;
+        std::cerr << "round " << round << ": " << r.name
+                  << ": schedule diverged from the fault-free reference\n";
+      }
+    }
+    if (round == 0 && out.job_errors != 0) {
+      std::cerr << "reference round failed; aborting\n";
+      return 1;
+    }
+
+    const bool counters_ok =
+        out.pool.restarts == out.pool.crashes + out.pool.timeouts &&
+        out.pool.protocol_errors == 0;
+    if (!out.parity || out.job_errors != 0 || out.tickets_leaked != 0 ||
+        !out.pool_healed || !counters_ok) {
+      ++violations;
+    }
+    outcomes.push_back(std::move(out));
+  }
+
+  // A chaos bench where no fault ever fired proves nothing.
+  std::uint64_t injected_total = 0;
+  for (const round_outcome& out : outcomes) {
+    injected_total += out.client_fires + out.pool.crashes;
+  }
+  if (rounds > 1 && injected_total == 0) {
+    std::cerr << "no faults fired across " << rounds - 1
+              << " chaos rounds; the storm is miswired\n";
+    ++violations;
+  }
+  // Guard rail, not a perf target: generous enough to never flake on a
+  // loaded CI box, tight enough to catch the disarmed check gaining a
+  // lock or a map lookup.
+  if (disarmed_ns > 250.0) {
+    std::cerr << "disarmed failpoint check costs " << disarmed_ns
+              << " ns/call (budget 250); it must stay an atomic load\n";
+    ++violations;
+  }
+
+  isdc::text_table table;
+  table.set_header({"Round", "Faults", "t(s)", "Client fires", "Crashes",
+                    "Timeouts", "Restarts", "Retries", "Parity"});
+  isdc::bench::json_array rows;
+  for (std::size_t r = 0; r < outcomes.size(); ++r) {
+    const round_outcome& out = outcomes[r];
+    table.add_row(
+        {std::to_string(r), r == 0 ? "none (reference)" : "recoverable",
+         isdc::format_double(out.seconds, 2),
+         std::to_string(out.client_fires), std::to_string(out.pool.crashes),
+         std::to_string(out.pool.timeouts),
+         std::to_string(out.pool.restarts), std::to_string(out.pool.retries),
+         out.parity && out.job_errors == 0 ? "yes" : "NO"});
+    isdc::bench::json_object row;
+    isdc::bench::json_array sites;
+    for (const isdc::failpoint::site_stats& s : out.client_sites) {
+      isdc::bench::json_object site;
+      site.set("site", s.site)
+          .set("kind", std::string(isdc::failpoint::kind_name(s.fault)))
+          .set("calls", s.calls)
+          .set("fires", s.fires);
+      sites.push_raw(site.str());
+    }
+    row.set("round", static_cast<std::int64_t>(r))
+        .set("client_failpoints", out.client_spec)
+        .set("worker_failpoints", out.worker_spec)
+        .set("seconds", out.seconds)
+        .set("schedule_parity", out.parity)
+        .set("job_errors", out.job_errors)
+        .set("tickets_leaked",
+             static_cast<std::uint64_t>(out.tickets_leaked))
+        .set("pool_healed", out.pool_healed)
+        .set("client_fires", out.client_fires)
+        .set_raw("client_sites", sites.str())
+        .set_raw("subprocess",
+                 isdc::bench::subprocess_counters_json(out.pool).str());
+    rows.push_raw(row.str());
+  }
+
+  std::cout << "=== Chaos soak: recoverable faults vs the fault-free "
+               "reference ===\n";
+  std::cout << "(" << jobs.size() << " designs, " << shards << " shards, "
+            << workers << " workers, " << rounds - 1
+            << " chaos round(s), base seed " << base_seed << ")\n\n";
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nDisarmed failpoint check:  "
+            << isdc::format_double(disarmed_ns, 1) << " ns/call\n";
+  std::cout << "Verdict:                   "
+            << (violations == 0 ? "all rounds bit-identical, pool healed, "
+                                  "no leaks"
+                                : std::to_string(violations) +
+                                      " violation(s) — see stderr")
+            << "\n";
+
+  isdc::bench::json_object root;
+  root.set("bench", "chaos")
+      .set("designs", static_cast<std::int64_t>(jobs.size()))
+      .set("rounds", rounds)
+      .set("base_seed", base_seed)
+      .set("shards", shards)
+      .set("workers", workers)
+      .set("disarmed_failpoint_ns_per_call", disarmed_ns)
+      .set("violations", violations)
+      .set_raw("per_round", rows.str());
+  if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
+    return 1;
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -31,6 +31,7 @@
 #include "ir/builder.h"
 #include "lower/lowering.h"
 #include "sched/sdc_scheduler.h"
+#include "support/failpoint.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 #include "synth/synthesis.h"
@@ -280,6 +281,19 @@ void BM_parallel_for(benchmark::State& state) {
   benchmark::DoNotOptimize(sink.load());
 }
 BENCHMARK(BM_parallel_for)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_failpoint_disarmed(benchmark::State& state) {
+  // Every subprocess pipe read/write (and every cache save) carries a
+  // failpoint; with no schedule armed the check must stay a single
+  // relaxed atomic load, so the chaos hooks can live on production hot
+  // paths. bench_chaos guards the same number in its JSON artifact.
+  isdc::failpoint::disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        isdc::failpoint::maybe_fail("bench.micro.failpoint"));
+  }
+}
+BENCHMARK(BM_failpoint_disarmed);
 
 /// Console output as usual, plus one collected entry per run for the
 /// --json artifact.

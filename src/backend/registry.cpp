@@ -15,8 +15,8 @@ namespace isdc::backend {
 namespace {
 
 const std::vector<std::string> known_names = {
-    "synthesis", "aig-depth", "subprocess",
-    "latency",   "fallback",  "calibrated"};
+    "synthesis", "aig-depth", "subprocess", "latency",
+    "fallback",  "calibrated", "breaker"};
 
 [[noreturn]] void spec_error(const std::string& what) {
   throw std::runtime_error("backend spec error: " + what);
@@ -290,6 +290,9 @@ const core::downstream_tool* build(const parsed_spec& spec,
     o.workers = params.get_int("workers", o.workers);
     o.timeout_ms = params.get_int("timeout_ms", o.timeout_ms);
     o.max_attempts = params.get_int("attempts", o.max_attempts);
+    o.backoff_ms = params.get_double("backoff_ms", o.backoff_ms);
+    o.backoff_max_ms =
+        params.get_double("backoff_max_ms", o.backoff_max_ms);
     params.reject_unknown();
     if (o.command.empty()) {
       spec_error("'subprocess' requires cmd=<worker command>");
@@ -316,6 +319,19 @@ const core::downstream_tool* build(const parsed_spec& spec,
     params.reject_unknown();
     return remember(handle,
                     std::make_unique<fallback_tool>(std::move(chain)));
+  }
+  if (spec.name == "breaker") {
+    expect_children(spec, 1, 1);
+    const core::downstream_tool* child = build(spec.children[0], handle);
+    circuit_breaker_options o;
+    o.window = params.get_int("window", o.window);
+    o.threshold = params.get_double("threshold", o.threshold);
+    o.min_calls = params.get_int("min_calls", o.min_calls);
+    o.cooldown_ms = params.get_double("cooldown_ms", o.cooldown_ms);
+    o.half_open_probes = params.get_int("probes", o.half_open_probes);
+    params.reject_unknown();
+    return remember(handle,
+                    std::make_unique<circuit_breaker_tool>(*child, o));
   }
   if (spec.name == "calibrated") {
     expect_children(spec, 2, 2);

@@ -10,11 +10,14 @@
 // Leaf tools:
 //   synthesis[:rounds=3,rewrite=1,refactor=1]    full synthesis + STA
 //   aig-depth[:ps=80,offset=0,rounds=3,rewrite=1,refactor=1]
-//   subprocess:cmd=<command>[,workers=2,timeout_ms=10000,attempts=3]
+//   subprocess:cmd=<command>[,workers=2,timeout_ms=10000,attempts=3,
+//                            backoff_ms=5,backoff_max_ms=250]
 // Composites:
 //   latency(<spec>)[:ms=50,jitter_ms=0]          injected-latency wrapper
 //   fallback(<spec>,<spec>,...)                  ordered failover chain
 //   calibrated(<proxy spec>,<reference spec>)[:every=8]
+//   breaker(<spec>)[:window=16,threshold=0.5,min_calls=4,cooldown_ms=1000,
+//                   probes=1]                    failure-rate circuit breaker
 // Convenience: inside a composite's child list, a segment that does not
 // start with a known tool name is folded into the previous child's
 // params, so `fallback(subprocess:cmd=w,workers=4,aig-depth)` parses as

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "support/check.h"
+#include "support/failpoint.h"
 
 namespace isdc::backend {
 
@@ -24,6 +25,11 @@ double fallback_tool::subgraph_delay_ps(const ir::graph& sub) const {
   for (const auto& l : chain_) {
     ++l->calls;
     try {
+      if (failpoint::maybe_fail("backend.fallback.link") !=
+          failpoint::kind::none) {
+        throw std::runtime_error(
+            "fallback link: failpoint: injected link failure");
+      }
       return l->tool->subgraph_delay_ps(sub);
     } catch (...) {
       ++l->failures;
@@ -50,6 +56,134 @@ std::vector<fallback_tool::link_counters> fallback_tool::stats() const {
     out.push_back({l->calls.load(), l->failures.load()});
   }
   return out;
+}
+
+circuit_breaker_tool::circuit_breaker_tool(const core::downstream_tool& child,
+                                           circuit_breaker_options options)
+    : child_(child), options_(options) {
+  options_.window = std::max(1, options_.window);
+  options_.threshold = std::clamp(options_.threshold, 0.0, 1.0);
+  options_.min_calls = std::clamp(options_.min_calls, 1, options_.window);
+  options_.cooldown_ms = std::max(0.0, options_.cooldown_ms);
+  options_.half_open_probes = std::max(1, options_.half_open_probes);
+  ring_.assign(static_cast<std::size_t>(options_.window), 0);
+}
+
+double circuit_breaker_tool::subgraph_delay_ps(const ir::graph& sub) const {
+  bool probe = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (state_ == breaker_state::open) {
+      if (std::chrono::steady_clock::now() >= reopen_at_) {
+        state_ = breaker_state::half_open;
+        probes_in_flight_ = 0;
+      } else {
+        ++counters_.short_circuits;
+        throw circuit_open_error(
+            "circuit breaker open for '" + child_.name() +
+            "': recent failure rate over threshold, cooling down");
+      }
+    }
+    if (state_ == breaker_state::half_open) {
+      if (probes_in_flight_ >= options_.half_open_probes) {
+        ++counters_.short_circuits;
+        throw circuit_open_error("circuit breaker half-open for '" +
+                                 child_.name() +
+                                 "': probe already in flight");
+      }
+      ++probes_in_flight_;
+      probe = true;
+    }
+    ++counters_.calls;
+  }
+  try {
+    if (failpoint::maybe_fail("backend.breaker.call") !=
+        failpoint::kind::none) {
+      throw std::runtime_error(
+          "circuit breaker: failpoint: injected child failure");
+    }
+    const double delay_ps = child_.subgraph_delay_ps(sub);
+    record(probe, /*failure=*/false);
+    return delay_ps;
+  } catch (...) {
+    record(probe, /*failure=*/true);
+    throw;
+  }
+}
+
+void circuit_breaker_tool::record(bool probe, bool failure) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (failure) {
+    ++counters_.failures;
+  }
+  const auto reset_ring = [this] {
+    std::fill(ring_.begin(), ring_.end(), 0);
+    ring_pos_ = 0;
+    ring_count_ = 0;
+    ring_failures_ = 0;
+  };
+  if (probe) {
+    if (state_ != breaker_state::half_open) {
+      return;  // a concurrent probe already resolved the transition
+    }
+    --probes_in_flight_;
+    if (failure) {
+      state_ = breaker_state::open;
+      reopen_at_ = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           options_.cooldown_ms));
+      ++counters_.reopens;
+    } else {
+      state_ = breaker_state::closed;
+      ++counters_.closes;
+    }
+    reset_ring();
+    return;
+  }
+  if (state_ != breaker_state::closed) {
+    // A pre-transition call resolving late; the window was reset and this
+    // outcome belongs to the closed era that already ended.
+    return;
+  }
+  if (ring_count_ == options_.window) {
+    ring_failures_ -= ring_[static_cast<std::size_t>(ring_pos_)];
+  } else {
+    ++ring_count_;
+  }
+  ring_[static_cast<std::size_t>(ring_pos_)] = failure ? 1 : 0;
+  ring_failures_ += failure ? 1 : 0;
+  ring_pos_ = (ring_pos_ + 1) % options_.window;
+  if (ring_count_ >= options_.min_calls &&
+      static_cast<double>(ring_failures_) >=
+          options_.threshold * static_cast<double>(ring_count_)) {
+    state_ = breaker_state::open;
+    reopen_at_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(options_.cooldown_ms));
+    ++counters_.opens;
+    reset_ring();
+  }
+}
+
+circuit_breaker_tool::breaker_state circuit_breaker_tool::state() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return state_;
+}
+
+circuit_breaker_tool::counters circuit_breaker_tool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::string circuit_breaker_tool::name() const {
+  std::ostringstream out;
+  out << "breaker(" << child_.name() << ",w=" << options_.window
+      << ",th=" << options_.threshold << ",cd=" << options_.cooldown_ms
+      << "ms)";
+  return out.str();
 }
 
 calibrated_tool::calibrated_tool(const core::downstream_tool& proxy,

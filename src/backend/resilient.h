@@ -6,6 +6,14 @@
 //     degrades to cheaper feedback instead of dying. The canonical stack
 //     is subprocess STA falling back to the AIG-depth proxy.
 //
+// circuit_breaker_tool — failure-rate circuit breaker around one child:
+//     while too many recent calls failed, the circuit is *open* and calls
+//     throw circuit_open_error immediately instead of paying the child's
+//     per-call deadline; after a cool-down a half-open probe tests the
+//     child, closing the circuit on success. Wrap a subprocess/remote link
+//     in a breaker inside a fallback chain and a dead external tool costs
+//     one window of deadlines, not one per call.
+//
 // calibrated_tool — a cheap proxy (e.g. AIG depth) recalibrated online
 //     against sparse reference measurements (e.g. full synthesis or a
 //     subprocess STA): every sample_every-th call also asks the reference
@@ -21,15 +29,24 @@
 #define ISDC_BACKEND_RESILIENT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/downstream.h"
 
 namespace isdc::backend {
+
+/// Thrown by circuit_breaker_tool while the circuit is open: the child was
+/// not called at all. Distinct from the child's own failures so callers
+/// (and tests) can tell a short-circuit from a real downstream error.
+struct circuit_open_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class fallback_tool final : public core::downstream_tool {
 public:
@@ -58,6 +75,71 @@ private:
     std::atomic<std::uint64_t> failures{0};
   };
   std::vector<std::unique_ptr<link>> chain_;
+};
+
+struct circuit_breaker_options {
+  /// Sliding window of recent call outcomes the failure rate is computed
+  /// over.
+  int window = 16;
+  /// Failure rate (failures / outcomes in window) at or above which the
+  /// circuit opens.
+  double threshold = 0.5;
+  /// Outcomes required in the window before the rate is trusted — a single
+  /// early failure must not open a cold circuit.
+  int min_calls = 4;
+  /// How long the circuit stays open before a half-open probe is admitted.
+  double cooldown_ms = 1000.0;
+  /// Concurrent probes admitted while half-open; further calls keep
+  /// short-circuiting until a probe resolves.
+  int half_open_probes = 1;
+};
+
+class circuit_breaker_tool final : public core::downstream_tool {
+public:
+  enum class breaker_state { closed, open, half_open };
+
+  explicit circuit_breaker_tool(const core::downstream_tool& child,
+                                circuit_breaker_options options = {});
+
+  /// Closed/half-open: the child's answer (a child throw counts toward the
+  /// failure window and rethrows). Open: throws circuit_open_error without
+  /// touching the child. A successful half-open probe closes the circuit
+  /// and resets the window; a failed one reopens for another cool-down.
+  double subgraph_delay_ps(const ir::graph& sub) const override;
+
+  /// "breaker(<child>,w=...,th=...,cd=...ms)" — the breaker never alters
+  /// answers, but the distinct identity keeps cache provenance explicit.
+  std::string name() const override;
+
+  breaker_state state() const;
+
+  struct counters {
+    std::uint64_t calls = 0;           ///< calls admitted to the child
+    std::uint64_t failures = 0;        ///< child throws observed
+    std::uint64_t short_circuits = 0;  ///< rejected without calling child
+    std::uint64_t opens = 0;           ///< closed -> open transitions
+    std::uint64_t reopens = 0;         ///< failed half-open probes
+    std::uint64_t closes = 0;          ///< successful half-open probes
+  };
+  counters stats() const;
+
+private:
+  /// Folds one admitted call's outcome back into the state machine.
+  void record(bool probe, bool failure) const;
+
+  const core::downstream_tool& child_;
+  circuit_breaker_options options_;
+
+  mutable std::mutex mu_;
+  mutable breaker_state state_ = breaker_state::closed;
+  mutable std::chrono::steady_clock::time_point reopen_at_{};
+  mutable int probes_in_flight_ = 0;
+  // Outcome ring buffer (1 = failure) with a running failure count.
+  mutable std::vector<unsigned char> ring_;
+  mutable int ring_pos_ = 0;
+  mutable int ring_count_ = 0;
+  mutable int ring_failures_ = 0;
+  mutable counters counters_;
 };
 
 class calibrated_tool final : public core::downstream_tool {

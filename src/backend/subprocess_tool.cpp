@@ -17,6 +17,9 @@
 #include <utility>
 
 #include "backend/netlist.h"
+#include "support/failpoint.h"
+#include "support/hash.h"
+#include "support/retry.h"
 
 namespace isdc::backend {
 
@@ -168,6 +171,12 @@ io_status write_all(subprocess_tool::worker& w, std::string_view data,
 /// SIGKILL + reap. Safe on an already-dead pid (waitpid still reaps it).
 void kill_worker(subprocess_tool::worker& w) {
   if (w.pid > 0) {
+    if (failpoint::maybe_fail("backend.subprocess.kill") ==
+        failpoint::kind::timeout) {
+      // A slow reap only; skipping the kill outright would leak a live
+      // child past the test, so the site injects latency, not absence.
+      ::usleep(2 * 1000);
+    }
     ::kill(w.pid, SIGKILL);
     ::waitpid(w.pid, nullptr, 0);
     w.pid = -1;
@@ -196,6 +205,11 @@ void stop_worker(subprocess_tool::worker& w) {
 
 std::unique_ptr<subprocess_tool::worker> spawn_worker(
     const subprocess_options& options) {
+  if (failpoint::maybe_fail("backend.subprocess.spawn") !=
+      failpoint::kind::none) {
+    throw std::runtime_error(
+        "subprocess backend: failpoint: injected spawn failure");
+  }
   const std::vector<std::string> args = split_command(options.command);
   if (args.empty()) {
     throw std::runtime_error("subprocess backend: empty worker command");
@@ -255,7 +269,24 @@ std::unique_ptr<subprocess_tool::worker> spawn_worker(
   ::fcntl(w->to_child, F_SETFL, O_NONBLOCK);
 
   std::string greeting;
-  const io_status st = read_line(*w, options.timeout_ms, greeting);
+  io_status st = io_status::ok;
+  switch (failpoint::maybe_fail("backend.subprocess.handshake")) {
+    case failpoint::kind::timeout:
+      st = io_status::timed_out;
+      break;
+    case failpoint::kind::fail:
+      st = io_status::closed;
+      break;
+    case failpoint::kind::garbage:
+      st = read_line(*w, options.timeout_ms, greeting);
+      if (st == io_status::ok) {
+        greeting.insert(0, "\x01garbled ");
+      }
+      break;
+    default:
+      st = read_line(*w, options.timeout_ms, greeting);
+      break;
+  }
   if (st != io_status::ok || greeting != ready_line) {
     kill_worker(*w);
     std::ostringstream msg;
@@ -281,6 +312,9 @@ subprocess_tool::subprocess_tool(subprocess_options options)
   ignore_sigpipe();
   options_.workers = std::max(1, options_.workers);
   options_.max_attempts = std::max(1, options_.max_attempts);
+  options_.backoff_ms = std::max(0.0, options_.backoff_ms);
+  options_.backoff_max_ms =
+      std::max(options_.backoff_ms, options_.backoff_max_ms);
   try {
     for (int i = 0; i < options_.workers; ++i) {
       idle_.push_back(spawn_worker(options_));
@@ -350,13 +384,46 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
     slot_free_.notify_one();
   };
 
+  // Exponential backoff between attempts, seeded by the command so the
+  // sleep sequence is deterministic per pool (support/retry.h).
+  const retry_policy backoff{.max_attempts = options_.max_attempts,
+                             .initial_backoff_ms = options_.backoff_ms,
+                             .multiplier = 2.0,
+                             .max_backoff_ms = options_.backoff_max_ms,
+                             .jitter = 0.25,
+                             .seed =
+                                 fnv1a64().mix(options_.command).value()};
+
   std::string transient;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++retries_;
+      backoff.sleep_before_retry(attempt);
     }
     std::unique_ptr<worker> w = acquire();
-    const io_status sent = write_all(*w, request, options_.timeout_ms);
+    io_status sent;
+    switch (failpoint::maybe_fail("backend.subprocess.write")) {
+      case failpoint::kind::timeout:
+        sent = io_status::timed_out;
+        break;
+      case failpoint::kind::partial:
+        // Torn request: a prefix reaches the worker, then the pipe
+        // "breaks". The worker is desynced mid-line, so only the crash
+        // path (kill + respawn + retry) recovers correctly.
+        (void)write_all(*w,
+                        std::string_view(request).substr(0,
+                                                         request.size() / 2),
+                        options_.timeout_ms);
+        sent = io_status::closed;
+        break;
+      case failpoint::kind::fail:
+      case failpoint::kind::garbage:
+        sent = io_status::closed;
+        break;
+      default:
+        sent = write_all(*w, request, options_.timeout_ms);
+        break;
+    }
     if (sent == io_status::timed_out) {
       ++timeouts_;
       transient = "worker stopped accepting requests within the " +
@@ -371,7 +438,29 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
       continue;
     }
     std::string line;
-    const io_status st = read_line(*w, options_.timeout_ms, line);
+    io_status st;
+    const failpoint::kind read_fault =
+        failpoint::maybe_fail("backend.subprocess.read");
+    switch (read_fault) {
+      case failpoint::kind::timeout:
+        st = io_status::timed_out;
+        break;
+      case failpoint::kind::fail:
+        st = io_status::closed;
+        break;
+      default:
+        st = read_line(*w, options_.timeout_ms, line);
+        if (st == io_status::ok) {
+          if (read_fault == failpoint::kind::garbage) {
+            line.insert(0, "\x01garbage ");
+          } else if (read_fault == failpoint::kind::partial) {
+            // Truncate hard (to "ok" with no value) so the corruption can
+            // never parse as a plausible-but-wrong delay.
+            line.resize(std::min<std::size_t>(line.size(), 2));
+          }
+        }
+        break;
+    }
     if (st == io_status::timed_out) {
       ++timeouts_;
       transient = "deadline of " + std::to_string(options_.timeout_ms) +
@@ -433,6 +522,35 @@ std::string subprocess_tool::name() const {
   out << "subprocess(" << options_.command << ",w=" << options_.workers
       << ",t=" << options_.timeout_ms << "ms)";
   return out.str();
+}
+
+int subprocess_tool::heal() const {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (live_slots_ >= options_.workers) {
+        return live_slots_;
+      }
+      ++live_slots_;
+    }
+    std::unique_ptr<worker> w;
+    try {
+      w = spawn_worker(options_);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        --live_slots_;
+      }
+      slot_free_.notify_one();
+      throw;
+    }
+    release(std::move(w));
+  }
+}
+
+int subprocess_tool::live_workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_slots_;
 }
 
 subprocess_tool::counters subprocess_tool::stats() const {

@@ -55,6 +55,13 @@ struct subprocess_options {
   /// Total tries per call: the first send plus retries on fresh workers
   /// after a crash or timeout.
   int max_attempts = 3;
+  /// Sleep before the first retry (exponential thereafter, deterministic
+  /// jitter — see support/retry.h). Small by default: pool retries are
+  /// usually request-local (one worker died), so the main point is to not
+  /// spin when the failure is environmental. 0 restores back-to-back
+  /// retries.
+  double backoff_ms = 5.0;
+  double backoff_max_ms = 250.0;
 };
 
 class subprocess_tool final : public core::downstream_tool {
@@ -89,6 +96,17 @@ public:
     std::uint64_t protocol_errors = 0;  ///< unparseable worker responses
   };
   counters stats() const;
+
+  /// Respawns every dead slot now (acquire() normally heals lazily) and
+  /// returns the live-worker count, == options().workers on success.
+  /// Throws if a respawn fails. Chaos tests call this after a fault soak
+  /// to assert the pool recovered fully.
+  int heal() const;
+
+  /// Workers currently alive (idle or checked out).
+  int live_workers() const;
+
+  const subprocess_options& options() const { return options_; }
 
 private:
   /// Blocks until a worker slot is free and takes ownership of it.

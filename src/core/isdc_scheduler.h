@@ -63,6 +63,13 @@ struct isdc_options {
   /// dispatch-pool width — downstream calls block on an external tool, so
   /// they are I/O-bound, not CPU-bound). 0 = 4 * subgraphs_per_iteration.
   int async_max_in_flight = 0;
+  /// Wall-clock budget for one run, in milliseconds; 0 = unlimited. When
+  /// the budget expires the run stops cooperatively at the next iteration
+  /// boundary (pending async evaluations are drained or abandoned, never
+  /// leaked) and returns the best schedule found so far with
+  /// isdc_result::cancelled set — a budget expiry is a result, not an
+  /// error.
+  double wall_budget_ms = 0.0;
 };
 
 /// Metrics of one schedule in the iteration history. Entry 0 is the
@@ -99,6 +106,9 @@ struct isdc_result {
   int iterations = 0;              ///< feedback iterations executed
   sched::delay_matrix delays{0};   ///< final updated matrix
   sched::delay_matrix naive_delays{0};  ///< the initial matrix (Alg. 1, 1-9)
+  /// True when the run was cut short by a wall_budget_ms expiry or an
+  /// external cancellation token; every populated field is still valid.
+  bool cancelled = false;
 };
 
 /// Runs the full ISDC flow. `model` provides the pre-characterized per-op

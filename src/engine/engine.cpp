@@ -131,10 +131,22 @@ core::isdc_result engine::run(const ir::graph& g,
                               const core::isdc_options& options,
                               const synth::delay_model* model,
                               thread_pool* shared_pool,
-                              thread_pool* compute_pool) {
+                              thread_pool* compute_pool,
+                              const cancellation_token* cancel) {
   ISDC_CHECK(options.max_iterations >= 0);
   ISDC_CHECK(options.subgraphs_per_iteration > 0);
   ISDC_CHECK(options.compute_threads >= 0);
+
+  // The run's cancellation token: a child of the caller's (so an external
+  // cancel reaches us but our deadline never touches siblings), or a fresh
+  // one when only a wall budget is set, or inert when neither applies.
+  cancellation_token run_cancel;
+  if (cancel != nullptr && cancel->valid()) {
+    run_cancel = cancel->child();
+  } else if (options.wall_budget_ms > 0.0) {
+    run_cancel = cancellation_token::make();
+  }
+  run_cancel.set_deadline_after(options.wall_budget_ms);
 
   // The in-design compute pool: the caller's (fleet mode — shards and
   // in-design work co-schedule on one pool), the process default, or a
@@ -220,6 +232,7 @@ core::isdc_result engine::run(const ir::graph& g,
                .in_flight = 0,
                .next_ticket = 0,
                .quiesce = false,
+               .cancel = run_cancel,
                .candidate_cache = {},
                .candidate_cache_fresh = false};
   // After rs (and before anything that can throw below): its destructor
@@ -245,6 +258,13 @@ core::isdc_result engine::run(const ir::graph& g,
        async ? consumed_total < evaluation_budget
              : iter <= options.max_iterations;
        ++iter) {
+    if (run_cancel.cancelled()) {
+      // Budget expired / externally cancelled: stop here with the best
+      // schedule so far. In-flight evaluations are drained below (and by
+      // the drain guard), never leaked.
+      result.cancelled = true;
+      break;
+    }
     iteration_state it;
     it.iteration = iter;
 

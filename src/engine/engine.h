@@ -25,6 +25,7 @@
 #include "engine/evaluation_cache.h"
 #include "engine/observer.h"
 #include "engine/stage.h"
+#include "support/cancellation.h"
 
 namespace isdc::engine {
 
@@ -95,12 +96,16 @@ public:
   /// (parallel kernels, concurrent extraction) — the fleet passes one
   /// process-wide pool so shards and in-design work co-schedule instead of
   /// oversubscribing; it must outlive the call. Results are bit-identical
-  /// whatever pool (or none) is used.
+  /// whatever pool (or none) is used. `cancel`, when non-null and valid,
+  /// cooperatively stops the run at the next iteration boundary (combined
+  /// with isdc_options::wall_budget_ms via a child token); the result is
+  /// the best schedule so far with isdc_result::cancelled set.
   core::isdc_result run(const ir::graph& g, const core::downstream_tool& tool,
                         const core::isdc_options& options = {},
                         const synth::delay_model* model = nullptr,
                         thread_pool* shared_pool = nullptr,
-                        thread_pool* compute_pool = nullptr);
+                        thread_pool* compute_pool = nullptr,
+                        const cancellation_token* cancel = nullptr);
 
 private:
   std::vector<std::unique_ptr<stage>> pipeline_;

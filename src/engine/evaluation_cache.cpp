@@ -1,19 +1,71 @@
 #include "engine/evaluation_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "support/check.h"
+#include "support/crc32.h"
+#include "support/failpoint.h"
 
 namespace isdc::engine {
 
 namespace {
 
 // 8-byte magic; the trailing byte is the container format version.
-constexpr char kMagic[8] = {'I', 'S', 'D', 'C', 'E', 'V', 'C', '\x01'};
+// Version 2 (the CRC-checked stream): header (magic + key_schema), then
+// one 20-byte record per entry — key(8) + delay(8) + crc32 of those 16
+// payload bytes — then a 20-byte footer: kFooter(8) + record count(8) +
+// the running crc32 chained over every record payload in order. Records
+// are sorted by key, so a given cache state has exactly one byte image.
+constexpr char kMagic[8] = {'I', 'S', 'D', 'C', 'E', 'V', 'C', '\x02'};
+constexpr char kFooter[8] = {'I', 'S', 'D', 'C', 'E', 'N', 'D', '\x02'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
+constexpr std::size_t kRecordBytes =
+    2 * sizeof(std::uint64_t) + sizeof(std::uint32_t);
+
+void append_bytes(std::string& out, const void* data, std::size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+/// write(2) the whole buffer, surviving EINTR and short writes.
+bool write_fully(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable, not just the file bytes.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
 
 }  // namespace
 
@@ -143,77 +195,196 @@ bool evaluation_cache::save(const std::string& path,
       }
     }
   }
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return false;
-    }
-    out.write(kMagic, sizeof(kMagic));
-    const std::uint64_t count = delays.size();
-    out.write(reinterpret_cast<const char*>(&key_schema), sizeof(key_schema));
-    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    for (const auto& [key, delay] : delays) {
-      out.write(reinterpret_cast<const char*>(&key), sizeof(key));
-      out.write(reinterpret_cast<const char*>(&delay), sizeof(delay));
-    }
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return false;
-    }
+  // Sorted by key: identical cache contents produce identical bytes, so
+  // tests (and cache federation diffs) can compare files directly.
+  std::sort(delays.begin(), delays.end());
+
+  std::string bytes;
+  bytes.reserve(kHeaderBytes + delays.size() * kRecordBytes + kRecordBytes);
+  append_bytes(bytes, kMagic, sizeof(kMagic));
+  append_bytes(bytes, &key_schema, sizeof(key_schema));
+  std::uint32_t stream_crc = 0;
+  for (const auto& [key, delay] : delays) {
+    char payload[2 * sizeof(std::uint64_t)];
+    std::memcpy(payload, &key, sizeof(key));
+    std::memcpy(payload + sizeof(key), &delay, sizeof(delay));
+    const std::uint32_t crc = crc32(payload, sizeof(payload));
+    stream_crc = crc32(payload, sizeof(payload), stream_crc);
+    append_bytes(bytes, payload, sizeof(payload));
+    append_bytes(bytes, &crc, sizeof(crc));
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  const std::uint64_t count = delays.size();
+  append_bytes(bytes, kFooter, sizeof(kFooter));
+  append_bytes(bytes, &count, sizeof(count));
+  append_bytes(bytes, &stream_crc, sizeof(stream_crc));
+
+  // Chaos hooks. `fail` drops the save cleanly; `partial` and `garbage`
+  // simulate a torn write / bit flip that still gets renamed into place,
+  // which is exactly what load_checked's salvage path must absorb.
+  switch (failpoint::maybe_fail("engine.cache.save")) {
+    case failpoint::kind::fail:
+      return false;
+    case failpoint::kind::partial:
+      bytes.resize(kHeaderBytes + (delays.size() / 2) * kRecordBytes +
+                   kRecordBytes / 2);
+      break;
+    case failpoint::kind::garbage:
+      if (bytes.size() > kHeaderBytes) {
+        bytes[kHeaderBytes + (bytes.size() - kHeaderBytes) / 2] ^= 0x40;
+      }
+      break;
+    default:
+      break;
+  }
+
+  // Unique temp name: two processes flushing the same cache_file write
+  // disjoint temps and the later rename wins whole, instead of
+  // interleaving partial writes into one shared ".tmp".
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  // fsync before rename: the rename must never become visible ahead of
+  // the bytes it names, or a crash between them leaves a torn "complete"
+  // file.
+  if (!write_fully(fd, bytes) || ::fsync(fd) != 0) {
+    ::close(fd);
     std::remove(tmp.c_str());
     return false;
   }
+  ::close(fd);
+  if (failpoint::maybe_fail("engine.cache.rename") != failpoint::kind::none ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  sync_parent_dir(path);
   return true;
+}
+
+evaluation_cache::load_report evaluation_cache::load_checked(
+    const std::string& path, std::uint64_t key_schema) {
+  load_report report;
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      report.error = "missing or unreadable file";
+      return report;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  if (failpoint::maybe_fail("engine.cache.load") != failpoint::kind::none) {
+    report.error = "failpoint: injected load failure";
+    return report;
+  }
+
+  // Recognized-but-foreign files (another container version, another key
+  // schema) are rejected cleanly and left in place: they are not corrupt,
+  // just not ours to read — or to destroy.
+  if (bytes.size() >= sizeof(kMagic) &&
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic) - 1) == 0 &&
+      bytes[sizeof(kMagic) - 1] != kMagic[sizeof(kMagic) - 1]) {
+    report.error = "different container format version";
+    return report;
+  }
+  std::uint64_t schema = 0;
+  if (bytes.size() >= kHeaderBytes) {
+    std::memcpy(&schema, bytes.data() + sizeof(kMagic), sizeof(schema));
+  }
+  const bool magic_ok =
+      bytes.size() >= kHeaderBytes &&
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+  if (magic_ok && schema != key_schema) {
+    report.error = "different key schema";
+    return report;
+  }
+
+  // Everything else is treated as corruption: walk the record stream,
+  // keep every record whose CRC checks out, stop at the first bad byte.
+  std::vector<std::pair<std::uint64_t, double>> delays;
+  bool clean = false;
+  if (!magic_ok) {
+    report.error = "bad file header";
+  } else {
+    std::size_t off = kHeaderBytes;
+    std::uint32_t stream_crc = 0;
+    while (bytes.size() - off >= kRecordBytes) {
+      if (std::memcmp(bytes.data() + off, kFooter, sizeof(kFooter)) == 0) {
+        std::uint64_t count = 0;
+        std::uint32_t footer_crc = 0;
+        std::memcpy(&count, bytes.data() + off + sizeof(kFooter),
+                    sizeof(count));
+        std::memcpy(&footer_crc,
+                    bytes.data() + off + sizeof(kFooter) + sizeof(count),
+                    sizeof(footer_crc));
+        if (count == delays.size() && footer_crc == stream_crc &&
+            off + kRecordBytes == bytes.size()) {
+          clean = true;
+        } else {
+          report.error = "footer mismatch (torn write?)";
+        }
+        break;
+      }
+      std::uint32_t crc = 0;
+      std::memcpy(&crc, bytes.data() + off + 2 * sizeof(std::uint64_t),
+                  sizeof(crc));
+      if (crc32(bytes.data() + off, 2 * sizeof(std::uint64_t)) != crc) {
+        report.error = "record checksum mismatch at byte " +
+                       std::to_string(off);
+        break;
+      }
+      std::uint64_t key = 0;
+      double delay = 0.0;
+      std::memcpy(&key, bytes.data() + off, sizeof(key));
+      std::memcpy(&delay, bytes.data() + off + sizeof(key), sizeof(delay));
+      stream_crc =
+          crc32(bytes.data() + off, 2 * sizeof(std::uint64_t), stream_crc);
+      delays.emplace_back(key, delay);
+      off += kRecordBytes;
+    }
+    if (!clean && report.error.empty()) {
+      report.error = "truncated record stream (missing footer)";
+    }
+  }
+
+  if (!delays.empty() || clean) {
+    std::lock_guard lock(mutex_);
+    for (const auto& [key, delay] : delays) {
+      entry& e = entries_[key];
+      if (!e.has_delay) {
+        ++num_delays_;
+      }
+      e.delay_ps = delay;
+      e.has_delay = true;
+    }
+  }
+  report.records = delays.size();
+  if (clean) {
+    report.ok = true;
+    return report;
+  }
+
+  // Corrupt: quarantine the file so the evidence survives and the next
+  // save starts clean. Never abort the run over it.
+  report.salvaged = true;
+  const std::string quarantine = path + ".corrupt";
+  if (std::rename(path.c_str(), quarantine.c_str()) == 0) {
+    report.quarantined_to = quarantine;
+  }
+  return report;
 }
 
 bool evaluation_cache::load(const std::string& path,
                             std::uint64_t key_schema) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return false;
-  }
-  char magic[sizeof(kMagic)];
-  std::uint64_t schema = 0;
-  std::uint64_t count = 0;
-  in.read(magic, sizeof(magic));
-  in.read(reinterpret_cast<char*>(&schema), sizeof(schema));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
-      schema != key_schema) {
-    return false;
-  }
-  // Validate the whole payload before mutating the cache, so a truncated
-  // file loads nothing rather than half of something. The on-disk count
-  // is untrusted: a corrupt header must produce `false`, not a
-  // length_error/bad_alloc from reserving by it, so the reservation is
-  // capped and the loop lets the stream run dry instead.
-  std::vector<std::pair<std::uint64_t, double>> delays;
-  delays.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(count, 1u << 20)));
-  for (std::uint64_t i = 0; i < count; ++i) {
-    std::uint64_t key = 0;
-    double delay = 0.0;
-    in.read(reinterpret_cast<char*>(&key), sizeof(key));
-    in.read(reinterpret_cast<char*>(&delay), sizeof(delay));
-    if (!in) {
-      return false;
-    }
-    delays.emplace_back(key, delay);
-  }
-  std::lock_guard lock(mutex_);
-  for (const auto& [key, delay] : delays) {
-    entry& e = entries_[key];
-    if (!e.has_delay) {
-      ++num_delays_;
-    }
-    e.delay_ps = delay;
-    e.has_delay = true;
-  }
-  return true;
+  const load_report report = load_checked(path, key_schema);
+  return report.ok || (report.salvaged && report.records > 0);
 }
 
 }  // namespace isdc::engine

@@ -118,17 +118,42 @@ public:
   void clear();
 
   /// Serializes the memoized delays (in-flight tickets and counters are
-  /// transient and skipped) as a versioned binary file, written atomically
-  /// via a temp file + rename. `key_schema` identifies how keys were
-  /// computed — pass extract::canonical_fingerprint_version() — so a cache
-  /// written under one fingerprint algorithm is never misread under
-  /// another. Returns false on I/O failure.
+  /// transient and skipped) as a versioned binary file. `key_schema`
+  /// identifies how keys were computed — pass
+  /// extract::canonical_fingerprint_version() — so a cache written under
+  /// one fingerprint algorithm is never misread under another.
+  ///
+  /// Crash-safe: every record carries a CRC32, the file ends in a footer
+  /// (count + whole-stream CRC), the bytes are fsync'd before a rename
+  /// from a uniquely named temp file (pid + counter suffix, so concurrent
+  /// processes flushing one cache_file never clobber each other's partial
+  /// writes), and records are sorted by key so identical contents produce
+  /// identical bytes. Returns false on I/O failure (the previous file, if
+  /// any, is left intact).
   bool save(const std::string& path, std::uint64_t key_schema) const;
 
+  /// What load_checked() found. A *corrupt* file (torn write, bit flip,
+  /// truncation) is never fatal: every record whose CRC checks out up to
+  /// the first bad byte is merged (`salvaged`, `records`), and the bad
+  /// file is moved aside to `<path>.corrupt` (`quarantined_to`) so the
+  /// next save starts clean and the evidence survives for inspection. A
+  /// recognized-but-foreign file (other format version, other key schema)
+  /// is rejected cleanly: nothing loaded, nothing quarantined.
+  struct load_report {
+    bool ok = false;        ///< clean, complete load
+    bool salvaged = false;  ///< corrupt file: valid prefix merged
+    std::size_t records = 0;  ///< entries merged into the cache
+    std::string quarantined_to;  ///< where the corrupt file was moved
+    std::string error;  ///< human-readable reason when not ok
+  };
+
   /// Merges entries from a file written by save() into the cache (existing
-  /// delays are overwritten; tickets are untouched). Returns false — and
-  /// loads nothing — when the file is missing, corrupt, from a different
-  /// format version or from a different key schema.
+  /// delays are overwritten; tickets are untouched).
+  load_report load_checked(const std::string& path,
+                           std::uint64_t key_schema);
+
+  /// load_checked() reduced to a bool: true when anything was loaded
+  /// (cleanly, or salvaged from a corrupt file).
   bool load(const std::string& path, std::uint64_t key_schema);
 
 private:

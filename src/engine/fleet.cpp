@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "support/check.h"
+#include "support/failpoint.h"
 
 namespace isdc::engine {
 
@@ -58,7 +60,8 @@ fleet::~fleet() = default;
 bool fleet::flush_cache() const { return engine_.flush_cache_file(); }
 
 fleet_report fleet::run(const std::vector<fleet_job>& jobs,
-                        const core::downstream_tool& tool) {
+                        const core::downstream_tool& tool,
+                        const cancellation_token* cancel) {
   fleet_report report;
   report.results.resize(jobs.size());
   const evaluation_cache::counters before = cache_.stats();
@@ -74,12 +77,29 @@ fleet_report fleet::run(const std::vector<fleet_job>& jobs,
     const auto job_start = clock_type::now();
     try {
       ISDC_CHECK(job.graph != nullptr, "fleet job without a graph");
+      if (failpoint::maybe_fail("engine.fleet.job") !=
+          failpoint::kind::none) {
+        throw std::runtime_error("fleet job '" + job.name +
+                                 "': failpoint: injected job failure");
+      }
       core::isdc_options opts = options_.isdc;
       if (job.clock_period_ps.has_value()) {
         opts.base.clock_period_ps = *job.clock_period_ps;
       }
+      // Each job's token: a child of the batch token (so cancelling the
+      // batch reaches it) with its own per-job deadline; siblings are
+      // never touched by either.
+      cancellation_token job_cancel;
+      if (cancel != nullptr && cancel->valid()) {
+        job_cancel = cancel->child();
+      } else if (options_.job_budget_ms > 0.0) {
+        job_cancel = cancellation_token::make();
+      }
+      job_cancel.set_deadline_after(options_.job_budget_ms);
       out.result =
-          engine_.run(*job.graph, tool, opts, &model_, &io_pool_, compute_);
+          engine_.run(*job.graph, tool, opts, &model_, &io_pool_, compute_,
+                      job_cancel.valid() ? &job_cancel : nullptr);
+      out.cancelled = out.result.cancelled;
     } catch (...) {
       out.error = std::current_exception();
     }

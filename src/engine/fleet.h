@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "support/cancellation.h"
 #include "support/thread_pool.h"
 #include "synth/characterizer.h"
 
@@ -43,6 +44,12 @@ struct fleet_options {
   int pool_width = 0;
   /// Optional persisted-cache path; empty = in-memory only.
   std::string cache_path;
+  /// Per-job wall-clock budget in milliseconds; 0 = unlimited. A job that
+  /// overruns stops cooperatively at its next iteration boundary and
+  /// reports its best schedule with fleet_result::cancelled set — it never
+  /// sinks the batch or holds its shard hostage. Combines with (never
+  /// replaces) an external cancel token passed to run().
+  double job_budget_ms = 0.0;
 };
 
 /// One design to schedule. The graph must outlive fleet::run.
@@ -57,6 +64,9 @@ struct fleet_result {
   core::isdc_result result;  ///< valid only when error == nullptr
   double seconds = 0.0;      ///< this job's wall clock on its shard
   std::exception_ptr error;  ///< a failed job never sinks the batch
+  /// Job cut short (job_budget_ms or the batch cancel token); the result
+  /// still holds the best schedule found before the cut.
+  bool cancelled = false;
 };
 
 struct fleet_report {
@@ -79,9 +89,13 @@ public:
 
   /// Schedules every job, `shards` at a time, through the shared engine.
   /// `tool` is the one downstream backend for the whole batch and must be
-  /// thread-safe. Callable repeatedly; the cache keeps warming.
+  /// thread-safe. Callable repeatedly; the cache keeps warming. `cancel`,
+  /// when non-null and valid, cancels every still-running job
+  /// cooperatively; each job also gets its own job_budget_ms deadline as a
+  /// child token.
   fleet_report run(const std::vector<fleet_job>& jobs,
-                   const core::downstream_tool& tool);
+                   const core::downstream_tool& tool,
+                   const cancellation_token* cancel = nullptr);
 
   evaluation_cache& cache() { return cache_; }
   synth::delay_model& model() { return model_; }

@@ -29,6 +29,7 @@
 #include "extract/scoring.h"
 #include "extract/subgraph.h"
 #include "sched/scheduler_instance.h"
+#include "support/cancellation.h"
 #include "support/completion_queue.h"
 #include "support/thread_pool.h"
 
@@ -99,6 +100,12 @@ struct run_state {
   /// new) and the loop just drains until in_flight reaches zero or an
   /// arrival improves the schedule.
   bool quiesce = false;
+  /// Cooperative cancellation for this run (wall_budget_ms and/or an
+  /// external token): the driver checks it at iteration boundaries and the
+  /// async dispatch path checks it before each downstream call, abandoning
+  /// the ticket instead of calling out. May be an inert default token
+  /// (cancelled() always false) when the run has no budget.
+  cancellation_token cancel;
   /// Async candidate memo: the ranked candidate list is a function of the
   /// current schedule (and the delay matrix), so passes whose re-solve
   /// left the schedule untouched reuse it instead of re-enumerating —

@@ -14,17 +14,31 @@
 #include "extract/cone.h"
 #include "extract/path_enum.h"
 #include "extract/window.h"
+#include "support/cancellation.h"
 #include "support/check.h"
 
 namespace isdc::engine {
 
 namespace {
 
+/// True when the arrival's error is a cancellation, not a failure: the
+/// dispatch path abandons tickets it finds already cancelled, and those
+/// arrivals mean "no result", never "downstream broke".
+bool is_cancellation(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const cancelled_error&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
 /// Folds a batch of arrivals into the iteration, oldest dispatch first so
-/// the matrix-update order (and the change log) is independent of when
-/// completions physically landed. A failed downstream call is rethrown —
-/// after the whole batch is accounted, so the in-flight count stays
-/// consistent.
+/// the matrix-update order (and the change log) is independent of
+/// when completions physically landed. A failed downstream call is
+/// rethrown — after the whole batch is accounted, so the in-flight count
+/// stays consistent. Cancelled arrivals are accounted and dropped.
 void consume_arrivals(run_state& rs, iteration_state& it,
                       std::vector<evaluation_arrival> arrivals) {
   std::sort(arrivals.begin(), arrivals.end(),
@@ -37,7 +51,7 @@ void consume_arrivals(run_state& rs, iteration_state& it,
     --rs.in_flight;
     ++it.evaluations_arrived;
     if (arrival.error != nullptr) {
-      if (first_error == nullptr) {
+      if (first_error == nullptr && !is_cancellation(arrival.error)) {
         first_error = arrival.error;
       }
       continue;
@@ -450,12 +464,18 @@ private:
     // ticket on the throw.
     rs.dispatch_pool.submit(
         [tool = &rs.tool, cache = &rs.cache, completions = &rs.completions,
-         sequence, key, members = std::move(members),
+         cancel = rs.cancel, sequence, key, members = std::move(members),
          sub_ir = std::move(sub_ir)]() mutable {
           evaluation_arrival arrival;
           arrival.sequence = sequence;
           arrival.evaluation.members = std::move(members);
           try {
+            if (cancel.cancelled()) {
+              // The run is winding down: release the ticket without
+              // calling out, so a cancelled run never waits on (or pays
+              // for) downstream work it will discard.
+              throw cancelled_error("evaluation cancelled before dispatch");
+            }
             arrival.evaluation.delay_ps = tool->subgraph_delay_ps(sub_ir.g);
             cache->store(key, arrival.evaluation.delay_ps);
           } catch (...) {

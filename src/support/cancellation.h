@@ -1,0 +1,98 @@
+// Cooperative cancellation with optional deadlines. A token is a cheap
+// value handle onto shared state; holders poll cancelled() at natural
+// checkpoints (the engine driver checks between iterations, the async
+// dispatch path checks before each downstream call) and wind down
+// gracefully — draining in-flight work, returning the best result so far —
+// instead of unwinding through an exception.
+//
+// Tokens link parent -> child: a fleet holds one run-wide token and hands
+// each job a child, so cancelling the fleet cancels every job while a
+// job's own deadline (fleet_options::job_budget_ms) never touches its
+// siblings. A default-constructed token is inert (cancelled() is always
+// false, costs one null check), so APIs can take tokens unconditionally.
+#ifndef ISDC_SUPPORT_CANCELLATION_H_
+#define ISDC_SUPPORT_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace isdc {
+
+/// Thrown (or carried in an arrival's exception_ptr) by paths that must
+/// abort a blocking operation on cancellation; consumers treat it as "no
+/// result", never as a failure.
+struct cancelled_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class cancellation_token {
+public:
+  /// Inert token: never cancelled, no allocation.
+  cancellation_token() = default;
+
+  static cancellation_token make() {
+    cancellation_token t;
+    t.state_ = std::make_shared<state>();
+    return t;
+  }
+
+  /// A linked child: cancelled when this token is, or when its own flag or
+  /// deadline fires. Cancelling the child never affects the parent.
+  /// Calling child() on an inert token yields an independent valid token.
+  cancellation_token child() const {
+    cancellation_token t;
+    t.state_ = std::make_shared<state>();
+    t.state_->parent = state_;
+    return t;
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// No-op on an inert token.
+  void request_cancel() const {
+    if (state_ != nullptr) {
+      state_->flag.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Arms a wall-clock deadline `ms` from now; <= 0 or inert is a no-op.
+  void set_deadline_after(double ms) const {
+    if (state_ == nullptr || ms <= 0.0) {
+      return;
+    }
+    const auto when =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    state_->deadline.store(when.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    for (const state* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->flag.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      const auto d = s->deadline.load(std::memory_order_relaxed);
+      if (d != 0 &&
+          std::chrono::steady_clock::now().time_since_epoch().count() >= d) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+private:
+  struct state {
+    std::atomic<bool> flag{false};
+    std::atomic<std::chrono::steady_clock::rep> deadline{0};
+    std::shared_ptr<const state> parent;
+  };
+  std::shared_ptr<state> state_;
+};
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_CANCELLATION_H_

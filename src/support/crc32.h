@@ -1,0 +1,48 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for integrity
+// checking the persisted evaluation-cache stream. Table-driven,
+// header-only; supports incremental chaining by passing the previous value
+// back in.
+#ifndef ISDC_SUPPORT_CRC32_H_
+#define ISDC_SUPPORT_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace isdc {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crc32_table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `size` bytes at `data`, continuing from `crc` (pass the
+/// previous return value to checksum a stream incrementally; 0 to start).
+/// crc32("123456789") == 0xCBF43926.
+inline std::uint32_t crc32(const void* data, std::size_t size,
+                           std::uint32_t crc = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = detail::crc32_table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_CRC32_H_

@@ -1,0 +1,282 @@
+#include "support/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "support/hash.h"
+
+namespace isdc::failpoint {
+
+namespace detail {
+std::atomic<bool> armed_flag{false};
+}  // namespace detail
+
+namespace {
+
+struct site_config {
+  std::string site;
+  std::uint64_t site_hash = 0;
+  kind fault = kind::none;
+  double p = 1.0;            ///< per-call probability (when no n/every)
+  std::uint64_t n = 0;       ///< fire exactly on this 1-based call
+  std::uint64_t every = 0;   ///< fire on every multiple of this call index
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+struct schedule {
+  std::string spec;
+  std::uint64_t seed = 0;
+  // Stable addresses: evaluate() holds a shared_ptr to the schedule and
+  // bumps site counters without the registry lock.
+  std::vector<std::unique_ptr<site_config>> sites;
+};
+
+// The registry lock only guards the shared_ptr swap; evaluate() copies the
+// pointer out and works on the immutable schedule (counters are atomic).
+std::mutex registry_mu;
+std::shared_ptr<schedule> current_schedule;
+
+std::shared_ptr<schedule> snapshot() {
+  std::lock_guard<std::mutex> lk(registry_mu);
+  return current_schedule;
+}
+
+[[noreturn]] void spec_error(const std::string& what,
+                             const std::string& spec) {
+  throw std::runtime_error("failpoint spec error: " + what + " in '" + spec +
+                           "'");
+}
+
+kind parse_kind(std::string_view text, const std::string& spec) {
+  if (text == "fail") {
+    return kind::fail;
+  }
+  if (text == "timeout") {
+    return kind::timeout;
+  }
+  if (text == "garbage") {
+    return kind::garbage;
+  }
+  if (text == "partial") {
+    return kind::partial;
+  }
+  spec_error("unknown fault kind '" + std::string(text) +
+                 "' (known: fail, timeout, garbage, partial)",
+             spec);
+}
+
+std::uint64_t parse_u64(std::string_view text, const std::string& what,
+                        const std::string& spec) {
+  if (text.empty()) {
+    spec_error("empty " + what, spec);
+  }
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      spec_error(what + " '" + std::string(text) + "' is not an integer",
+                 spec);
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+double parse_probability(std::string_view text, const std::string& spec) {
+  char* end = nullptr;
+  const std::string copy(text);
+  const double v = std::strtod(copy.c_str(), &end);
+  if (end == nullptr || *end != '\0' || copy.empty() || v < 0.0 || v > 1.0) {
+    spec_error("probability '" + copy + "' is not in [0,1]", spec);
+  }
+  return v;
+}
+
+void parse_triggers(std::string_view text, site_config& site,
+                    const std::string& spec) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != ',') {
+      continue;
+    }
+    const std::string_view trig = text.substr(start, i - start);
+    start = i + 1;
+    if (trig.rfind("p=", 0) == 0) {
+      site.p = parse_probability(trig.substr(2), spec);
+    } else if (trig.rfind("n=", 0) == 0) {
+      site.n = parse_u64(trig.substr(2), "trigger count", spec);
+    } else if (trig.rfind("every=", 0) == 0) {
+      site.every = parse_u64(trig.substr(6), "trigger period", spec);
+    } else {
+      spec_error("unknown trigger '" + std::string(trig) +
+                     "' (known: p=, n=, every=)",
+                 spec);
+    }
+  }
+}
+
+std::shared_ptr<schedule> parse_schedule(const std::string& spec) {
+  auto sched = std::make_shared<schedule>();
+  sched->spec = spec;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i != spec.size() && spec[i] != ';') {
+      continue;
+    }
+    const std::string_view entry =
+        std::string_view(spec).substr(start, i - start);
+    start = i + 1;
+    if (entry.empty()) {
+      continue;  // tolerate a trailing ';'
+    }
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      spec_error("malformed entry '" + std::string(entry) +
+                     "' (expected site=kind or seed=N)",
+                 spec);
+    }
+    const std::string_view lhs = entry.substr(0, eq);
+    const std::string_view rhs = entry.substr(eq + 1);
+    if (lhs == "seed") {
+      sched->seed = parse_u64(rhs, "seed", spec);
+      continue;
+    }
+    auto site = std::make_unique<site_config>();
+    site->site = std::string(lhs);
+    site->site_hash = fnv1a64().mix(lhs).value();
+    const std::size_t at = rhs.find('@');
+    site->fault = parse_kind(rhs.substr(0, at), spec);
+    if (at != std::string_view::npos) {
+      parse_triggers(rhs.substr(at + 1), *site, spec);
+    }
+    sched->sites.push_back(std::move(site));
+  }
+  return sched;
+}
+
+}  // namespace
+
+namespace detail {
+
+kind evaluate(std::string_view site) {
+  const std::shared_ptr<schedule> sched = snapshot();
+  if (sched == nullptr) {
+    return kind::none;
+  }
+  for (const auto& s : sched->sites) {
+    if (s->site != site) {
+      continue;
+    }
+    const std::uint64_t call =
+        s->calls.fetch_add(1, std::memory_order_relaxed) + 1;  // 1-based
+    bool fire = false;
+    if (s->n > 0) {
+      fire = call == s->n;
+    } else if (s->every > 0) {
+      fire = call % s->every == 0;
+    } else if (s->p >= 1.0) {
+      fire = true;
+    } else {
+      // Deterministic in (seed, site, call index): no shared RNG stream,
+      // so thread interleavings and other sites cannot perturb it.
+      const std::uint64_t u =
+          hash_combine(hash_combine(sched->seed, s->site_hash), call);
+      fire = static_cast<double>(u >> 11) * 0x1.0p-53 < s->p;
+    }
+    if (fire) {
+      s->fires.fetch_add(1, std::memory_order_relaxed);
+      return s->fault;
+    }
+    return kind::none;
+  }
+  return kind::none;
+}
+
+}  // namespace detail
+
+std::string_view kind_name(kind k) {
+  switch (k) {
+    case kind::none:
+      return "none";
+    case kind::fail:
+      return "fail";
+    case kind::timeout:
+      return "timeout";
+    case kind::garbage:
+      return "garbage";
+    case kind::partial:
+      return "partial";
+  }
+  return "?";
+}
+
+void arm(const std::string& spec) {
+  std::shared_ptr<schedule> sched = parse_schedule(spec);  // throws first
+  {
+    std::lock_guard<std::mutex> lk(registry_mu);
+    current_schedule = std::move(sched);
+  }
+  detail::armed_flag.store(true, std::memory_order_relaxed);
+}
+
+void disarm() {
+  detail::armed_flag.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(registry_mu);
+  current_schedule = nullptr;
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("ISDC_FAILPOINTS");
+  if (env == nullptr || *env == '\0') {
+    return;
+  }
+  try {
+    arm(env);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ISDC_FAILPOINTS ignored: %s\n", e.what());
+  }
+}
+
+std::string armed_spec() {
+  const std::shared_ptr<schedule> sched = snapshot();
+  return sched != nullptr && armed() ? sched->spec : std::string();
+}
+
+std::vector<site_stats> stats() {
+  std::vector<site_stats> out;
+  const std::shared_ptr<schedule> sched = snapshot();
+  if (sched == nullptr) {
+    return out;
+  }
+  out.reserve(sched->sites.size());
+  for (const auto& s : sched->sites) {
+    out.push_back({s->site, s->fault,
+                   s->calls.load(std::memory_order_relaxed),
+                   s->fires.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::uint64_t total_fires() {
+  std::uint64_t total = 0;
+  for (const site_stats& s : stats()) {
+    total += s.fires;
+  }
+  return total;
+}
+
+namespace {
+
+// Process-start env arming: lets any binary in the repo run under a fault
+// schedule (ISDC_FAILPOINTS=...) with no code changes.
+const bool env_armed_at_startup = [] {
+  arm_from_env();
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace isdc::failpoint

@@ -1,0 +1,128 @@
+// Deterministic, seeded fault injection for chaos testing the pipeline's
+// process/IO boundaries. Code under test marks each boundary with a named
+// failpoint:
+//
+//   switch (failpoint::maybe_fail("backend.subprocess.read")) {
+//     case failpoint::kind::timeout: /* behave as if the read timed out */
+//     ...
+//   }
+//
+// and a test (or the ISDC_FAILPOINTS environment variable) arms a fault
+// schedule over those names. The schedule is a spec string:
+//
+//   spec    := entry { ';' entry }
+//   entry   := 'seed=' N
+//            | site '=' kind [ '@' trigger { ',' trigger } ]
+//   kind    := 'fail' | 'timeout' | 'garbage' | 'partial'
+//   trigger := 'p=' FLOAT     fire with probability p per call (default 1)
+//            | 'n=' N         fire exactly on the Nth call (1-based)
+//            | 'every=' N     fire on every Nth call
+//
+// e.g. "seed=42;backend.subprocess.read=timeout@p=0.05;worker.eval=fail@n=3".
+// Trigger precedence per site: n, then every, then p.
+//
+// Probabilistic firing is a pure function of (seed, site, call index) — no
+// global RNG stream — so a failing schedule replays exactly under the same
+// seed regardless of thread interleaving, and two sites never perturb each
+// other's decisions. Call indices are per-site atomics, so the decision for
+// "the Nth call to this site" is stable even when calls race.
+//
+// When no schedule is armed, maybe_fail() is a single relaxed atomic load
+// (≈zero cost; guarded by BM_failpoint_disarmed and the bench_chaos JSON),
+// so production code keeps its failpoints compiled in.
+#ifndef ISDC_SUPPORT_FAILPOINT_H_
+#define ISDC_SUPPORT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isdc::failpoint {
+
+/// What an armed site injects. Each call site documents how it interprets
+/// the kinds it handles; unknown kinds at a site behave like `fail`.
+enum class kind : std::uint8_t {
+  none,     ///< not armed / did not fire: proceed normally
+  fail,     ///< the operation fails outright (error return / exception)
+  timeout,  ///< the operation behaves as if its deadline expired
+  garbage,  ///< the operation yields corrupted data
+  partial,  ///< the operation is cut short mid-way (torn write, split read)
+};
+
+std::string_view kind_name(kind k);
+
+namespace detail {
+extern std::atomic<bool> armed_flag;
+kind evaluate(std::string_view site);
+}  // namespace detail
+
+/// True while a fault schedule is armed.
+inline bool armed() {
+  return detail::armed_flag.load(std::memory_order_relaxed);
+}
+
+/// The failpoint check. Disarmed: one relaxed atomic load, returns
+/// kind::none. Armed: bumps the site's call counter and returns the
+/// injected kind when the site's trigger fires.
+inline kind maybe_fail(std::string_view site) {
+  if (!detail::armed_flag.load(std::memory_order_relaxed)) {
+    return kind::none;
+  }
+  return detail::evaluate(site);
+}
+
+/// Arms `spec` (replacing any previous schedule and its counters). Throws
+/// std::runtime_error with a descriptive message on a malformed spec.
+void arm(const std::string& spec);
+
+/// Disarms and clears the schedule (stats() becomes empty).
+void disarm();
+
+/// Arms from the ISDC_FAILPOINTS environment variable if it is set and
+/// non-empty; a malformed value is reported to stderr and ignored (a chaos
+/// knob must never turn into a crash knob). Called once automatically at
+/// process start; exposed for tests.
+void arm_from_env();
+
+/// The spec the current schedule was armed from ("" when disarmed).
+std::string armed_spec();
+
+struct site_stats {
+  std::string site;
+  kind fault = kind::none;
+  std::uint64_t calls = 0;  ///< maybe_fail() evaluations while armed
+  std::uint64_t fires = 0;  ///< calls that returned non-none
+};
+
+/// Per-site counters of the current schedule, in spec order.
+std::vector<site_stats> stats();
+
+/// Sum of fires across all sites of the current schedule.
+std::uint64_t total_fires();
+
+/// RAII arming for tests: arms on construction, restores the previous
+/// schedule (usually none) on destruction.
+class scoped_arm {
+public:
+  explicit scoped_arm(const std::string& spec) : previous_(armed_spec()) {
+    arm(spec);
+  }
+  ~scoped_arm() {
+    if (previous_.empty()) {
+      disarm();
+    } else {
+      arm(previous_);
+    }
+  }
+  scoped_arm(const scoped_arm&) = delete;
+  scoped_arm& operator=(const scoped_arm&) = delete;
+
+private:
+  std::string previous_;
+};
+
+}  // namespace isdc::failpoint
+
+#endif  // ISDC_SUPPORT_FAILPOINT_H_

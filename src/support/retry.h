@@ -1,0 +1,80 @@
+// Generic bounded-retry policy: exponential backoff with deterministic
+// jitter. The jitter is a pure function of (seed, retry number) — no
+// global RNG — so a run that retried is exactly reproducible, matching the
+// failpoint subsystem's determinism contract. Sleeping between retries is
+// what turns "the worker crashed" from a tight respawn spin into a polite
+// backoff when the failure is environmental (fd exhaustion, a machine
+// under load) rather than request-specific.
+#ifndef ISDC_SUPPORT_RETRY_H_
+#define ISDC_SUPPORT_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "support/hash.h"
+
+namespace isdc {
+
+struct retry_policy {
+  /// Total tries (first attempt included). <= 1 means no retries.
+  int max_attempts = 3;
+  /// Sleep before the first retry; 0 disables sleeping entirely (the
+  /// caller still gets max_attempts tries, just back to back).
+  double initial_backoff_ms = 5.0;
+  double multiplier = 2.0;
+  double max_backoff_ms = 250.0;
+  /// Jitter as a fraction of the nominal backoff: the actual sleep is
+  /// nominal * (1 +/- jitter * u), u deterministic in (seed, retry).
+  double jitter = 0.25;
+  std::uint64_t seed = 0x15dc'b4c0'ff5e'ed01ull;
+
+  /// Sleep in ms before retry number `retry` (1-based: the sleep after the
+  /// first failed attempt is backoff_ms(1)).
+  double backoff_ms(int retry) const {
+    if (retry < 1 || initial_backoff_ms <= 0.0) {
+      return 0.0;
+    }
+    double nominal = std::min(initial_backoff_ms, max_backoff_ms);
+    for (int i = 1; i < retry && nominal < max_backoff_ms; ++i) {
+      nominal = std::min(nominal * multiplier, max_backoff_ms);
+    }
+    if (jitter <= 0.0) {
+      return nominal;
+    }
+    const std::uint64_t u =
+        hash_combine(seed, static_cast<std::uint64_t>(retry));
+    const double unit = static_cast<double>(u >> 11) * 0x1.0p-53;  // [0,1)
+    return nominal * (1.0 + jitter * (2.0 * unit - 1.0));
+  }
+
+  void sleep_before_retry(int retry) const {
+    const double ms = backoff_ms(retry);
+    if (ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
+    }
+  }
+};
+
+/// Runs fn() up to policy.max_attempts times, sleeping the policy's
+/// backoff between attempts; rethrows the last failure.
+template <typename Fn>
+auto retry_call(const retry_policy& policy, Fn&& fn) -> decltype(fn()) {
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (...) {
+      if (attempt >= attempts) {
+        throw;
+      }
+      policy.sleep_before_retry(attempt);
+    }
+  }
+}
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_RETRY_H_

@@ -9,10 +9,17 @@
 // absolute path, so the suite is hermetic.
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "backend/netlist.h"
 #include "backend/registry.h"
 #include "backend/resilient.h"
 #include "backend/subprocess_tool.h"
@@ -20,6 +27,7 @@
 #include "engine/engine.h"
 #include "engine/fleet.h"
 #include "ir/builder.h"
+#include "support/failpoint.h"
 #include "workloads/registry.h"
 
 namespace isdc {
@@ -163,6 +171,118 @@ TEST(BackendSubprocess, WorkerReportedErrorsAreNotRetried) {
   // The same worker keeps answering afterwards.
   EXPECT_NO_THROW(pool.subgraph_delay_ps(small_adder()));
   EXPECT_EQ(pool.stats().restarts, 0u);
+}
+
+TEST(BackendSubprocess, SplitOkLineIsReassembled) {
+  // The worker flushes "ok <delay>\n" in two writes ~30 ms apart
+  // (worker.reply=partial); the client's poll/read loop must reassemble
+  // the line instead of misparsing the first fragment.
+  backend::subprocess_options options;
+  options.command = worker_path() +
+                    " --tool=aig-depth --failpoints=worker.reply=partial@p=1";
+  options.workers = 1;
+  options.timeout_ms = 5000;
+  const backend::subprocess_tool pool(options);
+  const core::aig_depth_downstream reference;
+
+  const ir::graph g = small_adder();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(pool.subgraph_delay_ps(g), reference.subgraph_delay_ps(g));
+  }
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.restarts, 0u);
+}
+
+TEST(BackendSubprocess, LargeRequestSurvivesSignalStorm) {
+  // A netlist bigger than the 64 KiB pipe buffer forces the request write
+  // to block mid-way; a storm of SIGUSR1s (installed without SA_RESTART)
+  // makes write/poll/read return EINTR repeatedly. The pool's I/O loops
+  // must absorb every interruption and still answer exactly.
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: syscalls fail with EINTR
+  struct sigaction old_sa;
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  // Bitwise-only ops and rounds=0 keep the evaluation cheap (plain
+  // lowering + depth, no AIG optimization) while the netlist text still
+  // overflows the pipe buffer.
+  workloads::random_dag_options dag;
+  dag.arith_fraction = 0.0;
+  const ir::graph big = workloads::build_random_dag(/*seed=*/7, 4000, dag);
+  ASSERT_GT(backend::to_text(big, ';').size(), 65536u)
+      << "netlist must exceed the pipe buffer for the test to bite";
+
+  backend::subprocess_options options;
+  options.command = worker_path() + " --tool=aig-depth:rounds=0";
+  options.workers = 1;
+  options.timeout_ms = 30000;
+  const backend::subprocess_tool pool(options);
+  synth::synthesis_options no_opt;
+  no_opt.opt_rounds = 0;
+  const core::aig_depth_downstream reference(80.0, 0.0, no_opt);
+
+  std::atomic<bool> stop{false};
+  const pthread_t target = ::pthread_self();
+  std::thread storm([&] {
+    while (!stop.load()) {
+      ::pthread_kill(target, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  double delay = -1.0;
+  try {
+    delay = pool.subgraph_delay_ps(big);
+  } catch (...) {
+    stop.store(true);
+    storm.join();
+    ::sigaction(SIGUSR1, &old_sa, nullptr);
+    throw;
+  }
+  stop.store(true);
+  storm.join();
+  ::sigaction(SIGUSR1, &old_sa, nullptr);
+
+  EXPECT_EQ(delay, reference.subgraph_delay_ps(big));
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.retries, 0u);  // EINTR is absorbed, never a failure
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(BackendSubprocess, ClientReadFailpointRecoversViaRetry) {
+  // Client-side chaos: the first read behaves as if the deadline expired
+  // (backend.subprocess.read=timeout@n=1), so the pool kills the worker,
+  // respawns and retries — and the retry answers bit-exactly.
+  backend::subprocess_options options;
+  options.command = worker_path() + " --tool=aig-depth";
+  options.workers = 1;
+  options.max_attempts = 3;
+  options.backoff_ms = 1.0;  // keep the test fast
+  options.backoff_max_ms = 2.0;
+  const backend::subprocess_tool pool(options);
+  const core::aig_depth_downstream reference;
+
+  failpoint::scoped_arm arm("backend.subprocess.read=timeout@n=1");
+  const ir::graph g = small_adder();
+  EXPECT_EQ(pool.subgraph_delay_ps(g), reference.subgraph_delay_ps(g));
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(pool.live_workers(), 1);
+  EXPECT_EQ(failpoint::total_fires(), 1u);
+}
+
+TEST(BackendSubprocess, RegistryParsesBackoffParams) {
+  const backend::tool_handle handle = backend::make_tool(
+      "subprocess:cmd=" + worker_path() +
+      " --tool=aig-depth,workers=1,attempts=2,backoff_ms=1,backoff_max_ms=8");
+  ASSERT_NE(handle.subprocess(), nullptr);
+  EXPECT_DOUBLE_EQ(handle.subprocess()->options().backoff_ms, 1.0);
+  EXPECT_DOUBLE_EQ(handle.subprocess()->options().backoff_max_ms, 8.0);
+  EXPECT_NO_THROW(handle.tool().subgraph_delay_ps(small_adder()));
 }
 
 TEST(BackendSubprocess, BadCommandFailsConstructionDescriptively) {

@@ -3,9 +3,11 @@
 // tools (fallback chain, online calibration, latency jitter).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "backend/netlist.h"
 #include "backend/registry.h"
@@ -351,6 +353,144 @@ TEST(CoreLatency, ZeroJitterKeepsLegacyName) {
   const core::latency_downstream tool(inner, 0.0);
   EXPECT_EQ(tool.name(), "latency(0ms,node-count)");
   EXPECT_EQ(tool.observed().calls, 0u);
+}
+
+/// Fails its first `failures` calls, then answers like node_count_tool.
+class flaky_tool final : public core::downstream_tool {
+public:
+  explicit flaky_tool(int failures) : failures_(failures) {}
+  double subgraph_delay_ps(const ir::graph& sub) const override {
+    if (calls_.fetch_add(1) < failures_) {
+      throw std::runtime_error("warming up");
+    }
+    return static_cast<double>(sub.num_nodes());
+  }
+  std::string name() const override { return "flaky"; }
+
+private:
+  int failures_;
+  mutable std::atomic<int> calls_{0};
+};
+
+TEST(BackendBreaker, OpensAtFailureRateThenShortCircuits) {
+  const failing_tool child;
+  backend::circuit_breaker_options o;
+  o.window = 4;
+  o.min_calls = 4;
+  o.threshold = 0.5;
+  o.cooldown_ms = 60000.0;  // never half-opens within this test
+  const backend::circuit_breaker_tool breaker(child, o);
+  const ir::graph g = every_opcode_graph();
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_THROW(breaker.subgraph_delay_ps(g), std::runtime_error);
+  }
+  EXPECT_EQ(breaker.state(),
+            backend::circuit_breaker_tool::breaker_state::open);
+
+  // Open: the child is never consulted again — the failure is instant.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(breaker.subgraph_delay_ps(g), backend::circuit_open_error);
+  }
+  const auto c = breaker.stats();
+  EXPECT_EQ(c.calls, 4u);  // only the pre-open calls reached the child
+  EXPECT_EQ(c.failures, 4u);
+  EXPECT_EQ(c.short_circuits, 3u);
+  EXPECT_EQ(c.opens, 1u);
+  EXPECT_NE(breaker.name().find("breaker(failing"), std::string::npos);
+}
+
+TEST(BackendBreaker, HalfOpenProbeSuccessCloses) {
+  const flaky_tool child(4);  // dead for 4 calls, healthy afterwards
+  backend::circuit_breaker_options o;
+  o.window = 4;
+  o.min_calls = 4;
+  o.threshold = 0.5;
+  o.cooldown_ms = 5.0;
+  const backend::circuit_breaker_tool breaker(child, o);
+  const ir::graph g = every_opcode_graph();
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_THROW(breaker.subgraph_delay_ps(g), std::runtime_error);
+  }
+  ASSERT_EQ(breaker.state(),
+            backend::circuit_breaker_tool::breaker_state::open);
+
+  // After the cool-down the next call is admitted as a half-open probe;
+  // the child recovered, so the probe closes the circuit.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_EQ(breaker.subgraph_delay_ps(g),
+            static_cast<double>(g.num_nodes()));
+  EXPECT_EQ(breaker.state(),
+            backend::circuit_breaker_tool::breaker_state::closed);
+  EXPECT_EQ(breaker.stats().closes, 1u);
+  EXPECT_EQ(breaker.subgraph_delay_ps(g),
+            static_cast<double>(g.num_nodes()));
+}
+
+TEST(BackendBreaker, HalfOpenProbeFailureReopens) {
+  const failing_tool child;
+  backend::circuit_breaker_options o;
+  o.window = 2;
+  o.min_calls = 2;
+  o.threshold = 0.5;
+  o.cooldown_ms = 5.0;
+  const backend::circuit_breaker_tool breaker(child, o);
+  const ir::graph g = every_opcode_graph();
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_THROW(breaker.subgraph_delay_ps(g), std::runtime_error);
+  }
+  ASSERT_EQ(breaker.state(),
+            backend::circuit_breaker_tool::breaker_state::open);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // The probe reaches the (still dead) child and reopens the circuit for
+  // another cool-down; the very next call short-circuits again.
+  EXPECT_THROW(breaker.subgraph_delay_ps(g), std::runtime_error);
+  EXPECT_EQ(breaker.state(),
+            backend::circuit_breaker_tool::breaker_state::open);
+  EXPECT_EQ(breaker.stats().reopens, 1u);
+  EXPECT_THROW(breaker.subgraph_delay_ps(g), backend::circuit_open_error);
+}
+
+TEST(BackendBreaker, InsideFallbackDegradesCheaply) {
+  // The canonical composition: a breaker-wrapped flaky primary with an
+  // always-on structural fallback. Once the breaker opens, the chain's
+  // first link fails in microseconds (no child call, no deadline) and
+  // every answer comes from the fallback.
+  const failing_tool primary;
+  backend::circuit_breaker_options o;
+  o.window = 2;
+  o.min_calls = 2;
+  o.cooldown_ms = 60000.0;
+  const backend::circuit_breaker_tool guarded(primary, o);
+  const node_count_tool backup(10.0);
+  const backend::fallback_tool chain({&guarded, &backup});
+  const ir::graph g = every_opcode_graph();
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(chain.subgraph_delay_ps(g), 10.0 * g.num_nodes());
+  }
+  EXPECT_EQ(guarded.stats().calls, 2u);  // the rest short-circuited
+  EXPECT_EQ(guarded.stats().short_circuits, 4u);
+  EXPECT_EQ(chain.stats()[1].calls, 6u);
+}
+
+TEST(BackendRegistry, BuildsBreakerSpec) {
+  const backend::tool_handle breaker = backend::make_tool(
+      "breaker(aig-depth:ps=70):window=8,threshold=0.25,cooldown_ms=50");
+  EXPECT_EQ(breaker.tool().name().rfind("breaker(aig-depth(70", 0), 0u);
+  EXPECT_NE(breaker.tool().name().find("w=8"), std::string::npos);
+
+  try {
+    backend::make_tool("breaker(aig-depth):warp=1");
+    FAIL() << "expected unknown-parameter rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown parameter"),
+              std::string::npos);
+  }
+  EXPECT_THROW(backend::make_tool("breaker(aig-depth,synthesis)"),
+               std::runtime_error);
 }
 
 }  // namespace

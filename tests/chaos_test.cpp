@@ -1,0 +1,384 @@
+// Chaos suite: the whole pipeline under deterministic, seeded fault
+// injection (support/failpoint.h). The capstone soak drives the full
+// 17-workload fleet through a real subprocess worker pool while faults
+// fire on both sides of the pipe — worker crashes, client read timeouts,
+// torn request writes — and asserts the feedback loop's output is
+// bit-identical to a fault-free run: every injected fault here is
+// *recoverable* (crash/timeout → kill + respawn + retry on a fresh
+// worker), so resilience must cost nothing in answer quality. The rest of
+// the suite covers the crash-safety of cache persistence (torn saves are
+// salvaged + quarantined, failed saves never clobber the previous file)
+// and cooperative cancellation (per-run wall budgets, per-job fleet
+// budgets, batch cancel tokens, injected job faults never sink a batch).
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend/subprocess_tool.h"
+#include "core/downstream.h"
+#include "engine/fleet.h"
+#include "support/cancellation.h"
+#include "support/failpoint.h"
+#include "workloads/registry.h"
+
+namespace isdc {
+namespace {
+
+std::string worker_path() { return ISDC_DELAY_WORKER_PATH; }
+
+/// Thread-safe constant-delay downstream stub that counts calls.
+class counting_downstream final : public core::downstream_tool {
+public:
+  explicit counting_downstream(double delay) : delay_(delay) {}
+  double subgraph_delay_ps(const ir::graph&) const override {
+    ++calls_;
+    return delay_;
+  }
+  std::string name() const override { return "counting"; }
+  int calls() const { return calls_.load(); }
+
+private:
+  double delay_;
+  mutable std::atomic<int> calls_{0};
+};
+
+core::isdc_options soak_options() {
+  core::isdc_options opts;
+  opts.max_iterations = 2;
+  opts.subgraphs_per_iteration = 4;
+  opts.num_threads = 2;
+  return opts;
+}
+
+/// Everything the feedback loop computed, compared bit-identically
+/// (evaluation-sourcing cache counters excluded — retries and coalescing
+/// may re-source a measurement, with identical values).
+void expect_same_schedule_trajectory(const core::isdc_result& a,
+                                     const core::isdc_result& b,
+                                     const std::string& label) {
+  EXPECT_EQ(a.initial, b.initial) << label;
+  EXPECT_EQ(a.final_schedule, b.final_schedule) << label;
+  EXPECT_EQ(a.iterations, b.iterations) << label;
+  EXPECT_EQ(a.delays, b.delays) << label;
+  EXPECT_EQ(a.naive_delays, b.naive_delays) << label;
+  ASSERT_EQ(a.history.size(), b.history.size()) << label;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const core::iteration_record& ra = a.history[i];
+    const core::iteration_record& rb = b.history[i];
+    EXPECT_EQ(ra.register_bits, rb.register_bits) << label << " record " << i;
+    EXPECT_EQ(ra.num_stages, rb.num_stages) << label << " record " << i;
+    EXPECT_DOUBLE_EQ(ra.estimated_delay_ps, rb.estimated_delay_ps)
+        << label << " record " << i;
+    EXPECT_EQ(ra.subgraphs_evaluated, rb.subgraphs_evaluated)
+        << label << " record " << i;
+  }
+}
+
+/// One fleet pass over all 17 workloads through a subprocess pool running
+/// `command`. The returned report aliases nothing: safe after teardown.
+engine::fleet_report run_fleet_over_pool(
+    const backend::subprocess_tool& pool) {
+  const std::vector<workloads::workload_spec>& specs =
+      workloads::all_workloads();
+  std::vector<ir::graph> graphs;
+  std::vector<engine::fleet_job> jobs;
+  graphs.reserve(specs.size());
+  for (const workloads::workload_spec& spec : specs) {
+    graphs.push_back(spec.build());
+    jobs.push_back({.name = spec.name,
+                    .graph = &graphs.back(),
+                    .clock_period_ps = spec.clock_period_ps});
+  }
+  engine::fleet_options fopts;
+  fopts.shards = 4;
+  fopts.isdc = soak_options();
+  engine::fleet f(fopts);
+  engine::fleet_report report = f.run(jobs, pool);
+  EXPECT_EQ(f.cache().num_in_flight(), 0u);
+  return report;
+}
+
+// The tentpole assertion: a seeded storm of recoverable faults on both
+// sides of the worker pipe changes *nothing* about the schedules. Crashes
+// and timeouts are retried on fresh workers; the worker's answers are
+// deterministic; so the chaos batch must replay the clean batch exactly —
+// while the pool's counters account for every injected fault (each failed
+// attempt is exactly one restart and one retry) and no ticket leaks.
+TEST(ChaosSoakTest, RecoverableFaultsPreserveEveryScheduleBitExactly) {
+  backend::subprocess_options clean;
+  clean.command = worker_path() + " --tool=aig-depth";
+  clean.workers = 2;
+  clean.max_attempts = 6;
+  clean.backoff_ms = 1.0;
+  clean.backoff_max_ms = 8.0;
+
+  backend::subprocess_options chaotic = clean;
+  // Worker side: ~8% of evals die mid-request (seeded inside the worker).
+  chaotic.command = worker_path() +
+      " --tool=aig-depth --failpoints=seed=11;worker.eval=fail@p=0.08";
+
+  backend::subprocess_tool clean_pool(clean);
+  const engine::fleet_report reference = run_fleet_over_pool(clean_pool);
+  ASSERT_EQ(reference.results.size(), workloads::all_workloads().size());
+  for (const engine::fleet_result& r : reference.results) {
+    ASSERT_EQ(r.error, nullptr) << r.name;
+  }
+
+  backend::subprocess_tool chaos_pool(chaotic);
+  engine::fleet_report chaos;
+  std::uint64_t client_fires = 0;
+  {
+    // Client side: injected read timeouts (return instantly — no waiting
+    // out real deadlines) and torn request writes. Both are recoverable:
+    // kill + respawn + retry. Garbage/protocol faults are deliberately
+    // absent — those are *deterministic* failures and are not retried.
+    failpoint::scoped_arm storm(
+        "seed=5;backend.subprocess.read=timeout@p=0.05;"
+        "backend.subprocess.write=partial@p=0.03");
+    chaos = run_fleet_over_pool(chaos_pool);
+    client_fires = failpoint::total_fires();
+  }
+
+  ASSERT_EQ(chaos.results.size(), reference.results.size());
+  for (std::size_t i = 0; i < chaos.results.size(); ++i) {
+    ASSERT_EQ(chaos.results[i].error, nullptr) << chaos.results[i].name;
+    EXPECT_FALSE(chaos.results[i].cancelled) << chaos.results[i].name;
+    expect_same_schedule_trajectory(chaos.results[i].result,
+                                    reference.results[i].result,
+                                    chaos.results[i].name);
+  }
+
+  // The storm actually happened...
+  EXPECT_GT(client_fires, 0u);
+  // ...and the counters add up: every failed attempt (a crash — worker
+  // death or torn write — or a timeout) was exactly one kill+respawn and
+  // one retry on the fresh worker; nothing babbled, nothing ran out of
+  // attempts (a job error would have tripped above).
+  const backend::subprocess_tool::counters stats = chaos_pool.stats();
+  EXPECT_GT(stats.crashes + stats.timeouts, 0u);
+  EXPECT_EQ(stats.restarts, stats.crashes + stats.timeouts);
+  EXPECT_EQ(stats.retries, stats.crashes + stats.timeouts);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  // The pool ends the soak fully healed: every slot alive.
+  EXPECT_EQ(chaos_pool.heal(), chaotic.workers);
+  EXPECT_EQ(chaos_pool.live_workers(), chaotic.workers);
+}
+
+TEST(ChaosCacheTest, TornSaveIsSalvagedAndQuarantinedOnLoad) {
+  engine::evaluation_cache cache;
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    cache.store(k, 10.0 * static_cast<double>(k));
+  }
+  const std::string path =
+      ::testing::TempDir() + "isdc_chaos_torn_cache.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".corrupt").c_str());
+  {
+    // A torn save: the failpoint truncates the byte stream mid-record
+    // before it hits the disk, simulating a crash between write and
+    // fsync that still left a renamed file behind.
+    failpoint::scoped_arm torn("engine.cache.save=partial@n=1");
+    ASSERT_TRUE(cache.save(path, 7));
+  }
+
+  engine::evaluation_cache loaded;
+  const engine::evaluation_cache::load_report report =
+      loaded.load_checked(path, 7);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.records, 3u);  // half of six records survived whole
+  EXPECT_EQ(report.quarantined_to, path + ".corrupt");
+  // Records are saved sorted by key, so the salvaged prefix is exactly
+  // the three smallest keys, values intact.
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    const std::optional<double> d = loaded.lookup(k);
+    ASSERT_TRUE(d.has_value()) << k;
+    EXPECT_DOUBLE_EQ(*d, 10.0 * static_cast<double>(k)) << k;
+  }
+  EXPECT_FALSE(loaded.lookup(4).has_value());
+  // The torn file was moved aside: the next save starts clean and the
+  // evidence survives for inspection.
+  std::FILE* quarantined = std::fopen((path + ".corrupt").c_str(), "rb");
+  EXPECT_NE(quarantined, nullptr);
+  if (quarantined != nullptr) {
+    std::fclose(quarantined);
+  }
+  std::FILE* original = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(original, nullptr);
+  if (original != nullptr) {
+    std::fclose(original);
+  }
+  std::remove((path + ".corrupt").c_str());
+}
+
+TEST(ChaosCacheTest, FailedSaveLeavesPreviousFileIntact) {
+  const std::string path =
+      ::testing::TempDir() + "isdc_chaos_failed_save.bin";
+  std::remove(path.c_str());
+
+  engine::evaluation_cache first;
+  first.store(42, 1234.5);
+  ASSERT_TRUE(first.save(path, 7));
+
+  engine::evaluation_cache second;
+  second.store(42, 9999.0);
+  second.store(43, 8888.0);
+  {
+    failpoint::scoped_arm fault("engine.cache.save=fail@n=1");
+    EXPECT_FALSE(second.save(path, 7));
+  }
+
+  // The failed save never touched the previous file.
+  engine::evaluation_cache loaded;
+  const engine::evaluation_cache::load_report report =
+      loaded.load_checked(path, 7);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.records, 1u);
+  const std::optional<double> d = loaded.lookup(42);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 1234.5);
+  std::remove(path.c_str());
+}
+
+TEST(ChaosBudgetTest, WallBudgetStopsARunAtAnIterationBoundary) {
+  const workloads::workload_spec* spec = workloads::find_workload("rrot");
+  ASSERT_NE(spec, nullptr);
+  const ir::graph g = spec->build();
+
+  counting_downstream base(900.0);
+  core::latency_downstream slow(base, 25.0);  // 25 ms per measurement
+
+  core::isdc_options opts = soak_options();
+  opts.base.clock_period_ps = spec->clock_period_ps;
+  opts.max_iterations = 50;
+  opts.wall_budget_ms = 40.0;
+
+  engine::engine e;
+  const core::isdc_result r = e.run(g, slow, opts);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_LT(r.iterations, 50);
+  // Budget expiry is a result, not an error: the best schedule so far is
+  // still reported, history and all.
+  EXPECT_FALSE(r.history.empty());
+}
+
+TEST(ChaosBudgetTest, PreCancelledTokenStopsBeforeTheFirstIteration) {
+  const workloads::workload_spec* spec = workloads::find_workload("rrot");
+  ASSERT_NE(spec, nullptr);
+  const ir::graph g = spec->build();
+
+  counting_downstream tool(900.0);
+  core::isdc_options opts = soak_options();
+  opts.base.clock_period_ps = spec->clock_period_ps;
+
+  cancellation_token token = cancellation_token::make();
+  token.request_cancel();
+  engine::engine e;
+  const core::isdc_result r =
+      e.run(g, tool, opts, nullptr, nullptr, nullptr, &token);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(ChaosFleetTest, InjectedJobFaultNeverSinksTheBatch) {
+  const std::vector<std::string> names = {"rrot", "crc32", "hsv2rgb"};
+  std::vector<ir::graph> graphs;
+  std::vector<engine::fleet_job> jobs;
+  graphs.reserve(names.size());
+  for (const std::string& name : names) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr);
+    graphs.push_back(spec->build());
+    jobs.push_back({.name = name,
+                    .graph = &graphs.back(),
+                    .clock_period_ps = spec->clock_period_ps});
+  }
+
+  counting_downstream tool(900.0);
+  engine::fleet_options fopts;
+  fopts.shards = 1;  // sequential: the Nth job is the Nth site call
+  fopts.isdc = soak_options();
+  engine::fleet f(fopts);
+
+  failpoint::scoped_arm fault("engine.fleet.job=fail@n=2");
+  const engine::fleet_report report = f.run(jobs, tool);
+  ASSERT_EQ(report.results.size(), jobs.size());
+  EXPECT_EQ(report.results[0].error, nullptr);
+  EXPECT_NE(report.results[1].error, nullptr);
+  EXPECT_EQ(report.results[2].error, nullptr);
+  EXPECT_GT(report.results[0].result.iterations, 0);
+  EXPECT_GT(report.results[2].result.iterations, 0);
+  EXPECT_EQ(f.cache().num_in_flight(), 0u);
+}
+
+TEST(ChaosFleetTest, JobBudgetCutsJobsWithoutErrors) {
+  const std::vector<std::string> names = {"rrot", "crc32"};
+  std::vector<ir::graph> graphs;
+  std::vector<engine::fleet_job> jobs;
+  graphs.reserve(names.size());
+  for (const std::string& name : names) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr);
+    graphs.push_back(spec->build());
+    jobs.push_back({.name = name,
+                    .graph = &graphs.back(),
+                    .clock_period_ps = spec->clock_period_ps});
+  }
+
+  counting_downstream base(900.0);
+  core::latency_downstream slow(base, 25.0);
+  engine::fleet_options fopts;
+  fopts.shards = 2;
+  fopts.isdc = soak_options();
+  fopts.isdc.max_iterations = 50;
+  fopts.job_budget_ms = 40.0;
+  engine::fleet f(fopts);
+
+  const engine::fleet_report report = f.run(jobs, slow);
+  ASSERT_EQ(report.results.size(), jobs.size());
+  for (const engine::fleet_result& r : report.results) {
+    EXPECT_EQ(r.error, nullptr) << r.name;
+    EXPECT_TRUE(r.cancelled) << r.name;
+    EXPECT_LT(r.result.iterations, 50) << r.name;
+  }
+}
+
+TEST(ChaosFleetTest, BatchCancelTokenStopsEveryJob) {
+  const std::vector<std::string> names = {"rrot", "crc32"};
+  std::vector<ir::graph> graphs;
+  std::vector<engine::fleet_job> jobs;
+  graphs.reserve(names.size());
+  for (const std::string& name : names) {
+    const workloads::workload_spec* spec = workloads::find_workload(name);
+    ASSERT_NE(spec, nullptr);
+    graphs.push_back(spec->build());
+    jobs.push_back({.name = name,
+                    .graph = &graphs.back(),
+                    .clock_period_ps = spec->clock_period_ps});
+  }
+
+  counting_downstream tool(900.0);
+  engine::fleet_options fopts;
+  fopts.shards = 2;
+  fopts.isdc = soak_options();
+  engine::fleet f(fopts);
+
+  cancellation_token token = cancellation_token::make();
+  token.request_cancel();
+  const engine::fleet_report report = f.run(jobs, tool, &token);
+  ASSERT_EQ(report.results.size(), jobs.size());
+  for (const engine::fleet_result& r : report.results) {
+    EXPECT_EQ(r.error, nullptr) << r.name;
+    EXPECT_TRUE(r.cancelled) << r.name;
+    EXPECT_EQ(r.result.iterations, 0) << r.name;
+  }
+}
+
+}  // namespace
+}  // namespace isdc

@@ -305,38 +305,106 @@ TEST(PersistedCacheTest, BinaryRoundTrip) {
   EXPECT_FALSE(wrong_schema.load(path, 8));
   EXPECT_EQ(wrong_schema.size(), 0u);
 
-  // A truncated file loads nothing.
+  // Determinism: saving identical contents (even stored in a different
+  // order) produces identical bytes — records are sorted by key.
+  {
+    const std::string path2 = testing::TempDir() + "isdc_cache_reorder.bin";
+    evaluation_cache reordered;
+    reordered.store(33, 300.125);
+    reordered.store(11, 100.5);
+    reordered.store(22, 200.25);
+    ASSERT_TRUE(reordered.save(path2, 7));
+    std::ifstream a(path, std::ios::binary), b(path2, std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                              std::istreambuf_iterator<char>());
+    const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                              std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytes_a, bytes_b);
+    std::remove(path2.c_str());
+  }
+
+  // A truncated file (torn write) salvages the valid prefix and is moved
+  // aside to <path>.corrupt so the next save starts clean.
   {
     std::ifstream in(path, std::ios::binary);
     std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
-    bytes.resize(bytes.size() - 4);
+    bytes.resize(bytes.size() - 24);  // footer and part of the last record
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   evaluation_cache truncated;
-  EXPECT_FALSE(truncated.load(path, 7));
-  EXPECT_EQ(truncated.size(), 0u);
+  const auto report = truncated.load_checked(path, 7);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.quarantined_to, path + ".corrupt");
+  EXPECT_EQ(truncated.size(), 2u);
+  EXPECT_TRUE(truncated.lookup(11).has_value());
+  {
+    std::ifstream quarantined(path + ".corrupt", std::ios::binary);
+    EXPECT_TRUE(quarantined.good());  // evidence preserved
+    std::ifstream gone(path, std::ios::binary);
+    EXPECT_FALSE(gone.good());  // original moved aside
+  }
+  std::remove((path + ".corrupt").c_str());
 
-  // A bit-flipped count field decoding to an absurd value must produce a
-  // clean false too, not an allocation failure.
+  // An older container version (the v1 magic) is recognized-but-foreign:
+  // clean reject, nothing loaded, nothing quarantined.
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     const char magic[8] = {'I', 'S', 'D', 'C', 'E', 'V', 'C', '\x01'};
     const std::uint64_t schema = 7;
-    const std::uint64_t absurd_count = ~std::uint64_t{0};
+    const std::uint64_t count = ~std::uint64_t{0};
     out.write(magic, sizeof(magic));
     out.write(reinterpret_cast<const char*>(&schema), sizeof(schema));
-    out.write(reinterpret_cast<const char*>(&absurd_count),
-              sizeof(absurd_count));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   }
-  evaluation_cache absurd;
-  EXPECT_FALSE(absurd.load(path, 7));
-  EXPECT_EQ(absurd.size(), 0u);
+  evaluation_cache foreign;
+  EXPECT_FALSE(foreign.load(path, 7));
+  EXPECT_EQ(foreign.size(), 0u);
+  {
+    std::ifstream still_there(path, std::ios::binary);
+    EXPECT_TRUE(still_there.good());
+  }
 
   // Missing file: clean false.
   evaluation_cache missing;
   EXPECT_FALSE(missing.load(path + ".nope", 7));
+  std::remove(path.c_str());
+}
+
+TEST(PersistedCacheTest, CorruptRecordIsQuarantinedAndPrefixSalvaged) {
+  const std::string path = testing::TempDir() + "isdc_cache_bitflip.bin";
+  evaluation_cache original;
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    original.store(k, 10.0 * static_cast<double>(k));
+  }
+  ASSERT_TRUE(original.save(path, 7));
+
+  // Flip one bit in the middle of the record stream: every record before
+  // it survives, the file is quarantined, and the run continues.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(16 + 4 * 20 + 3);  // header + 4 records + into record 5's key
+    char byte = 0;
+    f.seekg(f.tellp());
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(16 + 4 * 20 + 3);
+    f.write(&byte, 1);
+  }
+  evaluation_cache loaded;
+  const auto report = loaded.load_checked(path, 7);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.salvaged);
+  EXPECT_EQ(report.records, 4u);
+  EXPECT_EQ(report.quarantined_to, path + ".corrupt");
+  EXPECT_EQ(loaded.size(), 4u);
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(*loaded.lookup(k), 10.0 * static_cast<double>(k));
+  }
+  std::remove((path + ".corrupt").c_str());
   std::remove(path.c_str());
 }
 

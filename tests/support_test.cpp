@@ -9,8 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include "support/cancellation.h"
 #include "support/check.h"
 #include "support/completion_queue.h"
+#include "support/crc32.h"
+#include "support/failpoint.h"
+#include "support/retry.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -292,6 +296,200 @@ TEST(TableTest, CsvOutput) {
 TEST(TableTest, FormatDouble) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FailpointTest, DisarmedReturnsNone) {
+  ASSERT_FALSE(failpoint::armed());
+  EXPECT_EQ(failpoint::maybe_fail("support.test.site"),
+            failpoint::kind::none);
+  EXPECT_EQ(failpoint::total_fires(), 0u);
+}
+
+TEST(FailpointTest, AlwaysOnSiteFiresEveryCall) {
+  failpoint::scoped_arm arm("support.test.a=fail");
+  EXPECT_TRUE(failpoint::armed());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(failpoint::maybe_fail("support.test.a"),
+              failpoint::kind::fail);
+  }
+  EXPECT_EQ(failpoint::maybe_fail("support.test.other"),
+            failpoint::kind::none);
+  const auto stats = failpoint::stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, "support.test.a");
+  EXPECT_EQ(stats[0].calls, 5u);
+  EXPECT_EQ(stats[0].fires, 5u);
+  EXPECT_EQ(failpoint::total_fires(), 5u);
+}
+
+TEST(FailpointTest, NthCallTriggerFiresExactlyOnce) {
+  failpoint::scoped_arm arm("support.test.n=timeout@n=3");
+  int fires = 0;
+  for (int i = 1; i <= 10; ++i) {
+    const auto k = failpoint::maybe_fail("support.test.n");
+    if (k != failpoint::kind::none) {
+      ++fires;
+      EXPECT_EQ(i, 3);
+      EXPECT_EQ(k, failpoint::kind::timeout);
+    }
+  }
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(FailpointTest, EveryTriggerFiresPeriodically) {
+  failpoint::scoped_arm arm("support.test.e=garbage@every=4");
+  std::vector<int> fired_on;
+  for (int i = 1; i <= 12; ++i) {
+    if (failpoint::maybe_fail("support.test.e") != failpoint::kind::none) {
+      fired_on.push_back(i);
+    }
+  }
+  EXPECT_EQ(fired_on, (std::vector<int>{4, 8, 12}));
+}
+
+TEST(FailpointTest, ProbabilityIsSeedDeterministic) {
+  const auto sample = [](const std::string& spec) {
+    failpoint::scoped_arm arm(spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(failpoint::maybe_fail("support.test.p") !=
+                      failpoint::kind::none);
+    }
+    return fires;
+  };
+  const auto a = sample("seed=7;support.test.p=fail@p=0.3");
+  const auto b = sample("seed=7;support.test.p=fail@p=0.3");
+  const auto c = sample("seed=8;support.test.p=fail@p=0.3");
+  EXPECT_EQ(a, b);  // same seed: bit-identical decision stream
+  EXPECT_NE(a, c);  // different seed: a different (valid) stream
+  const int fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 20);  // ~60 expected; loose 3-sigma-ish bounds
+  EXPECT_LT(fires, 120);
+}
+
+TEST(FailpointTest, MalformedSpecThrowsAndEnvArmIsForgiving) {
+  EXPECT_THROW(failpoint::arm("support.test.bad"), std::runtime_error);
+  EXPECT_THROW(failpoint::arm("site=explode"), std::runtime_error);
+  EXPECT_THROW(failpoint::arm("site=fail@p=2.0"), std::runtime_error);
+  EXPECT_FALSE(failpoint::armed());  // failed arms leave nothing armed
+}
+
+TEST(FailpointTest, ScopedArmRestoresPreviousSchedule) {
+  failpoint::scoped_arm outer("support.test.outer=fail");
+  {
+    failpoint::scoped_arm inner("support.test.inner=timeout");
+    EXPECT_EQ(failpoint::armed_spec(), "support.test.inner=timeout");
+    EXPECT_EQ(failpoint::maybe_fail("support.test.outer"),
+              failpoint::kind::none);
+  }
+  EXPECT_EQ(failpoint::armed_spec(), "support.test.outer=fail");
+  EXPECT_EQ(failpoint::maybe_fail("support.test.outer"),
+            failpoint::kind::fail);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyWithinBounds) {
+  retry_policy p;
+  p.initial_backoff_ms = 10.0;
+  p.multiplier = 2.0;
+  p.max_backoff_ms = 60.0;
+  p.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(p.backoff_ms(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(1), 10.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(2), 20.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(3), 40.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(4), 60.0);  // capped
+  EXPECT_DOUBLE_EQ(p.backoff_ms(9), 60.0);
+}
+
+TEST(RetryTest, JitterIsBoundedAndDeterministic) {
+  retry_policy p;
+  p.initial_backoff_ms = 100.0;
+  p.max_backoff_ms = 100.0;
+  p.jitter = 0.25;
+  for (int retry = 1; retry <= 8; ++retry) {
+    const double ms = p.backoff_ms(retry);
+    EXPECT_GE(ms, 75.0);
+    EXPECT_LE(ms, 125.0);
+    EXPECT_DOUBLE_EQ(ms, p.backoff_ms(retry));  // pure in (seed, retry)
+  }
+  retry_policy q = p;
+  q.seed ^= 1;
+  bool any_different = false;
+  for (int retry = 1; retry <= 8; ++retry) {
+    any_different |= p.backoff_ms(retry) != q.backoff_ms(retry);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RetryTest, RetryCallRetriesUpToMaxAttempts) {
+  retry_policy p;
+  p.max_attempts = 3;
+  p.initial_backoff_ms = 0.0;  // no sleeping in tests
+  int calls = 0;
+  const int v = retry_call(p, [&] {
+    if (++calls < 3) {
+      throw std::runtime_error("flaky");
+    }
+    return 42;
+  });
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(calls, 3);
+
+  calls = 0;
+  EXPECT_THROW(retry_call(p,
+                          [&]() -> int {
+                            ++calls;
+                            throw std::runtime_error("always");
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Crc32Test, KnownVectorAndChaining) {
+  const char data[] = "123456789";
+  EXPECT_EQ(crc32(data, 9), 0xCBF43926u);
+  // Chaining two halves equals one pass over the whole buffer.
+  const std::uint32_t first = crc32(data, 4);
+  EXPECT_EQ(crc32(data + 4, 5, first), crc32(data, 9));
+  EXPECT_NE(crc32(data, 8), crc32(data, 9));
+}
+
+TEST(CancellationTest, InertTokenNeverCancels) {
+  cancellation_token t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  t.request_cancel();  // no-op, no crash
+  t.set_deadline_after(0.001);
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(CancellationTest, RequestCancelFlips) {
+  const cancellation_token t = cancellation_token::make();
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  t.request_cancel();
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(CancellationTest, DeadlineFires) {
+  const cancellation_token t = cancellation_token::make();
+  t.set_deadline_after(5.0);
+  EXPECT_FALSE(t.cancelled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(CancellationTest, ChildSeesParentCancelButNotViceVersa) {
+  const cancellation_token parent = cancellation_token::make();
+  const cancellation_token child = parent.child();
+  EXPECT_FALSE(child.cancelled());
+  child.request_cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());  // a child never cancels its parent
+
+  const cancellation_token sibling = parent.child();
+  parent.request_cancel();
+  EXPECT_TRUE(sibling.cancelled());  // a parent cancels every child
 }
 
 }  // namespace

@@ -20,14 +20,26 @@
 //   --crash-after=N   exit(3) without replying on the Nth eval (1-based)
 //   --hang-after=N    sleep past any sane deadline on the Nth eval
 //   --garbage-after=N reply with a non-protocol line on the Nth eval
+//   --failpoints=SPEC arm support/failpoint.h with SPEC (same grammar as
+//                     ISDC_FAILPOINTS). Worker-side sites, all seeded and
+//                     per-site triggered, so chaos suites can script e.g.
+//                     "every 7th eval crashes" deterministically:
+//                       worker.eval   fail -> exit(3); timeout -> hang;
+//                                     garbage -> non-protocol line
+//                       worker.reply  fail -> exit, no reply; timeout ->
+//                                     hang; garbage -> corrupt reply;
+//                                     partial -> 'ok' line split across
+//                                     two delayed writes (valid, slow)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
 
 #include "backend/netlist.h"
 #include "backend/registry.h"
+#include "support/failpoint.h"
 
 namespace {
 
@@ -65,6 +77,13 @@ int main(int argc, char** argv) {
       hang_after = n;
     } else if (int n = parse_count_flag(arg, "--garbage-after=")) {
       garbage_after = n;
+    } else if (arg.rfind("--failpoints=", 0) == 0) {
+      try {
+        isdc::failpoint::arm(arg.substr(std::strlen("--failpoints=")));
+      } catch (const std::exception& e) {
+        std::cerr << "isdc_delay_worker: " << e.what() << "\n";
+        return 2;
+      }
     } else {
       std::cerr << "isdc_delay_worker: unknown flag " << arg << "\n";
       return 2;
@@ -109,13 +128,53 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       continue;
     }
+    switch (isdc::failpoint::maybe_fail("worker.eval")) {
+      case isdc::failpoint::kind::fail:
+        return 3;  // crash without replying, like --crash-after
+      case isdc::failpoint::kind::timeout:
+        std::this_thread::sleep_for(std::chrono::hours(1));
+        break;
+      case isdc::failpoint::kind::garbage:
+        std::printf("!!! not a protocol line !!!\n");
+        std::fflush(stdout);
+        continue;
+      default:
+        break;
+    }
     try {
       const isdc::ir::graph g = isdc::backend::from_text(line.substr(5));
       const double delay_ps = tool.tool().subgraph_delay_ps(g);
       // %.17g survives the text round trip bit-exactly, so an in-process
       // run and a worker-pool run of the same flow produce identical
       // delay matrices (and therefore identical schedules).
-      std::printf("ok %.17g\n", delay_ps);
+      char reply[64];
+      std::snprintf(reply, sizeof(reply), "ok %.17g\n", delay_ps);
+      switch (isdc::failpoint::maybe_fail("worker.reply")) {
+        case isdc::failpoint::kind::fail:
+          return 3;  // die with the reply unsent
+        case isdc::failpoint::kind::timeout:
+          std::this_thread::sleep_for(std::chrono::hours(1));
+          break;
+        case isdc::failpoint::kind::garbage:
+          std::printf("!!! not a protocol line !!!\n");
+          std::fflush(stdout);
+          continue;
+        case isdc::failpoint::kind::partial: {
+          // A well-formed reply split across two delayed writes: the
+          // client's poll/read loop must reassemble it, not misparse the
+          // first fragment. (Satellite regression for short reads.)
+          const std::size_t len = std::strlen(reply);
+          std::fwrite(reply, 1, len / 2, stdout);
+          std::fflush(stdout);
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          std::fwrite(reply + len / 2, 1, len - len / 2, stdout);
+          std::fflush(stdout);
+          continue;
+        }
+        default:
+          break;
+      }
+      std::fputs(reply, stdout);
     } catch (const std::exception& e) {
       std::printf("err %s\n", one_line(e.what()).c_str());
     }
