@@ -233,7 +233,8 @@ int main(int argc, char** argv) {
         .set("fleet_stages", fr.result.final_schedule.num_stages())
         .set("solo_register_bits", static_cast<std::int64_t>(solo_regs))
         .set("fleet_register_bits", static_cast<std::int64_t>(fleet_regs))
-        .set("schedule_bit_identical", identical);
+        .set("schedule_bit_identical", identical)
+        .set("peak_rss_kb_at_job_end", fr.peak_rss_kb);
     rows.push_raw(row.str());
   }
 

@@ -70,6 +70,18 @@ struct isdc_options {
   /// isdc_result::cancelled set — a budget expiry is a result, not an
   /// error.
   double wall_budget_ms = 0.0;
+  /// Memory budget for one run, in MiB; 0 = unlimited (the historical
+  /// monolithic path, bit-identical to before the option existed). With a
+  /// budget, a design that splits into several weakly-connected components
+  /// is streamed one component at a time — each component's dense delay
+  /// matrices are a fraction of the whole design's n^2 footprint — and the
+  /// per-component schedules are merged; see isdc_result for what a
+  /// partitioned result carries. The schedule is invariant across every
+  /// sufficient budget (and equals the per-component solo runs), because
+  /// the budget only gates feasibility, never the search. A design whose
+  /// largest single component cannot fit the budget fails fast with a
+  /// descriptive error instead of OOMing.
+  double memory_budget_mb = 0.0;
 };
 
 /// Metrics of one schedule in the iteration history. Entry 0 is the
@@ -109,6 +121,18 @@ struct isdc_result {
   /// True when the run was cut short by a wall_budget_ms expiry or an
   /// external cancellation token; every populated field is still valid.
   bool cancelled = false;
+  /// True when the run took the memory-budgeted partitioned path. The
+  /// schedules cover the whole design, but `history` concatenates the
+  /// per-component records (component boundaries visible as iteration
+  /// resets), `iterations` is the maximum over components, and `delays` /
+  /// `naive_delays` stay empty (size 0) — the whole-design dense matrices
+  /// are exactly what the budget exists to avoid materializing.
+  bool partitioned = false;
+  /// Process peak RSS (KiB) sampled when the run finished; -1 where
+  /// unsupported. Monotone over the process, so it bounds this run's
+  /// footprint from above — the observable the memory-budget sweep
+  /// (tools/isdc_fuzz) and the fleet report check budgets against.
+  std::int64_t peak_rss_kb = -1;
 };
 
 /// Runs the full ISDC flow. `model` provides the pre-characterized per-op

@@ -9,6 +9,7 @@
 #include "sched/metrics.h"
 #include "support/check.h"
 #include "support/hash.h"
+#include "support/mem.h"
 
 namespace isdc::engine {
 
@@ -136,6 +137,15 @@ core::isdc_result engine::run(const ir::graph& g,
   ISDC_CHECK(options.max_iterations >= 0);
   ISDC_CHECK(options.subgraphs_per_iteration > 0);
   ISDC_CHECK(options.compute_threads >= 0);
+  ISDC_CHECK(options.memory_budget_mb >= 0.0);
+
+  if (options.memory_budget_mb > 0.0) {
+    // Memory-budgeted path (partition.cpp): streams weakly-connected
+    // components through budget-free runs one at a time and merges the
+    // schedules; re-enters here per component with the budget cleared.
+    return run_partitioned(g, tool, options, model, shared_pool,
+                           compute_pool, cancel);
+  }
 
   // The run's cancellation token: a child of the caller's (so an external
   // cancel reaches us but our deadline never touches siblings), or a fresh
@@ -192,6 +202,7 @@ core::isdc_result engine::run(const ir::graph& g,
   }
   for (iteration_observer* obs : observers_) {
     obs->on_iteration(result.history.back());
+    obs->on_schedule(g, current, result.delays, result.history.back());
   }
 
   const bool async = options.async_evaluation;
@@ -288,6 +299,7 @@ core::isdc_result engine::run(const ir::graph& g,
     result.iterations = iter;
     for (iteration_observer* obs : observers_) {
       obs->on_iteration(rec);
+      obs->on_schedule(g, current, result.delays, rec);
     }
 
     const int consumed = rec.cache_hits + rec.evaluations_arrived;
@@ -355,6 +367,7 @@ core::isdc_result engine::run(const ir::graph& g,
       result.iterations = it.iteration;
       for (iteration_observer* obs : observers_) {
         obs->on_iteration(rec);
+        obs->on_schedule(g, current, result.delays, rec);
       }
       if (rec.register_bits < best_bits) {
         best_bits = rec.register_bits;
@@ -363,6 +376,7 @@ core::isdc_result engine::run(const ir::graph& g,
     }
   }
 
+  result.peak_rss_kb = isdc::peak_rss_kb();
   for (iteration_observer* obs : observers_) {
     obs->on_run_end(result);
   }

@@ -108,6 +108,19 @@ public:
                         const cancellation_token* cancel = nullptr);
 
 private:
+  /// The memory-budgeted path run() takes when memory_budget_mb > 0 and
+  /// the design splits into several weakly-connected components: streams
+  /// one component at a time through a normal (unbudgeted) run and merges
+  /// the per-component schedules (partition.cpp). Throws check_error when
+  /// a single component cannot fit the budget.
+  core::isdc_result run_partitioned(const ir::graph& g,
+                                    const core::downstream_tool& tool,
+                                    const core::isdc_options& options,
+                                    const synth::delay_model* model,
+                                    thread_pool* shared_pool,
+                                    thread_pool* compute_pool,
+                                    const cancellation_token* cancel);
+
   std::vector<std::unique_ptr<stage>> pipeline_;
   std::vector<iteration_observer*> observers_;
   evaluation_cache cache_;

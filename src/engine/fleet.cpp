@@ -7,6 +7,7 @@
 
 #include "support/check.h"
 #include "support/failpoint.h"
+#include "support/mem.h"
 
 namespace isdc::engine {
 
@@ -104,6 +105,7 @@ fleet_report fleet::run(const std::vector<fleet_job>& jobs,
       out.error = std::current_exception();
     }
     out.seconds = seconds_since(job_start);
+    out.peak_rss_kb = isdc::peak_rss_kb();
   });
   report.wall_seconds = seconds_since(start);
   report.designs_per_second =

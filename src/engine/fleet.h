@@ -67,6 +67,12 @@ struct fleet_result {
   /// Job cut short (job_budget_ms or the batch cancel token); the result
   /// still holds the best schedule found before the cut.
   bool cancelled = false;
+  /// Process peak RSS (KiB) sampled when this job finished; -1 where
+  /// unsupported. The kernel high-water mark is monotone, so this bounds
+  /// the job's footprint from above — with concurrent shards it includes
+  /// whatever neighbours allocated, so budget sweeps that need a tight
+  /// per-job bound run shards=1 (see BENCH_fleet.json's per-job block).
+  std::int64_t peak_rss_kb = -1;
 };
 
 struct fleet_report {

@@ -25,6 +25,16 @@ public:
   /// iteration after its re-solve.
   virtual void on_iteration(const core::iteration_record& /*rec*/) {}
 
+  /// The schedule and updated delay matrix behind a history record; called
+  /// right after on_iteration with the same record, for observers (e.g.
+  /// engine::invariant_validator) that need the iterate itself rather than
+  /// its metrics. The references are only valid for the duration of the
+  /// call — the engine keeps mutating both as the run proceeds.
+  virtual void on_schedule(const ir::graph& /*g*/,
+                           const sched::schedule& /*s*/,
+                           const sched::delay_matrix& /*d*/,
+                           const core::iteration_record& /*rec*/) {}
+
   /// The loop terminated (converged, exhausted or out of budget).
   virtual void on_run_end(const core::isdc_result& /*result*/) {}
 };

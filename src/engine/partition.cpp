@@ -1,0 +1,101 @@
+// The memory-budgeted partitioned path of engine::run: split the design
+// into weakly-connected components (extract/partition.h), stream them one
+// at a time through ordinary runs — so at any moment only one component's
+// dense delay matrices are live — and merge the per-component schedules.
+// Because parallel-stitched parts extract back out structurally identical
+// (same fingerprint) and the engine is deterministic, the merged schedule
+// equals each part scheduled solo, for every sufficient budget: the budget
+// gates feasibility, never the search.
+#include <algorithm>
+#include <utility>
+
+#include "engine/engine.h"
+#include "extract/partition.h"
+#include "support/check.h"
+#include "support/mem.h"
+
+namespace isdc::engine {
+
+namespace {
+
+/// Rough high-water estimate of one run's footprint: the two dense float
+/// matrices (current + naive) dominate past a few thousand nodes; the
+/// linear term covers the graph, adjacency, users and scheduler state.
+double estimated_run_footprint_mb(std::size_t n) {
+  const double quadratic = 2.0 * sizeof(float) * static_cast<double>(n) * n;
+  const double linear = 512.0 * static_cast<double>(n);
+  return (quadratic + linear) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+core::isdc_result engine::run_partitioned(const ir::graph& g,
+                                          const core::downstream_tool& tool,
+                                          const core::isdc_options& options,
+                                          const synth::delay_model* model,
+                                          thread_pool* shared_pool,
+                                          thread_pool* compute_pool,
+                                          const cancellation_token* cancel) {
+  const std::vector<extract::design_component> components =
+      extract::weakly_connected_components(g);
+
+  // Sub-runs carry no budget of their own: the memory budget is enforced
+  // here per component, and the wall budget is run-wide via the shared
+  // deadline token below, not per component.
+  core::isdc_options sub_options = options;
+  sub_options.memory_budget_mb = 0.0;
+  sub_options.wall_budget_ms = 0.0;
+  cancellation_token run_cancel;
+  if (cancel != nullptr && cancel->valid()) {
+    run_cancel = cancel->child();
+  } else {
+    run_cancel = cancellation_token::make();
+  }
+  run_cancel.set_deadline_after(options.wall_budget_ms);
+
+  for (const extract::design_component& comp : components) {
+    const double need = estimated_run_footprint_mb(comp.members.size());
+    ISDC_CHECK(need <= options.memory_budget_mb,
+               "design '" << g.name() << "': component of "
+                          << comp.members.size() << " nodes needs ~"
+                          << static_cast<long long>(need + 1.0)
+                          << " MiB, over the " << options.memory_budget_mb
+                          << " MiB memory budget; raise memory_budget_mb or "
+                             "split the component");
+  }
+
+  if (components.size() == 1) {
+    // Nothing to stream: one component, already proven to fit. Run the
+    // ordinary path (budget cleared above stops the recursion).
+    core::isdc_result result = run(g, tool, sub_options, model, shared_pool,
+                                   compute_pool, &run_cancel);
+    result.peak_rss_kb = isdc::peak_rss_kb();
+    return result;
+  }
+
+  core::isdc_result merged;
+  merged.partitioned = true;
+  merged.initial.cycle.assign(g.num_nodes(), 0);
+  merged.final_schedule.cycle.assign(g.num_nodes(), 0);
+  for (const extract::design_component& comp : components) {
+    // The extraction (and the component run's matrices) live only for this
+    // loop body: that is the streaming that keeps the footprint bounded.
+    const ir::extraction extracted = extract::extract_component(g, comp);
+    core::isdc_result part = run(extracted.g, tool, sub_options, model,
+                                 shared_pool, compute_pool, &run_cancel);
+    for (const auto& [original, sub] : extracted.to_sub) {
+      merged.initial.cycle[original] = part.initial.cycle[sub];
+      merged.final_schedule.cycle[original] =
+          part.final_schedule.cycle[sub];
+    }
+    merged.iterations = std::max(merged.iterations, part.iterations);
+    merged.cancelled = merged.cancelled || part.cancelled;
+    merged.history.insert(merged.history.end(),
+                          std::make_move_iterator(part.history.begin()),
+                          std::make_move_iterator(part.history.end()));
+  }
+  merged.peak_rss_kb = isdc::peak_rss_kb();
+  return merged;
+}
+
+}  // namespace isdc::engine

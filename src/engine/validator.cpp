@@ -1,0 +1,94 @@
+#include "engine/validator.h"
+
+#include <sstream>
+
+#include "ir/verify.h"
+#include "sched/validate.h"
+
+namespace isdc::engine {
+
+void invariant_validator::on_run_begin(const ir::graph& g,
+                                       const core::isdc_options& options) {
+  clock_period_ps_ = options.base.clock_period_ps;
+  design_ = g.name();
+  last_iteration_ = -1;
+  previous_.reset();
+  if (options_.check_graph) {
+    const std::string error = ir::verify(g);
+    if (!error.empty()) {
+      add("run begin", {error});
+    }
+  }
+}
+
+void invariant_validator::on_schedule(const ir::graph& g,
+                                      const sched::schedule& s,
+                                      const sched::delay_matrix& d,
+                                      const core::iteration_record& rec) {
+  ++schedules_checked_;
+  std::ostringstream where;
+  where << "iteration " << rec.iteration;
+  if (rec.iteration <= last_iteration_) {
+    add(where.str(), {"iteration did not advance (previous was " +
+                      std::to_string(last_iteration_) + ")"});
+  }
+  last_iteration_ = rec.iteration;
+
+  if (options_.check_schedule) {
+    add(where.str(),
+        sched::validate_schedule(g, s, d, clock_period_ps_,
+                                 options_.epsilon_ps));
+  }
+  if (options_.check_matrix && !previous_.has_value()) {
+    // Baseline consistency; later iterates are covered inductively by the
+    // monotonicity check below.
+    add(where.str(), sched::validate_matrix(g, d, options_.max_violations));
+  }
+  if (options_.check_monotonic) {
+    if (previous_.has_value()) {
+      add(where.str(),
+          sched::validate_matrix_monotonic(*previous_, d,
+                                           options_.epsilon_ps,
+                                           options_.max_violations));
+    }
+    previous_ = d;
+  } else if (!previous_.has_value()) {
+    // Remember that the baseline has been seen so check_matrix stays a
+    // baseline-only check even without monotonicity snapshots.
+    previous_.emplace(0);
+  }
+}
+
+void invariant_validator::on_run_end(const core::isdc_result& /*result*/) {
+  previous_.reset();  // free the snapshot between runs
+}
+
+void invariant_validator::add(const std::string& where,
+                              const std::vector<std::string>& found) {
+  for (const std::string& v : found) {
+    if (violations_.size() >= options_.max_violations) {
+      return;
+    }
+    violations_.push_back(design_ + " @ " + where + ": " + v);
+  }
+}
+
+std::string invariant_validator::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    if (i > 0) {
+      os << '\n';
+    }
+    os << violations_[i];
+  }
+  return os.str();
+}
+
+void invariant_validator::reset() {
+  violations_.clear();
+  schedules_checked_ = 0;
+  last_iteration_ = -1;
+  previous_.reset();
+}
+
+}  // namespace isdc::engine

@@ -1,0 +1,77 @@
+// Per-iteration invariant validation through the observer API: attach an
+// invariant_validator to an engine and every iterate of the run is checked
+// for schedule legality (sched::validate_schedule), graph/matrix
+// consistency (sched::validate_matrix) and feedback monotonicity
+// (sched::validate_matrix_monotonic — matrix entries only ever go down),
+// plus ir::verify on the design itself at run begin. The fuzz driver and
+// the chaos soak both hang one of these on every run; tests assert ok().
+//
+// One validator watches one run at a time: it snapshots the previous
+// iterate's matrix for the monotonicity check, so it must NOT be shared
+// across concurrent fleet jobs — give each job its own instance.
+#ifndef ISDC_ENGINE_VALIDATOR_H_
+#define ISDC_ENGINE_VALIDATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/observer.h"
+#include "sched/delay_matrix.h"
+
+namespace isdc::engine {
+
+struct validator_options {
+  bool check_graph = true;     ///< ir::verify at on_run_begin
+  bool check_schedule = true;  ///< validate_schedule per iterate
+  /// validate_matrix on the baseline iterate only; later iterates are
+  /// covered inductively by the monotonicity check (the connectivity
+  /// pattern never changes and entries only move down).
+  bool check_matrix = true;
+  /// validate_matrix_monotonic against the previous iterate's snapshot.
+  /// Copies the n x n matrix once per iterate; on very large designs turn
+  /// this off and rely on the baseline consistency check.
+  bool check_monotonic = true;
+  double epsilon_ps = 1e-3;
+  std::size_t max_violations = 64;  ///< stop collecting past this many
+};
+
+/// Observer that checks every iterate. Violations accumulate across the
+/// run (and across runs, until reset()); each is prefixed with the design
+/// name and iteration for attribution.
+class invariant_validator final : public iteration_observer {
+public:
+  explicit invariant_validator(validator_options options = {})
+      : options_(options) {}
+
+  void on_run_begin(const ir::graph& g,
+                    const core::isdc_options& options) override;
+  void on_schedule(const ir::graph& g, const sched::schedule& s,
+                   const sched::delay_matrix& d,
+                   const core::iteration_record& rec) override;
+  void on_run_end(const core::isdc_result& result) override;
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// All violations joined with newlines; empty when ok().
+  std::string to_string() const;
+  /// Iterates checked since construction or the last reset().
+  int schedules_checked() const { return schedules_checked_; }
+
+  void reset();
+
+private:
+  void add(const std::string& where, const std::vector<std::string>& found);
+
+  validator_options options_;
+  double clock_period_ps_ = 0.0;
+  std::string design_;
+  int last_iteration_ = -1;
+  std::optional<sched::delay_matrix> previous_;  ///< monotonicity snapshot
+  std::vector<std::string> violations_;
+  int schedules_checked_ = 0;
+};
+
+}  // namespace isdc::engine
+
+#endif  // ISDC_ENGINE_VALIDATOR_H_

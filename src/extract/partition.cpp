@@ -1,0 +1,122 @@
+#include "extract/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ir/adjacency.h"
+#include "support/check.h"
+
+namespace isdc::extract {
+
+namespace {
+
+/// Path-halving union-find over node ids.
+struct union_find {
+  std::vector<ir::node_id> parent;
+
+  explicit union_find(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  ir::node_id find(ir::node_id x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(ir::node_id a, ir::node_id b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) {
+      parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<design_component> weakly_connected_components(
+    const ir::graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<design_component> components;
+  if (n == 0) {
+    return components;
+  }
+
+  union_find uf(n);
+  for (ir::node_id v = 0; v < n; ++v) {
+    if (g.at(v).op == ir::opcode::constant) {
+      continue;
+    }
+    for (const ir::node_id p : g.at(v).operands) {
+      if (g.at(p).op != ir::opcode::constant) {
+        uf.unite(p, v);
+      }
+    }
+  }
+
+  // Group non-constant nodes by root; roots appear in ascending id order,
+  // so components come out ordered by lowest member.
+  std::vector<std::uint32_t> slot(n, static_cast<std::uint32_t>(-1));
+  for (ir::node_id v = 0; v < n; ++v) {
+    if (g.at(v).op == ir::opcode::constant) {
+      continue;
+    }
+    const ir::node_id root = uf.find(v);
+    if (slot[root] == static_cast<std::uint32_t>(-1)) {
+      slot[root] = static_cast<std::uint32_t>(components.size());
+      components.emplace_back();
+    }
+    components[slot[root]].members.push_back(v);
+  }
+  if (components.empty()) {
+    // Constant-only graph: one component with everything.
+    components.emplace_back();
+    components.back().members.resize(n);
+    std::iota(components.back().members.begin(),
+              components.back().members.end(), 0);
+  } else {
+    // Clone each referenced constant into every component that reads it,
+    // keeping member lists sorted (constants have low ids, so insert then
+    // re-sort the prefix cheaply via std::sort on the merged list).
+    std::vector<std::uint32_t> seen(n, static_cast<std::uint32_t>(-1));
+    for (std::uint32_t c = 0; c < components.size(); ++c) {
+      design_component& comp = components[c];
+      const std::size_t member_count = comp.members.size();
+      for (std::size_t i = 0; i < member_count; ++i) {
+        for (const ir::node_id p : g.at(comp.members[i]).operands) {
+          if (g.at(p).op == ir::opcode::constant && seen[p] != c) {
+            seen[p] = c;
+            comp.members.push_back(p);
+          }
+        }
+      }
+      std::sort(comp.members.begin(), comp.members.end());
+    }
+  }
+  for (design_component& comp : components) {
+    for (const ir::node_id v : comp.members) {
+      if (g.is_output(v)) {
+        comp.outputs.push_back(v);
+      }
+    }
+  }
+  return components;
+}
+
+ir::extraction extract_component(const ir::graph& g,
+                                 const design_component& component) {
+  ISDC_CHECK(!component.members.empty(), "cannot extract an empty component");
+  std::vector<ir::node_id> roots = component.outputs;
+  if (roots.empty()) {
+    for (const ir::node_id v : component.members) {
+      if (g.users(v).empty() && g.at(v).op != ir::opcode::constant) {
+        roots.push_back(v);
+      }
+    }
+  }
+  ISDC_CHECK(!roots.empty(), "component has neither outputs nor sinks");
+  return ir::extract_subgraph(g, component.members, roots);
+}
+
+}  // namespace isdc::extract

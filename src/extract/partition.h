@@ -1,0 +1,48 @@
+// Weakly-connected-component partitioning of a design, the unit the
+// memory-budgeted scheduler streams: each component's dense delay matrix
+// is a fraction of the whole design's n^2 footprint, so components are
+// scheduled one at a time inside core::isdc_options::memory_budget_mb
+// instead of materializing one 100k x 100k matrix.
+//
+// Constants are deliberately excluded from the connectivity relation — a
+// shared constant would otherwise merge every part that references it into
+// one giant component — and are instead cloned into each component that
+// uses them (mirroring what ir::extract_subgraph does anyway), so a
+// component extracted from a parallel-stitched design is structurally
+// identical to the original part.
+#ifndef ISDC_EXTRACT_PARTITION_H_
+#define ISDC_EXTRACT_PARTITION_H_
+
+#include <vector>
+
+#include "ir/extract.h"
+#include "ir/graph.h"
+
+namespace isdc::extract {
+
+/// One weakly-connected component: member node ids ascending (so relative
+/// creation order — and therefore topological order — is preserved),
+/// including every constant any member reads, and the member ids that are
+/// primary outputs of the host graph.
+struct design_component {
+  std::vector<ir::node_id> members;
+  std::vector<ir::node_id> outputs;
+};
+
+/// Partitions `g` into weakly-connected components over operand edges,
+/// ignoring constants (see above; a constant referenced by k components
+/// appears in all k member lists). Components are ordered by their lowest
+/// member id. Constant-only graphs yield a single component holding all
+/// nodes.
+std::vector<design_component> weakly_connected_components(const ir::graph& g);
+
+/// Extracts one component into a standalone graph via ir::extract_subgraph
+/// with the component's outputs as roots; falls back to the component's
+/// sinks when it contains no primary output (every graph must have at
+/// least one output to pass ir::verify).
+ir::extraction extract_component(const ir::graph& g,
+                                 const design_component& component);
+
+}  // namespace isdc::extract
+
+#endif  // ISDC_EXTRACT_PARTITION_H_

@@ -1,0 +1,486 @@
+#include "fuzz/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "backend/subprocess_tool.h"
+#include "core/downstream.h"
+#include "engine/engine.h"
+#include "engine/validator.h"
+#include "extract/partition.h"
+#include "fuzz/sabotage.h"
+#include "sched/metrics.h"
+#include "sched/validate.h"
+#include "support/failpoint.h"
+#include "support/rng.h"
+#include "workloads/registry.h"
+
+namespace isdc::fuzz {
+
+namespace {
+
+/// The quiet fault schedule of the failpoints-quiet pair: sites the
+/// in-process run never visits, so arming alone must perturb nothing —
+/// this catches any accidental coupling between the failpoint machinery
+/// (its per-site counters, its seeded decisions) and scheduling state.
+std::string quiet_failpoint_spec(std::uint64_t seed) {
+  std::ostringstream os;
+  os << "seed=" << seed
+     << ";backend.subprocess.read=timeout@p=0.5"
+     << ";engine.cache.save=fail@p=0.5";
+  return os.str();
+}
+
+struct run_output {
+  core::isdc_result result;
+  std::string violations;  ///< invariant_validator findings, "" when clean
+};
+
+/// One engine run with an invariant validator attached. `eng` may be
+/// shared across calls (cold/warm pairs); nullptr uses a fresh engine.
+run_output run_once(const ir::graph& g, const core::downstream_tool& tool,
+                    const core::isdc_options& options,
+                    engine::engine* eng = nullptr) {
+  engine::engine local;
+  engine::engine& e = eng != nullptr ? *eng : local;
+  engine::invariant_validator validator;
+  e.add_observer(&validator);
+  run_output out;
+  try {
+    out.result = e.run(g, tool, options);
+  } catch (...) {
+    e.remove_observer(&validator);
+    throw;
+  }
+  e.remove_observer(&validator);
+  out.violations = validator.to_string();
+  return out;
+}
+
+std::string describe_pair(const run_output& a, const run_output& b,
+                          bool with_matrices) {
+  if (!a.violations.empty()) {
+    return "side A invariant violations: " + a.violations;
+  }
+  if (!b.violations.empty()) {
+    return "side B invariant violations: " + b.violations;
+  }
+  return compare_results(a.result, b.result, with_matrices);
+}
+
+check_result make_result(const fuzz_case& c, const std::string& name,
+                         std::string detail, std::string failpoints = {}) {
+  check_result r;
+  r.name = name;
+  r.seed = c.seed;
+  r.detail = std::move(detail);
+  r.failpoints = std::move(failpoints);
+  r.passed = r.detail.empty();
+  return r;
+}
+
+// ---- the individual checks -------------------------------------------
+
+check_result check_serial_vs_threads(const fuzz_case& c) {
+  core::aig_depth_downstream tool;
+  core::isdc_options serial = c.options;
+  serial.compute_threads = 1;
+  core::isdc_options threaded = c.options;
+  threaded.compute_threads = 3;
+  const run_output a = run_once(c.g, tool, serial);
+  const run_output b = run_once(c.g, tool, threaded);
+  return make_result(c, "serial-vs-threads", describe_pair(a, b, true));
+}
+
+check_result check_cold_vs_warm(const fuzz_case& c) {
+  core::aig_depth_downstream tool;
+  engine::engine shared;
+  const run_output cold = run_once(c.g, tool, c.options, &shared);
+  const run_output warm = run_once(c.g, tool, c.options, &shared);
+  std::string detail = describe_pair(cold, warm, true);
+  if (detail.empty() && warm.result.history.size() > 1) {
+    int warm_hits = 0;
+    for (const core::iteration_record& rec : warm.result.history) {
+      warm_hits += rec.cache_hits;
+    }
+    int evaluated = 0;
+    for (const core::iteration_record& rec : warm.result.history) {
+      evaluated += rec.subgraphs_evaluated;
+    }
+    if (evaluated > 0 && warm_hits == 0) {
+      detail = "warm run answered no evaluation from the cache";
+    }
+  }
+  return make_result(c, "cold-vs-warm", std::move(detail));
+}
+
+check_result check_failpoints_quiet(const fuzz_case& c) {
+  core::aig_depth_downstream tool;
+  const run_output clean = run_once(c.g, tool, c.options);
+  const std::string spec = quiet_failpoint_spec(c.seed);
+  run_output armed;
+  std::uint64_t fires = 0;
+  {
+    failpoint::scoped_arm arm(spec);
+    armed = run_once(c.g, tool, c.options);
+    fires = failpoint::total_fires();
+  }
+  std::string detail = describe_pair(clean, armed, true);
+  if (detail.empty() && fires != 0) {
+    detail = "quiet schedule fired " + std::to_string(fires) +
+             " faults on an in-process run";
+  }
+  return make_result(c, "failpoints-quiet", std::move(detail), spec);
+}
+
+check_result check_sync_vs_async(const fuzz_case& c) {
+  core::aig_depth_downstream tool;
+  core::isdc_options sync = c.options;
+  sync.async_evaluation = false;
+  core::isdc_options async = c.options;
+  async.async_evaluation = true;
+  const run_output a = run_once(c.g, tool, sync);
+  const run_output b = run_once(c.g, tool, async);
+  std::string detail;
+  if (!a.violations.empty()) {
+    detail = "sync invariant violations: " + a.violations;
+  } else if (!b.violations.empty()) {
+    detail = "async invariant violations: " + b.violations;
+  } else if (a.result.final_schedule.num_stages() !=
+             b.result.final_schedule.num_stages()) {
+    // Arrival timing makes async trajectories thread-dependent, so the
+    // contract is final quality, not bit-equality (engine_async_test).
+    std::ostringstream os;
+    os << "stage count diverged: sync "
+       << a.result.final_schedule.num_stages() << " vs async "
+       << b.result.final_schedule.num_stages();
+    detail = os.str();
+  } else if (sched::register_bits(c.g, b.result.final_schedule) >
+             sched::register_bits(c.g, b.result.initial)) {
+    detail = "async final schedule is worse than its own baseline";
+  }
+  return make_result(c, "sync-vs-async", std::move(detail));
+}
+
+check_result check_inprocess_vs_worker(const fuzz_case& c,
+                                       const check_options& opts) {
+  core::aig_depth_downstream in_process;
+  backend::subprocess_options sopts;
+  sopts.command = opts.worker_command;
+  sopts.workers = 2;
+  backend::subprocess_tool worker(sopts);
+  const run_output a = run_once(c.g, in_process, c.options);
+  const run_output b = run_once(c.g, worker, c.options);
+  return make_result(c, "inprocess-vs-worker", describe_pair(a, b, true));
+}
+
+check_result check_budget_sweep(const fuzz_case& c) {
+  const std::vector<extract::design_component> components =
+      extract::weakly_connected_components(c.g);
+  if (components.size() < 2) {
+    return make_result(c, "budget-sweep", "");  // single island: vacuous
+  }
+  core::aig_depth_downstream tool;
+  core::isdc_options tight = c.options;
+  tight.memory_budget_mb = 64.0;
+  core::isdc_options loose = c.options;
+  loose.memory_budget_mb = 512.0;
+  const run_output a = run_once(c.g, tool, tight);
+  const run_output b = run_once(c.g, tool, loose);
+  std::string detail = describe_pair(a, b, false);
+  if (!detail.empty()) {
+    return make_result(c, "budget-sweep", "budgets 64 vs 512 MiB: " + detail);
+  }
+  if (!a.result.partitioned) {
+    return make_result(c, "budget-sweep",
+                       "multi-component budgeted run did not partition");
+  }
+  // Budget-invariance alone could hide a bug common to both budgeted runs:
+  // also require the merged schedule to equal each component scheduled
+  // solo (components of a parallel stitch are structurally identical to
+  // the standalone parts, and the engine is deterministic).
+  for (const extract::design_component& comp : components) {
+    const ir::extraction extracted = extract::extract_component(c.g, comp);
+    const run_output solo = run_once(extracted.g, tool, c.options);
+    if (!solo.violations.empty()) {
+      return make_result(c, "budget-sweep",
+                         "solo component invariant violations: " +
+                             solo.violations);
+    }
+    for (const auto& [original, sub] : extracted.to_sub) {
+      if (a.result.final_schedule.cycle[original] !=
+          solo.result.final_schedule.cycle[sub]) {
+        std::ostringstream os;
+        os << "node " << original << ": budgeted whole-design stage "
+           << a.result.final_schedule.cycle[original]
+           << " != solo component stage "
+           << solo.result.final_schedule.cycle[sub];
+        return make_result(c, "budget-sweep", os.str());
+      }
+    }
+  }
+  return make_result(c, "budget-sweep", "");
+}
+
+/// Exhaustive reference on a tiny derived instance: the baseline SDC
+/// schedule's register bits must match the best over every legal stage
+/// assignment (operand order, inputs at 0, intra-stage timing against the
+/// naive matrix — the same legality validate_schedule checks).
+check_result check_brute_force(const fuzz_case& c) {
+  workloads::mixed_dag_options tiny;
+  tiny.num_inputs = 2;
+  tiny.layer_width = 3;
+  tiny.fanin_window = 2;
+  tiny.select_chain_probability = 0.0;
+  tiny.select_chain_length = 1;
+  const ir::graph g = workloads::build_mixed_dag(c.seed, 5, tiny);
+
+  core::isdc_options opts = c.options;
+  sched::delay_matrix matrix{0};
+  const sched::schedule baseline =
+      core::run_sdc_baseline(g, opts, nullptr, &matrix);
+  const double clock = opts.base.clock_period_ps;
+  if (!sched::validate_schedule(g, baseline, matrix, clock).empty()) {
+    return make_result(c, "brute-force", "baseline SDC schedule is illegal");
+  }
+  const std::int64_t sdc_bits = sched::register_bits(g, baseline);
+
+  // Free variables: everything but inputs (pinned to 0) and constants
+  // (stage 0 — no operands, zero register cost, always legal).
+  std::vector<ir::node_id> free_nodes;
+  for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
+    const ir::opcode op = g.at(v).op;
+    if (op != ir::opcode::input && op != ir::opcode::constant) {
+      free_nodes.push_back(v);
+    }
+  }
+  const int max_stage = baseline.num_stages();  // stages 0..max inclusive
+  if (free_nodes.size() > 10) {
+    return make_result(c, "brute-force", "");  // derived case too large
+  }
+
+  sched::schedule trial;
+  trial.cycle.assign(g.num_nodes(), 0);
+  std::int64_t best = -1;
+  const auto enumerate = [&](const auto& self, std::size_t i) -> void {
+    if (i == free_nodes.size()) {
+      if (sched::validate_schedule(g, trial, matrix, clock).empty()) {
+        const std::int64_t bits = sched::register_bits(g, trial);
+        if (best < 0 || bits < best) {
+          best = bits;
+        }
+      }
+      return;
+    }
+    const ir::node_id v = free_nodes[i];
+    int lo = 0;
+    for (const ir::node_id p : g.at(v).operands) {
+      lo = std::max(lo, trial.cycle[p]);  // ids topological: p already set
+    }
+    for (int s = lo; s <= max_stage; ++s) {
+      trial.cycle[v] = s;
+      self(self, i + 1);
+    }
+    trial.cycle[v] = 0;
+  };
+  enumerate(enumerate, 0);
+
+  if (best < 0) {
+    return make_result(c, "brute-force",
+                       "no legal assignment found within the stage bound");
+  }
+  if (best != sdc_bits) {
+    std::ostringstream os;
+    os << "SDC register bits " << sdc_bits << " vs exhaustive optimum "
+       << best << " on " << g.num_nodes() << " nodes";
+    return make_result(c, "brute-force", os.str());
+  }
+  return make_result(c, "brute-force", "");
+}
+
+/// Reference engine vs the sabotaged pipeline (sabotage.h). This check is
+/// EXPECTED to fail on designs containing a mul node — it exists so tests
+/// and --inject-bug can exercise minimization and repro replay end to end.
+check_result check_sabotage(const fuzz_case& c) {
+  core::aig_depth_downstream tool;
+  const run_output reference = run_once(c.g, tool, c.options);
+  engine::engine buggy(sabotaged_pipeline());
+  engine::engine* eng = &buggy;
+  run_output sabotaged;
+  {
+    engine::invariant_validator validator;
+    eng->add_observer(&validator);
+    sabotaged.result = eng->run(c.g, tool, c.options);
+    eng->remove_observer(&validator);
+    sabotaged.violations = validator.to_string();
+  }
+  std::string detail = describe_pair(reference, sabotaged, true);
+  return make_result(c, "sabotage", std::move(detail));
+}
+
+}  // namespace
+
+fuzz_case generate_case(std::uint64_t seed, bool quick) {
+  rng r(seed);
+  fuzz_case c;
+  c.seed = seed;
+  const int ops = quick ? 60 + static_cast<int>(r.next_below(160))
+                        : 300 + static_cast<int>(r.next_below(600));
+  switch (seed % 4) {
+    case 0:
+      c.generator = "random";
+      c.g = workloads::build_random_dag(r.next(), ops);
+      break;
+    case 1:
+      c.generator = "mixed";
+      c.g = workloads::build_mixed_dag(r.next(), ops);
+      break;
+    case 2: {
+      // Control-heavy: the irregular select-dominated shapes.
+      workloads::mixed_dag_options heavy;
+      heavy.arith_fraction = 0.2;
+      heavy.logic_fraction = 0.15;
+      heavy.compare_fraction = 0.25;
+      heavy.select_chain_probability = 0.35;
+      c.generator = "control";
+      c.g = workloads::build_mixed_dag(r.next(), ops, heavy);
+      break;
+    }
+    default: {
+      // Parallel islands: the shape the budget-sweep check partitions.
+      const int parts = 2 + static_cast<int>(r.next_below(2));
+      std::vector<ir::graph> built;
+      built.reserve(static_cast<std::size_t>(parts));
+      for (int p = 0; p < parts; ++p) {
+        const int part_ops = std::max(20, ops / parts);
+        if (p % 2 == 0) {
+          built.push_back(workloads::build_mixed_dag(r.next(), part_ops));
+        } else {
+          built.push_back(workloads::build_random_dag(r.next(), part_ops));
+        }
+      }
+      std::vector<const ir::graph*> pointers;
+      pointers.reserve(built.size());
+      for (const ir::graph& g : built) {
+        pointers.push_back(&g);
+      }
+      c.generator = "stitched";
+      c.g = workloads::stitch_designs(
+          pointers, {.mode = workloads::stitch_mode::parallel,
+                     .name = "fuzz_stitched_" + std::to_string(seed)});
+      break;
+    }
+  }
+  c.options.max_iterations = quick ? 2 : 4;
+  c.options.subgraphs_per_iteration = 4;
+  c.options.num_threads = 2;
+  return c;
+}
+
+std::vector<std::string> check_names(const fuzz_case& c,
+                                     const check_options& opts) {
+  std::vector<std::string> names = {"serial-vs-threads", "cold-vs-warm",
+                                    "sync-vs-async"};
+  if (opts.failpoint_pair) {
+    names.push_back("failpoints-quiet");
+  }
+  if (!opts.worker_command.empty()) {
+    names.push_back("inprocess-vs-worker");
+  }
+  if (opts.budget_sweep && c.generator == "stitched") {
+    names.push_back("budget-sweep");
+  }
+  if (opts.brute_force) {
+    names.push_back("brute-force");
+  }
+  return names;
+}
+
+check_result run_named_check(const std::string& name, const fuzz_case& c,
+                             const check_options& opts) {
+  if (name == "serial-vs-threads") {
+    return check_serial_vs_threads(c);
+  }
+  if (name == "cold-vs-warm") {
+    return check_cold_vs_warm(c);
+  }
+  if (name == "sync-vs-async") {
+    return check_sync_vs_async(c);
+  }
+  if (name == "failpoints-quiet") {
+    return check_failpoints_quiet(c);
+  }
+  if (name == "inprocess-vs-worker") {
+    return check_inprocess_vs_worker(c, opts);
+  }
+  if (name == "budget-sweep") {
+    return check_budget_sweep(c);
+  }
+  if (name == "brute-force") {
+    return check_brute_force(c);
+  }
+  if (name == "sabotage") {
+    return check_sabotage(c);
+  }
+  return make_result(c, name, "unknown check '" + name + "'");
+}
+
+std::vector<check_result> run_checks(const fuzz_case& c,
+                                     const check_options& opts) {
+  std::vector<check_result> results;
+  for (const std::string& name : check_names(c, opts)) {
+    results.push_back(run_named_check(name, c, opts));
+  }
+  return results;
+}
+
+std::string compare_results(const core::isdc_result& a,
+                            const core::isdc_result& b, bool with_matrices) {
+  std::ostringstream os;
+  if (a.initial != b.initial) {
+    return "initial schedules differ";
+  }
+  if (a.final_schedule != b.final_schedule) {
+    return "final schedules differ";
+  }
+  if (a.iterations != b.iterations) {
+    os << "iteration counts differ: " << a.iterations << " vs "
+       << b.iterations;
+    return os.str();
+  }
+  if (a.history.size() != b.history.size()) {
+    os << "history lengths differ: " << a.history.size() << " vs "
+       << b.history.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const core::iteration_record& ra = a.history[i];
+    const core::iteration_record& rb = b.history[i];
+    if (ra.register_bits != rb.register_bits ||
+        ra.num_stages != rb.num_stages ||
+        ra.subgraphs_evaluated != rb.subgraphs_evaluated ||
+        ra.matrix_entries_lowered != rb.matrix_entries_lowered ||
+        ra.estimated_delay_ps != rb.estimated_delay_ps) {
+      os << "history record " << i << " differs (register_bits "
+         << ra.register_bits << " vs " << rb.register_bits << ", stages "
+         << ra.num_stages << " vs " << rb.num_stages << ", evaluated "
+         << ra.subgraphs_evaluated << " vs " << rb.subgraphs_evaluated
+         << ", lowered " << ra.matrix_entries_lowered << " vs "
+         << rb.matrix_entries_lowered << ")";
+      return os.str();
+    }
+  }
+  if (with_matrices) {
+    if (!(a.delays == b.delays)) {
+      return "final delay matrices differ";
+    }
+    if (!(a.naive_delays == b.naive_delays)) {
+      return "initial delay matrices differ";
+    }
+  }
+  return "";
+}
+
+}  // namespace isdc::fuzz

@@ -1,0 +1,92 @@
+// Differential fuzzing of the ISDC pipeline (tools/isdc_fuzz is the CLI).
+// Per seed, a generated design (random / mixed-control / parallel-stitched
+// — src/workloads) runs through configuration pairs that must agree:
+//
+//   bit-identical trajectories (schedules, matrices, history):
+//     serial-vs-threads      compute_threads=1 vs N (parallel kernels)
+//     cold-vs-warm           same engine run twice (cache must not steer)
+//     failpoints-quiet       armed-but-silent fault schedule vs none
+//     inprocess-vs-worker    aig-depth in process vs the subprocess worker
+//     budget-sweep           two memory budgets; plus partitioned whole ==
+//                            per-part solo runs on stitched designs
+//   quality parity (async arrival timing is thread-dependent by design,
+//   so bit-equality is not the contract — engine_async_test):
+//     sync-vs-async          equal stage count, legal on both sides
+//   reference optimality (tiny instances only):
+//     brute-force            baseline SDC register bits == exhaustive
+//                            enumeration over all legal stage assignments
+//
+// Every run is watched by an engine::invariant_validator; an invariant
+// violation fails the check even when both sides agree. On failure the
+// ddmin reducer (minimize.h) shrinks the design and a self-contained repro
+// file (repro.h) is emitted.
+#ifndef ISDC_FUZZ_FUZZ_H_
+#define ISDC_FUZZ_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/isdc_scheduler.h"
+#include "ir/graph.h"
+
+namespace isdc::fuzz {
+
+/// One generated test case. The options are the pair's *base* config; each
+/// check derives its two sides from it.
+struct fuzz_case {
+  ir::graph g{"fuzz"};
+  core::isdc_options options;
+  std::uint64_t seed = 0;
+  std::string generator;  ///< "random" | "mixed" | "control" | "stitched"
+};
+
+/// Seed-deterministic case generation. Quick cases are 60-220 ops and two
+/// feedback iterations — sized so a few hundred config-pair checks fit in
+/// a CI smoke; full cases are several hundred ops and four iterations.
+fuzz_case generate_case(std::uint64_t seed, bool quick = true);
+
+struct check_result {
+  std::string name;
+  std::uint64_t seed = 0;
+  bool passed = true;
+  std::string detail;      ///< first divergence / violation, "" when passed
+  std::string failpoints;  ///< the armed spec, "" when none
+};
+
+struct check_options {
+  /// Worker command line for the inprocess-vs-worker pair (e.g.
+  /// "path/to/isdc_delay_worker --tool=aig-depth"); empty skips it.
+  std::string worker_command;
+  bool budget_sweep = true;
+  bool brute_force = true;
+  bool failpoint_pair = true;
+};
+
+/// The names run_checks executes, in order (subject to check_options and
+/// case shape — brute-force only fires on tiny cases, budget-sweep only on
+/// multi-component ones).
+std::vector<std::string> check_names(const fuzz_case& c,
+                                     const check_options& opts);
+
+/// Runs one named check on a case. Unknown names come back failed with a
+/// descriptive detail (a repro naming a check this build does not know
+/// must not pass silently).
+check_result run_named_check(const std::string& name, const fuzz_case& c,
+                             const check_options& opts);
+
+/// All applicable checks for the case, in check_names order.
+std::vector<check_result> run_checks(const fuzz_case& c,
+                                     const check_options& opts = {});
+
+/// "" when the two results are bit-identical; otherwise a description of
+/// the first divergence. Compares initial/final schedules, iteration
+/// count, history metrics and (when `with_matrices`) both delay matrices.
+/// Cache-sourcing counters (cache_hits, dispatch accounting) are excluded:
+/// re-sourcing a measurement with an identical value is not a divergence.
+std::string compare_results(const core::isdc_result& a,
+                            const core::isdc_result& b, bool with_matrices);
+
+}  // namespace isdc::fuzz
+
+#endif  // ISDC_FUZZ_FUZZ_H_

@@ -1,0 +1,120 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "ir/extract.h"
+#include "support/check.h"
+
+namespace isdc::fuzz {
+
+namespace {
+
+/// Members with no user inside the subset become the candidate's outputs.
+/// A DAG subset always has at least one (its highest-id member).
+std::vector<ir::node_id> roots_of(const ir::graph& g,
+                                  const std::vector<ir::node_id>& members) {
+  std::unordered_set<ir::node_id> in(members.begin(), members.end());
+  std::vector<ir::node_id> roots;
+  for (const ir::node_id m : members) {
+    bool used_inside = false;
+    for (const ir::node_id u : g.users(m)) {
+      if (in.count(u) != 0) {
+        used_inside = true;
+        break;
+      }
+    }
+    if (!used_inside) {
+      roots.push_back(m);
+    }
+  }
+  return roots;
+}
+
+}  // namespace
+
+minimize_result minimize_case(const fuzz_case& c,
+                              const minimize_options& opts) {
+  ISDC_CHECK(!opts.check.empty(), "minimize_case needs a check name");
+  ISDC_CHECK(opts.max_trials > 0);
+
+  minimize_result out;
+  out.original_nodes = c.g.num_nodes();
+  out.g = c.g;
+
+  std::vector<ir::node_id> members;
+  members.reserve(c.g.num_nodes());
+  for (ir::node_id v = 0; v < static_cast<ir::node_id>(c.g.num_nodes());
+       ++v) {
+    members.push_back(v);
+  }
+
+  int trials = 0;
+  const auto still_fails = [&](const std::vector<ir::node_id>& subset,
+                               ir::graph* kept) -> bool {
+    if (subset.empty() || trials >= opts.max_trials) {
+      return false;
+    }
+    ++trials;
+    const std::vector<ir::node_id> roots = roots_of(c.g, subset);
+    ir::extraction ex = ir::extract_subgraph(c.g, subset, roots);
+    fuzz_case candidate;
+    candidate.g = ex.g;
+    candidate.options = c.options;
+    candidate.seed = c.seed;
+    candidate.generator = c.generator;
+    bool fails = false;
+    try {
+      fails = !run_named_check(opts.check, candidate, opts.checks).passed;
+    } catch (...) {
+      // A candidate that crashes the check is conservatively treated as
+      // not reproducing: the repro must replay the original failure mode.
+      fails = false;
+    }
+    if (fails && kept != nullptr) {
+      *kept = std::move(ex.g);
+    }
+    return fails;
+  };
+
+  // Classic ddmin over the member set: try dropping chunks, refining
+  // granularity when no chunk can go.
+  std::size_t chunks = 2;
+  while (members.size() >= 2 && trials < opts.max_trials) {
+    const std::size_t n = members.size();
+    chunks = std::min(chunks, n);
+    bool shrunk = false;
+    for (std::size_t i = 0; i < chunks && trials < opts.max_trials; ++i) {
+      const std::size_t lo = i * n / chunks;
+      const std::size_t hi = (i + 1) * n / chunks;
+      std::vector<ir::node_id> complement;
+      complement.reserve(n - (hi - lo));
+      complement.insert(complement.end(), members.begin(),
+                        members.begin() + static_cast<std::ptrdiff_t>(lo));
+      complement.insert(complement.end(),
+                        members.begin() + static_cast<std::ptrdiff_t>(hi),
+                        members.end());
+      ir::graph kept{"minimized"};
+      if (still_fails(complement, &kept)) {
+        members = std::move(complement);
+        out.g = std::move(kept);
+        out.reduced = true;
+        chunks = std::max<std::size_t>(2, chunks - 1);
+        shrunk = true;
+        break;
+      }
+    }
+    if (!shrunk) {
+      if (chunks >= members.size()) {
+        break;  // single-node granularity exhausted
+      }
+      chunks = std::min(chunks * 2, members.size());
+    }
+  }
+
+  out.trials = static_cast<std::size_t>(trials);
+  return out;
+}
+
+}  // namespace isdc::fuzz

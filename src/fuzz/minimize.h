@@ -1,0 +1,39 @@
+// ddmin-style reduction of a failing fuzz case: shrink the design to a
+// small core that still fails the same check. Operates directly on node-id
+// subsets — ir::extract_subgraph turns any subset into a well-formed graph
+// (external operands become fresh boundary inputs, constants are cloned),
+// so the reducer never has to reason about closure.
+#ifndef ISDC_FUZZ_MINIMIZE_H_
+#define ISDC_FUZZ_MINIMIZE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace isdc::fuzz {
+
+struct minimize_options {
+  std::string check;    ///< the failing check to replay on each candidate
+  check_options checks;
+  /// Hard cap on candidate replays — minimization is best-effort; on a
+  /// pathological case it returns the smallest failing graph found so far.
+  int max_trials = 512;
+};
+
+struct minimize_result {
+  ir::graph g{"minimized"};   ///< smallest failing design found
+  std::size_t original_nodes = 0;
+  std::size_t trials = 0;     ///< candidate replays actually run
+  bool reduced = false;       ///< g is strictly smaller than the input
+};
+
+/// Precondition: run_named_check(opts.check, c, opts.checks) fails on `c`
+/// (callers should have just observed the failure). Returns the input
+/// graph unchanged (reduced=false) if nothing smaller still fails.
+minimize_result minimize_case(const fuzz_case& c,
+                              const minimize_options& opts);
+
+}  // namespace isdc::fuzz
+
+#endif  // ISDC_FUZZ_MINIMIZE_H_

@@ -1,0 +1,182 @@
+#include "fuzz/repro.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "backend/netlist.h"
+#include "support/check.h"
+#include "support/failpoint.h"
+
+namespace isdc::fuzz {
+
+namespace {
+
+constexpr int repro_format_version = 1;
+
+}  // namespace
+
+std::string to_file_text(const repro& r) {
+  std::ostringstream os;
+  os << "isdc-repro " << repro_format_version << "\n";
+  os << "check " << r.check << "\n";
+  os << "seed " << r.seed << "\n";
+  if (!r.generator.empty()) {
+    os << "generator " << r.generator << "\n";
+  }
+  os << "failpoints " << (r.failpoints.empty() ? "-" : r.failpoints) << "\n";
+  if (!r.detail.empty()) {
+    std::string one_line = r.detail;
+    for (char& ch : one_line) {
+      if (ch == '\n') {
+        ch = ' ';
+      }
+    }
+    os << "detail " << one_line << "\n";
+  }
+  os << "option max_iterations " << r.options.max_iterations << "\n";
+  os << "option subgraphs_per_iteration "
+     << r.options.subgraphs_per_iteration << "\n";
+  os << "option convergence_patience " << r.options.convergence_patience
+     << "\n";
+  os << "option num_threads " << r.options.num_threads << "\n";
+  os << "option compute_threads " << r.options.compute_threads << "\n";
+  os << "option async_evaluation " << (r.options.async_evaluation ? 1 : 0)
+     << "\n";
+  os << "option clock_period_ps " << r.options.base.clock_period_ps << "\n";
+  os << "option memory_budget_mb " << r.options.memory_budget_mb << "\n";
+  os << "graph\n";
+  os << backend::to_text(r.g);
+  os << "\n";
+  return os.str();
+}
+
+repro parse_repro(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  ISDC_CHECK(static_cast<bool>(std::getline(in, line)),
+             "repro: empty input");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    ISDC_CHECK(magic == "isdc-repro", "repro: bad magic '" << magic << "'");
+    ISDC_CHECK(version == repro_format_version,
+               "repro: unsupported version " << version);
+  }
+
+  repro r;
+  bool saw_check = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "graph") {
+      std::ostringstream rest;
+      rest << in.rdbuf();
+      r.g = backend::from_text(rest.str());
+      ISDC_CHECK(saw_check, "repro: missing check line");
+      return r;
+    }
+    if (key == "check") {
+      ls >> r.check;
+      saw_check = !r.check.empty();
+    } else if (key == "seed") {
+      ls >> r.seed;
+    } else if (key == "generator") {
+      ls >> r.generator;
+    } else if (key == "failpoints") {
+      ls >> r.failpoints;
+      if (r.failpoints == "-") {
+        r.failpoints.clear();
+      }
+    } else if (key == "detail") {
+      std::getline(ls, r.detail);
+      if (!r.detail.empty() && r.detail.front() == ' ') {
+        r.detail.erase(r.detail.begin());
+      }
+    } else if (key == "option") {
+      std::string name;
+      ls >> name;
+      if (name == "max_iterations") {
+        ls >> r.options.max_iterations;
+      } else if (name == "subgraphs_per_iteration") {
+        ls >> r.options.subgraphs_per_iteration;
+      } else if (name == "convergence_patience") {
+        ls >> r.options.convergence_patience;
+      } else if (name == "num_threads") {
+        ls >> r.options.num_threads;
+      } else if (name == "compute_threads") {
+        ls >> r.options.compute_threads;
+      } else if (name == "async_evaluation") {
+        int v = 0;
+        ls >> v;
+        r.options.async_evaluation = v != 0;
+      } else if (name == "clock_period_ps") {
+        ls >> r.options.base.clock_period_ps;
+      } else if (name == "memory_budget_mb") {
+        ls >> r.options.memory_budget_mb;
+      } else {
+        ISDC_CHECK(false, "repro: unknown option '" << name << "'");
+      }
+      ISDC_CHECK(!ls.fail(), "repro: bad value for option '" << name << "'");
+    } else {
+      ISDC_CHECK(false, "repro: unknown line '" << key << "'");
+    }
+  }
+  ISDC_CHECK(false, "repro: missing graph section");
+  return r;  // unreachable
+}
+
+bool write_repro(const repro& r, const std::string& path) {
+  const std::string text = to_file_text(r);
+  // Write-then-rename so a crash mid-write never leaves a truncated repro
+  // behind (the same discipline engine/cache.cpp uses).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+repro load_repro(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ISDC_CHECK(static_cast<bool>(in), "repro: cannot open '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_repro(buffer.str());
+}
+
+check_result replay(const repro& r, const check_options& opts) {
+  fuzz_case c;
+  c.g = r.g;
+  c.options = r.options;
+  c.seed = r.seed;
+  c.generator = r.generator.empty() ? "repro" : r.generator;
+  if (!r.failpoints.empty()) {
+    failpoint::scoped_arm arm(r.failpoints);
+    return run_named_check(r.check, c, opts);
+  }
+  return run_named_check(r.check, c, opts);
+}
+
+}  // namespace isdc::fuzz

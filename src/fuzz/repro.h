@@ -1,0 +1,58 @@
+// Self-contained repro files for fuzz failures. One text file carries
+// everything needed to replay a divergence on a build with no access to
+// the original fuzz run: the check name, the seed, the armed failpoint
+// spec, the relevant engine options and the full design as a versioned
+// to_text netlist (backend/netlist.h). `isdc_fuzz --replay=FILE` and
+// fuzz::replay() re-run the named check from the file alone.
+#ifndef ISDC_FUZZ_REPRO_H_
+#define ISDC_FUZZ_REPRO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace isdc::fuzz {
+
+struct repro {
+  std::string check;       ///< check name for run_named_check
+  std::uint64_t seed = 0;
+  std::string generator;   ///< informational: how the design was built
+  std::string detail;      ///< informational: the divergence observed
+  std::string failpoints;  ///< spec that was armed, "" when none
+  core::isdc_options options;
+  ir::graph g{"repro"};
+};
+
+/// Serializes to the repro text format:
+///
+///   isdc-repro 1
+///   check <name>
+///   seed <decimal>
+///   generator <word>
+///   failpoints <spec or ->
+///   detail <free text to end of line>
+///   option <key> <value>     (one per encoded option)
+///   graph
+///   <backend::to_text netlist, ending in its own "end" line>
+std::string to_file_text(const repro& r);
+
+/// Parses to_file_text output. Throws isdc::check_error on malformed input
+/// or an unsupported version. Unknown option keys are rejected — a repro
+/// written by a newer build must not silently replay with defaults.
+repro parse_repro(const std::string& text);
+
+/// Write/read a repro file on disk. write_repro returns false (with the
+/// file possibly absent) on I/O failure; load_repro throws on I/O failure
+/// or malformed content.
+bool write_repro(const repro& r, const std::string& path);
+repro load_repro(const std::string& path);
+
+/// Builds a fuzz_case from the repro, arms its failpoint spec (if any)
+/// and re-runs the named check. A repro for a fixed bug comes back
+/// passed=true; a still-live one reproduces the recorded divergence.
+check_result replay(const repro& r, const check_options& opts = {});
+
+}  // namespace isdc::fuzz
+
+#endif  // ISDC_FUZZ_REPRO_H_

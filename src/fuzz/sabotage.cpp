@@ -1,0 +1,53 @@
+#include "fuzz/sabotage.h"
+
+#include <utility>
+
+#include "engine/engine.h"
+
+namespace isdc::fuzz {
+
+namespace {
+
+class sabotage_stage final : public engine::stage {
+public:
+  std::string_view name() const override { return "sabotage"; }
+
+  bool run(engine::run_state& rs, engine::iteration_state&) override {
+    bool has_mul = false;
+    for (const ir::node& n : rs.g.nodes()) {
+      if (n.op == ir::opcode::mul) {
+        has_mul = true;
+        break;
+      }
+    }
+    if (!has_mul || rs.current.cycle.empty()) {
+      return true;
+    }
+    // Delay the highest-id non-constant sink by one stage. Sinks have no
+    // users, so operand ordering still holds — the schedule stays legal,
+    // just worse (the sink's operands now cross one more boundary).
+    for (ir::node_id v = static_cast<ir::node_id>(rs.g.num_nodes()); v-- > 0;) {
+      if (rs.g.users(v).empty() &&
+          rs.g.at(v).op != ir::opcode::constant) {
+        rs.current.cycle[v] += 1;
+        break;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<engine::stage> make_sabotage_stage() {
+  return std::make_unique<sabotage_stage>();
+}
+
+std::vector<std::unique_ptr<engine::stage>> sabotaged_pipeline() {
+  std::vector<std::unique_ptr<engine::stage>> stages =
+      engine::engine::default_pipeline();
+  stages.push_back(make_sabotage_stage());
+  return stages;
+}
+
+}  // namespace isdc::fuzz

@@ -1,0 +1,28 @@
+// The injected-bug fixture: a pipeline stage that deliberately perturbs
+// the schedule, proving end to end that the differential harness catches a
+// real scheduler defect, that the ddmin reducer shrinks it, and that the
+// emitted repro replays it. The sabotage is legality-preserving (it delays
+// a sink, never breaking operand order), modelling the dangerous class of
+// bug — a silently suboptimal schedule no validator flags — and triggers
+// only on designs containing a mul node, so minimization has a concrete
+// structural core to converge onto.
+#ifndef ISDC_FUZZ_SABOTAGE_H_
+#define ISDC_FUZZ_SABOTAGE_H_
+
+#include <memory>
+
+#include "engine/stage.h"
+
+namespace isdc::fuzz {
+
+/// The bug: appended after resolve, it bumps the highest-id sink's stage
+/// by one whenever the design contains a mul node.
+std::unique_ptr<engine::stage> make_sabotage_stage();
+
+/// The default pipeline with the sabotage stage appended — run it against
+/// a clean engine on the same case and compare.
+std::vector<std::unique_ptr<engine::stage>> sabotaged_pipeline();
+
+}  // namespace isdc::fuzz
+
+#endif  // ISDC_FUZZ_SABOTAGE_H_

@@ -1,8 +1,32 @@
 #include "sched/validate.h"
 
+#include <cstdint>
 #include <sstream>
 
+#include "ir/adjacency.h"
+
 namespace isdc::sched {
+
+namespace {
+
+/// Appends a formatted violation; returns false once the cap is reached
+/// (with a final marker line) so scans can stop early.
+template <typename... Parts>
+bool report(std::vector<std::string>& violations, std::size_t max_violations,
+            const Parts&... parts) {
+  if (violations.size() >= max_violations) {
+    if (violations.size() == max_violations) {
+      violations.push_back("... further violations suppressed");
+    }
+    return false;
+  }
+  std::ostringstream os;
+  (os << ... << parts);
+  violations.push_back(os.str());
+  return true;
+}
+
+}  // namespace
 
 std::vector<std::string> validate_schedule(const ir::graph& g,
                                            const schedule& s,
@@ -10,29 +34,25 @@ std::vector<std::string> validate_schedule(const ir::graph& g,
                                            double clock_period_ps,
                                            double epsilon_ps) {
   std::vector<std::string> violations;
-  const auto report = [&violations](const auto&... parts) {
-    std::ostringstream os;
-    (os << ... << parts);
-    violations.push_back(os.str());
+  const auto add = [&violations](const auto&... parts) {
+    report(violations, static_cast<std::size_t>(-1), parts...);
   };
 
   if (s.cycle.size() != g.num_nodes()) {
-    report("schedule covers ", s.cycle.size(), " of ", g.num_nodes(),
-           " nodes");
+    add("schedule covers ", s.cycle.size(), " of ", g.num_nodes(), " nodes");
     return violations;
   }
   for (ir::node_id v = 0; v < g.num_nodes(); ++v) {
     if (s.cycle[v] < 0) {
-      report("node ", v, " has negative stage ", s.cycle[v]);
+      add("node ", v, " has negative stage ", s.cycle[v]);
     }
     if (g.at(v).op == ir::opcode::input && s.cycle[v] != 0) {
-      report("input ", v, " scheduled at stage ", s.cycle[v],
-             " instead of 0");
+      add("input ", v, " scheduled at stage ", s.cycle[v], " instead of 0");
     }
     for (ir::node_id p : g.at(v).operands) {
       if (s.cycle[p] > s.cycle[v]) {
-        report("node ", v, " at stage ", s.cycle[v],
-               " precedes its operand ", p, " at stage ", s.cycle[p]);
+        add("node ", v, " at stage ", s.cycle[v], " precedes its operand ",
+            p, " at stage ", s.cycle[p]);
       }
     }
   }
@@ -46,8 +66,116 @@ std::vector<std::string> validate_schedule(const ir::graph& g,
       const float delay = d.get(u, v);
       if (delay != delay_matrix::not_connected &&
           delay > clock_period_ps + epsilon_ps) {
-        report("stage ", s.cycle[v], " path ", u, " -> ", v, " takes ",
-               delay, " ps > ", clock_period_ps, " ps");
+        add("stage ", s.cycle[v], " path ", u, " -> ", v, " takes ", delay,
+            " ps > ", clock_period_ps, " ps");
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> validate_matrix(const ir::graph& g,
+                                         const delay_matrix& d,
+                                         std::size_t max_violations) {
+  std::vector<std::string> violations;
+  const std::size_t n = g.num_nodes();
+  if (d.size() != n) {
+    report(violations, max_violations, "matrix is ", d.size(), "x", d.size(),
+           " for a ", n, "-node graph");
+    return violations;
+  }
+
+  // Operand-edge reachability as per-target bitsets: bit u of row v means
+  // "u reaches v". Ids are topological, so one forward sweep suffices.
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> reach(n * words, 0);
+  const ir::flat_adjacency& adj = g.flat();
+  for (ir::node_id v = 0; v < n; ++v) {
+    std::uint64_t* row = reach.data() + static_cast<std::size_t>(v) * words;
+    for (const ir::node_id p : adj.operands(v)) {
+      const std::uint64_t* from =
+          reach.data() + static_cast<std::size_t>(p) * words;
+      for (std::size_t k = 0; k < words; ++k) {
+        row[k] |= from[k];
+      }
+      row[p >> 6] |= 1ull << (p & 63);
+    }
+  }
+
+  for (ir::node_id v = 0; v < n; ++v) {
+    const float self = d.self(v);
+    if (self == delay_matrix::not_connected || self < 0.0f) {
+      if (!report(violations, max_violations, "node ", v,
+                  " has invalid self delay ", self)) {
+        return violations;
+      }
+    }
+    const std::uint64_t* row =
+        reach.data() + static_cast<std::size_t>(v) * words;
+    for (ir::node_id u = 0; u < n; ++u) {
+      if (u == v) {
+        continue;
+      }
+      const float stored = d.get(u, v);
+      if (u > v) {
+        if (stored != delay_matrix::not_connected &&
+            !report(violations, max_violations, "below-diagonal entry D[", u,
+                    "][", v, "] = ", stored, " (ids are topological)")) {
+          return violations;
+        }
+        continue;
+      }
+      const bool reachable = (row[u >> 6] >> (u & 63) & 1) != 0;
+      if (reachable && stored == delay_matrix::not_connected) {
+        if (!report(violations, max_violations, "connected pair ", u, " -> ",
+                    v, " marked not_connected")) {
+          return violations;
+        }
+      } else if (!reachable && stored != delay_matrix::not_connected) {
+        if (!report(violations, max_violations, "unconnected pair ", u,
+                    " -> ", v, " has delay ", stored)) {
+          return violations;
+        }
+      } else if (reachable && stored < 0.0f) {
+        if (!report(violations, max_violations, "pair ", u, " -> ", v,
+                    " has negative delay ", stored)) {
+          return violations;
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> validate_matrix_monotonic(
+    const delay_matrix& before, const delay_matrix& after, double epsilon_ps,
+    std::size_t max_violations) {
+  std::vector<std::string> violations;
+  if (before.size() != after.size()) {
+    report(violations, max_violations, "matrix size changed from ",
+           before.size(), " to ", after.size());
+    return violations;
+  }
+  const std::size_t n = before.size();
+  for (ir::node_id u = 0; u < n; ++u) {
+    const auto prev = before.row(u);
+    const auto cur = after.row(u);
+    for (ir::node_id v = 0; v < n; ++v) {
+      const bool was = prev[v] != delay_matrix::not_connected;
+      const bool is = cur[v] != delay_matrix::not_connected;
+      if (was != is) {
+        if (!report(violations, max_violations, "pair ", u, " -> ", v,
+                    " connectivity flipped from ", prev[v], " to ", cur[v])) {
+          return violations;
+        }
+        continue;
+      }
+      if (was && cur[v] > prev[v] + epsilon_ps) {
+        if (!report(violations, max_violations, "pair ", u, " -> ", v,
+                    " delay rose from ", prev[v], " to ", cur[v],
+                    " (feedback must only lower estimates)")) {
+          return violations;
+        }
       }
     }
   }

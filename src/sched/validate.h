@@ -1,5 +1,8 @@
-// Schedule legality checking: dependences, input pinning and intra-stage
-// timing against a delay matrix. Every ISDC iterate is validated in tests.
+// Schedule and delay-matrix invariant checking: dependences, input
+// pinning, intra-stage timing against a delay matrix, graph/matrix
+// consistency and cross-iteration monotonicity. Every ISDC iterate is
+// validated in tests; engine::invariant_validator (engine/validator.h)
+// runs the same checks per-iteration through the observer API.
 #ifndef ISDC_SCHED_VALIDATE_H_
 #define ISDC_SCHED_VALIDATE_H_
 
@@ -19,6 +22,27 @@ std::vector<std::string> validate_schedule(const ir::graph& g,
                                            const delay_matrix& d,
                                            double clock_period_ps,
                                            double epsilon_ps = 1e-6);
+
+/// Checks `d` is a plausible delay matrix for `g` (empty => consistent):
+/// the size matches, every node has a non-negative self delay, entries
+/// below the diagonal are not_connected (ids are topological, so paths
+/// only run low id -> high id), and for u < v the connectivity pattern
+/// matches operand-edge reachability exactly. Reporting stops after
+/// `max_violations` entries (a corrupt matrix would otherwise produce
+/// O(n^2) lines). Cost is O(n^2 / 64 + edges * n / 64); on designs past
+/// ~20k nodes prefer checking once per run, not once per iteration.
+std::vector<std::string> validate_matrix(const ir::graph& g,
+                                         const delay_matrix& d,
+                                         std::size_t max_violations = 32);
+
+/// Checks the feedback-update monotonicity invariant between two snapshots
+/// of the same run's matrix (empty => consistent): equal size, identical
+/// connectivity pattern, and no entry larger in `after` than in `before`
+/// (+ epsilon) — Alg. 1 feedback only ever lowers estimates. Reporting
+/// stops after `max_violations` entries.
+std::vector<std::string> validate_matrix_monotonic(
+    const delay_matrix& before, const delay_matrix& after,
+    double epsilon_ps = 1e-3, std::size_t max_violations = 32);
 
 }  // namespace isdc::sched
 

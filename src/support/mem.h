@@ -1,0 +1,57 @@
+// Process memory observability: peak and current resident set size, used
+// by the memory-budgeted scheduling path (core::isdc_options::
+// memory_budget_mb), per-job fleet reporting and the bench JSON artifacts.
+#ifndef ISDC_SUPPORT_MEM_H_
+#define ISDC_SUPPORT_MEM_H_
+
+#include <cstdint>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace isdc {
+
+/// Peak resident set size of this process in KiB (ru_maxrss is KiB on
+/// Linux, bytes on macOS — normalized here); -1 where unsupported. The
+/// kernel's high-water mark: monotone over the process lifetime, so a
+/// sample taken when a job finishes bounds that job's footprint from
+/// above.
+inline std::int64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(usage.ru_maxrss) / 1024;
+#else
+    return static_cast<std::int64_t>(usage.ru_maxrss);
+#endif
+  }
+#endif
+  return -1;
+}
+
+/// Current resident set size in KiB via /proc/self/statm; -1 where
+/// unsupported (non-Linux).
+inline std::int64_t current_rss_kb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long total = 0;
+    long resident = 0;
+    const int read = std::fscanf(f, "%ld %ld", &total, &resident);
+    std::fclose(f);
+    if (read == 2) {
+      static const long page_kb = sysconf(_SC_PAGESIZE) / 1024;  // statm
+                                                                 // is pages
+      return static_cast<std::int64_t>(resident) * page_kb;
+    }
+  }
+#endif
+  return -1;
+}
+
+}  // namespace isdc
+
+#endif  // ISDC_SUPPORT_MEM_H_

@@ -1,0 +1,143 @@
+// Mixed arithmetic/control DAG generator: the irregular, select-heavy
+// shapes of control-dominated HLS kernels, layered with the same scheme as
+// build_random_dag. Output is a stable artifact of the library (see the
+// guarantee on build_random_dag in registry.h): any change to the emitted
+// structure must update the golden fingerprints in workloads_test.
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+ir::graph build_mixed_dag(std::uint64_t seed, int num_ops,
+                          const mixed_dag_options& options) {
+  ISDC_CHECK(num_ops >= 1, "mixed dag needs at least one op");
+  ISDC_CHECK(options.num_inputs >= 1, "mixed dag needs at least one input");
+  ISDC_CHECK(options.layer_width >= 1, "layer_width must be positive");
+  ISDC_CHECK(options.fanin_window >= 1, "fanin_window must be positive");
+  ISDC_CHECK(options.width >= 1 && options.width <= 64,
+             "width must be in [1, 64]");
+  ISDC_CHECK(options.select_chain_length >= 1,
+             "select_chain_length must be positive");
+
+  rng r(seed);
+  ir::graph g("mixed_dag_" + std::to_string(seed) + "_" +
+              std::to_string(num_ops));
+  ir::builder b(g);
+
+  // Two pools drawn from the last `fanin_window` layers: datapath values
+  // (width `options.width`) and 1-bit predicates (compare results). Muxes
+  // select between values under a predicate; compares refill the predicate
+  // pool. Layer bookkeeping mirrors build_random_dag.
+  std::vector<std::vector<ir::node_id>> value_layers(1);
+  for (int i = 0; i < options.num_inputs; ++i) {
+    value_layers[0].push_back(b.input(options.width, "i" + std::to_string(i)));
+  }
+  std::vector<ir::node_id> predicates;  // all predicates built so far
+
+  std::vector<ir::node_id> pool;
+  const auto refill_pool = [&] {
+    pool.clear();
+    const std::size_t first =
+        value_layers.size() > static_cast<std::size_t>(options.fanin_window)
+            ? value_layers.size() -
+                  static_cast<std::size_t>(options.fanin_window)
+            : 0;
+    for (std::size_t l = first; l < value_layers.size(); ++l) {
+      pool.insert(pool.end(), value_layers[l].begin(), value_layers[l].end());
+    }
+  };
+  const auto pick = [&] { return pool[r.next_below(pool.size())]; };
+
+  const auto arith_op = [&](ir::node_id x, ir::node_id y) {
+    switch (r.next_below(3)) {
+      case 0: return b.add(x, y);
+      case 1: return b.sub(x, y);
+      default: return b.mul(x, y);
+    }
+  };
+  const auto logic_op = [&](ir::node_id x, ir::node_id y) {
+    switch (r.next_below(4)) {
+      case 0: return b.band(x, y);
+      case 1: return b.bor(x, y);
+      case 2: return b.bxor(x, y);
+      default:
+        return b.rotri(x,
+                       static_cast<std::uint32_t>(r.next_below(options.width)));
+    }
+  };
+  const auto compare_op = [&](ir::node_id x, ir::node_id y) {
+    switch (r.next_below(4)) {
+      case 0: return b.eq(x, y);
+      case 1: return b.ne(x, y);
+      case 2: return b.ult(x, y);
+      default: return b.ule(x, y);
+    }
+  };
+
+  value_layers.emplace_back();
+  refill_pool();
+  int emitted = 0;
+  const auto place = [&](ir::node_id out, bool predicate) {
+    ++emitted;
+    if (predicate) {
+      predicates.push_back(out);
+      return;  // predicates never enter the value pool (width mismatch)
+    }
+    value_layers.back().push_back(out);
+    if (static_cast<int>(value_layers.back().size()) >= options.layer_width) {
+      value_layers.emplace_back();
+      refill_pool();
+    }
+  };
+
+  const double arith_cut = options.arith_fraction;
+  const double logic_cut = arith_cut + options.logic_fraction;
+  const double compare_cut = logic_cut + options.compare_fraction;
+  while (emitted < num_ops) {
+    const double draw = r.next_double();
+    if (draw < arith_cut) {
+      place(arith_op(pick(), pick()), false);
+    } else if (draw < logic_cut) {
+      place(logic_op(pick(), pick()), false);
+    } else if (draw < compare_cut) {
+      place(compare_op(pick(), pick()), true);
+    } else if (r.next_bool(options.select_chain_probability)) {
+      // A whole select chain: each link compares the accumulator against a
+      // fresh pool value and muxes between two different updates of it —
+      // the classic data-dependent-control recurrence shape.
+      ir::node_id acc = pick();
+      for (int k = 0; k < options.select_chain_length; ++k) {
+        const ir::node_id x = pick();
+        const ir::node_id y = pick();
+        const ir::node_id sel = compare_op(acc, x);
+        const ir::node_id on_true = arith_op(acc, x);
+        const ir::node_id on_false = logic_op(acc, y);
+        acc = b.mux(sel, on_true, on_false);
+        emitted += 3;      // sel, on_true, on_false
+        place(acc, false);  // the mux itself
+      }
+    } else {
+      // Plain mux; synthesize a predicate first when none exists yet.
+      if (predicates.empty()) {
+        place(compare_op(pick(), pick()), true);
+      }
+      const ir::node_id sel = predicates[r.next_below(predicates.size())];
+      place(b.mux(sel, pick(), pick()), false);
+    }
+  }
+
+  // Every sink becomes a primary output, like the Table-I generators.
+  for (ir::node_id id = 0; id < g.num_nodes(); ++id) {
+    if (g.users(id).empty() && g.at(id).op != ir::opcode::constant) {
+      g.mark_output(id);
+    }
+  }
+  return g;
+}
+
+}  // namespace isdc::workloads

@@ -70,8 +70,77 @@ struct random_dag_options {
 /// Seed-deterministic layered DAG with `num_ops` operations over a mixed
 /// arithmetic/logic op set. Built for the 1k-10k-node shapes the kernel
 /// benches and differential tests sweep; not part of the Table-I registry.
+///
+/// Stability guarantee: for a fixed (seed, num_ops, options) tuple the
+/// generated graph is a stable artifact of the library — node ids, opcodes,
+/// widths, operand edges and outputs never change across refactors, so fuzz
+/// repro seeds and golden fingerprints recorded against it stay valid.
+/// Changing the generator's output is a breaking change that must update
+/// the golden fingerprints in workloads_test and be called out in
+/// CHANGES.md. (build_mixed_dag and stitch_registry below carry the same
+/// guarantee.)
 ir::graph build_random_dag(std::uint64_t seed, int num_ops,
                            const random_dag_options& options = {});
+
+// mixed.cpp.
+/// Knobs for build_mixed_dag: a mixed arithmetic/control generator layering
+/// muxes, compares and select-heavy chains onto the build_random_dag layer
+/// scheme — the irregular control-dominated shapes dynamically-scheduled
+/// HLS sees, which the hand-written Table-I registry never exercises.
+/// Class fractions need not sum to 1; the remaining mass goes to muxes.
+struct mixed_dag_options {
+  std::uint32_t width = 16;        ///< bit width of datapath values
+  int num_inputs = 16;             ///< primary inputs feeding layer 0
+  int layer_width = 32;            ///< ops per layer
+  int fanin_window = 3;            ///< how many preceding layers operands reach
+  double arith_fraction = 0.35;    ///< add/sub/mul
+  double logic_fraction = 0.25;    ///< and/or/xor/rotate
+  double compare_fraction = 0.15;  ///< eq/ne/ult/ule (1-bit predicates)
+  /// Probability that a mux draw instead emits a whole select chain:
+  /// acc' = mux(cmp(acc, x), f(acc, x), g(acc, y)) iterated
+  /// select_chain_length times — a deep, irregular, control-dependent cone.
+  double select_chain_probability = 0.15;
+  int select_chain_length = 4;
+};
+
+/// Seed-deterministic mixed arithmetic/control DAG with `num_ops`
+/// operations (chains may overshoot by at most one chain). Same stability
+/// guarantee as build_random_dag.
+ir::graph build_mixed_dag(std::uint64_t seed, int num_ops,
+                          const mixed_dag_options& options = {});
+
+// stitch.cpp.
+/// How stitch_designs composes its parts.
+enum class stitch_mode {
+  /// Parts are copied side by side as independent islands: inputs stay
+  /// inputs, every part output stays a primary output. The result has one
+  /// weakly-connected component per (connected) part — the shape the
+  /// memory-budgeted partitioned scheduler streams.
+  parallel,
+  /// Part k > 0's inputs are driven by part k-1's outputs (round-robin,
+  /// width-adapted with zext/slice), producing one big connected design.
+  chained,
+};
+
+struct stitch_options {
+  stitch_mode mode = stitch_mode::parallel;
+  std::string name = "stitched";
+};
+
+/// Composes `parts` into one design. Deterministic: node ids are assigned
+/// part by part in input order, and in parallel mode every part's nodes are
+/// structurally identical to the original (so a component extracted back
+/// out of the stitched graph schedules bit-identically to the part run
+/// solo). Parts must be non-empty and pass ir::verify.
+ir::graph stitch_designs(const std::vector<const ir::graph*>& parts,
+                         const stitch_options& options = {});
+
+/// Seed-deterministically stitches registry kernels (plus occasional
+/// random/mixed DAG filler) until the result has at least `target_nodes`
+/// nodes — the 10k-100k-node designs the scale/stress harness sweeps.
+/// Same stability guarantee as build_random_dag.
+ir::graph stitch_registry(std::uint64_t seed, std::size_t target_nodes,
+                          const stitch_options& options = {});
 
 }  // namespace isdc::workloads
 

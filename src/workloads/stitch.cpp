@@ -1,0 +1,136 @@
+// Design composition: stitch_designs copies whole graphs side by side
+// (parallel islands) or end to end (chained), and stitch_registry grows
+// 10k-100k-node stress designs out of registry kernels plus generated
+// filler. Parallel stitching is the workload for the memory-budgeted
+// partitioned scheduler: each part becomes one weakly-connected component
+// whose nodes are structurally identical to the original part, so a
+// component extracted back out schedules bit-identically to the part solo.
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "workloads/registry.h"
+
+namespace isdc::workloads {
+
+namespace {
+
+/// Adapts `value` to `width` bits: zext when narrower, low slice when wider.
+ir::node_id adapt_width(ir::builder& b, ir::node_id value,
+                        std::uint32_t width) {
+  const std::uint32_t have = b.target().width(value);
+  if (have < width) {
+    return b.zext(value, width);
+  }
+  if (have > width) {
+    return b.slice(value, 0, width);
+  }
+  return value;
+}
+
+}  // namespace
+
+ir::graph stitch_designs(const std::vector<const ir::graph*>& parts,
+                         const stitch_options& options) {
+  ISDC_CHECK(!parts.empty(), "stitch_designs needs at least one part");
+  ir::graph g(options.name);
+  ir::builder b(g);
+
+  // Mapped primary outputs of the previous part (chained mode drivers).
+  std::vector<ir::node_id> prev_outputs;
+  // (part index, mapped output id) for every part output, for final marking.
+  std::vector<std::pair<std::size_t, ir::node_id>> part_outputs;
+
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const ir::graph& part = *parts[p];
+    ISDC_CHECK(part.num_nodes() > 0,
+               "stitch_designs part " << p << " is empty");
+    std::vector<ir::node_id> to_new(part.num_nodes(), ir::invalid_node);
+    std::size_t input_index = 0;
+    for (ir::node_id id = 0; id < part.num_nodes(); ++id) {
+      const ir::node& n = part.at(id);
+      if (n.op == ir::opcode::input &&
+          options.mode == stitch_mode::chained && p > 0) {
+        // Drive this input from the previous part's outputs, round-robin.
+        const ir::node_id driver =
+            prev_outputs[input_index++ % prev_outputs.size()];
+        to_new[id] = adapt_width(b, driver, n.width);
+        continue;
+      }
+      std::vector<ir::node_id> operands(n.operands.begin(), n.operands.end());
+      for (ir::node_id& o : operands) {
+        o = to_new[o];
+      }
+      std::string name = n.name;
+      if (n.op == ir::opcode::input) {
+        name = "p" + std::to_string(p) + "_" + name;  // keep names unique
+      }
+      to_new[id] = g.add_node(n.op, n.width, std::move(operands), n.value,
+                              std::move(name));
+    }
+    prev_outputs.clear();
+    for (const ir::node_id out : part.outputs()) {
+      prev_outputs.push_back(to_new[out]);
+      part_outputs.emplace_back(p, to_new[out]);
+    }
+  }
+
+  if (options.mode == stitch_mode::parallel) {
+    // Every part output stays a primary output, even ones with internal
+    // users: that keeps each island structurally identical to its part.
+    for (const auto& [p, id] : part_outputs) {
+      g.mark_output(id);
+    }
+  } else {
+    // Chained: the last part's outputs are the design outputs; earlier
+    // part outputs that nothing consumed (fan-out mismatch) also surface
+    // so the graph has no dangling sinks.
+    for (const auto& [p, id] : part_outputs) {
+      if (p + 1 == parts.size() || g.users(id).empty()) {
+        g.mark_output(id);
+      }
+    }
+  }
+  return g;
+}
+
+ir::graph stitch_registry(std::uint64_t seed, std::size_t target_nodes,
+                          const stitch_options& options) {
+  ISDC_CHECK(target_nodes > 0, "stitch_registry needs a positive target");
+  const std::vector<workload_spec>& registry = all_workloads();
+  rng r(seed);
+
+  // Draw registry kernels, with every fifth-or-so draw replaced by a
+  // generated filler DAG so large stitches are not just kernel repeats.
+  std::vector<ir::graph> parts;
+  std::size_t total = 0;
+  while (total < target_nodes) {
+    const std::uint64_t draw = r.next_below(registry.size() + 2);
+    if (draw < registry.size()) {
+      parts.push_back(registry[draw].build());
+    } else if (draw == registry.size()) {
+      parts.push_back(build_random_dag(r.next(),
+                                       static_cast<int>(r.next_in(500, 2000))));
+    } else {
+      parts.push_back(build_mixed_dag(r.next(),
+                                      static_cast<int>(r.next_in(500, 2000))));
+    }
+    total += parts.back().num_nodes();
+  }
+
+  std::vector<const ir::graph*> pointers;
+  pointers.reserve(parts.size());
+  for (const ir::graph& part : parts) {
+    pointers.push_back(&part);
+  }
+  stitch_options opts = options;
+  if (opts.name == stitch_options{}.name) {
+    opts.name = "stitched_" + std::to_string(seed) + "_" +
+                std::to_string(target_nodes);
+  }
+  return stitch_designs(pointers, opts);
+}
+
+}  // namespace isdc::workloads

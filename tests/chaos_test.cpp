@@ -23,6 +23,8 @@
 #include "backend/subprocess_tool.h"
 #include "core/downstream.h"
 #include "engine/fleet.h"
+#include "ir/verify.h"
+#include "sched/validate.h"
 #include "support/cancellation.h"
 #include "support/failpoint.h"
 #include "workloads/registry.h"
@@ -80,6 +82,27 @@ void expect_same_schedule_trajectory(const core::isdc_result& a,
   }
 }
 
+/// Full invariant sweep of one soak result: the schedules are legal
+/// against their matrices, the final matrix is structurally consistent
+/// with the graph, and feedback only ever lowered entries.
+void expect_validates_clean(const ir::graph& g, const core::isdc_result& r,
+                            double clock_period_ps,
+                            const std::string& label) {
+  EXPECT_EQ(sched::validate_schedule(g, r.initial, r.naive_delays,
+                                     clock_period_ps),
+            std::vector<std::string>{})
+      << label << " initial";
+  EXPECT_EQ(sched::validate_schedule(g, r.final_schedule, r.delays,
+                                     clock_period_ps),
+            std::vector<std::string>{})
+      << label << " final";
+  EXPECT_EQ(sched::validate_matrix(g, r.delays), std::vector<std::string>{})
+      << label;
+  EXPECT_EQ(sched::validate_matrix_monotonic(r.naive_delays, r.delays),
+            std::vector<std::string>{})
+      << label;
+}
+
 /// One fleet pass over all 17 workloads through a subprocess pool running
 /// `command`. The returned report aliases nothing: safe after teardown.
 engine::fleet_report run_fleet_over_pool(
@@ -91,6 +114,7 @@ engine::fleet_report run_fleet_over_pool(
   graphs.reserve(specs.size());
   for (const workloads::workload_spec& spec : specs) {
     graphs.push_back(spec.build());
+    EXPECT_EQ(ir::verify(graphs.back()), "") << spec.name;
     jobs.push_back({.name = spec.name,
                     .graph = &graphs.back(),
                     .clock_period_ps = spec.clock_period_ps});
@@ -126,8 +150,16 @@ TEST(ChaosSoakTest, RecoverableFaultsPreserveEveryScheduleBitExactly) {
   backend::subprocess_tool clean_pool(clean);
   const engine::fleet_report reference = run_fleet_over_pool(clean_pool);
   ASSERT_EQ(reference.results.size(), workloads::all_workloads().size());
-  for (const engine::fleet_result& r : reference.results) {
+  const std::vector<workloads::workload_spec>& specs =
+      workloads::all_workloads();
+  for (std::size_t i = 0; i < reference.results.size(); ++i) {
+    const engine::fleet_result& r = reference.results[i];
     ASSERT_EQ(r.error, nullptr) << r.name;
+    ASSERT_EQ(r.name, specs[i].name);
+    // Not just bit-stable (checked below) but *right*: every soak
+    // schedule passes the full invariant validator.
+    const ir::graph g = specs[i].build();
+    expect_validates_clean(g, r.result, specs[i].clock_period_ps, r.name);
   }
 
   backend::subprocess_tool chaos_pool(chaotic);

@@ -7,6 +7,7 @@
 
 #include "extract/canonical.h"
 #include "extract/cone.h"
+#include "extract/partition.h"
 #include "extract/path_enum.h"
 #include "extract/scoring.h"
 #include "extract/subgraph.h"
@@ -569,6 +570,73 @@ TEST(CanonicalFingerprintTest, ExpandedConesFromIsomorphicRegionsCoalesce) {
   const subgraph cone2 = expand_to_cone(g, s, p2);
   EXPECT_NE(cone1.key(), cone2.key());
   EXPECT_EQ(canonical_fingerprint(g, cone1), canonical_fingerprint(g, cone2));
+}
+
+// --- weakly-connected components / component extraction (partition.h) ---
+
+TEST(PartitionTest, TwoIslandsSharingAConstantSplit) {
+  ir::graph g("islands");
+  ir::builder bl(g);
+  const ir::node_id k = bl.constant(8, 3);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.add(x, k);
+  const ir::node_id y = bl.input(8, "y");
+  const ir::node_id b = bl.mul(y, k);  // same constant, other island
+  bl.output(a);
+  bl.output(b);
+
+  const std::vector<design_component> comps =
+      weakly_connected_components(g);
+  ASSERT_EQ(comps.size(), 2u);
+  // Components are ordered by lowest member; the shared constant is
+  // cloned into both.
+  for (const design_component& c : comps) {
+    EXPECT_TRUE(std::find(c.members.begin(), c.members.end(), k) !=
+                c.members.end());
+    EXPECT_TRUE(std::is_sorted(c.members.begin(), c.members.end()));
+    EXPECT_EQ(c.outputs.size(), 1u);
+  }
+  EXPECT_EQ(comps[0].members, (std::vector<ir::node_id>{k, x, a}));
+  EXPECT_EQ(comps[1].members, (std::vector<ir::node_id>{k, y, b}));
+}
+
+TEST(PartitionTest, ConnectedGraphIsOneComponent) {
+  ir::graph g("one");
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id y = bl.input(8, "y");
+  bl.output(bl.add(x, y));
+  const std::vector<design_component> comps =
+      weakly_connected_components(g);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].members.size(), g.num_nodes());
+}
+
+TEST(PartitionTest, ExtractedComponentVerifiesAndMapsBack) {
+  ir::graph g("islands");
+  ir::builder bl(g);
+  const ir::node_id x = bl.input(8, "x");
+  const ir::node_id a = bl.add(x, bl.constant(8, 1));
+  bl.output(a);
+  const ir::node_id y = bl.input(8, "y");
+  const ir::node_id b = bl.bxor(y, y);
+  bl.output(b);
+
+  const std::vector<design_component> comps =
+      weakly_connected_components(g);
+  ASSERT_EQ(comps.size(), 2u);
+  for (const design_component& c : comps) {
+    const ir::extraction ex = extract_component(g, c);
+    EXPECT_EQ(ir::verify(ex.g), "");
+    EXPECT_EQ(ex.g.num_nodes(), c.members.size());
+    EXPECT_EQ(ex.g.outputs().size(), c.outputs.size());
+    for (const ir::node_id m : c.members) {
+      const auto it = ex.to_sub.find(m);
+      ASSERT_NE(it, ex.to_sub.end());
+      EXPECT_EQ(ex.g.at(it->second).op, g.at(m).op);
+      EXPECT_EQ(ex.g.at(it->second).width, g.at(m).width);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,211 @@
+// The invariant-validation layer: sched::validate_matrix /
+// validate_matrix_monotonic on real and deliberately corrupted matrices,
+// and engine::invariant_validator watching real runs through the observer
+// API. Runs under TSan in CI alongside the engine suites.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/downstream.h"
+#include "core/isdc_scheduler.h"
+#include "engine/engine.h"
+#include "engine/validator.h"
+#include "sched/validate.h"
+#include "workloads/registry.h"
+
+namespace isdc {
+namespace {
+
+core::isdc_options small_options() {
+  core::isdc_options opts;
+  opts.max_iterations = 2;
+  opts.subgraphs_per_iteration = 4;
+  opts.num_threads = 2;
+  return opts;
+}
+
+/// A real (graph, naive matrix) pair from the classic SDC path.
+struct baseline_fixture {
+  ir::graph g;
+  sched::schedule s;
+  sched::delay_matrix d{0};
+
+  explicit baseline_fixture(std::uint64_t seed, int ops = 60)
+      : g(workloads::build_random_dag(seed, ops)) {
+    s = core::run_sdc_baseline(g, small_options(), nullptr, &d);
+  }
+};
+
+TEST(ValidateMatrixTest, RealBaselineMatrixIsConsistent) {
+  baseline_fixture fx(1);
+  EXPECT_EQ(sched::validate_matrix(fx.g, fx.d), std::vector<std::string>{});
+}
+
+TEST(ValidateMatrixTest, SizeMismatchIsReported) {
+  baseline_fixture fx(2);
+  sched::delay_matrix wrong(fx.g.num_nodes() + 1);
+  const auto violations = sched::validate_matrix(fx.g, wrong);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("matrix is"), std::string::npos);
+}
+
+TEST(ValidateMatrixTest, NegativeSelfDelayIsReported) {
+  baseline_fixture fx(3);
+  fx.d.set(4, 4, -2.0f);
+  EXPECT_FALSE(sched::validate_matrix(fx.g, fx.d).empty());
+}
+
+TEST(ValidateMatrixTest, BelowDiagonalEntryIsReported) {
+  baseline_fixture fx(4);
+  fx.d.set(9, 3, 100.0f);
+  const auto violations = sched::validate_matrix(fx.g, fx.d);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("diagonal"), std::string::npos);
+}
+
+TEST(ValidateMatrixTest, ConnectivityMismatchesAreReportedBothWays) {
+  baseline_fixture fx(5);
+  // Disconnect a genuinely connected pair: a node and one of its users.
+  ir::node_id u = 0, v = 0;
+  bool found = false;
+  for (ir::node_id n = 0; n < static_cast<ir::node_id>(fx.g.num_nodes());
+       ++n) {
+    if (!fx.g.users(n).empty()) {
+      u = n;
+      v = fx.g.users(n)[0];
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  sched::delay_matrix cut = fx.d;
+  cut.set(u, v, sched::delay_matrix::not_connected);
+  EXPECT_FALSE(sched::validate_matrix(fx.g, cut).empty());
+
+  // Connect an unreachable pair: two distinct primary inputs.
+  ASSERT_GE(fx.g.inputs().size(), 2u);
+  sched::delay_matrix joined = fx.d;
+  joined.set(fx.g.inputs()[0], fx.g.inputs()[1], 50.0f);
+  EXPECT_FALSE(sched::validate_matrix(fx.g, joined).empty());
+}
+
+TEST(ValidateMatrixTest, ReportingStopsAtTheViolationCap) {
+  baseline_fixture fx(6, 120);
+  sched::delay_matrix zeroed(fx.g.num_nodes());  // everything disconnected
+  const auto violations = sched::validate_matrix(fx.g, zeroed, 5);
+  // 5 real violations plus the suppression marker.
+  ASSERT_EQ(violations.size(), 6u);
+  EXPECT_NE(violations.back().find("suppressed"), std::string::npos);
+}
+
+TEST(ValidateMonotonicTest, LoweredEntriesPass) {
+  baseline_fixture fx(7);
+  sched::delay_matrix after = fx.d;
+  for (ir::node_id u = 0; u < static_cast<ir::node_id>(after.size()); ++u) {
+    for (ir::node_id v = u + 1; v < static_cast<ir::node_id>(after.size());
+         ++v) {
+      if (after.connected(u, v)) {
+        after.set(u, v, after.get(u, v) * 0.9f);
+      }
+    }
+  }
+  EXPECT_EQ(sched::validate_matrix_monotonic(fx.d, after),
+            std::vector<std::string>{});
+}
+
+TEST(ValidateMonotonicTest, RaisedEntryAndConnectivityFlipAreReported) {
+  baseline_fixture fx(8);
+  ir::node_id u = 0, v = 0;
+  bool found = false;
+  for (ir::node_id n = 0; n < static_cast<ir::node_id>(fx.g.num_nodes());
+       ++n) {
+    if (!fx.g.users(n).empty()) {
+      u = n;
+      v = fx.g.users(n)[0];
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  sched::delay_matrix raised = fx.d;
+  raised.set(u, v, raised.get(u, v) + 10.0f);
+  EXPECT_FALSE(sched::validate_matrix_monotonic(fx.d, raised).empty());
+
+  sched::delay_matrix flipped = fx.d;
+  flipped.set(u, v, sched::delay_matrix::not_connected);
+  const auto violations = sched::validate_matrix_monotonic(fx.d, flipped);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("connect"), std::string::npos);
+}
+
+TEST(ValidateMonotonicTest, EpsilonToleratesFloatNoise) {
+  baseline_fixture fx(9);
+  sched::delay_matrix after = fx.d;
+  after.set(fx.g.inputs()[0], fx.g.inputs()[0],
+            after.self(fx.g.inputs()[0]) + 1e-4f);
+  EXPECT_EQ(sched::validate_matrix_monotonic(fx.d, after, 1e-3),
+            std::vector<std::string>{});
+  EXPECT_FALSE(sched::validate_matrix_monotonic(fx.d, after, 1e-6).empty());
+}
+
+// --- the observer-attached validator over real runs ---
+
+TEST(InvariantValidatorTest, CleanRunHasNoViolations) {
+  const ir::graph g = workloads::build_random_dag(10, 80);
+  core::aig_depth_downstream tool;
+  engine::engine e;
+  engine::invariant_validator validator;
+  e.add_observer(&validator);
+  const core::isdc_result r = e.run(g, tool, small_options());
+  e.remove_observer(&validator);
+  EXPECT_TRUE(validator.ok()) << validator.to_string();
+  // Baseline + one iterate per feedback iteration.
+  EXPECT_EQ(validator.schedules_checked(), 1 + r.iterations);
+  EXPECT_EQ(validator.to_string(), "");
+}
+
+TEST(InvariantValidatorTest, CleanMixedControlRunHasNoViolations) {
+  const ir::graph g = workloads::build_mixed_dag(11, 90);
+  core::aig_depth_downstream tool;
+  engine::engine e;
+  engine::invariant_validator validator;
+  e.add_observer(&validator);
+  e.run(g, tool, small_options());
+  e.remove_observer(&validator);
+  EXPECT_TRUE(validator.ok()) << validator.to_string();
+}
+
+TEST(InvariantValidatorTest, ResetClearsStateBetweenRuns) {
+  const ir::graph g = workloads::build_random_dag(12, 50);
+  core::aig_depth_downstream tool;
+  engine::engine e;
+  engine::invariant_validator validator;
+  e.add_observer(&validator);
+  e.run(g, tool, small_options());
+  const int first = validator.schedules_checked();
+  EXPECT_GT(first, 0);
+  validator.reset();
+  EXPECT_EQ(validator.schedules_checked(), 0);
+  e.run(g, tool, small_options());
+  e.remove_observer(&validator);
+  EXPECT_EQ(validator.schedules_checked(), first);
+  EXPECT_TRUE(validator.ok()) << validator.to_string();
+}
+
+TEST(InvariantValidatorTest, AsyncRunValidatesClean) {
+  const ir::graph g = workloads::build_mixed_dag(13, 70);
+  core::aig_depth_downstream tool;
+  core::isdc_options opts = small_options();
+  opts.async_evaluation = true;
+  engine::engine e;
+  engine::invariant_validator validator;
+  e.add_observer(&validator);
+  e.run(g, tool, opts);
+  e.remove_observer(&validator);
+  EXPECT_TRUE(validator.ok()) << validator.to_string();
+}
+
+}  // namespace
+}  // namespace isdc

@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include "aig/simulate.h"
+#include "backend/netlist.h"
 #include "ir/evaluate.h"
 #include "ir/verify.h"
 #include "lower/lowering.h"
 #include "support/rng.h"
 #include "workloads/registry.h"
+
 
 namespace isdc::workloads {
 namespace {
@@ -341,6 +343,158 @@ TEST(RrotTest, RotatesAndMixes) {
   EXPECT_EQ(out[0],
             static_cast<std::uint32_t>(((v + x2) + t1) ^ rotr(x2, 7)));
 }
+
+// --- the synthetic generators (random / mixed / stitched) ---
+
+/// FNV-1a over the canonical text serialization: node ids, opcodes,
+/// widths, operand edges and outputs all feed the hash, so any structural
+/// change moves it.
+std::uint64_t graph_fingerprint(const ir::graph& g) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : backend::to_text(g)) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The documented stability guarantee (registry.h): for a fixed (seed,
+// num_ops, options) tuple these generators are stable artifacts of the
+// library. If a deliberate generator change lands, update the goldens AND
+// call the break out in CHANGES.md — recorded fuzz repro seeds die with it.
+TEST(GeneratorStabilityTest, GoldenFingerprints) {
+  EXPECT_EQ(graph_fingerprint(build_random_dag(42, 200)),
+            0x28e627df5df097b9ull);
+  EXPECT_EQ(graph_fingerprint(build_mixed_dag(42, 200)),
+            0x17450b71b6974286ull);
+  EXPECT_EQ(graph_fingerprint(stitch_registry(7, 1500)),
+            0xd57e28d1c6d8b141ull);
+}
+
+TEST(MixedDagTest, DeterministicAndVerifies) {
+  const ir::graph a = build_mixed_dag(3, 400);
+  const ir::graph b = build_mixed_dag(3, 400);
+  EXPECT_EQ(ir::verify(a), "");
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(b));
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(build_mixed_dag(4, 400)));
+  EXPECT_GE(a.num_nodes(), 400u);
+}
+
+TEST(MixedDagTest, EmitsEveryOperationClass) {
+  const ir::graph g = build_mixed_dag(5, 600);
+  int arith = 0, logic = 0, compares = 0, muxes = 0;
+  for (const ir::node& n : g.nodes()) {
+    switch (n.op) {
+      case ir::opcode::add:
+      case ir::opcode::sub:
+      case ir::opcode::mul:
+        ++arith;
+        break;
+      case ir::opcode::band:
+      case ir::opcode::bor:
+      case ir::opcode::bxor:
+        ++logic;
+        break;
+      case ir::opcode::eq:
+      case ir::opcode::ne:
+      case ir::opcode::ult:
+      case ir::opcode::ule:
+        ++compares;
+        break;
+      case ir::opcode::mux:
+        ++muxes;
+        break;
+      default:
+        break;
+    }
+  }
+  // Loose sanity bands around the default class fractions (.35 arith,
+  // .25 logic, .15 compare, rest muxes + chains); a collapsed class means
+  // the generator regressed.
+  EXPECT_GT(arith, 100);
+  EXPECT_GT(logic, 60);
+  EXPECT_GT(compares, 40);
+  EXPECT_GT(muxes, 40);
+  // Every mux selector is a 1-bit predicate.
+  for (const ir::node& n : g.nodes()) {
+    if (n.op == ir::opcode::mux) {
+      EXPECT_EQ(g.at(n.operands[0]).width, 1u);
+    }
+  }
+}
+
+TEST(MixedDagTest, ControlHeavyShapeVerifiesAndEvaluates) {
+  mixed_dag_options heavy;
+  heavy.arith_fraction = 0.2;
+  heavy.logic_fraction = 0.15;
+  heavy.compare_fraction = 0.25;
+  heavy.select_chain_probability = 0.35;
+  const ir::graph g = build_mixed_dag(6, 300, heavy);
+  EXPECT_EQ(ir::verify(g), "");
+  rng r(6);
+  std::vector<std::uint64_t> inputs;
+  for (ir::node_id in : g.inputs()) {
+    inputs.push_back(r.next() & ir::width_mask(g.at(in).width));
+  }
+  EXPECT_EQ(ir::evaluate(g, inputs), ir::evaluate(g, inputs));
+}
+
+TEST(StitchTest, ParallelModePreservesPartsAsIslands) {
+  const ir::graph p0 = build_random_dag(20, 60);
+  const ir::graph p1 = build_mixed_dag(21, 80);
+  const ir::graph stitched = stitch_designs({&p0, &p1}, {});
+  EXPECT_EQ(ir::verify(stitched), "");
+  EXPECT_EQ(stitched.num_nodes(), p0.num_nodes() + p1.num_nodes());
+  EXPECT_EQ(stitched.outputs().size(),
+            p0.outputs().size() + p1.outputs().size());
+  EXPECT_EQ(stitched.inputs().size(),
+            p0.inputs().size() + p1.inputs().size());
+  // Part 0's nodes are bit-identical copies at the same ids.
+  for (ir::node_id v = 0; v < static_cast<ir::node_id>(p0.num_nodes());
+       ++v) {
+    EXPECT_EQ(stitched.at(v).op, p0.at(v).op);
+    EXPECT_EQ(stitched.at(v).width, p0.at(v).width);
+  }
+}
+
+TEST(StitchTest, ChainedModeDrivesLaterPartsFromEarlierOutputs) {
+  const ir::graph p0 = build_random_dag(22, 60);
+  const ir::graph p1 = build_random_dag(23, 60);
+  stitch_options opts;
+  opts.mode = stitch_mode::chained;
+  const ir::graph stitched = stitch_designs({&p0, &p1}, opts);
+  EXPECT_EQ(ir::verify(stitched), "");
+  // Part 1's primary inputs were replaced by part 0's outputs.
+  EXPECT_EQ(stitched.inputs().size(), p0.inputs().size());
+  EXPECT_GE(stitched.num_nodes(), p0.num_nodes() + p1.num_nodes() -
+                                      p1.inputs().size());
+}
+
+TEST(StitchTest, RegistryStitchIsSeedStable) {
+  const ir::graph a = stitch_registry(9, 2000);
+  const ir::graph b = stitch_registry(9, 2000);
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(b));
+  EXPECT_GE(a.num_nodes(), 2000u);
+}
+
+class StitchScaleTest : public ::testing::TestWithParam<std::size_t> {};
+
+// Satellite of the scale tentpole: the stitched stress designs are
+// ir::verify-clean at 1k, 10k and 100k nodes (generation is O(n); the
+// bounded-memory *scheduling* contract at these sizes lives in fuzz_test
+// and isdc_fuzz --scale).
+TEST_P(StitchScaleTest, VerifiesClean) {
+  const std::size_t target = GetParam();
+  const ir::graph g = stitch_registry(7, target);
+  EXPECT_GE(g.num_nodes(), target);
+  EXPECT_EQ(ir::verify(g), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StitchScaleTest,
+                         ::testing::Values(1000u, 10000u, 100000u),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace isdc::workloads

@@ -1,0 +1,370 @@
+// Differential fuzz driver (src/fuzz). Per seed, generates a design and
+// runs every applicable config-pair check; on divergence, ddmin-shrinks
+// the design and writes a self-contained repro file.
+//
+//   isdc_fuzz --quick --seeds=50 --json=BENCH_fuzz.json   # CI smoke
+//   isdc_fuzz --seeds=500 --worker="path/to/isdc_delay_worker --tool=aig-depth"
+//   isdc_fuzz --replay=repro_sabotage_7.txt               # re-run a repro
+//   isdc_fuzz --inject-bug --seeds=8                      # harness self-test
+//   isdc_fuzz --scale=100000 --budget-mb=512              # bounded-memory run
+//
+// Flags: --seeds=N (default 50), --seed-base=N (default 0), --quick
+// (small cases; default when --full absent), --full, --worker=CMD (adds
+// the inprocess-vs-worker pair; CMD defaults to the sibling
+// isdc_delay_worker when built), --no-worker, --repro-dir=DIR (default
+// "."), --json=PATH, --replay=FILE, --inject-bug, --no-brute-force,
+// --no-budget-sweep, --no-failpoints.
+//
+// Exit status: 0 = all checks passed (or, under --inject-bug, the
+// injected bug was caught, minimized and replayed); 1 = a real divergence
+// was found (repros written); 2 = usage/setup error.
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "../bench/common.h"
+#include "core/downstream.h"
+#include "engine/engine.h"
+#include "extract/partition.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/minimize.h"
+#include "fuzz/repro.h"
+#include "ir/verify.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace isdc;
+
+std::string repro_path(const std::string& dir, const std::string& check,
+                       std::uint64_t seed) {
+  std::string name = "repro_" + check + "_" + std::to_string(seed) + ".txt";
+  for (char& c : name) {
+    if (c == '/' || c == ' ') {
+      c = '_';
+    }
+  }
+  return dir.empty() || dir == "." ? name : dir + "/" + name;
+}
+
+/// Minimizes a failing case and writes its repro file. Returns the path
+/// ("" when writing failed) and reports sizes on stderr.
+std::string emit_repro(const fuzz::fuzz_case& c,
+                       const fuzz::check_result& failure,
+                       const fuzz::check_options& opts,
+                       const std::string& dir, std::size_t* nodes_out) {
+  fuzz::minimize_options mopts;
+  mopts.check = failure.name;
+  mopts.checks = opts;
+  const fuzz::minimize_result reduced = fuzz::minimize_case(c, mopts);
+
+  fuzz::repro r;
+  r.check = failure.name;
+  r.seed = failure.seed;
+  r.generator = c.generator;
+  r.detail = failure.detail;
+  r.failpoints = failure.failpoints;
+  r.options = c.options;
+  r.g = reduced.g;
+  if (nodes_out != nullptr) {
+    *nodes_out = reduced.g.num_nodes();
+  }
+
+  const std::string path = repro_path(dir, failure.name, failure.seed);
+  if (!fuzz::write_repro(r, path)) {
+    std::fprintf(stderr, "isdc_fuzz: cannot write repro to %s\n",
+                 path.c_str());
+    return "";
+  }
+  std::fprintf(stderr,
+               "isdc_fuzz: %s seed=%llu minimized %zu -> %zu nodes "
+               "(%zu trials), repro: %s\n",
+               failure.name.c_str(),
+               static_cast<unsigned long long>(failure.seed),
+               reduced.original_nodes, reduced.g.num_nodes(),
+               reduced.trials, path.c_str());
+  return path;
+}
+
+/// --scale=N: the graceful-degradation acceptance run in a fresh process.
+/// Builds an N-node stitched registry design, schedules it under
+/// --budget-mb (default 512) and asserts: it partitioned, process peak RSS
+/// stayed within the budget, and every sampled component's stages equal
+/// the component scheduled solo without any budget. (A monolithic
+/// unbudgeted run of the whole design is not the reference: at 100k nodes
+/// its dense matrices alone need ~80 GB, and the joint LP breaks register
+/// -bit ties differently from the per-component solves — solo-component
+/// parity is the schedule contract the budget guarantees.)
+int run_scale(std::size_t target_nodes, double budget_mb,
+              std::uint64_t seed, const std::string& json_path) {
+  const auto start = std::chrono::steady_clock::now();
+  const ir::graph g = workloads::stitch_registry(seed, target_nodes);
+  const std::string verify = ir::verify(g);
+  if (!verify.empty()) {
+    std::fprintf(stderr, "isdc_fuzz: scale design fails ir::verify: %s\n",
+                 verify.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "isdc_fuzz: scale run on %zu nodes, budget %.0f MiB\n",
+               g.num_nodes(), budget_mb);
+
+  core::aig_depth_downstream tool;
+  core::isdc_options opts;
+  opts.base.clock_period_ps = 5000.0;  // registry mixes 2500/5000 kernels
+  opts.max_iterations = 1;
+  opts.subgraphs_per_iteration = 2;
+  opts.num_threads = 2;
+  opts.memory_budget_mb = budget_mb;
+
+  engine::engine e;
+  const core::isdc_result budgeted = e.run(g, tool, opts);
+  const std::int64_t budget_kb =
+      static_cast<std::int64_t>(budget_mb * 1024.0);
+  bool ok = true;
+  if (!budgeted.partitioned) {
+    std::fprintf(stderr, "isdc_fuzz: scale run did not partition\n");
+    ok = false;
+  }
+  if (budgeted.peak_rss_kb <= 0 || budgeted.peak_rss_kb > budget_kb) {
+    std::fprintf(stderr,
+                 "isdc_fuzz: peak RSS %lld KiB outside budget %lld KiB\n",
+                 static_cast<long long>(budgeted.peak_rss_kb),
+                 static_cast<long long>(budget_kb));
+    ok = false;
+  }
+
+  // Solo-parity on a sample: the largest component plus the two ends.
+  const std::vector<extract::design_component> components =
+      extract::weakly_connected_components(g);
+  std::size_t largest = 0;
+  for (std::size_t i = 1; i < components.size(); ++i) {
+    if (components[i].members.size() > components[largest].members.size()) {
+      largest = i;
+    }
+  }
+  core::isdc_options solo_opts = opts;
+  solo_opts.memory_budget_mb = 0.0;
+  int mismatches = 0;
+  for (const std::size_t idx :
+       std::vector<std::size_t>{0, largest, components.size() - 1}) {
+    const ir::extraction extracted =
+        extract::extract_component(g, components[idx]);
+    engine::engine solo_engine;
+    const core::isdc_result solo =
+        solo_engine.run(extracted.g, tool, solo_opts);
+    for (const auto& [original, sub] : extracted.to_sub) {
+      if (budgeted.final_schedule.cycle[original] !=
+          solo.final_schedule.cycle[sub]) {
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "isdc_fuzz: %d node stages differ from solo components\n",
+                 mismatches);
+    ok = false;
+  }
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  bench::json_object summary;
+  summary.set("bench", "fuzz_scale")
+      .set("target_nodes", static_cast<std::int64_t>(target_nodes))
+      .set("nodes", static_cast<std::int64_t>(g.num_nodes()))
+      .set("components", static_cast<std::int64_t>(components.size()))
+      .set("budget_mb", budget_mb)
+      .set("partitioned", budgeted.partitioned)
+      .set("peak_rss_kb", budgeted.peak_rss_kb)
+      .set("stages", budgeted.final_schedule.num_stages())
+      .set("solo_parity_mismatches", mismatches)
+      .set("seconds", seconds)
+      .set("ok", ok);
+  const std::string json = summary.str();
+  std::printf("%s\n", json.c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json << "\n";
+  }
+  std::fprintf(stderr, "isdc_fuzz: scale run %s (%.1fs)\n",
+               ok ? "passed" : "FAILED", seconds);
+  return ok ? 0 : 1;
+}
+
+int run_replay(const std::string& file, const fuzz::check_options& opts) {
+  const fuzz::repro r = fuzz::load_repro(file);
+  std::fprintf(stderr, "isdc_fuzz: replaying check '%s' seed=%llu on %zu "
+                       "nodes\n",
+               r.check.c_str(), static_cast<unsigned long long>(r.seed),
+               r.g.num_nodes());
+  const fuzz::check_result result = fuzz::replay(r, opts);
+  if (result.passed) {
+    std::fprintf(stderr, "isdc_fuzz: repro no longer fails\n");
+    return 0;
+  }
+  std::fprintf(stderr, "isdc_fuzz: reproduced: %s\n", result.detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::flags flags(argc, argv);
+  const auto start = std::chrono::steady_clock::now();
+
+  fuzz::check_options opts;
+  opts.budget_sweep = !flags.has("no-budget-sweep");
+  opts.brute_force = !flags.has("no-brute-force");
+  opts.failpoint_pair = !flags.has("no-failpoints");
+  if (!flags.has("no-worker")) {
+#ifdef ISDC_DELAY_WORKER_PATH
+    opts.worker_command =
+        std::string(ISDC_DELAY_WORKER_PATH) + " --tool=aig-depth";
+#endif
+    opts.worker_command = flags.get("worker", opts.worker_command);
+  }
+
+  try {
+    if (flags.has("replay")) {
+      return run_replay(flags.get("replay", ""), opts);
+    }
+    if (flags.has("scale")) {
+      return run_scale(
+          static_cast<std::size_t>(flags.get_int("scale", 100000)),
+          static_cast<double>(flags.get_int("budget-mb", 512)),
+          static_cast<std::uint64_t>(flags.get_int("scale-seed", 7)),
+          flags.get("json", ""));
+    }
+
+    const bool quick = flags.quick() || !flags.has("full");
+    const int seeds = flags.get_int("seeds", 50);
+    const std::uint64_t seed_base =
+        static_cast<std::uint64_t>(flags.get_int("seed-base", 0));
+    const std::string repro_dir = flags.get("repro-dir", ".");
+    if (repro_dir != ".") {
+      std::error_code ec;
+      std::filesystem::create_directories(repro_dir, ec);
+    }
+    const bool inject = flags.has("inject-bug");
+
+    int checks_run = 0;
+    int checks_passed = 0;
+    int injected_caught = 0;
+    int injected_replayed = 0;
+    std::size_t injected_min_nodes = 0;
+    bench::json_array failures;
+    bench::json_array injected_rows;
+
+    for (int i = 0; i < seeds; ++i) {
+      const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+      const fuzz::fuzz_case c = fuzz::generate_case(seed, quick);
+      for (const fuzz::check_result& r : fuzz::run_checks(c, opts)) {
+        ++checks_run;
+        if (r.passed) {
+          ++checks_passed;
+          continue;
+        }
+        std::fprintf(stderr, "isdc_fuzz: FAIL %s seed=%llu: %s\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(seed),
+                     r.detail.c_str());
+        std::size_t nodes = 0;
+        const std::string path = emit_repro(c, r, opts, repro_dir, &nodes);
+        bench::json_object row;
+        row.set("check", r.name)
+            .set("seed", seed)
+            .set("detail", r.detail)
+            .set("minimized_nodes", static_cast<std::int64_t>(nodes))
+            .set("repro", path);
+        failures.push_raw(row.str());
+      }
+
+      if (inject) {
+        // Harness self-test: the sabotaged pipeline must diverge, the
+        // reducer must shrink it, and the written repro must replay.
+        const fuzz::check_result r =
+            fuzz::run_named_check("sabotage", c, opts);
+        ++checks_run;
+        if (r.passed) {
+          ++checks_passed;  // no mul in this design: sabotage never fired
+          continue;
+        }
+        ++injected_caught;
+        std::size_t nodes = 0;
+        const std::string path = emit_repro(c, r, opts, repro_dir, &nodes);
+        injected_min_nodes = nodes;
+        bool replayed = false;
+        if (!path.empty()) {
+          replayed = !fuzz::replay(fuzz::load_repro(path), opts).passed;
+        }
+        if (replayed) {
+          ++injected_replayed;
+        }
+        bench::json_object row;
+        row.set("seed", seed)
+            .set("minimized_nodes", static_cast<std::int64_t>(nodes))
+            .set("replayed", replayed)
+            .set("repro", path);
+        injected_rows.push_raw(row.str());
+      }
+    }
+
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const int real_failures = checks_run - checks_passed -
+                              (inject ? injected_caught : 0);
+
+    bench::json_object summary;
+    summary.set("bench", "fuzz")
+        .set("quick", quick)
+        .set("seeds", static_cast<std::int64_t>(seeds))
+        .set("seed_base", seed_base)
+        .set("checks_run", checks_run)
+        .set("checks_passed", checks_passed)
+        .set("failures_found", real_failures)
+        .set("worker_pair_enabled", !opts.worker_command.empty())
+        .set("seconds", seconds)
+        .set("peak_rss_kb", bench::peak_rss_kb())
+        .set_raw("failures", failures.str());
+    if (inject) {
+      summary.set("injected_caught", injected_caught)
+          .set("injected_replayed", injected_replayed)
+          .set_raw("injected", injected_rows.str());
+    }
+    const std::string json = summary.str();
+    std::printf("%s\n", json.c_str());
+    const std::string json_path = flags.get("json", "");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::trunc);
+      out << json << "\n";
+    }
+
+    std::fprintf(stderr,
+                 "isdc_fuzz: %d/%d checks passed over %d seeds (%.1fs)\n",
+                 checks_passed, checks_run, seeds, seconds);
+    if (inject) {
+      const bool ok = injected_caught > 0 &&
+                      injected_replayed == injected_caught &&
+                      injected_min_nodes <= 50;
+      std::fprintf(stderr,
+                   "isdc_fuzz: inject-bug self-test %s (caught %d, "
+                   "replayed %d, last minimized to %zu nodes)\n",
+                   ok ? "passed" : "FAILED", injected_caught,
+                   injected_replayed, injected_min_nodes);
+      if (!ok) {
+        return 1;
+      }
+    }
+    return real_failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "isdc_fuzz: error: %s\n", e.what());
+    return 2;
+  }
+}
