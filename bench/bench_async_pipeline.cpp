@@ -17,6 +17,9 @@
 //        --subgraphs=M                per iteration (default 16, the paper)
 //        --threads=T                  sync evaluation pool (default 4)
 //        --csv                        emit CSV instead of the aligned table
+//        --json=PATH                  machine-readable artifact (per-arm
+//                                     observed latency p50/p99 included)
+//        --trace=PATH                 chrome-trace span timeline
 //        --quick                      CI smoke: 1 workload, 10ms, 3 iters
 #include <chrono>
 #include <iostream>
@@ -43,6 +46,7 @@ struct run_outcome {
   int stages = 0;
   int iterations = 0;
   std::uint64_t downstream_calls = 0;
+  isdc::core::latency_downstream::latency_stats latency;
 };
 
 run_outcome run_once(const isdc::ir::graph& g,
@@ -62,6 +66,7 @@ run_outcome run_once(const isdc::ir::graph& g,
   out.stages = result.final_schedule.num_stages();
   out.iterations = result.iterations;
   out.downstream_calls = tool.calls();
+  out.latency = tool.observed();
   return out;
 }
 
@@ -69,6 +74,7 @@ run_outcome run_once(const isdc::ir::graph& g,
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   auto subset = flags.get_list("benchmarks");
   if (subset.empty()) {
     subset = {"sha256", "internal_datapath", "video_core", "ml_datapath2"};
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
                     "Async stg", "Sync calls", "Async calls"});
 
   std::vector<double> speedups;
+  isdc::bench::json_array rows;
   for (const std::string& name : subset) {
     const isdc::workloads::workload_spec* spec =
         isdc::workloads::find_workload(name);
@@ -134,6 +141,24 @@ int main(int argc, char** argv) {
                    std::to_string(async.stages),
                    std::to_string(sync.downstream_calls),
                    std::to_string(async.downstream_calls)});
+    isdc::bench::json_object row;
+    row.set("benchmark", spec->name)
+        .set("sync_seconds", sync.seconds)
+        .set("async_seconds", async.seconds)
+        .set("speedup", speedup)
+        .set("sync_register_bits", sync.register_bits)
+        .set("async_register_bits", async.register_bits)
+        .set("sync_stages", sync.stages)
+        .set("async_stages", async.stages)
+        .set("sync_downstream_calls", sync.downstream_calls)
+        .set("async_downstream_calls", async.downstream_calls)
+        .set("sync_latency_p50_ms", sync.latency.p50_ms)
+        .set("sync_latency_p99_ms", sync.latency.p99_ms)
+        .set("sync_latency_mean_ms", sync.latency.mean_ms)
+        .set("async_latency_p50_ms", async.latency.p50_ms)
+        .set("async_latency_p99_ms", async.latency.p99_ms)
+        .set("async_latency_mean_ms", async.latency.mean_ms);
+    rows.push_raw(row.str());
     std::cerr << "done: " << spec->name << "\n";
   }
 
@@ -148,6 +173,18 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+
+  isdc::bench::json_object root;
+  root.set("bench", "async_pipeline")
+      .set("downstream_latency_ms", latency_ms)
+      .set("geomean_speedup", isdc::geomean(speedups))
+      .set_raw("per_benchmark", rows.str());
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
+  }
+  if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
+    return 1;
   }
   return 0;
 }

@@ -79,6 +79,7 @@ struct round_outcome {
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   auto subset = flags.get_list("benchmarks");
   if (subset.empty()) {
     for (const isdc::workloads::workload_spec& spec :
@@ -308,6 +309,9 @@ int main(int argc, char** argv) {
       .set("disarmed_failpoint_ns_per_call", disarmed_ns)
       .set("violations", violations)
       .set_raw("per_round", rows.str());
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
+  }
   if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
     return 1;
   }

@@ -20,6 +20,7 @@
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   const std::string design = flags.get("design", "hsv2rgb");
   const int points = flags.quick_int("points", 96, 8);
 
@@ -109,6 +110,9 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
   }
   return 0;
 }

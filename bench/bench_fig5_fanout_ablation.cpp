@@ -54,6 +54,7 @@ std::vector<std::int64_t> register_trajectory(
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   const std::string design = flags.get("design", "video_core");
   const int iterations = flags.quick_int("iterations", 30, 4);
 
@@ -106,5 +107,8 @@ int main(int argc, char** argv) {
             << curves[1].back() << "  m=8: " << curves[2].back() << "/"
             << curves[3].back() << "  m=16: " << curves[4].back() << "/"
             << curves[5].back() << "\n";
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
+  }
   return 0;
 }

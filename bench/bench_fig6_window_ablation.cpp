@@ -46,6 +46,7 @@ std::vector<std::int64_t> register_trajectory(
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   const std::string design = flags.get("design", "video_core");
   const int iterations = flags.quick_int("iterations", 30, 4);
 
@@ -90,6 +91,9 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
   }
   return 0;
 }

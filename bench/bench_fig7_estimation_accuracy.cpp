@@ -20,6 +20,7 @@
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   const auto subset = flags.get_list("benchmarks");
   const int max_iterations = flags.quick_int("max-iterations", 10, 3);
 
@@ -93,6 +94,9 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
   }
   return 0;
 }

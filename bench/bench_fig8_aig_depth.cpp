@@ -55,6 +55,7 @@ int schedule_aig_depth(const isdc::ir::graph& g,
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   const std::string design = flags.get("design", "hsv2rgb");
   const int points = flags.quick_int("points", 64, 8);
 
@@ -112,6 +113,9 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
   }
   return 0;
 }

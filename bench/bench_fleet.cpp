@@ -27,6 +27,8 @@
 //                                    async, PR 3's latency-hiding pipeline)
 //        --benchmarks=a,b,c          subset (default: the full registry)
 //        --json=PATH                 machine-readable artifact
+//        --trace=PATH                chrome-trace span timeline (solo +
+//                                    fleet arms; open in Perfetto)
 //        --csv                       CSV instead of the aligned table
 //        --quick                     CI smoke: 4 workloads, 10ms, 3 iters,
 //                                    2 shards
@@ -43,6 +45,7 @@
 #include "sched/metrics.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "telemetry/metrics.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -65,6 +68,7 @@ struct solo_outcome {
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   auto subset = flags.get_list("benchmarks");
   if (subset.empty()) {
     for (const isdc::workloads::workload_spec& spec :
@@ -149,7 +153,11 @@ int main(int argc, char** argv) {
     std::cerr << "solo done: " << specs[i]->name << "\n";
   }
 
-  // Arm 2 — the fleet: everything shared.
+  // Arm 2 — the fleet: everything shared. The global registry is zeroed
+  // here so its cache.* counters cover exactly the fleet arm — making
+  // them directly comparable (and asserted equal below) to the legacy
+  // per-instance cache delta the fleet_report carries.
+  isdc::telemetry::reset_metrics();
   isdc::core::latency_downstream fleet_tool(inner, latency_ms);
   isdc::engine::fleet_options fopts;
   fopts.shards = shards;
@@ -164,6 +172,37 @@ int main(int argc, char** argv) {
   }
   const isdc::engine::fleet_report report = fleet.run(jobs, fleet_tool);
   std::cerr << "fleet done: " << jobs.size() << " designs\n";
+
+  // The registry mirrors must agree exactly with the legacy per-instance
+  // cache counters over the fleet arm (reset_metrics above scoped them to
+  // it). Any drift means an instrumentation site was missed or
+  // double-counted — fail the bench, not just a log line.
+  const isdc::telemetry::registry::snapshot metrics_snap =
+      isdc::telemetry::registry::global().snap();
+  std::uint64_t registry_cache_hits = 0;
+  std::uint64_t registry_cache_coalesced = 0;
+  std::uint64_t registry_cache_misses = 0;
+  for (const auto& [name, value] : metrics_snap.counters) {
+    if (name == "cache.hit") {
+      registry_cache_hits = value;
+    } else if (name == "cache.coalesced") {
+      registry_cache_coalesced = value;
+    } else if (name == "cache.miss") {
+      registry_cache_misses = value;
+    }
+  }
+  const bool metrics_match_legacy =
+      registry_cache_hits == report.cache_delta.hits &&
+      registry_cache_coalesced == report.cache_delta.coalesced &&
+      registry_cache_misses == report.cache_delta.misses;
+  if (!metrics_match_legacy) {
+    std::cerr << "metrics mismatch: registry cache.hit/miss/coalesced = "
+              << registry_cache_hits << "/" << registry_cache_misses << "/"
+              << registry_cache_coalesced
+              << " but legacy cache delta = " << report.cache_delta.hits
+              << "/" << report.cache_delta.misses << "/"
+              << report.cache_delta.coalesced << "\n";
+  }
 
   // Cross-design coalescing: distinct fingerprints each design would
   // measure alone, minus what the shared cache actually holds.
@@ -279,6 +318,18 @@ int main(int argc, char** argv) {
                                        : std::to_string(parity_mismatches) +
                                              " design(s) differ")
             << "\n";
+  const isdc::core::latency_downstream::latency_stats fleet_latency =
+      fleet_tool.observed();
+  std::cout << "Fleet downstream latency: p50 "
+            << isdc::format_double(fleet_latency.p50_ms, 2) << " ms, p99 "
+            << isdc::format_double(fleet_latency.p99_ms, 2) << " ms (mean "
+            << isdc::format_double(fleet_latency.mean_ms, 2) << " ms over "
+            << fleet_latency.calls << " calls)\n";
+  std::cout << "Metrics registry parity:  "
+            << (metrics_match_legacy
+                    ? "cache.* counters match the legacy cache delta"
+                    : "MISMATCH vs legacy cache counters")
+            << "\n";
 
   isdc::bench::json_object root;
   root.set("bench", "fleet")
@@ -304,14 +355,23 @@ int main(int argc, char** argv) {
       .set("fleet_cache_misses", report.cache_delta.misses)
       .set("fleet_cache_coalesced", report.cache_delta.coalesced)
       .set("schedule_parity_mismatches", parity_mismatches)
+      .set("fleet_latency_p50_ms", fleet_latency.p50_ms)
+      .set("fleet_latency_p99_ms", fleet_latency.p99_ms)
+      .set("fleet_latency_mean_ms", fleet_latency.mean_ms)
+      .set("fleet_latency_min_ms", fleet_latency.min_ms)
+      .set("fleet_latency_max_ms", fleet_latency.max_ms)
+      .set("metrics_match_legacy", metrics_match_legacy)
       .set_raw("per_design", rows.str());
   if (const isdc::backend::subprocess_tool* pool = backend.subprocess()) {
     root.set_raw(
         "subprocess",
         isdc::bench::subprocess_counters_json(pool->stats()).str());
   }
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
+  }
   if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
     return 1;
   }
-  return 0;
+  return metrics_match_legacy ? 0 : 1;
 }

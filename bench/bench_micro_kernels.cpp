@@ -34,6 +34,8 @@
 #include "support/failpoint.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "synth/synthesis.h"
 #include "synth/techmap.h"
 #include "workloads/registry.h"
@@ -295,6 +297,47 @@ void BM_failpoint_disarmed(benchmark::State& state) {
 }
 BENCHMARK(BM_failpoint_disarmed);
 
+void BM_span_disabled(benchmark::State& state) {
+  // Trace spans live permanently on the engine's per-stage, per-dispatch
+  // and per-subprocess-call paths; with tracing off, constructing and
+  // destroying one must stay a single relaxed atomic load (~1 ns). The
+  // scoreboard below fails the bench if this regresses past 250 ns.
+  isdc::telemetry::stop_tracing();
+  for (auto _ : state) {
+    const isdc::telemetry::span sp("bench.micro.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_span_disabled);
+
+void BM_counter_inc(benchmark::State& state) {
+  // Registry counters mirror every cache hit and subprocess call; the
+  // per-event cost (reference cached, as all call sites do) must stay one
+  // relaxed fetch_add. Enforced alongside BM_span_disabled.
+  isdc::telemetry::counter& c =
+      isdc::telemetry::get_counter("bench.micro.counter");
+  for (auto _ : state) {
+    c.add();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_counter_inc);
+
+void BM_histogram_record(benchmark::State& state) {
+  // A histogram record is a lower_bound over ~40 boundaries plus a few
+  // relaxed atomics — cheap enough for per-stage wall-clock recording,
+  // but not free; tracked here so growth shows up in the scoreboard.
+  isdc::telemetry::histogram& h =
+      isdc::telemetry::get_histogram("bench.micro.histogram");
+  double v = 1.0;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1e6 ? v * 1.7 : 1.0;
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+}
+BENCHMARK(BM_histogram_record);
+
 /// Console output as usual, plus one collected entry per run for the
 /// --json artifact.
 class collecting_reporter : public benchmark::ConsoleReporter {
@@ -337,6 +380,7 @@ class collecting_reporter : public benchmark::ConsoleReporter {
 // writes the per-kernel artifact through bench/common.h.
 int main(int argc, char** argv) {
   const isdc::bench::flags repo_flags(argc, argv);
+  isdc::bench::maybe_start_trace(repo_flags);
   std::vector<char*> args;
   bool quick = false;
   for (int i = 0; i < argc; ++i) {
@@ -362,6 +406,12 @@ int main(int argc, char** argv) {
   collecting_reporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
+  // The disabled-telemetry scoreboard: spans and counter bumps live on
+  // production hot paths on the promise that they cost ~1 ns each when
+  // nothing is collecting. The bound is generous (shared CI boxes jitter)
+  // — a genuine regression to a lock or a syscall lands far beyond it.
+  constexpr double kMaxDisabledNs = 250.0;
+  int overhead_violations = 0;
   isdc::bench::json_object root;
   root.set("bench", "micro_kernels").set("quick", quick);
   isdc::bench::json_array kernels;
@@ -374,10 +424,23 @@ int main(int argc, char** argv) {
     if (e.bytes_per_second > 0.0) {
       k.set("bytes_per_second", e.bytes_per_second);
     }
+    if (e.name == "BM_span_disabled" || e.name == "BM_counter_inc") {
+      const bool ok_overhead = e.cpu_ns <= kMaxDisabledNs;
+      k.set("max_ns_per_iter", kMaxDisabledNs)
+          .set("within_bound", ok_overhead);
+      if (!ok_overhead) {
+        std::cerr << e.name << ": " << e.cpu_ns
+                  << " ns/op exceeds the disabled-telemetry bound of "
+                  << kMaxDisabledNs << " ns\n";
+        ++overhead_violations;
+      }
+    }
     kernels.push_raw(k.str());
   }
   root.set_raw("kernels", kernels.str());
+  root.set("telemetry_overhead_violations", overhead_violations);
+  const bool trace_ok = isdc::bench::maybe_write_trace(repo_flags);
   const bool ok = isdc::bench::write_json_artifact(repo_flags, root, std::cerr);
   benchmark::Shutdown();
-  return ok ? 0 : 1;
+  return ok && trace_ok && overhead_violations == 0 ? 0 : 1;
 }

@@ -150,6 +150,7 @@ std::vector<timing> sweep(const std::vector<int>& thread_counts, int reps,
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   const int hw =
       std::max(1u, std::thread::hardware_concurrency());
   const int max_threads =
@@ -359,6 +360,9 @@ int main(int argc, char** argv) {
       .set("parity_mismatches", parity_mismatches)
       .set_raw("kernels", kernel_rows.str())
       .set_raw("end_to_end", e2e_rows.str());
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
+  }
   if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
     return 1;
   }

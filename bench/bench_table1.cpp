@@ -42,6 +42,7 @@ double seconds_since(clock_type::time_point start) {
 
 int main(int argc, char** argv) {
   const isdc::bench::flags flags(argc, argv);
+  isdc::bench::maybe_start_trace(flags);
   const auto subset = flags.get_list("benchmarks");
 
   isdc::synth::delay_model model;  // shared characterization cache
@@ -242,6 +243,9 @@ int main(int argc, char** argv) {
     std::cout << "\nSubprocess pool: " << c.calls << " calls, "
               << c.restarts << " restarts, " << c.timeouts << " timeouts, "
               << c.retries << " retries\n";
+  }
+  if (!isdc::bench::maybe_write_trace(flags)) {
+    return 1;
   }
   if (!isdc::bench::write_json_artifact(flags, root, std::cerr)) {
     return 1;

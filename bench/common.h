@@ -23,6 +23,8 @@
 #include "backend/subprocess_tool.h"
 #include "sched/schedule.h"
 #include "support/rng.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace isdc::bench {
 
@@ -229,11 +231,33 @@ inline json_object runtime_json(const flags& f) {
   return rt;
 }
 
+/// Arms span collection when --trace=<path> was passed. Call once, before
+/// the instrumented work; pair with maybe_write_trace at the end.
+inline void maybe_start_trace(const flags& f) {
+  if (!f.get("trace", "").empty()) {
+    telemetry::start_tracing();
+  }
+}
+
+/// Writes the collected spans as chrome-trace JSON to the --trace=<path>
+/// file; no-op without the flag. Returns false (after complaining on
+/// stderr) when the file cannot be written.
+inline bool maybe_write_trace(const flags& f) {
+  const std::string path = f.get("trace", "");
+  if (path.empty()) {
+    return true;
+  }
+  telemetry::stop_tracing();
+  return telemetry::write_chrome_trace(path);
+}
+
 /// Writes `root` to the path given by --json=<path>; no-op without the
 /// flag. Returns false (and complains on stderr) when the file cannot be
 /// written, so benches can fail CI instead of silently dropping the
 /// artifact. A "runtime" block (peak RSS, thread count, hardware
-/// concurrency) is appended to every artifact.
+/// concurrency) and a "metrics" block (the global telemetry registry
+/// snapshot, failpoint/process mirrors refreshed) are appended to every
+/// artifact.
 inline bool write_json_artifact(const flags& f, const json_object& root,
                                 std::ostream& err) {
   const std::string path = f.get("json", "");
@@ -242,6 +266,8 @@ inline bool write_json_artifact(const flags& f, const json_object& root,
   }
   json_object enriched = root;
   enriched.set_raw("runtime", runtime_json(f).str());
+  telemetry::collect_process_metrics();
+  enriched.set_raw("metrics", telemetry::metrics_json());
   std::ofstream out(path);
   out << enriched.str() << "\n";
   out.flush();  // surface buffered-write failures before the check

@@ -6,6 +6,7 @@
 
 #include "support/check.h"
 #include "support/failpoint.h"
+#include "telemetry/metrics.h"
 
 namespace isdc::backend {
 
@@ -33,6 +34,12 @@ double fallback_tool::subgraph_delay_ps(const ir::graph& sub) const {
       return l->tool->subgraph_delay_ps(sub);
     } catch (...) {
       ++l->failures;
+      // A link failure means the chain is about to fail over to the next
+      // link (or exhaust): the registry counts failovers, per-link detail
+      // stays in stats().
+      static telemetry::counter& failovers =
+          telemetry::get_counter("backend.fallback.failovers");
+      failovers.add();
       last = std::current_exception();
     }
   }
@@ -79,6 +86,7 @@ double circuit_breaker_tool::subgraph_delay_ps(const ir::graph& sub) const {
         probes_in_flight_ = 0;
       } else {
         ++counters_.short_circuits;
+        telemetry::get_counter("backend.breaker.short_circuits").add();
         throw circuit_open_error(
             "circuit breaker open for '" + child_.name() +
             "': recent failure rate over threshold, cooling down");
@@ -87,6 +95,7 @@ double circuit_breaker_tool::subgraph_delay_ps(const ir::graph& sub) const {
     if (state_ == breaker_state::half_open) {
       if (probes_in_flight_ >= options_.half_open_probes) {
         ++counters_.short_circuits;
+        telemetry::get_counter("backend.breaker.short_circuits").add();
         throw circuit_open_error("circuit breaker half-open for '" +
                                  child_.name() +
                                  "': probe already in flight");
@@ -135,9 +144,11 @@ void circuit_breaker_tool::record(bool probe, bool failure) const {
                        std::chrono::duration<double, std::milli>(
                            options_.cooldown_ms));
       ++counters_.reopens;
+      telemetry::get_counter("backend.breaker.reopens").add();
     } else {
       state_ = breaker_state::closed;
       ++counters_.closes;
+      telemetry::get_counter("backend.breaker.closes").add();
     }
     reset_ring();
     return;
@@ -164,6 +175,7 @@ void circuit_breaker_tool::record(bool probe, bool failure) const {
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(options_.cooldown_ms));
     ++counters_.opens;
+    telemetry::get_counter("backend.breaker.opens").add();
     reset_ring();
   }
 }

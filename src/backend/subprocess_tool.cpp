@@ -20,10 +20,34 @@
 #include "support/failpoint.h"
 #include "support/hash.h"
 #include "support/retry.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace isdc::backend {
 
 namespace {
+
+/// Registry mirrors of the per-pool counters, summed across pools; the
+/// per-instance stats() view stays exact. Looked up once, bumped lock-free.
+struct subprocess_metrics {
+  telemetry::counter& calls =
+      telemetry::get_counter("backend.subprocess.calls");
+  telemetry::counter& restarts =
+      telemetry::get_counter("backend.subprocess.restarts");
+  telemetry::counter& retries =
+      telemetry::get_counter("backend.subprocess.retries");
+  telemetry::counter& timeouts =
+      telemetry::get_counter("backend.subprocess.timeouts");
+  telemetry::counter& crashes =
+      telemetry::get_counter("backend.subprocess.crashes");
+  telemetry::counter& protocol_errors =
+      telemetry::get_counter("backend.subprocess.protocol_errors");
+};
+
+subprocess_metrics& metrics() {
+  static subprocess_metrics m;
+  return m;
+}
 
 using clock_type = std::chrono::steady_clock;
 
@@ -370,13 +394,16 @@ void subprocess_tool::release(std::unique_ptr<worker> w) const {
 }
 
 double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
+  const telemetry::span call_span("backend.subprocess.call");
   ++calls_;
+  metrics().calls.add();
   const std::string request = "eval " + to_text(sub, ';') + "\n";
 
   // Kills the held worker and frees its slot; the next acquire respawns.
   const auto discard = [this](std::unique_ptr<worker> w) {
     kill_worker(*w);
     ++restarts_;
+    metrics().restarts.add();
     {
       std::lock_guard<std::mutex> lk(mu_);
       --live_slots_;
@@ -398,6 +425,7 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++retries_;
+      metrics().retries.add();
       backoff.sleep_before_retry(attempt);
     }
     std::unique_ptr<worker> w = acquire();
@@ -426,6 +454,7 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
     }
     if (sent == io_status::timed_out) {
       ++timeouts_;
+      metrics().timeouts.add();
       transient = "worker stopped accepting requests within the " +
                   std::to_string(options_.timeout_ms) + " ms deadline";
       discard(std::move(w));
@@ -433,6 +462,7 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
     }
     if (sent == io_status::closed) {
       ++crashes_;
+      metrics().crashes.add();
       transient = "worker rejected the request (broken pipe)";
       discard(std::move(w));
       continue;
@@ -463,6 +493,7 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
     }
     if (st == io_status::timed_out) {
       ++timeouts_;
+      metrics().timeouts.add();
       transient = "deadline of " + std::to_string(options_.timeout_ms) +
                   " ms expired";
       discard(std::move(w));
@@ -470,6 +501,7 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
     }
     if (st == io_status::closed) {
       ++crashes_;
+      metrics().crashes.add();
       transient = "worker died mid-request";
       discard(std::move(w));
       continue;
@@ -481,6 +513,7 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
       if (end == nullptr || *end != '\0' || value.empty() ||
           !w->buffer.empty()) {
         ++protocol_errors_;
+        metrics().protocol_errors.add();
         discard(std::move(w));
         throw std::runtime_error(
             "subprocess backend: protocol error: unparseable ok response '" +
@@ -497,6 +530,7 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
         // stale line to the next caller as an answer. Same rule as the
         // ok path: kill it.
         ++protocol_errors_;
+        metrics().protocol_errors.add();
         discard(std::move(w));
       } else {
         // The worker is healthy and in sync; the failure is
@@ -507,6 +541,7 @@ double subprocess_tool::subgraph_delay_ps(const ir::graph& sub) const {
                                message);
     }
     ++protocol_errors_;
+    metrics().protocol_errors.add();
     discard(std::move(w));
     throw std::runtime_error(
         "subprocess backend: protocol error: unexpected worker response '" +

@@ -64,24 +64,19 @@ double latency_downstream::subgraph_delay_ps(const ir::graph& sub) const {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
           .count();
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    min_ms_ = completed_ == 0 ? observed_ms : std::min(min_ms_, observed_ms);
-    max_ms_ = std::max(max_ms_, observed_ms);
-    sum_ms_ += observed_ms;
-    ++completed_;
-  }
+  observed_ms_.record(observed_ms);
   return delay_ps;
 }
 
 latency_downstream::latency_stats latency_downstream::observed() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  const telemetry::histogram::snapshot_data h = observed_ms_.snapshot();
   latency_stats s;
-  s.calls = completed_;
-  s.min_ms = min_ms_;
-  s.max_ms = max_ms_;
-  s.mean_ms = completed_ > 0 ? sum_ms_ / static_cast<double>(completed_)
-                             : 0.0;
+  s.calls = h.count;
+  s.min_ms = h.min;
+  s.max_ms = h.max;
+  s.mean_ms = h.mean();
+  s.p50_ms = h.p50();
+  s.p99_ms = h.p99();
   return s;
 }
 

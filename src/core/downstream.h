@@ -19,11 +19,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "ir/graph.h"
 #include "synth/synthesis.h"
+#include "telemetry/metrics.h"
 
 namespace isdc::core {
 
@@ -115,27 +115,36 @@ public:
   std::uint64_t calls() const { return calls_.load(); }
 
   /// Observed per-call wall-clock latency (sleep + delegate), across
-  /// threads. min/max/mean are 0 before the first call completes.
+  /// threads. calls/min/max/mean are exact (histogram count/min/max/sum);
+  /// p50/p99 are bucket-interpolated from the log-bucketed histogram (see
+  /// telemetry::histogram::snapshot_data::quantile). All 0 before the
+  /// first call completes.
   struct latency_stats {
     std::uint64_t calls = 0;
     double min_ms = 0.0;
     double max_ms = 0.0;
     double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
   };
   latency_stats observed() const;
+
+  /// The full observed-latency distribution (ms-valued), for callers that
+  /// want more than the latency_stats digest.
+  telemetry::histogram::snapshot_data observed_histogram() const {
+    return observed_ms_.snapshot();
+  }
 
 private:
   const downstream_tool& inner_;
   double latency_ms_;
   double jitter_ms_;
   mutable std::atomic<std::uint64_t> calls_{0};
-  // Observed-latency accumulators. A mutex is fine here: every call just
-  // slept for milliseconds, so contention on a few adds is noise.
-  mutable std::mutex stats_mu_;
-  mutable std::uint64_t completed_ = 0;
-  mutable double sum_ms_ = 0.0;
-  mutable double min_ms_ = 0.0;
-  mutable double max_ms_ = 0.0;
+  // Observed-latency distribution, lock-free per record. Log buckets from
+  // 1 us up: constant relative error whether the simulated backend sleeps
+  // microseconds (tests) or seconds (realistic synthesis round-trips).
+  mutable telemetry::histogram observed_ms_{
+      telemetry::histogram::exponential_boundaries(0.001, 2.0, 48)};
 };
 
 }  // namespace isdc::core

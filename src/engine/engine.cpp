@@ -10,6 +10,8 @@
 #include "support/check.h"
 #include "support/hash.h"
 #include "support/mem.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace isdc::engine {
 
@@ -139,6 +141,9 @@ core::isdc_result engine::run(const ir::graph& g,
   ISDC_CHECK(options.compute_threads >= 0);
   ISDC_CHECK(options.memory_budget_mb >= 0.0);
 
+  const telemetry::span run_span("engine.run", tool.name());
+  telemetry::get_counter("engine.runs").add();
+
   if (options.memory_budget_mb > 0.0) {
     // Memory-budgeted path (partition.cpp): streams weakly-connected
     // components through budget-free runs one at a time and merges the
@@ -250,6 +255,21 @@ core::isdc_result engine::run(const ir::graph& g,
   // reads rs and must run before the pool and queue go away.
   const ticket_drain_guard drain_guard{rs};
 
+  // Per-stage instruments, resolved once per run: the span name
+  // "engine.stage.<name>" and the matching wall-clock histogram
+  // "engine.stage.<name>.wall_us". Histogram references are stable for
+  // the process lifetime, so holding raw pointers across iterations is
+  // safe even if other threads register metrics concurrently.
+  std::vector<std::string> stage_span_names;
+  std::vector<telemetry::histogram*> stage_wall_us;
+  stage_span_names.reserve(pipeline_.size());
+  stage_wall_us.reserve(pipeline_.size());
+  for (const std::unique_ptr<stage>& st : pipeline_) {
+    stage_span_names.push_back("engine.stage." + std::string(st->name()));
+    stage_wall_us.push_back(
+        &telemetry::get_histogram(stage_span_names.back() + ".wall_us"));
+  }
+
   // An async pass folds in however much feedback happens to have arrived,
   // so passes are not comparable units of work: the iteration budget and
   // the convergence patience are both measured in *consumed evaluations*,
@@ -280,8 +300,13 @@ core::isdc_result engine::run(const ir::graph& g,
     it.iteration = iter;
 
     bool stopped = false;
-    for (const std::unique_ptr<stage>& st : pipeline_) {
-      if (!st->run(rs, it)) {
+    for (std::size_t si = 0; si < pipeline_.size(); ++si) {
+      const telemetry::span stage_span(stage_span_names[si]);
+      const std::uint64_t t0 = telemetry::trace_now_us();
+      const bool keep_going = pipeline_[si]->run(rs, it);
+      stage_wall_us[si]->record(
+          static_cast<double>(telemetry::trace_now_us() - t0));
+      if (!keep_going) {
         stopped = true;
         break;
       }
@@ -289,6 +314,7 @@ core::isdc_result engine::run(const ir::graph& g,
     if (stopped) {
       break;  // search space exhausted (or a custom stage ended the run)
     }
+    telemetry::get_counter("engine.iterations").add();
     iterations_run = iter;
 
     core::iteration_record rec = make_record(g, current, result.delays,
@@ -335,6 +361,7 @@ core::isdc_result engine::run(const ir::graph& g,
   // update + resolve once more, and account the pass as one extra record,
   // so no downstream result is ever lost.
   if (async && rs.in_flight > 0) {
+    const telemetry::span drain_span("engine.drain");
     iteration_state it;
     it.iteration = iterations_run + 1;
     drain_pending_evaluations(rs, it);

@@ -15,10 +15,30 @@
 #include "support/check.h"
 #include "support/crc32.h"
 #include "support/failpoint.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace isdc::engine {
 
 namespace {
+
+// Global mirrors of the per-instance counters. Every instance reports
+// into the same registry names — a process snapshot sums cache traffic
+// across engines, which matches how fleets share one cache anyway. The
+// per-instance `counters` struct (stats()) remains the exact per-cache
+// view.
+telemetry::counter& hit_metric() {
+  static telemetry::counter& c = telemetry::get_counter("cache.hit");
+  return c;
+}
+telemetry::counter& miss_metric() {
+  static telemetry::counter& c = telemetry::get_counter("cache.miss");
+  return c;
+}
+telemetry::counter& coalesced_metric() {
+  static telemetry::counter& c = telemetry::get_counter("cache.coalesced");
+  return c;
+}
 
 // 8-byte magic; the trailing byte is the container format version.
 // Version 2 (the CRC-checked stream): header (magic + key_schema), then
@@ -74,9 +94,11 @@ std::optional<double> evaluation_cache::lookup(std::uint64_t key) {
   const auto it = entries_.find(key);
   if (it == entries_.end() || !it->second.has_delay) {
     ++counters_.misses;
+    miss_metric().add();
     return std::nullopt;
   }
   ++counters_.hits;
+  hit_metric().add();
   return it->second.delay_ps;
 }
 
@@ -110,13 +132,16 @@ evaluation_cache::acquisition evaluation_cache::try_acquire(
   entry& e = entries_[key];
   if (e.has_delay) {
     ++counters_.hits;
+    hit_metric().add();
     return {acquire_status::hit, e.delay_ps};
   }
   if (e.in_flight) {
     ++counters_.coalesced;
+    coalesced_metric().add();
     return {acquire_status::in_flight, 0.0};
   }
   ++counters_.misses;
+  miss_metric().add();
   e.in_flight = true;
   ++num_in_flight_;
   return {acquire_status::acquired, 0.0};
@@ -128,14 +153,17 @@ evaluation_cache::acquisition evaluation_cache::try_acquire(
   entry& e = entries_[key];
   if (e.has_delay) {
     ++counters_.hits;
+    hit_metric().add();
     return {acquire_status::hit, e.delay_ps};
   }
   if (e.in_flight) {
     ++counters_.coalesced;
+    coalesced_metric().add();
     e.waiters.push_back(make_waiter());
     return {acquire_status::in_flight, 0.0};
   }
   ++counters_.misses;
+  miss_metric().add();
   e.in_flight = true;
   ++num_in_flight_;
   return {acquire_status::acquired, 0.0};
@@ -185,6 +213,8 @@ void evaluation_cache::clear() {
 
 bool evaluation_cache::save(const std::string& path,
                             std::uint64_t key_schema) const {
+  const telemetry::span save_span("cache.save");
+  telemetry::get_counter("cache.saves").add();
   std::vector<std::pair<std::uint64_t, double>> delays;
   {
     std::lock_guard lock(mutex_);
@@ -268,6 +298,8 @@ bool evaluation_cache::save(const std::string& path,
 
 evaluation_cache::load_report evaluation_cache::load_checked(
     const std::string& path, std::uint64_t key_schema) {
+  const telemetry::span load_span("cache.load");
+  telemetry::get_counter("cache.loads").add();
   load_report report;
   std::string bytes;
   {

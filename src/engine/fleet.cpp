@@ -8,6 +8,8 @@
 #include "support/check.h"
 #include "support/failpoint.h"
 #include "support/mem.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace isdc::engine {
 
@@ -67,6 +69,7 @@ fleet_report fleet::run(const std::vector<fleet_job>& jobs,
   report.results.resize(jobs.size());
   const evaluation_cache::counters before = cache_.stats();
 
+  const telemetry::span run_span("fleet.run");
   const auto start = clock_type::now();
   // Dynamic sharding: shard threads (the caller included) pull the next
   // unstarted job from an atomic cursor, so a long design never serializes
@@ -75,6 +78,8 @@ fleet_report fleet::run(const std::vector<fleet_job>& jobs,
     const fleet_job& job = jobs[i];
     fleet_result& out = report.results[i];
     out.name = job.name;
+    const telemetry::span job_span("fleet.job", job.name);
+    telemetry::get_counter("fleet.jobs").add();
     const auto job_start = clock_type::now();
     try {
       ISDC_CHECK(job.graph != nullptr, "fleet job without a graph");
@@ -103,8 +108,14 @@ fleet_report fleet::run(const std::vector<fleet_job>& jobs,
       out.cancelled = out.result.cancelled;
     } catch (...) {
       out.error = std::current_exception();
+      telemetry::get_counter("fleet.job_errors").add();
+    }
+    if (out.cancelled) {
+      telemetry::get_counter("fleet.jobs_cancelled").add();
     }
     out.seconds = seconds_since(job_start);
+    telemetry::get_histogram("fleet.job.wall_us")
+        .record(out.seconds * 1e6);
     out.peak_rss_kb = isdc::peak_rss_kb();
   });
   report.wall_seconds = seconds_since(start);

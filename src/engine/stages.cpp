@@ -16,6 +16,8 @@
 #include "extract/window.h"
 #include "support/cancellation.h"
 #include "support/check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace isdc::engine {
 
@@ -41,6 +43,9 @@ bool is_cancellation(const std::exception_ptr& error) {
 /// stays consistent. Cancelled arrivals are accounted and dropped.
 void consume_arrivals(run_state& rs, iteration_state& it,
                       std::vector<evaluation_arrival> arrivals) {
+  static telemetry::counter& arrived_metric =
+      telemetry::get_counter("engine.async.arrived");
+  arrived_metric.add(arrivals.size());
   std::sort(arrivals.begin(), arrivals.end(),
             [](const evaluation_arrival& a, const evaluation_arrival& b) {
               return a.sequence < b.sequence;
@@ -423,9 +428,13 @@ private:
           ++it.cache_hits;
           break;
         }
-        case evaluation_cache::acquire_status::in_flight:
+        case evaluation_cache::acquire_status::in_flight: {
+          static telemetry::counter& coalesced_metric =
+              telemetry::get_counter("engine.async.coalesced");
+          coalesced_metric.add();
           ++it.evaluations_coalesced;
           break;
+        }
         case evaluation_cache::acquire_status::acquired: {
           // Until the dispatched task owns the ticket (store/abandon on
           // completion), any failure here must release it — otherwise
@@ -442,6 +451,9 @@ private:
             rs.cache.abandon(key, std::current_exception());
             throw;
           }
+          static telemetry::counter& dispatched_metric =
+              telemetry::get_counter("engine.async.dispatched");
+          dispatched_metric.add();
           ++it.evaluations_dispatched;
           break;
         }
@@ -476,7 +488,11 @@ private:
               // for) downstream work it will discard.
               throw cancelled_error("evaluation cancelled before dispatch");
             }
-            arrival.evaluation.delay_ps = tool->subgraph_delay_ps(sub_ir.g);
+            {
+              const telemetry::span eval_span("engine.async.evaluate");
+              arrival.evaluation.delay_ps =
+                  tool->subgraph_delay_ps(sub_ir.g);
+            }
             cache->store(key, arrival.evaluation.delay_ps);
           } catch (...) {
             arrival.error = std::current_exception();

@@ -1,0 +1,343 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace isdc::telemetry::json {
+
+namespace {
+
+class parser {
+public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  value run() {
+    skip_ws();
+    value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const {
+    if (eof()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("invalid literal (expected " + std::string(lit) + ")");
+    }
+    pos_ += lit.size();
+  }
+
+  value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return value{parse_string()};
+      case 't': expect_literal("true"); return value{true};
+      case 'f': expect_literal("false"); return value{false};
+      case 'n': expect_literal("null"); return value{nullptr};
+      default: return parse_number();
+    }
+  }
+
+  value parse_object() {
+    expect('{');
+    object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value{std::move(out)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = take();
+      if (c == '}') {
+        break;
+      }
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return value{std::move(out)};
+  }
+
+  value parse_array() {
+    expect('[');
+    array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value{std::move(out)};
+    }
+    while (true) {
+      skip_ws();
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') {
+        break;
+      }
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return value{std::move(out)};
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+    }
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    // Surrogate pairs: our emitters never produce them (only control
+    // characters get \u escapes) but accept them for robustness.
+    if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 6 <= text_.size() &&
+        text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+      pos_ += 2;
+      unsigned lo = 0;
+      for (int i = 0; i < 4; ++i) {
+        const char c = take();
+        lo <<= 4;
+        if (c >= '0' && c <= '9') {
+          lo |= static_cast<unsigned>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          lo |= static_cast<unsigned>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+          lo |= static_cast<unsigned>(c - 'A' + 10);
+        } else {
+          fail("invalid hex digit in \\u escape");
+        }
+      }
+      if (lo >= 0xDC00 && lo <= 0xDFFF) {
+        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+      } else {
+        fail("unpaired surrogate in \\u escape");
+      }
+    }
+    // UTF-8 encode.
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  value parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    if (eof() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (!eof() && text_[pos_] == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit required after decimal point");
+      }
+      while (!eof() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!eof() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (eof() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit required in exponent");
+      }
+      while (!eof() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    double parsed = 0.0;
+    const std::string_view token = text_.substr(start, pos_ - start);
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), parsed);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      fail("unparseable number");
+    }
+    return value{parsed};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void kind_error(const char* wanted, const value& v) {
+  static const char* const kinds[] = {"null",   "bool",  "number",
+                                      "string", "array", "object"};
+  throw std::runtime_error(std::string("json: expected ") + wanted +
+                           ", got " + kinds[v.data.index()]);
+}
+
+}  // namespace
+
+bool value::as_bool() const {
+  if (!is_bool()) {
+    kind_error("bool", *this);
+  }
+  return std::get<bool>(data);
+}
+
+double value::as_number() const {
+  if (!is_number()) {
+    kind_error("number", *this);
+  }
+  return std::get<double>(data);
+}
+
+const std::string& value::as_string() const {
+  if (!is_string()) {
+    kind_error("string", *this);
+  }
+  return std::get<std::string>(data);
+}
+
+const array& value::as_array() const {
+  if (!is_array()) {
+    kind_error("array", *this);
+  }
+  return std::get<array>(data);
+}
+
+const object& value::as_object() const {
+  if (!is_object()) {
+    kind_error("object", *this);
+  }
+  return std::get<object>(data);
+}
+
+const value& value::at(const std::string& key) const {
+  const object& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw std::runtime_error("json: missing key \"" + key + "\"");
+  }
+  return it->second;
+}
+
+double value::get_or(const std::string& key, double fallback) const {
+  const object& obj = as_object();
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.is_number() ? it->second.as_number()
+                                                   : fallback;
+}
+
+bool value::contains(const std::string& key) const {
+  const object& obj = as_object();
+  return obj.find(key) != obj.end();
+}
+
+value parse(std::string_view text) { return parser(text).run(); }
+
+}  // namespace isdc::telemetry::json

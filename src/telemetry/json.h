@@ -1,0 +1,58 @@
+// A minimal JSON reader for the telemetry artifacts: just enough to parse
+// back what this repo emits (metrics snapshots, chrome traces, bench
+// artifacts) so tools/isdc_stats can pretty-print and diff them and the
+// tests can round-trip the schemas. Full RFC 8259 value grammar (objects,
+// arrays, strings with the common escapes, numbers, true/false/null);
+// objects preserve no duplicate keys (last wins) and iterate sorted.
+#ifndef ISDC_TELEMETRY_JSON_H_
+#define ISDC_TELEMETRY_JSON_H_
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace isdc::telemetry::json {
+
+struct value;
+
+using array = std::vector<value>;
+using object = std::map<std::string, value>;
+
+struct value {
+  std::variant<std::nullptr_t, bool, double, std::string, array, object>
+      data = nullptr;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data); }
+  bool is_bool() const { return std::holds_alternative<bool>(data); }
+  bool is_number() const { return std::holds_alternative<double>(data); }
+  bool is_string() const { return std::holds_alternative<std::string>(data); }
+  bool is_array() const { return std::holds_alternative<array>(data); }
+  bool is_object() const { return std::holds_alternative<object>(data); }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch so
+  /// schema violations surface as descriptive errors, not UB.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const array& as_array() const;
+  const object& as_object() const;
+
+  /// Object member access; throws when not an object or the key is
+  /// absent. `get_or` returns `fallback` instead of throwing on absence.
+  const value& at(const std::string& key) const;
+  double get_or(const std::string& key, double fallback) const;
+  bool contains(const std::string& key) const;
+};
+
+/// Parses one JSON value (surrounding whitespace allowed, trailing
+/// non-space input rejected). Throws std::runtime_error with a position-
+/// annotated message on malformed input.
+value parse(std::string_view text);
+
+}  // namespace isdc::telemetry::json
+
+#endif  // ISDC_TELEMETRY_JSON_H_

@@ -1,0 +1,299 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/failpoint.h"
+#include "support/mem.h"
+
+namespace isdc::telemetry {
+
+histogram::histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  ISDC_CHECK(!boundaries_.empty(), "histogram needs at least one boundary");
+  ISDC_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end(),
+                            std::less_equal<double>()),
+             "histogram boundaries must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      boundaries_.size() + 1);
+}
+
+std::vector<double> histogram::exponential_boundaries(double first,
+                                                      double factor,
+                                                      std::size_t count) {
+  ISDC_CHECK(first > 0.0 && factor > 1.0 && count > 0,
+             "exponential boundaries need first > 0, factor > 1, count > 0");
+  std::vector<double> out;
+  out.reserve(count);
+  double b = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+void histogram::record(double value) {
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - boundaries_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (value < seen && !min_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+histogram::snapshot_data histogram::snapshot() const {
+  snapshot_data s;
+  s.boundaries = boundaries_;
+  s.buckets.resize(boundaries_.size() + 1);
+  for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const double mn = min_.load(std::memory_order_relaxed);
+  const double mx = max_.load(std::memory_order_relaxed);
+  s.min = std::isfinite(mn) ? mn : 0.0;
+  s.max = std::isfinite(mx) ? mx : 0.0;
+  return s;
+}
+
+void histogram::reset() {
+  for (std::size_t i = 0; i < boundaries_.size() + 1; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double histogram::snapshot_data::quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // Lower bound of the first bucket is the observed min; upper bound
+      // of the overflow bucket is the observed max.
+      const double lo = i == 0 ? min : std::max(min, boundaries[i - 1]);
+      const double hi =
+          i < boundaries.size() ? std::min(max, boundaries[i]) : max;
+      const double fraction =
+          std::clamp((rank - before) / static_cast<double>(buckets[i]),
+                     0.0, 1.0);
+      return std::clamp(lo + (hi - lo) * fraction, min, max);
+    }
+  }
+  return max;
+}
+
+registry& registry::global() {
+  // Leaked singleton: instruments may fire from detached threads during
+  // process teardown, so the registry must never be destroyed.
+  static registry* instance = new registry();
+  return *instance;
+}
+
+counter& registry::counter_named(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return *it->second;
+  }
+  return *counters_.emplace(std::string(name), std::make_unique<counter>())
+              .first->second;
+}
+
+gauge& registry::gauge_named(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return *it->second;
+  }
+  return *gauges_.emplace(std::string(name), std::make_unique<gauge>())
+              .first->second;
+}
+
+histogram& registry::histogram_named(std::string_view name,
+                                     std::span<const double> boundaries) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return *it->second;
+  }
+  std::vector<double> bounds =
+      boundaries.empty()
+          ? histogram::exponential_boundaries(1.0, 2.0, 40)
+          : std::vector<double>(boundaries.begin(), boundaries.end());
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<histogram>(std::move(bounds)))
+              .first->second;
+}
+
+registry::snapshot registry::snap() const {
+  snapshot s;
+  std::lock_guard<std::mutex> lk(mu_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.emplace_back(name, c->value());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, g->value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;  // std::map iterates sorted: lists come out name-ordered
+}
+
+void registry::reset_values() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (const auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (const auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string number_json(double v) {
+  if (!std::isfinite(v)) {
+    return "0";  // JSON has no inf/nan; snapshots normalize them away
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string registry::snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    append_json_escaped(out, name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    append_json_escaped(out, name);
+    out += "\":" + number_json(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    append_json_escaped(out, name);
+    out += "\":{\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + number_json(h.sum);
+    out += ",\"min\":" + number_json(h.min);
+    out += ",\"max\":" + number_json(h.max);
+    out += ",\"mean\":" + number_json(h.mean());
+    out += ",\"p50\":" + number_json(h.p50());
+    out += ",\"p90\":" + number_json(h.p90());
+    out += ",\"p99\":" + number_json(h.p99());
+    out += ",\"boundaries\":[";
+    for (std::size_t i = 0; i < h.boundaries.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += number_json(h.boundaries[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string metrics_json() { return registry::global().snap().to_json(); }
+
+void reset_metrics() { registry::global().reset_values(); }
+
+void collect_process_metrics() {
+  for (const failpoint::site_stats& site : failpoint::stats()) {
+    // Counters are monotone and the failpoint stats are already totals:
+    // overwrite via reset+add so repeated collection never double-counts.
+    counter& calls = get_counter("failpoint." + site.site + ".calls");
+    calls.reset();
+    calls.add(site.calls);
+    counter& fires = get_counter("failpoint." + site.site + ".fires");
+    fires.reset();
+    fires.add(site.fires);
+  }
+  get_gauge("process.peak_rss_kb")
+      .set(static_cast<double>(isdc::peak_rss_kb()));
+}
+
+}  // namespace isdc::telemetry

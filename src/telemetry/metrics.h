@@ -1,0 +1,205 @@
+// The process-wide metrics surface: named counters, gauges and
+// fixed-boundary / log-bucketed latency histograms behind one thread-safe
+// registry, so every layer (engine stages, the evaluation cache, fleet
+// shards, subprocess pools, failpoints) reports through a single naming
+// scheme instead of ad-hoc per-struct atomics.
+//
+// Names are hierarchical dotted paths — "engine.stage.evaluate.wall_us",
+// "cache.hit", "backend.subprocess.restarts" — with the first component
+// acting as the subsystem. The full catalogue lives in README
+// "Observability".
+//
+// Hot paths are cheap: counter::add and histogram::record are a handful of
+// relaxed atomic operations with no locks, so instruments can live on
+// production paths. Registry lookups take a mutex — call sites cache the
+// returned reference (it is stable for the life of the process; entries
+// are never erased, reset_values() only zeroes them).
+//
+// Metrics are pure observation: nothing in this header feeds back into
+// scheduling decisions, so runs are bit-identical with metrics hot or
+// cold (the fleet benches assert exactly that).
+#ifndef ISDC_TELEMETRY_METRICS_H_
+#define ISDC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace isdc::telemetry {
+
+/// Monotone event count. All operations are relaxed atomics: totals are
+/// exact, cross-counter ordering is not promised (snapshots of a running
+/// system are best-effort consistent, like any scrape).
+class counter {
+public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, RSS, fitted slope).
+class gauge {
+public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram with exact count/sum/min/max and
+/// bucket-interpolated quantiles. Boundaries are strictly increasing
+/// *upper* bounds: bucket i counts values v with boundaries[i-1] < v <=
+/// boundaries[i]; one implicit overflow bucket catches v > boundaries
+/// .back(). Use exponential_boundaries for the latency-style log bucketing
+/// (constant relative error per bucket across decades).
+///
+/// record() is lock-free: one bucket fetch_add plus relaxed count/sum
+/// accumulation and min/max CAS loops. Quantiles are computed at snapshot
+/// time only.
+class histogram {
+public:
+  /// `boundaries` must be non-empty and strictly increasing.
+  explicit histogram(std::vector<double> boundaries);
+
+  /// `count` boundaries: first, first*factor, first*factor^2, ...
+  /// (factor > 1). The default registry histogram uses
+  /// exponential_boundaries(1.0, 2.0, 40): 1 us .. ~5.5e11 us in
+  /// factor-of-two buckets, wide enough for any wall-clock metric.
+  static std::vector<double> exponential_boundaries(double first,
+                                                    double factor,
+                                                    std::size_t count);
+
+  void record(double value);
+
+  struct snapshot_data {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< exact observed min (0 when count == 0)
+    double max = 0.0;  ///< exact observed max (0 when count == 0)
+    std::vector<double> boundaries;
+    /// boundaries.size() + 1 entries; the last is the overflow bucket.
+    std::vector<std::uint64_t> buckets;
+
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+
+    /// Bucket-interpolated quantile, q in [0, 1]. The rule (stable, so
+    /// golden tests can pin values): rank r = q * count; walk buckets
+    /// until the cumulative count reaches r, then interpolate linearly
+    /// between the bucket's lower and upper bound by the fraction of the
+    /// bucket's population below r. The first bucket's lower bound is the
+    /// observed min; the overflow bucket's upper bound is the observed
+    /// max; the result is clamped to [min, max]. Returns 0 when empty.
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+  };
+
+  snapshot_data snapshot() const;
+  void reset();
+
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+private:
+  std::vector<double> boundaries_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Thread-safe name -> metric map. Instruments are created on first use
+/// and live for the registry's lifetime; returned references are stable,
+/// so call sites look a metric up once (e.g. a function-local static) and
+/// pay only the relaxed-atomic cost per event afterwards.
+class registry {
+public:
+  /// The process-wide registry every built-in instrument reports to.
+  static registry& global();
+
+  counter& counter_named(std::string_view name);
+  gauge& gauge_named(std::string_view name);
+  /// Default boundaries: exponential_boundaries(1.0, 2.0, 40) — log
+  /// buckets suited to microsecond-valued wall-clock metrics. Explicit
+  /// boundaries apply only on first creation (later calls return the
+  /// existing histogram unchanged).
+  histogram& histogram_named(std::string_view name,
+                             std::span<const double> boundaries = {});
+
+  /// Point-in-time copy of every registered metric, each list sorted by
+  /// name. Best-effort consistent while instruments are hot (like any
+  /// scrape of a live system).
+  struct snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, histogram::snapshot_data>> histograms;
+
+    /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+    /// min,max,mean,p50,p90,p99,boundaries:[...],buckets:[...]}}} —
+    /// the schema tools/isdc_stats reads and telemetry/json.h can parse
+    /// back.
+    std::string to_json() const;
+  };
+  snapshot snap() const;
+
+  /// Zeroes every value; registrations (and cached references) survive.
+  void reset_values();
+
+private:
+  mutable std::mutex mu_;
+  // Node-based maps: references handed out must never move.
+  std::map<std::string, std::unique_ptr<counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<histogram>, std::less<>> histograms_;
+};
+
+/// Global-registry conveniences — the spellings instruments actually use.
+inline counter& get_counter(std::string_view name) {
+  return registry::global().counter_named(name);
+}
+inline gauge& get_gauge(std::string_view name) {
+  return registry::global().gauge_named(name);
+}
+inline histogram& get_histogram(std::string_view name,
+                                std::span<const double> boundaries = {}) {
+  return registry::global().histogram_named(name, boundaries);
+}
+
+/// Snapshot of the global registry rendered as JSON.
+std::string metrics_json();
+
+/// Zeroes every metric in the global registry (delta measurements around
+/// a run; bench artifacts reset before the instrumented arm).
+void reset_metrics();
+
+/// Pull-style mirrors that have no natural push site: copies every armed
+/// failpoint's per-site calls/fires into "failpoint.<site>.calls"/".fires"
+/// counters and samples process peak RSS into "process.peak_rss_kb". Call
+/// before snapshotting (bench/common.h does, for every artifact).
+void collect_process_metrics();
+
+}  // namespace isdc::telemetry
+
+#endif  // ISDC_TELEMETRY_METRICS_H_

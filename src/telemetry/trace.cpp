@@ -1,0 +1,247 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+
+namespace isdc::telemetry {
+
+namespace {
+
+std::uint64_t steady_now_us() {
+  // Relative to the first call, so timelines start near zero and the
+  // uint64 microsecond math never worries about epoch magnitude.
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin)
+          .count());
+}
+
+std::atomic<trace_clock_fn> clock_fn{nullptr};
+std::atomic<bool> active{false};
+
+/// One thread's span storage. Owned jointly by the global buffer list and
+/// the writing thread's thread_local handle, so neither a thread exiting
+/// nor start_tracing() clearing the list can leave the other with a
+/// dangling pointer.
+struct thread_buffer {
+  std::mutex mu;  ///< uncontended except while an export copies events
+  std::vector<trace_event> ring;
+  std::uint64_t written = 0;
+  std::uint32_t tid = 0;
+};
+
+struct trace_state {
+  std::atomic<std::uint64_t> generation{0};
+  std::mutex mu;  ///< guards buffers/next_tid/capacity
+  std::vector<std::shared_ptr<thread_buffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::size_t capacity = 1 << 16;
+};
+
+trace_state& state() {
+  static trace_state* s = new trace_state();  // leaked: threads may write
+  return *s;                                  // during process teardown
+}
+
+/// This thread's buffer for the current trace generation. The common case
+/// (generation unchanged) is one relaxed atomic load; only a generation
+/// change — a new start_tracing() — takes the global lock to register a
+/// fresh buffer and claim the next dense tid.
+thread_buffer& local_buffer() {
+  thread_local std::shared_ptr<thread_buffer> buf;
+  thread_local std::uint64_t buf_generation = ~0ULL;
+  trace_state& st = state();
+  if (buf == nullptr ||
+      buf_generation != st.generation.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(st.mu);
+    buf = std::make_shared<thread_buffer>();
+    buf->ring.resize(st.capacity);
+    buf->tid = st.next_tid++;
+    buf_generation = st.generation.load(std::memory_order_relaxed);
+    st.buffers.push_back(buf);
+  }
+  return *buf;
+}
+
+void copy_truncated(char* dst, std::size_t dst_size, std::string_view src) {
+  const std::size_t n = std::min(dst_size - 1, src.size());
+  if (n > 0) {  // a default string_view has a null data() pointer
+    std::memcpy(dst, src.data(), n);
+  }
+  dst[n] = '\0';
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+void set_trace_clock(trace_clock_fn fn) {
+  clock_fn.store(fn, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_us() {
+  const trace_clock_fn fn = clock_fn.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : steady_now_us();
+}
+
+bool tracing_active() { return active.load(std::memory_order_relaxed); }
+
+void start_tracing(std::size_t events_per_thread) {
+  trace_state& st = state();
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    st.buffers.clear();  // threads re-register via the generation check
+    st.next_tid = 1;
+    st.capacity = std::max<std::size_t>(1, events_per_thread);
+    st.generation.fetch_add(1, std::memory_order_release);
+  }
+  active.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() { active.store(false, std::memory_order_relaxed); }
+
+span::span(std::string_view name, std::string_view detail) {
+  if (!active.load(std::memory_order_relaxed)) {
+    return;  // the ~1 ns disabled path: one relaxed load, nothing else
+  }
+  active_ = true;
+  copy_truncated(name_, sizeof(name_), name);
+  copy_truncated(detail_, sizeof(detail_), detail);
+  start_us_ = trace_now_us();
+}
+
+span::~span() {
+  if (!active_) {
+    return;
+  }
+  const std::uint64_t end_us = trace_now_us();
+  thread_buffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  trace_event& slot = buf.ring[buf.written % buf.ring.size()];
+  ++buf.written;
+  std::memcpy(slot.name, name_, sizeof(name_));
+  std::memcpy(slot.detail, detail_, sizeof(detail_));
+  slot.ts_us = start_us_;
+  slot.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  slot.tid = buf.tid;
+}
+
+std::vector<trace_event> collected_events() {
+  trace_state& st = state();
+  std::vector<std::shared_ptr<thread_buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    buffers = st.buffers;
+  }
+  std::vector<trace_event> events;
+  for (const std::shared_ptr<thread_buffer>& buf : buffers) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    const std::size_t kept =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            buf->written, static_cast<std::uint64_t>(buf->ring.size())));
+    // Oldest kept event first: when the ring wrapped, that is the slot
+    // the next write would overwrite.
+    const std::size_t start = buf->written > buf->ring.size()
+                                  ? buf->written % buf->ring.size()
+                                  : 0;
+    for (std::size_t i = 0; i < kept; ++i) {
+      events.push_back(buf->ring[(start + i) % buf->ring.size()]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const trace_event& a, const trace_event& b) {
+              if (a.ts_us != b.ts_us) {
+                return a.ts_us < b.ts_us;
+              }
+              if (a.tid != b.tid) {
+                return a.tid < b.tid;
+              }
+              return a.dur_us > b.dur_us;  // parents before children
+            });
+  return events;
+}
+
+std::uint64_t dropped_events() {
+  trace_state& st = state();
+  std::vector<std::shared_ptr<thread_buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    buffers = st.buffers;
+  }
+  std::uint64_t dropped = 0;
+  for (const std::shared_ptr<thread_buffer>& buf : buffers) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    if (buf->written > buf->ring.size()) {
+      dropped += buf->written - buf->ring.size();
+    }
+  }
+  return dropped;
+}
+
+void write_chrome_trace(std::ostream& out) {
+  const std::vector<trace_event> events = collected_events();
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  for (const trace_event& e : events) {
+    if (!first) {
+      json += ",";
+    }
+    first = false;
+    json += "{\"name\":\"";
+    append_json_escaped(json, e.name);
+    // Category = the subsystem: the name's first dotted component.
+    const char* dot = std::strchr(e.name, '.');
+    const std::size_t cat_len =
+        dot != nullptr ? static_cast<std::size_t>(dot - e.name)
+                       : std::strlen(e.name);
+    json += "\",\"cat\":\"";
+    append_json_escaped(json,
+                        std::string(e.name, cat_len).c_str());
+    json += "\",\"ph\":\"X\",\"ts\":" + std::to_string(e.ts_us);
+    json += ",\"dur\":" + std::to_string(e.dur_us);
+    json += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (e.detail[0] != '\0') {
+      json += ",\"args\":{\"detail\":\"";
+      append_json_escaped(json, e.detail);
+      json += "\"}";
+    }
+    json += "}";
+  }
+  json += "],\"displayTimeUnit\":\"ms\"}";
+  out << json << "\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  write_chrome_trace(out);
+  out.flush();
+  if (!out) {
+    std::cerr << "failed to write chrome trace: " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace isdc::telemetry

@@ -1,0 +1,113 @@
+// Trace spans: RAII wall-clock intervals collected into per-thread ring
+// buffers and exported as chrome-trace / Perfetto JSON ("--trace=FILE" on
+// the benches), so one run yields a flame-style timeline of the six
+// engine stages, the async dispatch pool and every fleet shard.
+//
+//   {
+//     telemetry::span sp("engine.stage.evaluate");
+//     ... the stage ...
+//   }  // span end: one complete ("ph":"X") event lands in this thread's
+//      // ring buffer
+//
+// Collection is off by default: a span constructed while tracing is
+// inactive is one relaxed atomic load and nothing else (~1 ns — guarded
+// by BM_span_disabled in bench_micro_kernels), so spans live permanently
+// on production paths. start_tracing() arms collection and clears any
+// previous events; stop_tracing() disarms; write_chrome_trace() renders
+// whatever was collected.
+//
+// The clock is injectable (set_trace_clock), so tests and replay get
+// bit-deterministic timelines; the default is steady_clock microseconds
+// since the first use. Ring buffers overwrite oldest events when full
+// (dropped_events() reports how many), so tracing a long run costs
+// bounded memory.
+//
+// Thread model: spans write only to their own thread's buffer (a
+// per-buffer mutex makes the export race-free; the fast path is an
+// uncontended lock). Buffers register themselves on first use and
+// survive thread exit until the next start_tracing().
+#ifndef ISDC_TELEMETRY_TRACE_H_
+#define ISDC_TELEMETRY_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isdc::telemetry {
+
+/// Microsecond timestamp source. Injected clocks must be monotone
+/// non-decreasing; they are read concurrently from every traced thread.
+using trace_clock_fn = std::uint64_t (*)();
+
+/// Installs `fn` as the timestamp source (nullptr restores the default
+/// steady_clock). Not meant to be swapped mid-trace.
+void set_trace_clock(trace_clock_fn fn);
+
+/// Current trace time in microseconds (the injected clock, or steady
+/// clock relative to its first use).
+std::uint64_t trace_now_us();
+
+/// True while spans are being collected.
+bool tracing_active();
+
+/// Arms collection: clears previously collected events, resets thread-id
+/// assignment, sizes each thread's ring buffer to `events_per_thread`.
+void start_tracing(std::size_t events_per_thread = 1 << 16);
+
+/// Disarms collection; collected events stay readable until the next
+/// start_tracing().
+void stop_tracing();
+
+/// One finished span. `name` and `detail` are truncated copies (spans
+/// don't allocate); `tid` is a small dense id assigned per thread in
+/// first-event order after each start_tracing().
+struct trace_event {
+  char name[48] = {};
+  char detail[24] = {};  ///< optional label ("" = none), e.g. a job name
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+};
+
+/// RAII span: construction samples the clock and copies name/detail into
+/// fixed-size internal buffers (truncating — no allocation, no lifetime
+/// requirements on the arguments), destruction records one trace_event.
+/// Inactive (tracing off at construction) spans cost one relaxed load.
+class span {
+public:
+  explicit span(std::string_view name, std::string_view detail = {});
+  ~span();
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+private:
+  std::uint64_t start_us_ = 0;
+  char name_[48];
+  char detail_[24];
+  bool active_ = false;
+};
+
+/// All collected events, merged across threads and sorted by (ts, tid,
+/// dur descending — parents before their children at equal timestamps).
+std::vector<trace_event> collected_events();
+
+/// Events overwritten because some thread's ring filled.
+std::uint64_t dropped_events();
+
+/// Renders the collected events as chrome-trace JSON (the "traceEvents"
+/// array-of-objects format; load in Perfetto / chrome://tracing). Each
+/// span becomes a complete event: {"name","cat","ph":"X","ts","dur",
+/// "pid","tid"} with the category derived from the name's first dotted
+/// component and a {"args":{"detail":...}} block when a detail was set.
+void write_chrome_trace(std::ostream& out);
+
+/// write_chrome_trace to a file; false (with a complaint on stderr) when
+/// the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace isdc::telemetry
+
+#endif  // ISDC_TELEMETRY_TRACE_H_

@@ -1,0 +1,591 @@
+// Tests for the telemetry subsystem: metrics registry (counters, gauges,
+// log-bucketed histograms with pinned quantile semantics), RAII trace
+// spans with an injected clock, chrome-trace export, the minimal JSON
+// parser, and the engine integration (spans for all six stages; registry
+// cache counters mirroring the legacy evaluation_cache counters).
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "ir/builder.h"
+#include "support/failpoint.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace isdc::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counters / gauges / registry
+
+TEST(CounterTest, AddAndReset) {
+  counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(RegistryTest, ReferencesAreStableAndResetPreservesThem) {
+  counter& a = get_counter("test.registry.stable");
+  a.add(7);
+  // Same name -> same object, even after many other registrations.
+  for (int i = 0; i < 100; ++i) {
+    get_counter("test.registry.filler." + std::to_string(i));
+  }
+  counter& b = get_counter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+
+  gauge& g1 = get_gauge("test.registry.gauge");
+  histogram& h1 = get_histogram("test.registry.hist");
+  reset_metrics();
+  // reset_values zeroes but never invalidates cached references.
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(&get_gauge("test.registry.gauge"), &g1);
+  EXPECT_EQ(&get_histogram("test.registry.hist"), &h1);
+}
+
+TEST(RegistryTest, ExplicitBoundariesApplyOnFirstCreationOnly) {
+  const std::vector<double> custom{1.0, 10.0, 100.0};
+  histogram& h = get_histogram("test.registry.custom_bounds", custom);
+  EXPECT_EQ(h.boundaries(), custom);
+  // A later lookup with different boundaries returns the existing one.
+  const std::vector<double> other{5.0, 50.0};
+  histogram& again = get_histogram("test.registry.custom_bounds", other);
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.boundaries(), custom);
+}
+
+TEST(RegistryTest, CounterHammerIsExact) {
+  // Concurrent add()s over one shared counter: relaxed atomics still
+  // yield an exact total (this is also the TSan exercise).
+  counter& c = get_counter("test.hammer.counter");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, ConcurrentHistogramRecordKeepsExactCountAndSum) {
+  histogram& h = get_histogram("test.hammer.hist");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(2.0);
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  const histogram::snapshot_data s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(s.sum, 2.0 * kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram semantics
+
+TEST(HistogramTest, ExponentialBoundaries) {
+  const std::vector<double> b = histogram::exponential_boundaries(1.0, 2.0, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 4.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+  EXPECT_DOUBLE_EQ(b[4], 16.0);
+}
+
+TEST(HistogramTest, BucketAssignmentUsesUpperBounds) {
+  // Bucket i holds boundaries[i-1] < v <= boundaries[i]; the implicit
+  // last bucket catches the overflow.
+  histogram h({1.0, 2.0, 4.0});
+  h.record(1.0);   // bucket 0 (v <= 1.0)
+  h.record(1.5);   // bucket 1
+  h.record(2.0);   // bucket 1 (upper bound inclusive)
+  h.record(3.0);   // bucket 2
+  h.record(100.0); // overflow
+  const histogram::snapshot_data s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 2u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.sum, 107.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 21.5);
+}
+
+TEST(HistogramTest, GoldenQuantiles) {
+  // Pin the documented interpolation rule: rank r = q * count; walk
+  // buckets to the one whose cumulative count reaches r; interpolate
+  // linearly between the bucket's bounds by the within-bucket fraction.
+  // First bucket's lower bound is the observed min; clamped to [min,max].
+  histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) {
+    h.record(11.0 + i);  // 11..20, all land in bucket 1 (10 < v <= 20)
+  }
+  const histogram::snapshot_data s = h.snapshot();
+  ASSERT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.min, 11.0);
+  EXPECT_DOUBLE_EQ(s.max, 20.0);
+  // All mass sits in bucket 1 whose raw bounds are [10, 20]; the lower
+  // bound tightens to the observed min (11). Rank r = 5 for p50: fraction
+  // below = 5/10, interpolated = 11 + 0.5 * (20 - 11) = 15.5.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 15.5);
+  // p90: r = 9 -> 11 + 0.9 * 9 = 19.1.
+  EXPECT_NEAR(s.quantile(0.9), 19.1, 1e-9);
+  // p99: r = 9.9 -> 11 + 0.99 * 9 = 19.91.
+  EXPECT_NEAR(s.quantile(0.99), 19.91, 1e-9);
+  // q = 0 pins to the (tightened) lower bound, q = 1 to the max.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 11.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, QuantileSpansMultipleBuckets) {
+  histogram h({10.0, 20.0, 40.0});
+  // 5 values in bucket 0 (min 2), 5 in bucket 2 (max 40).
+  for (int i = 0; i < 5; ++i) {
+    h.record(2.0 + i);    // 2..6
+    h.record(36.0 + i);   // 36..40
+  }
+  const histogram::snapshot_data s = h.snapshot();
+  ASSERT_EQ(s.count, 10u);
+  // p50: r = 5 lands exactly at the end of bucket 0, whose bounds are
+  // [min=2, 10]: 2 + (5/5) * (10 - 2) = 10.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+  // p90: r = 9 -> bucket 2 ([20, 40]) holds ranks 5..10; fraction
+  // (9 - 5) / 5 = 0.8 -> 20 + 0.8 * 20 = 36.
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 36.0);
+}
+
+TEST(HistogramTest, OverflowBucketInterpolatesToObservedMax) {
+  histogram h({10.0});
+  h.record(50.0);
+  h.record(100.0);
+  const histogram::snapshot_data s = h.snapshot();
+  // Both values overflow; the overflow bucket's bounds tighten to the
+  // observed [min=50, max=100]. p50: r = 1 -> 50 + (1/2) * 50 = 75.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 75.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  histogram h({1.0, 2.0});
+  const histogram::snapshot_data s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+
+TEST(JsonTest, ParsesScalarsArraysObjects) {
+  const json::value v = json::parse(
+      R"({"a": 1.5, "b": [true, false, null, "x\né"], "c": {"d": -2e3}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.5);
+  const json::array& arr = v.at("b").as_array();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_FALSE(arr[1].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_EQ(arr[3].as_string(), "x\n\xc3\xa9");
+  EXPECT_DOUBLE_EQ(v.at("c").at("d").as_number(), -2000.0);
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("zzz"));
+  EXPECT_DOUBLE_EQ(v.get_or("missing", 9.0), 9.0);
+}
+
+TEST(JsonTest, ParsesSurrogatePairs) {
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  const json::value v = json::parse(R"(["😀"])");
+  EXPECT_EQ(v.as_array()[0].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), std::runtime_error);
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json::parse("truish"), std::runtime_error);
+  EXPECT_THROW(json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json::parse("1 2"), std::runtime_error);  // trailing garbage
+  EXPECT_THROW(json::parse("[1, -]"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1.]"), std::runtime_error);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  const json::value v = json::parse("[1]");
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+  EXPECT_THROW(v.as_array()[0].as_string(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot JSON round-trip
+
+TEST(SnapshotTest, JsonRoundTripsThroughParser) {
+  reset_metrics();
+  get_counter("test.snap.counter").add(12);
+  get_gauge("test.snap.gauge").set(3.25);
+  histogram& h = get_histogram("test.snap.hist");
+  h.record(5.0);
+  h.record(9.0);
+
+  const json::value v = json::parse(metrics_json());
+  EXPECT_DOUBLE_EQ(v.at("counters").at("test.snap.counter").as_number(),
+                   12.0);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("test.snap.gauge").as_number(), 3.25);
+  const json::value& hist = v.at("histograms").at("test.snap.hist");
+  EXPECT_DOUBLE_EQ(hist.at("count").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_number(), 14.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").as_number(), 7.0);
+  // The snapshot carries the same quantiles the in-memory rule computes.
+  const histogram::snapshot_data s = h.snapshot();
+  EXPECT_DOUBLE_EQ(hist.at("p50").as_number(), s.p50());
+  EXPECT_DOUBLE_EQ(hist.at("p99").as_number(), s.p99());
+  EXPECT_EQ(hist.at("boundaries").as_array().size(), s.boundaries.size());
+  EXPECT_EQ(hist.at("buckets").as_array().size(), s.buckets.size());
+}
+
+TEST(SnapshotTest, FailpointMirrorViaCollectProcessMetrics) {
+  reset_metrics();
+  {
+    failpoint::scoped_arm arm("telemetry.test.site=fail@n=1");
+    // One fire, one further (non-firing) call at the site.
+    EXPECT_NE(failpoint::maybe_fail("telemetry.test.site"),
+              failpoint::kind::none);
+    EXPECT_EQ(failpoint::maybe_fail("telemetry.test.site"),
+              failpoint::kind::none);
+    collect_process_metrics();
+    EXPECT_EQ(get_counter("failpoint.telemetry.test.site.calls").value(), 2u);
+    EXPECT_EQ(get_counter("failpoint.telemetry.test.site.fires").value(), 1u);
+    // The mirror is reset+add, not accumulate: collecting twice must not
+    // double the values.
+    collect_process_metrics();
+    EXPECT_EQ(get_counter("failpoint.telemetry.test.site.calls").value(), 2u);
+    EXPECT_EQ(get_counter("failpoint.telemetry.test.site.fires").value(), 1u);
+  }
+  EXPECT_GT(get_gauge("process.peak_rss_kb").value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+
+// Deterministic clock for span tests: each call advances 100 us.
+std::atomic<std::uint64_t> fake_clock_ticks{0};
+std::uint64_t fake_clock() {
+  return fake_clock_ticks.fetch_add(1) * 100;
+}
+
+class ScopedFakeClock {
+public:
+  ScopedFakeClock() {
+    fake_clock_ticks.store(0);
+    set_trace_clock(&fake_clock);
+  }
+  ~ScopedFakeClock() {
+    set_trace_clock(nullptr);
+    stop_tracing();
+  }
+};
+
+TEST(TraceTest, DisabledSpanCollectsNothing) {
+  stop_tracing();
+  {
+    const span sp("test.trace.noop", "detail");
+  }
+  EXPECT_FALSE(tracing_active());
+}
+
+TEST(TraceTest, DeterministicSpansWithInjectedClock) {
+  ScopedFakeClock clock;
+  start_tracing();
+  EXPECT_TRUE(tracing_active());
+  {
+    const span outer("test.trace.outer", "job-7");  // ts 0
+    {
+      const span inner("test.trace.inner");  // ts 100, ends at 200
+    }
+  }  // outer ends at 300
+  stop_tracing();
+
+  const std::vector<trace_event> events = collected_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by ts: outer (ts 0) before inner (ts 100).
+  EXPECT_STREQ(events[0].name, "test.trace.outer");
+  EXPECT_STREQ(events[0].detail, "job-7");
+  EXPECT_EQ(events[0].ts_us, 0u);
+  EXPECT_EQ(events[0].dur_us, 300u);
+  EXPECT_STREQ(events[1].name, "test.trace.inner");
+  EXPECT_STREQ(events[1].detail, "");
+  EXPECT_EQ(events[1].ts_us, 100u);
+  EXPECT_EQ(events[1].dur_us, 100u);
+  // Both on the same thread -> same dense tid, assigned from 1.
+  EXPECT_EQ(events[0].tid, 1u);
+  EXPECT_EQ(events[1].tid, 1u);
+  EXPECT_EQ(dropped_events(), 0u);
+}
+
+TEST(TraceTest, NamesAreTruncatedNotOverrun) {
+  ScopedFakeClock clock;
+  start_tracing();
+  const std::string long_name(200, 'n');
+  const std::string long_detail(200, 'd');
+  {
+    const span sp(long_name, long_detail);
+  }
+  stop_tracing();
+  const std::vector<trace_event> events = collected_events();
+  ASSERT_EQ(events.size(), 1u);
+  // Fixed buffers keep a terminating NUL.
+  EXPECT_EQ(std::string(events[0].name), std::string(47, 'n'));
+  EXPECT_EQ(std::string(events[0].detail), std::string(23, 'd'));
+}
+
+TEST(TraceTest, RingOverflowDropsOldestAndCounts) {
+  ScopedFakeClock clock;
+  start_tracing(/*events_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) {
+    const span sp("test.trace.ring." + std::to_string(i));
+  }
+  stop_tracing();
+  const std::vector<trace_event> events = collected_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(dropped_events(), 6u);
+  // The survivors are the newest four, oldest-first.
+  EXPECT_STREQ(events[0].name, "test.trace.ring.6");
+  EXPECT_STREQ(events[3].name, "test.trace.ring.9");
+}
+
+TEST(TraceTest, StartTracingClearsPriorEventsAndReassignsTids) {
+  ScopedFakeClock clock;
+  start_tracing();
+  {
+    const span sp("test.trace.first");
+  }
+  start_tracing();  // clears
+  EXPECT_TRUE(collected_events().empty());
+  {
+    const span sp("test.trace.second");
+  }
+  stop_tracing();
+  const std::vector<trace_event> events = collected_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.trace.second");
+  EXPECT_EQ(events[0].tid, 1u);  // tid assignment restarts per start_tracing
+}
+
+TEST(TraceTest, SpansFromManyThreadsGetDenseTids) {
+  ScopedFakeClock clock;
+  start_tracing();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < 5; ++i) {
+        const span sp("test.trace.mt", "t" + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  stop_tracing();
+  const std::vector<trace_event> events = collected_events();
+  ASSERT_EQ(events.size(), 5u * kThreads);
+  std::set<std::uint32_t> tids;
+  for (const trace_event& e : events) {
+    tids.insert(e.tid);
+  }
+  ASSERT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(*tids.begin(), 1u);  // dense, starting at 1
+  EXPECT_EQ(*tids.rbegin(), static_cast<std::uint32_t>(kThreads));
+}
+
+TEST(TraceTest, ChromeTraceJsonSchemaRoundTrip) {
+  ScopedFakeClock clock;
+  start_tracing();
+  {
+    const span sp("engine.stage.fake", "w1");  // ts 0, dur 100
+  }
+  {
+    const span sp("cache.fake");  // ts 200, dur 100
+  }
+  stop_tracing();
+
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const json::value v = json::parse(out.str());
+  ASSERT_TRUE(v.is_object());
+  const json::array& evs = v.at("traceEvents").as_array();
+  ASSERT_EQ(evs.size(), 2u);
+
+  const json::value& e0 = evs[0];
+  EXPECT_EQ(e0.at("name").as_string(), "engine.stage.fake");
+  // Category = first dotted component of the name.
+  EXPECT_EQ(e0.at("cat").as_string(), "engine");
+  EXPECT_EQ(e0.at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(e0.at("ts").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(e0.at("dur").as_number(), 100.0);
+  EXPECT_TRUE(e0.contains("pid"));
+  EXPECT_TRUE(e0.contains("tid"));
+  EXPECT_EQ(e0.at("args").at("detail").as_string(), "w1");
+
+  const json::value& e1 = evs[1];
+  EXPECT_EQ(e1.at("cat").as_string(), "cache");
+  // No detail -> no args block.
+  EXPECT_FALSE(e1.contains("args"));
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+
+/// Deterministic downstream: delay derived from the graph size.
+class sized_downstream final : public core::downstream_tool {
+public:
+  double subgraph_delay_ps(const ir::graph& g) const override {
+    return 500.0 + 10.0 * static_cast<double>(g.num_nodes());
+  }
+  std::string name() const override { return "sized"; }
+};
+
+ir::graph integration_graph() {
+  ir::graph g("chain");
+  ir::builder bl(g);
+  ir::node_id v = bl.input(32, "x");
+  const ir::node_id y = bl.input(32, "y");
+  for (int i = 0; i < 8; ++i) {
+    v = bl.add(v, y);
+  }
+  g.mark_output(v);
+  return g;
+}
+
+core::isdc_options integration_options() {
+  core::isdc_options opts;
+  opts.base.clock_period_ps = 2500.0;
+  opts.max_iterations = 4;
+  opts.subgraphs_per_iteration = 2;
+  opts.num_threads = 2;
+  return opts;
+}
+
+TEST(EngineTelemetryTest, RunEmitsAllSixStageSpansAndMirrorsCacheCounters) {
+  const synth::delay_model model{synth::synthesis_options{}};
+  const ir::graph g = integration_graph();
+  sized_downstream tool;
+
+  reset_metrics();
+  start_tracing();
+  engine::engine e;
+  const core::isdc_result result =
+      e.run(g, tool, integration_options(), &model);
+  stop_tracing();
+  ASSERT_GT(result.iterations, 0);
+
+  // Every one of the six stages appears as a span and as a wall-time
+  // histogram, plus the engine.run umbrella with the tool name as detail.
+  std::set<std::string> span_names;
+  bool saw_run_span_with_tool_detail = false;
+  for (const trace_event& ev : collected_events()) {
+    span_names.insert(ev.name);
+    if (std::string_view(ev.name) == "engine.run" &&
+        std::string_view(ev.detail) == "sized") {
+      saw_run_span_with_tool_detail = true;
+    }
+  }
+  EXPECT_TRUE(saw_run_span_with_tool_detail);
+  const char* stages[] = {"enumerate", "rank",   "expand",
+                          "evaluate", "update", "resolve"};
+  for (const char* st : stages) {
+    const std::string span_name = "engine.stage." + std::string(st);
+    EXPECT_TRUE(span_names.contains(span_name)) << span_name;
+    const histogram::snapshot_data s =
+        get_histogram(span_name + ".wall_us").snapshot();
+    EXPECT_GT(s.count, 0u) << span_name;
+  }
+
+  // Registry mirrors of the legacy cache counters are exact (metrics were
+  // reset immediately before the run, so global == this engine's cache).
+  const engine::evaluation_cache::counters legacy = e.cache().stats();
+  EXPECT_EQ(get_counter("cache.hit").value(), legacy.hits);
+  EXPECT_EQ(get_counter("cache.miss").value(), legacy.misses);
+  EXPECT_EQ(get_counter("cache.coalesced").value(), legacy.coalesced);
+  EXPECT_GT(legacy.hits + legacy.misses, 0u);
+
+  EXPECT_EQ(get_counter("engine.runs").value(), 1u);
+  EXPECT_EQ(get_counter("engine.iterations").value(),
+            static_cast<std::uint64_t>(result.iterations));
+}
+
+TEST(EngineTelemetryTest, ResultIdenticalWithTelemetryOnAndOff) {
+  const synth::delay_model model{synth::synthesis_options{}};
+  const ir::graph g = integration_graph();
+  sized_downstream tool_a;
+  sized_downstream tool_b;
+
+  stop_tracing();
+  engine::engine cold;
+  const core::isdc_result off =
+      cold.run(g, tool_a, integration_options(), &model);
+
+  start_tracing();
+  engine::engine hot;
+  const core::isdc_result on =
+      hot.run(g, tool_b, integration_options(), &model);
+  stop_tracing();
+
+  EXPECT_EQ(off.final_schedule, on.final_schedule);
+  EXPECT_EQ(off.iterations, on.iterations);
+  EXPECT_EQ(off.delays, on.delays);
+}
+
+}  // namespace
+}  // namespace isdc::telemetry

@@ -1,0 +1,234 @@
+// Pretty-printer and differ for telemetry metrics snapshots.
+//
+//   isdc_stats FILE          print one snapshot as aligned tables
+//   isdc_stats OLD NEW       diff two snapshots (counter deltas, gauge
+//                            changes, histogram count/percentile shifts)
+//
+// A FILE may be either a raw registry snapshot (the {"counters":...,
+// "gauges":...,"histograms":...} object registry::snapshot::to_json
+// emits) or any bench --json artifact — those carry the same object under
+// their "metrics" member, which is unwrapped automatically. So both work:
+//
+//   bench_table1 --quick --json=t1.json && isdc_stats t1.json
+//   isdc_stats before.json after.json
+//
+// Exit status: 0 on success, 1 on unreadable/unparseable input.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/table.h"
+#include "telemetry/json.h"
+
+namespace {
+
+namespace json = isdc::telemetry::json;
+
+struct histogram_row {
+  double count = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+struct metrics_file {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, histogram_row> histograms;
+};
+
+metrics_file load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  json::value root = json::parse(buffer.str());
+  // Bench artifacts wrap the snapshot in a "metrics" member.
+  const json::value& snap =
+      root.is_object() && root.contains("metrics") ? root.at("metrics")
+                                                   : root;
+  metrics_file out;
+  for (const auto& [name, v] : snap.at("counters").as_object()) {
+    out.counters[name] = v.as_number();
+  }
+  for (const auto& [name, v] : snap.at("gauges").as_object()) {
+    out.gauges[name] = v.as_number();
+  }
+  for (const auto& [name, v] : snap.at("histograms").as_object()) {
+    histogram_row h;
+    h.count = v.get_or("count", 0.0);
+    h.sum = v.get_or("sum", 0.0);
+    h.min = v.get_or("min", 0.0);
+    h.max = v.get_or("max", 0.0);
+    h.mean = v.get_or("mean", 0.0);
+    h.p50 = v.get_or("p50", 0.0);
+    h.p90 = v.get_or("p90", 0.0);
+    h.p99 = v.get_or("p99", 0.0);
+    out.histograms[name] = h;
+  }
+  return out;
+}
+
+std::string num(double v) {
+  // Counters and counts print as integers; everything else with two
+  // decimals, which is plenty for eyeballing latencies.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  return isdc::format_double(v, 2);
+}
+
+std::string delta(double before, double after) {
+  const double d = after - before;
+  if (d == 0.0) {
+    return "";
+  }
+  return (d > 0.0 ? "+" : "") + num(d);
+}
+
+void print_snapshot(const metrics_file& m) {
+  if (!m.counters.empty()) {
+    isdc::text_table t;
+    t.set_header({"Counter", "Value"});
+    for (const auto& [name, value] : m.counters) {
+      t.add_row({name, num(value)});
+    }
+    std::cout << "=== Counters ===\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!m.gauges.empty()) {
+    isdc::text_table t;
+    t.set_header({"Gauge", "Value"});
+    for (const auto& [name, value] : m.gauges) {
+      t.add_row({name, num(value)});
+    }
+    std::cout << "=== Gauges ===\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!m.histograms.empty()) {
+    isdc::text_table t;
+    t.set_header({"Histogram", "Count", "Min", "Mean", "p50", "p90", "p99",
+                  "Max"});
+    for (const auto& [name, h] : m.histograms) {
+      t.add_row({name, num(h.count), num(h.min), num(h.mean), num(h.p50),
+                 num(h.p90), num(h.p99), num(h.max)});
+    }
+    std::cout << "=== Histograms ===\n";
+    t.print(std::cout);
+  }
+}
+
+template <typename M>
+std::vector<std::string> merged_keys(const M& a, const M& b) {
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : a) {
+    keys.push_back(k);
+  }
+  for (const auto& [k, v] : b) {
+    if (!a.contains(k)) {
+      keys.push_back(k);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void print_diff(const metrics_file& before, const metrics_file& after) {
+  {
+    isdc::text_table t;
+    t.set_header({"Counter", "Before", "After", "Delta"});
+    for (const std::string& k :
+         merged_keys(before.counters, after.counters)) {
+      const double b = before.counters.contains(k) ? before.counters.at(k)
+                                                   : 0.0;
+      const double a = after.counters.contains(k) ? after.counters.at(k)
+                                                  : 0.0;
+      if (b == a) {
+        continue;  // unchanged rows are noise in a diff
+      }
+      t.add_row({k, num(b), num(a), delta(b, a)});
+    }
+    if (t.num_rows() > 0) {
+      std::cout << "=== Counter deltas ===\n";
+      t.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  {
+    isdc::text_table t;
+    t.set_header({"Gauge", "Before", "After", "Delta"});
+    for (const std::string& k : merged_keys(before.gauges, after.gauges)) {
+      const double b = before.gauges.contains(k) ? before.gauges.at(k) : 0.0;
+      const double a = after.gauges.contains(k) ? after.gauges.at(k) : 0.0;
+      if (b == a) {
+        continue;
+      }
+      t.add_row({k, num(b), num(a), delta(b, a)});
+    }
+    if (t.num_rows() > 0) {
+      std::cout << "=== Gauge changes ===\n";
+      t.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  {
+    isdc::text_table t;
+    t.set_header({"Histogram", "Count", "ΔCount", "p50", "Δp50", "p99",
+                  "Δp99"});
+    for (const std::string& k :
+         merged_keys(before.histograms, after.histograms)) {
+      const histogram_row b = before.histograms.contains(k)
+                                  ? before.histograms.at(k)
+                                  : histogram_row{};
+      const histogram_row a = after.histograms.contains(k)
+                                  ? after.histograms.at(k)
+                                  : histogram_row{};
+      if (b.count == a.count && b.p50 == a.p50 && b.p99 == a.p99) {
+        continue;
+      }
+      t.add_row({k, num(a.count), delta(b.count, a.count), num(a.p50),
+                 delta(b.p50, a.p50), num(a.p99), delta(b.p99, a.p99)});
+    }
+    if (t.num_rows() > 0) {
+      std::cout << "=== Histogram shifts ===\n";
+      t.print(std::cout);
+    } else {
+      std::cout << "(no histogram changes)\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 3) {
+    std::cerr << "usage: isdc_stats SNAPSHOT.json            (pretty-print)\n"
+                 "       isdc_stats BEFORE.json AFTER.json   (diff)\n"
+                 "accepts raw registry snapshots or bench --json artifacts\n";
+    return 1;
+  }
+  try {
+    if (argc == 2) {
+      print_snapshot(load(argv[1]));
+    } else {
+      print_diff(load(argv[1]), load(argv[2]));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "isdc_stats: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
